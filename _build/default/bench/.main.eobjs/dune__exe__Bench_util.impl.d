@@ -1,0 +1,1 @@
+bench/bench_util.ml: Format Hfad_metrics List Option Printf String Sys Unix

@@ -1,0 +1,1 @@
+bench/exp_a1.ml: Bench_util Hfad Hfad_blockdev Hfad_index Hfad_osd List

@@ -1,0 +1,1 @@
+bench/exp_c1.ml: Bench_util Hfad Hfad_blockdev Hfad_hierfs Hfad_posix List Printf String

@@ -1,0 +1,1 @@
+bench/exp_c2.ml: Bench_util Domain Hfad Hfad_blockdev Hfad_hierfs Hfad_index Hfad_posix Hfad_util Int64 List Printf

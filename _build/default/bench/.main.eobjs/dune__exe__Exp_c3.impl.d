@@ -1,0 +1,1 @@
+bench/exp_c3.ml: Bench_util Hfad Hfad_blockdev Hfad_hierfs Hfad_osd Hfad_pager List Printf String

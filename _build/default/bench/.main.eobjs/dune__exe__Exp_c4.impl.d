@@ -1,0 +1,1 @@
+bench/exp_c4.ml: Bench_util Hfad Hfad_alloc Hfad_blockdev Hfad_hierfs Hfad_index Hfad_osd Hfad_posix List Printf String

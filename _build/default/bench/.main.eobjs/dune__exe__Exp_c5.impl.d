@@ -1,0 +1,1 @@
+bench/exp_c5.ml: Bench_util Hfad Hfad_blockdev Hfad_hierfs Hfad_index Hfad_posix Hfad_util Hfad_workload List String

@@ -1,0 +1,1 @@
+bench/exp_c6.ml: Bench_util Hfad Hfad_blockdev Hfad_fulltext Hfad_index Hfad_posix Hfad_util Hfad_workload List Printf

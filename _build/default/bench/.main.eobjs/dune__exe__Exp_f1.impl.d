@@ -1,0 +1,1 @@
+bench/exp_f1.ml: Bench_util Bytes Hfad Hfad_alloc Hfad_blockdev Hfad_btree Hfad_index Hfad_osd Hfad_pager Hfad_posix Hfad_util List Printf String

@@ -1,0 +1,1 @@
+bench/exp_m1.ml: Bench_util Hfad Hfad_blockdev Hfad_hierfs Hfad_posix Hfad_util Hfad_workload Option Printf

@@ -1,0 +1,1 @@
+bench/exp_t1.ml: Bench_util Hfad Hfad_blockdev Hfad_index Hfad_osd Hfad_posix Hfad_util Hfad_workload List

@@ -1,0 +1,1 @@
+bench/main.ml: Array Exp_a1 Exp_c1 Exp_c2 Exp_c3 Exp_c4 Exp_c5 Exp_c6 Exp_f1 Exp_m1 Exp_t1 Format List Micro String Sys

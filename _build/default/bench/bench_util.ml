@@ -1,0 +1,69 @@
+(* Shared helpers for the experiment harness: aligned table printing,
+   wall-clock timing, and counter deltas. *)
+
+module Registry = Hfad_metrics.Registry
+
+let say fmt = Format.printf (fmt ^^ "@.")
+
+let heading title =
+  say "";
+  say "==== %s ====" title
+
+(* Print rows as an aligned table; the first row is the header. *)
+let table rows =
+  match rows with
+  | [] -> ()
+  | header :: _ ->
+      let columns = List.length header in
+      let width col =
+        List.fold_left
+          (fun acc row ->
+            match List.nth_opt row col with
+            | Some cell -> max acc (String.length cell)
+            | None -> acc)
+          0 rows
+      in
+      let widths = List.init columns width in
+      let print_row row =
+        let cells =
+          List.mapi
+            (fun i cell ->
+              let pad = List.nth widths i - String.length cell in
+              cell ^ String.make (max 0 pad) ' ')
+            row
+        in
+        say "  %s" (String.concat "  " cells)
+      in
+      print_row header;
+      print_row (List.map (fun w -> String.make w '-') widths);
+      List.iter print_row (List.tl rows)
+
+(* Milliseconds of wall clock for one run of [f]. *)
+let time_ms f =
+  let t0 = Unix.gettimeofday () in
+  let result = f () in
+  (result, 1000. *. (Unix.gettimeofday () -. t0))
+
+(* Median wall time in microseconds over [n] runs. *)
+let median_us ?(n = 21) f =
+  let samples =
+    List.init n (fun _ ->
+        let t0 = Unix.gettimeofday () in
+        ignore (Sys.opaque_identity (f ()));
+        1_000_000. *. (Unix.gettimeofday () -. t0))
+  in
+  List.nth (List.sort compare samples) (n / 2)
+
+(* Global-counter delta produced by one run of [f]. *)
+let counters_of f =
+  let snap = Registry.snapshot Registry.global in
+  let result = f () in
+  (result, Registry.diff Registry.global snap)
+
+let counter deltas name = Option.value ~default:0 (List.assoc_opt name deltas)
+
+let fmt_int = string_of_int
+let fmt_f1 v = Printf.sprintf "%.1f" v
+let fmt_f2 v = Printf.sprintf "%.2f" v
+let fmt_us v = Printf.sprintf "%.1fus" v
+let fmt_ratio v = Printf.sprintf "%.1fx" v

@@ -1,0 +1,72 @@
+(* A1 — ablation: conjunction evaluation order.
+
+   DESIGN.md §4 credits the "cheapest-postings-first" intersection order
+   to the authors' provenance-tagging experience (paper ref [3]). This
+   ablation measures it: a conjunction of one highly selective and one
+   very popular pair, evaluated cheapest-first (the planner) vs
+   worst-first (a planner that sorts backwards).
+
+   Both orders return identical results; only the work differs. *)
+
+module Device = Hfad_blockdev.Device
+module Fs = Hfad.Fs
+module Tag = Hfad_index.Tag
+module Query = Hfad_index.Query
+open Bench_util
+
+let run () =
+  heading "A1: conjunction order ablation (rare AND popular)";
+  let dev = Device.create ~block_size:4096 ~blocks:131072 () in
+  let fs = Fs.format ~cache_pages:8192 ~index_mode:Fs.Off dev in
+  (* 20_000 objects tagged "common"; 10 of them also "rare". *)
+  for i = 0 to 19_999 do
+    let names =
+      if i mod 2000 = 0 then [ (Tag.Udef, "common"); (Tag.Udef, "rare") ]
+      else [ (Tag.Udef, "common") ]
+    in
+    ignore (Fs.create fs ~names)
+  done;
+  let rare = Query.Pair (Tag.Udef, "rare") in
+  let common = Query.Pair (Tag.Udef, "common") in
+  (* The planner orders by selectivity; to measure the naive order we
+     evaluate the pairs by hand. *)
+  let planner () = Fs.query fs (Query.And [ common; rare ]) in
+  let naive () =
+    (* scan both posting lists fully and intersect - what the engine did
+       before candidate probing (and what a statistics-less planner does) *)
+    let big = Fs.lookup fs [ (Tag.Udef, "common") ] in
+    let small = Fs.lookup fs [ (Tag.Udef, "rare") ] in
+    let rec inter xs ys =
+      match (xs, ys) with
+      | [], _ | _, [] -> []
+      | x :: xs', y :: ys' ->
+          let c = Hfad_osd.Oid.compare x y in
+          if c = 0 then x :: inter xs' ys'
+          else if c < 0 then inter xs' ys
+          else inter xs ys'
+    in
+    inter small big
+  in
+  let expected = List.length (planner ()) in
+  let _, nodes_planner =
+    counters_of (fun () -> ignore (planner ()))
+  in
+  let _, nodes_naive = counters_of (fun () -> ignore (naive ())) in
+  table
+    [
+      [ "strategy"; "results"; "nodes visited"; "median" ];
+      [
+        "probe candidates (planner)"; fmt_int expected;
+        fmt_int (counter nodes_planner "btree.nodes_visited");
+        fmt_us (median_us ~n:9 (fun () -> planner ()));
+      ];
+      [
+        "scan both lists (naive)"; fmt_int (List.length (naive ()));
+        fmt_int (counter nodes_naive "btree.nodes_visited");
+        fmt_us (median_us ~n:9 (fun () -> naive ()));
+      ];
+    ];
+  say "";
+  say "both strategies agree on the answer; the planner never scans the";
+  say "20k-entry posting list - it probes it once per rare candidate.";
+  say "(the gap widens linearly with the popular value's frequency)"

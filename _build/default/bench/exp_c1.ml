@@ -1,0 +1,123 @@
+(* C1 — §2.3's headline claim: "At a minimum, we encountered four index
+   traversals" between a search term and its data bytes on the
+   hierarchical stack, growing with path depth; hFAD needs a constant,
+   small number regardless of namespace shape.
+
+   Setup per depth d: 256 files with identical filler text live at the
+   bottom of a d-deep directory chain; one of them additionally contains
+   a unique needle term. We then drive one search for the needle all the
+   way to its first data bytes and count every index structure touched.
+
+   "Traversals" = B-tree root-to-leaf descents (search index, directory
+   per component, inode table, extent map) + block-map pointer-page
+   reads (the FFS physical index). *)
+
+module Device = Hfad_blockdev.Device
+module Fs = Hfad.Fs
+module H = Hfad_hierfs.Hierfs
+module Search = Hfad_hierfs.Desktop_search
+open Bench_util
+
+let filler i =
+  Printf.sprintf "ordinary document number %d with unremarkable content" i
+
+let hier_cost ~depth =
+  let dev = Device.create ~block_size:1024 ~blocks:65536 () in
+  let h = H.format ~cache_pages:2048 dev in
+  let dir =
+    String.concat "" (List.init depth (fun i -> Printf.sprintf "/level%d" i))
+  in
+  H.mkdir_p h dir;
+  for i = 0 to 255 do
+    let content = if i = 100 then filler i ^ " xyzneedle" else filler i in
+    ignore (H.create_file ~content h (Printf.sprintf "%s/doc%03d.txt" dir i))
+  done;
+  let ds = Search.create h in
+  ignore (Search.index_tree ds "/");
+  let hits, deltas =
+    counters_of (fun () -> Search.search_and_read ds "xyzneedle" ~bytes_per_hit:16)
+  in
+  assert (List.length hits = 1);
+  let descents = counter deltas "btree.descents" in
+  let blockmap = counter deltas "hierfs.blockmap_reads" in
+  ( descents + blockmap,
+    descents,
+    counter deltas "hierfs.components_walked",
+    counter deltas "hierfs.inode_fetches",
+    counter deltas "btree.nodes_visited" )
+
+let hfad_cost ~depth =
+  let dev = Device.create ~block_size:1024 ~blocks:65536 () in
+  let fs = Fs.format ~cache_pages:2048 ~index_mode:Fs.Eager dev in
+  (* Same corpus; hFAD does not care about depth, but we keep the POSIX
+     names anyway to store an equivalent namespace. *)
+  let posix = Hfad_posix.Posix_fs.mount fs in
+  let dir =
+    String.concat "" (List.init depth (fun i -> Printf.sprintf "/level%d" i))
+  in
+  Hfad_posix.Posix_fs.mkdir_p posix dir;
+  let needle_oid = ref None in
+  for i = 0 to 255 do
+    let content = if i = 100 then filler i ^ " xyzneedle" else filler i in
+    let oid =
+      Hfad_posix.Posix_fs.create_file ~content posix
+        (Printf.sprintf "%s/doc%03d.txt" dir i)
+    in
+    if i = 100 then needle_oid := Some oid
+  done;
+  let hits, deltas =
+    counters_of (fun () ->
+        match Fs.search fs "xyzneedle" with
+        | (oid, _) :: _ -> Fs.read fs oid ~off:0 ~len:16
+        | [] -> assert false)
+  in
+  ignore hits;
+  ( counter deltas "btree.descents",
+    counter deltas "btree.descents",
+    0,
+    0,
+    counter deltas "btree.nodes_visited" )
+
+let run () =
+  heading "C1: index traversals, search term -> data bytes (one hit)";
+  say "hierarchical stack = desktop-search index -> pathname -> namespace";
+  say "walk -> inode -> FFS block map; hFAD = full-text index -> object map.";
+  say "";
+  let rows =
+    List.concat_map
+      (fun depth ->
+        let h_total, h_desc, h_comp, h_ino, h_nodes = hier_cost ~depth in
+        let f_total, _, _, _, f_nodes = hfad_cost ~depth in
+        [
+          [
+            fmt_int depth;
+            "hierarchical";
+            fmt_int h_total;
+            fmt_int h_desc;
+            fmt_int h_comp;
+            fmt_int h_ino;
+            fmt_int h_nodes;
+          ];
+          [
+            "";
+            "hFAD";
+            fmt_int f_total;
+            fmt_int f_total;
+            "0";
+            "0";
+            fmt_int f_nodes;
+          ];
+        ])
+      [ 2; 4; 6; 8 ]
+  in
+  table
+    ([
+       [
+         "depth"; "system"; "traversals"; "descents"; "components";
+         "inode fetches"; "nodes visited";
+       ];
+     ]
+    @ rows);
+  say "";
+  say "expected shape: hierarchical total grows with depth and is >= 4 even";
+  say "when shallow; hFAD is constant in namespace depth."

@@ -1,0 +1,151 @@
+(* C4 — §2.2 restrictiveness: "much as a single piece of clothing may
+   belong to multiple outfits, a single piece of data may belong to
+   multiple collections."
+
+   An object that belongs to k collections costs hFAD one object plus k
+   index entries. In a canonical hierarchy the honest options are copies
+   (k x the bytes, k x the update cost). We measure storage, the cost of
+   keeping all collections consistent after an edit, and the cost of
+   re-categorizing.
+
+   C4b records the flip side fairly: renaming a directory is O(1) in a
+   hierarchy but re-keys the subtree in a path-keyed namespace. *)
+
+module Device = Hfad_blockdev.Device
+module Buddy = Hfad_alloc.Buddy
+module Fs = Hfad.Fs
+module Tag = Hfad_index.Tag
+module P = Hfad_posix.Posix_fs
+module H = Hfad_hierfs.Hierfs
+open Bench_util
+
+let objects = 200
+let payload = String.make 1024 'p'
+
+let collection k = Printf.sprintf "collection%02d" k
+
+let hfad_case k =
+  let dev = Device.create ~block_size:4096 ~blocks:65536 () in
+  let fs = Fs.format ~cache_pages:4096 ~index_mode:Fs.Off dev in
+  let buddy = Hfad_osd.Osd.allocator (Fs.osd fs) in
+  let before = (Buddy.stats buddy).Buddy.free_blocks in
+  let oids =
+    List.init objects (fun _ ->
+        let oid = Fs.create fs ~content:payload in
+        for c = 0 to k - 1 do
+          Fs.name fs oid Tag.Udef (collection c)
+        done;
+        oid)
+  in
+  let used = before - (Buddy.stats buddy).Buddy.free_blocks in
+  (* Edit one object once: every "collection view" sees the change. *)
+  let edit_us =
+    median_us ~n:11 (fun () -> Fs.write fs (List.hd oids) ~off:0 "EDIT")
+  in
+  (* Re-categorize: move object between collections. *)
+  let recat_us =
+    median_us ~n:11 (fun () ->
+        ignore (Fs.unname fs (List.hd oids) Tag.Udef (collection 0));
+        Fs.name fs (List.hd oids) Tag.Udef (collection 0))
+  in
+  (used * 4096 / 1024, edit_us, recat_us)
+
+let hier_case k =
+  let dev = Device.create ~block_size:4096 ~blocks:262144 () in
+  let h = H.format ~cache_pages:4096 dev in
+  let before = (Buddy.stats (H.allocator h)).Buddy.free_blocks in
+  for c = 0 to k - 1 do
+    H.mkdir_p h ("/" ^ collection c)
+  done;
+  for i = 0 to objects - 1 do
+    for c = 0 to k - 1 do
+      (* A copy per collection: the canonical-hierarchy way. *)
+      ignore
+        (H.create_file ~content:payload h
+           (Printf.sprintf "/%s/obj%04d" (collection c) i))
+    done
+  done;
+  (* Storage: blocks consumed, same accounting as the hFAD side. *)
+  let stored_kib =
+    (before - (Buddy.stats (H.allocator h)).Buddy.free_blocks) * 4096 / 1024
+  in
+  (* Edit: all k copies must be rewritten to stay consistent. *)
+  let edit_us =
+    median_us ~n:11 (fun () ->
+        for c = 0 to k - 1 do
+          H.write_at h (Printf.sprintf "/%s/obj0000" (collection c)) ~off:0 "EDIT"
+        done)
+  in
+  (* Re-categorize: move the copy from one collection to another. *)
+  let counter = ref 0 in
+  let recat_us =
+    median_us ~n:11 (fun () ->
+        incr counter;
+        let fresh = Printf.sprintf "/%s/moved%d" (collection (k - 1)) !counter in
+        H.rename h (Printf.sprintf "/%s/obj%04d" (collection 0) !counter) fresh)
+  in
+  (stored_kib, edit_us, recat_us)
+
+let membership () =
+  heading "C4a: one object in k collections (200 objects of 1 KiB)";
+  let rows =
+    List.map
+      (fun k ->
+        let h_kib, h_edit, h_recat = hier_case k in
+        let f_kib, f_edit, f_recat = hfad_case k in
+        [
+          fmt_int k;
+          Printf.sprintf "%d KiB" h_kib;
+          fmt_us h_edit;
+          fmt_us h_recat;
+          Printf.sprintf "%d KiB" f_kib;
+          fmt_us f_edit;
+          fmt_us f_recat;
+        ])
+      [ 1; 2; 4; 8; 16 ]
+  in
+  table
+    ([
+       [
+         "k"; "hier bytes"; "hier edit"; "hier recat"; "hFAD bytes";
+         "hFAD edit"; "hFAD recat";
+       ];
+     ]
+    @ rows);
+  say "";
+  say "expected shape: hierarchical storage and edit cost grow with k (one";
+  say "copy per collection); hFAD stays flat - membership is an index entry."
+
+let rename_asymmetry () =
+  heading "C4b: the honest counterpoint - directory rename";
+  let n = 1000 in
+  (* hierfs: move one directory entry. *)
+  let dev = Device.create ~block_size:4096 ~blocks:65536 () in
+  let h = H.format ~cache_pages:4096 dev in
+  H.mkdir_p h "/old";
+  for i = 0 to n - 1 do
+    ignore (H.create_file ~content:"x" h (Printf.sprintf "/old/f%04d" i))
+  done;
+  let _, hier_ms = time_ms (fun () -> H.rename h "/old" "/new") in
+  (* hFAD veneer: re-key every path under the directory. *)
+  let dev2 = Device.create ~block_size:4096 ~blocks:65536 () in
+  let fs = Fs.format ~cache_pages:4096 ~index_mode:Fs.Off dev2 in
+  let p = P.mount fs in
+  P.mkdir_p p "/old";
+  for i = 0 to n - 1 do
+    ignore (P.create_file ~content:"x" p (Printf.sprintf "/old/f%04d" i))
+  done;
+  let _, hfad_ms = time_ms (fun () -> P.rename p "/old" "/new") in
+  table
+    [
+      [ "system"; Printf.sprintf "rename dir of %d files" n ];
+      [ "hierarchical"; fmt_f1 hier_ms ^ " ms (one entry moved)" ];
+      [ "hFAD (POSIX veneer)"; fmt_f1 hfad_ms ^ " ms (subtree re-keyed)" ];
+    ];
+  say "";
+  say "the path-keyed namespace pays O(subtree) on rename - the price of";
+  say "depth-independent resolution. (cf. EXPERIMENTS.md discussion)"
+
+let run () =
+  membership ();
+  rename_asymmetry ()

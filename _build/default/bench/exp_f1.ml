@@ -1,0 +1,153 @@
+(* F1 — Figure 1, structurally: cost of one operation at each layer of
+   the architecture, bottom-up, plus the pager cache-size ablation that
+   quantifies §2.3's "multiple indexes place pressure on the processor
+   caches". *)
+
+module Device = Hfad_blockdev.Device
+module Pager = Hfad_pager.Pager
+module Buddy = Hfad_alloc.Buddy
+module Btree = Hfad_btree.Btree
+module Fs = Hfad.Fs
+module Tag = Hfad_index.Tag
+module P = Hfad_posix.Posix_fs
+open Bench_util
+
+let layer_costs () =
+  heading "F1a: one operation per layer (median wall time)";
+  let dev = Device.create ~block_size:4096 ~blocks:16384 () in
+  let fs = Fs.format ~index_mode:Fs.Eager dev in
+  let posix = P.mount fs in
+  let pgr = Hfad_osd.Osd.pager (Fs.osd fs) in
+  let buddy = Hfad_osd.Osd.allocator (Fs.osd fs) in
+  (* A tree with some substance so descents are realistic. *)
+  let tree = Hfad_osd.Osd.named_tree (Fs.osd fs) "bench" in
+  for i = 0 to 9999 do
+    Btree.put tree ~key:(Printf.sprintf "key%06d" i) ~value:"v"
+  done;
+  let oid = Fs.create fs ~content:(String.make 100_000 'x') in
+  P.mkdir_p posix "/bench/dir";
+  ignore (P.create_file ~content:"hello" posix "/bench/dir/file.txt");
+  let payload = Bytes.make 4096 'p' in
+  let rows =
+    [
+      [ "layer"; "operation"; "median" ];
+      [
+        "device"; "write_block";
+        fmt_us (median_us (fun () -> Device.write_block dev 100 payload));
+      ];
+      [
+        "pager"; "with_page (hot)";
+        fmt_us (median_us (fun () -> Pager.with_page pgr 100 ignore));
+      ];
+      [
+        "alloc"; "alloc+free 8 blocks";
+        fmt_us (median_us (fun () -> Buddy.free buddy (Buddy.alloc buddy 8)));
+      ];
+      [
+        "btree"; "find (10k keys)";
+        fmt_us (median_us (fun () -> Btree.find tree "key005000"));
+      ];
+      [
+        "btree"; "put (10k keys)";
+        fmt_us
+          (median_us (fun () -> Btree.put tree ~key:"key005000x" ~value:"v"));
+      ];
+      [
+        "osd"; "read 4KiB @ middle";
+        fmt_us
+          (median_us (fun () ->
+               Hfad_osd.Osd.read (Fs.osd fs) oid ~off:50_000 ~len:4096));
+      ];
+      [
+        "index"; "lookup UDEF";
+        fmt_us (median_us (fun () -> Fs.lookup fs [ (Tag.Udef, "none") ]));
+      ];
+      [
+        "posix"; "resolve 3-level path";
+        fmt_us (median_us (fun () -> P.resolve posix "/bench/dir/file.txt"));
+      ];
+    ]
+  in
+  table rows
+
+let cache_ablation () =
+  heading "F1b: pager cache-size ablation (10k random btree finds)";
+  let run cache_pages =
+    let dev = Device.create ~model:Hfad_blockdev.Latency.default_ssd
+        ~block_size:4096 ~blocks:16384 ()
+    in
+    let pgr = Pager.create ~cache_pages dev in
+    let buddy = Buddy.create ~first_block:0 ~blocks:16384 () in
+    let alloc =
+      {
+        Btree.alloc_page = (fun () -> Buddy.alloc buddy 1);
+        Btree.free_page = (fun p -> Buddy.free buddy p);
+      }
+    in
+    let tree = Btree.create pgr alloc ~root:(Buddy.alloc buddy 1) in
+    let rng = Hfad_util.Rng.create 7L in
+    for i = 0 to 19_999 do
+      Btree.put tree ~key:(Printf.sprintf "key%08d" i) ~value:(String.make 32 'v')
+    done;
+    Pager.reset_stats pgr;
+    Device.reset_stats dev;
+    for _ = 0 to 9_999 do
+      ignore
+        (Btree.find tree
+           (Printf.sprintf "key%08d" (Hfad_util.Rng.int rng 20_000)))
+    done;
+    let s = Pager.stats pgr in
+    let hit_rate =
+      100. *. float_of_int s.Pager.hits /. float_of_int (max 1 s.Pager.reads)
+    in
+    let sim_ms =
+      float_of_int (Device.stats dev).Device.simulated_ns /. 1_000_000.
+    in
+    [ fmt_int cache_pages; fmt_f1 hit_rate; fmt_int s.Pager.misses; fmt_f1 sim_ms ]
+  in
+  table
+    ([ [ "cache pages"; "hit %"; "misses"; "simulated device ms (SSD)" ] ]
+    @ List.map run [ 16; 64; 256; 1024 ])
+
+let buddy_ablation () =
+  heading "F1c: buddy allocator fragmentation under churn";
+  let rng = Hfad_util.Rng.create 11L in
+  let run ~min_order =
+    let b = Buddy.create ~min_order ~first_block:0 ~blocks:65536 () in
+    let live = ref [] in
+    for _ = 0 to 20_000 do
+      if Hfad_util.Rng.int rng 3 < 2 then (
+        match Buddy.alloc b (1 + Hfad_util.Rng.int rng 32) with
+        | start -> live := start :: !live
+        | exception Buddy.Out_of_space _ -> ())
+      else
+        match !live with
+        | [] -> ()
+        | start :: rest ->
+            Buddy.free b start;
+            live := rest
+    done;
+    let s = Buddy.stats b in
+    [
+      fmt_int min_order;
+      fmt_int s.Buddy.live_allocations;
+      fmt_int s.Buddy.free_blocks;
+      fmt_int s.Buddy.largest_free_run;
+      fmt_f2 (Buddy.fragmentation b);
+      fmt_int s.Buddy.splits;
+      fmt_int s.Buddy.coalesces;
+    ]
+  in
+  table
+    ([
+       [
+         "min order"; "live"; "free blocks"; "largest run"; "fragmentation";
+         "splits"; "coalesces";
+       ];
+     ]
+    @ List.map (fun mo -> run ~min_order:mo) [ 0; 2; 4 ])
+
+let run () =
+  layer_costs ();
+  cache_ablation ();
+  buddy_ablation ()

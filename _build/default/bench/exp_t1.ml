@@ -1,0 +1,66 @@
+(* T1 — Table 1 of the paper: every naming mode, exercised against one
+   mixed corpus, with per-lookup cost (result count, index descents,
+   nodes visited, median wall time).
+
+   Paper's table:     Use          Tag       Value
+                      POSIX        POSIX     pathname
+                      Search       FULLTEXT  term
+                      Manual       USER      logname
+                                   UDEF      annotations
+                      Applications APP       application name
+                                   USER      logname
+                      FastPath     ID        object identifier *)
+
+module Device = Hfad_blockdev.Device
+module Rng = Hfad_util.Rng
+module Fs = Hfad.Fs
+module Tag = Hfad_index.Tag
+module Oid = Hfad_osd.Oid
+module P = Hfad_posix.Posix_fs
+module Corpus = Hfad_workload.Corpus
+module Load = Hfad_workload.Load
+open Bench_util
+
+let run () =
+  heading "T1: naming-mode lookups over a mixed 2000-object corpus";
+  let dev = Device.create ~block_size:4096 ~blocks:131072 () in
+  let fs = Fs.format ~cache_pages:4096 ~index_mode:Fs.Eager dev in
+  let posix = P.mount fs in
+  let rng = Rng.create 2009L in
+  let photos = Corpus.photos rng ~count:1000 in
+  let emails = Corpus.emails rng ~count:1000 in
+  let photo_oids = Load.photos_into_hfad posix photos in
+  let _ = Load.emails_into_hfad posix emails in
+  let sample_photo = List.nth photos 500 in
+  let sample_oid = List.nth photo_oids 500 in
+  let cases =
+    [
+      ("POSIX (pathname)", [ (Tag.Posix, sample_photo.Corpus.photo_path) ]);
+      ("Search (FULLTEXT term)", [ (Tag.Fulltext, "budget") ]);
+      ( "Search (FULLTEXT conjunction)",
+        [ (Tag.Fulltext, "budget"); (Tag.Fulltext, "margo") ] );
+      ("Manual (USER logname)", [ (Tag.User, "margo") ]);
+      ("Manual (UDEF annotation)", [ (Tag.Udef, "hawaii") ]);
+      ("Applications (APP name)", [ (Tag.App, "photo-import") ]);
+      ( "Applications (APP + USER)",
+        [ (Tag.App, "mail-client"); (Tag.User, "margo") ] );
+      ("FastPath (ID)", [ (Tag.Id, Oid.to_string sample_oid) ]);
+    ]
+  in
+  let row (label, pairs) =
+    let hits, deltas = counters_of (fun () -> Fs.lookup fs pairs) in
+    let us = median_us ~n:11 (fun () -> Fs.lookup fs pairs) in
+    [
+      label;
+      fmt_int (List.length hits);
+      fmt_int (counter deltas "btree.descents");
+      fmt_int (counter deltas "btree.nodes_visited");
+      fmt_us us;
+    ]
+  in
+  table
+    ([ [ "use (paper Table 1)"; "hits"; "descents"; "nodes"; "median" ] ]
+    @ List.map row cases);
+  say "";
+  say "note: the ID fast path takes 1 descent (liveness check in the master";
+  say "tree) and no index scans - 'supporting object reference caching'."

@@ -1,0 +1,42 @@
+(* Benchmark harness entry point.
+
+   `dune exec bench/main.exe` regenerates every experiment table (see
+   DESIGN.md section 3 for the experiment index and EXPERIMENTS.md for
+   paper-vs-measured discussion), then runs the bechamel
+   micro-benchmarks.
+
+   Pass experiment ids to run a subset:
+     dune exec bench/main.exe -- C1 C3
+   Ids: F1 T1 C1 C2 C3 C4 C5 C6 micro *)
+
+let experiments =
+  [
+    ("F1", Exp_f1.run);
+    ("T1", Exp_t1.run);
+    ("C1", Exp_c1.run);
+    ("C2", Exp_c2.run);
+    ("C3", Exp_c3.run);
+    ("C4", Exp_c4.run);
+    ("C5", Exp_c5.run);
+    ("C6", Exp_c6.run);
+    ("M1", Exp_m1.run);
+    ("A1", Exp_a1.run);
+    ("micro", Micro.run);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as ids) -> ids
+    | _ -> List.map fst experiments
+  in
+  Format.printf "hFAD benchmark harness (see DESIGN.md / EXPERIMENTS.md)@.";
+  List.iter
+    (fun id ->
+      match List.assoc_opt id experiments with
+      | Some run -> run ()
+      | None ->
+          Format.eprintf "unknown experiment %S; known: %s@." id
+            (String.concat " " (List.map fst experiments));
+          exit 2)
+    requested

@@ -1,0 +1,331 @@
+(* hfadctl — command-line front end for hFAD images.
+
+   A persistent hFAD file system lives in a sparse image file; every
+   subcommand loads the image, performs its operation through the native
+   or POSIX API, and (for mutations) writes the image back.
+
+     hfadctl mkfs disk.img
+     hfadctl put disk.img /notes/todo.txt "buy milk"
+     hfadctl tag disk.img /notes/todo.txt UDEF errands
+     hfadctl search disk.img milk
+     hfadctl find disk.img UDEF/errands
+     hfadctl ls disk.img /notes
+     hfadctl cat disk.img /notes/todo.txt *)
+
+module Device = Hfad_blockdev.Device
+module Fs = Hfad.Fs
+module Tag = Hfad_index.Tag
+module Oid = Hfad_osd.Oid
+module Meta = Hfad_osd.Meta
+module P = Hfad_posix.Posix_fs
+open Cmdliner
+
+let say fmt = Format.printf (fmt ^^ "@.")
+
+(* --- plumbing ------------------------------------------------------------ *)
+
+let with_image ?(write = false) image f =
+  let dev = Device.load image in
+  let fs = Fs.open_existing ~index_mode:Fs.Eager dev in
+  let posix = P.mount fs in
+  let result = f fs posix in
+  if write then begin
+    Fs.flush fs;
+    Device.save dev image
+  end;
+  result
+
+let handle_errors f =
+  try
+    f ();
+    0
+  with
+  | P.Error (errno, ctx) ->
+      Format.eprintf "error: %a: %s@." P.pp_errno errno ctx;
+      1
+  | Device.Io_error msg | Failure msg ->
+      Format.eprintf "error: %s@." msg;
+      1
+  | Invalid_argument msg ->
+      Format.eprintf "invalid argument: %s@." msg;
+      1
+
+(* --- arguments ------------------------------------------------------------ *)
+
+let image_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"IMAGE" ~doc:"Image file.")
+
+let path_arg n =
+  Arg.(required & pos n (some string) None & info [] ~docv:"PATH" ~doc:"POSIX path.")
+
+let pair_conv =
+  let parse s =
+    match Tag.pair_of_string s with
+    | pair -> Ok pair
+    | exception Invalid_argument msg -> Error (`Msg msg)
+  in
+  Arg.conv (parse, fun fmt pair -> Tag.pp_pair fmt pair)
+
+(* --- commands ---------------------------------------------------------------- *)
+
+let mkfs image blocks block_size =
+  handle_errors (fun () ->
+      let dev = Device.create ~block_size ~blocks () in
+      let fs = Fs.format dev in
+      let _ = P.mount fs in
+      Fs.flush fs;
+      Device.save dev image;
+      say "formatted %s: %d blocks x %d bytes" image blocks block_size)
+
+let mkfs_cmd =
+  let blocks =
+    Arg.(value & opt int 65536 & info [ "blocks" ] ~doc:"Device size in blocks.")
+  in
+  let block_size =
+    Arg.(value & opt int 4096 & info [ "block-size" ] ~doc:"Block size in bytes.")
+  in
+  Cmd.v (Cmd.info "mkfs" ~doc:"Create and format a new image.")
+    Term.(const mkfs $ image_arg $ blocks $ block_size)
+
+let put image path data =
+  handle_errors (fun () ->
+      with_image ~write:true image (fun _fs posix ->
+          P.mkdir_p posix (Hfad_posix.Path.parent path);
+          P.write_file posix path data;
+          say "wrote %d bytes to %s" (String.length data) path))
+
+let put_cmd =
+  let data =
+    Arg.(required & pos 2 (some string) None & info [] ~docv:"DATA" ~doc:"Content.")
+  in
+  Cmd.v (Cmd.info "put" ~doc:"Write a file (create or replace).")
+    Term.(const put $ image_arg $ path_arg 1 $ data)
+
+let cat image path =
+  handle_errors (fun () ->
+      with_image image (fun _fs posix -> print_string (P.read_file posix path)))
+
+let cat_cmd =
+  Cmd.v (Cmd.info "cat" ~doc:"Print a file's content.")
+    Term.(const cat $ image_arg $ path_arg 1)
+
+let ls image path =
+  handle_errors (fun () ->
+      with_image image (fun _fs posix ->
+          List.iter (fun name -> say "%s" name) (P.readdir posix path)))
+
+let ls_cmd =
+  Cmd.v (Cmd.info "ls" ~doc:"List a directory.")
+    Term.(const ls $ image_arg $ path_arg 1)
+
+let mkdir image path =
+  handle_errors (fun () ->
+      with_image ~write:true image (fun _fs posix -> P.mkdir_p posix path))
+
+let mkdir_cmd =
+  Cmd.v (Cmd.info "mkdir" ~doc:"Create a directory (with parents).")
+    Term.(const mkdir $ image_arg $ path_arg 1)
+
+let rm image path =
+  handle_errors (fun () ->
+      with_image ~write:true image (fun _fs posix ->
+          if P.is_directory posix path then P.rmdir posix path
+          else P.unlink posix path))
+
+let rm_cmd =
+  Cmd.v (Cmd.info "rm" ~doc:"Remove a file or empty directory.")
+    Term.(const rm $ image_arg $ path_arg 1)
+
+let tag image path pair =
+  handle_errors (fun () ->
+      with_image ~write:true image (fun fs posix ->
+          let tag, value = pair in
+          let oid = P.resolve posix path in
+          Fs.name fs oid tag value;
+          say "tagged %s with %s" path (Format.asprintf "%a" Tag.pp_pair pair)))
+
+let pair_pos =
+  Arg.(required & pos 2 (some pair_conv) None & info [] ~docv:"TAG/VALUE"
+         ~doc:"Tag/value pair, e.g. UDEF/vacation.")
+
+let tag_cmd =
+  Cmd.v (Cmd.info "tag" ~doc:"Attach a tag/value name to a file.")
+    Term.(const tag $ image_arg $ path_arg 1 $ pair_pos)
+
+let untag image path pair =
+  handle_errors (fun () ->
+      with_image ~write:true image (fun fs posix ->
+          let tag, value = pair in
+          let oid = P.resolve posix path in
+          if Fs.unname fs oid tag value then say "untagged"
+          else say "no such tag on %s" path))
+
+let untag_cmd =
+  Cmd.v (Cmd.info "untag" ~doc:"Remove a tag/value name from a file.")
+    Term.(const untag $ image_arg $ path_arg 1 $ pair_pos)
+
+let tags image path =
+  handle_errors (fun () ->
+      with_image image (fun fs posix ->
+          let oid = P.resolve posix path in
+          say "%s -> object %s" path (Oid.to_string oid);
+          List.iter
+            (fun pair -> say "  %s" (Format.asprintf "%a" Tag.pp_pair pair))
+            (Fs.names_of fs oid)))
+
+let tags_cmd =
+  Cmd.v (Cmd.info "tags" ~doc:"List every name a file carries.")
+    Term.(const tags $ image_arg $ path_arg 1)
+
+let search image terms =
+  handle_errors (fun () ->
+      with_image image (fun fs _posix ->
+          let hits = Fs.search fs (String.concat " " terms) in
+          say "%d hit(s)" (List.length hits);
+          List.iter
+            (fun (oid, score) ->
+              let posix_names =
+                List.filter_map
+                  (fun (tag, v) -> if Tag.equal tag Tag.Posix then Some v else None)
+                  (Fs.names_of fs oid)
+              in
+              say "  [%.2f] %s %s" score (Oid.to_string oid)
+                (String.concat ", " posix_names))
+            hits))
+
+let search_cmd =
+  let terms =
+    Arg.(non_empty & pos_right 0 string [] & info [] ~docv:"TERM" ~doc:"Search terms.")
+  in
+  Cmd.v (Cmd.info "search" ~doc:"Full-text search over file content.")
+    Term.(const search $ image_arg $ terms)
+
+let find image pairs =
+  handle_errors (fun () ->
+      with_image image (fun fs _posix ->
+          let hits = Fs.lookup fs pairs in
+          say "%d object(s)" (List.length hits);
+          List.iter (fun oid -> say "  %s" (Oid.to_string oid)) hits))
+
+let find_cmd =
+  let pairs =
+    Arg.(non_empty & pos_right 0 pair_conv [] & info [] ~docv:"TAG/VALUE"
+           ~doc:"Tag/value pairs, conjoined.")
+  in
+  Cmd.v
+    (Cmd.info "find" ~doc:"Naming lookup: conjunction of TAG/VALUE pairs.")
+    Term.(const find $ image_arg $ pairs)
+
+let mv image old_path new_path =
+  handle_errors (fun () ->
+      with_image ~write:true image (fun _fs posix ->
+          P.rename posix old_path new_path))
+
+let mv_cmd =
+  Cmd.v (Cmd.info "mv" ~doc:"Rename a file or directory subtree.")
+    Term.(const mv $ image_arg $ path_arg 1 $ path_arg 2)
+
+let ln image existing fresh =
+  handle_errors (fun () ->
+      with_image ~write:true image (fun _fs posix -> P.link posix existing fresh))
+
+let ln_cmd =
+  Cmd.v (Cmd.info "ln" ~doc:"Hard link: one more POSIX name for a file.")
+    Term.(const ln $ image_arg $ path_arg 1 $ path_arg 2)
+
+let insert_bytes image path off data =
+  handle_errors (fun () ->
+      with_image ~write:true image (fun fs posix ->
+          let oid = P.resolve posix path in
+          Fs.insert fs oid ~off data;
+          say "inserted %d bytes at offset %d" (String.length data) off))
+
+let insert_cmd =
+  let off =
+    Arg.(required & pos 2 (some int) None & info [] ~docv:"OFFSET"
+           ~doc:"Byte offset.")
+  in
+  let data =
+    Arg.(required & pos 3 (some string) None & info [] ~docv:"DATA" ~doc:"Bytes.")
+  in
+  Cmd.v
+    (Cmd.info "insert"
+       ~doc:"hFAD byte-granular insert into the middle of a file.")
+    Term.(const insert_bytes $ image_arg $ path_arg 1 $ off $ data)
+
+let compact image path =
+  handle_errors (fun () ->
+      with_image ~write:true image (fun fs posix ->
+          let oid = P.resolve posix path in
+          let before = Hfad_osd.Osd.extent_count (Fs.osd fs) oid in
+          Hfad_osd.Osd.compact (Fs.osd fs) oid;
+          say "compacted: %d -> %d extents" before
+            (Hfad_osd.Osd.extent_count (Fs.osd fs) oid)))
+
+let compact_cmd =
+  Cmd.v (Cmd.info "compact" ~doc:"Defragment a file's extents.")
+    Term.(const compact $ image_arg $ path_arg 1)
+
+let boolean_query image text expl =
+  handle_errors (fun () ->
+      with_image image (fun fs _posix ->
+          let q = Hfad_index.Query.of_string text in
+          if expl then
+            print_string (Hfad_index.Query.explain (Fs.index fs) q);
+          let hits = Fs.query fs q in
+          say "%d object(s)" (List.length hits);
+          List.iter (fun oid -> say "  %s" (Oid.to_string oid)) hits))
+
+let query_cmd =
+  let text =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"QUERY"
+           ~doc:"Boolean query, e.g. 'USER/margo & (UDEF/a | UDEF/b) & !APP/x'.")
+  in
+  let expl =
+    Arg.(value & flag & info [ "explain" ] ~doc:"Print the evaluation plan.")
+  in
+  Cmd.v
+    (Cmd.info "query" ~doc:"Boolean naming query with and/or/not.")
+    Term.(const boolean_query $ image_arg $ text $ expl)
+
+let stat image path =
+  handle_errors (fun () ->
+      with_image image (fun _fs posix ->
+          let meta = P.stat posix path in
+          say "%s: %a" path Meta.pp meta;
+          say "links: %d" (P.nlink posix path)))
+
+let stat_cmd =
+  Cmd.v (Cmd.info "stat" ~doc:"Show a file's metadata.")
+    Term.(const stat $ image_arg $ path_arg 1)
+
+let show_info image =
+  handle_errors (fun () ->
+      with_image image (fun fs _posix ->
+          let dev = Fs.device fs in
+          say "device : %d blocks x %d bytes (%d KiB)" (Device.blocks dev)
+            (Device.block_size dev)
+            (Device.size_bytes dev / 1024);
+          say "objects: %d" (Fs.object_count fs);
+          let buddy = Hfad_osd.Osd.allocator (Fs.osd fs) in
+          let stats = Hfad_alloc.Buddy.stats buddy in
+          say "space  : %d / %d blocks free (fragmentation %.2f)"
+            stats.Hfad_alloc.Buddy.free_blocks stats.Hfad_alloc.Buddy.total_blocks
+            (Hfad_alloc.Buddy.fragmentation buddy)))
+
+let info_cmd =
+  Cmd.v (Cmd.info "info" ~doc:"Show image statistics.")
+    Term.(const show_info $ image_arg)
+
+let () =
+  let doc = "tagged, search-based file system (hFAD) image tool" in
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  exit
+    (Cmd.eval'
+       (Cmd.group ~default
+          (Cmd.info "hfadctl" ~version:"1.0" ~doc)
+          [
+            mkfs_cmd; put_cmd; cat_cmd; ls_cmd; mkdir_cmd; rm_cmd; tag_cmd;
+            untag_cmd; tags_cmd; search_cmd; find_cmd; query_cmd; stat_cmd;
+            info_cmd; mv_cmd; ln_cmd; insert_cmd; compact_cmd;
+          ]))

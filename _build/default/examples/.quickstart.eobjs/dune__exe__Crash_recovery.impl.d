@@ -1,0 +1,1 @@
+examples/crash_recovery.ml: Filename Format Hfad Hfad_blockdev Hfad_index Hfad_posix Sys

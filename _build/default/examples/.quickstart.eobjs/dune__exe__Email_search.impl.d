@@ -1,0 +1,1 @@
+examples/email_search.ml: Format Hfad Hfad_blockdev Hfad_hierfs Hfad_index Hfad_metrics Hfad_posix Hfad_util Hfad_workload List Option Unix

@@ -1,0 +1,1 @@
+examples/photo_library.ml: Format Hfad Hfad_blockdev Hfad_index Hfad_osd Hfad_posix Hfad_util Hfad_workload List String

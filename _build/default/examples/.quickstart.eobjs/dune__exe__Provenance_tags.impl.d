@@ -1,0 +1,1 @@
+examples/provenance_tags.ml: Format Hfad Hfad_blockdev Hfad_index Hfad_osd List

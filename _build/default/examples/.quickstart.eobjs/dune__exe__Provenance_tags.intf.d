@@ -1,0 +1,1 @@
+examples/provenance_tags.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Hfad Hfad_blockdev Hfad_index Hfad_osd Hfad_posix List String

@@ -1,0 +1,73 @@
+(* Crash recovery: the journaled OSD in action.
+
+   §3.3 of the paper: "In ZFS, the DMU is a transactional object store;
+   in hFAD, the OSD may be transactional, but this is an implementation
+   decision, not a requirement." This example makes the decision visible:
+   a journaled file system survives a crash in the middle of a
+   checkpoint's home writes without losing the checkpoint or corrupting
+   anything.
+
+   Run with: dune exec examples/crash_recovery.exe *)
+
+module Device = Hfad_blockdev.Device
+module Fs = Hfad.Fs
+module Tag = Hfad_index.Tag
+module P = Hfad_posix.Posix_fs
+
+let say fmt = Format.printf (fmt ^^ "@.")
+
+let snapshot dev =
+  (* The device image format gives us a perfect "power was cut here"
+     copy of the persistent state. *)
+  let path = Filename.temp_file "hfad_demo" ".img" in
+  Device.save dev path;
+  let copy = Device.load path in
+  Sys.remove path;
+  copy
+
+let () =
+  let dev = Device.create ~block_size:1024 ~blocks:16384 () in
+  let fs = Fs.format ~index_mode:Fs.Eager ~journal_pages:512 dev in
+  let posix = P.mount fs in
+  say "formatted a journaled file system (journaled = %b)" (Fs.journaled fs);
+
+  (* Checkpoint 1. *)
+  P.mkdir_p posix "/ledger";
+  ignore (P.create_file ~content:"balance: 100" posix "/ledger/account");
+  Fs.flush fs;
+  say "checkpoint 1: /ledger/account = %S" (P.read_file posix "/ledger/account");
+
+  (* Mutate toward checkpoint 2: several related changes that must land
+     together or not at all. *)
+  P.write_file posix "/ledger/account" "balance: 250";
+  ignore (P.create_file ~content:"credit +150 from payroll" posix "/ledger/journal-entry");
+  let oid = P.resolve posix "/ledger/journal-entry" in
+  Fs.name fs oid Tag.Udef "payroll";
+  say "mutated: balance rewritten, journal entry created and tagged";
+
+  (* Crash in the middle of the checkpoint's home writes: the journal
+     commit succeeds, then the device starts failing writes. *)
+  let home_writes = ref 0 in
+  Device.set_fault dev (fun op idx ->
+      op = Device.Write && idx > 513
+      && (incr home_writes;
+          !home_writes > 2));
+  (try
+     Fs.flush fs;
+     say "flush unexpectedly succeeded"
+   with Device.Io_error msg -> say "CRASH during checkpoint: %s" msg);
+  Device.clear_fault dev;
+
+  (* Power comes back: reopen from the torn on-device state. *)
+  let fs2 = Fs.open_existing ~index_mode:Fs.Eager (snapshot dev) in
+  let posix2 = P.mount fs2 in
+  say "";
+  say "after reopen (journal replayed):";
+  say "  /ledger/account       = %S" (P.read_file posix2 "/ledger/account");
+  say "  /ledger/journal-entry = %S" (P.read_file posix2 "/ledger/journal-entry");
+  say "  tagged payroll        = %b"
+    (Fs.lookup fs2 [ (Tag.Udef, "payroll") ] <> []);
+  Fs.verify fs2;
+  say "  full structural verify: OK";
+  say "";
+  say "all three changes landed atomically despite the torn home writes."

@@ -1,0 +1,78 @@
+(* Quickstart: walk every layer of the hFAD architecture (Figure 1).
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module Device = Hfad_blockdev.Device
+module Fs = Hfad.Fs
+module Tag = Hfad_index.Tag
+module P = Hfad_posix.Posix_fs
+
+let say fmt = Format.printf (fmt ^^ "@.")
+
+let () =
+  (* 1. Stable storage: a simulated 64 MiB device (4 KiB blocks). *)
+  let dev = Device.create ~block_size:4096 ~blocks:16384 () in
+  say "created device: %d blocks x %d bytes" (Device.blocks dev)
+    (Device.block_size dev);
+
+  (* 2. Format it as an hFAD file system (OSD + index stores + API). *)
+  let fs = Fs.format ~index_mode:Fs.Eager dev in
+
+  (* 3. Create an object with content and several names at once. The
+     object has no canonical location — just names. *)
+  let oid =
+    Fs.create fs
+      ~names:
+        [
+          (Tag.User, "margo");
+          (Tag.Udef, "position-paper");
+          (Tag.App, "latex");
+        ]
+      ~content:
+        "For over forty years, we have assumed hierarchical file system \
+         namespaces. The hierarchical directory model is an increasingly \
+         irrelevant historical relic, and its burial is overdue."
+  in
+  say "created object %s" (Hfad_osd.Oid.to_string oid);
+
+  (* 4. Naming interface: find it back by any combination of names. *)
+  let show label oids =
+    say "%-38s -> [%s]" label
+      (String.concat "; " (List.map Hfad_osd.Oid.to_string oids))
+  in
+  show "lookup USER/margo" (Fs.lookup fs [ (Tag.User, "margo") ]);
+  show "lookup USER/margo + APP/latex"
+    (Fs.lookup fs [ (Tag.User, "margo"); (Tag.App, "latex") ]);
+  show "full-text: 'hierarchical relic'"
+    (List.map fst (Fs.search fs "hierarchical relic"));
+  show "ID fast path" (Fs.lookup fs [ (Tag.Id, Hfad_osd.Oid.to_string oid) ]);
+
+  (* 5. Access interface: byte-addressable objects, including the hFAD
+     extensions insert and remove_bytes (two-argument truncate). *)
+  let excerpt () = Fs.read fs oid ~off:0 ~len:24 in
+  say "first bytes: %S" (excerpt ());
+  Fs.insert fs oid ~off:0 "ABSTRACT. ";
+  say "after insert at 0: %S" (excerpt ());
+  Fs.remove_bytes fs oid ~off:0 ~len:10;
+  say "after remove_bytes: %S" (excerpt ());
+
+  (* 6. POSIX veneer: a path is just one more name. *)
+  let p = P.mount fs in
+  P.mkdir_p p "/home/margo/papers";
+  Fs.name fs oid Tag.Posix "/home/margo/papers/hfad.txt";
+  say "resolve via POSIX path -> object %s"
+    (Hfad_osd.Oid.to_string (P.resolve p "/home/margo/papers/hfad.txt"));
+  say "readdir /home/margo/papers -> [%s]"
+    (String.concat "; " (P.readdir p "/home/margo/papers"));
+
+  (* 7. Search refinement: the §4 'current directory as a search'. *)
+  let module R = Hfad.Refine in
+  let session = R.narrow (R.start fs) (Tag.User, "margo") in
+  say "refined to %s: %d object(s)" (R.pwd session) (R.count session);
+
+  (* 8. Everything persists: flush, reopen, search again. *)
+  Fs.flush fs;
+  let fs2 = Fs.open_existing dev in
+  show "after reopen, full-text still works"
+    (List.map fst (Fs.search fs2 "burial overdue"));
+  say "quickstart done."

@@ -1,0 +1,1 @@
+lib/alloc/buddy.ml: Array Format Hashtbl List

@@ -1,0 +1,269 @@
+exception Out_of_space of { requested_blocks : int }
+exception Invalid_free of { start : int }
+
+type arena = { base : int; order : int }
+
+type t = {
+  min_order : int;
+  max_order : int;
+  arenas : arena list;  (* sorted by base, descending order *)
+  free : (int, unit) Hashtbl.t array;  (* free.(k) = set of free starts of order k *)
+  allocated : (int, int) Hashtbl.t;  (* start -> order *)
+  total_blocks : int;
+  mutable free_blocks : int;
+  mutable splits : int;
+  mutable coalesces : int;
+}
+
+type stats = {
+  total_blocks : int;
+  free_blocks : int;
+  live_allocations : int;
+  largest_free_run : int;
+  splits : int;
+  coalesces : int;
+}
+
+let order_for_blocks ~min_order n =
+  let rec loop order size = if size >= n then order else loop (order + 1) (size * 2) in
+  loop min_order (1 lsl min_order)
+
+(* Greedy cover of [base, base + blocks) by maximal aligned power-of-two
+   arenas no smaller than 2^min_order; a tail smaller than the minimum
+   granularity is left unmanaged. *)
+let carve_arenas ~min_order ~first_block ~blocks =
+  let rec loop base remaining acc =
+    if remaining < 1 lsl min_order then List.rev acc
+    else
+      let rec largest order =
+        if 1 lsl (order + 1) <= remaining then largest (order + 1) else order
+      in
+      let order = largest min_order in
+      let size = 1 lsl order in
+      loop (base + size) (remaining - size) ({ base; order } :: acc)
+  in
+  loop first_block blocks []
+
+let create ?(min_order = 0) ~first_block ~blocks () =
+  if blocks <= 0 then invalid_arg "Buddy.create: blocks";
+  if first_block < 0 then invalid_arg "Buddy.create: first_block";
+  if min_order < 0 then invalid_arg "Buddy.create: min_order";
+  let arenas = carve_arenas ~min_order ~first_block ~blocks in
+  if arenas = [] then invalid_arg "Buddy.create: region smaller than min_order";
+  let max_order = List.fold_left (fun m a -> max m a.order) 0 arenas in
+  let free = Array.init (max_order + 1) (fun _ -> Hashtbl.create 16) in
+  List.iter (fun a -> Hashtbl.replace free.(a.order) a.base ()) arenas;
+  let managed = List.fold_left (fun acc a -> acc + (1 lsl a.order)) 0 arenas in
+  {
+    min_order;
+    max_order;
+    arenas;
+    free;
+    allocated = Hashtbl.create 64;
+    total_blocks = managed;
+    free_blocks = managed;
+    splits = 0;
+    coalesces = 0;
+  }
+
+let arena_of t start =
+  let rec find = function
+    | [] -> raise (Invalid_free { start })
+    | a :: rest ->
+        if start >= a.base && start < a.base + (1 lsl a.order) then a
+        else find rest
+  in
+  find t.arenas
+
+let alloc_size t n =
+  if n <= 0 then invalid_arg "Buddy.alloc_size: n";
+  1 lsl order_for_blocks ~min_order:t.min_order n
+
+(* Take any free block of exactly [order], if one exists. *)
+let pop_free t order =
+  let table = t.free.(order) in
+  match Hashtbl.length table with
+  | 0 -> None
+  | _ ->
+      let start = Hashtbl.fold (fun k () _ -> Some k) table None in
+      (match start with
+      | Some s ->
+          Hashtbl.remove table s;
+          Some s
+      | None -> None)
+
+let alloc t n =
+  if n <= 0 then invalid_arg "Buddy.alloc: n";
+  let want = order_for_blocks ~min_order:t.min_order n in
+  if want > t.max_order then raise (Out_of_space { requested_blocks = n });
+  (* Find the smallest order >= want with a free block, then split down. *)
+  let rec find order =
+    if order > t.max_order then raise (Out_of_space { requested_blocks = n })
+    else
+      match pop_free t order with
+      | Some start -> (start, order)
+      | None -> find (order + 1)
+  in
+  let start, got = find want in
+  let rec split start order =
+    if order = want then start
+    else begin
+      let half = order - 1 in
+      let buddy = start + (1 lsl half) in
+      Hashtbl.replace t.free.(half) buddy ();
+      t.splits <- t.splits + 1;
+      split start half
+    end
+  in
+  let start = split start got in
+  Hashtbl.replace t.allocated start want;
+  t.free_blocks <- t.free_blocks - (1 lsl want);
+  start
+
+let reserve t ~start ~blocks =
+  if blocks <= 0 || blocks land (blocks - 1) <> 0 then
+    invalid_arg "Buddy.reserve: blocks must be a positive power of two";
+  let order =
+    let rec log2 n acc = if n = 1 then acc else log2 (n lsr 1) (acc + 1) in
+    log2 blocks 0
+  in
+  if order < t.min_order then invalid_arg "Buddy.reserve: below min_order";
+  let arena =
+    try arena_of t start
+    with Invalid_free _ -> invalid_arg "Buddy.reserve: outside managed region"
+  in
+  if (start - arena.base) land (blocks - 1) <> 0 then
+    invalid_arg "Buddy.reserve: misaligned run";
+  if order > arena.order then invalid_arg "Buddy.reserve: larger than arena";
+  (* Find the smallest free ancestor block containing the run. *)
+  let rec find_ancestor k =
+    if k > arena.order then invalid_arg "Buddy.reserve: run not free"
+    else
+      let candidate = arena.base + ((start - arena.base) land lnot ((1 lsl k) - 1)) in
+      if Hashtbl.mem t.free.(k) candidate then (candidate, k)
+      else find_ancestor (k + 1)
+  in
+  let ancestor, k = find_ancestor order in
+  Hashtbl.remove t.free.(k) ancestor;
+  (* Split down toward the target, freeing the halves we do not keep. *)
+  let rec split blk k =
+    if k = order then blk
+    else begin
+      let half = k - 1 in
+      let low = blk and high = blk + (1 lsl half) in
+      let keep, other = if start >= high then (high, low) else (low, high) in
+      Hashtbl.replace t.free.(half) other ();
+      t.splits <- t.splits + 1;
+      split keep half
+    end
+  in
+  let blk = split ancestor k in
+  assert (blk = start);
+  Hashtbl.replace t.allocated start order;
+  t.free_blocks <- t.free_blocks - (1 lsl order)
+
+let free t start =
+  match Hashtbl.find_opt t.allocated start with
+  | None -> raise (Invalid_free { start })
+  | Some order ->
+      Hashtbl.remove t.allocated start;
+      t.free_blocks <- t.free_blocks + (1 lsl order);
+      let arena = arena_of t start in
+      (* Coalesce with the buddy while it is free, up to the arena size. *)
+      let rec merge start order =
+        if order >= arena.order then (start, order)
+        else
+          let rel = start - arena.base in
+          let buddy = arena.base + (rel lxor (1 lsl order)) in
+          if Hashtbl.mem t.free.(order) buddy then begin
+            Hashtbl.remove t.free.(order) buddy;
+            t.coalesces <- t.coalesces + 1;
+            merge (min start buddy) (order + 1)
+          end
+          else (start, order)
+      in
+      let start, order = merge start order in
+      Hashtbl.replace t.free.(order) start ()
+
+let size_of t start =
+  match Hashtbl.find_opt t.allocated start with
+  | Some order -> 1 lsl order
+  | None -> raise (Invalid_free { start })
+
+let is_allocated t start = Hashtbl.mem t.allocated start
+
+let largest_free_run t =
+  let rec loop order =
+    if order < t.min_order then 0
+    else if Hashtbl.length t.free.(order) > 0 then 1 lsl order
+    else loop (order - 1)
+  in
+  loop t.max_order
+
+let stats (t : t) =
+  {
+    total_blocks = t.total_blocks;
+    free_blocks = t.free_blocks;
+    live_allocations = Hashtbl.length t.allocated;
+    largest_free_run = largest_free_run t;
+    splits = t.splits;
+    coalesces = t.coalesces;
+  }
+
+let fragmentation (t : t) =
+  if t.free_blocks = 0 then 0.
+  else 1. -. (float_of_int (largest_free_run t) /. float_of_int t.free_blocks)
+
+let check_invariants t =
+  let fail fmt = Format.kasprintf failwith fmt in
+  (* 1. Conservation: free blocks + allocated blocks = managed blocks. *)
+  let free_total =
+    Array.to_list t.free
+    |> List.mapi (fun order table -> Hashtbl.length table * (1 lsl order))
+    |> List.fold_left ( + ) 0
+  in
+  let allocated_total =
+    Hashtbl.fold (fun _ order acc -> acc + (1 lsl order)) t.allocated 0
+  in
+  if free_total <> t.free_blocks then
+    fail "free accounting drift: counted %d, recorded %d" free_total
+      t.free_blocks;
+  if free_total + allocated_total <> t.total_blocks then
+    fail "conservation violated: %d free + %d allocated <> %d total"
+      free_total allocated_total t.total_blocks;
+  (* 2. Alignment: every free or allocated block is buddy-aligned within
+     its arena. *)
+  let check_aligned start order =
+    let arena = arena_of t start in
+    if (start - arena.base) land ((1 lsl order) - 1) <> 0 then
+      fail "block %d of order %d misaligned in arena %d" start order
+        arena.base
+  in
+  Array.iteri
+    (fun order table -> Hashtbl.iter (fun s () -> check_aligned s order) table)
+    t.free;
+  Hashtbl.iter (fun s order -> check_aligned s order) t.allocated;
+  (* 3. Disjointness: no block is both free and allocated, and no two
+     free blocks overlap. *)
+  let intervals = ref [] in
+  Array.iteri
+    (fun order table ->
+      Hashtbl.iter (fun s () -> intervals := (s, s + (1 lsl order)) :: !intervals) table)
+    t.free;
+  Hashtbl.iter
+    (fun s order -> intervals := (s, s + (1 lsl order)) :: !intervals)
+    t.allocated;
+  let sorted = List.sort compare !intervals in
+  let rec overlap = function
+    | (_, e1) :: ((s2, _) :: _ as rest) ->
+        if s2 < e1 then fail "overlapping extents at block %d" s2;
+        overlap rest
+    | [ _ ] | [] -> ()
+  in
+  overlap sorted
+
+let pp_stats fmt (s : stats) =
+  Format.fprintf fmt
+    "total=%d free=%d live=%d largest_free=%d splits=%d coalesces=%d"
+    s.total_blocks s.free_blocks s.live_allocations s.largest_free_run
+    s.splits s.coalesces

@@ -1,0 +1,83 @@
+(** Buddy storage allocator (Knuth, TAOCP vol. 1 §2.5) over device blocks.
+
+    This is the bottom layer of the OSD (§3.4 of the paper: "The lowest
+    layer of the OSD is a buddy storage allocator"). Requests are rounded
+    up to the next power-of-two number of blocks; freeing coalesces a
+    block with its buddy recursively, which bounds external fragmentation
+    and makes both operations O(log n).
+
+    A managed region of arbitrary size is covered by a list of maximal
+    power-of-two {e arenas} (e.g. 100 blocks = 64 + 32 + 4), each of
+    which behaves as an independent classic buddy system; buddy addresses
+    are computed relative to the arena base, so blocks never coalesce
+    across arena boundaries.
+
+    Allocations are remembered (start → order), so [free] needs only the
+    start address and double frees are detected. *)
+
+type t
+
+exception Out_of_space of { requested_blocks : int }
+exception Invalid_free of { start : int }
+
+val create : ?min_order:int -> first_block:int -> blocks:int -> unit -> t
+(** [create ~first_block ~blocks ()] manages the block range
+    [\[first_block, first_block + blocks)]. [min_order] (default 0) is
+    the smallest allocation granularity as a power of two: requests
+    smaller than [2^min_order] blocks still consume [2^min_order].
+    @raise Invalid_argument if [blocks <= 0], [first_block < 0] or
+    [min_order < 0]. *)
+
+val alloc : t -> int -> int
+(** [alloc t n] reserves at least [n >= 1] blocks and returns the start
+    block of the reservation. The actual reservation is [alloc_size t n]
+    blocks. @raise Out_of_space when no free run is large enough.
+    @raise Invalid_argument if [n <= 0]. *)
+
+val alloc_size : t -> int -> int
+(** The number of blocks an [alloc t n] would actually reserve
+    ([n] rounded up to a power of two, at least [2^min_order]). *)
+
+val reserve : t -> start:int -> blocks:int -> unit
+(** [reserve t ~start ~blocks] claims the specific run
+    [\[start, start + blocks)], which must be a power-of-two size, aligned
+    to that size within its arena, and currently entirely free. Used when
+    reopening a device to re-mark the allocations a previous run made.
+    @raise Invalid_argument if the geometry is wrong or the run is not
+    free. *)
+
+val free : t -> int -> unit
+(** [free t start] releases the allocation that begins at [start].
+    @raise Invalid_free if [start] is not the start of a live
+    allocation. *)
+
+val size_of : t -> int -> int
+(** [size_of t start] is the reserved size in blocks of the live
+    allocation at [start]. @raise Invalid_free if unknown. *)
+
+val is_allocated : t -> int -> bool
+(** Whether [start] is the start of a live allocation. *)
+
+(** {1 Introspection} *)
+
+type stats = {
+  total_blocks : int;
+  free_blocks : int;
+  live_allocations : int;
+  largest_free_run : int;  (** largest single free buddy block, in blocks *)
+  splits : int;
+  coalesces : int;
+}
+
+val stats : t -> stats
+
+val fragmentation : t -> float
+(** [1 - largest_free_run / free_blocks]; 0 when memory is one free run
+    or when nothing is free. *)
+
+val check_invariants : t -> unit
+(** Validates internal consistency (free lists disjoint from allocations,
+    conservation of blocks, buddy alignment). @raise Failure with a
+    description on violation. Intended for tests. *)
+
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,1 @@
+lib/blockdev/device.ml: Array Bytes Char Format Fun Hashtbl Hfad_util Int32 Latency Mutex Printf Sys

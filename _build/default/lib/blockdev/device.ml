@@ -1,0 +1,238 @@
+exception Out_of_range of { block : int; blocks : int }
+exception Io_error of string
+
+type op = Read | Write
+
+type stats = {
+  reads : int;
+  writes : int;
+  flushes : int;
+  bytes_read : int;
+  bytes_written : int;
+  simulated_ns : int;
+}
+
+type t = {
+  block_size : int;
+  nblocks : int;
+  model : Latency.t;
+  checksums : bool;
+  crcs : (int, int32) Hashtbl.t;  (* block -> CRC-32 of last write *)
+  store : Bytes.t option array;  (* lazily materialized blocks *)
+  mutex : Mutex.t;
+  mutable fault : (op -> int -> bool) option;
+  mutable last_block : int option;
+  mutable reads : int;
+  mutable writes : int;
+  mutable flushes : int;
+  mutable bytes_read : int;
+  mutable bytes_written : int;
+  mutable simulated_ns : int;
+}
+
+let create ?(model = Latency.zero) ?(checksums = false) ~block_size ~blocks () =
+  if block_size <= 0 then invalid_arg "Device.create: block_size";
+  if blocks <= 0 then invalid_arg "Device.create: blocks";
+  {
+    block_size;
+    nblocks = blocks;
+    model;
+    checksums;
+    crcs = Hashtbl.create (if checksums then 256 else 0);
+    store = Array.make blocks None;
+    mutex = Mutex.create ();
+    fault = None;
+    last_block = None;
+    reads = 0;
+    writes = 0;
+    flushes = 0;
+    bytes_read = 0;
+    bytes_written = 0;
+    simulated_ns = 0;
+  }
+
+let block_size t = t.block_size
+let blocks t = t.nblocks
+let size_bytes t = t.block_size * t.nblocks
+
+let with_lock t f =
+  Mutex.lock t.mutex;
+  match f () with
+  | result ->
+      Mutex.unlock t.mutex;
+      result
+  | exception e ->
+      Mutex.unlock t.mutex;
+      raise e
+
+let check_range t idx =
+  if idx < 0 || idx >= t.nblocks then
+    raise (Out_of_range { block = idx; blocks = t.nblocks })
+
+let check_fault t op idx =
+  match t.fault with
+  | Some f when f op idx ->
+      let kind = match op with Read -> "read" | Write -> "write" in
+      raise (Io_error (Printf.sprintf "injected %s fault at block %d" kind idx))
+  | Some _ | None -> ()
+
+let charge t op idx =
+  let cost =
+    Latency.cost_ns t.model ~last_block:t.last_block ~block:idx
+      ~bytes:t.block_size
+  in
+  t.simulated_ns <- t.simulated_ns + cost;
+  t.last_block <- Some idx;
+  match op with
+  | Read ->
+      t.reads <- t.reads + 1;
+      t.bytes_read <- t.bytes_read + t.block_size
+  | Write ->
+      t.writes <- t.writes + 1;
+      t.bytes_written <- t.bytes_written + t.block_size
+
+let read_block_into t idx buf =
+  if Bytes.length buf <> t.block_size then
+    invalid_arg "Device.read_block_into: buffer size mismatch";
+  with_lock t (fun () ->
+      check_range t idx;
+      check_fault t Read idx;
+      charge t Read idx;
+      match t.store.(idx) with
+      | Some data ->
+          if t.checksums then begin
+            match Hashtbl.find_opt t.crcs idx with
+            | Some expected
+              when Hfad_util.Crc32.bytes data ~pos:0 ~len:t.block_size
+                   <> expected ->
+                raise
+                  (Io_error
+                     (Printf.sprintf "checksum mismatch at block %d" idx))
+            | Some _ | None -> ()
+          end;
+          Bytes.blit data 0 buf 0 t.block_size
+      | None -> Bytes.fill buf 0 t.block_size '\000')
+
+let read_block t idx =
+  let buf = Bytes.create t.block_size in
+  read_block_into t idx buf;
+  buf
+
+let write_block t idx data =
+  if Bytes.length data <> t.block_size then
+    invalid_arg "Device.write_block: data size mismatch";
+  with_lock t (fun () ->
+      check_range t idx;
+      check_fault t Write idx;
+      charge t Write idx;
+      if t.checksums then
+        Hashtbl.replace t.crcs idx
+          (Hfad_util.Crc32.bytes data ~pos:0 ~len:t.block_size);
+      t.store.(idx) <- Some (Bytes.copy data))
+
+let flush t = with_lock t (fun () -> t.flushes <- t.flushes + 1)
+
+let image_magic = "hFADIMG1"
+
+let save t path =
+  with_lock t (fun () ->
+      let tmp = path ^ ".tmp" in
+      let oc = open_out_bin tmp in
+      (try
+         output_string oc image_magic;
+         let header = Bytes.create 12 in
+         Bytes.set_int32_be header 0 (Int32.of_int t.block_size);
+         Bytes.set_int32_be header 4 (Int32.of_int t.nblocks);
+         let materialized = ref 0 in
+         Array.iter
+           (fun block -> if block <> None then incr materialized)
+           t.store;
+         Bytes.set_int32_be header 8 (Int32.of_int !materialized);
+         output_bytes oc header;
+         Array.iteri
+           (fun idx block ->
+             match block with
+             | None -> ()
+             | Some data ->
+                 let ib = Bytes.create 4 in
+                 Bytes.set_int32_be ib 0 (Int32.of_int idx);
+                 output_bytes oc ib;
+                 output_bytes oc data)
+           t.store;
+         close_out oc
+       with e ->
+         close_out_noerr oc;
+         raise e);
+      Sys.rename tmp path)
+
+let load ?(model = Latency.zero) path =
+  let ic =
+    try open_in_bin path
+    with Sys_error msg -> raise (Io_error ("cannot open image: " ^ msg))
+  in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let fail msg = raise (Io_error ("malformed image: " ^ msg)) in
+      let magic = really_input_string ic 8 in
+      if magic <> image_magic then fail "bad magic";
+      let header = Bytes.create 12 in
+      (try really_input ic header 0 12 with End_of_file -> fail "short header");
+      let block_size = Int32.to_int (Bytes.get_int32_be header 0) in
+      let nblocks = Int32.to_int (Bytes.get_int32_be header 4) in
+      let materialized = Int32.to_int (Bytes.get_int32_be header 8) in
+      if block_size <= 0 || nblocks <= 0 || materialized < 0 then
+        fail "bad geometry";
+      let t = create ~model ~block_size ~blocks:nblocks () in
+      (try
+         for _ = 1 to materialized do
+           let ib = Bytes.create 4 in
+           really_input ic ib 0 4;
+           let idx = Int32.to_int (Bytes.get_int32_be ib 0) in
+           if idx < 0 || idx >= nblocks then fail "block index out of range";
+           let data = Bytes.create block_size in
+           really_input ic data 0 block_size;
+           t.store.(idx) <- Some data
+         done
+       with End_of_file -> fail "truncated image");
+      t)
+
+let corrupt_block t idx ~byte =
+  with_lock t (fun () ->
+      check_range t idx;
+      if byte < 0 || byte >= t.block_size then
+        invalid_arg "Device.corrupt_block: byte out of range";
+      match t.store.(idx) with
+      | None -> invalid_arg "Device.corrupt_block: block never written"
+      | Some data ->
+          Bytes.set data byte
+            (Char.chr (Char.code (Bytes.get data byte) lxor 0x40)))
+
+let set_fault t f = with_lock t (fun () -> t.fault <- Some f)
+let clear_fault t = with_lock t (fun () -> t.fault <- None)
+
+let stats t =
+  with_lock t (fun () ->
+      {
+        reads = t.reads;
+        writes = t.writes;
+        flushes = t.flushes;
+        bytes_read = t.bytes_read;
+        bytes_written = t.bytes_written;
+        simulated_ns = t.simulated_ns;
+      })
+
+let reset_stats t =
+  with_lock t (fun () ->
+      t.reads <- 0;
+      t.writes <- 0;
+      t.flushes <- 0;
+      t.bytes_read <- 0;
+      t.bytes_written <- 0;
+      t.simulated_ns <- 0;
+      t.last_block <- None)
+
+let pp_stats fmt (s : stats) =
+  Format.fprintf fmt
+    "reads=%d writes=%d flushes=%d bytes_read=%d bytes_written=%d sim_ns=%d"
+    s.reads s.writes s.flushes s.bytes_read s.bytes_written s.simulated_ns

@@ -1,0 +1,21 @@
+type t =
+  | Zero
+  | Ssd of { access_ns : int; per_byte_ns : int }
+  | Hdd of { seek_ns : int; rotate_ns : int; per_byte_ns : int }
+
+let zero = Zero
+let default_ssd = Ssd { access_ns = 25_000; per_byte_ns = 1 }
+
+let default_hdd =
+  Hdd { seek_ns = 4_000_000; rotate_ns = 2_000_000; per_byte_ns = 8 }
+
+let cost_ns t ~last_block ~block ~bytes =
+  match t with
+  | Zero -> 0
+  | Ssd { access_ns; per_byte_ns } -> access_ns + (bytes * per_byte_ns)
+  | Hdd { seek_ns; rotate_ns; per_byte_ns } ->
+      let sequential =
+        match last_block with Some last -> block = last + 1 | None -> false
+      in
+      let positioning = if sequential then 0 else seek_ns + rotate_ns in
+      positioning + (bytes * per_byte_ns)

@@ -1,0 +1,34 @@
+(** Simulated device cost models.
+
+    The paper's storage substrate is "stable storage" behind the OSD; we
+    simulate it. Wall-clock would measure the host machine, not the
+    design, so devices accumulate {e simulated} nanoseconds according to a
+    model. Two models matter for the paper's arguments:
+
+    - [hdd]: seek + rotational cost for non-sequential access — the world
+      in which FFS-style directory clustering (§2.2) was designed;
+    - [ssd]: flat per-access cost — Stein's observation (cited in §2.2)
+      that clustering wins are illusory on modern substrates.
+
+    Costs are deliberately round numbers; experiments compare shapes and
+    ratios, never absolute values. *)
+
+type t =
+  | Zero  (** no cost; pure structural counting *)
+  | Ssd of { access_ns : int; per_byte_ns : int }
+  | Hdd of { seek_ns : int; rotate_ns : int; per_byte_ns : int }
+
+val zero : t
+
+val default_ssd : t
+(** 25 us access, ~0.4 ns/byte (≈2.5 GB/s). *)
+
+val default_hdd : t
+(** 4 ms seek + 2 ms average rotation for a discontiguous access,
+    ~8 ns/byte (≈125 MB/s) streaming. *)
+
+val cost_ns : t -> last_block:int option -> block:int -> bytes:int -> int
+(** [cost_ns model ~last_block ~block ~bytes] is the simulated cost of
+    accessing [bytes] bytes at block [block] when the previous access
+    ended at [last_block]. Sequential HDD accesses ([block = last + 1])
+    skip the seek and rotation terms. *)

@@ -1,0 +1,1 @@
+lib/btree/btree.ml: Array Format Hfad_metrics Hfad_pager Hfad_util List Node Option String

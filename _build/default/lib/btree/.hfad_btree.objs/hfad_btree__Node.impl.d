@@ -1,0 +1,1 @@
+lib/btree/node.ml: Array Bytes Fmt Hfad_util Printf String

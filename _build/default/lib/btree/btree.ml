@@ -1,0 +1,578 @@
+module Pager = Hfad_pager.Pager
+module Counter = Hfad_metrics.Counter
+module Registry = Hfad_metrics.Registry
+module Strx = Hfad_util.Strx
+
+exception Key_too_large of int
+exception Value_too_large of int
+
+type allocator = { alloc_page : unit -> int; free_page : int -> unit }
+
+type stats = {
+  descents : int;
+  nodes_visited : int;
+  splits : int;
+  merges : int;
+  rebalances : int;
+}
+
+type t = {
+  pager : Pager.t;
+  alloc : allocator;
+  root : int;
+  mutable descents : int;
+  mutable nodes_visited : int;
+  mutable splits : int;
+  mutable merges : int;
+  mutable rebalances : int;
+}
+
+let global_descents = Registry.counter Registry.global "btree.descents"
+let global_nodes = Registry.counter Registry.global "btree.nodes_visited"
+
+let root t = t.root
+let max_key_size t = (Pager.page_size t.pager / 8) - 8
+let max_value_size t = Pager.page_size t.pager / 4
+let page_size t = Pager.page_size t.pager
+let min_node_size t = Pager.page_size t.pager / 4
+
+let load t page_no =
+  t.nodes_visited <- t.nodes_visited + 1;
+  Counter.incr global_nodes;
+  Pager.with_page t.pager page_no Node.decode
+
+let store t page_no node =
+  Pager.with_page_mut t.pager page_no (fun page -> Node.encode node page)
+
+let begin_descent t =
+  t.descents <- t.descents + 1;
+  Counter.incr global_descents
+
+let mk_handle pager alloc ~root =
+  {
+    pager;
+    alloc;
+    root;
+    descents = 0;
+    nodes_visited = 0;
+    splits = 0;
+    merges = 0;
+    rebalances = 0;
+  }
+
+let create pager alloc ~root =
+  let t = mk_handle pager alloc ~root in
+  store t root (Node.empty_leaf ());
+  t
+
+let open_tree pager alloc ~root = mk_handle pager alloc ~root
+
+(* --- small array helpers ------------------------------------------- *)
+
+let array_insert arr i x =
+  let n = Array.length arr in
+  Array.init (n + 1) (fun j ->
+      if j < i then arr.(j) else if j = i then x else arr.(j - 1))
+
+let array_remove arr i =
+  let n = Array.length arr in
+  Array.init (n - 1) (fun j -> if j < i then arr.(j) else arr.(j + 1))
+
+(* --- lookup --------------------------------------------------------- *)
+
+let check_key t k =
+  if String.length k > max_key_size t then raise (Key_too_large (String.length k))
+
+let check_value t v =
+  if String.length v > max_value_size t then
+    raise (Value_too_large (String.length v))
+
+let rec find_rec t page_no key =
+  match load t page_no with
+  | Node.Leaf { entries; _ } -> (
+      match Node.find_entry entries key with
+      | Some i -> Some (snd entries.(i))
+      | None -> None)
+  | Node.Internal { keys; children } ->
+      find_rec t children.(Node.find_child keys key) key
+
+let find t key =
+  begin_descent t;
+  find_rec t t.root key
+
+let mem t key = Option.is_some (find t key)
+
+(* --- insertion ------------------------------------------------------ *)
+
+(* Choose a cut index in [1, n-1] such that elements [0, cut) weigh about
+   half of [total]. [weight i] is the encoded size of element [i]. *)
+let size_cut ~n ~total ~weight =
+  let half = total / 2 in
+  let rec loop i acc =
+    if i >= n - 1 then n - 1
+    else
+      let acc = acc + weight i in
+      if acc >= half then i + 1 else loop (i + 1) acc
+  in
+  max 1 (min (n - 1) (loop 0 0))
+
+let split_leaf t page_no entries next =
+  t.splits <- t.splits + 1;
+  let n = Array.length entries in
+  let total =
+    Array.fold_left (fun acc (k, v) -> acc + Node.leaf_entry_size k v) 0 entries
+  in
+  let cut =
+    size_cut ~n ~total ~weight:(fun i ->
+        let k, v = entries.(i) in
+        Node.leaf_entry_size k v)
+  in
+  let left_entries = Array.sub entries 0 cut in
+  let right_entries = Array.sub entries cut (n - cut) in
+  let right_page = t.alloc.alloc_page () in
+  store t right_page (Node.Leaf { entries = right_entries; next });
+  store t page_no (Node.Leaf { entries = left_entries; next = Some right_page });
+  (fst right_entries.(0), right_page)
+
+let split_internal t page_no keys children =
+  t.splits <- t.splits + 1;
+  let n = Array.length keys in
+  let total =
+    Array.fold_left (fun acc k -> acc + Node.internal_entry_size k) 0 keys
+  in
+  let mid =
+    size_cut ~n ~total ~weight:(fun i -> Node.internal_entry_size keys.(i))
+  in
+  (* Clamp so that both sides keep at least one key. *)
+  let mid = max 1 (min (n - 2) mid) in
+  let promoted = keys.(mid) in
+  let left_keys = Array.sub keys 0 mid in
+  let left_children = Array.sub children 0 (mid + 1) in
+  let right_keys = Array.sub keys (mid + 1) (n - mid - 1) in
+  let right_children = Array.sub children (mid + 1) (n - mid) in
+  let right_page = t.alloc.alloc_page () in
+  store t right_page (Node.Internal { keys = right_keys; children = right_children });
+  store t page_no (Node.Internal { keys = left_keys; children = left_children });
+  (promoted, right_page)
+
+(* Returns [Some (separator, right_page)] when the updated node split. *)
+let rec insert_rec t page_no key value =
+  match load t page_no with
+  | Node.Leaf { entries; next } ->
+      let i = Node.lower_bound entries key in
+      let entries =
+        if i < Array.length entries && fst entries.(i) = key then begin
+          let updated = Array.copy entries in
+          updated.(i) <- (key, value);
+          updated
+        end
+        else array_insert entries i (key, value)
+      in
+      let node = Node.Leaf { entries; next } in
+      if Node.encoded_size node <= page_size t then begin
+        store t page_no node;
+        None
+      end
+      else Some (split_leaf t page_no entries next)
+  | Node.Internal { keys; children } -> (
+      let ci = Node.find_child keys key in
+      match insert_rec t children.(ci) key value with
+      | None -> None
+      | Some (sep, right_page) ->
+          let keys = array_insert keys ci sep in
+          let children = array_insert children (ci + 1) right_page in
+          let node = Node.Internal { keys; children } in
+          if Node.encoded_size node <= page_size t then begin
+            store t page_no node;
+            None
+          end
+          else Some (split_internal t page_no keys children))
+
+let put t ~key ~value =
+  check_key t key;
+  check_value t value;
+  begin_descent t;
+  match insert_rec t t.root key value with
+  | None -> ()
+  | Some (sep, right_page) ->
+      (* Anchored root: the root page now holds the left half; move it to
+         a fresh page and rewrite the root as a two-child internal. *)
+      let left_page = t.alloc.alloc_page () in
+      let left_node = load t t.root in
+      store t left_page left_node;
+      store t t.root
+        (Node.Internal { keys = [| sep |]; children = [| left_page; right_page |] })
+
+(* --- deletion ------------------------------------------------------- *)
+
+let node_underflows t node = Node.encoded_size node < min_node_size t
+
+(* Merge or rebalance leaf siblings [li] and [li+1] of [parent]. *)
+let fix_leaf_pair t ~left_page ~right_page ~left ~right =
+  let left_entries, left_next =
+    match left with
+    | Node.Leaf { entries; next } -> (entries, next)
+    | Node.Internal _ -> assert false
+  in
+  let right_entries, right_next =
+    match right with
+    | Node.Leaf { entries; next } -> (entries, next)
+    | Node.Internal _ -> assert false
+  in
+  ignore left_next;
+  let combined = Array.append left_entries right_entries in
+  let merged = Node.Leaf { entries = combined; next = right_next } in
+  if Node.encoded_size merged <= page_size t then begin
+    t.merges <- t.merges + 1;
+    store t left_page merged;
+    t.alloc.free_page right_page;
+    `Merged
+  end
+  else begin
+    t.rebalances <- t.rebalances + 1;
+    let n = Array.length combined in
+    let total =
+      Array.fold_left
+        (fun acc (k, v) -> acc + Node.leaf_entry_size k v)
+        0 combined
+    in
+    let cut =
+      size_cut ~n ~total ~weight:(fun i ->
+          let k, v = combined.(i) in
+          Node.leaf_entry_size k v)
+    in
+    let new_left = Array.sub combined 0 cut in
+    let new_right = Array.sub combined cut (n - cut) in
+    store t left_page (Node.Leaf { entries = new_left; next = Some right_page });
+    store t right_page (Node.Leaf { entries = new_right; next = right_next });
+    `Rebalanced (fst new_right.(0))
+  end
+
+(* Merge or rebalance internal siblings around parent separator [sep]. *)
+let fix_internal_pair t ~left_page ~right_page ~left ~right ~sep =
+  let lkeys, lchildren =
+    match left with
+    | Node.Internal { keys; children } -> (keys, children)
+    | Node.Leaf _ -> assert false
+  in
+  let rkeys, rchildren =
+    match right with
+    | Node.Internal { keys; children } -> (keys, children)
+    | Node.Leaf _ -> assert false
+  in
+  let keys = Array.concat [ lkeys; [| sep |]; rkeys ] in
+  let children = Array.append lchildren rchildren in
+  let merged = Node.Internal { keys; children } in
+  if Node.encoded_size merged <= page_size t then begin
+    t.merges <- t.merges + 1;
+    store t left_page merged;
+    t.alloc.free_page right_page;
+    `Merged
+  end
+  else begin
+    t.rebalances <- t.rebalances + 1;
+    let n = Array.length keys in
+    let total =
+      Array.fold_left (fun acc k -> acc + Node.internal_entry_size k) 0 keys
+    in
+    let mid =
+      size_cut ~n ~total ~weight:(fun i -> Node.internal_entry_size keys.(i))
+    in
+    let mid = max 1 (min (n - 2) mid) in
+    let promoted = keys.(mid) in
+    store t left_page
+      (Node.Internal
+         { keys = Array.sub keys 0 mid; children = Array.sub children 0 (mid + 1) });
+    store t right_page
+      (Node.Internal
+         {
+           keys = Array.sub keys (mid + 1) (n - mid - 1);
+           children = Array.sub children (mid + 1) (n - mid);
+         });
+    `Rebalanced promoted
+  end
+
+(* Child [ci] of the internal node [(keys, children)] underflowed; repair
+   with a sibling and return the updated (keys, children). *)
+let fix_child t keys children ci =
+  let li = if ci > 0 then ci - 1 else ci in
+  let left_page = children.(li) and right_page = children.(li + 1) in
+  let left = load t left_page and right = load t right_page in
+  let outcome =
+    match left with
+    | Node.Leaf _ -> fix_leaf_pair t ~left_page ~right_page ~left ~right
+    | Node.Internal _ ->
+        fix_internal_pair t ~left_page ~right_page ~left ~right ~sep:keys.(li)
+  in
+  match outcome with
+  | `Merged -> (array_remove keys li, array_remove children (li + 1))
+  | `Rebalanced sep ->
+      let keys = Array.copy keys in
+      keys.(li) <- sep;
+      (keys, children)
+
+(* Returns (deleted, node_now_underflows). *)
+let rec delete_rec t page_no key =
+  match load t page_no with
+  | Node.Leaf { entries; next } -> (
+      match Node.find_entry entries key with
+      | None -> (false, false)
+      | Some i ->
+          let entries = array_remove entries i in
+          let node = Node.Leaf { entries; next } in
+          store t page_no node;
+          (true, node_underflows t node))
+  | Node.Internal { keys; children } ->
+      let ci = Node.find_child keys key in
+      let deleted, child_under = delete_rec t children.(ci) key in
+      if not child_under then (deleted, false)
+      else begin
+        let keys, children = fix_child t keys children ci in
+        let node = Node.Internal { keys; children } in
+        store t page_no node;
+        (deleted, Array.length keys = 0 || node_underflows t node)
+      end
+
+let remove t key =
+  begin_descent t;
+  let deleted, _ = delete_rec t t.root key in
+  (* Collapse a root that routes to a single child. *)
+  (match load t t.root with
+  | Node.Internal { keys = [||]; children = [| only |] } ->
+      let child = load t only in
+      store t t.root child;
+      t.alloc.free_page only
+  | Node.Internal _ | Node.Leaf _ -> ());
+  deleted
+
+(* --- ordered access -------------------------------------------------- *)
+
+let rec leftmost_leaf t page_no =
+  match load t page_no with
+  | Node.Leaf _ as leaf -> (page_no, leaf)
+  | Node.Internal { children; _ } -> leftmost_leaf t children.(0)
+
+let rec leaf_for t page_no key =
+  match load t page_no with
+  | Node.Leaf _ as leaf -> (page_no, leaf)
+  | Node.Internal { keys; children } ->
+      leaf_for t children.(Node.find_child keys key) key
+
+exception Stop
+
+let fold_range t ?lo ?hi ~init f =
+  begin_descent t;
+  let _, leaf =
+    match lo with
+    | Some key -> leaf_for t t.root key
+    | None -> leftmost_leaf t t.root
+  in
+  let below_hi k =
+    match hi with Some h -> String.compare k h < 0 | None -> true
+  in
+  let at_or_above_lo k =
+    match lo with Some l -> String.compare k l >= 0 | None -> true
+  in
+  let acc = ref init in
+  let rec walk leaf =
+    match leaf with
+    | Node.Internal _ -> assert false
+    | Node.Leaf { entries; next } ->
+        Array.iter
+          (fun (k, v) ->
+            if at_or_above_lo k then
+              if below_hi k then acc := f !acc k v else raise Stop)
+          entries;
+        (match next with
+        | Some page -> walk (load t page)
+        | None -> ())
+  in
+  (try walk leaf with Stop -> ());
+  !acc
+
+let iter_range t ?lo ?hi f =
+  fold_range t ?lo ?hi ~init:() (fun () k v -> f k v)
+
+let seek t key =
+  fold_range t ~lo:key ~init:None (fun acc k v ->
+      match acc with Some _ -> raise Stop | None -> Some (k, v))
+
+let next_after t key =
+  fold_range t ~lo:key ~init:None (fun acc k v ->
+      match acc with
+      | Some _ -> raise Stop
+      | None -> if k = key then None else Some (k, v))
+
+let rec rightmost_binding t page_no =
+  match load t page_no with
+  | Node.Leaf { entries; _ } ->
+      if Array.length entries = 0 then None
+      else Some entries.(Array.length entries - 1)
+  | Node.Internal { children; _ } ->
+      rightmost_binding t children.(Array.length children - 1)
+
+let floor_binding t key =
+  begin_descent t;
+  (* Descend toward [key], remembering the nearest subtree entirely to the
+     left of the taken branch; fall back to its maximum when the leaf has
+     no entry <= key. *)
+  let rec go page_no fallback =
+    match load t page_no with
+    | Node.Leaf { entries; _ } ->
+        let i = Node.lower_bound entries key in
+        if i < Array.length entries && fst entries.(i) = key then
+          Some entries.(i)
+        else if i > 0 then Some entries.(i - 1)
+        else (
+          match fallback with
+          | Some page -> rightmost_binding t page
+          | None -> None)
+    | Node.Internal { keys; children } ->
+        let ci = Node.find_child keys key in
+        let fallback = if ci > 0 then Some children.(ci - 1) else fallback in
+        go children.(ci) fallback
+  in
+  go t.root None
+
+let fold_prefix t ~prefix ~init f =
+  match Strx.next_prefix prefix with
+  | Some hi -> fold_range t ~lo:prefix ~hi ~init f
+  | None -> fold_range t ~lo:prefix ~init f
+
+let min_binding t =
+  fold_range t ~init:None (fun acc k v ->
+      match acc with Some _ -> raise Stop | None -> Some (k, v))
+
+let max_binding t =
+  fold_range t ~init:None (fun _ k v -> Some (k, v))
+
+let to_list t =
+  List.rev (fold_range t ~init:[] (fun acc k v -> (k, v) :: acc))
+
+let cardinal t = fold_range t ~init:0 (fun acc _ _ -> acc + 1)
+let is_empty t = Option.is_none (min_binding t)
+
+let rec free_subtree t page_no =
+  (match load t page_no with
+  | Node.Leaf _ -> ()
+  | Node.Internal { children; _ } -> Array.iter (free_subtree t) children);
+  t.alloc.free_page page_no
+
+let clear t =
+  (match load t t.root with
+  | Node.Leaf _ -> ()
+  | Node.Internal { children; _ } -> Array.iter (free_subtree t) children);
+  store t t.root (Node.empty_leaf ())
+
+let destroy t =
+  clear t;
+  t.alloc.free_page t.root
+
+(* --- measurement and validation -------------------------------------- *)
+
+let stats t =
+  {
+    descents = t.descents;
+    nodes_visited = t.nodes_visited;
+    splits = t.splits;
+    merges = t.merges;
+    rebalances = t.rebalances;
+  }
+
+let reset_stats t =
+  t.descents <- 0;
+  t.nodes_visited <- 0;
+  t.splits <- 0;
+  t.merges <- 0;
+  t.rebalances <- 0
+
+let height t =
+  let rec depth page_no =
+    match load t page_no with
+    | Node.Leaf _ -> 1
+    | Node.Internal { children; _ } -> 1 + depth children.(0)
+  in
+  depth t.root
+
+let fold_pages t ~init f =
+  let rec walk acc page_no =
+    let acc = f acc page_no in
+    match load t page_no with
+    | Node.Leaf _ -> acc
+    | Node.Internal { children; _ } -> Array.fold_left walk acc children
+  in
+  walk init t.root
+
+let verify t =
+  let fail fmt = Format.kasprintf failwith fmt in
+  let leaves = ref [] in
+  (* Walk the tree checking sizes, ordering and separator bounds; collect
+     leaf pages in in-order sequence. Bounds are half-open: every key in
+     the subtree must satisfy lo <= key < hi. *)
+  let check_sorted page_no keys =
+    Array.iteri
+      (fun i k ->
+        if i > 0 && String.compare keys.(i - 1) k >= 0 then
+          fail "page %d: keys out of order at %d" page_no i)
+      keys
+  in
+  let in_bounds page_no lo hi k =
+    (match lo with
+    | Some l when String.compare k l < 0 ->
+        fail "page %d: key below lower bound" page_no
+    | Some _ | None -> ());
+    match hi with
+    | Some h when String.compare k h >= 0 ->
+        fail "page %d: key above upper bound" page_no
+    | Some _ | None -> ()
+  in
+  let rec walk page_no lo hi ~is_root =
+    let node = load t page_no in
+    let size = Node.encoded_size node in
+    if size > page_size t then fail "page %d: oversized node (%d)" page_no size;
+    if (not is_root) && node_underflows t node then
+      fail "page %d: underfull non-root node (%d bytes)" page_no size;
+    match node with
+    | Node.Leaf { entries; next } ->
+        check_sorted page_no (Array.map fst entries);
+        Array.iter (fun (k, _) -> in_bounds page_no lo hi k) entries;
+        leaves := (page_no, next) :: !leaves;
+        1
+    | Node.Internal { keys; children } ->
+        if Array.length keys = 0 && not is_root then
+          fail "page %d: keyless non-root internal node" page_no;
+        if Array.length children <> Array.length keys + 1 then
+          fail "page %d: children/keys arity mismatch" page_no;
+        check_sorted page_no keys;
+        Array.iter (fun k -> in_bounds page_no lo hi k) keys;
+        let depths =
+          Array.to_list children
+          |> List.mapi (fun i child ->
+                 let child_lo = if i = 0 then lo else Some keys.(i - 1) in
+                 let child_hi =
+                   if i = Array.length keys then hi else Some keys.(i)
+                 in
+                 walk child child_lo child_hi ~is_root:false)
+        in
+        (match depths with
+        | d :: rest ->
+            List.iter
+              (fun d' -> if d <> d' then fail "page %d: uneven leaf depth" page_no)
+              rest;
+            d + 1
+        | [] -> fail "page %d: internal node with no children" page_no)
+  in
+  let _depth = walk t.root None None ~is_root:true in
+  (* The leaf chain must equal the in-order leaf sequence. *)
+  let in_order = List.rev !leaves in
+  let rec check_chain = function
+    | (page, next) :: ((page', _) :: _ as rest) ->
+        (match next with
+        | Some n when n = page' -> ()
+        | Some n -> fail "leaf %d: next=%d but in-order successor is %d" page n page'
+        | None -> fail "leaf %d: chain ends early" page);
+        check_chain rest
+    | [ (_, Some n) ] -> fail "last leaf points to %d" n
+    | [ (_, None) ] | [] -> ()
+  in
+  check_chain in_order

@@ -1,0 +1,134 @@
+(** B+tree over pager pages — the system's universal index.
+
+    The paper represents {e everything} as Berkeley-DB-style B-trees:
+    object extent maps keyed by file offset, the OID → metadata master
+    index, pathname and attribute indexes (§3.4). This module is that
+    substrate, written from scratch.
+
+    Keys and values are arbitrary byte strings ordered by
+    [String.compare]; order-sensitive integer keys should be encoded with
+    {!Hfad_util.Codec.encode_i64_key}. The empty key [""] sorts first and
+    is what the paper calls the "NULL key" used to store per-object
+    metadata inside the object's own B-tree.
+
+    Structure: size-calibrated nodes (a node splits when its encoding
+    exceeds the page, merges or rebalances with a sibling when it falls
+    below a quarter page), leaves linked left-to-right for range scans,
+    and an {e anchored root}: the root never changes page number, so a
+    tree is durably identified by one page id.
+
+    Concurrency: a tree is not internally synchronized; callers
+    serialize access (the upper layers do).
+
+    Every root-to-leaf descent and every node visit is counted — these
+    are the "index traversals" of §2.3 that experiment C1 measures. *)
+
+type t
+
+type allocator = {
+  alloc_page : unit -> int;  (** provide a fresh page id *)
+  free_page : int -> unit;   (** release a page id *)
+}
+(** Page provisioning hooks, normally backed by {!Hfad_alloc.Buddy}. *)
+
+exception Key_too_large of int
+exception Value_too_large of int
+
+val create : Hfad_pager.Pager.t -> allocator -> root:int -> t
+(** [create pager alloc ~root] initializes page [root] as an empty tree
+    and returns a handle. [root] must be a page the caller owns. *)
+
+val open_tree : Hfad_pager.Pager.t -> allocator -> root:int -> t
+(** [open_tree pager alloc ~root] returns a handle onto an existing tree
+    whose root page is [root] (as left by {!create} on a previous run or
+    handle). *)
+
+val root : t -> int
+(** The tree's permanent root page id. *)
+
+val max_key_size : t -> int
+(** Largest accepted key, [page_size / 8 - 8] bytes. *)
+
+val max_value_size : t -> int
+(** Largest accepted value, [page_size / 4] bytes. Larger payloads belong
+    in the OSD as object bytes, not in an index. *)
+
+(** {1 Point operations} *)
+
+val find : t -> string -> string option
+val mem : t -> string -> bool
+
+val put : t -> key:string -> value:string -> unit
+(** Insert or replace. @raise Key_too_large / @raise Value_too_large when
+    a bound is exceeded. *)
+
+val remove : t -> string -> bool
+(** [remove t k] deletes [k]; returns whether it was present. *)
+
+(** {1 Ordered access}
+
+    Ranges are half-open [\[lo, hi)]; omitting a bound leaves that side
+    unbounded. Callbacks must not modify the tree. *)
+
+val fold_range :
+  t -> ?lo:string -> ?hi:string -> init:'a -> ('a -> string -> string -> 'a) -> 'a
+
+val iter_range : t -> ?lo:string -> ?hi:string -> (string -> string -> unit) -> unit
+
+val seek : t -> string -> (string * string) option
+(** First binding with key [>= k]. *)
+
+val next_after : t -> string -> (string * string) option
+(** First binding with key [> k]. *)
+
+val floor_binding : t -> string -> (string * string) option
+(** Last binding with key [<= k] — the predecessor query the OSD uses to
+    find the extent covering a byte offset. *)
+
+val fold_prefix :
+  t -> prefix:string -> init:'a -> ('a -> string -> string -> 'a) -> 'a
+(** Bindings whose key starts with [prefix]. *)
+
+val min_binding : t -> (string * string) option
+val max_binding : t -> (string * string) option
+
+val to_list : t -> (string * string) list
+(** All bindings in key order. *)
+
+val cardinal : t -> int
+(** Number of bindings (leaf scan, O(n)). *)
+
+val is_empty : t -> bool
+
+val clear : t -> unit
+(** Remove every binding, freeing all pages except the root. *)
+
+val destroy : t -> unit
+(** {!clear}, then free the root page too. The handle must not be used
+    afterwards. *)
+
+(** {1 Measurement and validation} *)
+
+type stats = {
+  descents : int;       (** root-to-leaf traversals started *)
+  nodes_visited : int;  (** node loads — the paper's "index traversals" *)
+  splits : int;
+  merges : int;
+  rebalances : int;
+}
+
+val stats : t -> stats
+val reset_stats : t -> unit
+
+val height : t -> int
+(** Levels from root to leaf inclusive (1 for a lone leaf). *)
+
+val fold_pages : t -> init:'a -> ('a -> int -> 'a) -> 'a
+(** Fold over every page id the tree occupies, root included. Used to
+    reconstruct allocator state when reopening a device. *)
+
+val verify : t -> unit
+(** Full structural check: node sizes within page bounds, minimum-fill
+    for non-root nodes, key ordering inside nodes, separator bounds over
+    subtrees, uniform leaf depth, and leaf chain consistent with in-order
+    traversal. @raise Failure describing the first violation. For tests. *)

@@ -1,0 +1,118 @@
+module Codec = Hfad_util.Codec
+
+type t =
+  | Leaf of { mutable entries : (string * string) array; mutable next : int option }
+  | Internal of { mutable keys : string array; mutable children : int array }
+
+let tag_leaf = 1
+let tag_internal = 2
+let header_size = 1 + 2 + 4
+
+let empty_leaf () = Leaf { entries = [||]; next = None }
+
+let leaf_entry_size k v = Codec.string_size k + Codec.string_size v
+let internal_entry_size k = Codec.string_size k + 4
+
+let encoded_size = function
+  | Leaf { entries; _ } ->
+      Array.fold_left
+        (fun acc (k, v) -> acc + leaf_entry_size k v)
+        header_size entries
+  | Internal { keys; _ } ->
+      Array.fold_left
+        (fun acc k -> acc + internal_entry_size k)
+        header_size keys
+
+let encode node page =
+  let size = encoded_size node in
+  if size > Bytes.length page then
+    invalid_arg
+      (Printf.sprintf "Node.encode: node of %d bytes exceeds %d-byte page"
+         size (Bytes.length page));
+  (match node with
+  | Leaf { entries; next } ->
+      Codec.put_u8 page 0 tag_leaf;
+      Codec.put_u16 page 1 (Array.length entries);
+      Codec.put_u32 page 3 (match next with Some p -> p + 1 | None -> 0);
+      let off = ref header_size in
+      Array.iter
+        (fun (k, v) ->
+          off := Codec.put_string page !off k;
+          off := Codec.put_string page !off v)
+        entries
+  | Internal { keys; children } ->
+      assert (Array.length children = Array.length keys + 1);
+      Codec.put_u8 page 0 tag_internal;
+      Codec.put_u16 page 1 (Array.length keys);
+      Codec.put_u32 page 3 children.(0);
+      let off = ref header_size in
+      Array.iteri
+        (fun i k ->
+          off := Codec.put_string page !off k;
+          Codec.put_u32 page !off children.(i + 1);
+          off := !off + 4)
+        keys);
+  (* Zero the tail so identical logical nodes encode to identical pages. *)
+  if size < Bytes.length page then
+    Bytes.fill page size (Bytes.length page - size) '\000'
+
+let decode page =
+  let tag = Codec.get_u8 page 0 in
+  let nkeys = Codec.get_u16 page 1 in
+  if tag = tag_leaf then begin
+    let next =
+      match Codec.get_u32 page 3 with 0 -> None | p -> Some (p - 1)
+    in
+    let off = ref header_size in
+    let entries =
+      Array.init nkeys (fun _ ->
+          let k, o = Codec.get_string page !off in
+          let v, o = Codec.get_string page o in
+          off := o;
+          (k, v))
+    in
+    Leaf { entries; next }
+  end
+  else if tag = tag_internal then begin
+    let child0 = Codec.get_u32 page 3 in
+    let off = ref header_size in
+    let pairs =
+      Array.init nkeys (fun _ ->
+          let k, o = Codec.get_string page !off in
+          let c = Codec.get_u32 page o in
+          off := o + 4;
+          (k, c))
+    in
+    let keys = Array.map fst pairs in
+    let children =
+      Array.init (nkeys + 1) (fun i ->
+          if i = 0 then child0 else snd pairs.(i - 1))
+    in
+    Internal { keys; children }
+  end
+  else Fmt.failwith "Node.decode: unknown page tag %d" tag
+
+let find_child keys k =
+  (* Number of separators <= k. *)
+  let rec loop lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if String.compare keys.(mid) k <= 0 then loop (mid + 1) hi
+      else loop lo mid
+  in
+  loop 0 (Array.length keys)
+
+let lower_bound entries k =
+  let rec loop lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if String.compare (fst entries.(mid)) k < 0 then loop (mid + 1) hi
+      else loop lo mid
+  in
+  loop 0 (Array.length entries)
+
+let find_entry entries k =
+  let i = lower_bound entries k in
+  if i < Array.length entries && fst entries.(i) = k then Some i else None

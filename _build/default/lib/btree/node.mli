@@ -1,0 +1,52 @@
+(** B+tree node representation and page (de)serialization.
+
+    Nodes live on pager pages. The in-memory form is decoded on access
+    and re-encoded on update; pages are the unit of I/O accounting, so
+    this costs CPU but keeps the structural metrics exact and the split
+    and merge logic easy to audit.
+
+    Page layouts (all integers big-endian):
+
+    Leaf:     [u8 tag=1] [u16 nkeys] [u32 next_leaf+1, 0 = none]
+              then nkeys × (varint klen, key, varint vlen, value)
+    Internal: [u8 tag=2] [u16 nkeys] [u32 child0]
+              then nkeys × (varint klen, key, u32 child)
+
+    An internal node with keys [k0 < k1 < ... < k(n-1)] and children
+    [c0 .. cn] routes a key [k] to [ci] where [i] is the number of
+    separators [<= k]; i.e. subtree [ci] holds keys in [\[k(i-1), ki)]. *)
+
+type t =
+  | Leaf of { mutable entries : (string * string) array; mutable next : int option }
+  | Internal of { mutable keys : string array; mutable children : int array }
+
+val empty_leaf : unit -> t
+
+val encoded_size : t -> int
+(** Exact size in bytes of the encoded node. *)
+
+val leaf_entry_size : string -> string -> int
+(** Encoded size contribution of one leaf entry. *)
+
+val internal_entry_size : string -> int
+(** Encoded size contribution of one separator + child pointer. *)
+
+val header_size : int
+(** Fixed bytes before the entries of either node kind. *)
+
+val encode : t -> Bytes.t -> unit
+(** [encode node page] serializes into [page].
+    @raise Invalid_argument if the node does not fit. *)
+
+val decode : Bytes.t -> t
+(** @raise Failure on a corrupt or unknown page tag. *)
+
+val find_child : string array -> string -> int
+(** [find_child keys k] is the child index routing [k]: the number of
+    separators [<= k] (binary search). *)
+
+val find_entry : (string * string) array -> string -> int option
+(** Exact-match binary search in a sorted leaf-entry array. *)
+
+val lower_bound : (string * string) array -> string -> int
+(** Index of the first entry with key [>= k] ([Array.length] if none). *)

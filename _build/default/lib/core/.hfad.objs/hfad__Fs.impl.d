@@ -1,0 +1,1 @@
+lib/core/fs.ml: Hfad_fulltext Hfad_index Hfad_osd List

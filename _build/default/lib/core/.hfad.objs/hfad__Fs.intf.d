@@ -1,0 +1,1 @@
+lib/core/fs.mli: Hfad_blockdev Hfad_index Hfad_osd

@@ -1,0 +1,1 @@
+lib/core/refine.ml: Fs Hfad_index Hfad_osd List Printf String

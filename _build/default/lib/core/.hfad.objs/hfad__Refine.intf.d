@@ -1,0 +1,1 @@
+lib/core/refine.mli: Fs Hfad_index Hfad_osd

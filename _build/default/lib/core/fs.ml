@@ -1,0 +1,113 @@
+module Osd = Hfad_osd.Osd
+module Oid = Hfad_osd.Oid
+module Meta = Hfad_osd.Meta
+module Tag = Hfad_index.Tag
+module Index_store = Hfad_index.Index_store
+module Fulltext = Hfad_fulltext.Fulltext
+module Lazy_indexer = Hfad_fulltext.Lazy_indexer
+
+type index_mode = Eager | Lazy | Off
+
+type t = { osd : Osd.t; index : Index_store.t; mode : index_mode }
+
+let mk ?(index_mode = Lazy) osd =
+  { osd; index = Index_store.create osd; mode = index_mode }
+
+let format ?cache_pages ?index_mode ?journal_pages dev =
+  mk ?index_mode (Osd.format ?cache_pages ?journal_pages dev)
+
+let open_existing ?cache_pages ?index_mode dev =
+  mk ?index_mode (Osd.open_existing ?cache_pages dev)
+
+let flush t = Osd.flush t.osd
+let journaled t = Osd.journaled t.osd
+let device t = Osd.device t.osd
+let osd t = t.osd
+let index t = t.index
+let index_mode t = t.mode
+
+(* --- content indexing -------------------------------------------------- *)
+
+let reindex t oid =
+  match t.mode with
+  | Off -> ()
+  | Lazy -> Index_store.index_text ~lazily:true t.index oid (Osd.read_all t.osd oid)
+  | Eager ->
+      Index_store.index_text ~lazily:false t.index oid (Osd.read_all t.osd oid)
+
+let drain_index t = Lazy_indexer.drain_all (Index_store.indexer t.index)
+let index_backlog t = Lazy_indexer.pending (Index_store.indexer t.index)
+
+(* --- lifecycle ----------------------------------------------------------- *)
+
+let create ?meta ?(names = []) ?content t =
+  let oid = Osd.create_object ?meta t.osd in
+  List.iter (fun (tag, value) -> Index_store.add t.index oid tag value) names;
+  (match content with
+  | Some data when data <> "" ->
+      Osd.write t.osd oid ~off:0 data;
+      reindex t oid
+  | Some _ | None -> ());
+  oid
+
+let delete t oid =
+  (* Flush any queued indexing first so a pending Index for this OID does
+     not resurrect postings after the drop. *)
+  drain_index t;
+  Index_store.drop_object t.index oid;
+  Osd.delete_object t.osd oid
+
+let exists t oid = Osd.exists t.osd oid
+let object_count t = Osd.object_count t.osd
+
+(* --- naming ----------------------------------------------------------------- *)
+
+let name t oid tag value =
+  if not (Osd.exists t.osd oid) then raise (Osd.No_such_object oid);
+  Index_store.add t.index oid tag value
+
+let unname t oid tag value = Index_store.remove t.index oid tag value
+let names_of t oid = Index_store.values_of t.index oid
+let lookup t pairs = Index_store.query t.index pairs
+
+let lookup_one t pairs =
+  match lookup t pairs with [] -> None | oid :: _ -> Some oid
+
+let query t q = Hfad_index.Query.eval t.index q
+let query_string t s = query t (Hfad_index.Query.of_string s)
+
+let search t query = Fulltext.search_text (Index_store.fulltext t.index) query
+let list_names t tag ~prefix = Index_store.lookup_prefix t.index tag prefix
+
+(* --- access -------------------------------------------------------------------- *)
+
+let read t oid ~off ~len = Osd.read t.osd oid ~off ~len
+let read_all t oid = Osd.read_all t.osd oid
+
+let write t oid ~off data =
+  Osd.write t.osd oid ~off data;
+  reindex t oid
+
+let append t oid data =
+  Osd.append t.osd oid data;
+  reindex t oid
+
+let insert t oid ~off data =
+  Osd.insert t.osd oid ~off data;
+  reindex t oid
+
+let remove_bytes t oid ~off ~len =
+  Osd.remove_bytes t.osd oid ~off ~len;
+  reindex t oid
+
+let truncate t oid size =
+  Osd.truncate t.osd oid size;
+  reindex t oid
+
+let size t oid = Osd.size t.osd oid
+let metadata t oid = Osd.metadata t.osd oid
+let update_metadata t oid f = Osd.update_metadata t.osd oid f
+
+let verify t =
+  Osd.verify t.osd;
+  Index_store.verify t.index

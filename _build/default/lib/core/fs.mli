@@ -1,0 +1,135 @@
+(** hFAD — the native API (§3.1).
+
+    "There are two main components to the native hFAD API. The naming
+    interfaces map tagged search-terms to objects. The access interfaces
+    manipulate an object, once it has been located."
+
+    This module composes the substrates of Figure 1 — block device,
+    buddy allocator, pager, B-trees, OSD, index stores — into the file
+    system a client programs against:
+
+    {ul
+    {- {b Naming}: {!name} / {!unname} attach tag/value pairs; {!lookup}
+       resolves a vector of pairs to the conjunction of per-index
+       results; {!search} is ranked full-text. There are no directories
+       and no canonical name — "a data item may have many names, all
+       equally useful and even equally used" (§2.2).}
+    {- {b Access}: POSIX-shaped {!read}/{!write} plus the hFAD
+       extensions {!insert} and {!remove_bytes} (§3.1.2).}
+    {- {b Content indexing}: mutations queue the object for lazy
+       re-indexing (§3.4); {!drain_index} forces the queue, or start the
+       background thread via the store's indexer.}}
+
+    The POSIX compatibility veneer (module {!Hfad_posix.Posix_fs}) is a
+    thin client of this API, exactly as the paper prescribes: "a POSIX
+    path is simply one name among many possible names." *)
+
+type t
+
+type index_mode =
+  | Eager  (** content searchable the instant a mutation returns *)
+  | Lazy   (** content indexed when the indexer drains (default; §3.4) *)
+  | Off    (** content never indexed (naming by attributes/ID only) *)
+
+val format :
+  ?cache_pages:int ->
+  ?index_mode:index_mode ->
+  ?journal_pages:int ->
+  Hfad_blockdev.Device.t ->
+  t
+(** Make a fresh file system on a device. [journal_pages > 0] turns
+    {!flush} into a crash-consistent checkpoint backed by a write-ahead
+    journal of that many blocks (see {!Hfad_osd.Osd.format}). *)
+
+val open_existing :
+  ?cache_pages:int -> ?index_mode:index_mode -> Hfad_blockdev.Device.t -> t
+(** Re-attach to a formatted device. *)
+
+val flush : t -> unit
+val journaled : t -> bool
+val device : t -> Hfad_blockdev.Device.t
+val osd : t -> Hfad_osd.Osd.t
+val index : t -> Hfad_index.Index_store.t
+val index_mode : t -> index_mode
+
+(** {1 Object lifecycle} *)
+
+val create :
+  ?meta:Hfad_osd.Meta.t ->
+  ?names:(Hfad_index.Tag.t * string) list ->
+  ?content:string ->
+  t ->
+  Hfad_osd.Oid.t
+(** Create an object, optionally with initial names and content. *)
+
+val delete : t -> Hfad_osd.Oid.t -> unit
+(** Remove the object and every index entry that names it. *)
+
+val exists : t -> Hfad_osd.Oid.t -> bool
+val object_count : t -> int
+
+(** {1 Naming interfaces (§3.1.1)} *)
+
+val name : t -> Hfad_osd.Oid.t -> Hfad_index.Tag.t -> string -> unit
+(** Attach one more name. @raise Hfad_index.Index_store.Unsupported_tag
+    for [Id]/[Fulltext] (identity is intrinsic; content names come from
+    the indexer). *)
+
+val unname : t -> Hfad_osd.Oid.t -> Hfad_index.Tag.t -> string -> bool
+
+val names_of : t -> Hfad_osd.Oid.t -> (Hfad_index.Tag.t * string) list
+(** Every attribute name the object carries. *)
+
+val lookup : t -> (Hfad_index.Tag.t * string) list -> Hfad_osd.Oid.t list
+(** The naming operation: conjunction over tag/value pairs. "Naming
+    operations can return multiple items... no query need uniquely
+    define a data item." Results in ascending OID order. *)
+
+val lookup_one : t -> (Hfad_index.Tag.t * string) list -> Hfad_osd.Oid.t option
+(** First result, if any. *)
+
+val query : t -> Hfad_index.Query.t -> Hfad_osd.Oid.t list
+(** Arbitrary boolean naming query (§4's extension): and/or/not over
+    tag/value pairs, planned by selectivity.
+    @raise Hfad_index.Query.Unbounded_not for un-guarded negations. *)
+
+val query_string : t -> string -> Hfad_osd.Oid.t list
+(** {!query} on the concrete syntax, e.g.
+    ["USER/margo & (UDEF/beach | UDEF/hawaii) & !APP/trash"].
+    @raise Hfad_index.Query.Parse_error. *)
+
+val search : t -> string -> (Hfad_osd.Oid.t * float) list
+(** Ranked full-text search over object content (query text is
+    tokenized; terms are conjoined). *)
+
+val list_names : t -> Hfad_index.Tag.t -> prefix:string -> (string * Hfad_osd.Oid.t) list
+(** All (value, oid) names under a tag with a value prefix — the
+    primitive behind POSIX directory listing. *)
+
+(** {1 Access interfaces (§3.1.2)} *)
+
+val read : t -> Hfad_osd.Oid.t -> off:int -> len:int -> string
+val read_all : t -> Hfad_osd.Oid.t -> string
+val write : t -> Hfad_osd.Oid.t -> off:int -> string -> unit
+val append : t -> Hfad_osd.Oid.t -> string -> unit
+val insert : t -> Hfad_osd.Oid.t -> off:int -> string -> unit
+val remove_bytes : t -> Hfad_osd.Oid.t -> off:int -> len:int -> unit
+val truncate : t -> Hfad_osd.Oid.t -> int -> unit
+val size : t -> Hfad_osd.Oid.t -> int
+val metadata : t -> Hfad_osd.Oid.t -> Hfad_osd.Meta.t
+val update_metadata : t -> Hfad_osd.Oid.t -> (Hfad_osd.Meta.t -> Hfad_osd.Meta.t) -> unit
+
+(** {1 Content indexing} *)
+
+val reindex : t -> Hfad_osd.Oid.t -> unit
+(** Queue (or, under [Eager], apply) re-indexing of current content. *)
+
+val drain_index : t -> unit
+(** Apply every queued indexing operation now. *)
+
+val index_backlog : t -> int
+(** Queued indexing operations (staleness, measured by experiment C6). *)
+
+val verify : t -> unit
+(** Full-system structural check (OSD + every index).
+    @raise Failure on violation. *)

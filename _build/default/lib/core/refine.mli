@@ -1,0 +1,34 @@
+(** Iterative search refinement — §4's "current directory" question.
+
+    "Could/should we employ ideas from the semantic filesystem work to
+    extend the notion of a 'current directory' to be an iterative
+    refinement of a search?" We answer yes and build it: a session is an
+    immutable stack of tag/value constraints; each {!narrow} conjoins one
+    more pair (like [cd] descending a level), {!widen} pops one (like
+    [cd ..]), {!ls} shows the objects currently "in" the search
+    directory. Results are computed eagerly at each step so [ls] is
+    free, and sessions share structure (narrowing returns a new session,
+    the old one remains valid). *)
+
+type t
+
+val start : Fs.t -> t
+(** The root session: no constraints. [ls] on it lists every object. *)
+
+val narrow : t -> Hfad_index.Tag.t * string -> t
+(** Add one constraint ("cd deeper"). *)
+
+val widen : t -> t
+(** Drop the most recent constraint ("cd .."). At the root, identity. *)
+
+val constraints : t -> (Hfad_index.Tag.t * string) list
+(** Active constraints, outermost first. *)
+
+val ls : t -> Hfad_osd.Oid.t list
+(** Objects matching every active constraint. *)
+
+val count : t -> int
+
+val pwd : t -> string
+(** Path-like rendering of the constraint stack, e.g.
+    ["/USER=margo/UDEF=vacation"] (["/"] for the root session). *)

@@ -1,0 +1,1 @@
+lib/fulltext/fulltext.ml: Bytes Fmt Format Hashtbl Hfad_btree Hfad_osd Hfad_util List Mutex Option String Tokenizer

@@ -1,0 +1,1 @@
+lib/fulltext/fulltext.mli: Hfad_btree Hfad_osd

@@ -1,0 +1,1 @@
+lib/fulltext/lazy_indexer.ml: Condition Fulltext Hfad_osd Mutex Queue Thread

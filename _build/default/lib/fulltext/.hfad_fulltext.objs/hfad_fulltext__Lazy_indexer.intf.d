@@ -1,0 +1,1 @@
+lib/fulltext/lazy_indexer.mli: Fulltext Hfad_osd

@@ -1,0 +1,1 @@
+lib/fulltext/tokenizer.ml: Buffer Char Hashtbl List Option String

@@ -1,0 +1,107 @@
+module Oid = Hfad_osd.Oid
+
+type work = Index of Oid.t * string | Unindex of Oid.t
+
+type t = {
+  index : Fulltext.t;
+  queue : work Queue.t;
+  mutex : Mutex.t;
+  wake : Condition.t;
+  mutable worker : Thread.t option;
+  mutable stop_requested : bool;
+  mutable processed : int;
+}
+
+let create index =
+  {
+    index;
+    queue = Queue.create ();
+    mutex = Mutex.create ();
+    wake = Condition.create ();
+    worker = None;
+    stop_requested = false;
+    processed = 0;
+  }
+
+let submit t work =
+  Mutex.lock t.mutex;
+  Queue.push work t.queue;
+  Condition.signal t.wake;
+  Mutex.unlock t.mutex
+
+let submit_add t oid text = submit t (Index (oid, text))
+let submit_remove t oid = submit t (Unindex oid)
+
+let pending t =
+  Mutex.lock t.mutex;
+  let n = Queue.length t.queue in
+  Mutex.unlock t.mutex;
+  n
+
+let apply t work =
+  (match work with
+  | Index (oid, text) -> Fulltext.add_document t.index oid text
+  | Unindex oid -> Fulltext.remove_document t.index oid);
+  t.processed <- t.processed + 1
+
+(* Pop one item under the lock; the (possibly slow) index update happens
+   outside it so submitters never wait on indexing. *)
+let pop t =
+  Mutex.lock t.mutex;
+  let item = if Queue.is_empty t.queue then None else Some (Queue.pop t.queue) in
+  Mutex.unlock t.mutex;
+  item
+
+let drain ?max_items t =
+  let limit = match max_items with Some n -> n | None -> pending t in
+  let rec loop done_ =
+    if done_ >= limit then done_
+    else
+      match pop t with
+      | None -> done_
+      | Some work ->
+          apply t work;
+          loop (done_ + 1)
+  in
+  loop 0
+
+let rec drain_all t = if drain t > 0 then drain_all t
+
+let worker_loop t =
+  let rec run () =
+    Mutex.lock t.mutex;
+    while Queue.is_empty t.queue && not t.stop_requested do
+      Condition.wait t.wake t.mutex
+    done;
+    let item =
+      if Queue.is_empty t.queue then None else Some (Queue.pop t.queue)
+    in
+    Mutex.unlock t.mutex;
+    match item with
+    | Some work ->
+        apply t work;
+        run ()
+    | None -> ()  (* stop requested and queue empty *)
+  in
+  run ()
+
+let start_background t =
+  match t.worker with
+  | Some _ -> ()
+  | None ->
+      t.stop_requested <- false;
+      t.worker <- Some (Thread.create worker_loop t)
+
+let stop_background t =
+  match t.worker with
+  | None -> ()
+  | Some thread ->
+      Mutex.lock t.mutex;
+      t.stop_requested <- true;
+      Condition.broadcast t.wake;
+      Mutex.unlock t.mutex;
+      Thread.join thread;
+      t.worker <- None;
+      t.stop_requested <- false
+
+let processed t = t.processed

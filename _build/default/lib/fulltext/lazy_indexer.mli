@@ -1,0 +1,46 @@
+(** Lazy background full-text indexing.
+
+    §3.4: "we use background threads to perform lazy full-text indexing."
+    Writers enqueue work and return immediately; the index catches up
+    later, so a freshly written document is {e findable by ID or tag at
+    once but by content only after the indexer drains} — experiment C6
+    measures that staleness window.
+
+    Two draining modes:
+    - deterministic: call {!drain} (or {!drain_all}) explicitly — used by
+      tests and experiments;
+    - background: {!start_background} spawns a worker thread that drains
+      continuously until {!stop_background}. *)
+
+type t
+
+type work =
+  | Index of Hfad_osd.Oid.t * string  (** (re-)index this text *)
+  | Unindex of Hfad_osd.Oid.t
+
+val create : Fulltext.t -> t
+
+val submit : t -> work -> unit
+(** Enqueue; never blocks. *)
+
+val submit_add : t -> Hfad_osd.Oid.t -> string -> unit
+val submit_remove : t -> Hfad_osd.Oid.t -> unit
+
+val pending : t -> int
+(** Items not yet applied to the index. *)
+
+val drain : ?max_items:int -> t -> int
+(** Apply up to [max_items] (default: everything queued right now);
+    returns how many were applied. *)
+
+val drain_all : t -> unit
+
+val start_background : t -> unit
+(** Spawn the worker thread. No-op if already running. *)
+
+val stop_background : t -> unit
+(** Drain the queue, then stop and join the worker. No-op if not
+    running. *)
+
+val processed : t -> int
+(** Total items applied since creation. *)

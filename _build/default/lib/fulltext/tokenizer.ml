@@ -1,0 +1,54 @@
+let default_stopwords =
+  [
+    "a"; "an"; "and"; "are"; "as"; "at"; "be"; "but"; "by"; "for"; "if";
+    "in"; "into"; "is"; "it"; "no"; "not"; "of"; "on"; "or"; "such"; "that";
+    "the"; "their"; "then"; "there"; "these"; "they"; "this"; "to"; "was";
+    "will"; "with";
+  ]
+
+let min_token_len = 2
+let max_token_len = 64
+
+let is_token_char c =
+  (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9')
+
+let lower c = if c >= 'A' && c <= 'Z' then Char.chr (Char.code c + 32) else c
+
+let tokens ?(stopwords = default_stopwords) text =
+  let stop = Hashtbl.create (List.length stopwords) in
+  List.iter (fun w -> Hashtbl.replace stop w ()) stopwords;
+  let out = ref [] in
+  let buf = Buffer.create 16 in
+  let flush_token () =
+    if Buffer.length buf >= min_token_len then begin
+      let tok = Buffer.contents buf in
+      let tok =
+        if String.length tok > max_token_len then String.sub tok 0 max_token_len
+        else tok
+      in
+      if not (Hashtbl.mem stop tok) then out := tok :: !out
+    end;
+    Buffer.clear buf
+  in
+  String.iter
+    (fun c ->
+      let c = lower c in
+      if is_token_char c then Buffer.add_char buf c else flush_token ())
+    text;
+  flush_token ();
+  List.rev !out
+
+let term_frequencies ?stopwords text =
+  let counts = Hashtbl.create 64 in
+  List.iter
+    (fun tok ->
+      Hashtbl.replace counts tok
+        (1 + Option.value ~default:0 (Hashtbl.find_opt counts tok)))
+    (tokens ?stopwords text);
+  Hashtbl.fold (fun term count acc -> (term, count) :: acc) counts []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let is_term s =
+  String.length s >= min_token_len
+  && String.length s <= max_token_len
+  && String.for_all is_token_char s

@@ -1,0 +1,25 @@
+(** Text analysis for the full-text index.
+
+    The standard search-engine pipeline: lowercase, split on
+    non-alphanumerics, drop stopwords and degenerate tokens. Terms are
+    what the FULLTEXT tag's values are matched against (Table 1). *)
+
+val default_stopwords : string list
+(** A small English stopword list ("the", "and", ...). *)
+
+val min_token_len : int
+(** Tokens shorter than this are dropped (2). *)
+
+val max_token_len : int
+(** Tokens longer than this are truncated (64) so every term fits in an
+    index key. *)
+
+val tokens : ?stopwords:string list -> string -> string list
+(** All index terms of a text, in order, duplicates preserved. *)
+
+val term_frequencies : ?stopwords:string list -> string -> (string * int) list
+(** Distinct terms with occurrence counts, sorted by term. *)
+
+val is_term : string -> bool
+(** Whether a string is a well-formed term (what {!tokens} emits):
+    non-empty lowercase alphanumeric, within length bounds. *)

@@ -1,0 +1,1 @@
+lib/hierfs/desktop_search.ml: Hfad_btree Hfad_fulltext Hierfs List String

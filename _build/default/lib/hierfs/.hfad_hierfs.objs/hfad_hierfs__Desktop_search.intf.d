@@ -1,0 +1,1 @@
+lib/hierfs/desktop_search.mli: Hierfs

@@ -1,0 +1,1 @@
+lib/hierfs/hierfs.ml: Array Bytes Format Hashtbl Hfad_alloc Hfad_blockdev Hfad_btree Hfad_metrics Hfad_pager Hfad_util Inode Int64 List Lock_table Option Printf String

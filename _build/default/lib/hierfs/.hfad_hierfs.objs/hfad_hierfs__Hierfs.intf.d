@@ -1,0 +1,1 @@
+lib/hierfs/hierfs.mli: Hfad_alloc Hfad_blockdev Hfad_btree Hfad_pager Inode

@@ -1,0 +1,1 @@
+lib/hierfs/inode.ml: Array Bytes Fmt Hfad_util Int64

@@ -1,0 +1,1 @@
+lib/hierfs/inode.mli:

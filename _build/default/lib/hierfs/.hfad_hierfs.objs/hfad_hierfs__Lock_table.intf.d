@@ -1,0 +1,1 @@
+lib/hierfs/lock_table.mli:

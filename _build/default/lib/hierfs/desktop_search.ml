@@ -1,0 +1,45 @@
+module Btree = Hfad_btree.Btree
+module Tokenizer = Hfad_fulltext.Tokenizer
+
+type t = { hfs : Hierfs.t; index : Btree.t; mutable files : int }
+
+let create hfs = { hfs; index = Hierfs.new_tree hfs; files = 0 }
+
+(* Postings key: 'T' term '\000' path — terms are lowercase alphanumeric
+   so the separator is unambiguous. The value is empty: the pathname in
+   the key IS the answer, which is precisely the §2.3 problem. *)
+let postings_key term path = "T" ^ term ^ "\000" ^ path
+let postings_prefix term = "T" ^ term ^ "\000"
+
+let index_file t path =
+  let content = Hierfs.read_file t.hfs path in
+  List.iter
+    (fun (term, _tf) ->
+      Btree.put t.index ~key:(postings_key term path) ~value:"")
+    (Tokenizer.term_frequencies content);
+  t.files <- t.files + 1
+
+let index_tree t dir =
+  let files = Hierfs.walk_files t.hfs dir in
+  List.iter (index_file t) files;
+  List.length files
+
+let search t term =
+  match Tokenizer.tokens term with
+  | [] -> []
+  | term :: _ ->
+      let prefix = postings_prefix term in
+      Btree.fold_prefix t.index ~prefix ~init:[] (fun acc k _ ->
+          String.sub k (String.length prefix)
+            (String.length k - String.length prefix)
+          :: acc)
+      |> List.rev
+
+let search_and_read t term ~bytes_per_hit =
+  (* Stage 1: search index. Stage 2+3: namespace walk and inode fetch.
+     Stage 4: physical block-map traversal for the data bytes. *)
+  search t term
+  |> List.map (fun path ->
+         (path, Hierfs.read_at t.hfs path ~off:0 ~len:bytes_per_hit))
+
+let indexed_files t = t.files

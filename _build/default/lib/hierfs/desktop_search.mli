@@ -1,0 +1,39 @@
+(** The "desktop search" stack over the hierarchical baseline — the
+    system §2.3 dissects.
+
+    "Consider the path between a search term and a data block in most
+    systems today. First, we look up the search term in an indexing
+    system... Translating from search term to the file in which it is
+    found requires traversing two indices: the search index and the
+    physical index... That search yields a {e file name}. We now navigate
+    the hierarchical namespace... Finally... one last index traversal of
+    the physical structure of that file. At a minimum, we encountered
+    four index traversals."
+
+    This module is that architecture, deliberately: an inverted index
+    that maps terms to {e pathnames} (like Spotlight/WDS/Beagle over a
+    POSIX FS), so every hit must then be resolved through the namespace
+    walk and the inode block map. Experiment C1 counts the traversals. *)
+
+type t
+
+val create : Hierfs.t -> t
+(** An empty search index over a hierarchical file system; the index
+    B-tree lives on the same device. *)
+
+val index_file : t -> string -> unit
+(** Read the file at [path] and index its content under its pathname. *)
+
+val index_tree : t -> string -> int
+(** Index every regular file under a directory; returns how many. *)
+
+val search : t -> string -> string list
+(** Pathnames of files containing the term (normalized through the
+    tokenizer), sorted. Stage 1 of the stack only. *)
+
+val search_and_read : t -> string -> bytes_per_hit:int -> (string * string) list
+(** The full search-to-data-block path: look up the term, then for every
+    hit walk the namespace, fetch the inode, traverse the block map and
+    read the first [bytes_per_hit] bytes. Exactly the §2.3 sequence. *)
+
+val indexed_files : t -> int

@@ -1,0 +1,557 @@
+module Device = Hfad_blockdev.Device
+module Pager = Hfad_pager.Pager
+module Buddy = Hfad_alloc.Buddy
+module Btree = Hfad_btree.Btree
+module Codec = Hfad_util.Codec
+module Upath = Hfad_util.Upath
+module Counter = Hfad_metrics.Counter
+module Registry = Hfad_metrics.Registry
+
+type errno = ENOENT | EEXIST | ENOTDIR | EISDIR | ENOTEMPTY | EINVAL
+
+exception Error of errno * string
+
+let err errno context = raise (Error (errno, context))
+
+let itable_root_page = 1
+let data_first_block = 2
+let root_ino = 1
+
+type t = {
+  dev : Device.t;
+  pgr : Pager.t;
+  buddy : Buddy.t;
+  btree_alloc : Btree.allocator;
+  itable : Btree.t;
+  locks : Lock_table.t;
+  mutable next_ino : int;
+  mutable clock : int64;
+  block_size : int;
+  dir_handles : (int, Btree.t) Hashtbl.t;
+}
+
+let c_components = Registry.counter Registry.global "hierfs.components_walked"
+let c_inode_fetches = Registry.counter Registry.global "hierfs.inode_fetches"
+let c_blockmap = Registry.counter Registry.global "hierfs.blockmap_reads"
+
+let device t = t.dev
+let pager t = t.pgr
+
+let ino_key ino = Codec.encode_i64_key (Int64.of_int ino)
+
+let put_inode t inode =
+  Btree.put t.itable ~key:(ino_key inode.Inode.ino) ~value:(Inode.encode inode)
+
+let get_inode t ino =
+  Counter.incr c_inode_fetches;
+  match Btree.find t.itable (ino_key ino) with
+  | Some v -> Inode.decode v
+  | None -> err ENOENT (Printf.sprintf "inode %d" ino)
+
+let tick t =
+  t.clock <- Int64.add t.clock 1L;
+  t.clock
+
+let dir_tree t inode =
+  match Hashtbl.find_opt t.dir_handles inode.Inode.ino with
+  | Some tree -> tree
+  | None ->
+      let tree = Btree.open_tree t.pgr t.btree_alloc ~root:inode.Inode.dir_root in
+      Hashtbl.replace t.dir_handles inode.Inode.ino tree;
+      tree
+
+let alloc_ino t =
+  let ino = t.next_ino in
+  t.next_ino <- ino + 1;
+  ino
+
+let make_dir_inode t ~ino =
+  let inode = Inode.make ~ino ~kind:Inode.Dir in
+  inode.Inode.dir_root <- t.btree_alloc.Btree.alloc_page ();
+  ignore (Btree.create t.pgr t.btree_alloc ~root:inode.Inode.dir_root);
+  inode.Inode.mtime <- tick t;
+  put_inode t inode;
+  inode
+
+let format ?(cache_pages = 1024) dev =
+  if Device.blocks dev < 8 then invalid_arg "Hierfs: device too small";
+  let pgr = Pager.create ~cache_pages dev in
+  let buddy =
+    Buddy.create ~first_block:data_first_block
+      ~blocks:(Device.blocks dev - data_first_block)
+      ()
+  in
+  let btree_alloc =
+    {
+      Btree.alloc_page = (fun () -> Buddy.alloc buddy 1);
+      Btree.free_page = (fun p -> Buddy.free buddy p);
+    }
+  in
+  let itable = Btree.create pgr btree_alloc ~root:itable_root_page in
+  let t =
+    {
+      dev;
+      pgr;
+      buddy;
+      btree_alloc;
+      itable;
+      locks = Lock_table.create ();
+      next_ino = root_ino;
+      clock = 0L;
+      block_size = Device.block_size dev;
+      dir_handles = Hashtbl.create 64;
+    }
+  in
+  let root = alloc_ino t in
+  assert (root = root_ino);
+  ignore (make_dir_inode t ~ino:root);
+  t
+
+let allocator t = t.buddy
+
+let new_tree t =
+  Btree.create t.pgr t.btree_alloc ~root:(t.btree_alloc.Btree.alloc_page ())
+
+(* --- directory entries --------------------------------------------------- *)
+
+let encode_ino ino =
+  let buf = Bytes.create 10 in
+  Bytes.sub_string buf 0 (Codec.put_varint buf 0 ino)
+
+let decode_ino v = fst (Codec.get_varint (Bytes.unsafe_of_string v) 0)
+
+(* Look up one name inside directory [dir], holding its lock — the
+   serialization point §2.3 identifies. *)
+let dir_lookup t dir name =
+  Lock_table.with_lock t.locks dir.Inode.ino (fun () ->
+      Counter.incr c_components;
+      Option.map decode_ino (Btree.find (dir_tree t dir) name))
+
+let dir_insert t dir name ino =
+  Lock_table.with_lock t.locks dir.Inode.ino (fun () ->
+      Btree.put (dir_tree t dir) ~key:name ~value:(encode_ino ino))
+
+let dir_remove t dir name =
+  Lock_table.with_lock t.locks dir.Inode.ino (fun () ->
+      Btree.remove (dir_tree t dir) name)
+
+let dir_entries t dir =
+  Lock_table.with_lock t.locks dir.Inode.ino (fun () ->
+      List.rev
+        (Btree.fold_range (dir_tree t dir) ~init:[] (fun acc name v ->
+             (name, decode_ino v) :: acc)))
+
+(* --- resolution -------------------------------------------------------------- *)
+
+let resolve_inode t path =
+  let rec walk inode = function
+    | [] -> inode
+    | comp :: rest ->
+        if inode.Inode.kind <> Inode.Dir then err ENOTDIR path
+        else (
+          match dir_lookup t inode comp with
+          | None -> err ENOENT path
+          | Some ino -> walk (get_inode t ino) rest)
+  in
+  walk (get_inode t root_ino) (Upath.components path)
+
+let resolve t path = (resolve_inode t path).Inode.ino
+
+let exists t path =
+  match resolve t path with _ -> true | exception Error _ -> false
+
+let is_directory t path =
+  match resolve_inode t path with
+  | inode -> inode.Inode.kind = Inode.Dir
+  | exception Error _ -> false
+
+type stat = { ino : int; kind : Inode.kind; size : int; mtime : int64 }
+
+let stat t path =
+  let inode = resolve_inode t path in
+  {
+    ino = inode.Inode.ino;
+    kind = inode.Inode.kind;
+    size = inode.Inode.size;
+    mtime = inode.Inode.mtime;
+  }
+
+(* --- namespace mutations --------------------------------------------------------- *)
+
+let parent_and_name t path =
+  let path = Upath.normalize path in
+  if path = "/" then err EINVAL "/";
+  let parent = resolve_inode t (Upath.parent path) in
+  if parent.Inode.kind <> Inode.Dir then err ENOTDIR (Upath.parent path);
+  (parent, Upath.basename path)
+
+let mkdir t path =
+  let parent, name = parent_and_name t path in
+  (match dir_lookup t parent name with
+  | Some _ -> err EEXIST path
+  | None -> ());
+  let inode = make_dir_inode t ~ino:(alloc_ino t) in
+  dir_insert t parent name inode.Inode.ino
+
+let rec mkdir_p t path =
+  let path = Upath.normalize path in
+  if path <> "/" && not (exists t path) then begin
+    mkdir_p t (Upath.parent path);
+    mkdir t path
+  end
+
+let create_inode_file t path =
+  let parent, name = parent_and_name t path in
+  (match dir_lookup t parent name with
+  | Some _ -> err EEXIST path
+  | None -> ());
+  let inode = Inode.make ~ino:(alloc_ino t) ~kind:Inode.File in
+  inode.Inode.mtime <- tick t;
+  put_inode t inode;
+  dir_insert t parent name inode.Inode.ino;
+  inode
+
+let readdir t path =
+  let inode = resolve_inode t path in
+  if inode.Inode.kind <> Inode.Dir then err ENOTDIR path;
+  List.map fst (dir_entries t inode)
+
+(* --- block map ---------------------------------------------------------------------- *)
+
+let ptrs_per_block t = t.block_size / 4
+
+let read_ptr t block idx =
+  Counter.incr c_blockmap;
+  Pager.with_page t.pgr block (fun page -> Codec.get_u32 page (4 * idx) - 1)
+
+let write_ptr t block idx value =
+  Pager.with_page_mut t.pgr block (fun page ->
+      Codec.put_u32 page (4 * idx) (value + 1))
+
+let alloc_zeroed_block t =
+  let block = Buddy.alloc t.buddy 1 in
+  Pager.zero_page t.pgr block;
+  block
+
+(* Device block holding file block [fblock], or -1 for a hole. *)
+let lookup_block t inode fblock =
+  let ppb = ptrs_per_block t in
+  if fblock < Inode.n_direct then inode.Inode.direct.(fblock)
+  else
+    let fblock = fblock - Inode.n_direct in
+    if fblock < ppb then
+      if inode.Inode.indirect < 0 then -1
+      else read_ptr t inode.Inode.indirect fblock
+    else
+      let fblock = fblock - ppb in
+      if fblock >= ppb * ppb then err EINVAL "file too large"
+      else if inode.Inode.double_indirect < 0 then -1
+      else
+        let l1 = read_ptr t inode.Inode.double_indirect (fblock / ppb) in
+        if l1 < 0 then -1 else read_ptr t l1 (fblock mod ppb)
+
+(* Like [lookup_block] but materializes holes (and pointer blocks). *)
+let ensure_block t inode fblock =
+  let ppb = ptrs_per_block t in
+  if fblock < Inode.n_direct then begin
+    if inode.Inode.direct.(fblock) < 0 then begin
+      inode.Inode.direct.(fblock) <- alloc_zeroed_block t;
+      put_inode t inode
+    end;
+    inode.Inode.direct.(fblock)
+  end
+  else begin
+    let rel = fblock - Inode.n_direct in
+    if rel < ppb then begin
+      if inode.Inode.indirect < 0 then begin
+        inode.Inode.indirect <- alloc_zeroed_block t;
+        put_inode t inode
+      end;
+      let b = read_ptr t inode.Inode.indirect rel in
+      if b >= 0 then b
+      else begin
+        let b = alloc_zeroed_block t in
+        write_ptr t inode.Inode.indirect rel b;
+        b
+      end
+    end
+    else begin
+      let rel = rel - ppb in
+      if rel >= ppb * ppb then err EINVAL "file too large";
+      if inode.Inode.double_indirect < 0 then begin
+        inode.Inode.double_indirect <- alloc_zeroed_block t;
+        put_inode t inode
+      end;
+      let l1 =
+        let b = read_ptr t inode.Inode.double_indirect (rel / ppb) in
+        if b >= 0 then b
+        else begin
+          let b = alloc_zeroed_block t in
+          write_ptr t inode.Inode.double_indirect (rel / ppb) b;
+          b
+        end
+      in
+      let b = read_ptr t l1 (rel mod ppb) in
+      if b >= 0 then b
+      else begin
+        let b = alloc_zeroed_block t in
+        write_ptr t l1 (rel mod ppb) b;
+        b
+      end
+    end
+  end
+
+(* --- file I/O ------------------------------------------------------------------------- *)
+
+let read_inode_at t inode ~off ~len =
+  if off < 0 || len < 0 then err EINVAL "negative read";
+  let n = min len (inode.Inode.size - off) in
+  if n <= 0 then ""
+  else begin
+    let buf = Bytes.create n in
+    let bs = t.block_size in
+    let rec loop pos =
+      if pos < n then begin
+        let abs = off + pos in
+        let fblock = abs / bs and boff = abs mod bs in
+        let chunk = min (bs - boff) (n - pos) in
+        (match lookup_block t inode fblock with
+        | -1 -> Bytes.fill buf pos chunk '\000'
+        | block ->
+            Pager.with_page t.pgr block (fun page ->
+                Bytes.blit page boff buf pos chunk));
+        loop (pos + chunk)
+      end
+    in
+    loop 0;
+    Bytes.unsafe_to_string buf
+  end
+
+let write_inode_at t inode ~off data =
+  if off < 0 then err EINVAL "negative write offset";
+  let len = String.length data in
+  let bs = t.block_size in
+  let rec loop pos =
+    if pos < len then begin
+      let abs = off + pos in
+      let fblock = abs / bs and boff = abs mod bs in
+      let chunk = min (bs - boff) (len - pos) in
+      let block = ensure_block t inode fblock in
+      Pager.with_page_mut t.pgr block (fun page ->
+          Bytes.blit_string data pos page boff chunk);
+      loop (pos + chunk)
+    end
+  in
+  loop 0;
+  if off + len > inode.Inode.size then inode.Inode.size <- off + len;
+  inode.Inode.mtime <- tick t;
+  put_inode t inode
+
+let read_at t path ~off ~len = read_inode_at t (resolve_inode t path) ~off ~len
+
+let read_file t path =
+  let inode = resolve_inode t path in
+  if inode.Inode.kind <> Inode.File then err EISDIR path;
+  read_inode_at t inode ~off:0 ~len:inode.Inode.size
+
+let write_at t path ~off data =
+  let inode = resolve_inode t path in
+  if inode.Inode.kind <> Inode.File then err EISDIR path;
+  write_inode_at t inode ~off data
+
+let append t path data =
+  let inode = resolve_inode t path in
+  write_inode_at t inode ~off:inode.Inode.size data
+
+(* Free every data and pointer block at or beyond [keep_blocks]. *)
+let free_blocks_from t inode keep_blocks =
+  let ppb = ptrs_per_block t in
+  let free_data fblock =
+    if fblock >= keep_blocks then begin
+      match lookup_block t inode fblock with
+      | -1 -> ()
+      | block ->
+          Buddy.free t.buddy block;
+          (* Clear the pointer so lookups see a hole. *)
+          if fblock < Inode.n_direct then inode.Inode.direct.(fblock) <- -1
+          else begin
+            let rel = fblock - Inode.n_direct in
+            if rel < ppb then write_ptr t inode.Inode.indirect rel (-1)
+            else begin
+              let rel = rel - ppb in
+              let l1 = read_ptr t inode.Inode.double_indirect (rel / ppb) in
+              write_ptr t l1 (rel mod ppb) (-1)
+            end
+          end
+    end
+  in
+  let total_blocks = (inode.Inode.size + t.block_size - 1) / t.block_size in
+  for fblock = 0 to total_blocks - 1 do
+    free_data fblock
+  done;
+  (* Drop pointer blocks that became entirely unused. *)
+  if keep_blocks <= Inode.n_direct && inode.Inode.indirect >= 0 then begin
+    Buddy.free t.buddy inode.Inode.indirect;
+    inode.Inode.indirect <- -1
+  end;
+  if keep_blocks <= Inode.n_direct + ppb && inode.Inode.double_indirect >= 0
+  then begin
+    for i = 0 to ppb - 1 do
+      let l1 = read_ptr t inode.Inode.double_indirect i in
+      if l1 >= 0 then Buddy.free t.buddy l1
+    done;
+    Buddy.free t.buddy inode.Inode.double_indirect;
+    inode.Inode.double_indirect <- -1
+  end
+
+let truncate t path new_size =
+  if new_size < 0 then err EINVAL "negative size";
+  let inode = resolve_inode t path in
+  if inode.Inode.kind <> Inode.File then err EISDIR path;
+  if new_size < inode.Inode.size then begin
+    let keep = (new_size + t.block_size - 1) / t.block_size in
+    free_blocks_from t inode keep;
+    (* Zero the tail of the last kept block so re-extension reads zeros. *)
+    if new_size mod t.block_size <> 0 then begin
+      let fblock = new_size / t.block_size in
+      match lookup_block t inode fblock with
+      | -1 -> ()
+      | block ->
+          Pager.with_page_mut t.pgr block (fun page ->
+              Bytes.fill page (new_size mod t.block_size)
+                (t.block_size - (new_size mod t.block_size))
+                '\000')
+    end
+  end;
+  inode.Inode.size <- new_size;
+  inode.Inode.mtime <- tick t;
+  put_inode t inode
+
+let create_file ?content t path =
+  let inode = create_inode_file t path in
+  (match content with
+  | Some data when data <> "" -> write_inode_at t inode ~off:0 data
+  | Some _ | None -> ());
+  inode.Inode.ino
+
+let write_file t path data =
+  if exists t path then truncate t path 0 else ignore (create_file t path);
+  write_at t path ~off:0 data
+
+(* The POSIX-feasible middle insert: shift the tail by rewriting it. *)
+let insert_middle t path ~off data =
+  let inode = resolve_inode t path in
+  if inode.Inode.kind <> Inode.File then err EISDIR path;
+  let off = min off inode.Inode.size in
+  let tail = read_inode_at t inode ~off ~len:(inode.Inode.size - off) in
+  write_inode_at t inode ~off data;
+  write_inode_at t inode ~off:(off + String.length data) tail
+
+let remove_middle t path ~off ~len =
+  let inode = resolve_inode t path in
+  if inode.Inode.kind <> Inode.File then err EISDIR path;
+  if off < inode.Inode.size && len > 0 then begin
+    let old_size = inode.Inode.size in
+    let n = min len (old_size - off) in
+    let tail = read_inode_at t inode ~off:(off + n) ~len:(old_size - off - n) in
+    write_inode_at t inode ~off tail;
+    truncate t path (old_size - n)
+  end
+
+(* --- unlink / rmdir / rename -------------------------------------------------------------- *)
+
+let free_inode t inode =
+  (match inode.Inode.kind with
+  | Inode.File -> free_blocks_from t inode 0
+  | Inode.Dir ->
+      Hashtbl.remove t.dir_handles inode.Inode.ino;
+      Btree.destroy (Btree.open_tree t.pgr t.btree_alloc ~root:inode.Inode.dir_root));
+  ignore (Btree.remove t.itable (ino_key inode.Inode.ino))
+
+let unlink t path =
+  let parent, name = parent_and_name t path in
+  match dir_lookup t parent name with
+  | None -> err ENOENT path
+  | Some ino ->
+      let inode = get_inode t ino in
+      if inode.Inode.kind = Inode.Dir then err EISDIR path;
+      ignore (dir_remove t parent name);
+      free_inode t inode
+
+let rmdir t path =
+  let parent, name = parent_and_name t path in
+  match dir_lookup t parent name with
+  | None -> err ENOENT path
+  | Some ino ->
+      let inode = get_inode t ino in
+      if inode.Inode.kind <> Inode.Dir then err ENOTDIR path;
+      if dir_entries t inode <> [] then err ENOTEMPTY path;
+      ignore (dir_remove t parent name);
+      free_inode t inode
+
+let rename t old_path new_path =
+  let old_path = Upath.normalize old_path
+  and new_path = Upath.normalize new_path in
+  if old_path = new_path then ()
+  else begin
+    if Upath.is_ancestor ~ancestor:old_path new_path then err EINVAL new_path;
+    let old_parent, old_name = parent_and_name t old_path in
+    (match dir_lookup t old_parent old_name with
+    | None -> err ENOENT old_path
+    | Some ino ->
+        let new_parent, new_name = parent_and_name t new_path in
+        (match dir_lookup t new_parent new_name with
+        | Some _ -> err EEXIST new_path
+        | None -> ());
+        (* O(1): hierarchical namespaces pay nothing to move a subtree. *)
+        ignore (dir_remove t old_parent old_name);
+        dir_insert t new_parent new_name ino)
+  end
+
+(* --- traversal + verification ----------------------------------------------------------------- *)
+
+let walk_files t path =
+  let rec go acc path inode =
+    match inode.Inode.kind with
+    | Inode.File -> path :: acc
+    | Inode.Dir ->
+        List.fold_left
+          (fun acc (name, ino) ->
+            go acc (Upath.join path name) (get_inode t ino))
+          acc (dir_entries t inode)
+  in
+  List.sort compare (go [] (Upath.normalize path) (resolve_inode t path))
+
+let lock_stats t = (Lock_table.acquisitions t.locks, Lock_table.waits t.locks)
+let reset_lock_stats t = Lock_table.reset_stats t.locks
+
+let verify t =
+  let fail fmt = Format.kasprintf failwith fmt in
+  Btree.verify t.itable;
+  let seen = Hashtbl.create 64 in
+  let rec check ino path =
+    if Hashtbl.mem seen ino then fail "inode %d reachable twice (%s)" ino path;
+    Hashtbl.replace seen ino ();
+    let inode = get_inode t ino in
+    match inode.Inode.kind with
+    | Inode.File ->
+        let blocks = (inode.Inode.size + t.block_size - 1) / t.block_size in
+        for fblock = 0 to blocks - 1 do
+          match lookup_block t inode fblock with
+          | -1 -> ()
+          | block ->
+              if not (Buddy.is_allocated t.buddy block) then
+                fail "%s: file block %d points at freed space" path fblock
+        done
+    | Inode.Dir ->
+        Btree.verify (dir_tree t inode);
+        List.iter
+          (fun (name, child) -> check child (Upath.join path name))
+          (dir_entries t inode)
+  in
+  check root_ino "/";
+  (* Every inode in the table must be reachable. *)
+  let table_count = Btree.cardinal t.itable in
+  if table_count <> Hashtbl.length seen then
+    fail "inode table has %d entries but %d are reachable" table_count
+      (Hashtbl.length seen)

@@ -1,0 +1,101 @@
+(** The hierarchical baseline: an FFS-style file system.
+
+    This is the system the paper argues {e against}, built from scratch
+    on the same device/pager/allocator substrate as hFAD so that the
+    §2 comparisons measure design, not implementation accident:
+
+    - a hierarchical namespace: each directory is its own B-tree of
+      (name → inode number) entries; path resolution walks
+      {b component-at-a-time}, taking each directory's lock for the
+      lookup (see {!Lock_table});
+    - inodes in a B-tree table, with FFS direct/indirect/double-indirect
+      block maps ({!Inode});
+    - no byte-granular insert: {!insert_middle} / {!remove_middle} are
+      implemented the only way a POSIX file allows — shift the tail by
+      reading and rewriting it (the C3 baseline).
+
+    Structural counters (global {!Hfad_metrics.Registry} names):
+    ["hierfs.components_walked"], ["hierfs.inode_fetches"],
+    ["hierfs.blockmap_reads"]; lock statistics via {!lock_stats}.
+
+    Paths use the same normalization as the POSIX veneer. Errors reuse
+    {!exception:Failure} with descriptive messages prefixed by an errno
+    name, via {!exception:Error}. *)
+
+type t
+
+type errno = ENOENT | EEXIST | ENOTDIR | EISDIR | ENOTEMPTY | EINVAL
+
+exception Error of errno * string
+
+val format : ?cache_pages:int -> Hfad_blockdev.Device.t -> t
+(** Fresh file system with an empty root directory. *)
+
+val device : t -> Hfad_blockdev.Device.t
+val pager : t -> Hfad_pager.Pager.t
+
+val allocator : t -> Hfad_alloc.Buddy.t
+(** The space allocator (storage-accounting in experiments). *)
+
+val new_tree : t -> Hfad_btree.Btree.t
+(** Allocate a fresh B-tree on this file system's device (the desktop
+    search index uses one, mirroring an index "built on top of files in
+    the file system" sharing its storage and cache). *)
+
+(** {1 Namespace} *)
+
+val resolve : t -> string -> int
+(** Inode number behind a path: the component-at-a-time walk.
+    @raise Error ENOENT / ENOTDIR. *)
+
+val mkdir : t -> string -> unit
+val mkdir_p : t -> string -> unit
+val create_file : ?content:string -> t -> string -> int
+val readdir : t -> string -> string list
+val rename : t -> string -> string -> unit
+(** Note: renaming a directory here is O(1) — move one entry — whereas
+    the hFAD POSIX veneer re-keys the subtree. The trade-off is called
+    out in EXPERIMENTS.md. *)
+
+val unlink : t -> string -> unit
+val rmdir : t -> string -> unit
+val exists : t -> string -> bool
+val is_directory : t -> string -> bool
+
+type stat = { ino : int; kind : Inode.kind; size : int; mtime : int64 }
+
+val stat : t -> string -> stat
+
+val walk_files : t -> string -> string list
+(** Every regular-file path under a directory (recursive readdir — the
+    "find" traversal of experiment C5). *)
+
+(** {1 File I/O} *)
+
+val read_file : t -> string -> string
+val read_at : t -> string -> off:int -> len:int -> string
+val write_file : t -> string -> string -> unit
+(** Create-or-truncate, then write. *)
+
+val write_at : t -> string -> off:int -> string -> unit
+val append : t -> string -> string -> unit
+val truncate : t -> string -> int -> unit
+
+val insert_middle : t -> string -> off:int -> string -> unit
+(** The POSIX-feasible emulation of hFAD's [insert]: read the tail,
+    write the data, rewrite the tail shifted — O(file size - off). *)
+
+val remove_middle : t -> string -> off:int -> len:int -> unit
+(** Likewise for two-argument truncate: rewrite the tail over the hole. *)
+
+(** {1 Measurement} *)
+
+val lock_stats : t -> int * int
+(** (acquisitions, waits) of the directory lock table. *)
+
+val reset_lock_stats : t -> unit
+
+val verify : t -> unit
+(** Structural check from the root: directory trees verify, entries
+    point at live inodes, link and size accounting consistent, block
+    maps within bounds. @raise Failure on violation. *)

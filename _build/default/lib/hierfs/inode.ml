@@ -1,0 +1,80 @@
+module Codec = Hfad_util.Codec
+
+type kind = File | Dir
+
+type t = {
+  ino : int;
+  kind : kind;
+  mutable size : int;
+  mutable nlink : int;
+  mutable mtime : int64;
+  mutable dir_root : int;
+  direct : int array;
+  mutable indirect : int;
+  mutable double_indirect : int;
+}
+
+let n_direct = 12
+
+let make ~ino ~kind =
+  {
+    ino;
+    kind;
+    size = 0;
+    nlink = 1;
+    mtime = 0L;
+    dir_root = -1;
+    direct = Array.make n_direct (-1);
+    indirect = -1;
+    double_indirect = -1;
+  }
+
+(* Pointers are stored +1 so that -1 (none) encodes as 0 in a u32. *)
+let encode t =
+  let buf = Bytes.create (8 + 1 + 8 + 8 + 8 + 4 + (4 * n_direct) + 8) in
+  Codec.put_i64 buf 0 (Int64.of_int t.ino);
+  Codec.put_u8 buf 8 (match t.kind with File -> 0 | Dir -> 1);
+  Codec.put_i64 buf 9 (Int64.of_int t.size);
+  Codec.put_i64 buf 17 (Int64.of_int t.nlink);
+  Codec.put_i64 buf 25 t.mtime;
+  Codec.put_u32 buf 33 (t.dir_root + 1);
+  Array.iteri (fun i p -> Codec.put_u32 buf (37 + (4 * i)) (p + 1)) t.direct;
+  Codec.put_u32 buf (37 + (4 * n_direct)) (t.indirect + 1);
+  Codec.put_u32 buf (41 + (4 * n_direct)) (t.double_indirect + 1);
+  Bytes.unsafe_to_string buf
+
+let decode s =
+  let buf = Bytes.unsafe_of_string s in
+  try
+    let ino = Int64.to_int (Codec.get_i64 buf 0) in
+    let kind =
+      match Codec.get_u8 buf 8 with
+      | 0 -> File
+      | 1 -> Dir
+      | k -> Fmt.failwith "Inode.decode: unknown kind %d" k
+    in
+    let size = Int64.to_int (Codec.get_i64 buf 9) in
+    let nlink = Int64.to_int (Codec.get_i64 buf 17) in
+    let mtime = Codec.get_i64 buf 25 in
+    let dir_root = Codec.get_u32 buf 33 - 1 in
+    let direct =
+      Array.init n_direct (fun i -> Codec.get_u32 buf (37 + (4 * i)) - 1)
+    in
+    let indirect = Codec.get_u32 buf (37 + (4 * n_direct)) - 1 in
+    let double_indirect = Codec.get_u32 buf (41 + (4 * n_direct)) - 1 in
+    {
+      ino;
+      kind;
+      size;
+      nlink;
+      mtime;
+      dir_root;
+      direct;
+      indirect;
+      double_indirect;
+    }
+  with Invalid_argument _ -> failwith "Inode.decode: truncated inode"
+
+let max_file_blocks ~block_size =
+  let ptrs = block_size / 4 in
+  n_direct + ptrs + (ptrs * ptrs)

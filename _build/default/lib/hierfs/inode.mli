@@ -1,0 +1,37 @@
+(** Inodes for the hierarchical baseline file system.
+
+    Classic FFS shape (McKusick et al. 1984, the paper's reference
+    [13]): fixed metadata plus a block map of 12 direct pointers, one
+    single-indirect and one double-indirect pointer. Reading a byte deep
+    in a large file therefore costs extra {e physical-index} page reads —
+    one of the four-plus index traversals §2.3 counts against the
+    hierarchical stack.
+
+    Directories store the root page of their entry B-tree in
+    [dir_root] and leave the block map empty. *)
+
+type kind = File | Dir
+
+type t = {
+  ino : int;
+  kind : kind;
+  mutable size : int;
+  mutable nlink : int;
+  mutable mtime : int64;
+  mutable dir_root : int;          (** directory entry B-tree root; -1 for files *)
+  direct : int array;              (** 12 direct block pointers; -1 = hole *)
+  mutable indirect : int;          (** block of pointers; -1 = none *)
+  mutable double_indirect : int;   (** block of pointer blocks; -1 = none *)
+}
+
+val n_direct : int
+(** 12 *)
+
+val make : ino:int -> kind:kind -> t
+
+val encode : t -> string
+val decode : string -> t
+(** @raise Failure on malformed input. *)
+
+val max_file_blocks : block_size:int -> int
+(** Largest representable file in blocks for a given block size. *)

@@ -1,0 +1,49 @@
+type t = {
+  table : (int, Mutex.t) Hashtbl.t;
+  table_mutex : Mutex.t;
+  acquisitions : int Atomic.t;
+  waits : int Atomic.t;
+}
+
+let create () =
+  {
+    table = Hashtbl.create 64;
+    table_mutex = Mutex.create ();
+    acquisitions = Atomic.make 0;
+    waits = Atomic.make 0;
+  }
+
+let lock_of t ino =
+  Mutex.lock t.table_mutex;
+  let m =
+    match Hashtbl.find_opt t.table ino with
+    | Some m -> m
+    | None ->
+        let m = Mutex.create () in
+        Hashtbl.replace t.table ino m;
+        m
+  in
+  Mutex.unlock t.table_mutex;
+  m
+
+let with_lock t ino f =
+  let m = lock_of t ino in
+  Atomic.incr t.acquisitions;
+  if not (Mutex.try_lock m) then begin
+    Atomic.incr t.waits;
+    Mutex.lock m
+  end;
+  match f () with
+  | result ->
+      Mutex.unlock m;
+      result
+  | exception e ->
+      Mutex.unlock m;
+      raise e
+
+let acquisitions t = Atomic.get t.acquisitions
+let waits t = Atomic.get t.waits
+
+let reset_stats t =
+  Atomic.set t.acquisitions 0;
+  Atomic.set t.waits 0

@@ -1,0 +1,28 @@
+(** Per-directory lock table with contention accounting.
+
+    §2.3: "the directories /home/nick and /home/margo are functionally
+    unrelated most of the time, yet accessing them requires synchronizing
+    read access through a shared ancestor directory."
+
+    Every directory the path walk touches is locked for the duration of
+    its entry lookup (the per-dentry serialization real kernels perform).
+    The table records, exactly:
+
+    - [acquisitions] — how many locks were taken in total;
+    - [waits] — how many acquisitions found the lock already held
+      (i.e. genuine cross-thread contention, detected via [try_lock]).
+
+    Experiment C2 reads both counters while domains hammer sibling
+    subtrees in parallel. *)
+
+type t
+
+val create : unit -> t
+
+val with_lock : t -> int -> (unit -> 'a) -> 'a
+(** [with_lock t ino f] runs [f] holding the lock of directory [ino]
+    (locks are created on first use and never discarded). *)
+
+val acquisitions : t -> int
+val waits : t -> int
+val reset_stats : t -> unit

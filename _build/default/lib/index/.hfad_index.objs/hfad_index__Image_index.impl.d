@@ -1,0 +1,1 @@
+lib/index/image_index.ml: Array Char Hfad_osd Int64 Kv_index List Printf String

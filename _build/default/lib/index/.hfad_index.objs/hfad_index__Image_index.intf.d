@@ -1,0 +1,1 @@
+lib/index/image_index.mli: Hfad_btree Hfad_osd Kv_index

@@ -1,0 +1,1 @@
+lib/index/index_store.ml: Hashtbl Hfad_btree Hfad_fulltext Hfad_metrics Hfad_osd Image_index Kv_index List String Tag

@@ -1,0 +1,1 @@
+lib/index/index_store.mli: Hfad_fulltext Hfad_osd Image_index Tag

@@ -1,0 +1,1 @@
+lib/index/kv_index.ml: Format Hfad_btree Hfad_osd Hfad_util List Option String

@@ -1,0 +1,1 @@
+lib/index/kv_index.mli: Hfad_btree Hfad_osd

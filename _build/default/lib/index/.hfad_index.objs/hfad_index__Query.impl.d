@@ -1,0 +1,1 @@
+lib/index/query.ml: Buffer Format Hfad_osd Index_store List Printf String Tag

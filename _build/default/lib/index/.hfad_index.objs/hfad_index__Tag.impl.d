@@ -1,0 +1,1 @@
+lib/index/tag.ml: Format String

@@ -1,0 +1,65 @@
+module Oid = Hfad_osd.Oid
+
+type t = { kv : Kv_index.t }
+
+let create tree ~namespace = { kv = Kv_index.create tree ~namespace }
+let kv t = t.kv
+
+let hash_of_bytes payload =
+  let n = String.length payload in
+  if n = 0 then 0L
+  else begin
+    (* Mean intensity per window of n/64 bytes (at least 1). *)
+    let means = Array.make 64 0. in
+    let window = max 1 (n / 64) in
+    for w = 0 to 63 do
+      let start = w * window in
+      if start < n then begin
+        let stop = min n (start + window) in
+        let sum = ref 0 in
+        for i = start to stop - 1 do
+          sum := !sum + Char.code payload.[i]
+        done;
+        means.(w) <- float_of_int !sum /. float_of_int (stop - start)
+      end
+    done;
+    let global = Array.fold_left ( +. ) 0. means /. 64. in
+    let hash = ref 0L in
+    for w = 0 to 63 do
+      if means.(w) > global then
+        hash := Int64.logor !hash (Int64.shift_left 1L w)
+    done;
+    !hash
+  end
+
+let hash_to_value h = Printf.sprintf "%016Lx" h
+
+let value_to_hash s =
+  if String.length s <> 16 then invalid_arg "Image_index.value_to_hash: length";
+  match Int64.of_string_opt ("0x" ^ s) with
+  | Some h -> h
+  | None -> invalid_arg "Image_index.value_to_hash: not hex"
+
+let hamming a b =
+  let rec popcount x acc =
+    if x = 0L then acc
+    else popcount (Int64.logand x (Int64.sub x 1L)) (acc + 1)
+  in
+  popcount (Int64.logxor a b) 0
+
+let add_hash t oid h = Kv_index.add t.kv oid (hash_to_value h)
+let add t oid payload = add_hash t oid (hash_of_bytes payload)
+let remove t oid = ignore (Kv_index.drop_object t.kv oid)
+let lookup_exact t h = Kv_index.lookup t.kv (hash_to_value h)
+
+let lookup_near t h ~max_distance =
+  Kv_index.fold_values t.kv ~init:[] (fun acc value oid ->
+      let d = hamming h (value_to_hash value) in
+      if d <= max_distance then (oid, d) :: acc else acc)
+  |> List.sort (fun (oa, da) (ob, db) ->
+         match compare da db with 0 -> Oid.compare oa ob | c -> c)
+
+let hash_of t oid =
+  match Kv_index.values_of t.kv oid with
+  | value :: _ -> Some (value_to_hash value)
+  | [] -> None

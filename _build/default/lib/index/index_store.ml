@@ -1,0 +1,184 @@
+module Osd = Hfad_osd.Osd
+module Oid = Hfad_osd.Oid
+module Btree = Hfad_btree.Btree
+module Fulltext = Hfad_fulltext.Fulltext
+module Lazy_indexer = Hfad_fulltext.Lazy_indexer
+module Registry = Hfad_metrics.Registry
+module Counter = Hfad_metrics.Counter
+
+exception Unsupported_tag of Tag.t
+
+type t = {
+  osd : Osd.t;
+  attrs : Btree.t;
+  fulltext : Fulltext.t;
+  indexer : Lazy_indexer.t;
+  kv : (string, Kv_index.t) Hashtbl.t;
+  image : Image_index.t;
+}
+
+let c_lookups = Registry.counter Registry.global "index.lookups"
+let c_queries = Registry.counter Registry.global "index.queries"
+
+let image_tag = Tag.Custom "IMAGE"
+
+let create osd =
+  let attrs = Osd.named_tree osd "attrs" in
+  let ft_tree = Osd.named_tree osd "fulltext" in
+  let fulltext = Fulltext.create ft_tree in
+  {
+    osd;
+    attrs;
+    fulltext;
+    indexer = Lazy_indexer.create fulltext;
+    kv = Hashtbl.create 8;
+    image = Image_index.create attrs ~namespace:(Tag.to_string image_tag);
+  }
+
+let kv_index t tag =
+  match tag with
+  | Tag.Fulltext | Tag.Id -> raise (Unsupported_tag tag)
+  | Tag.Posix | Tag.User | Tag.Udef | Tag.App | Tag.Custom _ ->
+      let name = Tag.to_string tag in
+      (match Hashtbl.find_opt t.kv name with
+      | Some kv -> kv
+      | None ->
+          let kv = Kv_index.create t.attrs ~namespace:name in
+          Hashtbl.replace t.kv name kv;
+          kv)
+
+(* --- attribute tagging ---------------------------------------------------- *)
+
+let add t oid tag value = Kv_index.add (kv_index t tag) oid value
+let remove t oid tag value = Kv_index.remove (kv_index t tag) oid value
+
+let values_of t oid =
+  (* The image plug-in shares the attribute tree, so its namespace is
+     covered by iterating the registered KV slices plus IMAGE. *)
+  let tags =
+    image_tag
+    :: List.filter
+         (fun tag -> match tag with Tag.Fulltext | Tag.Id -> false | _ -> true)
+         Tag.builtin
+  in
+  let custom =
+    Hashtbl.fold
+      (fun name _ acc ->
+        let tag = Tag.of_string name in
+        if List.exists (Tag.equal tag) tags then acc else tag :: acc)
+      t.kv []
+  in
+  List.concat_map
+    (fun tag ->
+      List.map (fun v -> (tag, v)) (Kv_index.values_of (kv_index t tag) oid))
+    (tags @ custom)
+  |> List.sort (fun (ta, va) (tb, vb) ->
+         match Tag.compare ta tb with 0 -> String.compare va vb | c -> c)
+
+(* --- content indexing ------------------------------------------------------ *)
+
+let index_text ?(lazily = true) t oid text =
+  if lazily then Lazy_indexer.submit_add t.indexer oid text
+  else Fulltext.add_document t.fulltext oid text
+
+let unindex_text ?(lazily = true) t oid =
+  if lazily then Lazy_indexer.submit_remove t.indexer oid
+  else Fulltext.remove_document t.fulltext oid
+
+let indexer t = t.indexer
+let fulltext t = t.fulltext
+let image t = t.image
+
+(* --- naming ------------------------------------------------------------------ *)
+
+let lookup t (tag, value) =
+  Counter.incr c_lookups;
+  match tag with
+  | Tag.Id -> (
+      match Oid.of_string value with
+      | Some oid when Osd.exists t.osd oid -> [ oid ]
+      | Some _ | None -> [])
+  | Tag.Fulltext -> Fulltext.search t.fulltext [ value ]
+  | Tag.Posix | Tag.User | Tag.Udef | Tag.App | Tag.Custom _ ->
+      Kv_index.lookup (kv_index t tag) value
+
+(* Ordering decisions never benefit from precision beyond this bound,
+   and an exact count of a popular value would itself scan the postings. *)
+let selectivity_cap = 1024
+
+let selectivity t (tag, value) =
+  match tag with
+  | Tag.Id -> 1
+  | Tag.Fulltext -> Fulltext.document_frequency t.fulltext value
+  | Tag.Posix | Tag.User | Tag.Udef | Tag.App | Tag.Custom _ ->
+      Kv_index.count_value_capped (kv_index t tag) value ~cap:selectivity_cap
+
+let contains t oid (tag, value) =
+  match tag with
+  | Tag.Id -> (
+      match Oid.of_string value with
+      | Some target -> Oid.equal oid target && Osd.exists t.osd oid
+      | None -> false)
+  | Tag.Fulltext -> Fulltext.mem_posting t.fulltext value oid
+  | Tag.Posix | Tag.User | Tag.Udef | Tag.App | Tag.Custom _ ->
+      Kv_index.mem (kv_index t tag) oid value
+
+(* Intersection of ascending OID lists. *)
+let intersect a b =
+  let rec go xs ys acc =
+    match (xs, ys) with
+    | [], _ | _, [] -> List.rev acc
+    | x :: xs', y :: ys' ->
+        let c = Oid.compare x y in
+        if c = 0 then go xs' ys' (x :: acc)
+        else if c < 0 then go xs' ys acc
+        else go xs ys' acc
+  in
+  go a b []
+
+(* When the surviving candidate set is much smaller than a pair's
+   posting list, probing each candidate (one descent each) beats
+   scanning the postings. *)
+let probe_threshold = 8
+
+let narrow t acc (sel, pair) =
+  match acc with
+  | [] -> []
+  | _ when sel > probe_threshold * List.length acc ->
+      List.filter (fun oid -> contains t oid pair) acc
+  | _ -> intersect acc (lookup t pair)
+
+let query t pairs =
+  Counter.incr c_queries;
+  match pairs with
+  | [] -> []
+  | _ ->
+      (* Cheapest pair first, then narrow (scanning or probing). *)
+      let ordered =
+        pairs
+        |> List.map (fun pair -> (selectivity t pair, pair))
+        |> List.sort compare
+      in
+      (match ordered with
+      | (_, first) :: rest ->
+          List.fold_left (narrow t) (lookup t first) rest
+      | [] -> [])
+
+let lookup_prefix t tag prefix =
+  match tag with
+  | Tag.Fulltext | Tag.Id -> raise (Unsupported_tag tag)
+  | Tag.Posix | Tag.User | Tag.Udef | Tag.App | Tag.Custom _ ->
+      Kv_index.lookup_prefix (kv_index t tag) prefix
+
+(* --- maintenance ---------------------------------------------------------------- *)
+
+let drop_object t oid =
+  List.iter
+    (fun (tag, value) -> ignore (remove t oid tag value))
+    (values_of t oid);
+  Fulltext.remove_document t.fulltext oid
+
+let verify t =
+  Hashtbl.iter (fun _ kv -> Kv_index.verify kv) t.kv;
+  Kv_index.verify (Image_index.kv t.image);
+  Fulltext.verify t.fulltext

@@ -1,0 +1,254 @@
+module Oid = Hfad_osd.Oid
+
+type t =
+  | Pair of Tag.t * string
+  | And of t list
+  | Or of t list
+  | Not of t
+
+exception Unbounded_not of t
+exception Parse_error of string
+
+let pair tag value = Pair (tag, value)
+let ( &&& ) a b = And [ a; b ]
+let ( ||| ) a b = Or [ a; b ]
+let not_ q = Not q
+
+(* --- sorted OID-list set algebra ------------------------------------------ *)
+
+let inter a b =
+  let rec go xs ys acc =
+    match (xs, ys) with
+    | [], _ | _, [] -> List.rev acc
+    | x :: xs', y :: ys' ->
+        let c = Oid.compare x y in
+        if c = 0 then go xs' ys' (x :: acc)
+        else if c < 0 then go xs' ys acc
+        else go xs ys' acc
+  in
+  go a b []
+
+let union a b =
+  let rec go xs ys acc =
+    match (xs, ys) with
+    | [], rest | rest, [] -> List.rev_append acc rest
+    | x :: xs', y :: ys' ->
+        let c = Oid.compare x y in
+        if c = 0 then go xs' ys' (x :: acc)
+        else if c < 0 then go xs' ys (x :: acc)
+        else go xs ys' (y :: acc)
+  in
+  go a b []
+
+let diff a b =
+  let rec go xs ys acc =
+    match (xs, ys) with
+    | [], _ -> List.rev acc
+    | rest, [] -> List.rev_append acc rest
+    | x :: xs', y :: ys' ->
+        let c = Oid.compare x y in
+        if c = 0 then go xs' ys' acc
+        else if c < 0 then go xs' ys (x :: acc)
+        else go xs ys' acc
+  in
+  go a b []
+
+(* --- planning ---------------------------------------------------------------- *)
+
+let max_estimate = max_int / 4
+
+let rec estimate store = function
+  | Pair (tag, value) -> Index_store.selectivity store (tag, value)
+  | And children ->
+      (* Negations do not bound the result; take the min over positives. *)
+      List.fold_left
+        (fun acc child ->
+          match child with
+          | Not _ -> acc
+          | q -> min acc (estimate store q))
+        max_estimate children
+  | Or children ->
+      List.fold_left (fun acc q -> acc + estimate store q) 0 children
+  | Not _ -> max_estimate
+
+let rec eval store q =
+  match q with
+  | Pair (tag, value) -> Index_store.lookup store (tag, value)
+  | Or children -> List.fold_left (fun acc c -> union acc (eval store c)) [] children
+  | Not _ -> raise (Unbounded_not q)
+  | And children ->
+      let positives, negatives =
+        List.partition (function Not _ -> false | _ -> true) children
+      in
+      if positives = [] then raise (Unbounded_not q);
+      (* Cheapest positive first, narrowing as we go; negatives last. *)
+      let ordered =
+        positives
+        |> List.map (fun c -> (estimate store c, c))
+        |> List.sort compare
+        |> List.map snd
+      in
+      let base =
+        match ordered with
+        | first :: rest ->
+            List.fold_left
+              (fun acc c ->
+                match (acc, c) with
+                | [], _ -> []
+                | _, Pair (tag, value)
+                  when estimate store c > 8 * List.length acc ->
+                    (* probe candidates instead of scanning postings *)
+                    List.filter
+                      (fun oid -> Index_store.contains store oid (tag, value))
+                      acc
+                | _, _ -> inter acc (eval store c))
+              (eval store first) rest
+        | [] -> assert false
+      in
+      List.fold_left
+        (fun acc c ->
+          match (acc, c) with
+          | [], _ -> []
+          | _, Not inner -> diff acc (eval store inner)
+          | _, _ -> assert false)
+        base negatives
+
+(* --- explain ---------------------------------------------------------------------- *)
+
+let explain store q =
+  let buf = Buffer.create 256 in
+  let line depth fmt =
+    Buffer.add_string buf (String.make (2 * depth) ' ');
+    Format.kasprintf
+      (fun s ->
+        Buffer.add_string buf s;
+        Buffer.add_char buf '\n')
+      fmt
+  in
+  let est q =
+    let e = estimate store q in
+    if e >= max_estimate then "?" else string_of_int e
+  in
+  let rec go depth q =
+    match q with
+    | Pair (tag, value) ->
+        line depth "scan %s/%s (est %s)" (Tag.to_string tag) value (est q)
+    | Or children ->
+        line depth "union (est %s)" (est q);
+        List.iter (go (depth + 1)) children
+    | Not inner ->
+        line depth "difference";
+        go (depth + 1) inner
+    | And children ->
+        line depth "intersect, cheapest first (est %s)" (est q);
+        let positives, negatives =
+          List.partition (function Not _ -> false | _ -> true) children
+        in
+        let ordered =
+          positives
+          |> List.map (fun c -> (estimate store c, c))
+          |> List.sort compare
+          |> List.map snd
+        in
+        List.iter (go (depth + 1)) (ordered @ negatives)
+  in
+  go 0 q;
+  Buffer.contents buf
+
+(* --- concrete syntax ------------------------------------------------------------------- *)
+
+let to_string q =
+  let rec go = function
+    | Pair (tag, value) -> Tag.to_string tag ^ "/" ^ value
+    | And children -> "(" ^ String.concat " & " (List.map go children) ^ ")"
+    | Or children -> "(" ^ String.concat " | " (List.map go children) ^ ")"
+    | Not inner -> "!" ^ go inner
+  in
+  go q
+
+let equal a b = a = b
+let pp fmt q = Format.pp_print_string fmt (to_string q)
+
+(* Recursive-descent parser over a tiny token stream. Values extend to
+   the next delimiter; surrounding whitespace is trimmed. *)
+type token = Tok_pair of Tag.t * string | Tok_and | Tok_or | Tok_not
+           | Tok_open | Tok_close
+
+let tokenize input =
+  let n = String.length input in
+  let tokens = ref [] in
+  let i = ref 0 in
+  let is_space c = c = ' ' || c = '\t' || c = '\n' in
+  while !i < n do
+    let c = input.[!i] in
+    if is_space c then incr i
+    else if c = '&' then (tokens := Tok_and :: !tokens; incr i)
+    else if c = '|' then (tokens := Tok_or :: !tokens; incr i)
+    else if c = '!' then (tokens := Tok_not :: !tokens; incr i)
+    else if c = '(' then (tokens := Tok_open :: !tokens; incr i)
+    else if c = ')' then (tokens := Tok_close :: !tokens; incr i)
+    else begin
+      (* a TAG/value atom: read until a delimiter *)
+      let start = !i in
+      while
+        !i < n
+        && not (List.mem input.[!i] [ '&'; '|'; '('; ')'; '!' ])
+      do
+        incr i
+      done;
+      let atom = String.trim (String.sub input start (!i - start)) in
+      match Tag.pair_of_string atom with
+      | tag, value -> tokens := Tok_pair (tag, value) :: !tokens
+      | exception Invalid_argument _ ->
+          raise (Parse_error (Printf.sprintf "expected TAG/value, got %S" atom))
+    end
+  done;
+  List.rev !tokens
+
+let of_string input =
+  let tokens = ref (tokenize input) in
+  let peek () = match !tokens with [] -> None | tok :: _ -> Some tok in
+  let advance () = match !tokens with [] -> () | _ :: rest -> tokens := rest in
+  let rec parse_or () =
+    let first = parse_and () in
+    let rec loop acc =
+      match peek () with
+      | Some Tok_or ->
+          advance ();
+          loop (parse_and () :: acc)
+      | _ -> acc
+    in
+    match loop [ first ] with [ single ] -> single | many -> Or (List.rev many)
+  and parse_and () =
+    let first = parse_factor () in
+    let rec loop acc =
+      match peek () with
+      | Some Tok_and ->
+          advance ();
+          loop (parse_factor () :: acc)
+      | _ -> acc
+    in
+    match loop [ first ] with [ single ] -> single | many -> And (List.rev many)
+  and parse_factor () =
+    match peek () with
+    | Some Tok_not ->
+        advance ();
+        Not (parse_factor ())
+    | Some Tok_open ->
+        advance ();
+        let inner = parse_or () in
+        (match peek () with
+        | Some Tok_close -> advance ()
+        | _ -> raise (Parse_error "expected ')'"));
+        inner
+    | Some (Tok_pair (tag, value)) ->
+        advance ();
+        Pair (tag, value)
+    | Some Tok_close -> raise (Parse_error "unexpected ')'")
+    | Some (Tok_and | Tok_or) -> raise (Parse_error "unexpected operator")
+    | None -> raise (Parse_error "unexpected end of query")
+  in
+  let q = parse_or () in
+  match peek () with
+  | None -> q
+  | Some _ -> raise (Parse_error "trailing input")

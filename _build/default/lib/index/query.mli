@@ -1,0 +1,64 @@
+(** Boolean queries over the index stores — §4's open question, answered.
+
+    "How much should the index stores do? Should they support arbitrary
+    boolean queries? Should they include full-fledged query optimizers?"
+
+    This module implements arbitrary and/or/not combinations of tag/value
+    pairs with a selectivity-driven planner:
+
+    - [And] evaluates its cheapest conjunct first (per
+      {!Index_store.selectivity}) and narrows, exactly like the flat
+      conjunction path, with [Not] children applied last as set
+      differences;
+    - [Or] unions its children;
+    - [Not] is only meaningful below an [And] that contains at least one
+      positive term (a top-level or all-negative query would enumerate
+      the universe; {!eval} rejects it with {!Unbounded_not}).
+
+    A concrete syntax is provided for tools:
+
+    {v
+      query   := or
+      or      := and ('|' and)*
+      and     := factor ('&' factor)*
+      factor  := '!' factor | '(' query ')' | TAG '/' value
+    v}
+
+    e.g. ["USER/margo & (UDEF/beach | UDEF/hawaii) & !APP/trash"]. *)
+
+type t =
+  | Pair of Tag.t * string
+  | And of t list
+  | Or of t list
+  | Not of t
+
+exception Unbounded_not of t
+(** Raised by {!eval} when a [Not] is not guarded by a positive sibling. *)
+
+exception Parse_error of string
+
+val pair : Tag.t -> string -> t
+val ( &&& ) : t -> t -> t
+val ( ||| ) : t -> t -> t
+val not_ : t -> t
+
+val eval : Index_store.t -> t -> Hfad_osd.Oid.t list
+(** Objects satisfying the query, ascending OID order.
+    @raise Unbounded_not as described above. *)
+
+val estimate : Index_store.t -> t -> int
+(** The planner's result-size estimate (an upper bound for [And]/[Pair],
+    a sum bound for [Or]). *)
+
+val explain : Index_store.t -> t -> string
+(** Multi-line rendering of the evaluation plan: each node with its
+    selectivity estimate and the chosen conjunct order. *)
+
+val of_string : string -> t
+(** Parse the concrete syntax. @raise Parse_error. *)
+
+val to_string : t -> string
+(** Render back to (fully parenthesized) concrete syntax. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,43 @@
+type t =
+  | Posix
+  | Fulltext
+  | User
+  | Udef
+  | App
+  | Id
+  | Custom of string
+
+let builtin = [ Posix; Fulltext; User; Udef; App; Id ]
+
+let to_string = function
+  | Posix -> "POSIX"
+  | Fulltext -> "FULLTEXT"
+  | User -> "USER"
+  | Udef -> "UDEF"
+  | App -> "APP"
+  | Id -> "ID"
+  | Custom name -> String.uppercase_ascii name
+
+let of_string s =
+  if s = "" then invalid_arg "Tag.of_string: empty tag";
+  if String.contains s '/' then invalid_arg "Tag.of_string: tag contains '/'";
+  match String.uppercase_ascii s with
+  | "POSIX" -> Posix
+  | "FULLTEXT" -> Fulltext
+  | "USER" -> User
+  | "UDEF" -> Udef
+  | "APP" -> App
+  | "ID" -> Id
+  | other -> Custom other
+
+let equal a b = to_string a = to_string b
+let compare a b = String.compare (to_string a) (to_string b)
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+let pp_pair fmt (tag, value) = Format.fprintf fmt "%a/%s" pp tag value
+
+let pair_of_string s =
+  match String.index_opt s '/' with
+  | None -> invalid_arg "Tag.pair_of_string: missing '/'"
+  | Some i ->
+      ( of_string (String.sub s 0 i),
+        String.sub s (i + 1) (String.length s - i - 1) )

@@ -1,0 +1,1 @@
+lib/journal/journal.ml: Bytes Hfad_blockdev Hfad_util Int64 List

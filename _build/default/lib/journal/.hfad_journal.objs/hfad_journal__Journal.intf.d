@@ -1,0 +1,1 @@
+lib/journal/journal.mli: Bytes Hfad_blockdev

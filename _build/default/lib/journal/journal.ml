@@ -1,0 +1,151 @@
+module Device = Hfad_blockdev.Device
+module Codec = Hfad_util.Codec
+module Crc32 = Hfad_util.Crc32
+
+exception Journal_full of { needed_blocks : int; have_blocks : int }
+
+let magic = "hFADJRN1"
+let state_clean = 0
+let state_committed = 1
+
+type t = {
+  dev : Device.t;
+  first_block : int;
+  blocks : int;
+  block_size : int;
+  mutable seq : int64;
+}
+
+(* --- header ----------------------------------------------------------- *)
+(* magic(8) | seq i64 | state u8 | payload_len u32 | crc u32 *)
+
+let write_header t ~state ~payload_len ~crc =
+  let page = Bytes.make t.block_size '\000' in
+  Bytes.blit_string magic 0 page 0 8;
+  Codec.put_i64 page 8 t.seq;
+  Codec.put_u8 page 16 state;
+  Codec.put_u32 page 17 payload_len;
+  Bytes.set_int32_be page 21 crc;
+  Device.write_block t.dev t.first_block page;
+  Device.flush t.dev
+
+let read_header t =
+  let page = Device.read_block t.dev t.first_block in
+  if Bytes.sub_string page 0 8 <> magic then
+    failwith "Journal.attach: bad magic";
+  let seq = Codec.get_i64 page 8 in
+  let state = Codec.get_u8 page 16 in
+  let payload_len = Codec.get_u32 page 17 in
+  let crc = Bytes.get_int32_be page 21 in
+  (seq, state, payload_len, crc)
+
+(* --- construction -------------------------------------------------------- *)
+
+let mk dev ~first_block ~blocks =
+  if blocks < 2 then invalid_arg "Journal: region too small";
+  {
+    dev;
+    first_block;
+    blocks;
+    block_size = Device.block_size dev;
+    seq = 0L;
+  }
+
+let format dev ~first_block ~blocks =
+  let t = mk dev ~first_block ~blocks in
+  write_header t ~state:state_clean ~payload_len:0 ~crc:0l;
+  t
+
+let attach dev ~first_block ~blocks =
+  let t = mk dev ~first_block ~blocks in
+  let seq, _, _, _ = read_header t in
+  t.seq <- seq;
+  t
+
+let payload_capacity t = (t.blocks - 1) * t.block_size
+
+let capacity_pages t =
+  (* 4 (count) + per page (4 + block_size) *)
+  (payload_capacity t - 4) / (4 + t.block_size)
+
+(* --- raw payload I/O across the record blocks ------------------------------ *)
+
+let write_payload t payload =
+  let len = Bytes.length payload in
+  let rec loop off block =
+    if off < len then begin
+      let chunk = min t.block_size (len - off) in
+      let page = Bytes.make t.block_size '\000' in
+      Bytes.blit payload off page 0 chunk;
+      Device.write_block t.dev block page;
+      loop (off + chunk) (block + 1)
+    end
+  in
+  loop 0 (t.first_block + 1)
+
+let read_payload t len =
+  let payload = Bytes.create len in
+  let rec loop off block =
+    if off < len then begin
+      let chunk = min t.block_size (len - off) in
+      let page = Device.read_block t.dev block in
+      Bytes.blit page 0 payload off chunk;
+      loop (off + chunk) (block + 1)
+    end
+  in
+  loop 0 (t.first_block + 1);
+  payload
+
+(* --- commit / recover -------------------------------------------------------- *)
+
+let encode_batch t pages =
+  let len = 4 + List.length pages * (4 + t.block_size) in
+  let payload = Bytes.create len in
+  Codec.put_u32 payload 0 (List.length pages);
+  List.iteri
+    (fun i (home, data) ->
+      if Bytes.length data <> t.block_size then
+        invalid_arg "Journal.commit: page size mismatch";
+      let off = 4 + (i * (4 + t.block_size)) in
+      Codec.put_u32 payload off home;
+      Bytes.blit data 0 payload (off + 4) t.block_size)
+    pages;
+  payload
+
+let decode_batch t payload =
+  let count = Codec.get_u32 payload 0 in
+  List.init count (fun i ->
+      let off = 4 + (i * (4 + t.block_size)) in
+      let home = Codec.get_u32 payload off in
+      (home, Bytes.sub payload (off + 4) t.block_size))
+
+let commit t pages =
+  match pages with
+  | [] -> ()
+  | _ ->
+      let payload = encode_batch t pages in
+      let needed = 1 + ((Bytes.length payload + t.block_size - 1) / t.block_size) in
+      if needed > t.blocks then
+        raise (Journal_full { needed_blocks = needed; have_blocks = t.blocks });
+      (* Write the record body first, then seal it with the header: a
+         crash before the header write leaves state = clean. *)
+      write_payload t payload;
+      t.seq <- Int64.add t.seq 1L;
+      let crc = Crc32.bytes payload ~pos:0 ~len:(Bytes.length payload) in
+      write_header t ~state:state_committed ~payload_len:(Bytes.length payload)
+        ~crc
+
+let mark_clean t = write_header t ~state:state_clean ~payload_len:0 ~crc:0l
+
+let recover t =
+  let seq, state, payload_len, crc = read_header t in
+  t.seq <- seq;
+  if state <> state_committed then None
+  else begin
+    let payload = read_payload t payload_len in
+    if Crc32.bytes payload ~pos:0 ~len:payload_len <> crc then
+      failwith "Journal.recover: sealed record fails CRC";
+    Some (decode_batch t payload)
+  end
+
+let sequence t = t.seq

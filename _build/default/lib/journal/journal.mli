@@ -1,0 +1,63 @@
+(** Physical write-ahead journal — crash-consistent checkpoints.
+
+    §1 of the paper opens with file systems adopting database technology
+    — "journaling (logging), transactions, btrees" — and §3.3 leaves the
+    OSD's transactionality as "an implementation decision". This module
+    makes that decision concrete with the classic NO-STEAL / FORCE
+    scheme:
+
+    - dirty pages never reach their home location between checkpoints
+      (the pager runs in no-steal mode, see
+      {!Hfad_pager.Pager.create});
+    - a checkpoint first appends every dirty page to the journal region
+      and seals it with a CRC-covered commit record, then writes the
+      pages home, then marks the journal clean.
+
+    A crash therefore leaves the device in one of three states, all
+    recoverable: (1) journal clean → home locations are consistent as of
+    the previous checkpoint; (2) journal partially written, commit seal
+    absent or CRC bad → discard, home locations still consistent;
+    (3) journal sealed, home writes possibly torn → {!recover} replays
+    the journal, reproducing the checkpoint exactly (replay is
+    idempotent).
+
+    On-device layout (a dedicated block range):
+    {v
+    block 0:   header — magic, sequence number, state (clean/committed)
+    block 1..: record — u32 page count, then per page (u32 home page no,
+               payload), packed back-to-back; CRC-32 of everything in the
+               header's commit word
+    v} *)
+
+type t
+
+exception Journal_full of { needed_blocks : int; have_blocks : int }
+
+val format : Hfad_blockdev.Device.t -> first_block:int -> blocks:int -> t
+(** Initialize a clean journal in [\[first_block, first_block+blocks)].
+    @raise Invalid_argument if the region is too small (< 2 blocks). *)
+
+val attach : Hfad_blockdev.Device.t -> first_block:int -> blocks:int -> t
+(** Attach to an existing journal region (call {!recover} next).
+    @raise Failure on bad magic. *)
+
+val capacity_pages : t -> int
+(** Upper bound on the number of data pages one commit can carry. *)
+
+val commit : t -> (int * Bytes.t) list -> unit
+(** [commit t pages] durably records [(home_page, contents)] pairs and
+    seals them. After [commit] returns, the batch will survive a crash.
+    @raise Journal_full if the batch exceeds the region. An empty batch
+    is a no-op. *)
+
+val mark_clean : t -> unit
+(** Declare the home locations up to date (checkpoint complete). *)
+
+val recover : t -> (int * Bytes.t) list option
+(** [None] if the journal is clean or unsealed (nothing to do);
+    [Some pages] if a sealed, un-checkpointed commit exists — the caller
+    must write the pages home and then {!mark_clean}.
+    @raise Failure if a sealed record fails its CRC (double fault). *)
+
+val sequence : t -> int64
+(** Monotonic commit sequence number (diagnostics). *)

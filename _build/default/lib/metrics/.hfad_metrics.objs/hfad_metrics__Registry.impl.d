@@ -1,0 +1,1 @@
+lib/metrics/registry.ml: Counter Format List Mutex String

@@ -1,0 +1,1 @@
+lib/metrics/registry.mli: Counter Format

@@ -1,0 +1,9 @@
+type t = { name : string; value : int Atomic.t }
+
+let make name = { name; value = Atomic.make 0 }
+let name t = t.name
+let incr t = ignore (Atomic.fetch_and_add t.value 1)
+let add t n = ignore (Atomic.fetch_and_add t.value n)
+let get t = Atomic.get t.value
+let reset t = Atomic.set t.value 0
+let pp fmt t = Format.fprintf fmt "%s=%d" t.name (Atomic.get t.value)

@@ -1,0 +1,25 @@
+(** A single named, thread-safe monotonic counter.
+
+    Counters are the measurement backbone of the reproduction: the paper's
+    §2.3 argument is about {e counts} (index traversals, pages touched,
+    locks through shared ancestors), so every layer increments counters at
+    the points the paper talks about, and experiments read exact values
+    instead of inferring them from timings.
+
+    Increments are atomic ({!Atomic.t} underneath) so domains in the C2
+    concurrency experiment can share counters without locks. *)
+
+type t
+
+val make : string -> t
+(** [make name] creates a counter starting at zero. The name is
+    informational (printing, registry). *)
+
+val name : t -> string
+val incr : t -> unit
+val add : t -> int -> unit
+val get : t -> int
+val reset : t -> unit
+
+val pp : Format.formatter -> t -> unit
+(** Prints ["name=value"]. *)

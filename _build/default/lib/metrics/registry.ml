@@ -1,0 +1,47 @@
+type t = { mutex : Mutex.t; mutable table : Counter.t list }
+
+let create () = { mutex = Mutex.create (); table = [] }
+let global = create ()
+
+let counter t name =
+  Mutex.lock t.mutex;
+  let found =
+    List.find_opt (fun c -> Counter.name c = name) t.table
+  in
+  let c =
+    match found with
+    | Some c -> c
+    | None ->
+        let c = Counter.make name in
+        t.table <- c :: t.table;
+        c
+  in
+  Mutex.unlock t.mutex;
+  c
+
+let counters t =
+  Mutex.lock t.mutex;
+  let entries = List.map (fun c -> (Counter.name c, Counter.get c)) t.table in
+  Mutex.unlock t.mutex;
+  List.sort (fun (a, _) (b, _) -> String.compare a b) entries
+
+type snapshot = (string * int) list
+
+let snapshot t = counters t
+
+let diff t snap =
+  let base name =
+    match List.assoc_opt name snap with Some v -> v | None -> 0
+  in
+  counters t
+  |> List.filter_map (fun (name, v) ->
+         let delta = v - base name in
+         if delta = 0 then None else Some (name, delta))
+
+let reset_all t =
+  Mutex.lock t.mutex;
+  List.iter Counter.reset t.table;
+  Mutex.unlock t.mutex
+
+let pp_diff fmt entries =
+  List.iter (fun (name, v) -> Format.fprintf fmt "%s = %d@." name v) entries

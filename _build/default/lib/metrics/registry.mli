@@ -1,0 +1,38 @@
+(** A named collection of counters with snapshot/diff support.
+
+    Each experiment runs as: [snapshot] → exercise the system →
+    [diff against the snapshot] → print the delta. Registries are
+    hierarchical only by naming convention (["pager.cache_miss"],
+    ["hierfs.lock_wait"], ...). *)
+
+type t
+
+val create : unit -> t
+(** An empty registry. *)
+
+val global : t
+(** The process-wide registry every library registers into by default. *)
+
+val counter : t -> string -> Counter.t
+(** [counter t name] returns the counter registered under [name],
+    creating it on first use. Subsequent calls with the same name return
+    the same counter. Thread-safe. *)
+
+val counters : t -> (string * int) list
+(** Current values, sorted by name. *)
+
+type snapshot
+
+val snapshot : t -> snapshot
+(** Capture current values of all registered counters. *)
+
+val diff : t -> snapshot -> (string * int) list
+(** [diff t snap] returns, for every counter, its increase since [snap]
+    (counters created after the snapshot count from zero). Zero deltas
+    are omitted. Sorted by name. *)
+
+val reset_all : t -> unit
+(** Reset every registered counter to zero. *)
+
+val pp_diff : Format.formatter -> (string * int) list -> unit
+(** One ["name = value"] line per entry. *)

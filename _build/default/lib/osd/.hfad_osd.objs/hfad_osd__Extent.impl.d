@@ -1,0 +1,1 @@
+lib/osd/extent.ml: Bytes Format Hfad_util

@@ -1,0 +1,1 @@
+lib/osd/extent.mli: Format

@@ -1,0 +1,1 @@
+lib/osd/meta.ml: Bytes Fmt Format Hfad_util Int64

@@ -1,0 +1,1 @@
+lib/osd/meta.mli: Format

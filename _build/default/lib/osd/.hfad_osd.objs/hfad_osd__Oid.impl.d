@@ -1,0 +1,1 @@
+lib/osd/oid.ml: Format Hfad_util Int64

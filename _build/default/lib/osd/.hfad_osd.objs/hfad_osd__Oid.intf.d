@@ -1,0 +1,1 @@
+lib/osd/oid.mli: Format

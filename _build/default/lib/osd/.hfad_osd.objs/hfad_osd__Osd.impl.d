@@ -1,0 +1,1 @@
+lib/osd/osd.ml: Bytes Extent Fmt Format Hashtbl Hfad_alloc Hfad_blockdev Hfad_btree Hfad_journal Hfad_metrics Hfad_pager Hfad_util Int64 List Meta Oid Option String

@@ -1,0 +1,1 @@
+lib/osd/osd.mli: Hfad_alloc Hfad_blockdev Hfad_btree Hfad_pager Meta Oid

@@ -1,0 +1,32 @@
+module Codec = Hfad_util.Codec
+
+type t = { alloc_block : int; alloc_blocks : int; data_off : int; len : int }
+
+let make ~alloc_block ~alloc_blocks ~data_off ~len =
+  if alloc_block < 0 || alloc_blocks <= 0 || data_off < 0 || len <= 0 then
+    invalid_arg "Extent.make: negative or empty extent";
+  { alloc_block; alloc_blocks; data_off; len }
+
+let byte_addr ~block_size t = (t.alloc_block * block_size) + t.data_off
+
+let encode t =
+  let buf = Bytes.create 40 in
+  let off = Codec.put_varint buf 0 t.alloc_block in
+  let off = Codec.put_varint buf off t.alloc_blocks in
+  let off = Codec.put_varint buf off t.data_off in
+  let off = Codec.put_varint buf off t.len in
+  Bytes.sub_string buf 0 off
+
+let decode s =
+  let buf = Bytes.unsafe_of_string s in
+  try
+    let alloc_block, off = Codec.get_varint buf 0 in
+    let alloc_blocks, off = Codec.get_varint buf off in
+    let data_off, off = Codec.get_varint buf off in
+    let len, _ = Codec.get_varint buf off in
+    make ~alloc_block ~alloc_blocks ~data_off ~len
+  with Invalid_argument _ -> failwith "Extent.decode: truncated extent"
+
+let pp fmt t =
+  Format.fprintf fmt "extent{blk=%d×%d +%d len=%d}" t.alloc_block
+    t.alloc_blocks t.data_off t.len

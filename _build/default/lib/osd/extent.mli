@@ -1,0 +1,31 @@
+(** Extent descriptors — values of an object's offset-keyed B-tree.
+
+    "We represent objects in the OSD as ... btree databases whose keys are
+    file offsets where extents begin and whose data items are the disk
+    addresses and lengths corresponding to those offsets" (§3.4).
+
+    An extent references one buddy allocation. [data_off] lets us trim an
+    extent's head (during [remove]) without copying: the useful bytes are
+    the [len] bytes starting [data_off] bytes into the allocation. An
+    allocation is referenced by exactly one extent, so freeing the extent
+    frees [alloc_block]. *)
+
+type t = {
+  alloc_block : int;   (** first device block of the backing allocation *)
+  alloc_blocks : int;  (** blocks in the backing allocation (power of two) *)
+  data_off : int;      (** byte offset of live data within the allocation *)
+  len : int;           (** live bytes *)
+}
+
+val make : alloc_block:int -> alloc_blocks:int -> data_off:int -> len:int -> t
+(** @raise Invalid_argument on negative fields, [len = 0], or data that
+    overruns the allocation. *)
+
+val byte_addr : block_size:int -> t -> int
+(** Absolute device byte address of the extent's first live byte. *)
+
+val encode : t -> string
+val decode : string -> t
+(** @raise Failure on malformed input. *)
+
+val pp : Format.formatter -> t -> unit

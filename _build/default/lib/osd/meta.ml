@@ -1,0 +1,86 @@
+module Codec = Hfad_util.Codec
+
+type kind = Regular | Directory | Symlink
+
+type t = {
+  size : int;
+  kind : kind;
+  owner : string;
+  mode : int;
+  atime : int64;
+  mtime : int64;
+  ctime : int64;
+}
+
+let logical = ref 0L
+
+let logical_clock () =
+  logical := Int64.add !logical 1L;
+  !logical
+
+let clock = ref logical_clock
+let now () = !clock ()
+let set_clock f = clock := f
+
+let reset_logical_clock () =
+  logical := 0L;
+  clock := logical_clock
+
+let make ?(kind = Regular) ?(owner = "root") ?(mode = 0o644) () =
+  let t = now () in
+  { size = 0; kind; owner; mode; atime = t; mtime = t; ctime = t }
+
+let with_size t size = { t with size; mtime = now () }
+let touch_atime t = { t with atime = now () }
+let touch_mtime t = { t with mtime = now () }
+
+let kind_to_int = function Regular -> 0 | Directory -> 1 | Symlink -> 2
+
+let kind_of_int = function
+  | 0 -> Regular
+  | 1 -> Directory
+  | 2 -> Symlink
+  | n -> Fmt.failwith "Meta.decode: unknown kind %d" n
+
+let encode t =
+  let size =
+    Codec.varint_size t.size + 1
+    + Codec.string_size t.owner
+    + Codec.varint_size t.mode
+    + 24
+  in
+  let buf = Bytes.create size in
+  let off = Codec.put_varint buf 0 t.size in
+  Codec.put_u8 buf off (kind_to_int t.kind);
+  let off = off + 1 in
+  let off = Codec.put_string buf off t.owner in
+  let off = Codec.put_varint buf off t.mode in
+  Codec.put_i64 buf off t.atime;
+  Codec.put_i64 buf (off + 8) t.mtime;
+  Codec.put_i64 buf (off + 16) t.ctime;
+  Bytes.sub_string buf 0 (off + 24)
+
+let decode s =
+  let buf = Bytes.unsafe_of_string s in
+  try
+    let size, off = Codec.get_varint buf 0 in
+    let kind = kind_of_int (Codec.get_u8 buf off) in
+    let owner, off = Codec.get_string buf (off + 1) in
+    let mode, off = Codec.get_varint buf off in
+    let atime = Codec.get_i64 buf off in
+    let mtime = Codec.get_i64 buf (off + 8) in
+    let ctime = Codec.get_i64 buf (off + 16) in
+    { size; kind; owner; mode; atime; mtime; ctime }
+  with Invalid_argument _ -> failwith "Meta.decode: truncated metadata"
+
+let equal a b = a = b
+
+let pp fmt t =
+  let kind =
+    match t.kind with
+    | Regular -> "regular"
+    | Directory -> "directory"
+    | Symlink -> "symlink"
+  in
+  Format.fprintf fmt "{size=%d kind=%s owner=%s mode=%o a=%Ld m=%Ld c=%Ld}"
+    t.size kind t.owner t.mode t.atime t.mtime t.ctime

@@ -1,0 +1,51 @@
+(** Per-object metadata.
+
+    §3.3: "Each such container (object) has associated meta-data
+    identifying the object's security attributes, its last access and
+    modified times, and its size." Stored under the NULL key of the
+    object's own B-tree, exactly as §3.4 describes.
+
+    Timestamps come from a logical clock by default so that runs are
+    deterministic; callers may install a wall clock with {!set_clock}. *)
+
+type kind = Regular | Directory | Symlink
+(** [Regular] is the native hFAD object. The other kinds exist only for
+    the POSIX veneer's bookkeeping; the OSD itself is agnostic. *)
+
+type t = {
+  size : int;         (** object length in bytes *)
+  kind : kind;
+  owner : string;     (** security attribute: owning principal *)
+  mode : int;         (** security attribute: permission bits *)
+  atime : int64;
+  mtime : int64;
+  ctime : int64;
+}
+
+val make : ?kind:kind -> ?owner:string -> ?mode:int -> unit -> t
+(** Fresh metadata: size 0, all times = now. Defaults: [Regular],
+    owner ["root"], mode [0o644]. *)
+
+val with_size : t -> int -> t
+(** Update size and mtime. *)
+
+val touch_atime : t -> t
+val touch_mtime : t -> t
+
+val encode : t -> string
+val decode : string -> t
+(** @raise Failure on malformed input. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+(** {1 Clock} *)
+
+val now : unit -> int64
+(** Current time under the installed clock. The default clock is logical:
+    a counter that advances by one per call, so tests and experiments are
+    reproducible. *)
+
+val set_clock : (unit -> int64) -> unit
+val reset_logical_clock : unit -> unit
+(** Restore the default logical clock, restarting it from zero. *)

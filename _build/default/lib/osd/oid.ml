@@ -1,0 +1,28 @@
+module Codec = Hfad_util.Codec
+
+type t = int64
+
+let of_int64 v =
+  if Int64.compare v 0L < 0 then invalid_arg "Oid.of_int64: negative";
+  v
+
+let to_int64 t = t
+let first = 1L
+let next t = Int64.add t 1L
+let equal = Int64.equal
+let compare = Int64.compare
+let hash t = Int64.to_int t land max_int
+let to_key t = Codec.encode_i64_key t
+
+let of_key s =
+  let v = Codec.decode_i64_key s in
+  of_int64 v
+
+let to_string = Int64.to_string
+
+let of_string s =
+  match Int64.of_string_opt s with
+  | Some v when Int64.compare v 0L >= 0 -> Some v
+  | Some _ | None -> None
+
+let pp fmt t = Format.fprintf fmt "oid:%Ld" t

@@ -1,0 +1,30 @@
+(** Object identifiers.
+
+    "Only the identifier for the data in the OSD layer must be unique"
+    (§3.1.1). OIDs are dense 64-bit integers handed out by the OSD;
+    they are the values every index store maps search terms to, and the
+    key of the ID fast-path tag (Table 1). *)
+
+type t = private int64
+
+val of_int64 : int64 -> t
+(** @raise Invalid_argument on negative values. *)
+
+val to_int64 : t -> int64
+val first : t
+val next : t -> t
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val to_key : t -> string
+(** Order-preserving 8-byte encoding, for use as a B-tree key. *)
+
+val of_key : string -> t
+(** Inverse of {!to_key}. @raise Invalid_argument on malformed input. *)
+
+val to_string : t -> string
+(** Decimal rendering, also accepted by {!of_string}. *)
+
+val of_string : string -> t option
+val pp : Format.formatter -> t -> unit

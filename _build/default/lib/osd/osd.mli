@@ -1,0 +1,165 @@
+(** The object-based storage device — Figure 1's OSD box.
+
+    "At its lowest level, hFAD resembles an object-based storage device.
+    Storage objects have a unique ID, and higher layers of the system
+    access these objects by their ID. Unlike traditional OSDs, our
+    objects are fully byte-accessible: not only can you read bytes from
+    the object, but you can insert bytes into the middle of objects,
+    remove bytes from the middle, etc." (§3)
+
+    Implementation per §3.4: each object is a B-tree keyed by file offset
+    whose values are extent descriptors; the NULL key slot holds the
+    object's metadata; a master B-tree maps OIDs to object roots; all
+    space comes from a buddy allocator. Extents exactly tile
+    [\[0, size)] — writing past the end zero-fills the gap.
+
+    [insert] re-keys the extents after the insertion point instead of
+    moving data, which is how the B-tree representation "gives us the
+    capability to insert and truncate with little implementation effort":
+    cost is O(extents · log n), not O(bytes) — experiment C3 measures
+    exactly this against the hierarchical baseline's shift-and-rewrite.
+
+    Device layout: block 0 = superblock, block 1 = master tree root,
+    blocks 2.. = buddy-managed space. Not internally synchronized; the
+    layers above serialize access. *)
+
+type t
+
+exception No_such_object of Oid.t
+
+val format :
+  ?cache_pages:int ->
+  ?max_extent_pages:int ->
+  ?journal_pages:int ->
+  Hfad_blockdev.Device.t ->
+  t
+(** [format dev] initializes a fresh OSD on [dev], destroying previous
+    content. [max_extent_pages] bounds a single extent's size (default
+    64 pages); larger writes become chains of extents.
+
+    [journal_pages > 0] reserves that many blocks as a write-ahead
+    journal and makes {!flush} a crash-consistent checkpoint (NO-STEAL /
+    FORCE: dirty pages stay cached between flushes, so size the cache
+    accordingly). §3.3: "in hFAD, the OSD may be transactional, but this
+    is an implementation decision" — this is that decision.
+    @raise Invalid_argument if the device is too small. *)
+
+val open_existing : ?cache_pages:int -> ?max_extent_pages:int -> Hfad_blockdev.Device.t -> t
+(** Re-attach to a formatted device: reads the superblock and rebuilds
+    the allocator state by walking the master tree, every object tree and
+    every extent. @raise Failure if the superblock is missing or
+    corrupt. *)
+
+val flush : t -> unit
+(** Persist the superblock and all dirty pages. On a journaled OSD this
+    is an atomic checkpoint: a crash anywhere inside recovers to either
+    the previous or the new flush state. *)
+
+val journaled : t -> bool
+val journal_sequence : t -> int64
+(** Number of checkpoints committed (0 when not journaled). *)
+
+val device : t -> Hfad_blockdev.Device.t
+val pager : t -> Hfad_pager.Pager.t
+val allocator : t -> Hfad_alloc.Buddy.t
+
+(** {1 Named index trees}
+
+    The index stores above the OSD (Figure 1) keep their B-trees on the
+    same device; the OSD records their root pages in its superblock so
+    {!open_existing} can find them and re-reserve their pages. Names are
+    at most 16 bytes; at most 8 named trees fit the superblock. *)
+
+val create_named_tree : t -> string -> Hfad_btree.Btree.t
+(** Allocate a fresh tree and register its root under [name].
+    @raise Invalid_argument if the name is taken, too long, or the
+    superblock is full. *)
+
+val open_named_tree : t -> string -> Hfad_btree.Btree.t option
+(** Handle onto a previously registered tree. *)
+
+val named_tree : t -> string -> Hfad_btree.Btree.t
+(** {!open_named_tree} or, when absent, {!create_named_tree}. *)
+
+val named_roots : t -> (string * int) list
+(** Registered [(name, root_page)] pairs. *)
+
+(** {1 Object lifecycle} *)
+
+val create_object : ?meta:Meta.t -> t -> Oid.t
+(** Allocate a fresh, empty object. *)
+
+val delete_object : t -> Oid.t -> unit
+(** Free the object's extents and index pages and forget its OID.
+    @raise No_such_object. *)
+
+val exists : t -> Oid.t -> bool
+val object_count : t -> int
+val list_objects : t -> Oid.t list
+(** All live OIDs in increasing order. *)
+
+(** {1 Metadata} *)
+
+val metadata : t -> Oid.t -> Meta.t
+(** @raise No_such_object. *)
+
+val size : t -> Oid.t -> int
+
+val update_metadata : t -> Oid.t -> (Meta.t -> Meta.t) -> unit
+(** Read-modify-write the metadata record. The size field is owned by the
+    OSD: changes to it are ignored. @raise No_such_object. *)
+
+(** {1 Byte access (§3.1.2)}
+
+    All offsets and lengths are in bytes and must be non-negative. *)
+
+val read : t -> Oid.t -> off:int -> len:int -> string
+(** Read up to [len] bytes at [off]; short (possibly empty) result at end
+    of object, as POSIX [read] behaves. Reads do not update atime
+    (noatime semantics); use {!update_metadata} with {!Meta.touch_atime}
+    where access-time tracking matters. *)
+
+val read_all : t -> Oid.t -> string
+
+val write : t -> Oid.t -> off:int -> string -> unit
+(** Overwrite-in-place/extend, POSIX-compatible (§3.1.2: "The read and
+    write calls are compatible with POSIX"). Writing past the end
+    zero-fills the gap. *)
+
+val append : t -> Oid.t -> string -> unit
+
+val insert : t -> Oid.t -> off:int -> string -> unit
+(** The hFAD extension: "instead of overwriting bytes in the middle of a
+    file, it inserts those bytes into the appropriate position, growing
+    the file by the number of bytes being inserted." [off] past the end
+    behaves like {!write}. *)
+
+val remove_bytes : t -> Oid.t -> off:int -> len:int -> unit
+(** The hFAD two-argument truncate: "an offset and length, indicating
+    exactly which bytes to remove from the file." Removing past the end
+    clamps. *)
+
+val truncate : t -> Oid.t -> int -> unit
+(** Set the object's size: shrinking removes the tail, growing
+    zero-fills. *)
+
+val compact : t -> Oid.t -> unit
+(** Defragment: rewrite the object into the fewest, largest extents the
+    allocator permits. Byte-for-byte content is unchanged; long-lived
+    objects that accumulated splits from {!insert}/{!remove_bytes} churn
+    get their extent count (and with it every subsequent extent-map
+    descent) back down. @raise No_such_object. *)
+
+(** {1 Introspection} *)
+
+val extent_count : t -> Oid.t -> int
+(** Number of extents backing the object. *)
+
+val verify_object : t -> Oid.t -> unit
+(** Checks the object's structural invariants: extents exactly tile
+    [\[0, size)], no extent overruns its allocation, every allocation is
+    live in the buddy allocator, and the extent B-tree verifies.
+    @raise Failure on violation. *)
+
+val verify : t -> unit
+(** {!verify_object} on every object, plus master-tree verification. *)

@@ -1,0 +1,1 @@
+lib/pager/pager.ml: Bytes Format Hashtbl Hfad_blockdev List Mutex

@@ -1,0 +1,1 @@
+lib/pager/pager.mli: Bytes Format Hfad_blockdev

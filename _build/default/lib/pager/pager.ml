@@ -1,0 +1,177 @@
+module Device = Hfad_blockdev.Device
+
+exception Cache_full
+
+type frame = {
+  buf : Bytes.t;
+  mutable page_no : int;
+  mutable dirty : bool;
+  mutable pins : int;
+  mutable last_use : int;
+}
+
+type stats = { reads : int; hits : int; misses : int; write_backs : int }
+
+type t = {
+  dev : Device.t;
+  capacity : int;
+  no_steal : bool;
+  frames : (int, frame) Hashtbl.t;  (* page_no -> resident frame *)
+  mutex : Mutex.t;
+  mutable tick : int;
+  mutable reads : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable write_backs : int;
+}
+
+let create ?(cache_pages = 1024) ?(no_steal = false) dev =
+  if cache_pages <= 0 then invalid_arg "Pager.create: cache_pages";
+  {
+    dev;
+    capacity = cache_pages;
+    no_steal;
+    frames = Hashtbl.create (2 * cache_pages);
+    mutex = Mutex.create ();
+    tick = 0;
+    reads = 0;
+    hits = 0;
+    misses = 0;
+    write_backs = 0;
+  }
+
+let page_size t = Device.block_size t.dev
+let pages t = Device.blocks t.dev
+let device t = t.dev
+
+let with_lock t f =
+  Mutex.lock t.mutex;
+  match f () with
+  | result ->
+      Mutex.unlock t.mutex;
+      result
+  | exception e ->
+      Mutex.unlock t.mutex;
+      raise e
+
+let write_back t frame =
+  if frame.dirty then begin
+    Device.write_block t.dev frame.page_no frame.buf;
+    frame.dirty <- false;
+    t.write_backs <- t.write_backs + 1
+  end
+
+(* Evict the least-recently-used unpinned frame to make room. *)
+let evict_one t =
+  let victim =
+    Hashtbl.fold
+      (fun _ frame best ->
+        if frame.pins > 0 || (t.no_steal && frame.dirty) then best
+        else
+          match best with
+          | Some b when b.last_use <= frame.last_use -> best
+          | Some _ | None -> Some frame)
+      t.frames None
+  in
+  match victim with
+  | None -> raise Cache_full
+  | Some frame ->
+      write_back t frame;
+      Hashtbl.remove t.frames frame.page_no
+
+(* Find or load the frame for [page_no]; pins it before returning. *)
+let acquire t page_no ~load =
+  with_lock t (fun () ->
+      t.tick <- t.tick + 1;
+      t.reads <- t.reads + 1;
+      match Hashtbl.find_opt t.frames page_no with
+      | Some frame ->
+          t.hits <- t.hits + 1;
+          frame.last_use <- t.tick;
+          frame.pins <- frame.pins + 1;
+          frame
+      | None ->
+          t.misses <- t.misses + 1;
+          if Hashtbl.length t.frames >= t.capacity then evict_one t;
+          let buf = Bytes.create (Device.block_size t.dev) in
+          if load then Device.read_block_into t.dev page_no buf
+          else Bytes.fill buf 0 (Bytes.length buf) '\000';
+          let frame =
+            { buf; page_no; dirty = not load; pins = 1; last_use = t.tick }
+          in
+          Hashtbl.replace t.frames page_no frame;
+          frame)
+
+let release t frame ~dirty =
+  with_lock t (fun () ->
+      frame.pins <- frame.pins - 1;
+      if dirty then frame.dirty <- true)
+
+let with_page t page_no f =
+  let frame = acquire t page_no ~load:true in
+  match f frame.buf with
+  | result ->
+      release t frame ~dirty:false;
+      result
+  | exception e ->
+      release t frame ~dirty:false;
+      raise e
+
+let with_page_mut t page_no f =
+  let frame = acquire t page_no ~load:true in
+  match f frame.buf with
+  | result ->
+      release t frame ~dirty:true;
+      result
+  | exception e ->
+      (* Conservatively keep the page dirty: the callback may have
+         mutated the buffer before raising. *)
+      release t frame ~dirty:true;
+      raise e
+
+let zero_page t page_no =
+  let frame = acquire t page_no ~load:false in
+  Bytes.fill frame.buf 0 (Bytes.length frame.buf) '\000';
+  release t frame ~dirty:true
+
+let dirty_pages t =
+  with_lock t (fun () ->
+      Hashtbl.fold
+        (fun no frame acc ->
+          if frame.dirty then (no, Bytes.copy frame.buf) :: acc else acc)
+        t.frames [])
+  |> List.sort compare
+
+let flush t =
+  with_lock t (fun () ->
+      Hashtbl.iter (fun _ frame -> write_back t frame) t.frames);
+  Device.flush t.dev
+
+let invalidate t =
+  with_lock t (fun () ->
+      let victims =
+        Hashtbl.fold
+          (fun no frame acc -> if frame.pins = 0 then (no, frame) :: acc else acc)
+          t.frames []
+      in
+      List.iter
+        (fun (no, frame) ->
+          write_back t frame;
+          Hashtbl.remove t.frames no)
+        victims)
+
+let stats t =
+  with_lock t (fun () ->
+      { reads = t.reads; hits = t.hits; misses = t.misses;
+        write_backs = t.write_backs })
+
+let reset_stats t =
+  with_lock t (fun () ->
+      t.reads <- 0;
+      t.hits <- 0;
+      t.misses <- 0;
+      t.write_backs <- 0)
+
+let pp_stats fmt (s : stats) =
+  Format.fprintf fmt "reads=%d hits=%d misses=%d write_backs=%d" s.reads
+    s.hits s.misses s.write_backs

@@ -1,0 +1,72 @@
+(** Page cache between the indexes and the block device.
+
+    One pager page = one device block. Every index structure in the
+    system (directory B-trees, extent B-trees, OID master tree, string
+    indexes, postings) reads its pages through a pager, which makes this
+    module the single choke point where the paper's "multiple indexes
+    place pressure on the processor caches" (§2.3) becomes measurable:
+    cache hits, misses, and write-backs are counted here.
+
+    Access discipline: pages are only visible inside [with_page] /
+    [with_page_mut] callbacks, during which the page is pinned (immune to
+    eviction). Callbacks must not retain the buffer. Nested access to
+    distinct pages is fine; nested access to the same page is fine
+    (pins count). Eviction is LRU over unpinned frames with write-back
+    of dirty pages. *)
+
+type t
+
+exception Cache_full
+(** Raised when every frame is pinned and a new page is needed. Indicates
+    a too-small cache or a leak of pins; never expected in normal use. *)
+
+val create : ?cache_pages:int -> ?no_steal:bool -> Hfad_blockdev.Device.t -> t
+(** [create dev] wraps [dev] with a cache of [cache_pages] frames
+    (default 1024). With [no_steal:true], dirty frames are never evicted
+    (they reach the device only through {!flush}) — the policy the
+    write-ahead journal requires for crash consistency; the cache must
+    then be large enough to hold the dirty working set between flushes.
+    @raise Invalid_argument if [cache_pages <= 0]. *)
+
+val page_size : t -> int
+val pages : t -> int
+(** Total pages on the underlying device. *)
+
+val device : t -> Hfad_blockdev.Device.t
+
+val with_page : t -> int -> (Bytes.t -> 'a) -> 'a
+(** [with_page t n f] runs [f] on the contents of page [n] (read-only by
+    convention; mutations will be lost unless the page is already dirty). *)
+
+val with_page_mut : t -> int -> (Bytes.t -> 'a) -> 'a
+(** Like {!with_page} but marks the page dirty; it will reach the device
+    on eviction or {!flush}. *)
+
+val zero_page : t -> int -> unit
+(** [zero_page t n] resets page [n] to zeroes (marks dirty) without
+    reading it from the device first — used when allocating fresh
+    pages. *)
+
+val flush : t -> unit
+(** Write back all dirty pages and issue a device barrier. *)
+
+val dirty_pages : t -> (int * Bytes.t) list
+(** Snapshot (copies) of every dirty page, ascending page order — what a
+    checkpoint must make durable. *)
+
+val invalidate : t -> unit
+(** Drop every clean frame (dirty frames are written back first). Mainly
+    for tests that want cold-cache behaviour. *)
+
+(** {1 Statistics} *)
+
+type stats = {
+  reads : int;        (** page accesses through the cache *)
+  hits : int;
+  misses : int;
+  write_backs : int;  (** dirty pages pushed to the device *)
+}
+
+val stats : t -> stats
+val reset_stats : t -> unit
+val pp_stats : Format.formatter -> stats -> unit

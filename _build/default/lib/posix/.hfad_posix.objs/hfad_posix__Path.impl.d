@@ -1,0 +1,1 @@
+lib/posix/path.ml: Hfad_util

@@ -1,0 +1,1 @@
+lib/posix/posix_fs.ml: Format Hashtbl Hfad Hfad_index Hfad_osd List Path String

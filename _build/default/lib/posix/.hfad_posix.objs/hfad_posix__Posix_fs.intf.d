@@ -1,0 +1,1 @@
+lib/posix/posix_fs.mli: Format Hfad Hfad_osd

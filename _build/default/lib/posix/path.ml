@@ -1,0 +1,3 @@
+(* Shared implementation lives in Hfad_util.Upath so the hierarchical
+   baseline can normalize paths without depending on the veneer. *)
+include Hfad_util.Upath

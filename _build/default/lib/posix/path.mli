@@ -1,0 +1,36 @@
+(** POSIX path manipulation for the compatibility veneer.
+
+    Paths are normalized before ever reaching an index, so that one
+    logical name has exactly one stored spelling: absolute, ['/']
+    separated, no empty / ["."] components, [".."] resolved lexically,
+    no trailing slash (except the root itself). *)
+
+val normalize : string -> string
+(** [normalize p] canonicalizes [p]. Relative paths are interpreted
+    against the root. Examples: ["//a//b/./../c"] → ["/a/c"];
+    [""] → ["/"]; ["/.."] → ["/"]. *)
+
+val parent : string -> string
+(** Parent of a normalized path (["/"] is its own parent). *)
+
+val basename : string -> string
+(** Final component of a normalized path (["" ] for the root). *)
+
+val join : string -> string -> string
+(** [join dir name] appends one component and normalizes. *)
+
+val components : string -> string list
+(** Components of a normalized path, root excluded: ["/a/b"] →
+    [\["a"; "b"\]]. *)
+
+val depth : string -> int
+(** Number of components. *)
+
+val is_ancestor : ancestor:string -> string -> bool
+(** Whether [ancestor] is a strict prefix directory of the path (both
+    normalized). The root is an ancestor of everything but itself. *)
+
+val replace_prefix : old_prefix:string -> new_prefix:string -> string -> string
+(** Rewrite the leading directory of a normalized path (for directory
+    rename). @raise Invalid_argument if the path is not under
+    [old_prefix]. *)

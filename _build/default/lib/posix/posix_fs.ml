@@ -1,0 +1,325 @@
+module Fs = Hfad.Fs
+module Osd = Hfad_osd.Osd
+module Oid = Hfad_osd.Oid
+module Meta = Hfad_osd.Meta
+module Tag = Hfad_index.Tag
+module Kv_index = Hfad_index.Kv_index
+
+type errno =
+  | ENOENT
+  | EEXIST
+  | ENOTDIR
+  | EISDIR
+  | ENOTEMPTY
+  | EBADF
+  | EINVAL
+  | ELOOP
+
+exception Error of errno * string
+
+let errno_to_string = function
+  | ENOENT -> "ENOENT"
+  | EEXIST -> "EEXIST"
+  | ENOTDIR -> "ENOTDIR"
+  | EISDIR -> "EISDIR"
+  | ENOTEMPTY -> "ENOTEMPTY"
+  | EBADF -> "EBADF"
+  | EINVAL -> "EINVAL"
+  | ELOOP -> "ELOOP"
+
+let pp_errno fmt e = Format.pp_print_string fmt (errno_to_string e)
+let err errno context = raise (Error (errno, context))
+
+type fd_state = { oid : Oid.t; mutable pos : int }
+
+type t = {
+  fs : Fs.t;
+  fds : (int, fd_state) Hashtbl.t;
+  mutable next_fd : int;
+}
+
+type fd = int
+
+let max_symlink_hops = 8
+
+(* --- primitive name operations ------------------------------------------ *)
+
+let oid_at t path = Fs.lookup_one t.fs [ (Tag.Posix, path) ]
+
+let add_name t oid path =
+  try Fs.name t.fs oid Tag.Posix path
+  with Kv_index.Value_not_indexable _ -> err EINVAL path
+
+let mount fs =
+  let t = { fs; fds = Hashtbl.create 16; next_fd = 3 } in
+  (match oid_at t "/" with
+  | Some _ -> ()
+  | None ->
+      let meta = Meta.make ~kind:Meta.Directory ~mode:0o755 () in
+      let oid = Fs.create ~meta t.fs in
+      add_name t oid "/");
+  t
+
+let fs t = t.fs
+
+(* --- resolution ------------------------------------------------------------ *)
+
+let rec resolve_norm t path ~follow ~hops =
+  match oid_at t path with
+  | None -> err ENOENT path
+  | Some oid ->
+      let meta = Fs.metadata t.fs oid in
+      if follow && meta.Meta.kind = Meta.Symlink then begin
+        if hops >= max_symlink_hops then err ELOOP path;
+        let target = Osd.read_all (Fs.osd t.fs) oid in
+        let absolute =
+          if String.length target > 0 && target.[0] = '/' then target
+          else Path.join (Path.parent path) target
+        in
+        resolve_norm t (Path.normalize absolute) ~follow ~hops:(hops + 1)
+      end
+      else oid
+
+let resolve ?(follow = true) t path =
+  resolve_norm t (Path.normalize path) ~follow ~hops:0
+
+let exists t path =
+  match resolve t path with _ -> true | exception Error _ -> false
+
+let meta_of t path = Fs.metadata t.fs (resolve t path)
+
+let is_directory t path =
+  match meta_of t path with
+  | meta -> meta.Meta.kind = Meta.Directory
+  | exception Error _ -> false
+
+let stat t path = meta_of t path
+let nlink t path =
+  let oid = resolve ~follow:false t path in
+  List.length
+    (List.filter
+       (fun (tag, _) -> Tag.equal tag Tag.Posix)
+       (Fs.names_of t.fs oid))
+
+let require_parent_dir t path =
+  let parent = Path.parent path in
+  match resolve t parent with
+  | oid ->
+      if (Fs.metadata t.fs oid).Meta.kind <> Meta.Directory then
+        err ENOTDIR parent
+  | exception Error (ENOENT, _) -> err ENOENT parent
+
+let require_absent t path = if exists t path then err EEXIST path
+
+(* --- directory operations ----------------------------------------------------- *)
+
+let mkdir t path =
+  let path = Path.normalize path in
+  if path = "/" then err EEXIST path;
+  require_absent t path;
+  require_parent_dir t path;
+  let meta = Meta.make ~kind:Meta.Directory ~mode:0o755 () in
+  let oid = Fs.create ~meta t.fs in
+  add_name t oid path
+
+let rec mkdir_p t path =
+  let path = Path.normalize path in
+  if path <> "/" && not (exists t path) then begin
+    mkdir_p t (Path.parent path);
+    mkdir t path
+  end
+  else if path <> "/" && not (is_directory t path) then err ENOTDIR path
+
+let dir_prefix path = if path = "/" then "/" else path ^ "/"
+
+let children t path =
+  (* One level below [path]: values with the directory prefix and no
+     further '/' in the remainder. *)
+  let prefix = dir_prefix path in
+  Fs.list_names t.fs Tag.Posix ~prefix
+  |> List.filter_map (fun (value, oid) ->
+         let rest =
+           String.sub value (String.length prefix)
+             (String.length value - String.length prefix)
+         in
+         if rest <> "" && not (String.contains rest '/') then Some (rest, oid)
+         else None)
+
+let readdir t path =
+  let path = Path.normalize path in
+  let oid = resolve t path in
+  if (Fs.metadata t.fs oid).Meta.kind <> Meta.Directory then err ENOTDIR path;
+  List.map fst (children t path)
+
+let walk t path =
+  let path = Path.normalize path in
+  (* The root's prefix scan ("/") already matches the root's own name;
+     any other directory's prefix ("p/") excludes p itself. *)
+  let self =
+    if path = "/" then []
+    else
+      match oid_at t path with Some oid -> [ (path, oid) ] | None -> []
+  in
+  self @ Fs.list_names t.fs Tag.Posix ~prefix:(dir_prefix path)
+  |> List.sort compare
+
+(* --- files ------------------------------------------------------------------------ *)
+
+let create_file ?content t path =
+  let path = Path.normalize path in
+  if path = "/" then err EISDIR path;
+  require_absent t path;
+  require_parent_dir t path;
+  let meta = Meta.make ~kind:Meta.Regular () in
+  let oid = Fs.create ~meta ?content t.fs in
+  add_name t oid path;
+  oid
+
+let link t existing fresh =
+  let fresh = Path.normalize fresh in
+  let oid = resolve ~follow:false t existing in
+  if (Fs.metadata t.fs oid).Meta.kind = Meta.Directory then err EISDIR existing;
+  require_absent t fresh;
+  require_parent_dir t fresh;
+  add_name t oid fresh
+
+let symlink t ~target path =
+  let path = Path.normalize path in
+  require_absent t path;
+  require_parent_dir t path;
+  let meta = Meta.make ~kind:Meta.Symlink () in
+  let oid = Fs.create ~meta t.fs in
+  (* Bypass Fs.write so link targets never reach the full-text index. *)
+  Osd.write (Fs.osd t.fs) oid ~off:0 target;
+  add_name t oid path
+
+let readlink t path =
+  let oid = resolve ~follow:false t path in
+  if (Fs.metadata t.fs oid).Meta.kind <> Meta.Symlink then err EINVAL path
+  else Osd.read_all (Fs.osd t.fs) oid
+
+let nlink_oid t oid =
+  List.length
+    (List.filter
+       (fun (tag, _) -> Tag.equal tag Tag.Posix)
+       (Fs.names_of t.fs oid))
+
+let unlink t path =
+  let path = Path.normalize path in
+  let oid = resolve ~follow:false t path in
+  if (Fs.metadata t.fs oid).Meta.kind = Meta.Directory then err EISDIR path;
+  ignore (Fs.unname t.fs oid Tag.Posix path);
+  if nlink_oid t oid = 0 then Fs.delete t.fs oid
+
+let rmdir t path =
+  let path = Path.normalize path in
+  if path = "/" then err EINVAL path;
+  let oid = resolve ~follow:false t path in
+  if (Fs.metadata t.fs oid).Meta.kind <> Meta.Directory then err ENOTDIR path;
+  if children t path <> [] then err ENOTEMPTY path;
+  ignore (Fs.unname t.fs oid Tag.Posix path);
+  Fs.delete t.fs oid
+
+let rename t old_path new_path =
+  let old_path = Path.normalize old_path
+  and new_path = Path.normalize new_path in
+  if old_path = "/" then err EINVAL old_path;
+  let oid = resolve ~follow:false t old_path in
+  if old_path = new_path then ()
+  else begin
+    require_absent t new_path;
+    require_parent_dir t new_path;
+    if Path.is_ancestor ~ancestor:old_path new_path then err EINVAL new_path;
+    let is_dir = (Fs.metadata t.fs oid).Meta.kind = Meta.Directory in
+    ignore (Fs.unname t.fs oid Tag.Posix old_path);
+    add_name t oid new_path;
+    if is_dir then
+      (* Re-key every name under the directory: the inherent cost of a
+         path-keyed namespace (measured in bench C4). *)
+      List.iter
+        (fun (value, child) ->
+          ignore (Fs.unname t.fs child Tag.Posix value);
+          add_name t child
+            (Path.replace_prefix ~old_prefix:old_path ~new_prefix:new_path value))
+        (Fs.list_names t.fs Tag.Posix ~prefix:(dir_prefix old_path))
+  end
+
+(* --- descriptors -------------------------------------------------------------------- *)
+
+let openf ?(create = false) t path =
+  let path = Path.normalize path in
+  let oid =
+    match resolve t path with
+    | oid ->
+        if (Fs.metadata t.fs oid).Meta.kind = Meta.Directory then err EISDIR path;
+        oid
+    | exception Error (ENOENT, _) when create -> create_file t path
+  in
+  let fd = t.next_fd in
+  t.next_fd <- fd + 1;
+  Hashtbl.replace t.fds fd { oid; pos = 0 };
+  fd
+
+let fd_state t fd =
+  match Hashtbl.find_opt t.fds fd with
+  | Some state -> state
+  | None -> err EBADF (string_of_int fd)
+
+let close t fd =
+  ignore (fd_state t fd);
+  Hashtbl.remove t.fds fd
+
+let read_fd t fd n =
+  if n < 0 then err EINVAL "negative read length";
+  let state = fd_state t fd in
+  let data = Fs.read t.fs state.oid ~off:state.pos ~len:n in
+  state.pos <- state.pos + String.length data;
+  data
+
+let write_fd t fd data =
+  let state = fd_state t fd in
+  Fs.write t.fs state.oid ~off:state.pos data;
+  state.pos <- state.pos + String.length data
+
+let seek t fd pos =
+  if pos < 0 then err EINVAL "negative seek";
+  (fd_state t fd).pos <- pos
+
+let tell t fd = (fd_state t fd).pos
+
+(* --- conveniences ------------------------------------------------------------------- *)
+
+let read_file t path = Fs.read_all t.fs (resolve t path)
+
+let write_file t path data =
+  let path = Path.normalize path in
+  let oid =
+    match resolve t path with
+    | oid ->
+        if (Fs.metadata t.fs oid).Meta.kind = Meta.Directory then err EISDIR path;
+        Fs.truncate t.fs oid 0;
+        oid
+    | exception Error (ENOENT, _) -> create_file t path
+  in
+  Fs.write t.fs oid ~off:0 data
+
+(* --- verification ---------------------------------------------------------------------- *)
+
+let verify t =
+  let fail fmt = Format.kasprintf failwith fmt in
+  let names = Fs.list_names t.fs Tag.Posix ~prefix:"/" in
+  List.iter
+    (fun (path, oid) ->
+      if Path.normalize path <> path then
+        fail "stored non-normalized path %S" path;
+      if not (Fs.exists t.fs oid) then
+        fail "path %s names dead object %a" path Oid.pp oid;
+      if path <> "/" then begin
+        let parent = Path.parent path in
+        match oid_at t parent with
+        | None -> fail "path %s has no parent directory" path
+        | Some parent_oid ->
+            if (Fs.metadata t.fs parent_oid).Meta.kind <> Meta.Directory then
+              fail "parent of %s is not a directory" path
+      end)
+    names

@@ -1,0 +1,135 @@
+(** POSIX compatibility veneer over the native hFAD API.
+
+    "We support POSIX naming as a thin layer atop the native API. A
+    naming operation on POSIX path P translates into a lookup on the
+    tag/value pair POSIX/P. Note that a POSIX path is simply one name
+    among many possible names." (§3.1.1)
+
+    Consequences of that design, all implemented here:
+
+    - Path resolution is {e one} index descent regardless of depth — no
+      component-at-a-time walk, no locks through shared ancestors
+      (contrast {!Hfad_hierfs}, experiments C1/C2).
+    - A directory listing is a prefix scan of the POSIX index.
+    - Hard links are just additional POSIX names on the same OID.
+    - Renaming a directory re-keys every path under it (the classic cost
+      of path-keyed namespaces; measured in bench C4).
+    - Directories exist as empty marker objects so that [mkdir]/[rmdir]
+      semantics and empty directories survive; the data path never
+      touches them.
+
+    Errors are reported with {!exception:Error} carrying a POSIX-style
+    errno. *)
+
+type t
+
+type errno =
+  | ENOENT   (** no such file or directory *)
+  | EEXIST
+  | ENOTDIR
+  | EISDIR
+  | ENOTEMPTY
+  | EBADF
+  | EINVAL
+  | ELOOP    (** too many levels of symbolic links *)
+
+exception Error of errno * string
+(** [(errno, path-or-context)] *)
+
+val pp_errno : Format.formatter -> errno -> unit
+
+val mount : Hfad.Fs.t -> t
+(** Attach the veneer to a file system, creating the root directory
+    object on first mount. *)
+
+val fs : t -> Hfad.Fs.t
+(** Escape hatch to the native API: "if an application knows exactly
+    which data item it needs, it should be able to retrieve it
+    directly" (§2). *)
+
+(** {1 Name space} *)
+
+val resolve : ?follow:bool -> t -> string -> Hfad_osd.Oid.t
+(** OID behind a path ([follow] symlinks, default true). @raise Error
+    ENOENT / ELOOP. *)
+
+val mkdir : t -> string -> unit
+(** @raise Error EEXIST / ENOENT (parent) / ENOTDIR (parent). *)
+
+val mkdir_p : t -> string -> unit
+(** Create missing ancestors; no error if the directory exists. *)
+
+val create_file : ?content:string -> t -> string -> Hfad_osd.Oid.t
+(** Create a regular file. @raise Error EEXIST / ENOENT / ENOTDIR. *)
+
+val readdir : t -> string -> string list
+(** Names (one component each) inside a directory, sorted.
+    @raise Error ENOENT / ENOTDIR. *)
+
+val rename : t -> string -> string -> unit
+(** Move a file or a whole directory subtree. @raise Error ENOENT,
+    EEXIST (destination), EINVAL (directory into itself). *)
+
+val link : t -> string -> string -> unit
+(** Hard link: one more POSIX name on the same object. @raise Error
+    ENOENT / EEXIST / EISDIR (directories cannot be hard-linked). *)
+
+val symlink : t -> target:string -> string -> unit
+(** Create a symbolic link object whose content is [target]. *)
+
+val readlink : t -> string -> string
+(** @raise Error EINVAL if not a symlink. *)
+
+val unlink : t -> string -> unit
+(** Remove one POSIX name; the object itself is deleted when its last
+    POSIX name goes (link-count semantics). @raise Error ENOENT /
+    EISDIR. *)
+
+val rmdir : t -> string -> unit
+(** @raise Error ENOTEMPTY / ENOTDIR / ENOENT / EINVAL (root). *)
+
+val exists : t -> string -> bool
+val is_directory : t -> string -> bool
+val stat : t -> string -> Hfad_osd.Meta.t
+val nlink : t -> string -> int
+(** Number of POSIX names on the object behind the path. *)
+
+(** {1 File I/O}
+
+    Descriptor-based, with an offset cursor, like the POSIX calls. *)
+
+type fd
+
+val openf : ?create:bool -> t -> string -> fd
+(** @raise Error ENOENT (unless [create]) / EISDIR. *)
+
+val close : t -> fd -> unit
+(** @raise Error EBADF on double close. *)
+
+val read_fd : t -> fd -> int -> string
+(** Read up to [n] bytes at the cursor, advancing it. *)
+
+val write_fd : t -> fd -> string -> unit
+(** Write at the cursor, advancing it. *)
+
+val seek : t -> fd -> int -> unit
+(** Absolute reposition. @raise Error EINVAL on negative offset. *)
+
+val tell : t -> fd -> int
+
+(** {1 Whole-file conveniences} *)
+
+val read_file : t -> string -> string
+val write_file : t -> string -> string -> unit
+(** Create-or-truncate then write. *)
+
+(** {1 Maintenance} *)
+
+val walk : t -> string -> (string * Hfad_osd.Oid.t) list
+(** Every path under (and including) a directory, sorted — the
+    "find"-style full traversal. *)
+
+val verify : t -> unit
+(** Veneer invariants: every POSIX name resolves to a live object, every
+    non-root name has a parent directory, directory objects are marked
+    [Directory]. @raise Failure on violation. *)

@@ -1,0 +1,1 @@
+lib/util/upath.ml: List String Strx

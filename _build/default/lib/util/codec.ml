@@ -1,0 +1,63 @@
+let put_u8 buf off v = Bytes.unsafe_set buf off (Char.unsafe_chr (v land 0xff))
+let get_u8 buf off = Char.code (Bytes.get buf off)
+
+let put_u16 buf off v = Bytes.set_uint16_be buf off v
+let get_u16 buf off = Bytes.get_uint16_be buf off
+
+let put_u32 buf off v =
+  Bytes.set_int32_be buf off (Int32.of_int v)
+
+let get_u32 buf off =
+  (* Mask to recover the unsigned value on 64-bit OCaml ints. *)
+  Int32.to_int (Bytes.get_int32_be buf off) land 0xFFFFFFFF
+
+let put_i64 buf off v = Bytes.set_int64_be buf off v
+let get_i64 buf off = Bytes.get_int64_be buf off
+
+let sign_flip = 0x8000000000000000L
+
+let encode_i64_key v =
+  let buf = Bytes.create 8 in
+  Bytes.set_int64_be buf 0 (Int64.logxor v sign_flip);
+  Bytes.unsafe_to_string buf
+
+let decode_i64_key s =
+  if String.length s <> 8 then invalid_arg "Codec.decode_i64_key: need 8 bytes";
+  Int64.logxor (String.get_int64_be s 0) sign_flip
+
+let varint_size v =
+  if v < 0 then invalid_arg "Codec.varint_size: negative";
+  let rec loop v n = if v < 0x80 then n else loop (v lsr 7) (n + 1) in
+  loop v 1
+
+let put_varint buf off v =
+  if v < 0 then invalid_arg "Codec.put_varint: negative";
+  let rec loop off v =
+    if v < 0x80 then begin
+      put_u8 buf off v;
+      off + 1
+    end else begin
+      put_u8 buf off (0x80 lor (v land 0x7f));
+      loop (off + 1) (v lsr 7)
+    end
+  in
+  loop off v
+
+let get_varint buf off =
+  let rec loop off shift acc =
+    let b = get_u8 buf off in
+    let acc = acc lor ((b land 0x7f) lsl shift) in
+    if b < 0x80 then (acc, off + 1) else loop (off + 1) (shift + 7) acc
+  in
+  loop off 0 0
+
+let string_size s = varint_size (String.length s) + String.length s
+
+let put_string buf off s =
+  let off = put_varint buf off (String.length s) in
+  Bytes.blit_string s 0 buf off (String.length s);
+  off + String.length s
+
+let get_string buf off =
+  let len, off = get_varint buf off in
+  (Bytes.sub_string buf off len, off + len)

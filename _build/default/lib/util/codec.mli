@@ -1,0 +1,62 @@
+(** Binary encoding primitives shared by every on-"disk" structure.
+
+    All multi-byte integers are big-endian so that the byte order of an
+    encoded key matches its numeric order — B-tree pages can then compare
+    serialized keys with [Bytes.compare] without decoding. Variable-length
+    integers use the LEB128-style scheme (7 bits per byte, high bit =
+    continuation). *)
+
+(** {1 Fixed-width encodings} *)
+
+val put_u8 : Bytes.t -> int -> int -> unit
+(** [put_u8 buf off v] stores the low 8 bits of [v] at [off]. *)
+
+val get_u8 : Bytes.t -> int -> int
+
+val put_u16 : Bytes.t -> int -> int -> unit
+(** Big-endian 16-bit. [v] must fit in 16 bits. *)
+
+val get_u16 : Bytes.t -> int -> int
+
+val put_u32 : Bytes.t -> int -> int -> unit
+(** Big-endian 32-bit; [v] must be in [\[0, 2^32)]. *)
+
+val get_u32 : Bytes.t -> int -> int
+
+val put_i64 : Bytes.t -> int -> int64 -> unit
+(** Big-endian 64-bit. *)
+
+val get_i64 : Bytes.t -> int -> int64
+
+(** {1 Order-preserving int64 key encoding} *)
+
+val encode_i64_key : int64 -> string
+(** 8-byte big-endian encoding with the sign bit flipped, so that
+    [compare (encode_i64_key a) (encode_i64_key b) = Int64.compare a b]
+    for all [a], [b], including negatives. *)
+
+val decode_i64_key : string -> int64
+(** Inverse of {!encode_i64_key}. @raise Invalid_argument if the string
+    is not exactly 8 bytes. *)
+
+(** {1 Variable-length integers} *)
+
+val varint_size : int -> int
+(** Encoded size in bytes of a non-negative int. *)
+
+val put_varint : Bytes.t -> int -> int -> int
+(** [put_varint buf off v] writes [v >= 0], returns the new offset. *)
+
+val get_varint : Bytes.t -> int -> int * int
+(** [get_varint buf off] returns [(value, new_offset)]. *)
+
+(** {1 Length-prefixed strings} *)
+
+val string_size : string -> int
+(** Encoded size of a length-prefixed string. *)
+
+val put_string : Bytes.t -> int -> string -> int
+(** Writes varint length + bytes; returns new offset. *)
+
+val get_string : Bytes.t -> int -> string * int
+(** Returns [(value, new_offset)]. *)

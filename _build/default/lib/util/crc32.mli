@@ -1,0 +1,10 @@
+(** CRC-32 (IEEE 802.3 polynomial), table-driven.
+
+    Used as the torn-page detector: every on-device page carries a
+    checksum of its payload, verified on read. *)
+
+val bytes : Bytes.t -> pos:int -> len:int -> int32
+(** Checksum of a byte range. @raise Invalid_argument on bad range. *)
+
+val string : string -> int32
+(** Checksum of a whole string. *)

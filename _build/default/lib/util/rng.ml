@@ -1,0 +1,65 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = seed }
+let copy t = { state = t.state }
+
+(* splitmix64 finalizer: xor-shift-multiply avalanche of the counter. *)
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+            0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+            0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let split t =
+  let child_seed = next_int64 t in
+  { state = child_seed }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Take the low 62 bits to get a non-negative OCaml int, then reduce.
+     Modulo bias is below 2^-40 for any bound that fits in an int. *)
+  let raw = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
+  raw mod bound
+
+let int_in t lo hi =
+  if hi < lo then invalid_arg "Rng.int_in: empty range";
+  lo + int t (hi - lo + 1)
+
+let float t bound =
+  let raw = Int64.to_float (Int64.shift_right_logical (next_int64 t) 11) in
+  bound *. (raw /. 9007199254740992.0 (* 2^53 *))
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+let choice t arr =
+  if Array.length arr = 0 then invalid_arg "Rng.choice: empty array";
+  arr.(int t (Array.length arr))
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let sample t k arr =
+  let n = Array.length arr in
+  if k < 0 || k > n then invalid_arg "Rng.sample: k out of range";
+  let scratch = Array.copy arr in
+  (* Partial Fisher-Yates: after i swaps the first i slots are a uniform
+     sample without replacement. *)
+  for i = 0 to k - 1 do
+    let j = int_in t i (n - 1) in
+    let tmp = scratch.(i) in
+    scratch.(i) <- scratch.(j);
+    scratch.(j) <- tmp
+  done;
+  Array.sub scratch 0 k

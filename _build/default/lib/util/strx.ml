@@ -1,0 +1,26 @@
+let common_prefix_len a b =
+  let n = min (String.length a) (String.length b) in
+  let rec loop i = if i < n && a.[i] = b.[i] then loop (i + 1) else i in
+  loop 0
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let next_prefix p =
+  (* Increment the last byte that is not 0xff, dropping the tail. *)
+  let rec find i =
+    if i < 0 then None
+    else if p.[i] = '\xff' then find (i - 1)
+    else
+      Some (String.sub p 0 i ^ String.make 1 (Char.chr (Char.code p.[i] + 1)))
+  in
+  find (String.length p - 1)
+
+let split_on_char_nonempty c s =
+  List.filter (fun part -> part <> "") (String.split_on_char c s)
+
+let is_printable_ascii s =
+  let ok = ref true in
+  String.iter (fun ch -> if ch < ' ' || ch > '~' then ok := false) s;
+  !ok

@@ -1,0 +1,19 @@
+(** Small string utilities used across layers. *)
+
+val common_prefix_len : string -> string -> int
+(** Length of the longest common prefix. *)
+
+val starts_with : prefix:string -> string -> bool
+
+val next_prefix : string -> string option
+(** [next_prefix p] is the smallest string strictly greater than every
+    string that has prefix [p], or [None] if no such string exists
+    (i.e. [p] is empty or all [0xff]). Used to turn a prefix query into a
+    half-open key range [\[p, next_prefix p)]. *)
+
+val split_on_char_nonempty : char -> string -> string list
+(** Like [String.split_on_char] but drops empty components:
+    ["/a//b/"] on ['/'] gives [\["a"; "b"\]]. *)
+
+val is_printable_ascii : string -> bool
+(** True when every byte is in the printable ASCII range (space..tilde). *)

@@ -1,0 +1,49 @@
+(* within the library, Strx is a sibling module *)
+
+let normalize p =
+  let parts = Strx.split_on_char_nonempty '/' p in
+  let resolved =
+    List.fold_left
+      (fun stack part ->
+        match part with
+        | "." -> stack
+        | ".." -> ( match stack with [] -> [] | _ :: rest -> rest)
+        | name -> name :: stack)
+      [] parts
+  in
+  match List.rev resolved with
+  | [] -> "/"
+  | parts -> "/" ^ String.concat "/" parts
+
+let components p =
+  match normalize p with
+  | "/" -> []
+  | normal -> Strx.split_on_char_nonempty '/' normal
+
+let parent p =
+  match List.rev (components p) with
+  | [] | [ _ ] -> "/"
+  | _ :: rest -> "/" ^ String.concat "/" (List.rev rest)
+
+let basename p =
+  match List.rev (components p) with [] -> "" | last :: _ -> last
+
+let join dir name = normalize (dir ^ "/" ^ name)
+let depth p = List.length (components p)
+
+let is_ancestor ~ancestor p =
+  let ancestor = normalize ancestor and p = normalize p in
+  ancestor <> p
+  && (ancestor = "/" || Strx.starts_with ~prefix:(ancestor ^ "/") p)
+
+let replace_prefix ~old_prefix ~new_prefix p =
+  let old_prefix = normalize old_prefix
+  and new_prefix = normalize new_prefix
+  and p = normalize p in
+  if p = old_prefix then new_prefix
+  else if is_ancestor ~ancestor:old_prefix p then
+    let tail = String.sub p (String.length old_prefix)
+        (String.length p - String.length old_prefix)
+    in
+    normalize (new_prefix ^ tail)
+  else invalid_arg "Path.replace_prefix: path not under old prefix"

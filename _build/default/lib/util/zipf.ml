@@ -1,0 +1,33 @@
+type t = { cdf : float array }
+
+let create ~n ~s =
+  if n <= 0 then invalid_arg "Zipf.create: n must be positive";
+  if s < 0. then invalid_arg "Zipf.create: s must be non-negative";
+  let weights = Array.init n (fun i -> 1. /. (float_of_int (i + 1) ** s)) in
+  let total = Array.fold_left ( +. ) 0. weights in
+  let cdf = Array.make n 0. in
+  let acc = ref 0. in
+  for i = 0 to n - 1 do
+    acc := !acc +. (weights.(i) /. total);
+    cdf.(i) <- !acc
+  done;
+  cdf.(n - 1) <- 1.0;
+  { cdf }
+
+let n t = Array.length t.cdf
+
+let sample t rng =
+  let u = Rng.float rng 1.0 in
+  (* First index whose cumulative probability exceeds u. *)
+  let rec search lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if t.cdf.(mid) > u then search lo mid else search (mid + 1) hi
+  in
+  search 0 (Array.length t.cdf - 1)
+
+let expected_probability t k =
+  if k < 0 || k >= Array.length t.cdf then
+    invalid_arg "Zipf.expected_probability: rank out of range";
+  if k = 0 then t.cdf.(0) else t.cdf.(k) -. t.cdf.(k - 1)

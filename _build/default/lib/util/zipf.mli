@@ -1,0 +1,25 @@
+(** Zipf-distributed sampling.
+
+    File popularity, search-term frequency and tag reuse are all heavily
+    skewed in the workloads the paper motivates (photo libraries, email,
+    desktop search); a Zipf distribution with exponent around 1 is the
+    standard model. The sampler precomputes the CDF once, so draws are a
+    binary search — O(log n) per sample, deterministic given the RNG. *)
+
+type t
+
+val create : n:int -> s:float -> t
+(** [create ~n ~s] prepares a sampler over ranks [1..n] with exponent [s]
+    (probability of rank [k] proportional to [1 / k^s]). [s = 0.] is the
+    uniform distribution. @raise Invalid_argument if [n <= 0] or [s < 0]. *)
+
+val n : t -> int
+(** Number of ranks. *)
+
+val sample : t -> Rng.t -> int
+(** [sample t rng] draws a rank in [\[0, n)] (rank 0 is the most
+    popular). *)
+
+val expected_probability : t -> int -> float
+(** [expected_probability t k] is the exact probability of rank [k];
+    useful for statistical tests. *)

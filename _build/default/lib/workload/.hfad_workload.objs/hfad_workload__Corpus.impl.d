@@ -1,0 +1,1 @@
+lib/workload/corpus.ml: Array Buffer Char Hfad_util List Printf String Words

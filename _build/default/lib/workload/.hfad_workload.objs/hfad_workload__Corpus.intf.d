@@ -1,0 +1,1 @@
+lib/workload/corpus.mli: Hfad_util

@@ -1,0 +1,1 @@
+lib/workload/load.ml: Corpus Hfad Hfad_hierfs Hfad_index Hfad_posix List

@@ -1,0 +1,1 @@
+lib/workload/load.mli: Corpus Hfad_hierfs Hfad_osd Hfad_posix

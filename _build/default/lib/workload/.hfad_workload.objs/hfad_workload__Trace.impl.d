@@ -1,0 +1,1 @@
+lib/workload/trace.ml: Array Corpus Format Hfad Hfad_hierfs Hfad_index Hfad_posix Hfad_util List String

@@ -1,0 +1,1 @@
+lib/workload/trace.mli: Corpus Format Hfad_hierfs Hfad_posix Hfad_util

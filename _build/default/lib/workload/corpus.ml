@@ -1,0 +1,112 @@
+module Rng = Hfad_util.Rng
+module Zipf = Hfad_util.Zipf
+
+type photo = {
+  photo_path : string;
+  people : string list;
+  place : string;
+  year : int;
+  camera : string;
+  caption : string;
+  pixels : string;
+}
+
+type email = {
+  email_path : string;
+  sender : string;
+  recipient : string;
+  subject : string;
+  body : string;
+  email_year : int;
+}
+
+type source_file = { source_path : string; code : string }
+
+let zipf_pick rng z arr = arr.(Zipf.sample z rng mod Array.length arr)
+
+let sentence rng z ~words =
+  let buf = Buffer.create (words * 8) in
+  for i = 0 to words - 1 do
+    if i > 0 then Buffer.add_char buf ' ';
+    Buffer.add_string buf (zipf_pick rng z Words.common)
+  done;
+  Buffer.contents buf
+
+let photos ?(pixel_bytes = 512) rng ~count =
+  let z_people = Zipf.create ~n:(Array.length Words.people) ~s:1.0 in
+  let z_places = Zipf.create ~n:(Array.length Words.places) ~s:1.0 in
+  let z_words = Zipf.create ~n:(Array.length Words.common) ~s:1.0 in
+  List.init count (fun i ->
+      let year = 2000 + Rng.int rng 10 in
+      let place = zipf_pick rng z_places Words.places in
+      let n_people = 1 + Rng.int rng 3 in
+      let people =
+        List.sort_uniq compare
+          (List.init n_people (fun _ -> zipf_pick rng z_people Words.people))
+      in
+      let camera = Rng.choice rng Words.cameras in
+      let caption =
+        Printf.sprintf "%s with %s in %s %d"
+          (sentence rng z_words ~words:3)
+          (String.concat " and " people)
+          place year
+      in
+      (* Pseudo-pixels: 64 windows of per-photo random intensity with a
+         little noise. Distinct photos get distinct average-hashes, while
+         a lightly perturbed copy of the same pixels hashes nearby. *)
+      let levels = Array.init 64 (fun _ -> Rng.int rng 230) in
+      let window = max 1 (pixel_bytes / 64) in
+      let pixels =
+        String.init pixel_bytes (fun j ->
+            Char.chr (levels.(min 63 (j / window)) + Rng.int rng 16))
+      in
+      {
+        photo_path =
+          Printf.sprintf "/photos/%d/%s/img_%05d.jpg" year place i;
+        people;
+        place;
+        year;
+        camera;
+        caption;
+        pixels;
+      })
+
+let emails rng ~count =
+  let z_people = Zipf.create ~n:(Array.length Words.people) ~s:1.1 in
+  let z_topics = Zipf.create ~n:(Array.length Words.topics) ~s:1.0 in
+  let z_words = Zipf.create ~n:(Array.length Words.common) ~s:1.0 in
+  List.init count (fun i ->
+      let sender = zipf_pick rng z_people Words.people in
+      let recipient = zipf_pick rng z_people Words.people in
+      let topic = zipf_pick rng z_topics Words.topics in
+      let year = 2005 + Rng.int rng 5 in
+      {
+        email_path =
+          Printf.sprintf "/home/%s/mail/%d/msg_%06d.eml" recipient year i;
+        sender;
+        recipient;
+        subject = Printf.sprintf "%s %s" topic (zipf_pick rng z_words Words.common);
+        body =
+          Printf.sprintf "from %s about the %s: %s" sender topic
+            (sentence rng z_words ~words:(10 + Rng.int rng 30));
+        email_year = year;
+      })
+
+let source_tree rng ~files =
+  let z_ident = Zipf.create ~n:(Array.length Words.identifiers) ~s:0.9 in
+  List.init files (fun i ->
+      let depth = 1 + Rng.int rng 3 in
+      let dirs =
+        List.init depth (fun _ -> Rng.choice rng Words.identifiers)
+      in
+      let ext = Rng.choice rng Words.extensions in
+      let name = Printf.sprintf "%s_%04d.%s" (zipf_pick rng z_ident Words.identifiers) i ext in
+      let body = Buffer.create 256 in
+      for _ = 0 to 20 + Rng.int rng 40 do
+        Buffer.add_string body (zipf_pick rng z_ident Words.identifiers);
+        Buffer.add_char body (if Rng.bool rng then ' ' else '\n')
+      done;
+      {
+        source_path = "/src/" ^ String.concat "/" dirs ^ "/" ^ name;
+        code = Buffer.contents body;
+      })

@@ -1,0 +1,47 @@
+(** Synthetic corpora for the workloads the paper motivates (§1):
+    "users may have many gigabytes worth of photo, video, and audio
+    libraries on a single pc" — photo libraries found by who/when/where,
+    email found by content, source trees whose directory layout decays
+    (MacCormack, cited in §2.2).
+
+    All generation is deterministic from the supplied {!Hfad_util.Rng},
+    with Zipf-skewed attribute popularity (some people and places appear
+    in many photos, some senders dominate a mailbox), matching the skew
+    real media libraries show. *)
+
+type photo = {
+  photo_path : string;       (** canonical POSIX-style path *)
+  people : string list;      (** who is in the picture (1-3 names) *)
+  place : string;
+  year : int;
+  camera : string;
+  caption : string;          (** searchable description text *)
+  pixels : string;           (** simulated image payload (for the image index) *)
+}
+
+type email = {
+  email_path : string;
+  sender : string;
+  recipient : string;
+  subject : string;
+  body : string;
+  email_year : int;
+}
+
+type source_file = {
+  source_path : string;
+  code : string;
+}
+
+val photos : ?pixel_bytes:int -> Hfad_util.Rng.t -> count:int -> photo list
+(** A photo library of [count] pictures spread over per-year/place
+    directories. [pixel_bytes] (default 512) sizes the simulated image
+    payload. Paths are unique. *)
+
+val emails : Hfad_util.Rng.t -> count:int -> email list
+(** A mail archive under /home/<user>/mail/<year>/. Zipf-skewed senders
+    and topic vocabulary. Paths are unique. *)
+
+val source_tree : Hfad_util.Rng.t -> files:int -> source_file list
+(** A source tree under /src with nested module directories and
+    identifier-dense file contents. Paths are unique. *)

@@ -1,0 +1,86 @@
+module Rng = Hfad_util.Rng
+module Zipf = Hfad_util.Zipf
+module Fs = Hfad.Fs
+module P = Hfad_posix.Posix_fs
+module Tag = Hfad_index.Tag
+module H = Hfad_hierfs.Hierfs
+module Search = Hfad_hierfs.Desktop_search
+
+type op =
+  | Lookup_attr of string
+  | Search_content of string
+  | Open_path of string
+  | Edit of string
+
+type t = op list
+
+let pp_op fmt = function
+  | Lookup_attr v -> Format.fprintf fmt "lookup UDEF/%s" v
+  | Search_content term -> Format.fprintf fmt "search %S" term
+  | Open_path p -> Format.fprintf fmt "open %s" p
+  | Edit p -> Format.fprintf fmt "edit %s" p
+
+let generate rng ~photos ~ops =
+  let photos = Array.of_list photos in
+  if Array.length photos = 0 then invalid_arg "Trace.generate: empty corpus";
+  let z_photo = Zipf.create ~n:(Array.length photos) ~s:0.9 in
+  let attr_of (p : Corpus.photo) =
+    (* person or place, whichever the die says *)
+    if Rng.bool rng then p.Corpus.place
+    else match p.Corpus.people with person :: _ -> person | [] -> p.Corpus.place
+  in
+  List.init ops (fun _ ->
+      let photo = photos.(Zipf.sample z_photo rng) in
+      match Rng.int rng 100 with
+      | n when n < 45 -> Lookup_attr (attr_of photo)
+      | n when n < 75 -> Search_content (attr_of photo)
+      | n when n < 95 -> Open_path photo.Corpus.photo_path
+      | _ -> Edit photo.Corpus.photo_path)
+
+type outcome = {
+  lookups : int;
+  search_hits : int;
+  bytes_read : int;
+  edits : int;
+}
+
+let empty = { lookups = 0; search_hits = 0; bytes_read = 0; edits = 0 }
+
+let replay_hfad posix trace =
+  let fs = P.fs posix in
+  List.fold_left
+    (fun acc op ->
+      match op with
+      | Lookup_attr v ->
+          let hits = Fs.lookup fs [ (Tag.Udef, v) ] in
+          { acc with lookups = acc.lookups + 1;
+                     search_hits = acc.search_hits + List.length hits }
+      | Search_content term ->
+          let hits = Fs.search fs term in
+          { acc with lookups = acc.lookups + 1;
+                     search_hits = acc.search_hits + List.length hits }
+      | Open_path path ->
+          let data = Fs.read fs (P.resolve posix path) ~off:0 ~len:4096 in
+          { acc with bytes_read = acc.bytes_read + String.length data }
+      | Edit path ->
+          Fs.write fs (P.resolve posix path) ~off:0 "EDITED";
+          { acc with edits = acc.edits + 1 })
+    empty trace
+
+let replay_hierfs h ds trace =
+  List.fold_left
+    (fun acc op ->
+      match op with
+      | Lookup_attr term | Search_content term ->
+          (* No attribute index exists: both become desktop-search term
+             queries whose hits are pathnames to resolve. *)
+          let hits = Search.search_and_read ds term ~bytes_per_hit:1 in
+          { acc with lookups = acc.lookups + 1;
+                     search_hits = acc.search_hits + List.length hits }
+      | Open_path path ->
+          let data = H.read_at h path ~off:0 ~len:4096 in
+          { acc with bytes_read = acc.bytes_read + String.length data }
+      | Edit path ->
+          H.write_at h path ~off:0 "EDITED";
+          { acc with edits = acc.edits + 1 })
+    empty trace

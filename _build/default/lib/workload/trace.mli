@@ -1,0 +1,41 @@
+(** Operation traces: generate a mixed stream of naming and access
+    operations against a loaded corpus, then replay it on either system.
+
+    The generator models a desktop session over a photo library: mostly
+    attribute and content searches with occasional path opens and edits,
+    popularity Zipf-skewed (the same few people/places get searched over
+    and over). The same trace replays against hFAD and against the
+    hierarchical baseline + desktop search, so macro comparisons run the
+    identical operation stream. *)
+
+type op =
+  | Lookup_attr of string        (** find by annotation (person/place) *)
+  | Search_content of string     (** full-text term *)
+  | Open_path of string          (** resolve a known pathname, read 4 KiB *)
+  | Edit of string               (** overwrite the first bytes of a path *)
+
+type t = op list
+
+val pp_op : Format.formatter -> op -> unit
+
+val generate :
+  Hfad_util.Rng.t -> photos:Corpus.photo list -> ops:int -> t
+(** A trace over the given corpus: 45% attribute lookups, 30% content
+    searches, 20% opens, 5% edits. *)
+
+type outcome = {
+  lookups : int;
+  search_hits : int;      (** total results returned by searches/lookups *)
+  bytes_read : int;
+  edits : int;
+}
+
+val replay_hfad : Hfad_posix.Posix_fs.t -> t -> outcome
+(** Replay on hFAD: attribute lookups via the UDEF index, content via
+    the full-text index, opens via the POSIX veneer. *)
+
+val replay_hierfs :
+  Hfad_hierfs.Hierfs.t -> Hfad_hierfs.Desktop_search.t -> t -> outcome
+(** Replay on the baseline: attribute lookups have no index — they run
+    as desktop-search content queries (captions mention the attributes),
+    each hit resolved through the namespace. *)

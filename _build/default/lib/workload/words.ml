@@ -1,0 +1,68 @@
+let common =
+  [|
+    "time"; "year"; "people"; "way"; "day"; "man"; "thing"; "woman"; "life";
+    "child"; "world"; "school"; "state"; "family"; "student"; "group";
+    "country"; "problem"; "hand"; "part"; "place"; "case"; "week"; "company";
+    "system"; "program"; "question"; "work"; "government"; "number"; "night";
+    "point"; "home"; "water"; "room"; "mother"; "area"; "money"; "story";
+    "fact"; "month"; "lot"; "right"; "study"; "book"; "eye"; "job"; "word";
+    "business"; "issue"; "side"; "kind"; "head"; "house"; "service"; "friend";
+    "father"; "power"; "hour"; "game"; "line"; "end"; "member"; "law"; "car";
+    "city"; "community"; "name"; "president"; "team"; "minute"; "idea"; "kid";
+    "body"; "information"; "back"; "parent"; "face"; "others"; "level";
+    "office"; "door"; "health"; "person"; "art"; "war"; "history"; "party";
+    "result"; "change"; "morning"; "reason"; "research"; "girl"; "guy";
+    "moment"; "air"; "teacher"; "force"; "education"; "foot"; "boy"; "age";
+    "policy"; "process"; "music"; "market"; "sense"; "nation"; "plan";
+    "college"; "interest"; "death"; "experience"; "effect"; "use"; "class";
+    "control"; "care"; "field"; "development"; "role"; "effort"; "rate";
+    "heart"; "drug"; "show"; "leader"; "light"; "voice"; "wife"; "police";
+    "mind"; "price"; "report"; "decision"; "son"; "view"; "relationship";
+    "town"; "road"; "arm"; "difference"; "value"; "building"; "action";
+    "model"; "season"; "society"; "tax"; "director"; "position"; "player";
+    "record"; "paper"; "space"; "ground"; "form"; "event"; "official";
+    "matter"; "center"; "couple"; "site"; "project"; "activity"; "star";
+    "table"; "court"; "american"; "oil"; "situation"; "cost"; "industry";
+    "figure"; "street"; "image"; "phone"; "data"; "picture"; "practice";
+    "piece"; "land"; "product"; "doctor"; "wall"; "patient"; "worker";
+    "news"; "test"; "movie"; "north"; "love"; "support"; "technology";
+  |]
+
+let people =
+  [|
+    "margo"; "nick"; "alice"; "bob"; "carol"; "dave"; "erin"; "frank";
+    "grace"; "heidi"; "ivan"; "judy"; "karl"; "laura"; "mallory"; "niaj";
+    "olivia"; "peggy"; "quentin"; "rupert"; "sybil"; "trent"; "ursula";
+    "victor"; "wendy"; "xavier"; "yolanda"; "zach";
+  |]
+
+let places =
+  [|
+    "hawaii"; "boston"; "paris"; "tokyo"; "yosemite"; "berlin"; "sydney";
+    "cairo"; "lima"; "oslo"; "kyoto"; "reykjavik"; "vienna"; "marrakesh";
+    "banff"; "queenstown";
+  |]
+
+let cameras =
+  [|
+    "nikon-d90"; "canon-5d"; "iphone-3gs"; "leica-m8"; "pentax-k7";
+    "olympus-ep1"; "sony-a900";
+  |]
+
+let topics =
+  [|
+    "budget"; "meeting"; "deadline"; "proposal"; "review"; "vacation";
+    "invoice"; "schedule"; "report"; "contract"; "party"; "taxes";
+    "insurance"; "recipe"; "travel"; "conference"; "thesis"; "grant";
+  |]
+
+let extensions = [| "ml"; "mli"; "c"; "h"; "py"; "sh"; "txt"; "md" |]
+
+let identifiers =
+  [|
+    "buffer"; "alloc"; "index"; "lookup"; "insert"; "remove"; "search";
+    "hash"; "table"; "node"; "tree"; "page"; "cache"; "lock"; "mutex";
+    "thread"; "queue"; "stack"; "heap"; "list"; "array"; "string"; "bytes";
+    "offset"; "length"; "count"; "total"; "result"; "error"; "status";
+    "config"; "option"; "value"; "key"; "entry"; "record"; "field"; "flag";
+  |]

@@ -1,0 +1,22 @@
+(** Static vocabulary for deterministic corpus generation. *)
+
+val common : string array
+(** ~200 common English words for body text. *)
+
+val people : string array
+(** First names, for photo subjects, email senders, owners. *)
+
+val places : string array
+(** Locations for the photo workload. *)
+
+val cameras : string array
+(** Camera model strings. *)
+
+val topics : string array
+(** Email / document subject nouns. *)
+
+val extensions : string array
+(** Source-file extensions. *)
+
+val identifiers : string array
+(** Code-like identifiers for the source-tree workload. *)

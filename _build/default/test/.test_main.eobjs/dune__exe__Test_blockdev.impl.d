@@ -1,0 +1,1 @@
+test/test_blockdev.ml: Alcotest Bytes Char Device Domain Hfad_blockdev Latency List

@@ -1,0 +1,1 @@
+test/test_btree.ml: Alcotest Array Bytes Fun Gen Hfad_alloc Hfad_blockdev Hfad_btree Hfad_pager Hfad_util List Map Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_buddy.ml: Alcotest Hfad_alloc List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Hfad Hfad_blockdev Hfad_index Hfad_osd List Printf

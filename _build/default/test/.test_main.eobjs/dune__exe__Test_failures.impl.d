@@ -1,0 +1,1 @@
+test/test_failures.ml: Alcotest Bytes Filename Fun Hfad Hfad_alloc Hfad_blockdev Hfad_btree Hfad_index Hfad_osd Hfad_pager Hfad_posix Hfad_util String Sys Unix

@@ -1,0 +1,1 @@
+test/test_fulltext.ml: Alcotest Hfad_alloc Hfad_blockdev Hfad_btree Hfad_fulltext Hfad_osd Hfad_pager Int64 List Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_hierfs.ml: Alcotest Array Atomic Bytes Char Domain Hfad_alloc Hfad_blockdev Hfad_hierfs Hfad_metrics Hfad_pager List Option QCheck QCheck_alcotest String Unix

@@ -1,0 +1,1 @@
+test/test_index.ml: Alcotest Bytes Char Format Gen Hfad_alloc Hfad_blockdev Hfad_btree Hfad_fulltext Hfad_index Hfad_osd Hfad_pager Hfad_util Int64 List QCheck QCheck_alcotest String

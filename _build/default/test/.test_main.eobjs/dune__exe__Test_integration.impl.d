@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Char Filename Fun Hfad Hfad_blockdev Hfad_index Hfad_osd Hfad_posix List String Sys

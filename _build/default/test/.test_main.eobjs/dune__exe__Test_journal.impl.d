@@ -1,0 +1,1 @@
+test/test_journal.ml: Alcotest Bytes Filename Hfad Hfad_blockdev Hfad_index Hfad_journal Hfad_osd Hfad_pager Hfad_posix List Option String Sys

@@ -1,0 +1,1 @@
+test/test_metrics.ml: Alcotest Counter Domain Format Hfad_metrics List Registry

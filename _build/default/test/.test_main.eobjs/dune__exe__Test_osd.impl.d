@@ -1,0 +1,1 @@
+test/test_osd.ml: Alcotest Array Bytes Char Hfad_alloc Hfad_blockdev Hfad_btree Hfad_osd Int64 List Option Printf QCheck QCheck_alcotest String

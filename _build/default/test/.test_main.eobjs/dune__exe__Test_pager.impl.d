@@ -1,0 +1,1 @@
+test/test_pager.ml: Alcotest Bytes Hfad_blockdev Hfad_pager

@@ -1,0 +1,1 @@
+test/test_posix.ml: Alcotest Format Gen Hfad Hfad_blockdev Hfad_index Hfad_metrics Hfad_osd Hfad_posix List QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_posix_model.ml: Hashtbl Hfad Hfad_blockdev Hfad_posix Hfad_util List Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_query.ml: Alcotest Array Hfad Hfad_blockdev Hfad_index Hfad_osd Hfad_util List Printf QCheck QCheck_alcotest String

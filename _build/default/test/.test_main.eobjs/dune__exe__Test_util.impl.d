@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Bytes Char Codec Crc32 Fun Gen Hfad_util Int64 List QCheck QCheck_alcotest Rng String Strx Zipf

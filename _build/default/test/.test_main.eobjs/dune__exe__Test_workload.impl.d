@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Hashtbl Hfad Hfad_blockdev Hfad_hierfs Hfad_index Hfad_osd Hfad_posix Hfad_util Hfad_workload List Option String

@@ -1,0 +1,165 @@
+(* Tests for Hfad_blockdev: Latency and Device. *)
+
+open Hfad_blockdev
+
+let check = Alcotest.check
+
+let mk ?(model = Latency.zero) ?(block_size = 64) ?(blocks = 16) () =
+  Device.create ~model ~block_size ~blocks ()
+
+let block_of_char dev c = Bytes.make (Device.block_size dev) c
+
+(* --- Latency ----------------------------------------------------------- *)
+
+let test_latency_zero () =
+  check Alcotest.int "zero" 0
+    (Latency.cost_ns Latency.zero ~last_block:None ~block:5 ~bytes:4096)
+
+let test_latency_ssd_flat () =
+  let m = Latency.default_ssd in
+  let a = Latency.cost_ns m ~last_block:None ~block:0 ~bytes:4096 in
+  let b = Latency.cost_ns m ~last_block:(Some 0) ~block:1 ~bytes:4096 in
+  let c = Latency.cost_ns m ~last_block:(Some 0) ~block:999 ~bytes:4096 in
+  check Alcotest.int "position-independent" a b;
+  check Alcotest.int "random = sequential" b c
+
+let test_latency_hdd_seek () =
+  let m = Latency.default_hdd in
+  let seq = Latency.cost_ns m ~last_block:(Some 7) ~block:8 ~bytes:4096 in
+  let random = Latency.cost_ns m ~last_block:(Some 7) ~block:100 ~bytes:4096 in
+  check Alcotest.bool "seek penalty" true (random > seq * 10)
+
+(* --- Device ------------------------------------------------------------ *)
+
+let test_device_geometry () =
+  let dev = mk ~block_size:128 ~blocks:10 () in
+  check Alcotest.int "block_size" 128 (Device.block_size dev);
+  check Alcotest.int "blocks" 10 (Device.blocks dev);
+  check Alcotest.int "size" 1280 (Device.size_bytes dev)
+
+let test_device_invalid_create () =
+  Alcotest.check_raises "bad block size"
+    (Invalid_argument "Device.create: block_size") (fun () ->
+      ignore (Device.create ~block_size:0 ~blocks:1 ()));
+  Alcotest.check_raises "bad blocks" (Invalid_argument "Device.create: blocks")
+    (fun () -> ignore (Device.create ~block_size:1 ~blocks:0 ()))
+
+let test_device_reads_zero_initially () =
+  let dev = mk () in
+  check Alcotest.bytes "zeroed" (block_of_char dev '\000') (Device.read_block dev 3)
+
+let test_device_write_read_roundtrip () =
+  let dev = mk () in
+  let data = block_of_char dev 'x' in
+  Device.write_block dev 5 data;
+  check Alcotest.bytes "roundtrip" data (Device.read_block dev 5);
+  (* neighbours untouched *)
+  check Alcotest.bytes "neighbour" (block_of_char dev '\000') (Device.read_block dev 4)
+
+let test_device_write_isolated_copy () =
+  let dev = mk () in
+  let data = block_of_char dev 'y' in
+  Device.write_block dev 0 data;
+  Bytes.fill data 0 (Bytes.length data) 'z';
+  check Alcotest.bytes "device kept its own copy" (block_of_char dev 'y')
+    (Device.read_block dev 0)
+
+let test_device_out_of_range () =
+  let dev = mk ~blocks:4 () in
+  let boom = Device.Out_of_range { block = 4; blocks = 4 } in
+  Alcotest.check_raises "read" boom (fun () -> ignore (Device.read_block dev 4));
+  Alcotest.check_raises "write" boom (fun () ->
+      Device.write_block dev 4 (block_of_char dev 'a'));
+  Alcotest.check_raises "negative" (Device.Out_of_range { block = -1; blocks = 4 })
+    (fun () -> ignore (Device.read_block dev (-1)))
+
+let test_device_size_mismatch () =
+  let dev = mk ~block_size:64 () in
+  Alcotest.check_raises "short write"
+    (Invalid_argument "Device.write_block: data size mismatch") (fun () ->
+      Device.write_block dev 0 (Bytes.create 63));
+  Alcotest.check_raises "short read buffer"
+    (Invalid_argument "Device.read_block_into: buffer size mismatch") (fun () ->
+      Device.read_block_into dev 0 (Bytes.create 65))
+
+let test_device_stats () =
+  let dev = mk () in
+  Device.write_block dev 0 (block_of_char dev 'a');
+  Device.write_block dev 1 (block_of_char dev 'b');
+  ignore (Device.read_block dev 0);
+  Device.flush dev;
+  let s = Device.stats dev in
+  check Alcotest.int "reads" 1 s.Device.reads;
+  check Alcotest.int "writes" 2 s.Device.writes;
+  check Alcotest.int "flushes" 1 s.Device.flushes;
+  check Alcotest.int "bytes read" 64 s.Device.bytes_read;
+  check Alcotest.int "bytes written" 128 s.Device.bytes_written;
+  Device.reset_stats dev;
+  let s = Device.stats dev in
+  check Alcotest.int "reset reads" 0 s.Device.reads;
+  check Alcotest.int "reset writes" 0 s.Device.writes
+
+let test_device_simulated_cost_accumulates () =
+  let dev = mk ~model:Latency.default_hdd ~block_size:512 ~blocks:100 () in
+  ignore (Device.read_block dev 0);
+  ignore (Device.read_block dev 50);
+  let s = Device.stats dev in
+  check Alcotest.bool "cost > 0" true (s.Device.simulated_ns > 0)
+
+let test_device_hdd_sequential_cheaper () =
+  let sequential = mk ~model:Latency.default_hdd ~block_size:512 ~blocks:100 () in
+  for i = 0 to 49 do
+    ignore (Device.read_block sequential i)
+  done;
+  let random = mk ~model:Latency.default_hdd ~block_size:512 ~blocks:100 () in
+  for i = 0 to 49 do
+    ignore (Device.read_block random ((i * 37) mod 100))
+  done;
+  check Alcotest.bool "sequential cheaper" true
+    ((Device.stats sequential).Device.simulated_ns
+    < (Device.stats random).Device.simulated_ns)
+
+let test_device_fault_injection () =
+  let dev = mk () in
+  Device.set_fault dev (fun op idx -> op = Device.Read && idx = 3);
+  Device.write_block dev 3 (block_of_char dev 'c');
+  Alcotest.check_raises "faulted read"
+    (Device.Io_error "injected read fault at block 3") (fun () ->
+      ignore (Device.read_block dev 3));
+  ignore (Device.read_block dev 2);
+  Device.clear_fault dev;
+  check Alcotest.bytes "recovered" (block_of_char dev 'c') (Device.read_block dev 3)
+
+let test_device_parallel_access () =
+  let dev = mk ~blocks:64 () in
+  let domains =
+    List.init 4 (fun d ->
+        Domain.spawn (fun () ->
+            for i = 0 to 63 do
+              let data = Bytes.make 64 (Char.chr (65 + d)) in
+              Device.write_block dev i data;
+              ignore (Device.read_block dev i)
+            done))
+  in
+  List.iter Domain.join domains;
+  let s = Device.stats dev in
+  check Alcotest.int "all ops counted" (4 * 64 * 2) (s.Device.reads + s.Device.writes)
+
+let suite =
+  [
+    Alcotest.test_case "latency zero" `Quick test_latency_zero;
+    Alcotest.test_case "latency ssd flat" `Quick test_latency_ssd_flat;
+    Alcotest.test_case "latency hdd seek penalty" `Quick test_latency_hdd_seek;
+    Alcotest.test_case "device geometry" `Quick test_device_geometry;
+    Alcotest.test_case "device invalid create" `Quick test_device_invalid_create;
+    Alcotest.test_case "device zero-initialized" `Quick test_device_reads_zero_initially;
+    Alcotest.test_case "device write/read roundtrip" `Quick test_device_write_read_roundtrip;
+    Alcotest.test_case "device isolates written buffer" `Quick test_device_write_isolated_copy;
+    Alcotest.test_case "device out of range" `Quick test_device_out_of_range;
+    Alcotest.test_case "device size mismatch" `Quick test_device_size_mismatch;
+    Alcotest.test_case "device stats" `Quick test_device_stats;
+    Alcotest.test_case "device simulated cost" `Quick test_device_simulated_cost_accumulates;
+    Alcotest.test_case "device hdd sequential cheaper" `Quick test_device_hdd_sequential_cheaper;
+    Alcotest.test_case "device fault injection" `Quick test_device_fault_injection;
+    Alcotest.test_case "device parallel access" `Slow test_device_parallel_access;
+  ]

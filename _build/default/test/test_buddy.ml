@@ -1,0 +1,214 @@
+(* Tests for Hfad_alloc.Buddy: unit tests plus model-based properties. *)
+
+module Buddy = Hfad_alloc.Buddy
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+let test_alloc_size_rounding () =
+  let b = Buddy.create ~first_block:0 ~blocks:64 () in
+  check Alcotest.int "1" 1 (Buddy.alloc_size b 1);
+  check Alcotest.int "2" 2 (Buddy.alloc_size b 2);
+  check Alcotest.int "3" 4 (Buddy.alloc_size b 3);
+  check Alcotest.int "5" 8 (Buddy.alloc_size b 5);
+  check Alcotest.int "64" 64 (Buddy.alloc_size b 64)
+
+let test_min_order () =
+  let b = Buddy.create ~min_order:2 ~first_block:0 ~blocks:64 () in
+  check Alcotest.int "small request rounded to 4" 4 (Buddy.alloc_size b 1)
+
+let test_basic_alloc_free () =
+  let b = Buddy.create ~first_block:0 ~blocks:16 () in
+  let a = Buddy.alloc b 4 in
+  check Alcotest.bool "allocated" true (Buddy.is_allocated b a);
+  check Alcotest.int "size" 4 (Buddy.size_of b a);
+  Buddy.free b a;
+  check Alcotest.bool "freed" false (Buddy.is_allocated b a);
+  Buddy.check_invariants b
+
+let test_full_then_out_of_space () =
+  let b = Buddy.create ~first_block:0 ~blocks:8 () in
+  let _a1 = Buddy.alloc b 4 in
+  let _a2 = Buddy.alloc b 4 in
+  Alcotest.check_raises "exhausted" (Buddy.Out_of_space { requested_blocks = 1 })
+    (fun () -> ignore (Buddy.alloc b 1))
+
+let test_request_larger_than_arena () =
+  let b = Buddy.create ~first_block:0 ~blocks:8 () in
+  Alcotest.check_raises "too big" (Buddy.Out_of_space { requested_blocks = 16 })
+    (fun () -> ignore (Buddy.alloc b 16))
+
+let test_double_free_detected () =
+  let b = Buddy.create ~first_block:0 ~blocks:8 () in
+  let a = Buddy.alloc b 2 in
+  Buddy.free b a;
+  Alcotest.check_raises "double free" (Buddy.Invalid_free { start = a }) (fun () ->
+      Buddy.free b a)
+
+let test_free_unknown_detected () =
+  let b = Buddy.create ~first_block:0 ~blocks:8 () in
+  Alcotest.check_raises "unknown" (Buddy.Invalid_free { start = 3 }) (fun () ->
+      Buddy.free b 3)
+
+let test_coalescing_restores_full_run () =
+  let b = Buddy.create ~first_block:0 ~blocks:32 () in
+  let allocations = List.init 8 (fun _ -> Buddy.alloc b 4) in
+  check Alcotest.int "all consumed" 0 (Buddy.stats b).Buddy.free_blocks;
+  List.iter (Buddy.free b) allocations;
+  let s = Buddy.stats b in
+  check Alcotest.int "all free" 32 s.Buddy.free_blocks;
+  check Alcotest.int "coalesced back to one run" 32 s.Buddy.largest_free_run;
+  Buddy.check_invariants b
+
+let test_non_power_of_two_region () =
+  (* 100 blocks = arenas of 64 + 32 + 4. *)
+  let b = Buddy.create ~first_block:10 ~blocks:100 () in
+  let s = Buddy.stats b in
+  check Alcotest.int "managed" 100 s.Buddy.total_blocks;
+  check Alcotest.int "largest arena" 64 s.Buddy.largest_free_run;
+  (* Allocate everything in chunks of 4: 25 allocations must all succeed. *)
+  let allocs = List.init 25 (fun _ -> Buddy.alloc b 4) in
+  check Alcotest.int "exhausted" 0 (Buddy.stats b).Buddy.free_blocks;
+  (* Starts must lie within the managed region. *)
+  List.iter
+    (fun a -> check Alcotest.bool "in region" true (a >= 10 && a + 4 <= 110))
+    allocs;
+  List.iter (Buddy.free b) allocs;
+  check Alcotest.int "restored" 100 (Buddy.stats b).Buddy.free_blocks;
+  Buddy.check_invariants b
+
+let test_first_block_offset () =
+  let b = Buddy.create ~first_block:1000 ~blocks:16 () in
+  let a = Buddy.alloc b 16 in
+  check Alcotest.int "allocates at base" 1000 a
+
+let test_fragmentation_metric () =
+  let b = Buddy.create ~first_block:0 ~blocks:16 () in
+  check (Alcotest.float 1e-9) "initially 0" 0. (Buddy.fragmentation b);
+  (* Allocate alternating order-0 blocks to fragment the space. *)
+  let allocs = List.init 16 (fun _ -> Buddy.alloc b 1) in
+  List.iteri (fun i a -> if i mod 2 = 0 then Buddy.free b a) allocs;
+  check Alcotest.bool "fragmented" true (Buddy.fragmentation b > 0.5);
+  Buddy.check_invariants b
+
+let test_splits_and_coalesces_counted () =
+  let b = Buddy.create ~first_block:0 ~blocks:16 () in
+  let a = Buddy.alloc b 1 in
+  check Alcotest.bool "splits recorded" true ((Buddy.stats b).Buddy.splits >= 4);
+  Buddy.free b a;
+  check Alcotest.bool "coalesces recorded" true
+    ((Buddy.stats b).Buddy.coalesces >= 4)
+
+let test_reserve_specific_run () =
+  let b = Buddy.create ~first_block:0 ~blocks:64 () in
+  Buddy.reserve b ~start:8 ~blocks:8;
+  check Alcotest.bool "reserved" true (Buddy.is_allocated b 8);
+  check Alcotest.int "free accounting" 56 (Buddy.stats b).Buddy.free_blocks;
+  Buddy.check_invariants b;
+  (* Subsequent allocations avoid the reserved run. *)
+  let taken = List.init 7 (fun _ -> Buddy.alloc b 8) in
+  List.iter (fun a -> check Alcotest.bool "disjoint" true (a <> 8)) taken;
+  (* Freeing the reservation coalesces back. *)
+  List.iter (Buddy.free b) taken;
+  Buddy.free b 8;
+  check Alcotest.int "restored" 64 (Buddy.stats b).Buddy.largest_free_run
+
+let test_reserve_rejects_conflict () =
+  let b = Buddy.create ~first_block:0 ~blocks:16 () in
+  Buddy.reserve b ~start:0 ~blocks:4;
+  (try
+     Buddy.reserve b ~start:0 ~blocks:4;
+     Alcotest.fail "expected rejection"
+   with Invalid_argument _ -> ());
+  (try
+     Buddy.reserve b ~start:2 ~blocks:4;
+     Alcotest.fail "expected misalignment rejection"
+   with Invalid_argument _ -> ());
+  (try
+     Buddy.reserve b ~start:0 ~blocks:3;
+     Alcotest.fail "expected power-of-two rejection"
+   with Invalid_argument _ -> ());
+  Buddy.check_invariants b
+
+let test_reserve_then_rebuild_layout () =
+  (* Simulates reopening a device: reserve the exact runs a previous
+     instance allocated, in arbitrary order. *)
+  let b1 = Buddy.create ~first_block:0 ~blocks:128 () in
+  let runs = List.init 10 (fun i -> Buddy.alloc b1 (1 + (i mod 5))) in
+  let sized = List.map (fun s -> (s, Buddy.size_of b1 s)) runs in
+  let b2 = Buddy.create ~first_block:0 ~blocks:128 () in
+  List.iter (fun (s, n) -> Buddy.reserve b2 ~start:s ~blocks:n) (List.rev sized);
+  check Alcotest.int "same free space" (Buddy.stats b1).Buddy.free_blocks
+    (Buddy.stats b2).Buddy.free_blocks;
+  Buddy.check_invariants b2
+
+(* Model-based property: run a random alloc/free trace; live allocations
+   must never overlap, must stay in the managed region, and invariants
+   must hold throughout; freeing everything restores the full region. *)
+let prop_random_trace =
+  let gen = QCheck.(list (pair (int_bound 9) (int_bound 30))) in
+  QCheck.Test.make ~name:"buddy random alloc/free trace" ~count:200 gen
+    (fun ops ->
+      let b = Buddy.create ~first_block:5 ~blocks:75 () in
+      let live = ref [] in
+      let overlap (s1, l1) (s2, l2) = s1 < s2 + l2 && s2 < s1 + l1 in
+      List.iter
+        (fun (op, arg) ->
+          if op < 7 then (
+            (* alloc of size 1..31 *)
+            match Buddy.alloc b (arg + 1) with
+            | start ->
+                let len = Buddy.size_of b start in
+                if start < 5 || start + len > 80 then
+                  QCheck.Test.fail_report "allocation outside region";
+                List.iter
+                  (fun existing ->
+                    if overlap (start, len) existing then
+                      QCheck.Test.fail_report "overlapping allocation")
+                  !live;
+                live := (start, len) :: !live
+            | exception Buddy.Out_of_space _ -> ())
+          else if !live <> [] then begin
+            let idx = arg mod List.length !live in
+            let start, _ = List.nth !live idx in
+            Buddy.free b start;
+            live := List.filteri (fun i _ -> i <> idx) !live
+          end)
+        ops;
+      Buddy.check_invariants b;
+      List.iter (fun (s, _) -> Buddy.free b s) !live;
+      Buddy.check_invariants b;
+      (Buddy.stats b).Buddy.free_blocks = 75
+      && (Buddy.stats b).Buddy.largest_free_run = 64)
+
+let prop_alloc_aligned =
+  QCheck.Test.make ~name:"buddy allocations are size-aligned" ~count:200
+    QCheck.(int_range 1 64)
+    (fun n ->
+      let b = Buddy.create ~first_block:0 ~blocks:64 () in
+      match Buddy.alloc b n with
+      | start ->
+          let size = Buddy.size_of b start in
+          start mod size = 0
+      | exception Buddy.Out_of_space _ -> n > 64)
+
+let suite =
+  [
+    Alcotest.test_case "alloc_size rounding" `Quick test_alloc_size_rounding;
+    Alcotest.test_case "min_order granularity" `Quick test_min_order;
+    Alcotest.test_case "basic alloc/free" `Quick test_basic_alloc_free;
+    Alcotest.test_case "out of space" `Quick test_full_then_out_of_space;
+    Alcotest.test_case "request larger than arena" `Quick test_request_larger_than_arena;
+    Alcotest.test_case "double free detected" `Quick test_double_free_detected;
+    Alcotest.test_case "free unknown detected" `Quick test_free_unknown_detected;
+    Alcotest.test_case "coalescing" `Quick test_coalescing_restores_full_run;
+    Alcotest.test_case "non-power-of-two region" `Quick test_non_power_of_two_region;
+    Alcotest.test_case "first_block offset" `Quick test_first_block_offset;
+    Alcotest.test_case "fragmentation metric" `Quick test_fragmentation_metric;
+    Alcotest.test_case "split/coalesce counters" `Quick test_splits_and_coalesces_counted;
+    Alcotest.test_case "reserve specific run" `Quick test_reserve_specific_run;
+    Alcotest.test_case "reserve rejects conflicts" `Quick test_reserve_rejects_conflict;
+    Alcotest.test_case "reserve rebuilds layout" `Quick test_reserve_then_rebuild_layout;
+    qtest prop_random_trace;
+    qtest prop_alloc_aligned;
+  ]

@@ -1,0 +1,205 @@
+(* Failure injection across layers: checksummed devices, bit rot,
+   image persistence, I/O faults propagating up the stack, and space
+   exhaustion behaviour. *)
+
+module Device = Hfad_blockdev.Device
+module Pager = Hfad_pager.Pager
+module Buddy = Hfad_alloc.Buddy
+module Btree = Hfad_btree.Btree
+module Osd = Hfad_osd.Osd
+module Fs = Hfad.Fs
+module Tag = Hfad_index.Tag
+module P = Hfad_posix.Posix_fs
+
+let check = Alcotest.check
+
+(* --- device checksums ---------------------------------------------------- *)
+
+let test_checksum_detects_bit_rot () =
+  let dev = Device.create ~checksums:true ~block_size:256 ~blocks:16 () in
+  Device.write_block dev 3 (Bytes.make 256 'a');
+  ignore (Device.read_block dev 3);
+  Device.corrupt_block dev 3 ~byte:100;
+  Alcotest.check_raises "detected" (Device.Io_error "checksum mismatch at block 3")
+    (fun () -> ignore (Device.read_block dev 3));
+  (* Rewriting heals the block. *)
+  Device.write_block dev 3 (Bytes.make 256 'b');
+  check Alcotest.bytes "healed" (Bytes.make 256 'b') (Device.read_block dev 3)
+
+let test_no_checksums_silent_corruption () =
+  let dev = Device.create ~block_size:256 ~blocks:16 () in
+  Device.write_block dev 3 (Bytes.make 256 'a');
+  Device.corrupt_block dev 3 ~byte:0;
+  (* Reads succeed but return damaged data - the failure mode checksums
+     exist to prevent. *)
+  let data = Device.read_block dev 3 in
+  check Alcotest.bool "silently wrong" true (Bytes.get data 0 <> 'a')
+
+let test_corrupt_block_validation () =
+  let dev = Device.create ~block_size:256 ~blocks:4 () in
+  (try
+     Device.corrupt_block dev 0 ~byte:0;
+     Alcotest.fail "unwritten block accepted"
+   with Invalid_argument _ -> ());
+  Device.write_block dev 0 (Bytes.make 256 'x');
+  try
+    Device.corrupt_block dev 0 ~byte:999;
+    Alcotest.fail "bad byte accepted"
+  with Invalid_argument _ -> ()
+
+let test_checksummed_fs_end_to_end () =
+  (* A whole hFAD instance over a checksummed device: normal operation is
+     unaffected; flipping one stored bit surfaces as Io_error on access. *)
+  let dev = Device.create ~checksums:true ~block_size:1024 ~blocks:8192 () in
+  let fs = Fs.format ~index_mode:Fs.Eager dev in
+  let oid = Fs.create fs ~content:(String.make 50_000 'z') in
+  check Alcotest.int "size" 50_000 (Fs.size fs oid);
+  Fs.flush fs;
+  (* Find a materialized data block (beyond the metadata region) and rot it. *)
+  let target = ref (-1) in
+  (try
+     for b = 100 to 8191 do
+       match Device.corrupt_block dev b ~byte:7 with
+       | () ->
+           target := b;
+           raise Exit
+       | exception Invalid_argument _ -> ()
+     done
+   with Exit -> ());
+  check Alcotest.bool "found a block to corrupt" true (!target >= 0);
+  (* A cold read of everything must hit the bad block. *)
+  Pager.invalidate (Osd.pager (Fs.osd fs));
+  (try
+     ignore (Fs.read_all fs oid);
+     (* The corrupted block may belong to an index page instead; touch
+        those too. *)
+     Fs.verify fs;
+     Alcotest.fail "corruption went undetected"
+   with Device.Io_error msg ->
+     check Alcotest.bool "mentions checksum" true
+       (Hfad_util.Strx.starts_with ~prefix:"checksum mismatch" msg))
+
+(* --- image save / load ----------------------------------------------------- *)
+
+let test_image_roundtrip () =
+  let path = Filename.temp_file "hfad_test" ".img" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let dev = Device.create ~block_size:512 ~blocks:1024 () in
+      let fs = Fs.format ~index_mode:Fs.Eager dev in
+      let posix = P.mount fs in
+      P.mkdir_p posix "/docs";
+      ignore (P.create_file ~content:"persisted across processes" posix "/docs/a");
+      let oid = P.resolve posix "/docs/a" in
+      Fs.name fs oid Tag.Udef "important";
+      Fs.flush fs;
+      Device.save dev path;
+      (* Fresh process simulation: load image, reopen, verify all state. *)
+      let dev2 = Device.load path in
+      let fs2 = Fs.open_existing dev2 in
+      let posix2 = P.mount fs2 in
+      check Alcotest.string "content" "persisted across processes"
+        (P.read_file posix2 "/docs/a");
+      check Alcotest.bool "tag survived" true
+        (Fs.lookup fs2 [ (Tag.Udef, "important") ] <> []);
+      check Alcotest.bool "search survived" true
+        (Fs.search fs2 "persisted" <> []);
+      Fs.verify fs2)
+
+let test_image_sparse () =
+  let path = Filename.temp_file "hfad_test" ".img" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      (* A huge, almost-empty device saves small. *)
+      let dev = Device.create ~block_size:4096 ~blocks:1_000_000 () in
+      Device.write_block dev 0 (Bytes.make 4096 'x');
+      Device.save dev path;
+      let size = (Unix.stat path).Unix.st_size in
+      check Alcotest.bool "sparse image" true (size < 100_000))
+
+let test_image_rejects_garbage () =
+  let path = Filename.temp_file "hfad_test" ".img" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let oc = open_out path in
+      output_string oc "not an image at all";
+      close_out oc;
+      try
+        ignore (Device.load path);
+        Alcotest.fail "garbage accepted"
+      with Device.Io_error _ -> ())
+
+let test_image_missing_file () =
+  try
+    ignore (Device.load "/nonexistent/path/disk.img");
+    Alcotest.fail "missing file accepted"
+  with Device.Io_error _ -> ()
+
+(* --- fault propagation -------------------------------------------------------- *)
+
+let test_write_fault_propagates_through_osd () =
+  let dev = Device.create ~block_size:1024 ~blocks:4096 () in
+  let osd = Osd.format ~cache_pages:8 dev in
+  let oid = Osd.create_object osd in
+  Osd.write osd oid ~off:0 "healthy write";
+  (* Fail every device write: the next pager write-back must surface. *)
+  Device.set_fault dev (fun op _ -> op = Device.Write);
+  (try
+     (* A small cache forces evictions, so a large write hits the device. *)
+     Osd.write osd oid ~off:0 (String.make 100_000 'x');
+     Osd.flush osd;
+     Alcotest.fail "fault swallowed"
+   with Device.Io_error _ -> ());
+  Device.clear_fault dev
+
+let test_read_fault_propagates_through_fs () =
+  let dev = Device.create ~block_size:1024 ~blocks:4096 () in
+  let fs = Fs.format ~cache_pages:16 ~index_mode:Fs.Off dev in
+  let oid = Fs.create fs ~content:(String.make 60_000 'q') in
+  Fs.flush fs;
+  Pager.invalidate (Osd.pager (Fs.osd fs));
+  Device.set_fault dev (fun op _ -> op = Device.Read);
+  (try
+     ignore (Fs.read_all fs oid);
+     Alcotest.fail "fault swallowed"
+   with Device.Io_error _ -> ());
+  Device.clear_fault dev;
+  (* After the fault clears, the data is intact. *)
+  check Alcotest.string "recovered" (String.make 60_000 'q') (Fs.read_all fs oid)
+
+(* --- space exhaustion ------------------------------------------------------------ *)
+
+let test_osd_out_of_space () =
+  let dev = Device.create ~block_size:1024 ~blocks:64 () in
+  let osd = Osd.format ~cache_pages:32 dev in
+  let oid = Osd.create_object osd in
+  (try
+     Osd.write osd oid ~off:0 (String.make 1_000_000 'x');
+     Alcotest.fail "expected exhaustion"
+   with Buddy.Out_of_space _ -> ());
+  (* The allocator still works for small requests afterwards. *)
+  let o2 = Osd.create_object osd in
+  Osd.write osd o2 ~off:0 "small is fine";
+  check Alcotest.string "usable after ENOSPC" "small is fine" (Osd.read_all osd o2)
+
+let suite =
+  [
+    Alcotest.test_case "checksum detects bit rot" `Quick test_checksum_detects_bit_rot;
+    Alcotest.test_case "no checksums = silent corruption" `Quick
+      test_no_checksums_silent_corruption;
+    Alcotest.test_case "corrupt_block validation" `Quick test_corrupt_block_validation;
+    Alcotest.test_case "checksummed fs end to end" `Quick
+      test_checksummed_fs_end_to_end;
+    Alcotest.test_case "image roundtrip" `Quick test_image_roundtrip;
+    Alcotest.test_case "image is sparse" `Quick test_image_sparse;
+    Alcotest.test_case "image rejects garbage" `Quick test_image_rejects_garbage;
+    Alcotest.test_case "image missing file" `Quick test_image_missing_file;
+    Alcotest.test_case "write fault through OSD" `Quick
+      test_write_fault_propagates_through_osd;
+    Alcotest.test_case "read fault through Fs" `Quick
+      test_read_fault_propagates_through_fs;
+    Alcotest.test_case "out of space" `Quick test_osd_out_of_space;
+  ]

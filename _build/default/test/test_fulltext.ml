@@ -1,0 +1,297 @@
+(* Tests for Hfad_fulltext: Tokenizer, Fulltext, Lazy_indexer. *)
+
+module Device = Hfad_blockdev.Device
+module Pager = Hfad_pager.Pager
+module Buddy = Hfad_alloc.Buddy
+module Btree = Hfad_btree.Btree
+module Oid = Hfad_osd.Oid
+module Tokenizer = Hfad_fulltext.Tokenizer
+module Fulltext = Hfad_fulltext.Fulltext
+module Lazy_indexer = Hfad_fulltext.Lazy_indexer
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+let oid i = Oid.of_int64 (Int64.of_int i)
+let oid_t = Alcotest.testable Oid.pp Oid.equal
+
+let mk_index () =
+  let dev = Device.create ~block_size:1024 ~blocks:8192 () in
+  let pager = Pager.create ~cache_pages:256 dev in
+  let buddy = Buddy.create ~first_block:0 ~blocks:8192 () in
+  let alloc =
+    {
+      Btree.alloc_page = (fun () -> Buddy.alloc buddy 1);
+      Btree.free_page = (fun p -> Buddy.free buddy p);
+    }
+  in
+  let root = Buddy.alloc buddy 1 in
+  Fulltext.create (Btree.create pager alloc ~root)
+
+(* --- Tokenizer --------------------------------------------------------- *)
+
+let test_tokenizer_basic () =
+  check (Alcotest.list Alcotest.string) "lowercase + split"
+    [ "hello"; "world" ]
+    (Tokenizer.tokens "Hello, WORLD!")
+
+let test_tokenizer_stopwords () =
+  check (Alcotest.list Alcotest.string) "stopwords removed"
+    [ "cat"; "sat"; "mat" ]
+    (Tokenizer.tokens "the cat sat on the mat")
+
+let test_tokenizer_short_tokens_dropped () =
+  check (Alcotest.list Alcotest.string) "single chars dropped" [ "ab" ]
+    (Tokenizer.tokens "a b c ab")
+
+let test_tokenizer_numbers () =
+  check (Alcotest.list Alcotest.string) "alphanumerics kept"
+    [ "photo"; "2009"; "img42" ]
+    (Tokenizer.tokens "photo 2009 img42")
+
+let test_tokenizer_long_token_truncated () =
+  let long = String.make 100 'x' in
+  match Tokenizer.tokens long with
+  | [ tok ] -> check Alcotest.int "truncated" Tokenizer.max_token_len (String.length tok)
+  | other -> Alcotest.failf "expected one token, got %d" (List.length other)
+
+let test_tokenizer_custom_stopwords () =
+  check (Alcotest.list Alcotest.string) "custom list"
+    [ "the"; "word" ]
+    (Tokenizer.tokens ~stopwords:[ "banana" ] "the banana word")
+
+let test_term_frequencies () =
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.int))
+    "counts" [ ("blue", 1); ("fish", 2) ]
+    (Tokenizer.term_frequencies "fish blue fish")
+
+let test_is_term () =
+  check Alcotest.bool "valid" true (Tokenizer.is_term "hello42");
+  check Alcotest.bool "upper" false (Tokenizer.is_term "Hello");
+  check Alcotest.bool "short" false (Tokenizer.is_term "h");
+  check Alcotest.bool "space" false (Tokenizer.is_term "two words")
+
+let prop_tokens_are_terms =
+  qtest
+    (QCheck.Test.make ~name:"every emitted token is a valid term" ~count:300
+       QCheck.(string_of_size QCheck.Gen.(0 -- 200))
+       (fun text -> List.for_all Tokenizer.is_term (Tokenizer.tokens text)))
+
+(* --- Fulltext ----------------------------------------------------------- *)
+
+let test_index_and_search () =
+  let ft = mk_index () in
+  Fulltext.add_document ft (oid 1) "the quick brown fox";
+  Fulltext.add_document ft (oid 2) "the quick red dog";
+  Fulltext.add_document ft (oid 3) "lazy brown dog";
+  check (Alcotest.list oid_t) "single term" [ oid 1; oid 3 ]
+    (Fulltext.search ft [ "brown" ]);
+  check (Alcotest.list oid_t) "conjunction" [ oid 3 ]
+    (Fulltext.search ft [ "brown"; "dog" ]);
+  check (Alcotest.list oid_t) "no match" [] (Fulltext.search ft [ "cat" ]);
+  check (Alcotest.list oid_t) "conjunction with dead term" []
+    (Fulltext.search ft [ "brown"; "cat" ]);
+  check Alcotest.int "doc count" 3 (Fulltext.doc_count ft);
+  Fulltext.verify ft
+
+let test_search_normalizes_query () =
+  let ft = mk_index () in
+  Fulltext.add_document ft (oid 1) "Margo wrote BerkeleyDB";
+  check (Alcotest.list oid_t) "case folded" [ oid 1 ]
+    (Fulltext.search ft [ "MARGO" ]);
+  check (Alcotest.list oid_t) "punctuation stripped" [ oid 1 ]
+    (Fulltext.search ft [ "margo," ])
+
+let test_document_frequency () =
+  let ft = mk_index () in
+  Fulltext.add_document ft (oid 1) "alpha beta";
+  Fulltext.add_document ft (oid 2) "alpha gamma";
+  check Alcotest.int "df alpha" 2 (Fulltext.document_frequency ft "alpha");
+  check Alcotest.int "df beta" 1 (Fulltext.document_frequency ft "beta");
+  check Alcotest.int "df missing" 0 (Fulltext.document_frequency ft "delta")
+
+let test_postings_tf () =
+  let ft = mk_index () in
+  Fulltext.add_document ft (oid 5) "echo echo echo canyon";
+  check
+    (Alcotest.list (Alcotest.pair oid_t Alcotest.int))
+    "term frequency" [ (oid 5, 3) ] (Fulltext.postings ft "echo")
+
+let test_reindex_replaces () =
+  let ft = mk_index () in
+  Fulltext.add_document ft (oid 1) "old content here";
+  Fulltext.add_document ft (oid 1) "fresh words now";
+  check (Alcotest.list oid_t) "old gone" [] (Fulltext.search ft [ "old" ]);
+  check (Alcotest.list oid_t) "new found" [ oid 1 ] (Fulltext.search ft [ "fresh" ]);
+  check Alcotest.int "still one doc" 1 (Fulltext.doc_count ft);
+  Fulltext.verify ft
+
+let test_remove_document () =
+  let ft = mk_index () in
+  Fulltext.add_document ft (oid 1) "shared unique1";
+  Fulltext.add_document ft (oid 2) "shared unique2";
+  Fulltext.remove_document ft (oid 1);
+  check Alcotest.bool "unindexed" false (Fulltext.is_indexed ft (oid 1));
+  check (Alcotest.list oid_t) "survivor still found" [ oid 2 ]
+    (Fulltext.search ft [ "shared" ]);
+  check Alcotest.int "df decremented" 1 (Fulltext.document_frequency ft "shared");
+  check Alcotest.int "df zero removes record" 0
+    (Fulltext.document_frequency ft "unique1");
+  Fulltext.remove_document ft (oid 1);  (* idempotent *)
+  check Alcotest.int "doc count" 1 (Fulltext.doc_count ft);
+  Fulltext.verify ft
+
+let test_scoring_prefers_rare_terms () =
+  let ft = mk_index () in
+  (* "common" appears everywhere; "rare" in one doc. A query for both
+     must rank the doc that has rare high; and between two docs with the
+     same terms, higher tf wins. *)
+  for i = 1 to 20 do
+    Fulltext.add_document ft (oid i) "common filler words everywhere"
+  done;
+  Fulltext.add_document ft (oid 100) "common rare";
+  Fulltext.add_document ft (oid 101) "common rare rare rare";
+  (match Fulltext.search_scored ft [ "rare" ] with
+  | (first, s1) :: (second, s2) :: [] ->
+      check oid_t "higher tf first" (oid 101) first;
+      check oid_t "lower tf second" (oid 100) second;
+      check Alcotest.bool "scores ordered" true (s1 > s2)
+  | other -> Alcotest.failf "expected 2 hits, got %d" (List.length other));
+  Fulltext.verify ft
+
+let test_search_text () =
+  let ft = mk_index () in
+  Fulltext.add_document ft (oid 1) "vacation photos from hawaii beach";
+  Fulltext.add_document ft (oid 2) "hawaii business trip";
+  check
+    (Alcotest.list oid_t)
+    "free text query" [ oid 1 ]
+    (List.map fst (Fulltext.search_text ft "Hawaii BEACH!"))
+
+let test_empty_queries () =
+  let ft = mk_index () in
+  Fulltext.add_document ft (oid 1) "something";
+  check (Alcotest.list oid_t) "empty list" [] (Fulltext.search ft []);
+  check (Alcotest.list oid_t) "stopword-only query" []
+    (Fulltext.search ft [ "the" ])
+
+let test_stopword_only_document () =
+  let ft = mk_index () in
+  Fulltext.add_document ft (oid 1) "the and of";
+  check Alcotest.int "counted" 1 (Fulltext.doc_count ft);
+  Fulltext.remove_document ft (oid 1);
+  check Alcotest.int "removed" 0 (Fulltext.doc_count ft);
+  Fulltext.verify ft
+
+let prop_search_finds_containing_docs =
+  qtest
+    (QCheck.Test.make ~name:"indexed term is always findable" ~count:60
+       QCheck.(small_list (string_of_size QCheck.Gen.(1 -- 40)))
+       (fun texts ->
+         let ft = mk_index () in
+         List.iteri (fun i text -> Fulltext.add_document ft (oid (i + 1)) text) texts;
+         Fulltext.verify ft;
+         List.for_all
+           (fun (i, text) ->
+             let id = oid (i + 1) in
+             List.for_all
+               (fun term -> List.exists (Oid.equal id) (Fulltext.search ft [ term ]))
+               (Tokenizer.tokens text))
+           (List.mapi (fun i text -> (i, text)) texts)))
+
+(* --- Lazy_indexer -------------------------------------------------------- *)
+
+let test_lazy_staleness_until_drain () =
+  let ft = mk_index () in
+  let ix = Lazy_indexer.create ft in
+  Lazy_indexer.submit_add ix (oid 1) "pending document";
+  (* §3.4 laziness: not yet visible to search. *)
+  check (Alcotest.list oid_t) "stale before drain" []
+    (Fulltext.search ft [ "pending" ]);
+  check Alcotest.int "queued" 1 (Lazy_indexer.pending ix);
+  check Alcotest.int "drained" 1 (Lazy_indexer.drain ix);
+  check (Alcotest.list oid_t) "visible after drain" [ oid 1 ]
+    (Fulltext.search ft [ "pending" ]);
+  check Alcotest.int "queue empty" 0 (Lazy_indexer.pending ix)
+
+let test_lazy_drain_bounded () =
+  let ft = mk_index () in
+  let ix = Lazy_indexer.create ft in
+  for i = 1 to 10 do
+    Lazy_indexer.submit_add ix (oid i) (Printf.sprintf "doc number%d" i)
+  done;
+  check Alcotest.int "partial drain" 4 (Lazy_indexer.drain ~max_items:4 ix);
+  check Alcotest.int "rest queued" 6 (Lazy_indexer.pending ix);
+  check Alcotest.int "doc count tracks drain" 4 (Fulltext.doc_count ft);
+  Lazy_indexer.drain_all ix;
+  check Alcotest.int "all indexed" 10 (Fulltext.doc_count ft);
+  check Alcotest.int "processed total" 10 (Lazy_indexer.processed ix)
+
+let test_lazy_remove_through_queue () =
+  let ft = mk_index () in
+  let ix = Lazy_indexer.create ft in
+  Lazy_indexer.submit_add ix (oid 1) "ephemeral";
+  Lazy_indexer.submit_remove ix (oid 1);
+  Lazy_indexer.drain_all ix;
+  check (Alcotest.list oid_t) "net effect: gone" []
+    (Fulltext.search ft [ "ephemeral" ]);
+  check Alcotest.int "doc count" 0 (Fulltext.doc_count ft)
+
+let test_lazy_background_thread () =
+  let ft = mk_index () in
+  let ix = Lazy_indexer.create ft in
+  Lazy_indexer.start_background ix;
+  for i = 1 to 200 do
+    Lazy_indexer.submit_add ix (oid i) (Printf.sprintf "background doc%d text" i)
+  done;
+  (* stop_background waits for the queue to empty. *)
+  Lazy_indexer.stop_background ix;
+  check Alcotest.int "everything indexed" 200 (Fulltext.doc_count ft);
+  check (Alcotest.list oid_t) "searchable" [ oid 77 ]
+    (Fulltext.search ft [ "doc77" ]);
+  Fulltext.verify ft
+
+let test_lazy_background_idempotent_controls () =
+  let ft = mk_index () in
+  let ix = Lazy_indexer.create ft in
+  Lazy_indexer.start_background ix;
+  Lazy_indexer.start_background ix;
+  Lazy_indexer.submit_add ix (oid 1) "once";
+  Lazy_indexer.stop_background ix;
+  Lazy_indexer.stop_background ix;
+  check Alcotest.int "indexed once" 1 (Fulltext.doc_count ft)
+
+let suite =
+  [
+    Alcotest.test_case "tokenizer basics" `Quick test_tokenizer_basic;
+    Alcotest.test_case "tokenizer stopwords" `Quick test_tokenizer_stopwords;
+    Alcotest.test_case "tokenizer drops short tokens" `Quick
+      test_tokenizer_short_tokens_dropped;
+    Alcotest.test_case "tokenizer alphanumerics" `Quick test_tokenizer_numbers;
+    Alcotest.test_case "tokenizer truncates long tokens" `Quick
+      test_tokenizer_long_token_truncated;
+    Alcotest.test_case "tokenizer custom stopwords" `Quick
+      test_tokenizer_custom_stopwords;
+    Alcotest.test_case "term frequencies" `Quick test_term_frequencies;
+    Alcotest.test_case "is_term" `Quick test_is_term;
+    prop_tokens_are_terms;
+    Alcotest.test_case "index and search" `Quick test_index_and_search;
+    Alcotest.test_case "query normalization" `Quick test_search_normalizes_query;
+    Alcotest.test_case "document frequency" `Quick test_document_frequency;
+    Alcotest.test_case "postings carry tf" `Quick test_postings_tf;
+    Alcotest.test_case "reindex replaces" `Quick test_reindex_replaces;
+    Alcotest.test_case "remove document" `Quick test_remove_document;
+    Alcotest.test_case "tf-idf ranking" `Quick test_scoring_prefers_rare_terms;
+    Alcotest.test_case "search_text" `Quick test_search_text;
+    Alcotest.test_case "empty queries" `Quick test_empty_queries;
+    Alcotest.test_case "stopword-only document" `Quick test_stopword_only_document;
+    prop_search_finds_containing_docs;
+    Alcotest.test_case "lazy: stale until drained" `Quick
+      test_lazy_staleness_until_drain;
+    Alcotest.test_case "lazy: bounded drain" `Quick test_lazy_drain_bounded;
+    Alcotest.test_case "lazy: remove through queue" `Quick
+      test_lazy_remove_through_queue;
+    Alcotest.test_case "lazy: background thread" `Slow test_lazy_background_thread;
+    Alcotest.test_case "lazy: idempotent start/stop" `Quick
+      test_lazy_background_idempotent_controls;
+  ]

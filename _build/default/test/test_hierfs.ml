@@ -1,0 +1,389 @@
+(* Tests for the hierarchical baseline: Inode codec, Lock_table, Hierfs
+   semantics (with a string reference model for byte ops), and the
+   Desktop_search stack. *)
+
+module Device = Hfad_blockdev.Device
+module Buddy = Hfad_alloc.Buddy
+module Registry = Hfad_metrics.Registry
+module Inode = Hfad_hierfs.Inode
+module Lock_table = Hfad_hierfs.Lock_table
+module H = Hfad_hierfs.Hierfs
+module Search = Hfad_hierfs.Desktop_search
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+let mk ?(block_size = 512) ?(blocks = 16384) () =
+  let dev = Device.create ~block_size ~blocks () in
+  (dev, H.format ~cache_pages:256 dev)
+
+let expect_err errno f =
+  match f () with
+  | _ -> Alcotest.fail "expected Hierfs.Error"
+  | exception H.Error (e, _) ->
+      check Alcotest.bool "errno" true (e = errno)
+
+(* --- Inode --------------------------------------------------------------- *)
+
+let test_inode_roundtrip () =
+  let i = Inode.make ~ino:42 ~kind:Inode.File in
+  i.Inode.size <- 123456;
+  i.Inode.mtime <- 99L;
+  i.Inode.direct.(0) <- 7;
+  i.Inode.direct.(11) <- 11;
+  i.Inode.indirect <- 600;
+  let i' = Inode.decode (Inode.encode i) in
+  check Alcotest.int "ino" 42 i'.Inode.ino;
+  check Alcotest.int "size" 123456 i'.Inode.size;
+  check Alcotest.int "direct0" 7 i'.Inode.direct.(0);
+  check Alcotest.int "direct11" 11 i'.Inode.direct.(11);
+  check Alcotest.int "indirect" 600 i'.Inode.indirect;
+  check Alcotest.int "double" (-1) i'.Inode.double_indirect
+
+let test_inode_max_file () =
+  (* 512-byte blocks: 128 ptrs per block -> 12 + 128 + 16384 blocks. *)
+  check Alcotest.int "capacity" (12 + 128 + (128 * 128))
+    (Inode.max_file_blocks ~block_size:512)
+
+(* --- Lock_table ------------------------------------------------------------ *)
+
+let test_lock_table_counts () =
+  let lt = Lock_table.create () in
+  Lock_table.with_lock lt 1 (fun () -> ());
+  Lock_table.with_lock lt 1 (fun () -> ());
+  Lock_table.with_lock lt 2 (fun () -> ());
+  check Alcotest.int "acquisitions" 3 (Lock_table.acquisitions lt);
+  check Alcotest.int "no waits uncontended" 0 (Lock_table.waits lt);
+  Lock_table.reset_stats lt;
+  check Alcotest.int "reset" 0 (Lock_table.acquisitions lt)
+
+let test_lock_table_contention () =
+  (* Deterministic contention: a domain holds the lock until released,
+     while the main domain attempts the same lock and must wait. *)
+  let lt = Lock_table.create () in
+  let holder_ready = Atomic.make false in
+  let release = Atomic.make false in
+  let holder =
+    Domain.spawn (fun () ->
+        Lock_table.with_lock lt 7 (fun () ->
+            Atomic.set holder_ready true;
+            while not (Atomic.get release) do
+              Domain.cpu_relax ()
+            done))
+  in
+  while not (Atomic.get holder_ready) do
+    Domain.cpu_relax ()
+  done;
+  (* Schedule the release before blocking; the holder spins until then. *)
+  let releaser =
+    Domain.spawn (fun () ->
+        Unix.sleepf 0.05;
+        Atomic.set release true)
+  in
+  Lock_table.with_lock lt 7 (fun () -> ());
+  Domain.join holder;
+  Domain.join releaser;
+  check Alcotest.int "acquisitions" 2 (Lock_table.acquisitions lt);
+  check Alcotest.int "wait recorded" 1 (Lock_table.waits lt);
+  (* Parallel hammering preserves mutual exclusion regardless of cores. *)
+  let hits = ref 0 in
+  let domains =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to 2000 do
+              Lock_table.with_lock lt 7 (fun () -> incr hits)
+            done))
+  in
+  List.iter Domain.join domains;
+  check Alcotest.int "mutual exclusion preserved" 8000 !hits
+
+(* --- Hierfs namespace ---------------------------------------------------------- *)
+
+let test_format_root () =
+  let _, h = mk () in
+  check Alcotest.bool "root" true (H.is_directory h "/");
+  check (Alcotest.list Alcotest.string) "empty" [] (H.readdir h "/");
+  H.verify h
+
+let test_mkdir_create_read () =
+  let _, h = mk () in
+  H.mkdir h "/home";
+  H.mkdir h "/home/margo";
+  let _ino = H.create_file ~content:"thesis text" h "/home/margo/thesis.txt" in
+  check Alcotest.string "read" "thesis text" (H.read_file h "/home/margo/thesis.txt");
+  check (Alcotest.list Alcotest.string) "readdir" [ "margo" ] (H.readdir h "/home");
+  check Alcotest.bool "exists" true (H.exists h "/home/margo/thesis.txt");
+  check Alcotest.bool "missing" false (H.exists h "/home/nick");
+  H.verify h
+
+let test_namespace_errors () =
+  let _, h = mk () in
+  H.mkdir h "/d";
+  ignore (H.create_file h "/f");
+  expect_err H.EEXIST (fun () -> H.mkdir h "/d");
+  expect_err H.ENOENT (fun () -> H.mkdir h "/no/such");
+  expect_err H.ENOTDIR (fun () -> H.mkdir h "/f/x");
+  expect_err H.ENOENT (fun () -> H.read_file h "/ghost");
+  expect_err H.EISDIR (fun () -> H.read_file h "/d");
+  expect_err H.EISDIR (fun () -> H.unlink h "/d");
+  expect_err H.ENOTDIR (fun () -> H.rmdir h "/f")
+
+let test_unlink_reclaims () =
+  let _, h = mk () in
+  ignore (H.create_file ~content:(String.make 100_000 'x') h "/big");
+  H.unlink h "/big";
+  check Alcotest.bool "gone" false (H.exists h "/big");
+  H.verify h
+
+let test_rmdir () =
+  let _, h = mk () in
+  H.mkdir_p h "/a/b";
+  expect_err H.ENOTEMPTY (fun () -> H.rmdir h "/a");
+  H.rmdir h "/a/b";
+  H.rmdir h "/a";
+  check Alcotest.bool "gone" false (H.exists h "/a");
+  H.verify h
+
+let test_rename_is_entry_move () =
+  let _, h = mk () in
+  H.mkdir_p h "/proj/src";
+  ignore (H.create_file ~content:"code" h "/proj/src/main.ml");
+  (* Directory rename: O(1) in a hierarchy. *)
+  H.rename h "/proj/src" "/proj/source";
+  check Alcotest.string "moved" "code" (H.read_file h "/proj/source/main.ml");
+  check Alcotest.bool "old gone" false (H.exists h "/proj/src");
+  expect_err H.EINVAL (fun () -> H.rename h "/proj" "/proj/source/inside");
+  H.verify h
+
+let test_stat () =
+  let _, h = mk () in
+  ignore (H.create_file ~content:"12345" h "/f");
+  let s = H.stat h "/f" in
+  check Alcotest.int "size" 5 s.H.size;
+  check Alcotest.bool "kind" true (s.H.kind = Inode.File);
+  let d = H.stat h "/" in
+  check Alcotest.bool "dir kind" true (d.H.kind = Inode.Dir)
+
+let test_walk_files () =
+  let _, h = mk () in
+  H.mkdir_p h "/a/b";
+  ignore (H.create_file h "/a/x");
+  ignore (H.create_file h "/a/b/y");
+  ignore (H.create_file h "/top");
+  check (Alcotest.list Alcotest.string) "all files"
+    [ "/a/b/y"; "/a/x"; "/top" ]
+    (H.walk_files h "/")
+
+(* --- Hierfs file I/O -------------------------------------------------------------- *)
+
+let test_large_file_indirect_blocks () =
+  (* 512-byte blocks: >12 blocks forces the indirect path; > 12+128
+     blocks forces double-indirect. *)
+  let _, h = mk ~blocks:65536 () in
+  let data = String.init 200_000 (fun i -> Char.chr (i mod 251)) in
+  ignore (H.create_file ~content:data h "/big");
+  check Alcotest.string "roundtrip through double-indirect" data
+    (H.read_file h "/big");
+  (* Block-map reads were counted. *)
+  let reg = Registry.global in
+  let snap = Registry.snapshot reg in
+  ignore (H.read_at h "/big" ~off:150_000 ~len:10);
+  let delta = Registry.diff reg snap in
+  check Alcotest.bool "blockmap traversal counted" true
+    (List.mem_assoc "hierfs.blockmap_reads" delta);
+  H.verify h
+
+let test_sparse_file_holes () =
+  let _, h = mk () in
+  ignore (H.create_file h "/sparse");
+  H.write_at h "/sparse" ~off:10_000 "end";
+  check Alcotest.int "size" 10_003 (H.stat h "/sparse").H.size;
+  let head = H.read_at h "/sparse" ~off:0 ~len:4 in
+  check Alcotest.string "hole reads zero" "\000\000\000\000" head;
+  check Alcotest.string "data" "end" (H.read_at h "/sparse" ~off:10_000 ~len:3);
+  H.verify h
+
+let test_truncate () =
+  let _, h = mk () in
+  ignore (H.create_file ~content:"abcdefgh" h "/f");
+  H.truncate h "/f" 3;
+  check Alcotest.string "shrunk" "abc" (H.read_file h "/f");
+  H.truncate h "/f" 6;
+  check Alcotest.string "regrown zeros" "abc\000\000\000" (H.read_file h "/f");
+  H.verify h
+
+let test_insert_remove_middle_semantics () =
+  let _, h = mk () in
+  ignore (H.create_file ~content:"hello world" h "/f");
+  H.insert_middle h "/f" ~off:5 ", cruel";
+  check Alcotest.string "insert" "hello, cruel world" (H.read_file h "/f");
+  H.remove_middle h "/f" ~off:5 ~len:7;
+  check Alcotest.string "remove" "hello world" (H.read_file h "/f");
+  H.verify h
+
+let test_insert_middle_rewrites_tail () =
+  (* The baseline property C3 measures: inserting into a large file
+     rewrites the tail — device writes scale with file size. *)
+  let dev, h = mk ~blocks:65536 () in
+  ignore (H.create_file ~content:(String.make 500_000 'x') h "/big");
+  Hfad_pager.Pager.flush (H.pager h);
+  Device.reset_stats dev;
+  H.insert_middle h "/big" ~off:1000 "NEEDLE";
+  Hfad_pager.Pager.flush (H.pager h);
+  let written = (Device.stats dev).Device.bytes_written in
+  check Alcotest.bool "tail rewritten (>= ~499KB)" true (written > 400_000);
+  check Alcotest.string "content right" "xNEEDLEx"
+    (H.read_at h "/big" ~off:999 ~len:8)
+
+(* Model-based property over write/truncate/insert/remove. *)
+let prop_hierfs_file_model =
+  let op_gen =
+    QCheck.Gen.(
+      let data = map (fun (c, n) -> String.make n c) (pair printable (int_range 0 400)) in
+      frequency
+        [
+          (3, map2 (fun o d -> `Write (o, d)) (int_range 0 1200) data);
+          (2, map2 (fun o d -> `Insert (o, d)) (int_range 0 1200) data);
+          (2, map2 (fun o l -> `Remove (o, l)) (int_range 0 1200) (int_range 0 500));
+          (1, map (fun n -> `Truncate n) (int_range 0 1500));
+        ])
+  in
+  QCheck.Test.make ~name:"hierfs byte ops agree with string model" ~count:60
+    (QCheck.make QCheck.Gen.(list_size (int_range 0 25) op_gen))
+    (fun ops ->
+      let _, h = mk ~blocks:32768 () in
+      ignore (H.create_file h "/f");
+      let model = ref "" in
+      let pad s n = s ^ String.make (max 0 (n - String.length s)) '\000' in
+      List.iter
+        (fun op ->
+          match op with
+          | `Write (off, data) ->
+              H.write_at h "/f" ~off data;
+              let base = pad !model (off + String.length data) in
+              let b = Bytes.of_string base in
+              Bytes.blit_string data 0 b off (String.length data);
+              model := Bytes.to_string b
+          | `Insert (off, data) ->
+              H.insert_middle h "/f" ~off data;
+              let off = min off (String.length !model) in
+              model :=
+                String.sub !model 0 off ^ data
+                ^ String.sub !model off (String.length !model - off)
+          | `Remove (off, len) ->
+              H.remove_middle h "/f" ~off ~len;
+              if off < String.length !model && len > 0 then begin
+                let n = min len (String.length !model - off) in
+                model :=
+                  String.sub !model 0 off
+                  ^ String.sub !model (off + n) (String.length !model - off - n)
+              end
+          | `Truncate n ->
+              H.truncate h "/f" n;
+              model :=
+                if n <= String.length !model then String.sub !model 0 n
+                else pad !model n)
+        ops;
+      H.read_file h "/f" = !model)
+
+(* --- traversal accounting ------------------------------------------------------------ *)
+
+let test_resolution_walks_components () =
+  let _, h = mk () in
+  H.mkdir_p h "/a/b/c/d";
+  ignore (H.create_file h "/a/b/c/d/leaf");
+  let reg = Registry.global in
+  let walked path =
+    let snap = Registry.snapshot reg in
+    ignore (H.resolve h path);
+    Option.value ~default:0
+      (List.assoc_opt "hierfs.components_walked" (Registry.diff reg snap))
+  in
+  check Alcotest.int "five components" 5 (walked "/a/b/c/d/leaf");
+  check Alcotest.int "one component" 1 (walked "/a");
+  (* locks track the walk, one per directory visited *)
+  H.reset_lock_stats h;
+  ignore (H.resolve h "/a/b/c/d/leaf");
+  let acq, _ = H.lock_stats h in
+  check Alcotest.int "one lock per component" 5 acq
+
+(* --- Desktop_search -------------------------------------------------------------------- *)
+
+let mk_corpus () =
+  let _, h = mk ~blocks:32768 () in
+  H.mkdir_p h "/home/margo/mail";
+  H.mkdir_p h "/home/nick";
+  ignore
+    (H.create_file ~content:"meeting notes about the hfad budget" h
+       "/home/margo/mail/msg1");
+  ignore
+    (H.create_file ~content:"budget spreadsheet numbers" h
+       "/home/margo/mail/msg2");
+  ignore (H.create_file ~content:"vacation photos hawaii" h "/home/nick/todo");
+  (h, Search.create h)
+
+let test_search_returns_paths () =
+  let h, s = mk_corpus () in
+  check Alcotest.int "indexed" 3 (Search.index_tree s "/");
+  check (Alcotest.list Alcotest.string) "term -> paths"
+    [ "/home/margo/mail/msg1"; "/home/margo/mail/msg2" ]
+    (Search.search s "budget");
+  check (Alcotest.list Alcotest.string) "normalized query"
+    [ "/home/nick/todo" ]
+    (Search.search s "HAWAII!");
+  check (Alcotest.list Alcotest.string) "miss" [] (Search.search s "zebra");
+  ignore h
+
+let test_search_and_read_traverses_stack () =
+  let _h, s = mk_corpus () in
+  ignore (Search.index_tree s "/");
+  let reg = Registry.global in
+  let snap = Registry.snapshot reg in
+  let hits = Search.search_and_read s "budget" ~bytes_per_hit:7 in
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.string))
+    "data returned"
+    [ ("/home/margo/mail/msg1", "meeting"); ("/home/margo/mail/msg2", "budget ") ]
+    hits;
+  let delta = Registry.diff reg snap in
+  (* The full stack shows up in the counters: search index descent(s)
+     AND namespace component walks AND inode fetches. *)
+  check Alcotest.bool "namespace walked" true
+    (List.assoc_opt "hierfs.components_walked" delta <> None);
+  check Alcotest.bool "inodes fetched" true
+    (List.assoc_opt "hierfs.inode_fetches" delta <> None);
+  check Alcotest.bool "btree descents happened" true
+    (match List.assoc_opt "btree.descents" delta with
+    | Some n -> n >= 2
+    | None -> false)
+
+let suite =
+  [
+    Alcotest.test_case "inode roundtrip" `Quick test_inode_roundtrip;
+    Alcotest.test_case "inode max file" `Quick test_inode_max_file;
+    Alcotest.test_case "lock table counts" `Quick test_lock_table_counts;
+    Alcotest.test_case "lock table contention" `Slow test_lock_table_contention;
+    Alcotest.test_case "format root" `Quick test_format_root;
+    Alcotest.test_case "mkdir/create/read" `Quick test_mkdir_create_read;
+    Alcotest.test_case "namespace errors" `Quick test_namespace_errors;
+    Alcotest.test_case "unlink reclaims" `Quick test_unlink_reclaims;
+    Alcotest.test_case "rmdir" `Quick test_rmdir;
+    Alcotest.test_case "rename moves entry" `Quick test_rename_is_entry_move;
+    Alcotest.test_case "stat" `Quick test_stat;
+    Alcotest.test_case "walk_files" `Quick test_walk_files;
+    Alcotest.test_case "large file indirect blocks" `Quick
+      test_large_file_indirect_blocks;
+    Alcotest.test_case "sparse holes" `Quick test_sparse_file_holes;
+    Alcotest.test_case "truncate" `Quick test_truncate;
+    Alcotest.test_case "insert/remove middle semantics" `Quick
+      test_insert_remove_middle_semantics;
+    Alcotest.test_case "insert middle rewrites tail" `Quick
+      test_insert_middle_rewrites_tail;
+    qtest prop_hierfs_file_model;
+    Alcotest.test_case "resolution walks components" `Quick
+      test_resolution_walks_components;
+    Alcotest.test_case "desktop search returns paths" `Quick
+      test_search_returns_paths;
+    Alcotest.test_case "desktop search full stack" `Quick
+      test_search_and_read_traverses_stack;
+  ]

@@ -1,0 +1,22 @@
+let () =
+  Alcotest.run "hfad"
+    [
+      ("util", Test_util.suite);
+      ("metrics", Test_metrics.suite);
+      ("blockdev", Test_blockdev.suite);
+      ("pager", Test_pager.suite);
+      ("buddy", Test_buddy.suite);
+      ("btree", Test_btree.suite);
+      ("osd", Test_osd.suite);
+      ("fulltext", Test_fulltext.suite);
+      ("index", Test_index.suite);
+      ("core", Test_core.suite);
+      ("query", Test_query.suite);
+      ("posix", Test_posix.suite);
+      ("posix-model", Test_posix_model.suite);
+      ("hierfs", Test_hierfs.suite);
+      ("workload", Test_workload.suite);
+      ("failures", Test_failures.suite);
+      ("journal", Test_journal.suite);
+      ("integration", Test_integration.suite);
+    ]

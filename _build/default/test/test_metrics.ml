@@ -1,0 +1,84 @@
+(* Tests for Hfad_metrics: Counter and Registry. *)
+
+open Hfad_metrics
+
+let check = Alcotest.check
+
+let test_counter_basics () =
+  let c = Counter.make "x" in
+  check Alcotest.string "name" "x" (Counter.name c);
+  check Alcotest.int "initial" 0 (Counter.get c);
+  Counter.incr c;
+  Counter.incr c;
+  Counter.add c 5;
+  check Alcotest.int "after ops" 7 (Counter.get c);
+  Counter.reset c;
+  check Alcotest.int "after reset" 0 (Counter.get c)
+
+let test_counter_pp () =
+  let c = Counter.make "hits" in
+  Counter.add c 3;
+  check Alcotest.string "pp" "hits=3" (Format.asprintf "%a" Counter.pp c)
+
+let test_counter_parallel () =
+  let c = Counter.make "p" in
+  let domains =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to 10_000 do
+              Counter.incr c
+            done))
+  in
+  List.iter Domain.join domains;
+  check Alcotest.int "no lost updates" 40_000 (Counter.get c)
+
+let test_registry_same_counter () =
+  let r = Registry.create () in
+  let a = Registry.counter r "foo" in
+  let b = Registry.counter r "foo" in
+  Counter.incr a;
+  check Alcotest.int "aliased" 1 (Counter.get b)
+
+let test_registry_counters_sorted () =
+  let r = Registry.create () in
+  Counter.add (Registry.counter r "b") 2;
+  Counter.add (Registry.counter r "a") 1;
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.int))
+    "sorted" [ ("a", 1); ("b", 2) ] (Registry.counters r)
+
+let test_registry_snapshot_diff () =
+  let r = Registry.create () in
+  let a = Registry.counter r "a" in
+  Counter.add a 10;
+  let snap = Registry.snapshot r in
+  Counter.add a 5;
+  Counter.add (Registry.counter r "new") 3;
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.int))
+    "delta" [ ("a", 5); ("new", 3) ] (Registry.diff r snap);
+  (* zero deltas omitted *)
+  let snap2 = Registry.snapshot r in
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.int))
+    "empty delta" [] (Registry.diff r snap2)
+
+let test_registry_reset_all () =
+  let r = Registry.create () in
+  Counter.add (Registry.counter r "a") 4;
+  Counter.add (Registry.counter r "b") 2;
+  Registry.reset_all r;
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.int))
+    "all zero" [ ("a", 0); ("b", 0) ] (Registry.counters r)
+
+let suite =
+  [
+    Alcotest.test_case "counter basics" `Quick test_counter_basics;
+    Alcotest.test_case "counter pp" `Quick test_counter_pp;
+    Alcotest.test_case "counter parallel increments" `Slow test_counter_parallel;
+    Alcotest.test_case "registry aliases by name" `Quick test_registry_same_counter;
+    Alcotest.test_case "registry sorted listing" `Quick test_registry_counters_sorted;
+    Alcotest.test_case "registry snapshot diff" `Quick test_registry_snapshot_diff;
+    Alcotest.test_case "registry reset_all" `Quick test_registry_reset_all;
+  ]

@@ -1,0 +1,530 @@
+(* Tests for Hfad_osd: Oid, Meta, Extent codecs, and the OSD byte-access
+   semantics checked against a plain-string reference model. *)
+
+module Device = Hfad_blockdev.Device
+module Buddy = Hfad_alloc.Buddy
+module Oid = Hfad_osd.Oid
+module Meta = Hfad_osd.Meta
+module Extent = Hfad_osd.Extent
+module Osd = Hfad_osd.Osd
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+let mk ?(block_size = 256) ?(blocks = 8192) ?max_extent_pages () =
+  let dev = Device.create ~block_size ~blocks () in
+  (dev, Osd.format ?max_extent_pages ~cache_pages:128 dev)
+
+let oid_t = Alcotest.testable Oid.pp Oid.equal
+
+(* --- Oid ---------------------------------------------------------------- *)
+
+let test_oid_basics () =
+  let a = Oid.first in
+  let b = Oid.next a in
+  check Alcotest.bool "ordered" true (Oid.compare a b < 0);
+  check Alcotest.bool "key order" true (Oid.to_key a < Oid.to_key b);
+  check oid_t "key roundtrip" a (Oid.of_key (Oid.to_key a));
+  check (Alcotest.option oid_t) "string roundtrip" (Some b)
+    (Oid.of_string (Oid.to_string b));
+  check (Alcotest.option oid_t) "negative rejected" None (Oid.of_string "-3");
+  check (Alcotest.option oid_t) "garbage rejected" None (Oid.of_string "xyz")
+
+(* --- Meta --------------------------------------------------------------- *)
+
+let test_meta_roundtrip () =
+  Meta.reset_logical_clock ();
+  let m = Meta.make ~kind:Meta.Directory ~owner:"margo" ~mode:0o755 () in
+  let m = Meta.with_size m 12345 in
+  check Alcotest.bool "roundtrip" true (Meta.equal m (Meta.decode (Meta.encode m)))
+
+let test_meta_logical_clock_monotone () =
+  Meta.reset_logical_clock ();
+  let a = Meta.now () in
+  let b = Meta.now () in
+  check Alcotest.bool "monotone" true (Int64.compare a b < 0)
+
+let test_meta_touch () =
+  Meta.reset_logical_clock ();
+  let m = Meta.make () in
+  let m' = Meta.touch_mtime m in
+  check Alcotest.bool "mtime advanced" true (Int64.compare m.Meta.mtime m'.Meta.mtime < 0);
+  check Alcotest.bool "atime unchanged" true (Int64.equal m.Meta.atime m'.Meta.atime)
+
+let test_meta_decode_garbage () =
+  (try
+     ignore (Meta.decode "");
+     Alcotest.fail "expected failure"
+   with Failure _ -> ())
+
+(* --- Extent ------------------------------------------------------------- *)
+
+let test_extent_roundtrip () =
+  let e = Extent.make ~alloc_block:123 ~alloc_blocks:8 ~data_off:77 ~len:999 in
+  check Alcotest.bool "roundtrip" true (e = Extent.decode (Extent.encode e))
+
+let test_extent_byte_addr () =
+  let e = Extent.make ~alloc_block:10 ~alloc_blocks:2 ~data_off:5 ~len:100 in
+  check Alcotest.int "addr" 2565 (Extent.byte_addr ~block_size:256 e)
+
+let test_extent_invalid () =
+  (try
+     ignore (Extent.make ~alloc_block:1 ~alloc_blocks:1 ~data_off:0 ~len:0);
+     Alcotest.fail "expected rejection"
+   with Invalid_argument _ -> ())
+
+(* --- OSD lifecycle -------------------------------------------------------- *)
+
+let test_create_and_read_empty () =
+  let _, osd = mk () in
+  let oid = Osd.create_object osd in
+  check Alcotest.bool "exists" true (Osd.exists osd oid);
+  check Alcotest.int "size" 0 (Osd.size osd oid);
+  check Alcotest.string "empty read" "" (Osd.read osd oid ~off:0 ~len:100);
+  check Alcotest.int "count" 1 (Osd.object_count osd);
+  Osd.verify osd
+
+let test_oids_unique_and_dense () =
+  let _, osd = mk () in
+  let oids = List.init 10 (fun _ -> Osd.create_object osd) in
+  let distinct = List.sort_uniq Oid.compare oids in
+  check Alcotest.int "all distinct" 10 (List.length distinct);
+  check (Alcotest.list oid_t) "listed in order" distinct (Osd.list_objects osd)
+
+let test_missing_object_raises () =
+  let _, osd = mk () in
+  let ghost = Oid.of_int64 999L in
+  Alcotest.check_raises "metadata" (Osd.No_such_object ghost) (fun () ->
+      ignore (Osd.metadata osd ghost));
+  Alcotest.check_raises "delete" (Osd.No_such_object ghost) (fun () ->
+      Osd.delete_object osd ghost)
+
+let test_write_read_roundtrip () =
+  let _, osd = mk () in
+  let oid = Osd.create_object osd in
+  Osd.write osd oid ~off:0 "hello, world";
+  check Alcotest.string "read back" "hello, world" (Osd.read_all osd oid);
+  check Alcotest.int "size" 12 (Osd.size osd oid);
+  check Alcotest.string "partial" "world" (Osd.read osd oid ~off:7 ~len:5);
+  check Alcotest.string "past end" "ld" (Osd.read osd oid ~off:10 ~len:100);
+  Osd.verify osd
+
+let test_overwrite_in_place () =
+  let _, osd = mk () in
+  let oid = Osd.create_object osd in
+  Osd.write osd oid ~off:0 "aaaaaaaaaa";
+  Osd.write osd oid ~off:3 "BBB";
+  check Alcotest.string "patched" "aaaBBBaaaa" (Osd.read_all osd oid);
+  check Alcotest.int "size unchanged" 10 (Osd.size osd oid)
+
+let test_write_gap_zero_fills () =
+  let _, osd = mk () in
+  let oid = Osd.create_object osd in
+  Osd.write osd oid ~off:0 "ab";
+  Osd.write osd oid ~off:6 "cd";
+  check Alcotest.string "gap is zeroes" "ab\000\000\000\000cd"
+    (Osd.read_all osd oid);
+  Osd.verify osd
+
+let test_large_write_multiple_extents () =
+  let _, osd = mk ~max_extent_pages:2 () in
+  let oid = Osd.create_object osd in
+  (* 256-byte pages, <=2-page extents: 5000 bytes needs >= 10 extents. *)
+  let data = String.init 5000 (fun i -> Char.chr (i mod 256)) in
+  Osd.write osd oid ~off:0 data;
+  check Alcotest.string "read back" data (Osd.read_all osd oid);
+  check Alcotest.bool "several extents" true (Osd.extent_count osd oid >= 10);
+  Osd.verify osd
+
+let test_append () =
+  let _, osd = mk () in
+  let oid = Osd.create_object osd in
+  Osd.append osd oid "one ";
+  Osd.append osd oid "two ";
+  Osd.append osd oid "three";
+  check Alcotest.string "concatenated" "one two three" (Osd.read_all osd oid)
+
+let test_insert_middle () =
+  let _, osd = mk () in
+  let oid = Osd.create_object osd in
+  Osd.write osd oid ~off:0 "hello world";
+  Osd.insert osd oid ~off:5 ", cruel";
+  check Alcotest.string "inserted" "hello, cruel world" (Osd.read_all osd oid);
+  check Alcotest.int "grew" 18 (Osd.size osd oid);
+  Osd.verify osd
+
+let test_insert_at_boundaries () =
+  let _, osd = mk () in
+  let oid = Osd.create_object osd in
+  Osd.write osd oid ~off:0 "mid";
+  Osd.insert osd oid ~off:0 "pre-";
+  check Alcotest.string "front" "pre-mid" (Osd.read_all osd oid);
+  Osd.insert osd oid ~off:7 "-post";
+  check Alcotest.string "end" "pre-mid-post" (Osd.read_all osd oid);
+  Osd.verify osd
+
+let test_insert_into_large_object_no_rewrite () =
+  (* The headline §3.1.2 behaviour: inserting into the middle must not
+     rewrite the whole object. We check it touches far fewer bytes than
+     the object holds, via device write statistics. *)
+  let dev, osd = mk ~block_size:256 ~blocks:16384 ~max_extent_pages:4 () in
+  let oid = Osd.create_object osd in
+  let big = String.make 1_000_000 'x' in
+  Osd.write osd oid ~off:0 big;
+  Osd.flush osd;
+  Device.reset_stats dev;
+  Osd.insert osd oid ~off:500_000 "NEEDLE";
+  Osd.flush osd;
+  let written = (Device.stats dev).Device.bytes_written in
+  check Alcotest.bool "writes bounded (no full rewrite)" true
+    (written < 200_000);
+  check Alcotest.string "content correct" "xNEEDLEx"
+    (Osd.read osd oid ~off:499_999 ~len:8);
+  check Alcotest.int "size" 1_000_006 (Osd.size osd oid)
+
+let test_remove_bytes_middle () =
+  let _, osd = mk () in
+  let oid = Osd.create_object osd in
+  Osd.write osd oid ~off:0 "hello, cruel world";
+  Osd.remove_bytes osd oid ~off:5 ~len:7;
+  check Alcotest.string "removed" "hello world" (Osd.read_all osd oid);
+  check Alcotest.int "shrunk" 11 (Osd.size osd oid);
+  Osd.verify osd
+
+let test_remove_bytes_clamps () =
+  let _, osd = mk () in
+  let oid = Osd.create_object osd in
+  Osd.write osd oid ~off:0 "abcdef";
+  Osd.remove_bytes osd oid ~off:4 ~len:100;
+  check Alcotest.string "tail clamped" "abcd" (Osd.read_all osd oid);
+  Osd.remove_bytes osd oid ~off:10 ~len:5;
+  check Alcotest.string "no-op past end" "abcd" (Osd.read_all osd oid)
+
+let test_truncate_shrink_grow () =
+  let _, osd = mk () in
+  let oid = Osd.create_object osd in
+  Osd.write osd oid ~off:0 "abcdefgh";
+  Osd.truncate osd oid 3;
+  check Alcotest.string "shrunk" "abc" (Osd.read_all osd oid);
+  Osd.truncate osd oid 6;
+  check Alcotest.string "grown with zeroes" "abc\000\000\000"
+    (Osd.read_all osd oid);
+  Osd.verify osd
+
+let test_truncate_to_zero_frees_space () =
+  let _, osd = mk () in
+  let buddy = Osd.allocator osd in
+  let oid = Osd.create_object osd in
+  let before = (Buddy.stats buddy).Buddy.free_blocks in
+  Osd.write osd oid ~off:0 (String.make 100_000 'z');
+  check Alcotest.bool "space consumed" true
+    ((Buddy.stats buddy).Buddy.free_blocks < before);
+  Osd.truncate osd oid 0;
+  check Alcotest.int "space restored" before (Buddy.stats buddy).Buddy.free_blocks;
+  check Alcotest.int "no extents" 0 (Osd.extent_count osd oid)
+
+let test_delete_reclaims_everything () =
+  let _, osd = mk () in
+  let buddy = Osd.allocator osd in
+  let baseline = (Buddy.stats buddy).Buddy.live_allocations in
+  let oid = Osd.create_object osd in
+  Osd.write osd oid ~off:0 (String.make 50_000 'q');
+  Osd.delete_object osd oid;
+  check Alcotest.bool "gone" false (Osd.exists osd oid);
+  check Alcotest.int "allocations reclaimed" baseline
+    (Buddy.stats buddy).Buddy.live_allocations
+
+let test_metadata_update () =
+  let _, osd = mk () in
+  let oid = Osd.create_object osd in
+  Osd.write osd oid ~off:0 "data";
+  Osd.update_metadata osd oid (fun m ->
+      { m with Meta.owner = "nick"; Meta.mode = 0o600 });
+  let m = Osd.metadata osd oid in
+  check Alcotest.string "owner" "nick" m.Meta.owner;
+  check Alcotest.int "mode" 0o600 m.Meta.mode;
+  (* size is owned by the OSD and survives metadata edits *)
+  Osd.update_metadata osd oid (fun m -> { m with Meta.size = 0 });
+  check Alcotest.int "size protected" 4 (Osd.size osd oid)
+
+let test_mtime_advances_on_write () =
+  Meta.reset_logical_clock ();
+  let _, osd = mk () in
+  let oid = Osd.create_object osd in
+  let m0 = Osd.metadata osd oid in
+  Osd.write osd oid ~off:0 "x";
+  let m1 = Osd.metadata osd oid in
+  check Alcotest.bool "mtime advanced" true
+    (Int64.compare m0.Meta.mtime m1.Meta.mtime < 0)
+
+let test_negative_args_rejected () =
+  let _, osd = mk () in
+  let oid = Osd.create_object osd in
+  Alcotest.check_raises "read off" (Invalid_argument "Osd: negative offset")
+    (fun () -> ignore (Osd.read osd oid ~off:(-1) ~len:1));
+  Alcotest.check_raises "read len" (Invalid_argument "Osd: negative length")
+    (fun () -> ignore (Osd.read osd oid ~off:0 ~len:(-1)));
+  Alcotest.check_raises "write" (Invalid_argument "Osd: negative offset")
+    (fun () -> Osd.write osd oid ~off:(-1) "x");
+  Alcotest.check_raises "truncate" (Invalid_argument "Osd.truncate: negative size")
+    (fun () -> Osd.truncate osd oid (-1))
+
+let test_many_objects_islolated () =
+  let _, osd = mk () in
+  let oids = Array.init 50 (fun i ->
+      let oid = Osd.create_object osd in
+      Osd.write osd oid ~off:0 (Printf.sprintf "object-%d" i);
+      oid)
+  in
+  Array.iteri
+    (fun i oid ->
+      check Alcotest.string "isolated content" (Printf.sprintf "object-%d" i)
+        (Osd.read_all osd oid))
+    oids;
+  Osd.verify osd
+
+let test_reopen_preserves_everything () =
+  let dev = Device.create ~block_size:256 ~blocks:8192 () in
+  let osd = Osd.format ~cache_pages:64 dev in
+  let a = Osd.create_object osd in
+  let b = Osd.create_object osd in
+  Osd.write osd a ~off:0 "persistent A";
+  Osd.write osd b ~off:0 (String.make 10_000 'B');
+  Osd.update_metadata osd a (fun m -> { m with Meta.owner = "margo" });
+  let free_before = (Buddy.stats (Osd.allocator osd)).Buddy.free_blocks in
+  Osd.flush osd;
+  (* Reopen from the raw device with cold caches. *)
+  let osd2 = Osd.open_existing ~cache_pages:64 dev in
+  check Alcotest.string "object A" "persistent A" (Osd.read_all osd2 a);
+  check Alcotest.string "object B" (String.make 10_000 'B') (Osd.read_all osd2 b);
+  check Alcotest.string "metadata" "margo" (Osd.metadata osd2 a).Meta.owner;
+  check Alcotest.int "allocator state rebuilt" free_before
+    (Buddy.stats (Osd.allocator osd2)).Buddy.free_blocks;
+  (* New OIDs continue after the old ones. *)
+  let c = Osd.create_object osd2 in
+  check Alcotest.bool "oid continues" true (Oid.compare c b > 0);
+  Osd.verify osd2
+
+let test_reopen_bad_magic () =
+  let dev = Device.create ~block_size:256 ~blocks:64 () in
+  (try
+     ignore (Osd.open_existing dev);
+     Alcotest.fail "expected failure"
+   with Failure _ -> ())
+
+let test_named_trees () =
+  let dev = Device.create ~block_size:256 ~blocks:4096 () in
+  let osd = Osd.format ~cache_pages:64 dev in
+  let module Btree = Hfad_btree.Btree in
+  let tags = Osd.create_named_tree osd "tags" in
+  Btree.put tags ~key:"color" ~value:"blue";
+  check Alcotest.bool "open finds it" true
+    (Option.is_some (Osd.open_named_tree osd "tags"));
+  check Alcotest.bool "absent is None" true
+    (Option.is_none (Osd.open_named_tree osd "nope"));
+  (try
+     ignore (Osd.create_named_tree osd "tags");
+     Alcotest.fail "expected duplicate rejection"
+   with Invalid_argument _ -> ());
+  (* Survives flush + reopen, including allocator reservation. *)
+  let oid = Osd.create_object osd in
+  Osd.write osd oid ~off:0 "payload";
+  Osd.flush osd;
+  let osd2 = Osd.open_existing ~cache_pages:64 dev in
+  (match Osd.open_named_tree osd2 "tags" with
+  | Some tree ->
+      check (Alcotest.option Alcotest.string) "tree content survived"
+        (Some "blue") (Btree.find tree "color")
+  | None -> Alcotest.fail "named tree lost");
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.int))
+    "roots agree" (Osd.named_roots osd) (Osd.named_roots osd2);
+  check Alcotest.int "allocator agrees after reopen"
+    (Buddy.stats (Osd.allocator osd)).Buddy.free_blocks
+    (Buddy.stats (Osd.allocator osd2)).Buddy.free_blocks;
+  (* named_tree creates on demand *)
+  ignore (Osd.named_tree osd2 "fresh");
+  check Alcotest.int "registered" 2 (List.length (Osd.named_roots osd2))
+
+let test_compact_defragments () =
+  let _, osd = mk ~max_extent_pages:4 () in
+  let oid = Osd.create_object osd in
+  (* Fragment the object with lots of middle churn. *)
+  Osd.write osd oid ~off:0 (String.make 50_000 'a');
+  for i = 0 to 30 do
+    Osd.insert osd oid ~off:(i * 1500) (Printf.sprintf "<frag%02d>" i)
+  done;
+  let before = Osd.read_all osd oid in
+  let frag_extents = Osd.extent_count osd oid in
+  check Alcotest.bool "fragmented" true (frag_extents > 55);
+  Osd.compact osd oid;
+  check Alcotest.string "content unchanged" before (Osd.read_all osd oid);
+  check Alcotest.bool "fewer extents" true
+    (Osd.extent_count osd oid < frag_extents / 2);
+  Osd.verify osd
+
+let test_compact_conserves_space () =
+  let _, osd = mk () in
+  let buddy = Osd.allocator osd in
+  let oid = Osd.create_object osd in
+  Osd.write osd oid ~off:0 (String.make 30_000 'z');
+  for i = 0 to 9 do
+    Osd.insert osd oid ~off:(i * 2000) "X"
+  done;
+  Osd.compact osd oid;
+  let live_after = (Buddy.stats buddy).Buddy.live_allocations in
+  (* compacting twice is idempotent in space terms *)
+  Osd.compact osd oid;
+  check Alcotest.int "idempotent space" live_after
+    (Buddy.stats buddy).Buddy.live_allocations;
+  (* empty object: no-op *)
+  let empty = Osd.create_object osd in
+  Osd.compact osd empty;
+  check Alcotest.int "empty stays empty" 0 (Osd.extent_count osd empty)
+
+(* --- model-based property tests ------------------------------------------- *)
+
+(* Reference model: the object is a plain string. *)
+type op =
+  | Write of int * string
+  | Insert of int * string
+  | Remove of int * int
+  | Truncate of int
+  | Append of string
+
+let rec apply_model state = function
+  | Write (off, data) ->
+      let cur = Bytes.of_string state in
+      let newlen = max (String.length state) (off + String.length data) in
+      let out = Bytes.make newlen '\000' in
+      Bytes.blit cur 0 out 0 (Bytes.length cur);
+      Bytes.blit_string data 0 out off (String.length data);
+      Bytes.to_string out
+  | Insert (off, data) ->
+      if off >= String.length state then
+        apply_model state (Write (off, data))
+      else
+        String.sub state 0 off ^ data
+        ^ String.sub state off (String.length state - off)
+  | Remove (off, len) ->
+      if off >= String.length state then state
+      else
+        let n = min len (String.length state - off) in
+        String.sub state 0 off
+        ^ String.sub state (off + n) (String.length state - off - n)
+  | Truncate n ->
+      if n <= String.length state then String.sub state 0 n
+      else state ^ String.make (n - String.length state) '\000'
+  | Append data -> state ^ data
+
+let apply_osd osd oid = function
+  | Write (off, data) -> Osd.write osd oid ~off data
+  | Insert (off, data) -> Osd.insert osd oid ~off data
+  | Remove (off, len) -> Osd.remove_bytes osd oid ~off ~len
+  | Truncate n -> Osd.truncate osd oid n
+  | Append data -> Osd.append osd oid data
+
+let op_gen =
+  QCheck.Gen.(
+    let data = map (fun (c, n) -> String.make n c) (pair printable (int_range 0 600)) in
+    let off = int_range 0 1500 in
+    frequency
+      [
+        (3, map2 (fun o d -> Write (o, d)) off data);
+        (3, map2 (fun o d -> Insert (o, d)) off data);
+        (3, map2 (fun o l -> Remove (o, l)) off (int_range 0 800));
+        (1, map (fun n -> Truncate n) (int_range 0 2000));
+        (2, map (fun d -> Append d) data);
+      ])
+
+let op_print = function
+  | Write (o, d) -> Printf.sprintf "Write(%d, %d bytes)" o (String.length d)
+  | Insert (o, d) -> Printf.sprintf "Insert(%d, %d bytes)" o (String.length d)
+  | Remove (o, l) -> Printf.sprintf "Remove(%d, %d)" o l
+  | Truncate n -> Printf.sprintf "Truncate(%d)" n
+  | Append d -> Printf.sprintf "Append(%d bytes)" (String.length d)
+
+let ops_arb =
+  QCheck.make
+    ~print:(fun ops -> String.concat "; " (List.map op_print ops))
+    QCheck.Gen.(list_size (int_range 0 40) op_gen)
+
+let prop_model_equivalence =
+  QCheck.Test.make ~name:"osd byte ops agree with string model" ~count:120
+    ops_arb
+    (fun ops ->
+      let _, osd = mk ~blocks:16384 ~max_extent_pages:2 () in
+      let oid = Osd.create_object osd in
+      let final =
+        List.fold_left
+          (fun state op ->
+            apply_osd osd oid op;
+            apply_model state op)
+          "" ops
+      in
+      Osd.read_all osd oid = final && Osd.size osd oid = String.length final)
+
+let prop_invariants_hold =
+  QCheck.Test.make ~name:"osd structural invariants under random ops" ~count:80
+    ops_arb
+    (fun ops ->
+      let _, osd = mk ~blocks:16384 ~max_extent_pages:2 () in
+      let oid = Osd.create_object osd in
+      List.iter (apply_osd osd oid) ops;
+      Osd.verify osd;
+      true)
+
+let prop_space_conservation =
+  QCheck.Test.make ~name:"delete returns all space" ~count:60 ops_arb
+    (fun ops ->
+      let _, osd = mk ~blocks:16384 ~max_extent_pages:2 () in
+      let buddy = Osd.allocator osd in
+      let baseline = (Buddy.stats buddy).Buddy.live_allocations in
+      let oid = Osd.create_object osd in
+      List.iter (apply_osd osd oid) ops;
+      Osd.delete_object osd oid;
+      (Buddy.stats buddy).Buddy.live_allocations = baseline)
+
+let suite =
+  [
+    Alcotest.test_case "oid basics" `Quick test_oid_basics;
+    Alcotest.test_case "meta roundtrip" `Quick test_meta_roundtrip;
+    Alcotest.test_case "meta logical clock" `Quick test_meta_logical_clock_monotone;
+    Alcotest.test_case "meta touch" `Quick test_meta_touch;
+    Alcotest.test_case "meta decode garbage" `Quick test_meta_decode_garbage;
+    Alcotest.test_case "extent roundtrip" `Quick test_extent_roundtrip;
+    Alcotest.test_case "extent byte_addr" `Quick test_extent_byte_addr;
+    Alcotest.test_case "extent invalid" `Quick test_extent_invalid;
+    Alcotest.test_case "create + read empty" `Quick test_create_and_read_empty;
+    Alcotest.test_case "oids unique and ordered" `Quick test_oids_unique_and_dense;
+    Alcotest.test_case "missing object raises" `Quick test_missing_object_raises;
+    Alcotest.test_case "write/read roundtrip" `Quick test_write_read_roundtrip;
+    Alcotest.test_case "overwrite in place" `Quick test_overwrite_in_place;
+    Alcotest.test_case "write gap zero-fills" `Quick test_write_gap_zero_fills;
+    Alcotest.test_case "large write spans extents" `Quick
+      test_large_write_multiple_extents;
+    Alcotest.test_case "append" `Quick test_append;
+    Alcotest.test_case "insert middle" `Quick test_insert_middle;
+    Alcotest.test_case "insert at boundaries" `Quick test_insert_at_boundaries;
+    Alcotest.test_case "insert avoids full rewrite" `Quick
+      test_insert_into_large_object_no_rewrite;
+    Alcotest.test_case "remove_bytes middle" `Quick test_remove_bytes_middle;
+    Alcotest.test_case "remove_bytes clamps" `Quick test_remove_bytes_clamps;
+    Alcotest.test_case "truncate shrink/grow" `Quick test_truncate_shrink_grow;
+    Alcotest.test_case "truncate to zero frees space" `Quick
+      test_truncate_to_zero_frees_space;
+    Alcotest.test_case "delete reclaims space" `Quick test_delete_reclaims_everything;
+    Alcotest.test_case "metadata update" `Quick test_metadata_update;
+    Alcotest.test_case "mtime advances on write" `Quick test_mtime_advances_on_write;
+    Alcotest.test_case "negative args rejected" `Quick test_negative_args_rejected;
+    Alcotest.test_case "many objects isolated" `Quick test_many_objects_islolated;
+    Alcotest.test_case "reopen preserves everything" `Quick
+      test_reopen_preserves_everything;
+    Alcotest.test_case "reopen rejects bad magic" `Quick test_reopen_bad_magic;
+    Alcotest.test_case "named trees" `Quick test_named_trees;
+    Alcotest.test_case "compact defragments" `Quick test_compact_defragments;
+    Alcotest.test_case "compact conserves space" `Quick test_compact_conserves_space;
+    qtest prop_model_equivalence;
+    qtest prop_invariants_hold;
+    qtest prop_space_conservation;
+  ]

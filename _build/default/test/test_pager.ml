@@ -1,0 +1,148 @@
+(* Tests for Hfad_pager.Pager: caching, write-back, pinning, stats. *)
+
+module Device = Hfad_blockdev.Device
+module Pager = Hfad_pager.Pager
+
+let check = Alcotest.check
+
+let mk ?(cache_pages = 4) ?(block_size = 64) ?(blocks = 32) () =
+  let dev = Device.create ~block_size ~blocks () in
+  (dev, Pager.create ~cache_pages dev)
+
+let test_geometry () =
+  let _, p = mk ~block_size:128 ~blocks:8 () in
+  check Alcotest.int "page size" 128 (Pager.page_size p);
+  check Alcotest.int "pages" 8 (Pager.pages p)
+
+let test_read_through () =
+  let dev, p = mk () in
+  Device.write_block dev 3 (Bytes.make 64 'q');
+  Pager.with_page p 3 (fun page ->
+      check Alcotest.bytes "content" (Bytes.make 64 'q') (Bytes.copy page))
+
+let test_cache_hit_avoids_device () =
+  let dev, p = mk () in
+  Pager.with_page p 0 ignore;
+  let before = (Device.stats dev).Device.reads in
+  Pager.with_page p 0 ignore;
+  Pager.with_page p 0 ignore;
+  check Alcotest.int "no extra device reads" before (Device.stats dev).Device.reads;
+  let s = Pager.stats p in
+  check Alcotest.int "hits" 2 s.Pager.hits;
+  check Alcotest.int "misses" 1 s.Pager.misses
+
+let test_dirty_write_back_on_flush () =
+  let dev, p = mk () in
+  Pager.with_page_mut p 2 (fun page -> Bytes.fill page 0 64 'd');
+  check Alcotest.bytes "not on device yet" (Bytes.make 64 '\000')
+    (Device.read_block dev 2);
+  Pager.flush p;
+  check Alcotest.bytes "flushed" (Bytes.make 64 'd') (Device.read_block dev 2)
+
+let test_eviction_writes_back () =
+  let dev, p = mk ~cache_pages:2 () in
+  Pager.with_page_mut p 0 (fun page -> Bytes.fill page 0 64 'a');
+  (* Touch two more pages to evict page 0 from a 2-frame cache. *)
+  Pager.with_page p 1 ignore;
+  Pager.with_page p 2 ignore;
+  check Alcotest.bytes "evicted dirty page reached device" (Bytes.make 64 'a')
+    (Device.read_block dev 0)
+
+let test_lru_eviction_order () =
+  let dev, p = mk ~cache_pages:2 () in
+  Pager.with_page p 0 ignore;
+  Pager.with_page p 1 ignore;
+  Pager.with_page p 0 ignore;  (* page 0 is now most recently used *)
+  Pager.with_page p 2 ignore;  (* should evict page 1, not page 0 *)
+  Device.reset_stats dev;
+  Pager.with_page p 0 ignore;  (* hit *)
+  check Alcotest.int "page 0 still cached" 0 (Device.stats dev).Device.reads;
+  Pager.with_page p 1 ignore;  (* miss *)
+  check Alcotest.int "page 1 was evicted" 1 (Device.stats dev).Device.reads
+
+let test_nested_pins_same_page () =
+  let _, p = mk () in
+  Pager.with_page p 0 (fun outer ->
+      Pager.with_page p 0 (fun inner ->
+          check Alcotest.bool "same frame" true (outer == inner)))
+
+let test_cache_full_when_all_pinned () =
+  let _, p = mk ~cache_pages:2 () in
+  Pager.with_page p 0 (fun _ ->
+      Pager.with_page p 1 (fun _ ->
+          Alcotest.check_raises "third page" Pager.Cache_full (fun () ->
+              Pager.with_page p 2 ignore)))
+
+let test_zero_page () =
+  let dev, p = mk () in
+  Device.write_block dev 4 (Bytes.make 64 'x');
+  Device.reset_stats dev;
+  Pager.zero_page p 4;
+  (* zero_page must not read the old content from the device *)
+  check Alcotest.int "no device read" 0 (Device.stats dev).Device.reads;
+  Pager.with_page p 4 (fun page ->
+      check Alcotest.bytes "zeroed" (Bytes.make 64 '\000') (Bytes.copy page));
+  Pager.flush p;
+  check Alcotest.bytes "zero persisted" (Bytes.make 64 '\000')
+    (Device.read_block dev 4)
+
+let test_invalidate_drops_clean () =
+  let dev, p = mk () in
+  Pager.with_page p 0 ignore;
+  Pager.invalidate p;
+  Device.reset_stats dev;
+  Pager.with_page p 0 ignore;
+  check Alcotest.int "reloaded from device" 1 (Device.stats dev).Device.reads
+
+let test_invalidate_preserves_dirty_data () =
+  let dev, p = mk () in
+  Pager.with_page_mut p 1 (fun page -> Bytes.fill page 0 64 'k');
+  Pager.invalidate p;
+  check Alcotest.bytes "dirty written back" (Bytes.make 64 'k')
+    (Device.read_block dev 1)
+
+let test_mutation_visible_after_eviction_cycle () =
+  let _, p = mk ~cache_pages:2 () in
+  Pager.with_page_mut p 0 (fun page -> Bytes.fill page 0 64 'v');
+  Pager.with_page p 1 ignore;
+  Pager.with_page p 2 ignore;
+  Pager.with_page p 3 ignore;
+  Pager.with_page p 0 (fun page ->
+      check Alcotest.bytes "round-tripped through device" (Bytes.make 64 'v')
+        (Bytes.copy page))
+
+let test_stats_reset () =
+  let _, p = mk () in
+  Pager.with_page p 0 ignore;
+  Pager.reset_stats p;
+  let s = Pager.stats p in
+  check Alcotest.int "reads" 0 s.Pager.reads;
+  check Alcotest.int "misses" 0 s.Pager.misses
+
+let test_exception_in_callback_unpins () =
+  let _, p = mk ~cache_pages:2 () in
+  (try Pager.with_page p 0 (fun _ -> failwith "boom") with Failure _ -> ());
+  (* If the pin leaked, filling the cache would raise Cache_full. *)
+  Pager.with_page p 1 ignore;
+  Pager.with_page p 2 ignore;
+  Pager.with_page p 3 ignore
+
+let suite =
+  [
+    Alcotest.test_case "geometry" `Quick test_geometry;
+    Alcotest.test_case "read-through" `Quick test_read_through;
+    Alcotest.test_case "cache hit avoids device" `Quick test_cache_hit_avoids_device;
+    Alcotest.test_case "flush writes dirty pages" `Quick test_dirty_write_back_on_flush;
+    Alcotest.test_case "eviction writes back" `Quick test_eviction_writes_back;
+    Alcotest.test_case "LRU eviction order" `Quick test_lru_eviction_order;
+    Alcotest.test_case "nested pins share frame" `Quick test_nested_pins_same_page;
+    Alcotest.test_case "cache full when all pinned" `Quick test_cache_full_when_all_pinned;
+    Alcotest.test_case "zero_page skips device read" `Quick test_zero_page;
+    Alcotest.test_case "invalidate drops clean frames" `Quick test_invalidate_drops_clean;
+    Alcotest.test_case "invalidate preserves dirty data" `Quick
+      test_invalidate_preserves_dirty_data;
+    Alcotest.test_case "mutations survive eviction" `Quick
+      test_mutation_visible_after_eviction_cycle;
+    Alcotest.test_case "stats reset" `Quick test_stats_reset;
+    Alcotest.test_case "exception unpins" `Quick test_exception_in_callback_unpins;
+  ]

@@ -1,0 +1,213 @@
+(* Model-based property test for the POSIX veneer: a random stream of
+   namespace operations runs against both the real implementation and a
+   trivial in-memory model (directories = a set of paths, files = paths
+   mapping to shared content cells for hard links). After every trace the
+   full namespace, every file's content and every link count must
+   agree. *)
+
+module Device = Hfad_blockdev.Device
+module Fs = Hfad.Fs
+module P = Hfad_posix.Posix_fs
+module Path = Hfad_posix.Path
+
+let qtest = QCheck_alcotest.to_alcotest
+
+type op =
+  | Mkdir of string
+  | Create of string * string
+  | Write of string * string
+  | Unlink of string
+  | Link of string * string
+  | Rename of string * string
+  | Rmdir of string
+
+let op_print = function
+  | Mkdir p -> "Mkdir " ^ p
+  | Create (p, c) -> Printf.sprintf "Create (%s, %d bytes)" p (String.length c)
+  | Write (p, c) -> Printf.sprintf "Write (%s, %d bytes)" p (String.length c)
+  | Unlink p -> "Unlink " ^ p
+  | Link (p, q) -> Printf.sprintf "Link (%s -> %s)" p q
+  | Rename (p, q) -> Printf.sprintf "Rename (%s -> %s)" p q
+  | Rmdir p -> "Rmdir " ^ p
+
+(* Small path universe so collisions (EEXIST, ENOENT, ...) actually occur. *)
+let path_gen =
+  QCheck.Gen.(
+    let component = oneofl [ "a"; "b"; "c" ] in
+    let* depth = int_range 1 3 in
+    let* parts = list_repeat depth component in
+    return ("/" ^ String.concat "/" parts))
+
+let op_gen =
+  QCheck.Gen.(
+    let content = map (fun n -> String.make n 'd') (int_range 0 64) in
+    frequency
+      [
+        (3, map (fun p -> Mkdir p) path_gen);
+        (3, map2 (fun p c -> Create (p, c)) path_gen content);
+        (2, map2 (fun p c -> Write (p, c)) path_gen content);
+        (2, map (fun p -> Unlink p) path_gen);
+        (1, map2 (fun p q -> Link (p, q)) path_gen path_gen);
+        (1, map2 (fun p q -> Rename (p, q)) path_gen path_gen);
+        (1, map (fun p -> Rmdir p) path_gen);
+      ])
+
+(* --- the model ------------------------------------------------------------ *)
+
+type model = {
+  dirs : (string, unit) Hashtbl.t;
+  files : (string, int) Hashtbl.t;          (* path -> content cell *)
+  contents : (int, string) Hashtbl.t;
+  mutable next_id : int;
+}
+
+let model_create () =
+  let m =
+    {
+      dirs = Hashtbl.create 16;
+      files = Hashtbl.create 16;
+      contents = Hashtbl.create 16;
+      next_id = 0;
+    }
+  in
+  Hashtbl.replace m.dirs "/" ();
+  m
+
+let is_dir m p = Hashtbl.mem m.dirs p
+let is_file m p = Hashtbl.mem m.files p
+let exists m p = is_dir m p || is_file m p
+
+let has_children m p =
+  let prefix = if p = "/" then "/" else p ^ "/" in
+  let direct q = Hfad_util.Strx.starts_with ~prefix q in
+  Hashtbl.fold (fun q () acc -> acc || (q <> p && direct q)) m.dirs false
+  || Hashtbl.fold (fun q _ acc -> acc || direct q) m.files false
+
+let nlinks m id =
+  Hashtbl.fold (fun _ i acc -> if i = id then acc + 1 else acc) m.files 0
+
+(* Returns true when the op is legal (and applies it); false = the real
+   system must raise P.Error. Only file renames are generated into
+   Rename, so directory-rename subtleties are out of model scope. *)
+let model_apply m op =
+  match op with
+  | Mkdir p ->
+      if exists m p || not (is_dir m (Path.parent p)) then false
+      else (Hashtbl.replace m.dirs p (); true)
+  | Create (p, c) ->
+      if exists m p || not (is_dir m (Path.parent p)) then false
+      else begin
+        Hashtbl.replace m.files p m.next_id;
+        Hashtbl.replace m.contents m.next_id c;
+        m.next_id <- m.next_id + 1;
+        true
+      end
+  | Write (p, c) ->
+      if not (is_file m p) then false
+      else (Hashtbl.replace m.contents (Hashtbl.find m.files p) c; true)
+  | Unlink p ->
+      if not (is_file m p) then false
+      else begin
+        let id = Hashtbl.find m.files p in
+        Hashtbl.remove m.files p;
+        if nlinks m id = 0 then Hashtbl.remove m.contents id;
+        true
+      end
+  | Link (p, q) ->
+      if (not (is_file m p)) || exists m q || not (is_dir m (Path.parent q))
+      then false
+      else (Hashtbl.replace m.files q (Hashtbl.find m.files p); true)
+  | Rename (p, q) ->
+      if
+        (not (is_file m p))
+        || exists m q
+        || not (is_dir m (Path.parent q))
+        || p = q
+      then false
+      else begin
+        let id = Hashtbl.find m.files p in
+        Hashtbl.remove m.files p;
+        Hashtbl.replace m.files q id;
+        true
+      end
+  | Rmdir p ->
+      if p = "/" || (not (is_dir m p)) || has_children m p then false
+      else (Hashtbl.remove m.dirs p; true)
+
+let real_apply posix op =
+  match op with
+  | Mkdir p -> P.mkdir posix p
+  | Create (p, c) -> ignore (P.create_file ~content:c posix p)
+  | Write (p, c) ->
+      (* write through the fd interface for extra coverage; truncate
+         first so the model's replace semantics match *)
+      if P.is_directory posix p then raise (P.Error (P.EISDIR, p));
+      let oid = P.resolve posix p in
+      Fs.truncate (P.fs posix) oid 0;
+      Fs.write (P.fs posix) oid ~off:0 c
+  | Unlink p -> P.unlink posix p
+  | Link (p, q) -> P.link posix p q
+  | Rename (p, q) ->
+      if P.is_directory posix p then raise (P.Error (P.EISDIR, p))
+      else if p = q then raise (P.Error (P.EINVAL, p))
+      else P.rename posix p q
+  | Rmdir p -> P.rmdir posix p
+
+let agree m posix =
+  (* identical namespaces *)
+  let model_paths =
+    Hashtbl.fold (fun p () acc -> p :: acc) m.dirs []
+    @ Hashtbl.fold (fun p _ acc -> p :: acc) m.files []
+    |> List.sort compare
+  in
+  let real_paths = List.map fst (P.walk posix "/") |> List.sort compare in
+  model_paths = real_paths
+  (* identical contents and link counts *)
+  && Hashtbl.fold
+       (fun p id acc ->
+         acc
+         && P.read_file posix p = Hashtbl.find m.contents id
+         && P.nlink posix p = nlinks m id)
+       m.files true
+  (* identical kinds *)
+  && Hashtbl.fold (fun p () acc -> acc && P.is_directory posix p) m.dirs true
+
+let prop =
+  QCheck.Test.make ~name:"posix veneer agrees with namespace model" ~count:150
+    (QCheck.make
+       ~print:(fun ops -> String.concat "; " (List.map op_print ops))
+       QCheck.Gen.(list_size (int_range 0 60) op_gen))
+    (fun ops ->
+      let dev = Device.create ~block_size:1024 ~blocks:16384 () in
+      let fs = Fs.format ~cache_pages:256 ~index_mode:Fs.Off dev in
+      let posix = P.mount fs in
+      let m = model_create () in
+      List.iter
+        (fun op ->
+          let legal = model_apply m op in
+          match real_apply posix op with
+          | () ->
+              if not legal then
+                QCheck.Test.fail_reportf "model rejected but real accepted: %s"
+                  (op_print op)
+          | exception P.Error _ ->
+              if legal then
+                QCheck.Test.fail_reportf "model accepted but real rejected: %s"
+                  (op_print op))
+        ops;
+      P.verify posix;
+      Fs.verify fs;
+      if not (agree m posix) then begin
+        let model_paths =
+          Hashtbl.fold (fun p () acc -> ("d:" ^ p) :: acc) m.dirs []
+          @ Hashtbl.fold (fun p _ acc -> ("f:" ^ p) :: acc) m.files []
+          |> List.sort compare
+        in
+        let real_paths = List.map fst (P.walk posix "/") |> List.sort compare in
+        QCheck.Test.fail_reportf "state mismatch\nmodel: %s\nreal:  %s"
+          (String.concat " " model_paths)
+          (String.concat " " real_paths)
+      end;
+      true)
+
+let suite = [ qtest prop ]
