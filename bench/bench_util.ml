@@ -67,3 +67,83 @@ let fmt_f1 v = Printf.sprintf "%.1f" v
 let fmt_f2 v = Printf.sprintf "%.2f" v
 let fmt_us v = Printf.sprintf "%.1fus" v
 let fmt_ratio v = Printf.sprintf "%.1fx" v
+
+(* --- machine-readable output --------------------------------------
+
+   Hand-rolled JSON (no external dependency): enough for flat records
+   of numbers, strings and nested lists/objects. Experiments call
+   [emit_json ~id fields]; when the harness was started with [--json]
+   this writes BENCH_<id>.json next to the working directory. *)
+
+type json =
+  | Jint of int
+  | Jfloat of float
+  | Jbool of bool
+  | Jstring of string
+  | Jlist of json list
+  | Jobj of (string * json) list
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let rec json_to_buf b indent j =
+  let pad n = String.make n ' ' in
+  match j with
+  | Jint i -> Buffer.add_string b (string_of_int i)
+  | Jfloat f ->
+      if Float.is_integer f && Float.abs f < 1e15 then
+        Buffer.add_string b (Printf.sprintf "%.1f" f)
+      else Buffer.add_string b (Printf.sprintf "%.6g" f)
+  | Jbool v -> Buffer.add_string b (if v then "true" else "false")
+  | Jstring s -> Buffer.add_string b (Printf.sprintf "\"%s\"" (json_escape s))
+  | Jlist [] -> Buffer.add_string b "[]"
+  | Jlist items ->
+      Buffer.add_string b "[\n";
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_string b ",\n";
+          Buffer.add_string b (pad (indent + 2));
+          json_to_buf b (indent + 2) item)
+        items;
+      Buffer.add_string b (Printf.sprintf "\n%s]" (pad indent))
+  | Jobj [] -> Buffer.add_string b "{}"
+  | Jobj fields ->
+      Buffer.add_string b "{\n";
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_string b ",\n";
+          Buffer.add_string b
+            (Printf.sprintf "%s\"%s\": " (pad (indent + 2)) (json_escape k));
+          json_to_buf b (indent + 2) v)
+        fields;
+      Buffer.add_string b (Printf.sprintf "\n%s}" (pad indent))
+
+let json_to_string j =
+  let b = Buffer.create 1024 in
+  json_to_buf b 0 j;
+  Buffer.add_char b '\n';
+  Buffer.contents b
+
+let json_enabled = ref false
+
+let emit_json ~id fields =
+  if !json_enabled then begin
+    let file = Printf.sprintf "BENCH_%s.json" id in
+    let oc = open_out file in
+    output_string oc (json_to_string (Jobj fields));
+    close_out oc;
+    say "  [wrote %s]" file
+  end

@@ -2,22 +2,28 @@
    functionally unrelated most of the time, yet accessing them requires
    synchronizing read access through a shared ancestor directory."
 
-   Eight users each own a private directory of 64 files. Domains resolve
-   random paths strictly inside their own user's subtree — a perfectly
-   partitionable workload. The hierarchical walk still locks "/" and
-   "/home" on every single resolution; hFAD's one-descent resolution
-   takes no namespace locks at all.
+   Eight users each own a private directory of 64 files. Real
+   [Domain.spawn] workers resolve random paths strictly inside their own
+   user's subtree — a perfectly partitionable workload — at 1, 2, 4 and
+   8 domains. The hierarchical walk still locks "/" and "/home" on every
+   single resolution; hFAD's one-descent resolution holds only the
+   shared (reader) side of the stack-wide rwlock, which admits any
+   number of concurrent readers.
 
    The structural metrics (exact, machine-independent): namespace lock
-   acquisitions, acquisitions on shared ancestors, and observed lock
-   waits. Wall-clock throughput is also printed, with the caveat that
-   this container exposes a single core, so parallel speedup is not
-   observable here — the lock footprint is the portable result. *)
+   acquisitions, acquisitions on shared ancestors, observed waits, and
+   — on the hFAD side — the rwlock's shared/exclusive acquisition and
+   wait counters. The acceptance condition is printed last: under pure
+   reader load the hFAD stack must report {e zero} exclusive-side
+   acquisitions and waits at every domain count. Wall-clock throughput,
+   per-domain throughput and the scalability curve are also printed;
+   on a single-core container the speedup column stays ~1.0x and the
+   lock footprint is the portable result. *)
 
 module Device = Hfad_blockdev.Device
 module Rng = Hfad_util.Rng
+module Rwlock = Hfad_util.Rwlock
 module Fs = Hfad.Fs
-module Tag = Hfad_index.Tag
 module P = Hfad_posix.Posix_fs
 module H = Hfad_hierfs.Hierfs
 open Bench_util
@@ -25,6 +31,7 @@ open Bench_util
 let users = 8
 let files_per_user = 64
 let total_ops = 16_000
+let domain_counts = [ 1; 2; 4; 8 ]
 
 let path u f = Printf.sprintf "/home/user%d/file%02d.txt" u f
 
@@ -56,7 +63,9 @@ let build_hfad () =
   ignore (P.resolve posix (path 0 0));
   (fs, posix)
 
-let parallel ~domains f =
+(* [total_ops] resolves split across [domains] real domains; returns
+   aggregate resolves/s. Worker [d] stays inside user [d]'s subtree. *)
+let run_parallel ~domains f =
   let ops_each = total_ops / domains in
   let _, ms =
     time_ms (fun () ->
@@ -74,6 +83,8 @@ let parallel ~domains f =
 
 let run () =
   heading "C2: parallel resolution through a shared ancestor";
+  say "  (%d hardware core(s) available to domains)"
+    (Domain.recommended_domain_count ());
   let h = build_hier () in
   let fs, posix = build_hfad () in
   let resolve_hier d rng =
@@ -82,39 +93,136 @@ let run () =
   let resolve_hfad d rng =
     ignore (P.resolve posix (path d (Rng.int rng files_per_user)))
   in
-  ignore fs;
-  let rows =
-    List.concat_map
-      (fun domains ->
-        H.reset_lock_stats h;
-        let hier_tput = parallel ~domains resolve_hier in
-        let acq, waits = H.lock_stats h in
-        (* Each resolution locks every directory on its path: "/",
-           "/home", "/home/userX" - the first two are shared ancestors. *)
-        let shared = 2 * total_ops in
-        let hfad_tput = parallel ~domains resolve_hfad in
+  let lock = Fs.rwlock fs in
+  let hier_rows = ref [] in
+  let hfad_rows = ref [] in
+  let json_rows = ref [] in
+  let base_hier = ref 1. in
+  let base_hfad = ref 1. in
+  let excl_acq_seen = ref 0 in
+  let excl_waits_seen = ref 0 in
+  List.iter
+    (fun domains ->
+      (* Hierarchical baseline: per-inode namespace locks on the walk.
+         Each resolution locks every directory on its path — "/",
+         "/home", "/home/userX" — the first two are shared ancestors. *)
+      H.reset_lock_stats h;
+      let tput = run_parallel ~domains resolve_hier in
+      let acq, waits = H.lock_stats h in
+      let shared_ancestor = 2 * total_ops in
+      if domains = 1 then base_hier := tput;
+      hier_rows :=
         [
+          fmt_int domains;
+          Printf.sprintf "%.0f" tput;
+          Printf.sprintf "%.0f" (tput /. float_of_int domains);
+          fmt_ratio (tput /. !base_hier);
+          fmt_int acq;
+          fmt_int shared_ancestor;
+          fmt_int waits;
+        ]
+        :: !hier_rows;
+      json_rows :=
+        Jobj
           [
-            fmt_int domains; "hierarchical";
-            Printf.sprintf "%.0f" hier_tput; fmt_int acq; fmt_int shared;
-            fmt_int waits;
-          ];
+            ("system", Jstring "hierarchical");
+            ("domains", Jint domains);
+            ("resolves_per_s", Jfloat tput);
+            ("per_domain_per_s", Jfloat (tput /. float_of_int domains));
+            ("speedup", Jfloat (tput /. !base_hier));
+            ("namespace_lock_acquisitions", Jint acq);
+            ("shared_ancestor_acquisitions", Jint shared_ancestor);
+            ("lock_waits", Jint waits);
+          ]
+        :: !json_rows;
+      (* hFAD: one stack-wide rwlock, readers take only the shared
+         side. Exclusive counters must stay at zero. *)
+      Rwlock.reset_stats lock;
+      let tput = run_parallel ~domains resolve_hfad in
+      let s = Rwlock.stats lock in
+      if domains = 1 then base_hfad := tput;
+      if domains >= 4 then begin
+        excl_acq_seen := !excl_acq_seen + s.Rwlock.exclusive_acquisitions;
+        excl_waits_seen := !excl_waits_seen + s.Rwlock.exclusive_waits
+      end;
+      hfad_rows :=
+        [
+          fmt_int domains;
+          Printf.sprintf "%.0f" tput;
+          Printf.sprintf "%.0f" (tput /. float_of_int domains);
+          fmt_ratio (tput /. !base_hfad);
+          fmt_int s.Rwlock.shared_acquisitions;
+          fmt_int s.Rwlock.shared_waits;
+          fmt_int s.Rwlock.exclusive_acquisitions;
+          fmt_int s.Rwlock.exclusive_waits;
+        ]
+        :: !hfad_rows;
+      json_rows :=
+        Jobj
           [
-            ""; "hFAD";
-            Printf.sprintf "%.0f" hfad_tput; "0"; "0"; "0";
-          ];
-        ])
-      [ 1; 2; 4; 8 ]
-  in
+            ("system", Jstring "hfad");
+            ("domains", Jint domains);
+            ("resolves_per_s", Jfloat tput);
+            ("per_domain_per_s", Jfloat (tput /. float_of_int domains));
+            ("speedup", Jfloat (tput /. !base_hfad));
+            ("shared_acquisitions", Jint s.Rwlock.shared_acquisitions);
+            ("shared_waits", Jint s.Rwlock.shared_waits);
+            ("exclusive_acquisitions", Jint s.Rwlock.exclusive_acquisitions);
+            ("exclusive_waits", Jint s.Rwlock.exclusive_waits);
+          ]
+        :: !json_rows)
+    domain_counts;
+  say "";
+  say "hierarchical baseline (per-inode namespace locks on every walk):";
   table
     ([
        [
-         "domains"; "system"; "resolves/s"; "namespace locks";
+         "domains"; "resolves/s"; "/s/domain"; "speedup"; "ns locks";
          "thru shared ancestors"; "lock waits";
        ];
      ]
-    @ rows);
+    @ List.rev !hier_rows);
   say "";
+  say "hFAD (stack-wide rwlock, resolution holds the shared side only):";
+  table
+    ([
+       [
+         "domains"; "resolves/s"; "/s/domain"; "speedup"; "shared acq";
+         "shared waits"; "excl acq"; "excl waits";
+       ];
+     ]
+    @ List.rev !hfad_rows);
+  say "";
+  say
+    "acceptance (pure readers, 4+ domains): hFAD exclusive acquisitions = %d, \
+     exclusive waits = %d%s"
+    !excl_acq_seen !excl_waits_seen
+    (if !excl_acq_seen = 0 && !excl_waits_seen = 0 then " -- OK (expected 0/0)"
+     else " -- UNEXPECTED, wanted 0/0");
   say "expected shape: hierarchical takes 3 namespace locks per resolve (2 on";
-  say "shared ancestors) and accumulates waits once domains > 1; hFAD takes";
-  say "none. (single-core container: throughput scaling not observable here)"
+  say "shared ancestors) and accumulates waits once domains > 1; hFAD's";
+  say "exclusive side stays untouched, so readers never exclude each other.";
+  say "(single-core container: throughput scaling not observable here)";
+  emit_json ~id:"C2"
+    [
+      ("experiment", Jstring "C2");
+      ( "claim",
+        Jstring
+          "parallel resolution: shared-ancestor locks vs shared-side rwlock" );
+      ("cores", Jint (Domain.recommended_domain_count ()));
+      ( "config",
+        Jobj
+          [
+            ("users", Jint users);
+            ("files_per_user", Jint files_per_user);
+            ("total_ops", Jint total_ops);
+          ] );
+      ("rows", Jlist (List.rev !json_rows));
+      ( "acceptance",
+        Jobj
+          [
+            ("pure_reader_exclusive_acquisitions", Jint !excl_acq_seen);
+            ("pure_reader_exclusive_waits", Jint !excl_waits_seen);
+            ("ok", Jbool (!excl_acq_seen = 0 && !excl_waits_seen = 0));
+          ] );
+    ]

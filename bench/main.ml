@@ -7,7 +7,10 @@
 
    Pass experiment ids to run a subset:
      dune exec bench/main.exe -- C1 C3
-   Ids: F1 T1 C1 C2 C3 C4 C5 C6 micro *)
+   Ids: F1 T1 C1 C2 C3 C4 C5 C6 micro
+
+   [--json] additionally writes BENCH_<id>.json files (machine-readable
+   results) for the experiments that support it — currently C2. *)
 
 let experiments =
   [
@@ -25,10 +28,13 @@ let experiments =
   ]
 
 let () =
+  let args =
+    match Array.to_list Sys.argv with _ :: rest -> rest | [] -> []
+  in
+  let json, ids = List.partition (String.equal "--json") args in
+  if json <> [] then Bench_util.json_enabled := true;
   let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as ids) -> ids
-    | _ -> List.map fst experiments
+    match ids with [] -> List.map fst experiments | ids -> ids
   in
   Format.printf "hFAD benchmark harness (see DESIGN.md / EXPERIMENTS.md)@.";
   List.iter

@@ -1,0 +1,10 @@
+#!/bin/sh
+# Repo gate: build everything and run the full test suite from a clean
+# tree, exactly as CI would. Usage: ./check.sh
+set -eu
+cd "$(dirname "$0")"
+
+dune clean
+dune build
+dune runtest
+echo "check.sh: OK"

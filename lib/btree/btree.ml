@@ -2,6 +2,7 @@ module Pager = Hfad_pager.Pager
 module Counter = Hfad_metrics.Counter
 module Registry = Hfad_metrics.Registry
 module Strx = Hfad_util.Strx
+module Rwlock = Hfad_util.Rwlock
 
 exception Key_too_large of int
 exception Value_too_large of int
@@ -20,12 +21,24 @@ type t = {
   pager : Pager.t;
   alloc : allocator;
   root : int;
-  mutable descents : int;
-  mutable nodes_visited : int;
-  mutable splits : int;
-  mutable merges : int;
-  mutable rebalances : int;
+  lock : Rwlock.t option;
+  (* Atomic: concurrent shared-side descents bump these in parallel. *)
+  descents : int Atomic.t;
+  nodes_visited : int Atomic.t;
+  splits : int Atomic.t;
+  merges : int Atomic.t;
+  rebalances : int Atomic.t;
 }
+
+(* Locking discipline: every public read entry point holds the shared
+   side of [lock] (when one was supplied), every mutating entry point the
+   exclusive side. The lock is reentrant, so trees stacked under an OSD
+   that already holds a side nest for free. *)
+let shared t f =
+  match t.lock with None -> f () | Some l -> Rwlock.with_shared l f
+
+let exclusive t f =
+  match t.lock with None -> f () | Some l -> Rwlock.with_exclusive l f
 
 let global_descents = Registry.counter Registry.global "btree.descents"
 let global_nodes = Registry.counter Registry.global "btree.nodes_visited"
@@ -37,7 +50,7 @@ let page_size t = Pager.page_size t.pager
 let min_node_size t = Pager.page_size t.pager / 4
 
 let load t page_no =
-  t.nodes_visited <- t.nodes_visited + 1;
+  Atomic.incr t.nodes_visited;
   Counter.incr global_nodes;
   Pager.with_page t.pager page_no Node.decode
 
@@ -45,27 +58,28 @@ let store t page_no node =
   Pager.with_page_mut t.pager page_no (fun page -> Node.encode node page)
 
 let begin_descent t =
-  t.descents <- t.descents + 1;
+  Atomic.incr t.descents;
   Counter.incr global_descents
 
-let mk_handle pager alloc ~root =
+let mk_handle ?lock pager alloc ~root =
   {
     pager;
     alloc;
     root;
-    descents = 0;
-    nodes_visited = 0;
-    splits = 0;
-    merges = 0;
-    rebalances = 0;
+    lock;
+    descents = Atomic.make 0;
+    nodes_visited = Atomic.make 0;
+    splits = Atomic.make 0;
+    merges = Atomic.make 0;
+    rebalances = Atomic.make 0;
   }
 
-let create pager alloc ~root =
-  let t = mk_handle pager alloc ~root in
-  store t root (Node.empty_leaf ());
+let create ?lock pager alloc ~root =
+  let t = mk_handle ?lock pager alloc ~root in
+  exclusive t (fun () -> store t root (Node.empty_leaf ()));
   t
 
-let open_tree pager alloc ~root = mk_handle pager alloc ~root
+let open_tree ?lock pager alloc ~root = mk_handle ?lock pager alloc ~root
 
 (* --- small array helpers ------------------------------------------- *)
 
@@ -97,8 +111,9 @@ let rec find_rec t page_no key =
       find_rec t children.(Node.find_child keys key) key
 
 let find t key =
-  begin_descent t;
-  find_rec t t.root key
+  shared t (fun () ->
+      begin_descent t;
+      find_rec t t.root key)
 
 let mem t key = Option.is_some (find t key)
 
@@ -117,7 +132,7 @@ let size_cut ~n ~total ~weight =
   max 1 (min (n - 1) (loop 0 0))
 
 let split_leaf t page_no entries next =
-  t.splits <- t.splits + 1;
+  Atomic.incr t.splits;
   let n = Array.length entries in
   let total =
     Array.fold_left (fun acc (k, v) -> acc + Node.leaf_entry_size k v) 0 entries
@@ -135,7 +150,7 @@ let split_leaf t page_no entries next =
   (fst right_entries.(0), right_page)
 
 let split_internal t page_no keys children =
-  t.splits <- t.splits + 1;
+  Atomic.incr t.splits;
   let n = Array.length keys in
   let total =
     Array.fold_left (fun acc k -> acc + Node.internal_entry_size k) 0 keys
@@ -191,17 +206,20 @@ let rec insert_rec t page_no key value =
 let put t ~key ~value =
   check_key t key;
   check_value t value;
-  begin_descent t;
-  match insert_rec t t.root key value with
-  | None -> ()
-  | Some (sep, right_page) ->
-      (* Anchored root: the root page now holds the left half; move it to
-         a fresh page and rewrite the root as a two-child internal. *)
-      let left_page = t.alloc.alloc_page () in
-      let left_node = load t t.root in
-      store t left_page left_node;
-      store t t.root
-        (Node.Internal { keys = [| sep |]; children = [| left_page; right_page |] })
+  exclusive t (fun () ->
+      begin_descent t;
+      match insert_rec t t.root key value with
+      | None -> ()
+      | Some (sep, right_page) ->
+          (* Anchored root: the root page now holds the left half; move it
+             to a fresh page and rewrite the root as a two-child
+             internal. *)
+          let left_page = t.alloc.alloc_page () in
+          let left_node = load t t.root in
+          store t left_page left_node;
+          store t t.root
+            (Node.Internal
+               { keys = [| sep |]; children = [| left_page; right_page |] }))
 
 (* --- deletion ------------------------------------------------------- *)
 
@@ -223,13 +241,13 @@ let fix_leaf_pair t ~left_page ~right_page ~left ~right =
   let combined = Array.append left_entries right_entries in
   let merged = Node.Leaf { entries = combined; next = right_next } in
   if Node.encoded_size merged <= page_size t then begin
-    t.merges <- t.merges + 1;
+    Atomic.incr t.merges;
     store t left_page merged;
     t.alloc.free_page right_page;
     `Merged
   end
   else begin
-    t.rebalances <- t.rebalances + 1;
+    Atomic.incr t.rebalances;
     let n = Array.length combined in
     let total =
       Array.fold_left
@@ -264,13 +282,13 @@ let fix_internal_pair t ~left_page ~right_page ~left ~right ~sep =
   let children = Array.append lchildren rchildren in
   let merged = Node.Internal { keys; children } in
   if Node.encoded_size merged <= page_size t then begin
-    t.merges <- t.merges + 1;
+    Atomic.incr t.merges;
     store t left_page merged;
     t.alloc.free_page right_page;
     `Merged
   end
   else begin
-    t.rebalances <- t.rebalances + 1;
+    Atomic.incr t.rebalances;
     let n = Array.length keys in
     let total =
       Array.fold_left (fun acc k -> acc + Node.internal_entry_size k) 0 keys
@@ -334,16 +352,17 @@ let rec delete_rec t page_no key =
       end
 
 let remove t key =
-  begin_descent t;
-  let deleted, _ = delete_rec t t.root key in
-  (* Collapse a root that routes to a single child. *)
-  (match load t t.root with
-  | Node.Internal { keys = [||]; children = [| only |] } ->
-      let child = load t only in
-      store t t.root child;
-      t.alloc.free_page only
-  | Node.Internal _ | Node.Leaf _ -> ());
-  deleted
+  exclusive t (fun () ->
+      begin_descent t;
+      let deleted, _ = delete_rec t t.root key in
+      (* Collapse a root that routes to a single child. *)
+      (match load t t.root with
+      | Node.Internal { keys = [||]; children = [| only |] } ->
+          let child = load t only in
+          store t t.root child;
+          t.alloc.free_page only
+      | Node.Internal _ | Node.Leaf _ -> ());
+      deleted)
 
 (* --- ordered access -------------------------------------------------- *)
 
@@ -361,6 +380,7 @@ let rec leaf_for t page_no key =
 exception Stop
 
 let fold_range t ?lo ?hi ~init f =
+  shared t @@ fun () ->
   begin_descent t;
   let _, leaf =
     match lo with
@@ -412,6 +432,7 @@ let rec rightmost_binding t page_no =
       rightmost_binding t children.(Array.length children - 1)
 
 let floor_binding t key =
+  shared t @@ fun () ->
   begin_descent t;
   (* Descend toward [key], remembering the nearest subtree entirely to the
      left of the taken branch; fall back to its maximum when the leaf has
@@ -459,32 +480,34 @@ let rec free_subtree t page_no =
   t.alloc.free_page page_no
 
 let clear t =
-  (match load t t.root with
-  | Node.Leaf _ -> ()
-  | Node.Internal { children; _ } -> Array.iter (free_subtree t) children);
-  store t t.root (Node.empty_leaf ())
+  exclusive t (fun () ->
+      (match load t t.root with
+      | Node.Leaf _ -> ()
+      | Node.Internal { children; _ } -> Array.iter (free_subtree t) children);
+      store t t.root (Node.empty_leaf ()))
 
 let destroy t =
-  clear t;
-  t.alloc.free_page t.root
+  exclusive t (fun () ->
+      clear t;
+      t.alloc.free_page t.root)
 
 (* --- measurement and validation -------------------------------------- *)
 
 let stats t =
   {
-    descents = t.descents;
-    nodes_visited = t.nodes_visited;
-    splits = t.splits;
-    merges = t.merges;
-    rebalances = t.rebalances;
+    descents = Atomic.get t.descents;
+    nodes_visited = Atomic.get t.nodes_visited;
+    splits = Atomic.get t.splits;
+    merges = Atomic.get t.merges;
+    rebalances = Atomic.get t.rebalances;
   }
 
 let reset_stats t =
-  t.descents <- 0;
-  t.nodes_visited <- 0;
-  t.splits <- 0;
-  t.merges <- 0;
-  t.rebalances <- 0
+  Atomic.set t.descents 0;
+  Atomic.set t.nodes_visited 0;
+  Atomic.set t.splits 0;
+  Atomic.set t.merges 0;
+  Atomic.set t.rebalances 0
 
 let height t =
   let rec depth page_no =
@@ -492,7 +515,7 @@ let height t =
     | Node.Leaf _ -> 1
     | Node.Internal { children; _ } -> 1 + depth children.(0)
   in
-  depth t.root
+  shared t (fun () -> depth t.root)
 
 let fold_pages t ~init f =
   let rec walk acc page_no =
@@ -501,9 +524,10 @@ let fold_pages t ~init f =
     | Node.Leaf _ -> acc
     | Node.Internal { children; _ } -> Array.fold_left walk acc children
   in
-  walk init t.root
+  shared t (fun () -> walk init t.root)
 
 let verify t =
+  shared t @@ fun () ->
   let fail fmt = Format.kasprintf failwith fmt in
   let leaves = ref [] in
   (* Walk the tree checking sizes, ordering and separator bounds; collect

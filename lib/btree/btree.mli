@@ -17,8 +17,15 @@
     and an {e anchored root}: the root never changes page number, so a
     tree is durably identified by one page id.
 
-    Concurrency: a tree is not internally synchronized; callers
-    serialize access (the upper layers do).
+    Concurrency: a tree optionally participates in the system-wide
+    shared/exclusive discipline — pass a {!Hfad_util.Rwlock.t} at
+    {!create}/{!open_tree} and every read entry point ([find], range
+    scans, [verify], ...) holds the shared side while every mutation
+    ([put], [remove], [clear], [destroy]) holds the exclusive side. The
+    lock is reentrant, so a tree nested under an OSD that already holds a
+    side adds only a counter bump. Without a lock (the default), the old
+    contract applies: callers serialize access. Stats are atomic either
+    way, so concurrent shared-side descents never lose counts.
 
     Every root-to-leaf descent and every node visit is counted — these
     are the "index traversals" of §2.3 that experiment C1 measures. *)
@@ -34,11 +41,14 @@ type allocator = {
 exception Key_too_large of int
 exception Value_too_large of int
 
-val create : Hfad_pager.Pager.t -> allocator -> root:int -> t
+val create :
+  ?lock:Hfad_util.Rwlock.t -> Hfad_pager.Pager.t -> allocator -> root:int -> t
 (** [create pager alloc ~root] initializes page [root] as an empty tree
-    and returns a handle. [root] must be a page the caller owns. *)
+    and returns a handle. [root] must be a page the caller owns. [lock]
+    opts the tree into the shared/exclusive discipline (see above). *)
 
-val open_tree : Hfad_pager.Pager.t -> allocator -> root:int -> t
+val open_tree :
+  ?lock:Hfad_util.Rwlock.t -> Hfad_pager.Pager.t -> allocator -> root:int -> t
 (** [open_tree pager alloc ~root] returns a handle onto an existing tree
     whose root page is [root] (as left by {!create} on a previous run or
     handle). *)

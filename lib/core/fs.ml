@@ -5,13 +5,32 @@ module Tag = Hfad_index.Tag
 module Index_store = Hfad_index.Index_store
 module Fulltext = Hfad_fulltext.Fulltext
 module Lazy_indexer = Hfad_fulltext.Lazy_indexer
+module Rwlock = Hfad_util.Rwlock
 
 type index_mode = Eager | Lazy | Off
 
-type t = { osd : Osd.t; index : Index_store.t; mode : index_mode }
+type t = {
+  osd : Osd.t;
+  index : Index_store.t;
+  mode : index_mode;
+  lock : Rwlock.t;  (* the OSD's lock, shared by every layer of this stack *)
+}
+
+(* Locking discipline (§2.3 made concrete): naming and access reads —
+   [lookup], [query], [search], [read], [list_names], ... — hold the
+   shared side; every mutation holds the exclusive side. The layers
+   below take the same reentrant lock again, so one Fs call costs a
+   handful of counter bumps, not nested blocking. *)
+let shared t f = Rwlock.with_shared t.lock f
+let exclusive t f = Rwlock.with_exclusive t.lock f
 
 let mk ?(index_mode = Lazy) osd =
-  { osd; index = Index_store.create osd; mode = index_mode }
+  {
+    osd;
+    index = Index_store.create osd;
+    mode = index_mode;
+    lock = Osd.rwlock osd;
+  }
 
 let format ?cache_pages ?index_mode ?journal_pages dev =
   mk ?index_mode (Osd.format ?cache_pages ?journal_pages dev)
@@ -25,6 +44,7 @@ let device t = Osd.device t.osd
 let osd t = t.osd
 let index t = t.index
 let index_mode t = t.mode
+let rwlock t = t.lock
 
 (* --- content indexing -------------------------------------------------- *)
 
@@ -35,27 +55,30 @@ let reindex t oid =
   | Eager ->
       Index_store.index_text ~lazily:false t.index oid (Osd.read_all t.osd oid)
 
-let drain_index t = Lazy_indexer.drain_all (Index_store.indexer t.index)
+let drain_index t =
+  exclusive t (fun () -> Lazy_indexer.drain_all (Index_store.indexer t.index))
 let index_backlog t = Lazy_indexer.pending (Index_store.indexer t.index)
 
 (* --- lifecycle ----------------------------------------------------------- *)
 
 let create ?meta ?(names = []) ?content t =
-  let oid = Osd.create_object ?meta t.osd in
-  List.iter (fun (tag, value) -> Index_store.add t.index oid tag value) names;
-  (match content with
-  | Some data when data <> "" ->
-      Osd.write t.osd oid ~off:0 data;
-      reindex t oid
-  | Some _ | None -> ());
-  oid
+  exclusive t (fun () ->
+      let oid = Osd.create_object ?meta t.osd in
+      List.iter (fun (tag, value) -> Index_store.add t.index oid tag value) names;
+      (match content with
+      | Some data when data <> "" ->
+          Osd.write t.osd oid ~off:0 data;
+          reindex t oid
+      | Some _ | None -> ());
+      oid)
 
 let delete t oid =
-  (* Flush any queued indexing first so a pending Index for this OID does
-     not resurrect postings after the drop. *)
-  drain_index t;
-  Index_store.drop_object t.index oid;
-  Osd.delete_object t.osd oid
+  exclusive t (fun () ->
+      (* Flush any queued indexing first so a pending Index for this OID
+         does not resurrect postings after the drop. *)
+      drain_index t;
+      Index_store.drop_object t.index oid;
+      Osd.delete_object t.osd oid)
 
 let exists t oid = Osd.exists t.osd oid
 let object_count t = Osd.object_count t.osd
@@ -63,20 +86,23 @@ let object_count t = Osd.object_count t.osd
 (* --- naming ----------------------------------------------------------------- *)
 
 let name t oid tag value =
-  if not (Osd.exists t.osd oid) then raise (Osd.No_such_object oid);
-  Index_store.add t.index oid tag value
+  exclusive t (fun () ->
+      if not (Osd.exists t.osd oid) then raise (Osd.No_such_object oid);
+      Index_store.add t.index oid tag value)
 
-let unname t oid tag value = Index_store.remove t.index oid tag value
+let unname t oid tag value =
+  exclusive t (fun () -> Index_store.remove t.index oid tag value)
 let names_of t oid = Index_store.values_of t.index oid
 let lookup t pairs = Index_store.query t.index pairs
 
 let lookup_one t pairs =
   match lookup t pairs with [] -> None | oid :: _ -> Some oid
 
-let query t q = Hfad_index.Query.eval t.index q
+let query t q = shared t (fun () -> Hfad_index.Query.eval t.index q)
 let query_string t s = query t (Hfad_index.Query.of_string s)
 
-let search t query = Fulltext.search_text (Index_store.fulltext t.index) query
+let search t query =
+  shared t (fun () -> Fulltext.search_text (Index_store.fulltext t.index) query)
 let list_names t tag ~prefix = Index_store.lookup_prefix t.index tag prefix
 
 (* --- access -------------------------------------------------------------------- *)
@@ -85,29 +111,35 @@ let read t oid ~off ~len = Osd.read t.osd oid ~off ~len
 let read_all t oid = Osd.read_all t.osd oid
 
 let write t oid ~off data =
-  Osd.write t.osd oid ~off data;
-  reindex t oid
+  exclusive t (fun () ->
+      Osd.write t.osd oid ~off data;
+      reindex t oid)
 
 let append t oid data =
-  Osd.append t.osd oid data;
-  reindex t oid
+  exclusive t (fun () ->
+      Osd.append t.osd oid data;
+      reindex t oid)
 
 let insert t oid ~off data =
-  Osd.insert t.osd oid ~off data;
-  reindex t oid
+  exclusive t (fun () ->
+      Osd.insert t.osd oid ~off data;
+      reindex t oid)
 
 let remove_bytes t oid ~off ~len =
-  Osd.remove_bytes t.osd oid ~off ~len;
-  reindex t oid
+  exclusive t (fun () ->
+      Osd.remove_bytes t.osd oid ~off ~len;
+      reindex t oid)
 
 let truncate t oid size =
-  Osd.truncate t.osd oid size;
-  reindex t oid
+  exclusive t (fun () ->
+      Osd.truncate t.osd oid size;
+      reindex t oid)
 
 let size t oid = Osd.size t.osd oid
 let metadata t oid = Osd.metadata t.osd oid
 let update_metadata t oid f = Osd.update_metadata t.osd oid f
 
 let verify t =
-  Osd.verify t.osd;
-  Index_store.verify t.index
+  shared t (fun () ->
+      Osd.verify t.osd;
+      Index_store.verify t.index)

@@ -22,7 +22,17 @@
 
     The POSIX compatibility veneer (module {!Hfad_posix.Posix_fs}) is a
     thin client of this API, exactly as the paper prescribes: "a POSIX
-    path is simply one name among many possible names." *)
+    path is simply one name among many possible names."
+
+    Concurrency: the whole stack is single-writer / multi-reader across
+    OCaml domains. One reentrant {!Hfad_util.Rwlock} (see {!rwlock}) is
+    shared by this module, the index stores and the OSD: {!lookup},
+    {!query}, {!search}, {!read}, {!list_names} and the other read entry
+    points hold the shared side; every mutation holds the exclusive
+    side. §2.3's contrast is exactly here — resolution through this flat
+    namespace contends only when someone is {e writing}, never because
+    two readers share an ancestor directory; experiment C2 measures the
+    difference with the lock's contention counters. *)
 
 type t
 
@@ -51,6 +61,10 @@ val device : t -> Hfad_blockdev.Device.t
 val osd : t -> Hfad_osd.Osd.t
 val index : t -> Hfad_index.Index_store.t
 val index_mode : t -> index_mode
+
+val rwlock : t -> Hfad_util.Rwlock.t
+(** The stack-wide shared/exclusive lock (the OSD's); read its
+    {!Hfad_util.Rwlock.stats} to see this instance's lock footprint. *)
 
 (** {1 Object lifecycle} *)
 

@@ -1,3 +1,11 @@
+module Counter = Hfad_metrics.Counter
+module Registry = Hfad_metrics.Registry
+
+(* Mirrored into the global registry so the hierarchical stack's lock
+   footprint is diffable side by side with hFAD's rwlock counters. *)
+let g_acquisitions = Registry.counter Registry.global "hierfs.lock_acquisitions"
+let g_waits = Registry.counter Registry.global "hierfs.lock_waits"
+
 type t = {
   table : (int, Mutex.t) Hashtbl.t;
   table_mutex : Mutex.t;
@@ -29,8 +37,10 @@ let lock_of t ino =
 let with_lock t ino f =
   let m = lock_of t ino in
   Atomic.incr t.acquisitions;
+  Counter.incr g_acquisitions;
   if not (Mutex.try_lock m) then begin
     Atomic.incr t.waits;
+    Counter.incr g_waits;
     Mutex.lock m
   end;
   match f () with

@@ -5,6 +5,7 @@ module Fulltext = Hfad_fulltext.Fulltext
 module Lazy_indexer = Hfad_fulltext.Lazy_indexer
 module Registry = Hfad_metrics.Registry
 module Counter = Hfad_metrics.Counter
+module Rwlock = Hfad_util.Rwlock
 
 exception Unsupported_tag of Tag.t
 
@@ -14,8 +15,16 @@ type t = {
   fulltext : Fulltext.t;
   indexer : Lazy_indexer.t;
   kv : (string, Kv_index.t) Hashtbl.t;
+  kv_mutex : Mutex.t;  (* guards the [kv] slice cache only *)
+  lock : Rwlock.t;
+      (* The owning OSD's lock: queries take the shared side, index
+         mutations the exclusive side, so index state and object state
+         stay mutually consistent under concurrent domains. *)
   image : Image_index.t;
 }
+
+let shared t f = Rwlock.with_shared t.lock f
+let exclusive t f = Rwlock.with_exclusive t.lock f
 
 let c_lookups = Registry.counter Registry.global "index.lookups"
 let c_queries = Registry.counter Registry.global "index.queries"
@@ -32,6 +41,8 @@ let create osd =
     fulltext;
     indexer = Lazy_indexer.create fulltext;
     kv = Hashtbl.create 8;
+    kv_mutex = Mutex.create ();
+    lock = Osd.rwlock osd;
     image = Image_index.create attrs ~namespace:(Tag.to_string image_tag);
   }
 
@@ -40,19 +51,28 @@ let kv_index t tag =
   | Tag.Fulltext | Tag.Id -> raise (Unsupported_tag tag)
   | Tag.Posix | Tag.User | Tag.Udef | Tag.App | Tag.Custom _ ->
       let name = Tag.to_string tag in
-      (match Hashtbl.find_opt t.kv name with
-      | Some kv -> kv
-      | None ->
-          let kv = Kv_index.create t.attrs ~namespace:name in
-          Hashtbl.replace t.kv name kv;
-          kv)
+      Mutex.lock t.kv_mutex;
+      let kv =
+        match Hashtbl.find_opt t.kv name with
+        | Some kv -> kv
+        | None ->
+            let kv = Kv_index.create t.attrs ~namespace:name in
+            Hashtbl.replace t.kv name kv;
+            kv
+      in
+      Mutex.unlock t.kv_mutex;
+      kv
 
 (* --- attribute tagging ---------------------------------------------------- *)
 
-let add t oid tag value = Kv_index.add (kv_index t tag) oid value
-let remove t oid tag value = Kv_index.remove (kv_index t tag) oid value
+let add t oid tag value =
+  exclusive t (fun () -> Kv_index.add (kv_index t tag) oid value)
+
+let remove t oid tag value =
+  exclusive t (fun () -> Kv_index.remove (kv_index t tag) oid value)
 
 let values_of t oid =
+  shared t @@ fun () ->
   (* The image plug-in shares the attribute tree, so its namespace is
      covered by iterating the registered KV slices plus IMAGE. *)
   let tags =
@@ -77,13 +97,18 @@ let values_of t oid =
 
 (* --- content indexing ------------------------------------------------------ *)
 
+(* Lazy submission only enqueues (the queue has its own mutex); the
+   exclusive side is taken by whoever eventually applies the work — the
+   background thread and [drain] go through Fulltext, whose B-tree
+   self-locks. Synchronous indexing mutates now, so it takes the
+   exclusive side now. *)
 let index_text ?(lazily = true) t oid text =
   if lazily then Lazy_indexer.submit_add t.indexer oid text
-  else Fulltext.add_document t.fulltext oid text
+  else exclusive t (fun () -> Fulltext.add_document t.fulltext oid text)
 
 let unindex_text ?(lazily = true) t oid =
   if lazily then Lazy_indexer.submit_remove t.indexer oid
-  else Fulltext.remove_document t.fulltext oid
+  else exclusive t (fun () -> Fulltext.remove_document t.fulltext oid)
 
 let indexer t = t.indexer
 let fulltext t = t.fulltext
@@ -93,6 +118,7 @@ let image t = t.image
 
 let lookup t (tag, value) =
   Counter.incr c_lookups;
+  shared t @@ fun () ->
   match tag with
   | Tag.Id -> (
       match Oid.of_string value with
@@ -107,6 +133,7 @@ let lookup t (tag, value) =
 let selectivity_cap = 1024
 
 let selectivity t (tag, value) =
+  shared t @@ fun () ->
   match tag with
   | Tag.Id -> 1
   | Tag.Fulltext -> Fulltext.document_frequency t.fulltext value
@@ -114,6 +141,7 @@ let selectivity t (tag, value) =
       Kv_index.count_value_capped (kv_index t tag) value ~cap:selectivity_cap
 
 let contains t oid (tag, value) =
+  shared t @@ fun () ->
   match tag with
   | Tag.Id -> (
       match Oid.of_string value with
@@ -150,6 +178,7 @@ let narrow t acc (sel, pair) =
 
 let query t pairs =
   Counter.incr c_queries;
+  shared t @@ fun () ->
   match pairs with
   | [] -> []
   | _ ->
@@ -165,6 +194,7 @@ let query t pairs =
       | [] -> [])
 
 let lookup_prefix t tag prefix =
+  shared t @@ fun () ->
   match tag with
   | Tag.Fulltext | Tag.Id -> raise (Unsupported_tag tag)
   | Tag.Posix | Tag.User | Tag.Udef | Tag.App | Tag.Custom _ ->
@@ -173,12 +203,14 @@ let lookup_prefix t tag prefix =
 (* --- maintenance ---------------------------------------------------------------- *)
 
 let drop_object t oid =
-  List.iter
-    (fun (tag, value) -> ignore (remove t oid tag value))
-    (values_of t oid);
-  Fulltext.remove_document t.fulltext oid
+  exclusive t (fun () ->
+      List.iter
+        (fun (tag, value) -> ignore (remove t oid tag value))
+        (values_of t oid);
+      Fulltext.remove_document t.fulltext oid)
 
 let verify t =
-  Hashtbl.iter (fun _ kv -> Kv_index.verify kv) t.kv;
-  Kv_index.verify (Image_index.kv t.image);
-  Fulltext.verify t.fulltext
+  shared t (fun () ->
+      Hashtbl.iter (fun _ kv -> Kv_index.verify kv) t.kv;
+      Kv_index.verify (Image_index.kv t.image);
+      Fulltext.verify t.fulltext)

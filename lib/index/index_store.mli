@@ -20,7 +20,17 @@
 
     Both backing B-trees are registered as OSD named trees, so the whole
     index state lives on the same simulated device as the objects and
-    survives {!Hfad_osd.Osd.open_existing}. *)
+    survives {!Hfad_osd.Osd.open_existing}.
+
+    Concurrency: the store joins the single-writer / multi-reader
+    discipline of the OSD it is created on — the same reentrant
+    {!Hfad_util.Rwlock} ({!Hfad_osd.Osd.rwlock}) guards both layers.
+    {!lookup}, {!query}, {!selectivity}, {!contains}, {!lookup_prefix},
+    {!values_of} and {!verify} hold the shared side; {!add}, {!remove},
+    {!drop_object} and eager {!index_text}/{!unindex_text} hold the
+    exclusive side. The per-tag slice registry is guarded by a private
+    mutex; lazy indexing submissions go through the self-synchronized
+    {!Hfad_fulltext.Lazy_indexer} queue. *)
 
 type t
 

@@ -6,6 +6,7 @@ module Codec = Hfad_util.Codec
 module Counter = Hfad_metrics.Counter
 module Registry = Hfad_metrics.Registry
 module Journal = Hfad_journal.Journal
+module Rwlock = Hfad_util.Rwlock
 
 exception No_such_object of Oid.t
 
@@ -20,6 +21,12 @@ type t = {
   buddy : Buddy.t;
   btree_alloc : Btree.allocator;
   master : Btree.t;
+  lock : Rwlock.t;
+      (* One shared/exclusive lock for the whole OSD: reads hold the
+         shared side, mutations the exclusive side, and the B-trees and
+         index stores stacked on this OSD nest on the same (reentrant)
+         lock. *)
+  handles_mutex : Mutex.t;  (* guards [handles] and [named_handles] *)
   mutable next_oid : Oid.t;
   mutable named : (string * int) list;  (* name -> root page, superblock-backed *)
   journal : Journal.t option;
@@ -29,6 +36,9 @@ type t = {
   handles : (int64, Btree.t) Hashtbl.t;
   named_handles : (string, Btree.t) Hashtbl.t;
 }
+
+let shared t f = Rwlock.with_shared t.lock f
+let exclusive t f = Rwlock.with_exclusive t.lock f
 
 let max_named_trees = 8
 let max_named_name = 16
@@ -43,6 +53,7 @@ let c_bytes_written = Registry.counter Registry.global "osd.bytes_written"
 let device t = t.dev
 let pager t = t.pgr
 let allocator t = t.buddy
+let rwlock t = t.lock
 
 (* --- superblock ------------------------------------------------------- *)
 
@@ -106,6 +117,7 @@ let mk_t ?(cache_pages = 1024) ?(max_extent_pages = 64) ?(journal_pages = 0)
   if max_extent_pages <= 0 then invalid_arg "Osd: max_extent_pages";
   if journal_pages < 0 then invalid_arg "Osd: journal_pages";
   let pgr = Pager.create ~cache_pages ~no_steal:(journal_pages > 0) dev in
+  let lock = Rwlock.create ~name:"osd" () in
   let journal =
     if journal_pages = 0 then None
     else if fresh then
@@ -126,8 +138,8 @@ let mk_t ?(cache_pages = 1024) ?(max_extent_pages = 64) ?(journal_pages = 0)
     }
   in
   let master =
-    if fresh then Btree.create pgr btree_alloc ~root:master_root_page
-    else Btree.open_tree pgr btree_alloc ~root:master_root_page
+    if fresh then Btree.create ~lock pgr btree_alloc ~root:master_root_page
+    else Btree.open_tree ~lock pgr btree_alloc ~root:master_root_page
   in
   {
     dev;
@@ -135,6 +147,8 @@ let mk_t ?(cache_pages = 1024) ?(max_extent_pages = 64) ?(journal_pages = 0)
     buddy;
     btree_alloc;
     master;
+    lock;
+    handles_mutex = Mutex.create ();
     next_oid = Oid.first;
     named = [];
     journal;
@@ -157,14 +171,15 @@ let format ?cache_pages ?max_extent_pages ?journal_pages dev =
    clean. A crash at any point recovers to either the previous or the new
    checkpoint, never in between. *)
 let flush t =
-  write_superblock t;
-  (match t.journal with
-  | None -> Pager.flush t.pgr
-  | Some journal ->
-      let dirty = Pager.dirty_pages t.pgr in
-      Journal.commit journal dirty;
-      Pager.flush t.pgr;
-      Journal.mark_clean journal)
+  exclusive t (fun () ->
+      write_superblock t;
+      match t.journal with
+      | None -> Pager.flush t.pgr
+      | Some journal ->
+          let dirty = Pager.dirty_pages t.pgr in
+          Journal.commit journal dirty;
+          Pager.flush t.pgr;
+          Journal.mark_clean journal)
 
 let journaled t = Option.is_some t.journal
 
@@ -176,29 +191,38 @@ let journal_sequence t =
 let named_roots t = t.named
 
 let create_named_tree t name =
-  if String.length name > max_named_name then
-    invalid_arg "Osd.create_named_tree: name too long";
-  if List.mem_assoc name t.named then
-    invalid_arg "Osd.create_named_tree: name already registered";
-  if List.length t.named >= max_named_trees then
-    invalid_arg "Osd.create_named_tree: superblock full";
-  let root = t.btree_alloc.Btree.alloc_page () in
-  let tree = Btree.create t.pgr t.btree_alloc ~root in
-  t.named <- t.named @ [ (name, root) ];
-  Hashtbl.replace t.named_handles name tree;
-  write_superblock t;
-  tree
+  exclusive t (fun () ->
+      if String.length name > max_named_name then
+        invalid_arg "Osd.create_named_tree: name too long";
+      if List.mem_assoc name t.named then
+        invalid_arg "Osd.create_named_tree: name already registered";
+      if List.length t.named >= max_named_trees then
+        invalid_arg "Osd.create_named_tree: superblock full";
+      let root = t.btree_alloc.Btree.alloc_page () in
+      let tree = Btree.create ~lock:t.lock t.pgr t.btree_alloc ~root in
+      t.named <- t.named @ [ (name, root) ];
+      Mutex.lock t.handles_mutex;
+      Hashtbl.replace t.named_handles name tree;
+      Mutex.unlock t.handles_mutex;
+      write_superblock t;
+      tree)
 
 let open_named_tree t name =
-  match Hashtbl.find_opt t.named_handles name with
-  | Some tree -> Some tree
-  | None -> (
-      match List.assoc_opt name t.named with
-      | None -> None
-      | Some root ->
-          let tree = Btree.open_tree t.pgr t.btree_alloc ~root in
-          Hashtbl.replace t.named_handles name tree;
-          Some tree)
+  Mutex.lock t.handles_mutex;
+  let cached = Hashtbl.find_opt t.named_handles name in
+  let result =
+    match cached with
+    | Some tree -> Some tree
+    | None -> (
+        match List.assoc_opt name t.named with
+        | None -> None
+        | Some root ->
+            let tree = Btree.open_tree ~lock:t.lock t.pgr t.btree_alloc ~root in
+            Hashtbl.replace t.named_handles name tree;
+            Some tree)
+  in
+  Mutex.unlock t.handles_mutex;
+  result
 
 let named_tree t name =
   match open_named_tree t name with
@@ -212,7 +236,10 @@ let object_root t oid =
 
 let handle t oid =
   let id = Oid.to_int64 oid in
-  match Hashtbl.find_opt t.handles id with
+  Mutex.lock t.handles_mutex;
+  let cached = Hashtbl.find_opt t.handles id in
+  Mutex.unlock t.handles_mutex;
+  match cached with
   | Some obj ->
       (* The cached handle may be stale if the object was deleted and the
          OID never reused; deletion removes the cache entry, so a hit is
@@ -220,8 +247,18 @@ let handle t oid =
       obj
   | None ->
       let root = object_root t oid in
-      let obj = Btree.open_tree t.pgr t.btree_alloc ~root in
-      Hashtbl.replace t.handles id obj;
+      Mutex.lock t.handles_mutex;
+      (* Two concurrent readers may race to fill the slot; keep the
+         first-published handle so everyone shares one stats record. *)
+      let obj =
+        match Hashtbl.find_opt t.handles id with
+        | Some obj -> obj
+        | None ->
+            let obj = Btree.open_tree ~lock:t.lock t.pgr t.btree_alloc ~root in
+            Hashtbl.replace t.handles id obj;
+            obj
+      in
+      Mutex.unlock t.handles_mutex;
       obj
 
 let get_meta obj oid =
@@ -372,45 +409,56 @@ let shift_extents t obj ~from ~delta =
 (* --- lifecycle ------------------------------------------------------------ *)
 
 let create_object ?meta t =
-  let oid = t.next_oid in
-  t.next_oid <- Oid.next oid;
-  let root = t.btree_alloc.Btree.alloc_page () in
-  let obj = Btree.create t.pgr t.btree_alloc ~root in
-  let meta = match meta with Some m -> { m with Meta.size = 0 } | None -> Meta.make () in
-  put_meta obj meta;
-  let root_buf = Bytes.create 8 in
-  let len = Codec.put_varint root_buf 0 root in
-  Btree.put t.master ~key:(Oid.to_key oid) ~value:(Bytes.sub_string root_buf 0 len);
-  Hashtbl.replace t.handles (Oid.to_int64 oid) obj;
-  oid
+  exclusive t (fun () ->
+      let oid = t.next_oid in
+      t.next_oid <- Oid.next oid;
+      let root = t.btree_alloc.Btree.alloc_page () in
+      let obj = Btree.create ~lock:t.lock t.pgr t.btree_alloc ~root in
+      let meta =
+        match meta with Some m -> { m with Meta.size = 0 } | None -> Meta.make ()
+      in
+      put_meta obj meta;
+      let root_buf = Bytes.create 8 in
+      let len = Codec.put_varint root_buf 0 root in
+      Btree.put t.master ~key:(Oid.to_key oid)
+        ~value:(Bytes.sub_string root_buf 0 len);
+      Mutex.lock t.handles_mutex;
+      Hashtbl.replace t.handles (Oid.to_int64 oid) obj;
+      Mutex.unlock t.handles_mutex;
+      oid)
 
 let exists t oid = Btree.mem t.master (Oid.to_key oid)
 
 let delete_object t oid =
-  let obj = handle t oid in
-  let _ = get_meta obj oid in
-  Btree.fold_prefix obj ~prefix:extent_prefix ~init:() (fun () _ v ->
-      Buddy.free t.buddy (Extent.decode v).Extent.alloc_block);
-  Btree.destroy obj;
-  ignore (Btree.remove t.master (Oid.to_key oid));
-  Hashtbl.remove t.handles (Oid.to_int64 oid)
+  exclusive t (fun () ->
+      let obj = handle t oid in
+      let _ = get_meta obj oid in
+      Btree.fold_prefix obj ~prefix:extent_prefix ~init:() (fun () _ v ->
+          Buddy.free t.buddy (Extent.decode v).Extent.alloc_block);
+      Btree.destroy obj;
+      ignore (Btree.remove t.master (Oid.to_key oid));
+      Mutex.lock t.handles_mutex;
+      Hashtbl.remove t.handles (Oid.to_int64 oid);
+      Mutex.unlock t.handles_mutex)
 
 let object_count t = Btree.cardinal t.master
 
 let list_objects t =
-  List.rev
-    (Btree.fold_range t.master ~init:[] (fun acc k _ -> Oid.of_key k :: acc))
+  shared t (fun () ->
+      List.rev
+        (Btree.fold_range t.master ~init:[] (fun acc k _ -> Oid.of_key k :: acc)))
 
 (* --- metadata ------------------------------------------------------------- *)
 
-let metadata t oid = get_meta (handle t oid) oid
+let metadata t oid = shared t (fun () -> get_meta (handle t oid) oid)
 let size t oid = (metadata t oid).Meta.size
 
 let update_metadata t oid f =
-  let obj = handle t oid in
-  let meta = get_meta obj oid in
-  let updated = f meta in
-  put_meta obj { updated with Meta.size = meta.Meta.size }
+  exclusive t (fun () ->
+      let obj = handle t oid in
+      let meta = get_meta obj oid in
+      let updated = f meta in
+      put_meta obj { updated with Meta.size = meta.Meta.size })
 
 (* --- byte access ------------------------------------------------------------ *)
 
@@ -421,6 +469,7 @@ let read t oid ~off ~len =
   check_off off;
   check_len len;
   Counter.incr c_reads;
+  shared t @@ fun () ->
   let obj = handle t oid in
   let meta = get_meta obj oid in
   let n = min len (meta.Meta.size - off) in
@@ -446,6 +495,7 @@ let write t oid ~off data =
   check_off off;
   Counter.incr c_writes;
   Counter.add c_bytes_written (String.length data);
+  exclusive t @@ fun () ->
   let obj = handle t oid in
   let meta = get_meta obj oid in
   let cur = meta.Meta.size in
@@ -480,6 +530,7 @@ let append t oid data = write t oid ~off:(size t oid) data
 
 let insert t oid ~off data =
   check_off off;
+  exclusive t @@ fun () ->
   let obj = handle t oid in
   let meta = get_meta obj oid in
   if off >= meta.Meta.size then write t oid ~off data
@@ -498,6 +549,7 @@ let insert t oid ~off data =
 let remove_bytes t oid ~off ~len =
   check_off off;
   check_len len;
+  exclusive t @@ fun () ->
   let obj = handle t oid in
   let meta = get_meta obj oid in
   let n = min len (meta.Meta.size - off) in
@@ -522,6 +574,7 @@ let remove_bytes t oid ~off ~len =
 
 let truncate t oid new_size =
   if new_size < 0 then invalid_arg "Osd.truncate: negative size";
+  exclusive t @@ fun () ->
   let cur = size t oid in
   if new_size < cur then remove_bytes t oid ~off:new_size ~len:(cur - new_size)
   else if new_size > cur then begin
@@ -532,6 +585,7 @@ let truncate t oid new_size =
   end
 
 let compact t oid =
+  exclusive t @@ fun () ->
   let obj = handle t oid in
   let meta = get_meta obj oid in
   if meta.Meta.size > 0 then begin
@@ -559,6 +613,7 @@ let extent_count t oid =
     (fun acc _ _ -> acc + 1)
 
 let verify_object t oid =
+  shared t @@ fun () ->
   let fail fmt = Format.kasprintf failwith fmt in
   let obj = handle t oid in
   let meta = get_meta obj oid in
@@ -585,8 +640,9 @@ let verify_object t oid =
       meta.Meta.size
 
 let verify t =
-  Btree.verify t.master;
-  List.iter (verify_object t) (list_objects t)
+  shared t (fun () ->
+      Btree.verify t.master;
+      List.iter (verify_object t) (list_objects t))
 
 (* --- reopening ---------------------------------------------------------------- *)
 

@@ -20,8 +20,20 @@
     exactly this against the hierarchical baseline's shift-and-rewrite.
 
     Device layout: block 0 = superblock, block 1 = master tree root,
-    blocks 2.. = buddy-managed space. Not internally synchronized; the
-    layers above serialize access. *)
+    blocks 2.. = buddy-managed space.
+
+    Concurrency: the OSD is safe for single-writer / multi-reader use
+    across OCaml domains. One {!Hfad_util.Rwlock} (see {!rwlock}) covers
+    the whole instance: every read entry point ([read], [metadata],
+    [size], [exists], [list_objects], [verify], ...) holds the shared
+    side, every mutation ([write], [insert], [remove_bytes],
+    [create_object], [delete_object], [flush], ...) the exclusive side,
+    and the B-trees underneath nest on the same reentrant lock. Handle
+    caches are guarded by their own small mutex so concurrent readers may
+    fault in object handles in parallel. Lock acquisitions and waits are
+    counted ({!Hfad_util.Rwlock.stats}) — experiment C2 reads them to
+    show the flat namespace takes zero exclusive-side waits under
+    partitioned reader load. *)
 
 type t
 
@@ -62,6 +74,11 @@ val journal_sequence : t -> int64
 val device : t -> Hfad_blockdev.Device.t
 val pager : t -> Hfad_pager.Pager.t
 val allocator : t -> Hfad_alloc.Buddy.t
+
+val rwlock : t -> Hfad_util.Rwlock.t
+(** The instance-wide shared/exclusive lock. Exposed so the index stores
+    and file-system layer stacked on this OSD join the same discipline,
+    and so experiments can read and reset its contention counters. *)
 
 (** {1 Named index trees}
 

@@ -1,4 +1,6 @@
 module Device = Hfad_blockdev.Device
+module Counter = Hfad_metrics.Counter
+module Registry = Hfad_metrics.Registry
 
 exception Cache_full
 
@@ -10,7 +12,14 @@ type frame = {
   mutable last_use : int;
 }
 
-type stats = { reads : int; hits : int; misses : int; write_backs : int }
+type stats = {
+  reads : int;
+  hits : int;
+  misses : int;
+  write_backs : int;
+  lock_acquisitions : int;
+  lock_waits : int;
+}
 
 type t = {
   dev : Device.t;
@@ -19,11 +28,20 @@ type t = {
   frames : (int, frame) Hashtbl.t;  (* page_no -> resident frame *)
   mutex : Mutex.t;
   mutable tick : int;
-  mutable reads : int;
-  mutable hits : int;
-  mutable misses : int;
-  mutable write_backs : int;
+  (* Atomic so concurrent domains never lose an update and [stats] /
+     [reset_stats] need not take the frame-table mutex. *)
+  reads : int Atomic.t;
+  hits : int Atomic.t;
+  misses : int Atomic.t;
+  write_backs : int Atomic.t;
+  lock_acquisitions : int Atomic.t;
+  lock_waits : int Atomic.t;
 }
+
+(* Process-wide aggregates, comparable to the other layers' lock
+   footprints in experiment tables. *)
+let g_lock_acq = Registry.counter Registry.global "pager.lock_acquisitions"
+let g_lock_waits = Registry.counter Registry.global "pager.lock_waits"
 
 let create ?(cache_pages = 1024) ?(no_steal = false) dev =
   if cache_pages <= 0 then invalid_arg "Pager.create: cache_pages";
@@ -34,18 +52,29 @@ let create ?(cache_pages = 1024) ?(no_steal = false) dev =
     frames = Hashtbl.create (2 * cache_pages);
     mutex = Mutex.create ();
     tick = 0;
-    reads = 0;
-    hits = 0;
-    misses = 0;
-    write_backs = 0;
+    reads = Atomic.make 0;
+    hits = Atomic.make 0;
+    misses = Atomic.make 0;
+    write_backs = Atomic.make 0;
+    lock_acquisitions = Atomic.make 0;
+    lock_waits = Atomic.make 0;
   }
 
 let page_size t = Device.block_size t.dev
 let pages t = Device.blocks t.dev
 let device t = t.dev
 
+(* Frame-table critical section, with contention observed exactly the way
+   the hierarchical baseline's lock table observes it: an acquisition that
+   fails [try_lock] found the lock held by another thread. *)
 let with_lock t f =
-  Mutex.lock t.mutex;
+  Atomic.incr t.lock_acquisitions;
+  Counter.incr g_lock_acq;
+  if not (Mutex.try_lock t.mutex) then begin
+    Atomic.incr t.lock_waits;
+    Counter.incr g_lock_waits;
+    Mutex.lock t.mutex
+  end;
   match f () with
   | result ->
       Mutex.unlock t.mutex;
@@ -58,7 +87,7 @@ let write_back t frame =
   if frame.dirty then begin
     Device.write_block t.dev frame.page_no frame.buf;
     frame.dirty <- false;
-    t.write_backs <- t.write_backs + 1
+    Atomic.incr t.write_backs
   end
 
 (* Evict the least-recently-used unpinned frame to make room. *)
@@ -83,15 +112,15 @@ let evict_one t =
 let acquire t page_no ~load =
   with_lock t (fun () ->
       t.tick <- t.tick + 1;
-      t.reads <- t.reads + 1;
+      Atomic.incr t.reads;
       match Hashtbl.find_opt t.frames page_no with
       | Some frame ->
-          t.hits <- t.hits + 1;
+          Atomic.incr t.hits;
           frame.last_use <- t.tick;
           frame.pins <- frame.pins + 1;
           frame
       | None ->
-          t.misses <- t.misses + 1;
+          Atomic.incr t.misses;
           if Hashtbl.length t.frames >= t.capacity then evict_one t;
           let buf = Bytes.create (Device.block_size t.dev) in
           if load then Device.read_block_into t.dev page_no buf
@@ -161,17 +190,23 @@ let invalidate t =
         victims)
 
 let stats t =
-  with_lock t (fun () ->
-      { reads = t.reads; hits = t.hits; misses = t.misses;
-        write_backs = t.write_backs })
+  {
+    reads = Atomic.get t.reads;
+    hits = Atomic.get t.hits;
+    misses = Atomic.get t.misses;
+    write_backs = Atomic.get t.write_backs;
+    lock_acquisitions = Atomic.get t.lock_acquisitions;
+    lock_waits = Atomic.get t.lock_waits;
+  }
 
 let reset_stats t =
-  with_lock t (fun () ->
-      t.reads <- 0;
-      t.hits <- 0;
-      t.misses <- 0;
-      t.write_backs <- 0)
+  Atomic.set t.reads 0;
+  Atomic.set t.hits 0;
+  Atomic.set t.misses 0;
+  Atomic.set t.write_backs 0;
+  Atomic.set t.lock_acquisitions 0;
+  Atomic.set t.lock_waits 0
 
 let pp_stats fmt (s : stats) =
-  Format.fprintf fmt "reads=%d hits=%d misses=%d write_backs=%d" s.reads
-    s.hits s.misses s.write_backs
+  Format.fprintf fmt "reads=%d hits=%d misses=%d write_backs=%d lock_waits=%d"
+    s.reads s.hits s.misses s.write_backs s.lock_waits

@@ -12,7 +12,18 @@
     eviction). Callbacks must not retain the buffer. Nested access to
     distinct pages is fine; nested access to the same page is fine
     (pins count). Eviction is LRU over unpinned frames with write-back
-    of dirty pages. *)
+    of dirty pages.
+
+    Thread safety: the frame table (residency, pins, LRU state, dirty
+    flags) is guarded by a mutex, stats are atomic, and contention on the
+    frame-table mutex is itself counted ([lock_acquisitions] /
+    [lock_waits]) so the pager's lock footprint is comparable with the
+    namespace locks measured in experiment C2. Concurrent [with_page] of
+    the same page from several domains is safe; what the pager does {e
+    not} arbitrate is simultaneous reader/writer access to one page's
+    {e bytes} — that exclusion comes from the layer above
+    ({!Hfad_util.Rwlock}: B-tree/OSD readers take the shared side while
+    mutators take the exclusive side). *)
 
 type t
 
@@ -65,6 +76,9 @@ type stats = {
   hits : int;
   misses : int;
   write_backs : int;  (** dirty pages pushed to the device *)
+  lock_acquisitions : int;  (** frame-table mutex acquisitions *)
+  lock_waits : int;
+      (** acquisitions that found the mutex held by another thread *)
 }
 
 val stats : t -> stats

@@ -35,6 +35,7 @@ type fd_state = { oid : Oid.t; mutable pos : int }
 type t = {
   fs : Fs.t;
   fds : (int, fd_state) Hashtbl.t;
+  fds_mutex : Mutex.t;  (* guards [fds], [next_fd] and every cursor *)
   mutable next_fd : int;
 }
 
@@ -51,7 +52,9 @@ let add_name t oid path =
   with Kv_index.Value_not_indexable _ -> err EINVAL path
 
 let mount fs =
-  let t = { fs; fds = Hashtbl.create 16; next_fd = 3 } in
+  let t =
+    { fs; fds = Hashtbl.create 16; fds_mutex = Mutex.create (); next_fd = 3 }
+  in
   (match oid_at t "/" with
   | Some _ -> ()
   | None ->
@@ -255,10 +258,22 @@ let openf ?(create = false) t path =
         oid
     | exception Error (ENOENT, _) when create -> create_file t path
   in
+  Mutex.lock t.fds_mutex;
   let fd = t.next_fd in
   t.next_fd <- fd + 1;
   Hashtbl.replace t.fds fd { oid; pos = 0 };
+  Mutex.unlock t.fds_mutex;
   fd
+
+let with_fds t f =
+  Mutex.lock t.fds_mutex;
+  match f () with
+  | result ->
+      Mutex.unlock t.fds_mutex;
+      result
+  | exception e ->
+      Mutex.unlock t.fds_mutex;
+      raise e
 
 let fd_state t fd =
   match Hashtbl.find_opt t.fds fd with
@@ -266,26 +281,30 @@ let fd_state t fd =
   | None -> err EBADF (string_of_int fd)
 
 let close t fd =
-  ignore (fd_state t fd);
-  Hashtbl.remove t.fds fd
+  with_fds t (fun () ->
+      ignore (fd_state t fd);
+      Hashtbl.remove t.fds fd)
 
+(* Descriptor I/O takes the cursor under the fd mutex, performs the
+   (self-locking) Fs call outside it, then advances the cursor — so slow
+   I/O on one descriptor never blocks the descriptor table. *)
 let read_fd t fd n =
   if n < 0 then err EINVAL "negative read length";
-  let state = fd_state t fd in
-  let data = Fs.read t.fs state.oid ~off:state.pos ~len:n in
-  state.pos <- state.pos + String.length data;
+  let state, pos = with_fds t (fun () -> let s = fd_state t fd in (s, s.pos)) in
+  let data = Fs.read t.fs state.oid ~off:pos ~len:n in
+  with_fds t (fun () -> state.pos <- pos + String.length data);
   data
 
 let write_fd t fd data =
-  let state = fd_state t fd in
-  Fs.write t.fs state.oid ~off:state.pos data;
-  state.pos <- state.pos + String.length data
+  let state, pos = with_fds t (fun () -> let s = fd_state t fd in (s, s.pos)) in
+  Fs.write t.fs state.oid ~off:pos data;
+  with_fds t (fun () -> state.pos <- pos + String.length data)
 
 let seek t fd pos =
   if pos < 0 then err EINVAL "negative seek";
-  (fd_state t fd).pos <- pos
+  with_fds t (fun () -> (fd_state t fd).pos <- pos)
 
-let tell t fd = (fd_state t fd).pos
+let tell t fd = with_fds t (fun () -> (fd_state t fd).pos)
 
 (* --- conveniences ------------------------------------------------------------------- *)
 

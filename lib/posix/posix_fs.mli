@@ -19,7 +19,19 @@
       touches them.
 
     Errors are reported with {!exception:Error} carrying a POSIX-style
-    errno. *)
+    errno.
+
+    Concurrency: the veneer inherits the stack's single-writer /
+    multi-reader discipline — every {!Hfad.Fs} call underneath takes the
+    appropriate side of the stack-wide {!Hfad_util.Rwlock}, so
+    {!resolve}, {!readdir}, {!stat} and descriptor reads run in parallel
+    across domains with {e zero} exclusive-side contention (contrast the
+    hierarchical baseline's shared-ancestor locks, experiment C2). The
+    descriptor table and cursors are guarded by a private mutex. A
+    multi-step operation ({!rename}, {!mkdir_p}, [create]-on-open) is a
+    sequence of individually-atomic Fs calls, not one transaction —
+    racing writers to the {e same} paths can interleave, as they can in
+    POSIX itself. *)
 
 type t
 

@@ -1,0 +1,194 @@
+module Counter = Hfad_metrics.Counter
+module Registry = Hfad_metrics.Registry
+
+exception Would_deadlock
+
+(* Aggregated across every lock in the process, so experiments can diff
+   lock footprints through the ordinary registry machinery. *)
+let g_shared_acq = Registry.counter Registry.global "rwlock.shared_acquisitions"
+let g_shared_waits = Registry.counter Registry.global "rwlock.shared_waits"
+
+let g_exclusive_acq =
+  Registry.counter Registry.global "rwlock.exclusive_acquisitions"
+
+let g_exclusive_waits =
+  Registry.counter Registry.global "rwlock.exclusive_waits"
+
+type t = {
+  name : string;
+  mutex : Mutex.t;
+  cond : Condition.t;
+  readers : (int, int) Hashtbl.t;
+      (* thread id -> nesting depth of shared holders *)
+  mutable writer : int option;  (* thread id of the exclusive holder *)
+  mutable writer_depth : int;
+  mutable writers_waiting : int;
+  (* Per-instance counters; atomic so [stats] needs no lock. *)
+  shared_acq : Counter.t;
+  shared_waits : Counter.t;
+  exclusive_acq : Counter.t;
+  exclusive_waits : Counter.t;
+}
+
+type stats = {
+  shared_acquisitions : int;
+  shared_waits : int;
+  exclusive_acquisitions : int;
+  exclusive_waits : int;
+}
+
+let create ?(name = "rwlock") () =
+  {
+    name;
+    mutex = Mutex.create ();
+    cond = Condition.create ();
+    readers = Hashtbl.create 8;
+    writer = None;
+    writer_depth = 0;
+    writers_waiting = 0;
+    shared_acq = Counter.make (name ^ ".shared_acquisitions");
+    shared_waits = Counter.make (name ^ ".shared_waits");
+    exclusive_acq = Counter.make (name ^ ".exclusive_acquisitions");
+    exclusive_waits = Counter.make (name ^ ".exclusive_waits");
+  }
+
+let name t = t.name
+
+(* Thread ids are unique process-wide in OCaml 5 (domains included: each
+   domain's initial thread has its own id), so one int identifies the
+   holder across both systhreads and domains. *)
+let self () = Thread.id (Thread.self ())
+
+let reader_depth t tid =
+  match Hashtbl.find_opt t.readers tid with Some d -> d | None -> 0
+
+let holds_exclusive t =
+  let tid = self () in
+  Mutex.lock t.mutex;
+  let held = t.writer = Some tid in
+  Mutex.unlock t.mutex;
+  held
+
+(* --- shared side ------------------------------------------------------- *)
+
+let acquire_shared t tid =
+  Counter.incr t.shared_acq;
+  Counter.incr g_shared_acq;
+  Mutex.lock t.mutex;
+  if t.writer = Some tid then begin
+    (* Nested inside our own exclusive section: admitted as-is; release
+       recognises this case the same way. *)
+    Mutex.unlock t.mutex
+  end
+  else begin
+    let depth = reader_depth t tid in
+    if depth > 0 then
+      (* Nested shared re-acquisition: never defers to queued writers,
+         otherwise the holder would deadlock against itself. *)
+      Hashtbl.replace t.readers tid (depth + 1)
+    else begin
+      (* First acquisition: defer to active and queued writers. *)
+      if t.writer <> None || t.writers_waiting > 0 then begin
+        Counter.incr t.shared_waits;
+        Counter.incr g_shared_waits;
+        while t.writer <> None || t.writers_waiting > 0 do
+          Condition.wait t.cond t.mutex
+        done
+      end;
+      Hashtbl.replace t.readers tid 1
+    end;
+    Mutex.unlock t.mutex
+  end
+
+let release_shared t tid =
+  Mutex.lock t.mutex;
+  if t.writer = Some tid then Mutex.unlock t.mutex
+  else begin
+    (match reader_depth t tid with
+    | 0 -> ()  (* unbalanced release; with_shared never produces this *)
+    | 1 ->
+        Hashtbl.remove t.readers tid;
+        if Hashtbl.length t.readers = 0 then Condition.broadcast t.cond
+    | d -> Hashtbl.replace t.readers tid (d - 1));
+    Mutex.unlock t.mutex
+  end
+
+let with_shared t f =
+  let tid = self () in
+  acquire_shared t tid;
+  match f () with
+  | result ->
+      release_shared t tid;
+      result
+  | exception e ->
+      release_shared t tid;
+      raise e
+
+(* --- exclusive side ----------------------------------------------------- *)
+
+let acquire_exclusive t tid =
+  Counter.incr t.exclusive_acq;
+  Counter.incr g_exclusive_acq;
+  Mutex.lock t.mutex;
+  if t.writer = Some tid then begin
+    t.writer_depth <- t.writer_depth + 1;
+    Mutex.unlock t.mutex
+  end
+  else if reader_depth t tid > 0 then begin
+    (* Upgrade: we are one of the readers blocking ourselves. *)
+    Mutex.unlock t.mutex;
+    raise Would_deadlock
+  end
+  else begin
+    if t.writer <> None || Hashtbl.length t.readers > 0 then begin
+      Counter.incr t.exclusive_waits;
+      Counter.incr g_exclusive_waits
+    end;
+    t.writers_waiting <- t.writers_waiting + 1;
+    while t.writer <> None || Hashtbl.length t.readers > 0 do
+      Condition.wait t.cond t.mutex
+    done;
+    t.writers_waiting <- t.writers_waiting - 1;
+    t.writer <- Some tid;
+    t.writer_depth <- 1;
+    Mutex.unlock t.mutex
+  end
+
+let release_exclusive t =
+  Mutex.lock t.mutex;
+  t.writer_depth <- t.writer_depth - 1;
+  if t.writer_depth = 0 then begin
+    t.writer <- None;
+    Condition.broadcast t.cond
+  end;
+  Mutex.unlock t.mutex
+
+let with_exclusive t f =
+  acquire_exclusive t (self ());
+  match f () with
+  | result ->
+      release_exclusive t;
+      result
+  | exception e ->
+      release_exclusive t;
+      raise e
+
+(* --- accounting ---------------------------------------------------------- *)
+
+let stats t =
+  {
+    shared_acquisitions = Counter.get t.shared_acq;
+    shared_waits = Counter.get t.shared_waits;
+    exclusive_acquisitions = Counter.get t.exclusive_acq;
+    exclusive_waits = Counter.get t.exclusive_waits;
+  }
+
+let reset_stats t =
+  Counter.reset t.shared_acq;
+  Counter.reset t.shared_waits;
+  Counter.reset t.exclusive_acq;
+  Counter.reset t.exclusive_waits
+
+let pp_stats fmt (s : stats) =
+  Format.fprintf fmt "shared=%d/%d exclusive=%d/%d" s.shared_acquisitions
+    s.shared_waits s.exclusive_acquisitions s.exclusive_waits

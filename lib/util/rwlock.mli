@@ -1,0 +1,84 @@
+(** Shared/exclusive (readers–writer) lock with contention accounting.
+
+    The concurrency discipline of the whole hFAD read path rests on this
+    primitive: every layer between the block device and the native API
+    ({!Hfad_btree.Btree}, {!Hfad_osd.Osd}, {!Hfad_index.Index_store},
+    {!Hfad.Fs}) takes the {e shared} side for lookups, queries, searches
+    and reads, and the {e exclusive} side for any mutation. §2.3's claim —
+    that hFAD's flat resolution needs no synchronization through shared
+    ancestors — then becomes measurable: under pure-reader load the
+    exclusive side is never contended, and experiment C2 reads the
+    counters below to prove it.
+
+    Properties:
+
+    - {b Reentrant per thread.} A thread (systhread or domain; ownership
+      is keyed on [Thread.id], unique process-wide in OCaml 5) that holds
+      the exclusive side may re-acquire either side without deadlocking;
+      a thread that holds the shared side may re-acquire the shared side.
+      This is what lets the layers stack their acquisitions: [Fs.read]
+      takes shared, the OSD underneath takes shared again, and every
+      B-tree descent below that takes shared a third time — all counted,
+      none blocking.
+    - {b Writer preference with safe nesting.} A {e first} shared
+      acquisition defers to queued writers (no writer starvation); a
+      {e nested} shared acquisition is always admitted (no self-deadlock
+      while a writer queues behind the holder).
+    - {b No upgrades.} Acquiring the exclusive side while holding only
+      the shared side raises {!Would_deadlock} instead of deadlocking;
+      the layering discipline never upgrades (read paths do not mutate).
+
+    Counters (exact, atomic, readable without the lock):
+
+    - shared/exclusive {e acquisitions} — every entry, nested included;
+    - shared/exclusive {e waits} — acquisitions that found the lock
+      unavailable on first inspection and had to block: genuine
+      cross-thread contention, the number C2 compares against the
+      hierarchical baseline's shared-ancestor lock waits.
+
+    Every acquisition and wait is also mirrored into the global metrics
+    registry (["rwlock.shared_acquisitions"], ["rwlock.shared_waits"],
+    ["rwlock.exclusive_acquisitions"], ["rwlock.exclusive_waits"]) so
+    experiment harnesses can diff lock footprints exactly like any other
+    counter. *)
+
+type t
+
+exception Would_deadlock
+(** Raised on an attempted shared → exclusive upgrade by one thread.
+    Indicates a layering bug: mutation entered through a read path. *)
+
+val create : ?name:string -> unit -> t
+(** A fresh, unheld lock. [name] is informational (pretty-printing). *)
+
+val name : t -> string
+
+(** {1 Acquisition} *)
+
+val with_shared : t -> (unit -> 'a) -> 'a
+(** [with_shared t f] runs [f] holding the shared side: any number of
+    threads may hold it simultaneously; excluded only by the exclusive
+    side. Reentrant under itself and under {!with_exclusive}. *)
+
+val with_exclusive : t -> (unit -> 'a) -> 'a
+(** [with_exclusive t f] runs [f] holding the exclusive side: sole
+    access. Reentrant under itself. @raise Would_deadlock if the calling
+    thread holds only the shared side. *)
+
+val holds_exclusive : t -> bool
+(** Whether the {e calling thread} currently holds the exclusive side. *)
+
+(** {1 Contention accounting} *)
+
+type stats = {
+  shared_acquisitions : int;
+  shared_waits : int;     (** shared acquisitions that blocked *)
+  exclusive_acquisitions : int;
+  exclusive_waits : int;  (** exclusive acquisitions that blocked *)
+}
+
+val stats : t -> stats
+val reset_stats : t -> unit
+
+val pp_stats : Format.formatter -> stats -> unit
+(** Prints ["shared=a/w exclusive=a/w"] (acquisitions/waits). *)

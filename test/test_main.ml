@@ -18,5 +18,6 @@ let () =
       ("workload", Test_workload.suite);
       ("failures", Test_failures.suite);
       ("journal", Test_journal.suite);
+      ("concurrency", Test_concurrency.suite);
       ("integration", Test_integration.suite);
     ]

@@ -127,6 +127,74 @@ let test_exception_in_callback_unpins () =
   Pager.with_page p 2 ignore;
   Pager.with_page p 3 ignore
 
+(* --- concurrency ------------------------------------------------------- *)
+
+let test_concurrent_with_page_stats () =
+  (* Four domains each make 500 pinned accesses. With atomic stats no
+     update may be lost: reads is exact and hits/misses partition it. *)
+  let _, p = mk ~cache_pages:8 ~blocks:32 () in
+  let domains = 4 and per_domain = 500 in
+  let spawned =
+    List.init domains (fun d ->
+        Domain.spawn (fun () ->
+            for i = 1 to per_domain do
+              Pager.with_page p ((d + i) mod 32) ignore
+            done))
+  in
+  List.iter Domain.join spawned;
+  let s = Pager.stats p in
+  check Alcotest.int "reads exact" (domains * per_domain) s.Pager.reads;
+  check Alcotest.int "hits + misses = reads" s.Pager.reads
+    (s.Pager.hits + s.Pager.misses);
+  check Alcotest.bool "frame-table locking counted" true
+    (s.Pager.lock_acquisitions >= s.Pager.reads)
+
+let test_concurrent_mut_distinct_pages () =
+  (* Each domain dirties its own page; after flush the device must hold
+     every domain's bytes — lost pins or frame races would corrupt one. *)
+  let dev, p = mk ~cache_pages:4 ~blocks:32 () in
+  let domains = 4 in
+  let spawned =
+    List.init domains (fun d ->
+        Domain.spawn (fun () ->
+            for _ = 1 to 200 do
+              Pager.with_page_mut p d (fun page ->
+                  Bytes.fill page 0 64 (Char.chr (Char.code 'a' + d)))
+            done))
+  in
+  List.iter Domain.join spawned;
+  Pager.flush p;
+  for d = 0 to domains - 1 do
+    check Alcotest.bytes
+      (Printf.sprintf "page %d content" d)
+      (Bytes.make 64 (Char.chr (Char.code 'a' + d)))
+      (Device.read_block dev d)
+  done
+
+let test_pin_discipline_survives_concurrency () =
+  (* After a concurrent storm every pin must be balanced: the cache can
+     still be filled to capacity, and one page beyond still raises
+     Cache_full. *)
+  let _, p = mk ~cache_pages:2 ~blocks:32 () in
+  let spawned =
+    List.init 4 (fun d ->
+        Domain.spawn (fun () ->
+            for i = 1 to 300 do
+              Pager.with_page p ((d * 7 + i) mod 32) ignore
+            done))
+  in
+  List.iter Domain.join spawned;
+  (* No leaked pins: both frames are free to pin... *)
+  Pager.with_page p 0 (fun _ ->
+      Pager.with_page p 1 (fun _ ->
+          (* ...and a third simultaneous pin still overflows. *)
+          match Pager.with_page p 2 ignore with
+          | () -> Alcotest.fail "expected Cache_full"
+          | exception Pager.Cache_full -> ()));
+  (* And the failure left no pin behind either. *)
+  Pager.with_page p 2 ignore;
+  Pager.with_page p 3 ignore
+
 let suite =
   [
     Alcotest.test_case "geometry" `Quick test_geometry;
@@ -145,4 +213,10 @@ let suite =
       test_mutation_visible_after_eviction_cycle;
     Alcotest.test_case "stats reset" `Quick test_stats_reset;
     Alcotest.test_case "exception unpins" `Quick test_exception_in_callback_unpins;
+    Alcotest.test_case "concurrent with_page stats" `Quick
+      test_concurrent_with_page_stats;
+    Alcotest.test_case "concurrent mutation distinct pages" `Quick
+      test_concurrent_mut_distinct_pages;
+    Alcotest.test_case "pin discipline survives concurrency" `Quick
+      test_pin_discipline_survives_concurrency;
   ]

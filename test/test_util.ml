@@ -258,6 +258,115 @@ let test_strx_printable () =
   check Alcotest.bool "control" false (Strx.is_printable_ascii "a\nb");
   check Alcotest.bool "high byte" false (Strx.is_printable_ascii "caf\xc3\xa9")
 
+(* --- Rwlock ----------------------------------------------------------- *)
+
+let test_rwlock_basic () =
+  let l = Rwlock.create ~name:"t" () in
+  check Alcotest.string "name" "t" (Rwlock.name l);
+  check Alcotest.int "shared result" 7 (Rwlock.with_shared l (fun () -> 7));
+  check Alcotest.int "exclusive result" 9 (Rwlock.with_exclusive l (fun () -> 9));
+  check Alcotest.bool "not held outside" false (Rwlock.holds_exclusive l);
+  Rwlock.with_exclusive l (fun () ->
+      check Alcotest.bool "held inside" true (Rwlock.holds_exclusive l))
+
+let test_rwlock_reentrant () =
+  let l = Rwlock.create () in
+  (* Nested shared, nested exclusive, and shared inside exclusive must
+     all be admitted without blocking — the layered stack relies on it. *)
+  Rwlock.with_shared l (fun () -> Rwlock.with_shared l (fun () -> ()));
+  Rwlock.with_exclusive l (fun () ->
+      Rwlock.with_exclusive l (fun () ->
+          Rwlock.with_shared l (fun () -> ())));
+  let s = Rwlock.stats l in
+  check Alcotest.int "shared acquisitions" 3 s.Rwlock.shared_acquisitions;
+  check Alcotest.int "exclusive acquisitions" 2 s.Rwlock.exclusive_acquisitions;
+  check Alcotest.int "no waits" 0
+    (s.Rwlock.shared_waits + s.Rwlock.exclusive_waits);
+  (* Fully released afterwards: an upgrade attempt from a fresh state
+     must see no stale reader entry. *)
+  Rwlock.with_exclusive l (fun () -> ())
+
+let test_rwlock_upgrade_raises () =
+  let l = Rwlock.create () in
+  (try
+     Rwlock.with_shared l (fun () ->
+         Rwlock.with_exclusive l (fun () -> ());
+         Alcotest.fail "upgrade admitted")
+   with Rwlock.Would_deadlock -> ());
+  (* The failed upgrade must leave the lock usable. *)
+  Rwlock.with_exclusive l (fun () -> ());
+  Rwlock.with_shared l (fun () -> ())
+
+let test_rwlock_exception_releases () =
+  let l = Rwlock.create () in
+  (try Rwlock.with_exclusive l (fun () -> failwith "boom")
+   with Failure _ -> ());
+  (try Rwlock.with_shared l (fun () -> failwith "boom")
+   with Failure _ -> ());
+  (* If either hold leaked, this would block forever. *)
+  Rwlock.with_exclusive l (fun () -> ())
+
+let test_rwlock_exclusive_mutual_exclusion () =
+  let l = Rwlock.create () in
+  let counter = ref 0 in
+  let per_domain = 1_000 and domains = 4 in
+  let spawned =
+    List.init domains (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to per_domain do
+              (* Plain ref: any overlap between exclusive sections would
+                 lose increments. *)
+              Rwlock.with_exclusive l (fun () -> incr counter)
+            done))
+  in
+  List.iter Domain.join spawned;
+  check Alcotest.int "no lost updates" (domains * per_domain) !counter;
+  let s = Rwlock.stats l in
+  check Alcotest.int "every acquisition counted" (domains * per_domain)
+    s.Rwlock.exclusive_acquisitions
+
+let test_rwlock_shared_concurrency_and_waits () =
+  let l = Rwlock.create () in
+  let holding = Atomic.make false in
+  let release = Atomic.make false in
+  let writer =
+    Domain.spawn (fun () ->
+        Rwlock.with_exclusive l (fun () ->
+            Atomic.set holding true;
+            while not (Atomic.get release) do
+              Domain.cpu_relax ()
+            done))
+  in
+  while not (Atomic.get holding) do
+    Domain.cpu_relax ()
+  done;
+  let releaser =
+    Domain.spawn (fun () ->
+        (* Let the main thread block on the shared side first. *)
+        Unix.sleepf 0.05;
+        Atomic.set release true)
+  in
+  (* The writer definitely holds the lock here, so this first-time shared
+     acquisition must be recorded as a wait. *)
+  Rwlock.with_shared l (fun () -> ());
+  Domain.join writer;
+  Domain.join releaser;
+  let s = Rwlock.stats l in
+  check Alcotest.bool "shared wait recorded" true (s.Rwlock.shared_waits >= 1);
+  (* And many readers at once, with no writer: no further waits. *)
+  Rwlock.reset_stats l;
+  let readers =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to 500 do
+              Rwlock.with_shared l (fun () -> ())
+            done))
+  in
+  List.iter Domain.join readers;
+  let s = Rwlock.stats l in
+  check Alcotest.int "reader acquisitions" 2_000 s.Rwlock.shared_acquisitions;
+  check Alcotest.int "readers never wait for readers" 0 s.Rwlock.shared_waits
+
 let suite =
   [
     Alcotest.test_case "rng determinism" `Quick test_rng_determinism;
@@ -291,4 +400,13 @@ let suite =
     test_strx_next_prefix_orders;
     Alcotest.test_case "strx split_on_char_nonempty" `Quick test_strx_split;
     Alcotest.test_case "strx is_printable_ascii" `Quick test_strx_printable;
+    Alcotest.test_case "rwlock basic" `Quick test_rwlock_basic;
+    Alcotest.test_case "rwlock reentrant" `Quick test_rwlock_reentrant;
+    Alcotest.test_case "rwlock upgrade raises" `Quick test_rwlock_upgrade_raises;
+    Alcotest.test_case "rwlock exception releases" `Quick
+      test_rwlock_exception_releases;
+    Alcotest.test_case "rwlock exclusive mutual exclusion" `Quick
+      test_rwlock_exclusive_mutual_exclusion;
+    Alcotest.test_case "rwlock shared concurrency + waits" `Quick
+      test_rwlock_shared_concurrency_and_waits;
   ]
