@@ -7,7 +7,7 @@
 
    Pass experiment ids to run a subset:
      dune exec bench/main.exe -- C1 C3
-   Ids: F1 T1 C1 C2 C3 C4 C5 C6 micro
+   Ids: F1 T1 C1 C2 C3 C4 C5 C6 M1 A1 J1 micro
 
    [--json] additionally writes BENCH_<id>.json files (machine-readable
    results) for the experiments that support it — currently C2. *)
@@ -24,6 +24,7 @@ let experiments =
     ("C6", Exp_c6.run);
     ("M1", Exp_m1.run);
     ("A1", Exp_a1.run);
+    ("J1", Exp_j1.run);
     ("micro", Micro.run);
   ]
 

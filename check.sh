@@ -7,4 +7,11 @@ cd "$(dirname "$0")"
 dune clean
 dune build
 dune runtest
+
+# Crash-consistency gate: the exhaustive crash-point sweep (every device
+# write of a journaled checkpoint, dropped and torn variants, plus
+# crashes during recovery itself) must pass on its own, loudly, so a
+# regression here is never lost in the full-suite noise.
+dune exec test/test_main.exe -- test failures -e
+
 echo "check.sh: OK"

@@ -70,4 +70,29 @@ let () =
   Fs.verify fs2;
   say "  full structural verify: OK";
   say "";
-  say "all three changes landed atomically despite the torn home writes."
+  say "all three changes landed atomically despite the torn home writes.";
+
+  (* Act 2: this time the power dies on the very FIRST journal write of
+     the next checkpoint - and the write tears, persisting only half the
+     block. Nothing was sealed, so recovery must discard the torn body
+     and keep the previous checkpoint byte-for-byte. *)
+  P.write_file posix2 "/ledger/account" "balance: 9999 (uncommitted)";
+  let dev2 = Fs.device fs2 in
+  Device.arm_crash dev2 ~after_writes:0
+    ~torn_bytes:(Device.block_size dev2 / 2) ();
+  (try
+     Fs.flush fs2;
+     say "flush unexpectedly succeeded"
+   with Device.Io_error msg ->
+     say "";
+     say "CRASH on the first journal write: %s" msg);
+  Device.disarm_crash dev2;
+
+  let fs3 = Fs.open_existing ~index_mode:Fs.Eager (snapshot dev2) in
+  let posix3 = P.mount fs3 in
+  say "after reopen (unsealed journal body discarded):";
+  say "  /ledger/account = %S" (P.read_file posix3 "/ledger/account");
+  Fs.verify fs3;
+  say "  full structural verify: OK";
+  say "";
+  say "the uncommitted balance vanished atomically: checkpoint 2 stands."

@@ -3,6 +3,15 @@ exception Io_error of string
 
 type op = Read | Write
 
+(* Deterministic crash-point state: [writes_left] full writes remain
+   before the device dies; the dying write persists only [torn_bytes]
+   bytes (None = nothing) and every later write or barrier raises. *)
+type crash = {
+  mutable writes_left : int;
+  torn_bytes : int option;
+  mutable dead : bool;
+}
+
 type stats = {
   reads : int;
   writes : int;
@@ -21,6 +30,7 @@ type t = {
   store : Bytes.t option array;  (* lazily materialized blocks *)
   mutex : Mutex.t;
   mutable fault : (op -> int -> bool) option;
+  mutable crash : crash option;
   mutable last_block : int option;
   mutable reads : int;
   mutable writes : int;
@@ -42,6 +52,7 @@ let create ?(model = Latency.zero) ?(checksums = false) ~block_size ~blocks () =
     store = Array.make blocks None;
     mutex = Mutex.create ();
     fault = None;
+    crash = None;
     last_block = None;
     reads = 0;
     writes = 0;
@@ -75,6 +86,38 @@ let check_fault t op idx =
       let kind = match op with Read -> "read" | Write -> "write" in
       raise (Io_error (Printf.sprintf "injected %s fault at block %d" kind idx))
   | Some _ | None -> ()
+
+(* Consulted (under the lock) before a write reaches the store. Raises
+   once the crash point is passed; the dying write itself persists a
+   torn prefix when configured, then raises. *)
+let check_crash_write t idx data =
+  match t.crash with
+  | None -> ()
+  | Some c when c.dead ->
+      raise (Io_error (Printf.sprintf "device crashed: write to block %d refused" idx))
+  | Some c when c.writes_left > 0 -> c.writes_left <- c.writes_left - 1
+  | Some c ->
+      c.dead <- true;
+      (match c.torn_bytes with
+      | None -> ()
+      | Some k ->
+          (* Persist only the first [k] bytes of the final write, leaving
+             the tail of the block as it was — a torn write. The CRC
+             table is deliberately not updated, so a checksummed device
+             detects the tear on the next read. *)
+          let merged =
+            match t.store.(idx) with
+            | Some old -> Bytes.copy old
+            | None -> Bytes.make t.block_size '\000'
+          in
+          Bytes.blit data 0 merged 0 k;
+          t.store.(idx) <- Some merged);
+      raise
+        (Io_error
+           (Printf.sprintf "injected crash at block %d (%s)" idx
+              (match c.torn_bytes with
+              | None -> "write dropped"
+              | Some k -> Printf.sprintf "torn after %d bytes" k)))
 
 let charge t op idx =
   let cost =
@@ -123,6 +166,7 @@ let write_block t idx data =
     invalid_arg "Device.write_block: data size mismatch";
   with_lock t (fun () ->
       check_range t idx;
+      check_crash_write t idx data;
       check_fault t Write idx;
       charge t Write idx;
       if t.checksums then
@@ -130,7 +174,13 @@ let write_block t idx data =
           (Hfad_util.Crc32.bytes data ~pos:0 ~len:t.block_size);
       t.store.(idx) <- Some (Bytes.copy data))
 
-let flush t = with_lock t (fun () -> t.flushes <- t.flushes + 1)
+let flush t =
+  with_lock t (fun () ->
+      (match t.crash with
+      | Some c when c.dead ->
+          raise (Io_error "device crashed: barrier refused")
+      | Some _ | None -> ());
+      t.flushes <- t.flushes + 1)
 
 let image_magic = "hFADIMG1"
 
@@ -210,6 +260,21 @@ let corrupt_block t idx ~byte =
 
 let set_fault t f = with_lock t (fun () -> t.fault <- Some f)
 let clear_fault t = with_lock t (fun () -> t.fault <- None)
+
+let arm_crash t ~after_writes ?torn_bytes () =
+  if after_writes < 0 then invalid_arg "Device.arm_crash: after_writes";
+  (match torn_bytes with
+  | Some k when k < 0 || k > t.block_size ->
+      invalid_arg "Device.arm_crash: torn_bytes out of range"
+  | Some _ | None -> ());
+  with_lock t (fun () ->
+      t.crash <- Some { writes_left = after_writes; torn_bytes; dead = false })
+
+let disarm_crash t = with_lock t (fun () -> t.crash <- None)
+
+let crashed t =
+  with_lock t (fun () ->
+      match t.crash with Some c -> c.dead | None -> false)
 
 let stats t =
   with_lock t (fun () ->

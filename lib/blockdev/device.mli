@@ -71,6 +71,31 @@ type op = Read | Write
 val set_fault : t -> (op -> int -> bool) -> unit
 val clear_fault : t -> unit
 
+(** {1 Crash-point injection}
+
+    Deterministic power-cut simulation for crash-consistency sweeps:
+    [arm_crash dev ~after_writes:n ()] lets the next [n] block writes
+    complete normally, then kills the device on write [n] (0-based). The
+    dying write persists nothing by default; with [torn_bytes:k] it
+    persists exactly the first [k] bytes of the block (the tail keeps
+    its previous content) — a torn write. The dying write and every
+    subsequent write or {!flush} raise {!Io_error}; reads keep serving
+    the last-synced state, so the surviving image can be inspected or
+    {!save}d and re-attached. A torn write does not refresh the
+    checksummed device's stored CRC, so the tear stays detectable. *)
+
+val arm_crash : t -> after_writes:int -> ?torn_bytes:int -> unit -> unit
+(** @raise Invalid_argument if [after_writes < 0] or [torn_bytes] is
+    outside [\[0, block_size\]]. Re-arming replaces the previous crash
+    point. *)
+
+val disarm_crash : t -> unit
+(** Remove the crash point; a dead device comes back to life (the sweep
+    harness uses image snapshots instead, but tests may revive). *)
+
+val crashed : t -> bool
+(** Has an armed crash point fired? *)
+
 val corrupt_block : t -> int -> byte:int -> unit
 (** [corrupt_block dev idx ~byte] flips one bit of the stored block
     behind the device's back (no checksum update, no statistics) —

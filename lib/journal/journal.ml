@@ -4,7 +4,29 @@ module Crc32 = Hfad_util.Crc32
 
 exception Journal_full of { needed_blocks : int; have_blocks : int }
 
-let magic = "hFADJRN1"
+type reason =
+  | Bad_magic
+  | Bad_version of int
+  | Bad_state of int
+  | Bad_geometry of string
+  | Record_fails_crc of { record : int }
+
+let pp_reason fmt = function
+  | Bad_magic -> Format.fprintf fmt "bad magic (journal absent or overwritten)"
+  | Bad_version v -> Format.fprintf fmt "unsupported journal version %d" v
+  | Bad_state s -> Format.fprintf fmt "impossible header state %d" s
+  | Bad_geometry msg -> Format.fprintf fmt "bad record geometry: %s" msg
+  | Record_fails_crc { record } ->
+      Format.fprintf fmt "sealed record %d fails CRC" record
+
+type recovery =
+  | Clean
+  | Committed of (int * Bytes.t) list
+  | Torn_seal
+  | Corrupt of reason
+
+let magic = "hFADJRN2"
+let version = 2
 let state_clean = 0
 let state_committed = 1
 
@@ -17,135 +39,251 @@ type t = {
 }
 
 (* --- header ----------------------------------------------------------- *)
-(* magic(8) | seq i64 | state u8 | payload_len u32 | crc u32 *)
+(* magic(8) | version u8 | seq i64 | state u8 | record_count u32 |
+   header_crc u32 — the CRC covers every preceding byte, so a torn
+   header write is detected by the header itself, not just the payload. *)
 
-let write_header t ~state ~payload_len ~crc =
+let header_crc_off = 22
+
+let write_header t ~state ~record_count =
   let page = Bytes.make t.block_size '\000' in
   Bytes.blit_string magic 0 page 0 8;
-  Codec.put_i64 page 8 t.seq;
-  Codec.put_u8 page 16 state;
-  Codec.put_u32 page 17 payload_len;
-  Bytes.set_int32_be page 21 crc;
+  Codec.put_u8 page 8 version;
+  Codec.put_i64 page 9 t.seq;
+  Codec.put_u8 page 17 state;
+  Codec.put_u32 page 18 record_count;
+  let crc = Crc32.bytes page ~pos:0 ~len:header_crc_off in
+  Bytes.set_int32_be page header_crc_off crc;
   Device.write_block t.dev t.first_block page;
   Device.flush t.dev
 
+type header =
+  | Valid of { seq : int64; state : int; record_count : int }
+  | Torn  (* magic intact, self-CRC mismatch: a seal write tore *)
+  | Invalid of reason
+
 let read_header t =
   let page = Device.read_block t.dev t.first_block in
-  if Bytes.sub_string page 0 8 <> magic then
-    failwith "Journal.attach: bad magic";
-  let seq = Codec.get_i64 page 8 in
-  let state = Codec.get_u8 page 16 in
-  let payload_len = Codec.get_u32 page 17 in
-  let crc = Bytes.get_int32_be page 21 in
-  (seq, state, payload_len, crc)
+  if Bytes.sub_string page 0 8 <> magic then Invalid Bad_magic
+  else
+    let v = Codec.get_u8 page 8 in
+    if v <> version then Invalid (Bad_version v)
+    else if
+      Crc32.bytes page ~pos:0 ~len:header_crc_off
+      <> Bytes.get_int32_be page header_crc_off
+    then Torn
+    else
+      Valid
+        {
+          seq = Codec.get_i64 page 9;
+          state = Codec.get_u8 page 17;
+          record_count = Codec.get_u32 page 18;
+        }
 
 (* --- construction -------------------------------------------------------- *)
 
 let mk dev ~first_block ~blocks =
   if blocks < 2 then invalid_arg "Journal: region too small";
-  {
-    dev;
-    first_block;
-    blocks;
-    block_size = Device.block_size dev;
-    seq = 0L;
-  }
+  let block_size = Device.block_size dev in
+  if block_size < 32 then invalid_arg "Journal: block size too small";
+  { dev; first_block; blocks; block_size; seq = 0L }
 
 let format dev ~first_block ~blocks =
   let t = mk dev ~first_block ~blocks in
-  write_header t ~state:state_clean ~payload_len:0 ~crc:0l;
+  write_header t ~state:state_clean ~record_count:0;
   t
 
 let attach dev ~first_block ~blocks =
   let t = mk dev ~first_block ~blocks in
-  let seq, _, _, _ = read_header t in
-  t.seq <- seq;
-  t
+  match read_header t with
+  | Valid { seq; _ } ->
+      t.seq <- seq;
+      Ok t
+  | Torn ->
+      (* The seal tore mid-write; the sequence field is untrustworthy.
+         Attach anyway — recover reports Torn_seal and mark_clean heals
+         the header (the diagnostic sequence restarts at 0). *)
+      Ok t
+  | Invalid reason -> Error reason
 
-let payload_capacity t = (t.blocks - 1) * t.block_size
+(* --- capacity --------------------------------------------------------------- *)
+(* A batch is split into records of at most [per_record_pages] pages.
+   Each record is one descriptor block (page count, payload CRC, home
+   page numbers, self-CRC) followed by the page images, so n pages cost
+   n + ceil(n / per_record_pages) blocks of the region's [blocks - 1]
+   non-header blocks. *)
+
+let per_record_pages t = (t.block_size - 12) / 4
+
+let records_for t ~pages =
+  if pages <= 0 then 0
+  else
+    let cap = per_record_pages t in
+    (pages + cap - 1) / cap
+
+let blocks_for t ~pages = pages + records_for t ~pages
+let would_fit t ~pages = pages >= 0 && blocks_for t ~pages <= t.blocks - 1
 
 let capacity_pages t =
-  (* 4 (count) + per page (4 + block_size) *)
-  (payload_capacity t - 4) / (4 + t.block_size)
+  let avail = t.blocks - 1 in
+  let cap = per_record_pages t in
+  (* n + ceil(n/cap) <= avail is maximized near k = ceil(avail/(cap+1))
+     descriptor blocks; probe the neighbourhood and verify. *)
+  let k0 = (avail + cap) / (cap + 1) in
+  let candidate k = if k < 1 then 0 else max 0 (min (avail - k) (k * cap)) in
+  let n = ref (max (candidate (k0 - 1)) (max (candidate k0) (candidate (k0 + 1)))) in
+  while !n > 0 && not (would_fit t ~pages:!n) do
+    decr n
+  done;
+  !n
 
-(* --- raw payload I/O across the record blocks ------------------------------ *)
+(* --- record codec ------------------------------------------------------------ *)
 
-let write_payload t payload =
-  let len = Bytes.length payload in
-  let rec loop off block =
-    if off < len then begin
-      let chunk = min t.block_size (len - off) in
-      let page = Bytes.make t.block_size '\000' in
-      Bytes.blit payload off page 0 chunk;
-      Device.write_block t.dev block page;
-      loop (off + chunk) (block + 1)
-    end
-  in
-  loop 0 (t.first_block + 1)
-
-let read_payload t len =
-  let payload = Bytes.create len in
-  let rec loop off block =
-    if off < len then begin
-      let chunk = min t.block_size (len - off) in
-      let page = Device.read_block t.dev block in
-      Bytes.blit page 0 payload off chunk;
-      loop (off + chunk) (block + 1)
-    end
-  in
-  loop 0 (t.first_block + 1);
-  payload
-
-(* --- commit / recover -------------------------------------------------------- *)
-
-let encode_batch t pages =
-  let len = 4 + List.length pages * (4 + t.block_size) in
-  let payload = Bytes.create len in
-  Codec.put_u32 payload 0 (List.length pages);
+let encode_record t pages =
+  let count = List.length pages in
+  assert (count >= 1 && count <= per_record_pages t);
+  let payload = Bytes.create (count * t.block_size) in
   List.iteri
-    (fun i (home, data) ->
+    (fun i (_, data) ->
       if Bytes.length data <> t.block_size then
         invalid_arg "Journal.commit: page size mismatch";
-      let off = 4 + (i * (4 + t.block_size)) in
-      Codec.put_u32 payload off home;
-      Bytes.blit data 0 payload (off + 4) t.block_size)
+      Bytes.blit data 0 payload (i * t.block_size) t.block_size)
     pages;
-  payload
+  let payload_crc = Crc32.bytes payload ~pos:0 ~len:(Bytes.length payload) in
+  let desc = Bytes.make t.block_size '\000' in
+  Codec.put_u32 desc 0 count;
+  Bytes.set_int32_be desc 4 payload_crc;
+  List.iteri (fun i (home, _) -> Codec.put_u32 desc (8 + (4 * i)) home) pages;
+  let desc_crc = Crc32.bytes desc ~pos:0 ~len:(8 + (4 * count)) in
+  Bytes.set_int32_be desc (8 + (4 * count)) desc_crc;
+  desc :: List.map (fun (_, data) -> Bytes.copy data) pages
 
-let decode_batch t payload =
-  let count = Codec.get_u32 payload 0 in
-  List.init count (fun i ->
-      let off = 4 + (i * (4 + t.block_size)) in
-      let home = Codec.get_u32 payload off in
-      (home, Bytes.sub payload (off + 4) t.block_size))
+let rec split_batch cap = function
+  | [] -> []
+  | pages ->
+      let rec take n acc rest =
+        match (n, rest) with
+        | 0, _ | _, [] -> (List.rev acc, rest)
+        | n, x :: tl -> take (n - 1) (x :: acc) tl
+      in
+      let chunk, rest = take cap [] pages in
+      chunk :: split_batch cap rest
+
+let encode_batch t pages =
+  List.concat_map (encode_record t) (split_batch (per_record_pages t) pages)
+
+let decode_batch t ~records blocks =
+  let arr = Array.of_list blocks in
+  let total = Array.length arr in
+  let rec loop r idx acc =
+    if r >= records then Ok (List.rev acc)
+    else if idx >= total then Error (Bad_geometry "record chain past region")
+    else
+      let desc = arr.(idx) in
+      let count = Codec.get_u32 desc 0 in
+      if count < 1 || count > per_record_pages t then
+        Error
+          (Bad_geometry
+             (Printf.sprintf "record %d claims %d pages" r count))
+      else if
+        Crc32.bytes desc ~pos:0 ~len:(8 + (4 * count))
+        <> Bytes.get_int32_be desc (8 + (4 * count))
+      then Error (Record_fails_crc { record = r })
+      else if idx + 1 + count > total then
+        Error (Bad_geometry "record payload past region")
+      else begin
+        let payload = Bytes.create (count * t.block_size) in
+        for i = 0 to count - 1 do
+          Bytes.blit arr.(idx + 1 + i) 0 payload (i * t.block_size) t.block_size
+        done;
+        if
+          Crc32.bytes payload ~pos:0 ~len:(Bytes.length payload)
+          <> Bytes.get_int32_be desc 4
+        then Error (Record_fails_crc { record = r })
+        else
+          let pairs =
+            List.init count (fun i ->
+                ( Codec.get_u32 desc (8 + (4 * i)),
+                  Bytes.sub payload (i * t.block_size) t.block_size ))
+          in
+          loop (r + 1) (idx + 1 + count) (List.rev_append pairs acc)
+      end
+  in
+  loop 0 0 []
+
+(* --- commit / recover -------------------------------------------------------- *)
 
 let commit t pages =
   match pages with
   | [] -> ()
   | _ ->
-      let payload = encode_batch t pages in
-      let needed = 1 + ((Bytes.length payload + t.block_size - 1) / t.block_size) in
-      if needed > t.blocks then
-        raise (Journal_full { needed_blocks = needed; have_blocks = t.blocks });
-      (* Write the record body first, then seal it with the header: a
-         crash before the header write leaves state = clean. *)
-      write_payload t payload;
+      let n = List.length pages in
+      if not (would_fit t ~pages:n) then
+        raise
+          (Journal_full
+             { needed_blocks = 1 + blocks_for t ~pages:n; have_blocks = t.blocks });
+      (* Write the record bodies first and barrier them, then seal with
+         the header: a crash before the header write leaves the previous
+         (clean or sealed) header in force. *)
+      List.iteri
+        (fun i img -> Device.write_block t.dev (t.first_block + 1 + i) img)
+        (encode_batch t pages);
+      Device.flush t.dev;
       t.seq <- Int64.add t.seq 1L;
-      let crc = Crc32.bytes payload ~pos:0 ~len:(Bytes.length payload) in
-      write_header t ~state:state_committed ~payload_len:(Bytes.length payload)
-        ~crc
+      write_header t ~state:state_committed ~record_count:(records_for t ~pages:n)
 
-let mark_clean t = write_header t ~state:state_clean ~payload_len:0 ~crc:0l
+let mark_clean t = write_header t ~state:state_clean ~record_count:0
 
 let recover t =
-  let seq, state, payload_len, crc = read_header t in
-  t.seq <- seq;
-  if state <> state_committed then None
-  else begin
-    let payload = read_payload t payload_len in
-    if Crc32.bytes payload ~pos:0 ~len:payload_len <> crc then
-      failwith "Journal.recover: sealed record fails CRC";
-    Some (decode_batch t payload)
-  end
+  match read_header t with
+  | Invalid reason -> Corrupt reason
+  | Torn -> Torn_seal
+  | Valid { seq; state; record_count } ->
+      t.seq <- seq;
+      if state = state_clean then Clean
+      else if state <> state_committed then Corrupt (Bad_state state)
+      else begin
+        (* Walk the sealed records in sequence order, reading only the
+           blocks each descriptor claims. *)
+        let limit = t.first_block + t.blocks in
+        let rec loop r b acc =
+          if r >= record_count then Ok (List.rev acc)
+          else if b >= limit then Error (Bad_geometry "record chain past region")
+          else
+            let desc = Device.read_block t.dev b in
+            let count = Codec.get_u32 desc 0 in
+            if count < 1 || count > per_record_pages t then
+              Error
+                (Bad_geometry
+                   (Printf.sprintf "record %d claims %d pages" r count))
+            else if
+              Crc32.bytes desc ~pos:0 ~len:(8 + (4 * count))
+              <> Bytes.get_int32_be desc (8 + (4 * count))
+            then Error (Record_fails_crc { record = r })
+            else if b + count >= limit then
+              Error (Bad_geometry "record payload past region")
+            else begin
+              let payload = Bytes.create (count * t.block_size) in
+              for i = 0 to count - 1 do
+                let page = Device.read_block t.dev (b + 1 + i) in
+                Bytes.blit page 0 payload (i * t.block_size) t.block_size
+              done;
+              if
+                Crc32.bytes payload ~pos:0 ~len:(Bytes.length payload)
+                <> Bytes.get_int32_be desc 4
+              then Error (Record_fails_crc { record = r })
+              else
+                let pairs =
+                  List.init count (fun i ->
+                      ( Codec.get_u32 desc (8 + (4 * i)),
+                        Bytes.sub payload (i * t.block_size) t.block_size ))
+                in
+                loop (r + 1) (b + 1 + count) (List.rev_append pairs acc)
+            end
+        in
+        match loop 0 (t.first_block + 1) [] with
+        | Ok pages -> Committed pages
+        | Error reason -> Corrupt reason
+      end
 
 let sequence t = t.seq

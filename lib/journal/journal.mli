@@ -10,54 +10,115 @@
       (the pager runs in no-steal mode, see
       {!Hfad_pager.Pager.create});
     - a checkpoint first appends every dirty page to the journal region
-      and seals it with a CRC-covered commit record, then writes the
-      pages home, then marks the journal clean.
+      as one or more CRC-sealed records, barriers them, and only then
+      seals the whole group with a self-checksummed header; then the
+      pages go home and the journal is marked clean.
 
-    A crash therefore leaves the device in one of three states, all
-    recoverable: (1) journal clean → home locations are consistent as of
-    the previous checkpoint; (2) journal partially written, commit seal
-    absent or CRC bad → discard, home locations still consistent;
-    (3) journal sealed, home writes possibly torn → {!recover} replays
-    the journal, reproducing the checkpoint exactly (replay is
-    idempotent).
+    A crash therefore leaves the device in one of four states, all
+    recoverable without an exception: (1) journal clean → home locations
+    are consistent as of the previous checkpoint; (2) record bodies
+    partially written, header still clean → discard, previous state in
+    force; (3) the header seal write itself tore → {!recover} reports
+    {!recovery.Torn_seal}, previous state in force, {!mark_clean} heals
+    the header; (4) journal sealed, home writes possibly torn →
+    {!recover} returns the batch for replay (replay is idempotent).
+    Only post-crash media corruption (bit rot inside a sealed record)
+    yields {!recovery.Corrupt}, a typed double-fault report.
+
+    Group commit: a batch is split into records of at most
+    [(block_size - 12) / 4] pages each, every record independently
+    CRC-sealed and replayed in sequence order, so large checkpoints
+    degrade into more records rather than one monolithic payload.
 
     On-device layout (a dedicated block range):
     {v
-    block 0:   header — magic, sequence number, state (clean/committed)
-    block 1..: record — u32 page count, then per page (u32 home page no,
-               payload), packed back-to-back; CRC-32 of everything in the
-               header's commit word
+    block 0:   header — magic, version, sequence, state (clean/committed),
+               record count, CRC-32 over all preceding header bytes
+    block 1..: records, back-to-back; each record is one descriptor block
+               (u32 page count, payload CRC-32, u32 home page numbers,
+               descriptor CRC-32) followed by the raw page images
     v} *)
 
 type t
 
 exception Journal_full of { needed_blocks : int; have_blocks : int }
 
+(** Why an attach or recovery could not trust the on-device journal. *)
+type reason =
+  | Bad_magic  (** region was never formatted, or was overwritten *)
+  | Bad_version of int
+  | Bad_state of int  (** header self-CRC valid yet state byte impossible *)
+  | Bad_geometry of string  (** a sealed record chain escapes the region *)
+  | Record_fails_crc of { record : int }
+      (** a sealed record's descriptor or payload fails its CRC — media
+          corruption after the seal (double fault) *)
+
+val pp_reason : Format.formatter -> reason -> unit
+
+(** Outcome of {!recover} — never an exception. *)
+type recovery =
+  | Clean  (** nothing to replay; home locations are current *)
+  | Committed of (int * Bytes.t) list
+      (** a sealed, un-checkpointed commit: the caller must write the
+          pages home (in order) and then {!mark_clean} *)
+  | Torn_seal
+      (** the header seal tore mid-write: the batch never became
+          durable; treat as {!Clean} after {!mark_clean} heals the
+          header (the diagnostic sequence number restarts) *)
+  | Corrupt of reason
+      (** the journal cannot be trusted; surface to the operator *)
+
 val format : Hfad_blockdev.Device.t -> first_block:int -> blocks:int -> t
 (** Initialize a clean journal in [\[first_block, first_block+blocks)].
-    @raise Invalid_argument if the region is too small (< 2 blocks). *)
+    @raise Invalid_argument if the region is under 2 blocks or the
+    device's blocks are under 32 bytes. *)
 
-val attach : Hfad_blockdev.Device.t -> first_block:int -> blocks:int -> t
-(** Attach to an existing journal region (call {!recover} next).
-    @raise Failure on bad magic. *)
+val attach :
+  Hfad_blockdev.Device.t -> first_block:int -> blocks:int -> (t, reason) result
+(** Attach to an existing journal region (call {!recover} next). A torn
+    header still attaches — {!recover} reports it; only a missing or
+    alien region refuses, typed, so callers can reformat or fail
+    cleanly. @raise Invalid_argument as {!format}. *)
 
 val capacity_pages : t -> int
-(** Upper bound on the number of data pages one commit can carry. *)
+(** Largest page count a single {!commit} can carry, accounting for
+    per-record descriptor overhead. *)
+
+val would_fit : t -> pages:int -> bool
+(** [would_fit t ~pages] is [true] iff a batch of [pages] pages fits the
+    region — check it at checkpoint-assembly time, before any state is
+    dirtied, rather than waiting for {!commit} to raise. *)
 
 val commit : t -> (int * Bytes.t) list -> unit
-(** [commit t pages] durably records [(home_page, contents)] pairs and
-    seals them. After [commit] returns, the batch will survive a crash.
-    @raise Journal_full if the batch exceeds the region. An empty batch
-    is a no-op. *)
+(** [commit t pages] durably records [(home_page, contents)] pairs,
+    split into CRC-sealed records, and seals the group. After [commit]
+    returns, the batch will survive a crash. An empty batch is a no-op.
+    @raise Journal_full if the batch exceeds the region (callers should
+    have asked {!would_fit} first). *)
 
 val mark_clean : t -> unit
-(** Declare the home locations up to date (checkpoint complete). *)
+(** Declare the home locations up to date (checkpoint complete). Also
+    heals a torn header after a {!recovery.Torn_seal}. *)
 
-val recover : t -> (int * Bytes.t) list option
-(** [None] if the journal is clean or unsealed (nothing to do);
-    [Some pages] if a sealed, un-checkpointed commit exists — the caller
-    must write the pages home and then {!mark_clean}.
-    @raise Failure if a sealed record fails its CRC (double fault). *)
+val recover : t -> recovery
+(** Inspect the journal after a crash. Never raises: every outcome —
+    clean, sealed batch to replay, torn seal, corruption — is a typed
+    {!recovery} case. *)
 
 val sequence : t -> int64
 (** Monotonic commit sequence number (diagnostics). *)
+
+(** {1 Record codec (exposed for property tests)} *)
+
+val records_for : t -> pages:int -> int
+(** Number of sealed records a batch of [pages] pages splits into. *)
+
+val encode_batch : t -> (int * Bytes.t) list -> Bytes.t list
+(** Block images (descriptor + page images per record, back-to-back)
+    exactly as {!commit} lays them out from [first_block + 1].
+    @raise Invalid_argument on a page-size mismatch. *)
+
+val decode_batch :
+  t -> records:int -> Bytes.t list -> ((int * Bytes.t) list, reason) result
+(** Inverse of {!encode_batch} given the sealed record count; returns
+    the typed reason on any CRC or geometry violation. *)

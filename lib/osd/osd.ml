@@ -9,6 +9,7 @@ module Journal = Hfad_journal.Journal
 module Rwlock = Hfad_util.Rwlock
 
 exception No_such_object of Oid.t
+exception Recovery_failed of Journal.reason
 
 let magic = "hFADOSD1"
 let superblock_page = 0
@@ -123,7 +124,11 @@ let mk_t ?(cache_pages = 1024) ?(max_extent_pages = 64) ?(journal_pages = 0)
     else if fresh then
       Some (Journal.format dev ~first_block:journal_first_block ~blocks:journal_pages)
     else
-      Some (Journal.attach dev ~first_block:journal_first_block ~blocks:journal_pages)
+      match
+        Journal.attach dev ~first_block:journal_first_block ~blocks:journal_pages
+      with
+      | Ok j -> Some j
+      | Error reason -> raise (Recovery_failed reason)
   in
   let data_first_block = journal_first_block + journal_pages in
   let buddy =
@@ -167,9 +172,25 @@ let format ?cache_pages ?max_extent_pages ?journal_pages dev =
   (match t.journal with Some j -> Journal.mark_clean j | None -> ());
   t
 
+let rec chunks n = function
+  | [] -> []
+  | l ->
+      let rec take k acc rest =
+        match (k, rest) with
+        | 0, _ | _, [] -> (List.rev acc, rest)
+        | k, x :: tl -> take (k - 1) (x :: acc) tl
+      in
+      let head, tail = take n [] l in
+      head :: chunks n tail
+
 (* Journaled checkpoint: journal-commit the dirty set, write home, mark
    clean. A crash at any point recovers to either the previous or the new
-   checkpoint, never in between. *)
+   checkpoint, never in between. The batch is sized against the journal
+   *before* anything is committed ([Journal.would_fit]); a dirty set that
+   outgrows the region degrades into several journaled phases — each
+   phase is individually atomic, so no dirty state is ever stranded
+   behind a [Journal_full], at the cost of whole-flush atomicity in that
+   overload case only. *)
 let flush t =
   exclusive t (fun () ->
       write_superblock t;
@@ -177,14 +198,32 @@ let flush t =
       | None -> Pager.flush t.pgr
       | Some journal ->
           let dirty = Pager.dirty_pages t.pgr in
-          Journal.commit journal dirty;
-          Pager.flush t.pgr;
-          Journal.mark_clean journal)
+          if Journal.would_fit journal ~pages:(List.length dirty) then begin
+            Journal.commit journal dirty;
+            Pager.flush t.pgr;
+            Journal.mark_clean journal
+          end
+          else begin
+            let cap = Journal.capacity_pages journal in
+            if cap = 0 then
+              raise
+                (Journal.Journal_full
+                   { needed_blocks = 3; have_blocks = t.journal_blocks });
+            List.iter
+              (fun chunk ->
+                Journal.commit journal chunk;
+                Pager.flush_pages t.pgr (List.map fst chunk);
+                Journal.mark_clean journal)
+              (chunks cap dirty)
+          end)
 
 let journaled t = Option.is_some t.journal
 
 let journal_sequence t =
   match t.journal with Some j -> Journal.sequence j | None -> 0L
+
+let journal_capacity_pages t =
+  match t.journal with Some j -> Journal.capacity_pages j | None -> 0
 
 (* --- object handles ----------------------------------------------------- *)
 
@@ -646,22 +685,52 @@ let verify t =
 
 (* --- reopening ---------------------------------------------------------------- *)
 
+(* Replay (or heal) the journal at [journal_first_block]. Every recovery
+   outcome is typed: a torn seal or a sealed batch both resolve without
+   an exception; only untrusted journals (bad magic where one must
+   exist, corrupt sealed records) raise {!Recovery_failed}. *)
+let run_recovery dev ~blocks =
+  match Journal.attach dev ~first_block:journal_first_block ~blocks with
+  | Error reason -> raise (Recovery_failed reason)
+  | Ok journal -> (
+      match Journal.recover journal with
+      | Journal.Clean -> ()
+      | Journal.Torn_seal ->
+          (* The seal never became durable: the previous checkpoint is in
+             force; heal the header so the next attach sees a clean
+             journal. *)
+          Journal.mark_clean journal
+      | Journal.Committed pages ->
+          List.iter (fun (home, data) -> Device.write_block dev home data) pages;
+          Device.flush dev;
+          Journal.mark_clean journal
+      | Journal.Corrupt reason -> raise (Recovery_failed reason))
+
 let open_existing ?cache_pages ?max_extent_pages dev =
   (* Peek at the superblock with raw device reads: recovery must complete
-     before any page is cached. *)
-  let raw_super = Device.read_block dev superblock_page in
-  let _, journal_pages, _ = decode_superblock raw_super in
-  if journal_pages > 0 then begin
-    let journal =
-      Journal.attach dev ~first_block:journal_first_block ~blocks:journal_pages
-    in
-    match Journal.recover journal with
-    | None -> ()
-    | Some pages ->
-        List.iter (fun (home, data) -> Device.write_block dev home data) pages;
-        Device.flush dev;
-        Journal.mark_clean journal
-  end;
+     before any page is cached. The superblock's own home write may have
+     torn in the crash, so an undecodable superblock triggers a recovery
+     attempt with the region length upper-bounded by the device — replay
+     rewrites the superblock, after which it must decode. *)
+  let decode_raw_super () =
+    match decode_superblock (Device.read_block dev superblock_page) with
+    | super -> Ok super
+    | exception Failure msg -> Error msg
+  in
+  let journal_pages =
+    match decode_raw_super () with
+    | Ok (_, journal_pages, _) ->
+        if journal_pages > 0 then run_recovery dev ~blocks:journal_pages;
+        journal_pages
+    | Error msg -> (
+        (* No journal region at all (unjournaled device, superblock rot):
+           the superblock error is the real story. *)
+        (try run_recovery dev ~blocks:(Device.blocks dev - journal_first_block)
+         with Recovery_failed Journal.Bad_magic -> failwith msg);
+        match decode_raw_super () with
+        | Ok (_, journal_pages, _) -> journal_pages
+        | Error _ -> failwith msg)
+  in
   let t = mk_t ?cache_pages ?max_extent_pages ~journal_pages dev ~fresh:false in
   let next_oid, _journal_pages, named =
     Pager.with_page t.pgr superblock_page decode_superblock

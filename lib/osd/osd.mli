@@ -39,6 +39,14 @@ type t
 
 exception No_such_object of Oid.t
 
+exception Recovery_failed of Hfad_journal.Journal.reason
+(** {!open_existing} found a journal it cannot trust: the region is
+    missing/overwritten where the superblock says one exists, or a
+    sealed record fails its CRC (media corruption after the seal — a
+    double fault a single crash cannot produce). Single-crash states —
+    clean journals, unsealed bodies, torn seal writes, sealed batches
+    with torn home writes — never raise; they recover. *)
+
 val format :
   ?cache_pages:int ->
   ?max_extent_pages:int ->
@@ -57,19 +65,31 @@ val format :
     @raise Invalid_argument if the device is too small. *)
 
 val open_existing : ?cache_pages:int -> ?max_extent_pages:int -> Hfad_blockdev.Device.t -> t
-(** Re-attach to a formatted device: reads the superblock and rebuilds
-    the allocator state by walking the master tree, every object tree and
-    every extent. @raise Failure if the superblock is missing or
-    corrupt. *)
+(** Re-attach to a formatted device: runs journal recovery (replaying a
+    sealed checkpoint, healing a torn seal), then reads the superblock
+    and rebuilds the allocator state by walking the master tree, every
+    object tree and every extent. A superblock whose own home write tore
+    in the crash is tolerated — recovery replays it before decoding.
+    @raise Failure if the superblock is missing or corrupt beyond what
+    replay can fix; @raise Recovery_failed on an untrustworthy
+    journal. *)
 
 val flush : t -> unit
 (** Persist the superblock and all dirty pages. On a journaled OSD this
     is an atomic checkpoint: a crash anywhere inside recovers to either
-    the previous or the new flush state. *)
+    the previous or the new flush state. The dirty set is sized against
+    the journal before anything is written
+    ({!Hfad_journal.Journal.would_fit}); a set that outgrows the region
+    degrades into several individually-atomic phases instead of raising
+    with dirty pages stranded in the cache. *)
 
 val journaled : t -> bool
 val journal_sequence : t -> int64
 (** Number of checkpoints committed (0 when not journaled). *)
+
+val journal_capacity_pages : t -> int
+(** Pages one journal commit can carry (0 when not journaled); a dirty
+    set beyond this makes {!flush} split into multiple phases. *)
 
 val device : t -> Hfad_blockdev.Device.t
 val pager : t -> Hfad_pager.Pager.t

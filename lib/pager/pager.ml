@@ -176,6 +176,16 @@ let flush t =
       Hashtbl.iter (fun _ frame -> write_back t frame) t.frames);
   Device.flush t.dev
 
+let flush_pages t page_nos =
+  with_lock t (fun () ->
+      List.iter
+        (fun no ->
+          match Hashtbl.find_opt t.frames no with
+          | Some frame -> write_back t frame
+          | None -> ())
+        page_nos);
+  Device.flush t.dev
+
 let invalidate t =
   with_lock t (fun () ->
       let victims =

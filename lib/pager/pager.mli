@@ -61,6 +61,11 @@ val zero_page : t -> int -> unit
 val flush : t -> unit
 (** Write back all dirty pages and issue a device barrier. *)
 
+val flush_pages : t -> int list -> unit
+(** Write back exactly the listed pages (skipping non-resident or clean
+    ones) and barrier — the selective write-back a phase-split journaled
+    checkpoint needs when the whole dirty set exceeds journal capacity. *)
+
 val dirty_pages : t -> (int * Bytes.t) list
 (** Snapshot (copies) of every dirty page, ascending page order — what a
     checkpoint must make durable. *)

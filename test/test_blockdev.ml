@@ -145,6 +145,93 @@ let test_device_parallel_access () =
   let s = Device.stats dev in
   check Alcotest.int "all ops counted" (4 * 64 * 2) (s.Device.reads + s.Device.writes)
 
+(* --- crash-point injection --------------------------------------------- *)
+
+let test_device_crash_point () =
+  let dev = mk () in
+  Device.write_block dev 2 (block_of_char dev 'o');
+  Device.arm_crash dev ~after_writes:2 ();
+  Device.write_block dev 0 (block_of_char dev 'a');
+  Device.write_block dev 1 (block_of_char dev 'b');
+  (* The third write is the crash point: dropped entirely. *)
+  (try
+     Device.write_block dev 2 (block_of_char dev 'n');
+     Alcotest.fail "crash point ignored"
+   with Device.Io_error _ -> ());
+  check Alcotest.bool "crashed" true (Device.crashed dev);
+  (* Everything after the crash is refused... *)
+  (try
+     Device.write_block dev 3 (block_of_char dev 'c');
+     Alcotest.fail "post-crash write accepted"
+   with Device.Io_error _ -> ());
+  (try
+     Device.flush dev;
+     Alcotest.fail "post-crash barrier accepted"
+   with Device.Io_error _ -> ());
+  (* ...but reads serve the last persisted state, so the image can be
+     inspected/snapshotted like a disk pulled from a dead machine. *)
+  check Alcotest.bytes "pre-crash write persisted" (block_of_char dev 'a')
+    (Device.read_block dev 0);
+  check Alcotest.bytes "dying write dropped" (block_of_char dev 'o')
+    (Device.read_block dev 2);
+  (* Disarming revives the device (a re-attach in tests). *)
+  Device.disarm_crash dev;
+  check Alcotest.bool "revived" false (Device.crashed dev);
+  Device.write_block dev 3 (block_of_char dev 'c');
+  Device.flush dev
+
+let test_device_torn_write () =
+  let dev = mk () in
+  Device.write_block dev 5 (block_of_char dev 'o');
+  Device.arm_crash dev ~after_writes:0 ~torn_bytes:5 ();
+  (try
+     Device.write_block dev 5 (block_of_char dev 'n');
+     Alcotest.fail "crash point ignored"
+   with Device.Io_error _ -> ());
+  let expect = block_of_char dev 'o' in
+  Bytes.fill expect 0 5 'n';
+  check Alcotest.bytes "prefix new, tail old" expect (Device.read_block dev 5)
+
+let test_device_torn_write_checksum_detectable () =
+  (* On a checksummed device a torn write keeps the OLD block CRC, so the
+     tear is detectable exactly like bit rot. *)
+  let dev = Device.create ~checksums:true ~block_size:64 ~blocks:16 () in
+  Device.write_block dev 5 (Bytes.make 64 'o');
+  Device.arm_crash dev ~after_writes:0 ~torn_bytes:5 ();
+  (try Device.write_block dev 5 (Bytes.make 64 'n') with Device.Io_error _ -> ());
+  Alcotest.check_raises "torn write fails checksum"
+    (Device.Io_error "checksum mismatch at block 5") (fun () ->
+      ignore (Device.read_block dev 5))
+
+let test_device_crash_image_snapshot () =
+  (* Device.save still works on a crashed device - that is how the crash
+     sweep snapshots the disk of the "dead machine". *)
+  let dev = mk () in
+  Device.write_block dev 1 (block_of_char dev 'k');
+  Device.arm_crash dev ~after_writes:0 ();
+  (try Device.write_block dev 2 (block_of_char dev 'x') with Device.Io_error _ -> ());
+  let path = Filename.temp_file "hfad_crash" ".img" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Device.save dev path;
+      let copy = Device.load path in
+      check Alcotest.bytes "snapshot has persisted state" (block_of_char dev 'k')
+        (Device.read_block copy 1);
+      check Alcotest.bytes "snapshot lacks dropped write" (block_of_char dev '\000')
+        (Device.read_block copy 2);
+      (* The copy is alive: the crash state is not part of the image. *)
+      Device.write_block copy 2 (block_of_char dev 'x'))
+
+let test_device_arm_crash_validation () =
+  let dev = mk () in
+  Alcotest.check_raises "negative after_writes"
+    (Invalid_argument "Device.arm_crash: after_writes") (fun () ->
+      Device.arm_crash dev ~after_writes:(-1) ());
+  Alcotest.check_raises "torn_bytes too large"
+    (Invalid_argument "Device.arm_crash: torn_bytes out of range") (fun () ->
+      Device.arm_crash dev ~after_writes:0 ~torn_bytes:65 ())
+
 let suite =
   [
     Alcotest.test_case "latency zero" `Quick test_latency_zero;
@@ -161,5 +248,13 @@ let suite =
     Alcotest.test_case "device simulated cost" `Quick test_device_simulated_cost_accumulates;
     Alcotest.test_case "device hdd sequential cheaper" `Quick test_device_hdd_sequential_cheaper;
     Alcotest.test_case "device fault injection" `Quick test_device_fault_injection;
+    Alcotest.test_case "device crash point" `Quick test_device_crash_point;
+    Alcotest.test_case "device torn write" `Quick test_device_torn_write;
+    Alcotest.test_case "device torn write is checksum-detectable" `Quick
+      test_device_torn_write_checksum_detectable;
+    Alcotest.test_case "device crash image snapshot" `Quick
+      test_device_crash_image_snapshot;
+    Alcotest.test_case "device arm_crash validation" `Quick
+      test_device_arm_crash_validation;
     Alcotest.test_case "device parallel access" `Slow test_device_parallel_access;
   ]
