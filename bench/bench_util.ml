@@ -5,6 +5,18 @@ module Registry = Hfad_metrics.Registry
 
 let say fmt = Format.printf (fmt ^^ "@.")
 
+(* --- smoke mode ----------------------------------------------------
+
+   [--smoke] runs every experiment end-to-end at a tiny problem size: a
+   bit-rot gate for CI, not a measurement. Experiments pick their sizes
+   through [scaled], so the full-size constants stay next to the code
+   they parameterize. *)
+
+let smoke = ref false
+
+(* [scaled full ~smoke:s] is [full] normally and [s] under [--smoke]. *)
+let scaled full ~smoke:s = if !smoke then s else full
+
 let heading title =
   say "";
   say "==== %s ====" title

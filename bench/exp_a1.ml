@@ -19,9 +19,10 @@ let run () =
   let dev = Device.create ~block_size:4096 ~blocks:131072 () in
   let fs = Fs.format ~cache_pages:8192 ~index_mode:Fs.Off dev in
   (* 20_000 objects tagged "common"; 10 of them also "rare". *)
-  for i = 0 to 19_999 do
+  let n = scaled 20_000 ~smoke:600 in
+  for i = 0 to n - 1 do
     let names =
-      if i mod 2000 = 0 then [ (Tag.Udef, "common"); (Tag.Udef, "rare") ]
+      if i mod (n / 10) = 0 then [ (Tag.Udef, "common"); (Tag.Udef, "rare") ]
       else [ (Tag.Udef, "common") ]
     in
     ignore (Fs.create fs ~names)

@@ -28,8 +28,9 @@ let hier_cost ~depth =
     String.concat "" (List.init depth (fun i -> Printf.sprintf "/level%d" i))
   in
   H.mkdir_p h dir;
-  for i = 0 to 255 do
-    let content = if i = 100 then filler i ^ " xyzneedle" else filler i in
+  let needle_i = scaled 100 ~smoke:4 in
+  for i = 0 to scaled 255 ~smoke:31 do
+    let content = if i = needle_i then filler i ^ " xyzneedle" else filler i in
     ignore (H.create_file ~content h (Printf.sprintf "%s/doc%03d.txt" dir i))
   done;
   let ds = Search.create h in
@@ -57,13 +58,14 @@ let hfad_cost ~depth =
   in
   Hfad_posix.Posix_fs.mkdir_p posix dir;
   let needle_oid = ref None in
-  for i = 0 to 255 do
-    let content = if i = 100 then filler i ^ " xyzneedle" else filler i in
+  let needle_i = scaled 100 ~smoke:4 in
+  for i = 0 to scaled 255 ~smoke:31 do
+    let content = if i = needle_i then filler i ^ " xyzneedle" else filler i in
     let oid =
       Hfad_posix.Posix_fs.create_file ~content posix
         (Printf.sprintf "%s/doc%03d.txt" dir i)
     in
-    if i = 100 then needle_oid := Some oid
+    if i = needle_i then needle_oid := Some oid
   done;
   let hits, deltas =
     counters_of (fun () ->

@@ -30,8 +30,8 @@ open Bench_util
 
 let users = 8
 let files_per_user = 64
-let total_ops = 16_000
-let domain_counts = [ 1; 2; 4; 8 ]
+let total_ops () = scaled 16_000 ~smoke:400
+let domain_counts () = scaled [ 1; 2; 4; 8 ] ~smoke:[ 1; 2 ]
 
 let path u f = Printf.sprintf "/home/user%d/file%02d.txt" u f
 
@@ -66,7 +66,7 @@ let build_hfad () =
 (* [total_ops] resolves split across [domains] real domains; returns
    aggregate resolves/s. Worker [d] stays inside user [d]'s subtree. *)
 let run_parallel ~domains f =
-  let ops_each = total_ops / domains in
+  let ops_each = total_ops () / domains in
   let _, ms =
     time_ms (fun () ->
         let spawned =
@@ -109,7 +109,7 @@ let run () =
       H.reset_lock_stats h;
       let tput = run_parallel ~domains resolve_hier in
       let acq, waits = H.lock_stats h in
-      let shared_ancestor = 2 * total_ops in
+      let shared_ancestor = 2 * total_ops () in
       if domains = 1 then base_hier := tput;
       hier_rows :=
         [
@@ -171,7 +171,7 @@ let run () =
             ("exclusive_waits", Jint s.Rwlock.exclusive_waits);
           ]
         :: !json_rows)
-    domain_counts;
+    (domain_counts ());
   say "";
   say "hierarchical baseline (per-inode namespace locks on every walk):";
   table
@@ -215,7 +215,7 @@ let run () =
           [
             ("users", Jint users);
             ("files_per_user", Jint files_per_user);
-            ("total_ops", Jint total_ops);
+            ("total_ops", Jint (total_ops ()));
           ] );
       ("rows", Jlist (List.rev !json_rows));
       ( "acceptance",

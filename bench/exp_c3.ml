@@ -18,7 +18,10 @@ module Osd = Hfad_osd.Osd
 module H = Hfad_hierfs.Hierfs
 open Bench_util
 
-let sizes = [ 65_536; 1_048_576; 4_194_304; 16_777_216 ]
+let sizes () =
+  scaled
+    [ 65_536; 1_048_576; 4_194_304; 16_777_216 ]
+    ~smoke:[ 65_536; 262_144 ]
 let needle = String.make 64 'N'
 
 let hfad_case size op =
@@ -71,7 +74,7 @@ let run_op label op =
           fmt_f1 f_ms;
           fmt_ratio (float_of_int h_bytes /. float_of_int (max 1 f_bytes));
         ])
-      sizes
+      (sizes ())
   in
   table
     ([

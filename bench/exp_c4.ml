@@ -19,7 +19,7 @@ module P = Hfad_posix.Posix_fs
 module H = Hfad_hierfs.Hierfs
 open Bench_util
 
-let objects = 200
+let objects () = scaled 200 ~smoke:20
 let payload = String.make 1024 'p'
 
 let collection k = Printf.sprintf "collection%02d" k
@@ -30,7 +30,7 @@ let hfad_case k =
   let buddy = Hfad_osd.Osd.allocator (Fs.osd fs) in
   let before = (Buddy.stats buddy).Buddy.free_blocks in
   let oids =
-    List.init objects (fun _ ->
+    List.init (objects ()) (fun _ ->
         let oid = Fs.create fs ~content:payload in
         for c = 0 to k - 1 do
           Fs.name fs oid Tag.Udef (collection c)
@@ -57,7 +57,7 @@ let hier_case k =
   for c = 0 to k - 1 do
     H.mkdir_p h ("/" ^ collection c)
   done;
-  for i = 0 to objects - 1 do
+  for i = 0 to objects () - 1 do
     for c = 0 to k - 1 do
       (* A copy per collection: the canonical-hierarchy way. *)
       ignore
@@ -102,7 +102,7 @@ let membership () =
           fmt_us f_edit;
           fmt_us f_recat;
         ])
-      [ 1; 2; 4; 8; 16 ]
+      (scaled [ 1; 2; 4; 8; 16 ] ~smoke:[ 1; 4 ])
   in
   table
     ([
@@ -118,7 +118,7 @@ let membership () =
 
 let rename_asymmetry () =
   heading "C4b: the honest counterpoint - directory rename";
-  let n = 1000 in
+  let n = scaled 1000 ~smoke:50 in
   (* hierfs: move one directory entry. *)
   let dev = Device.create ~block_size:4096 ~blocks:65536 () in
   let h = H.format ~cache_pages:4096 dev in

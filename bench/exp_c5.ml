@@ -77,7 +77,7 @@ let run () =
           fmt_us scan_us;
           fmt_ratio (scan_us /. hfad_us);
         ])
-      [ 500; 2000; 8000 ]
+      (scaled [ 500; 2000; 8000 ] ~smoke:[ 100; 200 ])
   in
   table
     ([

@@ -17,18 +17,21 @@ module Lazy_indexer = Hfad_fulltext.Lazy_indexer
 module Index_store = Hfad_index.Index_store
 open Bench_util
 
-let burst = 2000
+let burst () = scaled 2000 ~smoke:120
+let drain_batch () = scaled 250 ~smoke:40
 
 let ingest mode =
   let dev = Device.create ~block_size:4096 ~blocks:262144 () in
   let fs = Fs.format ~cache_pages:8192 ~index_mode:mode dev in
   let posix = P.mount fs in
-  let emails = Corpus.emails (Rng.create 5L) ~count:burst in
+  let emails = Corpus.emails (Rng.create 5L) ~count:(burst ()) in
   let _, ms = time_ms (fun () -> ignore (Load.emails_into_hfad posix emails)) in
   (fs, ms)
 
 let run () =
-  heading "C6: lazy vs eager content indexing (burst of 2000 documents)";
+  heading
+    (Printf.sprintf "C6: lazy vs eager content indexing (burst of %d documents)"
+       (burst ()));
   let fs_eager, eager_ms = ingest Fs.Eager in
   let fs_lazy, lazy_ms = ingest Fs.Lazy in
   table
@@ -42,7 +45,7 @@ let run () =
     ];
   ignore fs_eager;
   say "";
-  say "draining the lazy backlog in batches of 250:";
+  say "draining the lazy backlog in batches of %d:" (drain_batch ());
   let expected =
     List.length (List.map fst (Fs.search fs_eager "budget"))
   in
@@ -64,7 +67,7 @@ let run () =
   record ();
   while Fs.index_backlog fs_lazy > 0 do
     incr batch;
-    ignore (Lazy_indexer.drain ~max_items:250 indexer);
+    ignore (Lazy_indexer.drain ~max_items:(drain_batch ()) indexer);
     record ()
   done;
   table

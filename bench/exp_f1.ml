@@ -21,7 +21,7 @@ let layer_costs () =
   let buddy = Hfad_osd.Osd.allocator (Fs.osd fs) in
   (* A tree with some substance so descents are realistic. *)
   let tree = Hfad_osd.Osd.named_tree (Fs.osd fs) "bench" in
-  for i = 0 to 9999 do
+  for i = 0 to scaled 9999 ~smoke:499 do
     Btree.put tree ~key:(Printf.sprintf "key%06d" i) ~value:"v"
   done;
   let oid = Fs.create fs ~content:(String.make 100_000 'x') in
@@ -86,15 +86,16 @@ let cache_ablation () =
     in
     let tree = Btree.create pgr alloc ~root:(Buddy.alloc buddy 1) in
     let rng = Hfad_util.Rng.create 7L in
-    for i = 0 to 19_999 do
+    let keys = scaled 20_000 ~smoke:800 in
+    for i = 0 to keys - 1 do
       Btree.put tree ~key:(Printf.sprintf "key%08d" i) ~value:(String.make 32 'v')
     done;
     Pager.reset_stats pgr;
     Device.reset_stats dev;
-    for _ = 0 to 9_999 do
+    for _ = 0 to scaled 9_999 ~smoke:299 do
       ignore
         (Btree.find tree
-           (Printf.sprintf "key%08d" (Hfad_util.Rng.int rng 20_000)))
+           (Printf.sprintf "key%08d" (Hfad_util.Rng.int rng keys)))
     done;
     let s = Pager.stats pgr in
     let hit_rate =
@@ -107,7 +108,7 @@ let cache_ablation () =
   in
   table
     ([ [ "cache pages"; "hit %"; "misses"; "simulated device ms (SSD)" ] ]
-    @ List.map run [ 16; 64; 256; 1024 ])
+    @ List.map run (scaled [ 16; 64; 256; 1024 ] ~smoke:[ 16; 64 ]))
 
 let buddy_ablation () =
   heading "F1c: buddy allocator fragmentation under churn";
@@ -115,7 +116,7 @@ let buddy_ablation () =
   let run ~min_order =
     let b = Buddy.create ~min_order ~first_block:0 ~blocks:65536 () in
     let live = ref [] in
-    for _ = 0 to 20_000 do
+    for _ = 0 to scaled 20_000 ~smoke:1_000 do
       if Hfad_util.Rng.int rng 3 < 2 then (
         match Buddy.alloc b (1 + Hfad_util.Rng.int rng 32) with
         | start -> live := start :: !live

@@ -110,13 +110,13 @@ let run () =
   say "checkpoint: device writes and wall time, plain flush vs journaled";
   table
     ([ [ "dirty set"; "writes plain"; "writes jrn"; "amp"; "plain"; "journaled" ] ]
-    @ List.map checkpoint_row [ 64; 256; 1024 ]);
+    @ List.map checkpoint_row (scaled [ 64; 256; 1024 ] ~smoke:[ 64 ]));
   say "";
   say "recovery: re-attach after a crash that tore the home writes";
   say "(journal sealed; \"replay writes\" land the checkpoint again)";
   table
     ([ [ "dirty set"; "ckpt writes"; "replay writes"; "clean open"; "crashed open" ] ]
-    @ List.map recovery_row [ 64; 256; 1024 ]);
+    @ List.map recovery_row (scaled [ 64; 256; 1024 ] ~smoke:[ 64 ]));
   say "";
   say "group-commit geometry: pages one 256-block journal region can seal";
   table

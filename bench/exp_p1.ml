@@ -1,0 +1,223 @@
+(* P1 — pager replacement policy: LRU vs 2Q under scan pollution.
+
+   §2.3 argues that stacking many indexes over one store "places
+   pressure on the processor caches", and F1b shows the pager hit rate
+   is the whole ballgame for simulated device time. This experiment
+   quantifies the failure mode LRU has under exactly the traffic this
+   system generates — a corpus load or lazy-indexing pass sweeping
+   sequentially through far more pages than the cache holds, interleaved
+   with point lookups against a skewed-hot key set — and shows the 2Q
+   pager surviving it.
+
+   P1a: mixed workload (Zipf point lookups + periodic full-tree scans)
+        over both policies at several capacities. The point-phase hit
+        rate is reported separately: that is the traffic a scan-resistant
+        cache must protect.
+   P1b: F1b re-derived over both policies (pure random point lookups,
+        no scans) — the guard that 2Q costs nothing when there is no
+        scan to resist. *)
+
+module Device = Hfad_blockdev.Device
+module Pager = Hfad_pager.Pager
+module Buddy = Hfad_alloc.Buddy
+module Btree = Hfad_btree.Btree
+open Bench_util
+
+(* One B-tree over a simulated SSD, as in F1b, with the pager under test. *)
+let mk_tree ~cache_pages ~policy ~keys =
+  let dev =
+    Device.create ~model:Hfad_blockdev.Latency.default_ssd ~block_size:4096
+      ~blocks:16384 ()
+  in
+  let pgr = Pager.create ~cache_pages ~policy dev in
+  let buddy = Buddy.create ~first_block:0 ~blocks:16384 () in
+  let alloc =
+    {
+      Btree.alloc_page = (fun () -> Buddy.alloc buddy 1);
+      Btree.free_page = (fun p -> Buddy.free buddy p);
+    }
+  in
+  let tree = Btree.create pgr alloc ~root:(Buddy.alloc buddy 1) in
+  for i = 0 to keys - 1 do
+    Btree.put tree ~key:(Printf.sprintf "key%08d" i) ~value:(String.make 32 'v')
+  done;
+  (dev, pgr, tree)
+
+let key i = Printf.sprintf "key%08d" i
+
+let hit_rate (s : Pager.stats) =
+  100. *. float_of_int s.Pager.hits /. float_of_int (max 1 s.Pager.reads)
+
+(* --- P1a: mixed point + scan ------------------------------------------- *)
+
+type mixed_result = {
+  policy_name : string;
+  capacity : int;
+  point_hit : float;  (* hit rate during point-lookup phases only *)
+  overall_hit : float;
+  ghost_hits : int;
+  evictions : int;
+  scan_resistance : float;
+  sim_ms : float;
+}
+
+let run_mixed ~policy ~policy_name ~capacity ~keys ~lookups ~scan_every =
+  let dev, pgr, tree = mk_tree ~cache_pages:capacity ~policy ~keys in
+  let zipf = Hfad_util.Zipf.create ~n:keys ~s:1.1 in
+  let rng = Hfad_util.Rng.create 42L in
+  (* Warm the hot set once so both policies start from residency. *)
+  for _ = 1 to capacity do
+    ignore (Btree.find tree (key (Hfad_util.Zipf.sample zipf rng)))
+  done;
+  Pager.reset_stats pgr;
+  Device.reset_stats dev;
+  let point_reads = ref 0 and point_hits = ref 0 in
+  let bursts = lookups / scan_every in
+  for _ = 1 to bursts do
+    let before = Pager.stats pgr in
+    for _ = 1 to scan_every do
+      ignore (Btree.find tree (key (Hfad_util.Zipf.sample zipf rng)))
+    done;
+    let after = Pager.stats pgr in
+    point_reads := !point_reads + (after.Pager.reads - before.Pager.reads);
+    point_hits := !point_hits + (after.Pager.hits - before.Pager.hits);
+    (* The scan: one full pass over the tree, the corpus-load /
+       lazy-indexing traffic pattern. *)
+    ignore (Btree.fold_range tree ~init:0 (fun acc _ _ -> acc + 1))
+  done;
+  let s = Pager.stats pgr in
+  {
+    policy_name;
+    capacity;
+    point_hit = 100. *. float_of_int !point_hits /. float_of_int (max 1 !point_reads);
+    overall_hit = hit_rate s;
+    ghost_hits = s.Pager.ghost_hits;
+    evictions = s.Pager.evictions;
+    scan_resistance = Pager.scan_resistance pgr;
+    sim_ms = float_of_int (Device.stats dev).Device.simulated_ns /. 1_000_000.;
+  }
+
+(* --- P1b: pure point lookups (F1b re-derivation) ------------------------ *)
+
+type pure_result = {
+  p_policy_name : string;
+  p_capacity : int;
+  p_hit : float;
+  p_misses : int;
+  p_sim_ms : float;
+}
+
+let run_pure ~policy ~policy_name ~capacity ~keys ~lookups =
+  let dev, pgr, tree = mk_tree ~cache_pages:capacity ~policy ~keys in
+  let rng = Hfad_util.Rng.create 7L in
+  Pager.reset_stats pgr;
+  Device.reset_stats dev;
+  for _ = 1 to lookups do
+    ignore (Btree.find tree (key (Hfad_util.Rng.int rng keys)))
+  done;
+  let s = Pager.stats pgr in
+  {
+    p_policy_name = policy_name;
+    p_capacity = capacity;
+    p_hit = hit_rate s;
+    p_misses = s.Pager.misses;
+    p_sim_ms = float_of_int (Device.stats dev).Device.simulated_ns /. 1_000_000.;
+  }
+
+let run () =
+  let keys = scaled 20_000 ~smoke:500 in
+  let lookups = scaled 10_000 ~smoke:200 in
+  let scan_every = scaled 500 ~smoke:100 in
+  let capacities = scaled [ 32; 64; 128; 256 ] ~smoke:[ 16 ] in
+  let pure_capacities = scaled [ 16; 64; 256; 1024 ] ~smoke:[ 16 ] in
+  let policies = [ (`Lru, "lru"); (`Twoq, "2q") ] in
+
+  heading "P1a: mixed Zipf point lookups + periodic full scans";
+  say "  %d keys, %d lookups, full tree scan every %d lookups" keys lookups
+    scan_every;
+  let mixed =
+    List.concat_map
+      (fun capacity ->
+        List.map
+          (fun (policy, policy_name) ->
+            run_mixed ~policy ~policy_name ~capacity ~keys ~lookups ~scan_every)
+          policies)
+      capacities
+  in
+  table
+    ([
+       [
+         "cache pages"; "policy"; "point hit %"; "overall hit %"; "ghost hits";
+         "evictions"; "scan resist"; "sim ms (SSD)";
+       ];
+     ]
+    @ List.map
+        (fun r ->
+          [
+            fmt_int r.capacity; r.policy_name; fmt_f1 r.point_hit;
+            fmt_f1 r.overall_hit; fmt_int r.ghost_hits; fmt_int r.evictions;
+            fmt_f2 r.scan_resistance; fmt_f1 r.sim_ms;
+          ])
+        mixed);
+
+  heading "P1b: pure random point lookups (F1b re-derived, both policies)";
+  let pure =
+    List.concat_map
+      (fun capacity ->
+        List.map
+          (fun (policy, policy_name) ->
+            run_pure ~policy ~policy_name ~capacity ~keys ~lookups)
+          policies)
+      pure_capacities
+  in
+  table
+    ([ [ "cache pages"; "policy"; "hit %"; "misses"; "sim ms (SSD)" ] ]
+    @ List.map
+        (fun r ->
+          [
+            fmt_int r.p_capacity; r.p_policy_name; fmt_f1 r.p_hit;
+            fmt_int r.p_misses; fmt_f1 r.p_sim_ms;
+          ])
+        pure);
+
+  emit_json ~id:"P1"
+    [
+      ("experiment", Jstring "P1");
+      ( "config",
+        Jobj
+          [
+            ("keys", Jint keys);
+            ("lookups", Jint lookups);
+            ("scan_every", Jint scan_every);
+            ("smoke", Jbool !smoke);
+          ] );
+      ( "mixed",
+        Jlist
+          (List.map
+             (fun r ->
+               Jobj
+                 [
+                   ("capacity", Jint r.capacity);
+                   ("policy", Jstring r.policy_name);
+                   ("point_hit_pct", Jfloat r.point_hit);
+                   ("overall_hit_pct", Jfloat r.overall_hit);
+                   ("ghost_hits", Jint r.ghost_hits);
+                   ("evictions", Jint r.evictions);
+                   ("scan_resistance", Jfloat r.scan_resistance);
+                   ("sim_ms", Jfloat r.sim_ms);
+                 ])
+             mixed) );
+      ( "pure_point",
+        Jlist
+          (List.map
+             (fun r ->
+               Jobj
+                 [
+                   ("capacity", Jint r.p_capacity);
+                   ("policy", Jstring r.p_policy_name);
+                   ("hit_pct", Jfloat r.p_hit);
+                   ("misses", Jint r.p_misses);
+                   ("sim_ms", Jfloat r.p_sim_ms);
+                 ])
+             pure) );
+    ]

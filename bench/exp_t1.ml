@@ -23,16 +23,17 @@ open Bench_util
 
 let run () =
   heading "T1: naming-mode lookups over a mixed 2000-object corpus";
+  let count = scaled 1000 ~smoke:60 in
   let dev = Device.create ~block_size:4096 ~blocks:131072 () in
   let fs = Fs.format ~cache_pages:4096 ~index_mode:Fs.Eager dev in
   let posix = P.mount fs in
   let rng = Rng.create 2009L in
-  let photos = Corpus.photos rng ~count:1000 in
-  let emails = Corpus.emails rng ~count:1000 in
+  let photos = Corpus.photos rng ~count in
+  let emails = Corpus.emails rng ~count in
   let photo_oids = Load.photos_into_hfad posix photos in
   let _ = Load.emails_into_hfad posix emails in
-  let sample_photo = List.nth photos 500 in
-  let sample_oid = List.nth photo_oids 500 in
+  let sample_photo = List.nth photos (count / 2) in
+  let sample_oid = List.nth photo_oids (count / 2) in
   let cases =
     [
       ("POSIX (pathname)", [ (Tag.Posix, sample_photo.Corpus.photo_path) ]);

@@ -7,14 +7,20 @@
 
    Pass experiment ids to run a subset:
      dune exec bench/main.exe -- C1 C3
-   Ids: F1 T1 C1 C2 C3 C4 C5 C6 M1 A1 J1 micro
+   Ids: F1 P1 T1 C1 C2 C3 C4 C5 C6 M1 A1 J1 micro
 
    [--json] additionally writes BENCH_<id>.json files (machine-readable
-   results) for the experiments that support it — currently C2. *)
+   results) for the experiments that support it — currently C2 and P1.
+
+   [--smoke] runs every experiment at a tiny problem size as a bit-rot
+   gate: each must complete without raising. check.sh and CI run this so
+   a bench can no longer silently break while only the test suite is
+   watched. Smoke output is NOT a measurement. *)
 
 let experiments =
   [
     ("F1", Exp_f1.run);
+    ("P1", Exp_p1.run);
     ("T1", Exp_t1.run);
     ("C1", Exp_c1.run);
     ("C2", Exp_c2.run);
@@ -32,18 +38,25 @@ let () =
   let args =
     match Array.to_list Sys.argv with _ :: rest -> rest | [] -> []
   in
-  let json, ids = List.partition (String.equal "--json") args in
+  let json, args = List.partition (String.equal "--json") args in
+  let smoke, ids = List.partition (String.equal "--smoke") args in
   if json <> [] then Bench_util.json_enabled := true;
+  if smoke <> [] then Bench_util.smoke := true;
   let requested =
     match ids with [] -> List.map fst experiments | ids -> ids
   in
-  Format.printf "hFAD benchmark harness (see DESIGN.md / EXPERIMENTS.md)@.";
+  Format.printf "hFAD benchmark harness (see DESIGN.md / EXPERIMENTS.md)%s@."
+    (if !Bench_util.smoke then " [SMOKE — not a measurement]" else "");
   List.iter
     (fun id ->
       match List.assoc_opt id experiments with
-      | Some run -> run ()
+      | Some run ->
+          run ();
+          if !Bench_util.smoke then Format.printf "[smoke] %s: ok@." id
       | None ->
           Format.eprintf "unknown experiment %S; known: %s@." id
             (String.concat " " (List.map fst experiments));
           exit 2)
-    requested
+    requested;
+  if !Bench_util.smoke then
+    Format.printf "bench smoke: OK (%d experiments)@." (List.length requested)

@@ -30,7 +30,7 @@ let make_tests () =
     }
   in
   let tree = Btree.create pgr alloc ~root:(Buddy.alloc buddy 1) in
-  for i = 0 to 9_999 do
+  for i = 0 to Bench_util.scaled 9_999 ~smoke:499 do
     Btree.put tree ~key:(Printf.sprintf "key%06d" i) ~value:"value"
   done;
   (* hFAD fixture *)
@@ -95,7 +95,10 @@ let run () =
   in
   let instance = Instance.monotonic_clock in
   let cfg =
-    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~stabilize:false ()
+    Benchmark.cfg
+      ~limit:(Bench_util.scaled 2000 ~smoke:50)
+      ~quota:(Time.second (Bench_util.scaled 0.25 ~smoke:0.01))
+      ~stabilize:false ()
   in
   let rows =
     List.map

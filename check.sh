@@ -14,4 +14,8 @@ dune runtest
 # regression here is never lost in the full-suite noise.
 dune exec test/test_main.exe -- test failures -e
 
+# Bench bit-rot gate: every experiment at tiny N, asserting each runs to
+# completion. Numbers printed under --smoke are not measurements.
+dune exec bench/main.exe -- --smoke
+
 echo "check.sh: OK"

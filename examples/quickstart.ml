@@ -75,4 +75,17 @@ let () =
   let fs2 = Fs.open_existing dev in
   show "after reopen, full-text still works"
     (List.map fst (Fs.search fs2 "burial overdue"));
+
+  (* 9. The buffer cache below all those indexes is scan-resistant (2Q
+     by default): first-touch pages sit in a probationary queue (a1in),
+     re-referenced pages are protected (am), and evicted probationers
+     leave a ghost entry that fast-tracks them back. *)
+  let module Pager = Hfad_pager.Pager in
+  let pgr = Hfad_osd.Osd.pager (Fs.osd fs2) in
+  let s = Pager.stats pgr in
+  let o = Pager.occupancy pgr in
+  say "pager (%s): %d reads, %d hits, %d evictions, %d ghost hits"
+    Pager.(match policy pgr with `Twoq -> "2Q" | `Lru -> "LRU")
+    s.Pager.reads s.Pager.hits s.Pager.evictions s.Pager.ghost_hits;
+  say "queues: a1in=%d am=%d ghosts=%d" o.Pager.a1in o.Pager.am o.Pager.a1out;
   say "quickstart done."

@@ -32,11 +32,11 @@ let mk ?(index_mode = Lazy) osd =
     lock = Osd.rwlock osd;
   }
 
-let format ?cache_pages ?index_mode ?journal_pages dev =
-  mk ?index_mode (Osd.format ?cache_pages ?journal_pages dev)
+let format ?cache_pages ?index_mode ?journal_pages ?policy dev =
+  mk ?index_mode (Osd.format ?cache_pages ?journal_pages ?policy dev)
 
-let open_existing ?cache_pages ?index_mode dev =
-  mk ?index_mode (Osd.open_existing ?cache_pages dev)
+let open_existing ?cache_pages ?index_mode ?policy dev =
+  mk ?index_mode (Osd.open_existing ?cache_pages ?policy dev)
 
 let flush t = Osd.flush t.osd
 let journaled t = Osd.journaled t.osd

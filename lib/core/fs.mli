@@ -45,14 +45,21 @@ val format :
   ?cache_pages:int ->
   ?index_mode:index_mode ->
   ?journal_pages:int ->
+  ?policy:Hfad_pager.Pager.policy ->
   Hfad_blockdev.Device.t ->
   t
 (** Make a fresh file system on a device. [journal_pages > 0] turns
     {!flush} into a crash-consistent checkpoint backed by a write-ahead
-    journal of that many blocks (see {!Hfad_osd.Osd.format}). *)
+    journal of that many blocks (see {!Hfad_osd.Osd.format}). [policy]
+    selects the page-cache replacement policy (default [`Twoq], scan
+    resistant — see {!Hfad_pager.Pager}). *)
 
 val open_existing :
-  ?cache_pages:int -> ?index_mode:index_mode -> Hfad_blockdev.Device.t -> t
+  ?cache_pages:int ->
+  ?index_mode:index_mode ->
+  ?policy:Hfad_pager.Pager.policy ->
+  Hfad_blockdev.Device.t ->
+  t
 (** Re-attach to a formatted device. *)
 
 val flush : t -> unit

@@ -73,9 +73,9 @@ let make_dir_inode t ~ino =
   put_inode t inode;
   inode
 
-let format ?(cache_pages = 1024) dev =
+let format ?(cache_pages = 1024) ?policy dev =
   if Device.blocks dev < 8 then invalid_arg "Hierfs: device too small";
-  let pgr = Pager.create ~cache_pages dev in
+  let pgr = Pager.create ~cache_pages ?policy dev in
   let buddy =
     Buddy.create ~first_block:data_first_block
       ~blocks:(Device.blocks dev - data_first_block)

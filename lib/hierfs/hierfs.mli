@@ -28,8 +28,11 @@ type errno = ENOENT | EEXIST | ENOTDIR | EISDIR | ENOTEMPTY | EINVAL
 
 exception Error of errno * string
 
-val format : ?cache_pages:int -> Hfad_blockdev.Device.t -> t
-(** Fresh file system with an empty root directory. *)
+val format :
+  ?cache_pages:int -> ?policy:Hfad_pager.Pager.policy -> Hfad_blockdev.Device.t -> t
+(** Fresh file system with an empty root directory. [policy] selects the
+    page-cache replacement policy (default [`Twoq]) so baseline-vs-hFAD
+    comparisons run over identical caching. *)
 
 val device : t -> Hfad_blockdev.Device.t
 val pager : t -> Hfad_pager.Pager.t

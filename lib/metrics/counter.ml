@@ -5,5 +5,6 @@ let name t = t.name
 let incr t = ignore (Atomic.fetch_and_add t.value 1)
 let add t n = ignore (Atomic.fetch_and_add t.value n)
 let get t = Atomic.get t.value
+let set t n = Atomic.set t.value n
 let reset t = Atomic.set t.value 0
 let pp fmt t = Format.fprintf fmt "%s=%d" t.name (Atomic.get t.value)

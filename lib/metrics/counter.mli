@@ -19,6 +19,12 @@ val name : t -> string
 val incr : t -> unit
 val add : t -> int -> unit
 val get : t -> int
+
+val set : t -> int -> unit
+(** [set t n] overwrites the value — for gauge-style metrics (queue
+    occupancies, cache residency) published through the same registry as
+    the monotonic counters. *)
+
 val reset : t -> unit
 
 val pp : Format.formatter -> t -> unit

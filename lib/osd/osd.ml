@@ -110,14 +110,14 @@ let is_extent_key k = String.length k = 9 && k.[0] = 'E'
 (* --- construction ------------------------------------------------------ *)
 
 let mk_t ?(cache_pages = 1024) ?(max_extent_pages = 64) ?(journal_pages = 0)
-    dev ~fresh =
+    ?policy dev ~fresh =
   if Device.blocks dev < 8 + journal_pages then
     invalid_arg "Osd: device too small";
   if Device.block_size dev < 256 then
     invalid_arg "Osd: block size must be at least 256 bytes";
   if max_extent_pages <= 0 then invalid_arg "Osd: max_extent_pages";
   if journal_pages < 0 then invalid_arg "Osd: journal_pages";
-  let pgr = Pager.create ~cache_pages ~no_steal:(journal_pages > 0) dev in
+  let pgr = Pager.create ~cache_pages ~no_steal:(journal_pages > 0) ?policy dev in
   let lock = Rwlock.create ~name:"osd" () in
   let journal =
     if journal_pages = 0 then None
@@ -164,8 +164,10 @@ let mk_t ?(cache_pages = 1024) ?(max_extent_pages = 64) ?(journal_pages = 0)
     named_handles = Hashtbl.create 8;
   }
 
-let format ?cache_pages ?max_extent_pages ?journal_pages dev =
-  let t = mk_t ?cache_pages ?max_extent_pages ?journal_pages dev ~fresh:true in
+let format ?cache_pages ?max_extent_pages ?journal_pages ?policy dev =
+  let t =
+    mk_t ?cache_pages ?max_extent_pages ?journal_pages ?policy dev ~fresh:true
+  in
   write_superblock t;
   (match t.journal with Some _ -> () | None -> ());
   Pager.flush t.pgr;
@@ -706,7 +708,7 @@ let run_recovery dev ~blocks =
           Journal.mark_clean journal
       | Journal.Corrupt reason -> raise (Recovery_failed reason))
 
-let open_existing ?cache_pages ?max_extent_pages dev =
+let open_existing ?cache_pages ?max_extent_pages ?policy dev =
   (* Peek at the superblock with raw device reads: recovery must complete
      before any page is cached. The superblock's own home write may have
      torn in the crash, so an undecodable superblock triggers a recovery
@@ -731,7 +733,9 @@ let open_existing ?cache_pages ?max_extent_pages dev =
         | Ok (_, journal_pages, _) -> journal_pages
         | Error _ -> failwith msg)
   in
-  let t = mk_t ?cache_pages ?max_extent_pages ~journal_pages dev ~fresh:false in
+  let t =
+    mk_t ?cache_pages ?max_extent_pages ~journal_pages ?policy dev ~fresh:false
+  in
   let next_oid, _journal_pages, named =
     Pager.with_page t.pgr superblock_page decode_superblock
   in

@@ -51,6 +51,7 @@ val format :
   ?cache_pages:int ->
   ?max_extent_pages:int ->
   ?journal_pages:int ->
+  ?policy:Hfad_pager.Pager.policy ->
   Hfad_blockdev.Device.t ->
   t
 (** [format dev] initializes a fresh OSD on [dev], destroying previous
@@ -61,10 +62,22 @@ val format :
     journal and makes {!flush} a crash-consistent checkpoint (NO-STEAL /
     FORCE: dirty pages stay cached between flushes, so size the cache
     accordingly). §3.3: "in hFAD, the OSD may be transactional, but this
-    is an implementation decision" — this is that decision.
+    is an implementation decision" — this is that decision. Under
+    NO-STEAL an undersized cache surfaces as
+    [Hfad_pager.Pager.Cache_full Dirty_no_steal] from a mutation: the
+    fix is a {!flush} (checkpoint) or a larger [cache_pages], not a pin
+    hunt.
+
+    [policy] selects the pager replacement policy (default [`Twoq],
+    scan-resistant; [`Lru] kept for A/B measurement — bench P1).
     @raise Invalid_argument if the device is too small. *)
 
-val open_existing : ?cache_pages:int -> ?max_extent_pages:int -> Hfad_blockdev.Device.t -> t
+val open_existing :
+  ?cache_pages:int ->
+  ?max_extent_pages:int ->
+  ?policy:Hfad_pager.Pager.policy ->
+  Hfad_blockdev.Device.t ->
+  t
 (** Re-attach to a formatted device: runs journal recovery (replaying a
     sealed checkpoint, healing a torn seal), then reads the superblock
     and rebuilds the allocator state by walking the master tree, every

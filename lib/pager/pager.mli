@@ -5,16 +5,35 @@
     indexes, postings) reads its pages through a pager, which makes this
     module the single choke point where the paper's "multiple indexes
     place pressure on the processor caches" (§2.3) becomes measurable:
-    cache hits, misses, and write-backs are counted here.
+    cache hits, misses, write-backs and evictions are counted here.
 
     Access discipline: pages are only visible inside [with_page] /
     [with_page_mut] callbacks, during which the page is pinned (immune to
     eviction). Callbacks must not retain the buffer. Nested access to
     distinct pages is fine; nested access to the same page is fine
-    (pins count). Eviction is LRU over unpinned frames with write-back
-    of dirty pages.
+    (pins count).
 
-    Thread safety: the frame table (residency, pins, LRU state, dirty
+    Replacement: two policies, both O(1) per operation over intrusive
+    doubly-linked queues (no scan of the frame table on the eviction
+    path).
+
+    {ul
+    {- [`Lru]: one recency queue; hits splice to the head, eviction takes
+       the tail. A single sequential scan wider than the cache replaces
+       everything — kept for A/B measurement (bench P1).}
+    {- [`Twoq]} (default): scan-resistant 2Q (Johnson & Shasha, VLDB '94).
+       First-touch pages enter a probationary FIFO [A1in]; evicted
+       probationers leave a data-less {e ghost} entry in [A1out]; a miss
+       that hits a ghost ("this page came back") loads straight into the
+       protected LRU queue [Am]. Hits inside [A1in] do not reorder it, so
+       one pass over a large corpus streams through [A1in] and can never
+       displace the hot index nodes resident in [Am].}}
+
+    Eviction honours pins and NO-STEAL by walking past ineligible frames
+    from the LRU end — O(1) in the common case, never a fold over all
+    frames.
+
+    Thread safety: the frame table (residency, pins, queues, dirty
     flags) is guarded by a mutex, stats are atomic, and contention on the
     frame-table mutex is itself counted ([lock_acquisitions] /
     [lock_waits]) so the pager's lock footprint is comparable with the
@@ -27,16 +46,46 @@
 
 type t
 
-exception Cache_full
-(** Raised when every frame is pinned and a new page is needed. Indicates
-    a too-small cache or a leak of pins; never expected in normal use. *)
+type full_reason =
+  | All_pinned
+      (** Every frame is pinned: the cache is smaller than the pin
+          working set, or a pin leaked. *)
+  | Dirty_no_steal
+      (** At least one frame is unpinned but every unpinned frame is
+          dirty under NO-STEAL: the dirty set outgrew the cache between
+          checkpoints. The remedy is a flush (journal checkpoint) or a
+          larger cache — not a bug in the caller's pin discipline. *)
 
-val create : ?cache_pages:int -> ?no_steal:bool -> Hfad_blockdev.Device.t -> t
+exception Cache_full of full_reason
+(** Raised when a new page is needed and no frame may be evicted; the
+    payload says which invariant blocked eviction so callers (the OSD in
+    particular) can react: [Dirty_no_steal] calls for a checkpoint,
+    [All_pinned] is a sizing/leak bug. *)
+
+type policy = [ `Lru | `Twoq ]
+
+val create :
+  ?cache_pages:int ->
+  ?no_steal:bool ->
+  ?policy:policy ->
+  ?kin:int ->
+  ?kout:int ->
+  Hfad_blockdev.Device.t ->
+  t
 (** [create dev] wraps [dev] with a cache of [cache_pages] frames
     (default 1024). With [no_steal:true], dirty frames are never evicted
     (they reach the device only through {!flush}) — the policy the
     write-ahead journal requires for crash consistency; the cache must
     then be large enough to hold the dirty working set between flushes.
+
+    [policy] selects the replacement policy (default [`Twoq]). [kin]
+    (default [cache_pages / 4]) is the probationary-queue target: pages
+    seen once occupy at most this many frames before becoming eviction
+    candidates. [kout] (default [cache_pages / 2]) is the ghost-history
+    length: how many recently evicted probationary pages are remembered
+    so that their return can be recognised and rewarded with protected
+    residency. Both are clamped to at least 1 (kout: 0 allowed, which
+    disables ghosts and degrades 2Q to FIFO+LRU).
     @raise Invalid_argument if [cache_pages <= 0]. *)
 
 val page_size : t -> int
@@ -44,6 +93,8 @@ val pages : t -> int
 (** Total pages on the underlying device. *)
 
 val device : t -> Hfad_blockdev.Device.t
+
+val policy : t -> policy
 
 val with_page : t -> int -> (Bytes.t -> 'a) -> 'a
 (** [with_page t n f] runs [f] on the contents of page [n] (read-only by
@@ -71,8 +122,9 @@ val dirty_pages : t -> (int * Bytes.t) list
     checkpoint must make durable. *)
 
 val invalidate : t -> unit
-(** Drop every clean frame (dirty frames are written back first). Mainly
-    for tests that want cold-cache behaviour. *)
+(** Drop every unpinned frame (dirty frames are written back first) and
+    forget the ghost history. Mainly for tests that want cold-cache
+    behaviour. *)
 
 (** {1 Statistics} *)
 
@@ -81,11 +133,34 @@ type stats = {
   hits : int;
   misses : int;
   write_backs : int;  (** dirty pages pushed to the device *)
+  evictions : int;    (** frames reclaimed to make room *)
+  ghost_hits : int;
+      (** misses that found their page in the ghost history and were
+          promoted straight into the protected queue (2Q only) *)
   lock_acquisitions : int;  (** frame-table mutex acquisitions *)
   lock_waits : int;
       (** acquisitions that found the mutex held by another thread *)
 }
 
+type occupancy = { a1in : int; a1out : int; am : int }
+(** Instantaneous queue lengths: probationary frames, ghost entries,
+    protected frames. Under [`Lru] every resident frame counts as [am]. *)
+
 val stats : t -> stats
 val reset_stats : t -> unit
+val occupancy : t -> occupancy
+
+val scan_resistance : t -> float
+(** Fraction of evictions taken from the probationary queue — i.e. pages
+    that were evicted without ever displacing protected residents. 1.0
+    under pure scan traffic means perfect protection of [Am]; [`Lru]
+    reports 0.0 once anything has been evicted (and 1.0 before). *)
+
+val metrics_prefix : t -> string
+(** Every pager registers its own gauges/counters in
+    {!Hfad_metrics.Registry.global} under a unique prefix (e.g.
+    ["pager3"]): [<prefix>.evictions], [<prefix>.ghost_hits],
+    [<prefix>.a1in], [<prefix>.a1out], [<prefix>.am],
+    [<prefix>.scan_resistance_pct]. *)
+
 val pp_stats : Format.formatter -> stats -> unit

@@ -5,9 +5,10 @@ module Pager = Hfad_pager.Pager
 
 let check = Alcotest.check
 
-let mk ?(cache_pages = 4) ?(block_size = 64) ?(blocks = 32) () =
+let mk ?(cache_pages = 4) ?(block_size = 64) ?(blocks = 32) ?policy ?kin ?kout
+    ?no_steal () =
   let dev = Device.create ~block_size ~blocks () in
-  (dev, Pager.create ~cache_pages dev)
+  (dev, Pager.create ~cache_pages ?policy ?kin ?kout ?no_steal dev)
 
 let test_geometry () =
   let _, p = mk ~block_size:128 ~blocks:8 () in
@@ -49,7 +50,7 @@ let test_eviction_writes_back () =
     (Device.read_block dev 0)
 
 let test_lru_eviction_order () =
-  let dev, p = mk ~cache_pages:2 () in
+  let dev, p = mk ~cache_pages:2 ~policy:`Lru () in
   Pager.with_page p 0 ignore;
   Pager.with_page p 1 ignore;
   Pager.with_page p 0 ignore;  (* page 0 is now most recently used *)
@@ -70,8 +71,8 @@ let test_cache_full_when_all_pinned () =
   let _, p = mk ~cache_pages:2 () in
   Pager.with_page p 0 (fun _ ->
       Pager.with_page p 1 (fun _ ->
-          Alcotest.check_raises "third page" Pager.Cache_full (fun () ->
-              Pager.with_page p 2 ignore)))
+          Alcotest.check_raises "third page" (Pager.Cache_full Pager.All_pinned)
+            (fun () -> Pager.with_page p 2 ignore)))
 
 let test_zero_page () =
   let dev, p = mk () in
@@ -126,6 +127,133 @@ let test_exception_in_callback_unpins () =
   Pager.with_page p 1 ignore;
   Pager.with_page p 2 ignore;
   Pager.with_page p 3 ignore
+
+(* --- replacement policy ------------------------------------------------- *)
+
+let test_twoq_probation_evicted_first () =
+  (* 2Q with kin=1: a re-referenced probationary page does NOT gain
+     recency (A1in is a FIFO), so the oldest arrival goes first. *)
+  let dev, p = mk ~cache_pages:2 ~policy:`Twoq ~kin:1 ~kout:4 () in
+  Pager.with_page p 0 ignore;
+  Pager.with_page p 1 ignore;
+  Pager.with_page p 0 ignore;  (* probation hit: must not reorder *)
+  Pager.with_page p 2 ignore;  (* evicts page 0, the oldest arrival *)
+  Device.reset_stats dev;
+  Pager.with_page p 1 ignore;  (* still resident *)
+  check Alcotest.int "page 1 survived" 0 (Device.stats dev).Device.reads;
+  Pager.with_page p 0 ignore;  (* was evicted (and ghosted) *)
+  check Alcotest.int "page 0 was evicted" 1 (Device.stats dev).Device.reads
+
+let test_ghost_promotion_survives_scan () =
+  (* The 2Q headline: a page that comes back after eviction is promoted
+     into Am, and a later sequential scan cannot displace it. *)
+  let dev, p = mk ~cache_pages:4 ~blocks:32 ~policy:`Twoq ~kin:1 ~kout:8 () in
+  Pager.with_page p 0 ignore;
+  (* Scan wider than the cache: flushes page 0 out of probation. *)
+  for n = 10 to 17 do
+    Pager.with_page p n ignore
+  done;
+  Pager.with_page p 0 ignore;  (* ghost hit -> promoted to Am *)
+  let s = Pager.stats p in
+  check Alcotest.bool "ghost hit recorded" true (s.Pager.ghost_hits >= 1);
+  (* Second scan: probationary traffic streams through A1in. *)
+  for n = 20 to 27 do
+    Pager.with_page p n ignore
+  done;
+  Device.reset_stats dev;
+  Pager.with_page p 0 ignore;
+  check Alcotest.int "protected page survived the scan" 0
+    (Device.stats dev).Device.reads;
+  let occ = Pager.occupancy p in
+  check Alcotest.bool "page 0 is in Am" true (occ.Pager.am >= 1);
+  check Alcotest.bool "scan traffic was evicted from probation" true
+    (Pager.scan_resistance p > 0.9)
+
+let test_lru_scan_flushes_hot_page () =
+  (* Control for the previous test: under LRU the same trace loses the
+     hot page to the scan. *)
+  let dev, p = mk ~cache_pages:4 ~blocks:32 ~policy:`Lru () in
+  Pager.with_page p 0 ignore;
+  for n = 10 to 17 do
+    Pager.with_page p n ignore
+  done;
+  Device.reset_stats dev;
+  Pager.with_page p 0 ignore;
+  check Alcotest.int "hot page was scanned out" 1 (Device.stats dev).Device.reads
+
+let test_no_steal_all_dirty_reason () =
+  (* Every frame unpinned but dirty under NO-STEAL: the payload must say
+     a checkpoint (not a pin hunt) is the remedy, and a flush must make
+     the cache usable again. *)
+  let _, p = mk ~cache_pages:2 ~no_steal:true () in
+  Pager.with_page_mut p 0 (fun page -> Bytes.fill page 0 64 'a');
+  Pager.with_page_mut p 1 (fun page -> Bytes.fill page 0 64 'b');
+  Alcotest.check_raises "all dirty" (Pager.Cache_full Pager.Dirty_no_steal)
+    (fun () -> Pager.with_page p 2 ignore);
+  Pager.flush p;
+  Pager.with_page p 2 ignore
+
+let test_dirty_blocked_reported_over_pinned () =
+  (* One frame pinned, one unpinned-but-dirty: eviction is blocked by the
+     NO-STEAL invariant, so that's the reported reason. *)
+  let _, p = mk ~cache_pages:2 ~no_steal:true () in
+  Pager.with_page_mut p 0 (fun page -> Bytes.fill page 0 64 'x');
+  Pager.with_page p 1 (fun _ ->
+      Alcotest.check_raises "dirty blocks" (Pager.Cache_full Pager.Dirty_no_steal)
+        (fun () -> Pager.with_page p 2 ignore))
+
+let test_per_pager_metrics_registered () =
+  let _, p = mk ~cache_pages:2 ~policy:`Twoq ~kin:1 () in
+  for n = 0 to 7 do
+    Pager.with_page p n ignore
+  done;
+  let prefix = Pager.metrics_prefix p in
+  let counters = Hfad_metrics.Registry.counters Hfad_metrics.Registry.global in
+  let get name =
+    match List.assoc_opt (prefix ^ "." ^ name) counters with
+    | Some v -> v
+    | None -> Alcotest.failf "counter %s.%s not registered" prefix name
+  in
+  check Alcotest.int "evictions gauge" (Pager.stats p).Pager.evictions
+    (get "evictions");
+  check Alcotest.bool "occupancy gauges published" true
+    (get "a1in" + get "am" = 2)
+
+(* qcheck: replacement policy must never change what callers read — 2Q
+   and LRU serve byte-identical pages under any access trace, and leave
+   identical device images behind. *)
+let prop_policies_serve_identical_contents =
+  let gen =
+    QCheck.Gen.(
+      list_size (int_range 1 120)
+        (pair (int_range 0 15) (int_range 0 4)))
+  in
+  let print ops =
+    String.concat ";"
+      (List.map (fun (p, c) -> Printf.sprintf "(%d,%d)" p c) ops)
+  in
+  let run policy ops =
+    let dev = Device.create ~block_size:32 ~blocks:16 () in
+    let p = Pager.create ~cache_pages:3 ~policy dev in
+    let outputs =
+      List.map
+        (fun (page, c) ->
+          if c = 0 then Pager.with_page p page Bytes.to_string
+          else begin
+            Pager.with_page_mut p page (fun b ->
+                Bytes.fill b 0 (Bytes.length b) (Char.chr (Char.code 'a' + c)));
+            ""
+          end)
+        ops
+    in
+    Pager.flush p;
+    let image =
+      List.init 16 (fun n -> Bytes.to_string (Device.read_block dev n))
+    in
+    (outputs, image)
+  in
+  QCheck.Test.make ~name:"2Q and LRU serve identical page contents" ~count:300
+    (QCheck.make ~print gen) (fun ops -> run `Twoq ops = run `Lru ops)
 
 (* --- concurrency ------------------------------------------------------- *)
 
@@ -190,7 +318,7 @@ let test_pin_discipline_survives_concurrency () =
           (* ...and a third simultaneous pin still overflows. *)
           match Pager.with_page p 2 ignore with
           | () -> Alcotest.fail "expected Cache_full"
-          | exception Pager.Cache_full -> ()));
+          | exception Pager.Cache_full _ -> ()));
   (* And the failure left no pin behind either. *)
   Pager.with_page p 2 ignore;
   Pager.with_page p 3 ignore
@@ -213,6 +341,19 @@ let suite =
       test_mutation_visible_after_eviction_cycle;
     Alcotest.test_case "stats reset" `Quick test_stats_reset;
     Alcotest.test_case "exception unpins" `Quick test_exception_in_callback_unpins;
+    Alcotest.test_case "2Q probation is FIFO" `Quick
+      test_twoq_probation_evicted_first;
+    Alcotest.test_case "2Q ghost promotion survives scan" `Quick
+      test_ghost_promotion_survives_scan;
+    Alcotest.test_case "LRU scan flushes hot page" `Quick
+      test_lru_scan_flushes_hot_page;
+    Alcotest.test_case "NO-STEAL all-dirty reason" `Quick
+      test_no_steal_all_dirty_reason;
+    Alcotest.test_case "dirty-blocked reported over pinned" `Quick
+      test_dirty_blocked_reported_over_pinned;
+    Alcotest.test_case "per-pager metrics registered" `Quick
+      test_per_pager_metrics_registered;
+    QCheck_alcotest.to_alcotest prop_policies_serve_identical_contents;
     Alcotest.test_case "concurrent with_page stats" `Quick
       test_concurrent_with_page_stats;
     Alcotest.test_case "concurrent mutation distinct pages" `Quick
