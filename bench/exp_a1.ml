@@ -17,7 +17,7 @@ open Bench_util
 let run () =
   heading "A1: conjunction order ablation (rare AND popular)";
   let dev = Device.create ~block_size:4096 ~blocks:131072 () in
-  let fs = Fs.format ~cache_pages:8192 ~index_mode:Fs.Off dev in
+  let fs = Fs.format ~config:(Fs.Config.v ~cache_pages:8192 ~index_mode:Fs.Off ()) dev in
   (* 20_000 objects tagged "common"; 10 of them also "rare". *)
   let n = scaled 20_000 ~smoke:600 in
   for i = 0 to n - 1 do
@@ -25,7 +25,7 @@ let run () =
       if i mod (n / 10) = 0 then [ (Tag.Udef, "common"); (Tag.Udef, "rare") ]
       else [ (Tag.Udef, "common") ]
     in
-    ignore (Fs.create fs ~names)
+    ignore (Fs.create_exn fs ~names)
   done;
   let rare = Query.Pair (Tag.Udef, "rare") in
   let common = Query.Pair (Tag.Udef, "common") in

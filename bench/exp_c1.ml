@@ -23,7 +23,7 @@ let filler i =
 
 let hier_cost ~depth =
   let dev = Device.create ~block_size:1024 ~blocks:65536 () in
-  let h = H.format ~cache_pages:2048 dev in
+  let h = H.format ~config:(H.Config.v ~cache_pages:2048 ()) dev in
   let dir =
     String.concat "" (List.init depth (fun i -> Printf.sprintf "/level%d" i))
   in
@@ -49,7 +49,7 @@ let hier_cost ~depth =
 
 let hfad_cost ~depth =
   let dev = Device.create ~block_size:1024 ~blocks:65536 () in
-  let fs = Fs.format ~cache_pages:2048 ~index_mode:Fs.Eager dev in
+  let fs = Fs.format ~config:(Fs.Config.v ~cache_pages:2048 ~index_mode:Fs.Eager ()) dev in
   (* Same corpus; hFAD does not care about depth, but we keep the POSIX
      names anyway to store an equivalent namespace. *)
   let posix = Hfad_posix.Posix_fs.mount fs in

@@ -37,7 +37,7 @@ let path u f = Printf.sprintf "/home/user%d/file%02d.txt" u f
 
 let build_hier () =
   let dev = Device.create ~block_size:1024 ~blocks:65536 () in
-  let h = H.format ~cache_pages:4096 dev in
+  let h = H.format ~config:(H.Config.v ~cache_pages:4096 ()) dev in
   for u = 0 to users - 1 do
     H.mkdir_p h (Printf.sprintf "/home/user%d" u);
     for f = 0 to files_per_user - 1 do
@@ -52,7 +52,7 @@ let build_hier () =
 
 let build_hfad () =
   let dev = Device.create ~block_size:1024 ~blocks:65536 () in
-  let fs = Fs.format ~cache_pages:4096 ~index_mode:Fs.Off dev in
+  let fs = Fs.format ~config:(Fs.Config.v ~cache_pages:4096 ~index_mode:Fs.Off ()) dev in
   let posix = P.mount fs in
   for u = 0 to users - 1 do
     P.mkdir_p posix (Printf.sprintf "/home/user%d" u);

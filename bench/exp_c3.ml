@@ -26,22 +26,22 @@ let needle = String.make 64 'N'
 
 let hfad_case size op =
   let dev = Device.create ~block_size:4096 ~blocks:65536 () in
-  let fs = Fs.format ~cache_pages:4096 ~index_mode:Fs.Off dev in
-  let oid = Fs.create fs ~content:(String.make size 'x') in
-  Fs.flush fs;
+  let fs = Fs.format ~config:(Fs.Config.v ~cache_pages:4096 ~index_mode:Fs.Off ()) dev in
+  let oid = Fs.create_exn fs ~content:(String.make size 'x') in
+  Fs.flush_exn fs;
   Device.reset_stats dev;
   let _, ms =
     time_ms (fun () ->
         (match op with
-        | `Insert -> Fs.insert fs oid ~off:(size / 2) needle
-        | `Remove -> Fs.remove_bytes fs oid ~off:(size / 2) ~len:64);
-        Fs.flush fs)
+        | `Insert -> Fs.insert_exn fs oid ~off:(size / 2) needle
+        | `Remove -> Fs.remove_bytes_exn fs oid ~off:(size / 2) ~len:64);
+        Fs.flush_exn fs)
   in
   ((Device.stats dev).Device.bytes_written, ms)
 
 let hier_case size op =
   let dev = Device.create ~block_size:4096 ~blocks:65536 () in
-  let h = H.format ~cache_pages:4096 dev in
+  let h = H.format ~config:(H.Config.v ~cache_pages:4096 ()) dev in
   ignore (H.create_file ~content:(String.make size 'x') h "/f");
   Hfad_pager.Pager.flush (H.pager h);
   Device.reset_stats dev;

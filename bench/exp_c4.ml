@@ -26,33 +26,33 @@ let collection k = Printf.sprintf "collection%02d" k
 
 let hfad_case k =
   let dev = Device.create ~block_size:4096 ~blocks:65536 () in
-  let fs = Fs.format ~cache_pages:4096 ~index_mode:Fs.Off dev in
+  let fs = Fs.format ~config:(Fs.Config.v ~cache_pages:4096 ~index_mode:Fs.Off ()) dev in
   let buddy = Hfad_osd.Osd.allocator (Fs.osd fs) in
   let before = (Buddy.stats buddy).Buddy.free_blocks in
   let oids =
     List.init (objects ()) (fun _ ->
-        let oid = Fs.create fs ~content:payload in
+        let oid = Fs.create_exn fs ~content:payload in
         for c = 0 to k - 1 do
-          Fs.name fs oid Tag.Udef (collection c)
+          Fs.name_exn fs oid Tag.Udef (collection c)
         done;
         oid)
   in
   let used = before - (Buddy.stats buddy).Buddy.free_blocks in
   (* Edit one object once: every "collection view" sees the change. *)
   let edit_us =
-    median_us ~n:11 (fun () -> Fs.write fs (List.hd oids) ~off:0 "EDIT")
+    median_us ~n:11 (fun () -> Fs.write_exn fs (List.hd oids) ~off:0 "EDIT")
   in
   (* Re-categorize: move object between collections. *)
   let recat_us =
     median_us ~n:11 (fun () ->
-        ignore (Fs.unname fs (List.hd oids) Tag.Udef (collection 0));
-        Fs.name fs (List.hd oids) Tag.Udef (collection 0))
+        ignore (Fs.unname_exn fs (List.hd oids) Tag.Udef (collection 0));
+        Fs.name_exn fs (List.hd oids) Tag.Udef (collection 0))
   in
   (used * 4096 / 1024, edit_us, recat_us)
 
 let hier_case k =
   let dev = Device.create ~block_size:4096 ~blocks:262144 () in
-  let h = H.format ~cache_pages:4096 dev in
+  let h = H.format ~config:(H.Config.v ~cache_pages:4096 ()) dev in
   let before = (Buddy.stats (H.allocator h)).Buddy.free_blocks in
   for c = 0 to k - 1 do
     H.mkdir_p h ("/" ^ collection c)
@@ -121,7 +121,7 @@ let rename_asymmetry () =
   let n = scaled 1000 ~smoke:50 in
   (* hierfs: move one directory entry. *)
   let dev = Device.create ~block_size:4096 ~blocks:65536 () in
-  let h = H.format ~cache_pages:4096 dev in
+  let h = H.format ~config:(H.Config.v ~cache_pages:4096 ()) dev in
   H.mkdir_p h "/old";
   for i = 0 to n - 1 do
     ignore (H.create_file ~content:"x" h (Printf.sprintf "/old/f%04d" i))
@@ -129,7 +129,7 @@ let rename_asymmetry () =
   let _, hier_ms = time_ms (fun () -> H.rename h "/old" "/new") in
   (* hFAD veneer: re-key every path under the directory. *)
   let dev2 = Device.create ~block_size:4096 ~blocks:65536 () in
-  let fs = Fs.format ~cache_pages:4096 ~index_mode:Fs.Off dev2 in
+  let fs = Fs.format ~config:(Fs.Config.v ~cache_pages:4096 ~index_mode:Fs.Off ()) dev2 in
   let p = P.mount fs in
   P.mkdir_p p "/old";
   for i = 0 to n - 1 do

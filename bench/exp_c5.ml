@@ -31,11 +31,11 @@ open Bench_util
 let build count =
   let photos = Corpus.photos (Rng.create 77L) ~count in
   let dev = Device.create ~block_size:4096 ~blocks:262144 () in
-  let fs = Fs.format ~cache_pages:8192 ~index_mode:Fs.Eager dev in
+  let fs = Fs.format ~config:(Fs.Config.v ~cache_pages:8192 ~index_mode:Fs.Eager ()) dev in
   let posix = P.mount fs in
   let _ = Load.photos_into_hfad posix photos in
   let dev2 = Device.create ~block_size:4096 ~blocks:262144 () in
-  let h = H.format ~cache_pages:8192 dev2 in
+  let h = H.format ~config:(H.Config.v ~cache_pages:8192 ()) dev2 in
   Load.photos_into_hierfs h photos;
   let ds = Search.create h in
   ignore (Search.index_tree ds "/");

@@ -22,7 +22,7 @@ let drain_batch () = scaled 250 ~smoke:40
 
 let ingest mode =
   let dev = Device.create ~block_size:4096 ~blocks:262144 () in
-  let fs = Fs.format ~cache_pages:8192 ~index_mode:mode dev in
+  let fs = Fs.format ~config:(Fs.Config.v ~cache_pages:8192 ~index_mode:mode ()) dev in
   let posix = P.mount fs in
   let emails = Corpus.emails (Rng.create 5L) ~count:(burst ()) in
   let _, ms = time_ms (fun () -> ignore (Load.emails_into_hfad posix emails)) in

@@ -15,7 +15,7 @@ open Bench_util
 let layer_costs () =
   heading "F1a: one operation per layer (median wall time)";
   let dev = Device.create ~block_size:4096 ~blocks:16384 () in
-  let fs = Fs.format ~index_mode:Fs.Eager dev in
+  let fs = Fs.format ~config:(Fs.Config.v ~index_mode:Fs.Eager ()) dev in
   let posix = P.mount fs in
   let pgr = Hfad_osd.Osd.pager (Fs.osd fs) in
   let buddy = Hfad_osd.Osd.allocator (Fs.osd fs) in
@@ -24,7 +24,7 @@ let layer_costs () =
   for i = 0 to scaled 9999 ~smoke:499 do
     Btree.put tree ~key:(Printf.sprintf "key%06d" i) ~value:"v"
   done;
-  let oid = Fs.create fs ~content:(String.make 100_000 'x') in
+  let oid = Fs.create_exn fs ~content:(String.make 100_000 'x') in
   P.mkdir_p posix "/bench/dir";
   ignore (P.create_file ~content:"hello" posix "/bench/dir/file.txt");
   let payload = Bytes.make 4096 'p' in

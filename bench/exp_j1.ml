@@ -22,19 +22,19 @@ let blocks = 65536
 let build ~journaled ~dirty_kb =
   let dev = Device.create ~block_size ~blocks () in
   let journal_pages = if journaled then 2048 else 0 in
-  let fs = Fs.format ~cache_pages:16384 ~index_mode:Fs.Off ~journal_pages dev in
-  let oid = Fs.create fs ~content:(String.make (dirty_kb * 1024) 'i') in
-  Fs.flush fs;
+  let fs = Fs.format ~config:(Fs.Config.v ~cache_pages:16384 ~index_mode:Fs.Off ~journal_pages ()) dev in
+  let oid = Fs.create_exn fs ~content:(String.make (dirty_kb * 1024) 'i') in
+  Fs.flush_exn fs;
   Device.reset_stats dev;
-  Fs.write fs oid ~off:0 (String.make (dirty_kb * 1024) 'j');
+  Fs.write_exn fs oid ~off:0 (String.make (dirty_kb * 1024) 'j');
   (dev, fs)
 
 let checkpoint_row dirty_kb =
   let dev_p, fs_p = build ~journaled:false ~dirty_kb in
-  let _, plain_ms = time_ms (fun () -> Fs.flush fs_p) in
+  let _, plain_ms = time_ms (fun () -> Fs.flush_exn fs_p) in
   let plain_writes = (Device.stats dev_p).Device.writes in
   let dev_j, fs_j = build ~journaled:true ~dirty_kb in
-  let _, jrn_ms = time_ms (fun () -> Fs.flush fs_j) in
+  let _, jrn_ms = time_ms (fun () -> Fs.flush_exn fs_j) in
   let jrn_writes = (Device.stats dev_j).Device.writes in
   [
     Printf.sprintf "%d KiB" dirty_kb;
@@ -53,13 +53,13 @@ let recovery_row dirty_kb =
     Device.set_fault dev (fun op _ ->
         if op = Device.Write then incr n;
         false);
-    Fs.flush fs;
+    Fs.flush_exn fs;
     Device.clear_fault dev;
     !n
   in
   let dev, fs = build ~journaled:true ~dirty_kb in
   Device.arm_crash dev ~after_writes:(total - 2) ();
-  (try Fs.flush fs with Device.Io_error _ -> ());
+  (try Fs.flush_exn fs with Device.Io_error _ -> ());
   let snapshot () =
     let path = Filename.temp_file "hfad_j1" ".img" in
     Device.save dev path;
@@ -70,19 +70,19 @@ let recovery_row dirty_kb =
   let crashed_ms =
     let copy = snapshot () in
     Device.reset_stats copy;
-    let _, ms = time_ms (fun () -> ignore (Fs.open_existing copy)) in
+    let _, ms = time_ms (fun () -> ignore (Fs.open_existing_exn copy)) in
     (ms, (Device.stats copy).Device.writes)
   in
   let clean_ms =
     (* Recover once, re-snapshot: now the image is clean; the reopen
        delta is pure recovery work. *)
     let healed = snapshot () in
-    ignore (Fs.open_existing healed);
+    ignore (Fs.open_existing_exn healed);
     let path = Filename.temp_file "hfad_j1" ".img" in
     Device.save healed path;
     let copy = Device.load path in
     Sys.remove path;
-    let _, ms = time_ms (fun () -> ignore (Fs.open_existing copy)) in
+    let _, ms = time_ms (fun () -> ignore (Fs.open_existing_exn copy)) in
     ms
   in
   let ms, replay_writes = crashed_ms in

@@ -25,7 +25,7 @@ let run () =
   heading "T1: naming-mode lookups over a mixed 2000-object corpus";
   let count = scaled 1000 ~smoke:60 in
   let dev = Device.create ~block_size:4096 ~blocks:131072 () in
-  let fs = Fs.format ~cache_pages:4096 ~index_mode:Fs.Eager dev in
+  let fs = Fs.format ~config:(Fs.Config.v ~cache_pages:4096 ~index_mode:Fs.Eager ()) dev in
   let posix = P.mount fs in
   let rng = Rng.create 2009L in
   let photos = Corpus.photos rng ~count in

@@ -35,12 +35,12 @@ let make_tests () =
   done;
   (* hFAD fixture *)
   let fdev = Device.create ~block_size:4096 ~blocks:131072 () in
-  let fs = Fs.format ~cache_pages:8192 ~index_mode:Fs.Eager fdev in
+  let fs = Fs.format ~config:(Fs.Config.v ~cache_pages:8192 ~index_mode:Fs.Eager ()) fdev in
   let posix = P.mount fs in
   P.mkdir_p posix "/a/b/c/d/e/f";
   ignore (P.create_file ~content:"deep" posix deep_path);
   let oid =
-    Fs.create fs
+    Fs.create_exn fs
       ~names:[ (Tag.User, "margo"); (Tag.Udef, "bench") ]
       ~content:"searchable benchmark object with special zebra content"
   in
@@ -48,11 +48,11 @@ let make_tests () =
   (* A second hFAD instance with content indexing off: the byte-op
      benchmarks measure the access path, not re-indexing (C3 matches). *)
   let odev = Device.create ~block_size:4096 ~blocks:131072 () in
-  let fs_off = Fs.format ~cache_pages:8192 ~index_mode:Fs.Off odev in
-  let big = Fs.create fs_off ~content:(String.make 1_048_576 'x') in
+  let fs_off = Fs.format ~config:(Fs.Config.v ~cache_pages:8192 ~index_mode:Fs.Off ()) odev in
+  let big = Fs.create_exn fs_off ~content:(String.make 1_048_576 'x') in
   (* hierarchical fixture *)
   let hdev = Device.create ~block_size:4096 ~blocks:131072 () in
-  let h = H.format ~cache_pages:8192 hdev in
+  let h = H.format ~config:(H.Config.v ~cache_pages:8192 ()) hdev in
   H.mkdir_p h "/a/b/c/d/e/f";
   ignore (H.create_file ~content:"deep" h deep_path);
   ignore (H.create_file ~content:(String.make 1_048_576 'x') h "/big");
@@ -79,8 +79,8 @@ let make_tests () =
       (Staged.stage (fun () -> ignore (H.resolve h deep_path)));
     Test.make ~name:"hfad.insert_middle(1MiB)"
       (Staged.stage (fun () ->
-           Fs.insert fs_off big ~off:524_288 "NEEDLE";
-           Fs.remove_bytes fs_off big ~off:524_288 ~len:6));
+           Fs.insert_exn fs_off big ~off:524_288 "NEEDLE";
+           Fs.remove_bytes_exn fs_off big ~off:524_288 ~len:6));
     Test.make ~name:"hier.insert_middle(1MiB)"
       (Staged.stage (fun () ->
            H.insert_middle h "/big" ~off:524_288 "NEEDLE";

@@ -26,11 +26,11 @@ let say fmt = Format.printf (fmt ^^ "@.")
 
 let with_image ?(write = false) image f =
   let dev = Device.load image in
-  let fs = Fs.open_existing ~index_mode:Fs.Eager dev in
+  let fs = Fs.open_existing_exn ~config:(Fs.Config.v ~index_mode:Fs.Eager ()) dev in
   let posix = P.mount fs in
   let result = f fs posix in
   if write then begin
-    Fs.flush fs;
+    Fs.flush_exn fs;
     Device.save dev image
   end;
   result
@@ -73,7 +73,7 @@ let mkfs image blocks block_size =
       let dev = Device.create ~block_size ~blocks () in
       let fs = Fs.format dev in
       let _ = P.mount fs in
-      Fs.flush fs;
+      Fs.flush_exn fs;
       Device.save dev image;
       say "formatted %s: %d blocks x %d bytes" image blocks block_size)
 
@@ -141,7 +141,7 @@ let tag image path pair =
       with_image ~write:true image (fun fs posix ->
           let tag, value = pair in
           let oid = P.resolve posix path in
-          Fs.name fs oid tag value;
+          Fs.name_exn fs oid tag value;
           say "tagged %s with %s" path (Format.asprintf "%a" Tag.pp_pair pair)))
 
 let pair_pos =
@@ -157,7 +157,7 @@ let untag image path pair =
       with_image ~write:true image (fun fs posix ->
           let tag, value = pair in
           let oid = P.resolve posix path in
-          if Fs.unname fs oid tag value then say "untagged"
+          if Fs.unname_exn fs oid tag value then say "untagged"
           else say "no such tag on %s" path))
 
 let untag_cmd =
@@ -237,7 +237,7 @@ let insert_bytes image path off data =
   handle_errors (fun () ->
       with_image ~write:true image (fun fs posix ->
           let oid = P.resolve posix path in
-          Fs.insert fs oid ~off data;
+          Fs.insert_exn fs oid ~off data;
           say "inserted %d bytes at offset %d" (String.length data) off))
 
 let insert_cmd =

@@ -14,6 +14,11 @@ dune runtest
 # regression here is never lost in the full-suite noise.
 dune exec test/test_main.exe -- test failures -e
 
+# Write-pipeline gate: group-commit semantics (coalescing, barrier
+# durability, sticky failure, readers racing the flusher, and the
+# pipelined==sync image-equivalence property) run loudly on their own.
+dune exec test/test_main.exe -- test pipeline -e
+
 # Bench bit-rot gate: every experiment at tiny N, asserting each runs to
 # completion. Numbers printed under --smoke are not measurements.
 dune exec bench/main.exe -- --smoke

@@ -27,14 +27,14 @@ let snapshot dev =
 
 let () =
   let dev = Device.create ~block_size:1024 ~blocks:16384 () in
-  let fs = Fs.format ~index_mode:Fs.Eager ~journal_pages:512 dev in
+  let fs = Fs.format ~config:(Fs.Config.v ~index_mode:Fs.Eager ~journal_pages:512 ()) dev in
   let posix = P.mount fs in
   say "formatted a journaled file system (journaled = %b)" (Fs.journaled fs);
 
   (* Checkpoint 1. *)
   P.mkdir_p posix "/ledger";
   ignore (P.create_file ~content:"balance: 100" posix "/ledger/account");
-  Fs.flush fs;
+  Fs.flush_exn fs;
   say "checkpoint 1: /ledger/account = %S" (P.read_file posix "/ledger/account");
 
   (* Mutate toward checkpoint 2: several related changes that must land
@@ -42,7 +42,7 @@ let () =
   P.write_file posix "/ledger/account" "balance: 250";
   ignore (P.create_file ~content:"credit +150 from payroll" posix "/ledger/journal-entry");
   let oid = P.resolve posix "/ledger/journal-entry" in
-  Fs.name fs oid Tag.Udef "payroll";
+  Fs.name_exn fs oid Tag.Udef "payroll";
   say "mutated: balance rewritten, journal entry created and tagged";
 
   (* Crash in the middle of the checkpoint's home writes: the journal
@@ -52,14 +52,23 @@ let () =
       op = Device.Write && idx > 513
       && (incr home_writes;
           !home_writes > 2));
-  (try
-     Fs.flush fs;
-     say "flush unexpectedly succeeded"
-   with Device.Io_error msg -> say "CRASH during checkpoint: %s" msg);
+  (* The device error surfaces as a typed [Fs.error], not an exception:
+     fallible entry points all have result form. *)
+  (match Fs.flush fs with
+  | Ok () -> say "flush unexpectedly succeeded"
+  | Error e -> say "CRASH during checkpoint: %s" (Fs.error_message e));
   Device.clear_fault dev;
 
-  (* Power comes back: reopen from the torn on-device state. *)
-  let fs2 = Fs.open_existing ~index_mode:Fs.Eager (snapshot dev) in
+  (* Power comes back: reopen from the torn on-device state. A failed
+     recovery would come back as [Error (Recovery _)] — match on it. *)
+  let reopen dev =
+    match Fs.open_existing ~config:(Fs.Config.v ~index_mode:Fs.Eager ()) dev with
+    | Ok fs -> fs
+    | Error e ->
+        say "recovery failed: %s" (Fs.error_message e);
+        exit 1
+  in
+  let fs2 = reopen (snapshot dev) in
   let posix2 = P.mount fs2 in
   say "";
   say "after reopen (journal replayed):";
@@ -80,15 +89,14 @@ let () =
   let dev2 = Fs.device fs2 in
   Device.arm_crash dev2 ~after_writes:0
     ~torn_bytes:(Device.block_size dev2 / 2) ();
-  (try
-     Fs.flush fs2;
-     say "flush unexpectedly succeeded"
-   with Device.Io_error msg ->
-     say "";
-     say "CRASH on the first journal write: %s" msg);
+  (match Fs.flush fs2 with
+  | Ok () -> say "flush unexpectedly succeeded"
+  | Error e ->
+      say "";
+      say "CRASH on the first journal write: %s" (Fs.error_message e));
   Device.disarm_crash dev2;
 
-  let fs3 = Fs.open_existing ~index_mode:Fs.Eager (snapshot dev2) in
+  let fs3 = reopen (snapshot dev2) in
   let posix3 = P.mount fs3 in
   say "after reopen (unsealed journal body discarded):";
   say "  /ledger/account = %S" (P.read_file posix3 "/ledger/account");

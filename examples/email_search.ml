@@ -28,7 +28,7 @@ let () =
 
   (* hFAD side. *)
   let dev = Device.create ~block_size:4096 ~blocks:65536 () in
-  let fs = Fs.format ~index_mode:Fs.Lazy dev in
+  let fs = Fs.format ~config:(Fs.Config.v ~index_mode:Fs.Lazy ()) dev in
   let p = P.mount fs in
   let _ = Load.emails_into_hfad p emails in
   say "loaded %d messages into hFAD (lazy indexing, backlog = %d)"

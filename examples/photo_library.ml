@@ -23,7 +23,7 @@ let say fmt = Format.printf (fmt ^^ "@.")
 
 let () =
   let dev = Device.create ~block_size:4096 ~blocks:65536 () in
-  let fs = Fs.format ~index_mode:Fs.Eager dev in
+  let fs = Fs.format ~config:(Fs.Config.v ~index_mode:Fs.Eager ()) dev in
   let p = P.mount fs in
 
   let photos = Corpus.photos (Rng.create 2009L) ~count:500 in
@@ -75,8 +75,8 @@ let () =
   (* And the restrictiveness point (§2.2): one photo, many collections,
      no copies. *)
   let oid = P.resolve p sample.Corpus.photo_path in
-  Fs.name fs oid Tag.Udef "best-of";
-  Fs.name fs oid Tag.Udef "screensaver";
+  Fs.name_exn fs oid Tag.Udef "best-of";
+  Fs.name_exn fs oid Tag.Udef "screensaver";
   say "";
   say "added %s to collections 'best-of' and 'screensaver' without copying;"
     (Hfad_posix.Path.basename sample.Corpus.photo_path);

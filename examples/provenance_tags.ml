@@ -22,14 +22,14 @@ let run_application fs ~app ~user ~outputs =
   List.iter
     (fun (label, content) ->
       ignore
-        (Fs.create fs
+        (Fs.create_exn fs
            ~names:[ (Tag.App, app); (Tag.User, user); (Tag.Udef, label) ]
            ~content))
     outputs
 
 let () =
   let dev = Device.create ~block_size:4096 ~blocks:32768 () in
-  let fs = Fs.format ~index_mode:Fs.Eager dev in
+  let fs = Fs.format ~config:(Fs.Config.v ~index_mode:Fs.Eager ()) dev in
 
   run_application fs ~app:"gcc" ~user:"nick"
     ~outputs:

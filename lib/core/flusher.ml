@@ -1,0 +1,190 @@
+module Osd = Hfad_osd.Osd
+module Histogram = Hfad_metrics.Histogram
+module Counter = Hfad_metrics.Counter
+module Registry = Hfad_metrics.Registry
+
+(* One set of pipeline metrics per process (same convention as the OSD's
+   op counters): several Fs instances share the histograms, and bench
+   code re-attaches to them by name through the registry. *)
+let h_latency = lazy (Histogram.make "fs.pipeline.commit_latency_us")
+let h_batch_ops = lazy (Histogram.make "fs.pipeline.batch_ops")
+let h_batch_pages = lazy (Histogram.make "fs.pipeline.batch_pages")
+let c_commits = lazy (Registry.counter Registry.global "fs.pipeline.commits")
+
+type t = {
+  mutex : Mutex.t;
+  work : Condition.t;  (* daemon wake: new work, barrier urgency, stop *)
+  done_ : Condition.t; (* barrier wake: a commit finished (or daemon died) *)
+  dirty_count : unit -> int;
+  commit : unit -> (unit, Osd.error) result;
+  batch_max_pages : int;
+  batch_max_age : float;
+  quantum : float;  (* age-trigger poll period (no timed condvar wait) *)
+  mutable worker : Thread.t option;
+  mutable stop_req : bool;
+  mutable urgent : bool;  (* a barrier wants the next commit now *)
+  mutable acked : int;    (* mutations acknowledged (sequence numbers) *)
+  mutable durable : int;  (* highest acked mutation made durable *)
+  mutable commits : int;
+  mutable first_pending : float;  (* arrival of oldest unflushed ack; 0 = none *)
+  mutable failed : Osd.error option;  (* sticky: first commit failure *)
+  mutable exited : bool;  (* daemon thread has left its loop *)
+}
+
+let create ?(batch_max_pages = 256) ?(batch_max_age = 0.010) ~dirty_count
+    ~commit () =
+  if batch_max_pages <= 0 then invalid_arg "Flusher.create: batch_max_pages";
+  if batch_max_age < 0.0 then invalid_arg "Flusher.create: batch_max_age";
+  {
+    mutex = Mutex.create ();
+    work = Condition.create ();
+    done_ = Condition.create ();
+    dirty_count;
+    commit;
+    batch_max_pages;
+    batch_max_age;
+    quantum = Float.max 0.001 (Float.min 0.01 (batch_max_age /. 4.));
+    worker = None;
+    stop_req = false;
+    urgent = false;
+    acked = 0;
+    durable = 0;
+    commits = 0;
+    first_pending = 0.0;
+    failed = None;
+    exited = false;
+  }
+
+let running t = t.worker <> None
+
+let note_mutation t =
+  Mutex.lock t.mutex;
+  t.acked <- t.acked + 1;
+  if t.first_pending = 0.0 then t.first_pending <- Unix.gettimeofday ();
+  Condition.signal t.work;
+  Mutex.unlock t.mutex
+
+(* Caller holds [t.mutex] and there is pending work. *)
+let should_commit t =
+  t.stop_req || t.urgent
+  || t.dirty_count () >= t.batch_max_pages
+  || (t.first_pending > 0.0
+     && Unix.gettimeofday () -. t.first_pending >= t.batch_max_age)
+
+(* The commit itself runs without the flusher mutex: it takes the stack's
+   rwlock exclusively, and mutators under that rwlock call
+   {!note_mutation}, which takes the flusher mutex — holding both here
+   would close a cycle. The [target] snapshot taken before unlocking can
+   only under-report durability (mutations acknowledged mid-commit may
+   or may not make this checkpoint, so they stay officially pending). *)
+let run_commit t =
+  let target = t.acked in
+  t.urgent <- false;
+  Mutex.unlock t.mutex;
+  let pages = t.dirty_count () in
+  let t0 = Unix.gettimeofday () in
+  let result = t.commit () in
+  let dt_us = int_of_float ((Unix.gettimeofday () -. t0) *. 1e6) in
+  Mutex.lock t.mutex;
+  (match result with
+  | Ok () ->
+      Histogram.observe (Lazy.force h_latency) dt_us;
+      Histogram.observe (Lazy.force h_batch_ops) (target - t.durable);
+      Histogram.observe (Lazy.force h_batch_pages) pages;
+      Counter.incr (Lazy.force c_commits);
+      t.commits <- t.commits + 1;
+      t.durable <- max t.durable target;
+      t.first_pending <-
+        (if t.acked > t.durable then Unix.gettimeofday () else 0.0)
+  | Error e -> if t.failed = None then t.failed <- Some e);
+  Condition.broadcast t.done_;
+  result
+
+let worker_loop t =
+  let rec run () =
+    Mutex.lock t.mutex;
+    while t.acked = t.durable && not t.stop_req do
+      Condition.wait t.work t.mutex
+    done;
+    if t.acked = t.durable then begin
+      (* stop requested, nothing pending: clean exit *)
+      t.exited <- true;
+      Condition.broadcast t.done_;
+      Mutex.unlock t.mutex
+    end
+    else begin
+      (* Pending work: wait for a trigger. The stdlib condvar has no
+         timed wait, so the age trigger is a short poll; the quantum is a
+         fraction of [batch_max_age], bounding trigger latency without
+         busy-waiting. *)
+      while not (should_commit t) do
+        Mutex.unlock t.mutex;
+        Thread.delay t.quantum;
+        Mutex.lock t.mutex
+      done;
+      match run_commit t with
+      | Ok () ->
+          Mutex.unlock t.mutex;
+          run ()
+      | Error _ ->
+          (* Sticky failure: exit rather than retry against a sick
+             device; barriers see [t.failed]. *)
+          t.exited <- true;
+          Mutex.unlock t.mutex
+    end
+  in
+  run ()
+
+let start t =
+  match t.worker with
+  | Some _ -> ()
+  | None ->
+      t.stop_req <- false;
+      t.urgent <- false;
+      t.failed <- None;
+      t.exited <- false;
+      t.worker <- Some (Thread.create worker_loop t)
+
+let stop t =
+  match t.worker with
+  | None -> ()
+  | Some thread ->
+      Mutex.lock t.mutex;
+      t.stop_req <- true;
+      Condition.broadcast t.work;
+      Mutex.unlock t.mutex;
+      Thread.join thread;
+      t.worker <- None;
+      t.stop_req <- false
+
+let barrier t =
+  Mutex.lock t.mutex;
+  let target = t.acked in
+  let result =
+    if target <= t.durable then Ok ()
+    else if t.worker = None || t.exited then
+      match t.failed with Some e -> Error e | None -> Error Osd.Stopped
+    else begin
+      t.urgent <- true;
+      Condition.signal t.work;
+      while t.durable < target && t.failed = None && not t.exited do
+        Condition.wait t.done_ t.mutex
+      done;
+      if t.durable >= target then Ok ()
+      else match t.failed with Some e -> Error e | None -> Error Osd.Stopped
+    end
+  in
+  Mutex.unlock t.mutex;
+  result
+
+type stats = { acked : int; durable : int; commits : int }
+
+let stats t =
+  Mutex.lock t.mutex;
+  let s = { acked = t.acked; durable = t.durable; commits = t.commits } in
+  Mutex.unlock t.mutex;
+  s
+
+let commit_latency _t = Lazy.force h_latency
+let batch_ops _t = Lazy.force h_batch_ops
+let batch_pages _t = Lazy.force h_batch_pages

@@ -1,6 +1,7 @@
 module Osd = Hfad_osd.Osd
 module Oid = Hfad_osd.Oid
 module Meta = Hfad_osd.Meta
+module Pager = Hfad_pager.Pager
 module Tag = Hfad_index.Tag
 module Index_store = Hfad_index.Index_store
 module Fulltext = Hfad_fulltext.Fulltext
@@ -9,47 +10,119 @@ module Rwlock = Hfad_util.Rwlock
 
 type index_mode = Eager | Lazy | Off
 
+type error = Osd.error =
+  | No_such_object of Oid.t
+  | Cache_full of Pager.full_reason
+  | Journal_full of { needed_blocks : int; have_blocks : int }
+  | Recovery of Hfad_journal.Journal.reason
+  | Out_of_space of { requested_blocks : int }
+  | Io of string
+  | Corrupt of string
+  | Stopped
+
+let pp_error = Osd.pp_error
+let error_message = Osd.error_message
+
+module Config = struct
+  type t = {
+    cache_pages : int;
+    max_extent_pages : int;
+    journal_pages : int;
+    policy : Pager.policy;
+    index_mode : index_mode;
+    batch_max_pages : int;
+    batch_max_age : float;
+    sync_writes : bool;
+  }
+
+  let default =
+    {
+      cache_pages = 1024;
+      max_extent_pages = 64;
+      journal_pages = 0;
+      policy = `Twoq;
+      index_mode = Lazy;
+      batch_max_pages = 256;
+      batch_max_age = 0.010;
+      sync_writes = false;
+    }
+
+  let v ?(cache_pages = default.cache_pages)
+      ?(max_extent_pages = default.max_extent_pages)
+      ?(journal_pages = default.journal_pages) ?(policy = default.policy)
+      ?(index_mode = default.index_mode)
+      ?(batch_max_pages = default.batch_max_pages)
+      ?(batch_max_age = default.batch_max_age)
+      ?(sync_writes = default.sync_writes) () =
+    {
+      cache_pages;
+      max_extent_pages;
+      journal_pages;
+      policy;
+      index_mode;
+      batch_max_pages;
+      batch_max_age;
+      sync_writes;
+    }
+
+  let osd t =
+    {
+      Osd.Config.cache_pages = t.cache_pages;
+      max_extent_pages = t.max_extent_pages;
+      journal_pages = t.journal_pages;
+      policy = t.policy;
+    }
+end
+
 type t = {
   osd : Osd.t;
   index : Index_store.t;
-  mode : index_mode;
+  config : Config.t;
   lock : Rwlock.t;  (* the OSD's lock, shared by every layer of this stack *)
+  mutable pipeline : Flusher.t option;
 }
 
 (* Locking discipline (§2.3 made concrete): naming and access reads —
    [lookup], [query], [search], [read], [list_names], ... — hold the
    shared side; every mutation holds the exclusive side. The layers
    below take the same reentrant lock again, so one Fs call costs a
-   handful of counter bumps, not nested blocking. *)
+   handful of counter bumps, not nested blocking. The pipeline daemon is
+   one more writer on this lock: its group commit runs under the
+   exclusive side, never under the flusher's own mutex (see
+   {!Flusher}). *)
 let shared t f = Rwlock.with_shared t.lock f
 let exclusive t f = Rwlock.with_exclusive t.lock f
 
-let mk ?(index_mode = Lazy) osd =
+let mk config osd =
   {
     osd;
     index = Index_store.create osd;
-    mode = index_mode;
+    config;
     lock = Osd.rwlock osd;
+    pipeline = None;
   }
 
-let format ?cache_pages ?index_mode ?journal_pages ?policy dev =
-  mk ?index_mode (Osd.format ?cache_pages ?journal_pages ?policy dev)
+let format ?(config = Config.default) dev =
+  mk config (Osd.format ~config:(Config.osd config) dev)
 
-let open_existing ?cache_pages ?index_mode ?policy dev =
-  mk ?index_mode (Osd.open_existing ?cache_pages ?policy dev)
+let open_existing_exn ?(config = Config.default) dev =
+  mk config (Osd.open_existing_exn ~config:(Config.osd config) dev)
 
-let flush t = Osd.flush t.osd
+let open_existing ?config dev =
+  Osd.guard (fun () -> open_existing_exn ?config dev)
+
+let config t = t.config
 let journaled t = Osd.journaled t.osd
 let device t = Osd.device t.osd
 let osd t = t.osd
 let index t = t.index
-let index_mode t = t.mode
+let index_mode t = t.config.Config.index_mode
 let rwlock t = t.lock
 
 (* --- content indexing -------------------------------------------------- *)
 
 let reindex t oid =
-  match t.mode with
+  match t.config.Config.index_mode with
   | Off -> ()
   | Lazy -> Index_store.index_text ~lazily:true t.index oid (Osd.read_all t.osd oid)
   | Eager ->
@@ -59,10 +132,80 @@ let drain_index t =
   exclusive t (fun () -> Lazy_indexer.drain_all (Index_store.indexer t.index))
 let index_backlog t = Lazy_indexer.pending (Index_store.indexer t.index)
 
+(* --- durability --------------------------------------------------------- *)
+
+(* One group commit: everything the stack has mutated so far — queued
+   content indexing included, so search is consistent with whatever
+   state a crash recovers — becomes durable in a single journaled
+   checkpoint. This is both the daemon's commit closure and the
+   synchronous path, so pipelined and sync modes persist byte-identical
+   state. *)
+let group_commit_exn t =
+  exclusive t (fun () ->
+      Lazy_indexer.drain_all (Index_store.indexer t.index);
+      Osd.flush_exn t.osd)
+
+let flush_exn t = group_commit_exn t
+let flush t = Osd.guard (fun () -> group_commit_exn t)
+
+(* Called at the tail of every mutation, still inside the exclusive
+   section. Pipelined: acknowledge into the daemon's batch (reentrancy
+   note: the daemon never takes the stack lock while holding its mutex,
+   so this lock order — rwlock, then flusher mutex — cannot deadlock).
+   [sync_writes]: checkpoint before the mutation even returns. Neither:
+   durability waits for an explicit {!flush}/{!barrier}. *)
+let note_write t =
+  match t.pipeline with
+  | Some fl when Flusher.running fl -> Flusher.note_mutation fl
+  | _ -> if t.config.Config.sync_writes then group_commit_exn t
+
+let mutate t f =
+  Osd.guard (fun () ->
+      exclusive t (fun () ->
+          let v = f () in
+          note_write t;
+          v))
+
+let barrier t =
+  match t.pipeline with
+  | Some fl when Flusher.running fl -> Flusher.barrier fl
+  | _ -> flush t
+
+let barrier_exn t =
+  match barrier t with Ok () -> () | Error e -> Osd.raise_error e
+
+let start_pipeline t =
+  if not t.config.Config.sync_writes then begin
+    let fl =
+      match t.pipeline with
+      | Some fl -> fl
+      | None ->
+          let fl =
+            Flusher.create
+              ~batch_max_pages:t.config.Config.batch_max_pages
+              ~batch_max_age:t.config.Config.batch_max_age
+              ~dirty_count:(fun () -> Pager.dirty_count (Osd.pager t.osd))
+              ~commit:(fun () -> Osd.guard (fun () -> group_commit_exn t))
+              ()
+          in
+          t.pipeline <- Some fl;
+          fl
+    in
+    Flusher.start fl
+  end
+
+let stop_pipeline t =
+  match t.pipeline with None -> () | Some fl -> Flusher.stop fl
+
+let pipeline_running t =
+  match t.pipeline with Some fl -> Flusher.running fl | None -> false
+
+let pipeline_stats t = Option.map Flusher.stats t.pipeline
+
 (* --- lifecycle ----------------------------------------------------------- *)
 
 let create ?meta ?(names = []) ?content t =
-  exclusive t (fun () ->
+  mutate t (fun () ->
       let oid = Osd.create_object ?meta t.osd in
       List.iter (fun (tag, value) -> Index_store.add t.index oid tag value) names;
       (match content with
@@ -73,7 +216,7 @@ let create ?meta ?(names = []) ?content t =
       oid)
 
 let delete t oid =
-  exclusive t (fun () ->
+  mutate t (fun () ->
       (* Flush any queued indexing first so a pending Index for this OID
          does not resurrect postings after the drop. *)
       drain_index t;
@@ -86,12 +229,13 @@ let object_count t = Osd.object_count t.osd
 (* --- naming ----------------------------------------------------------------- *)
 
 let name t oid tag value =
-  exclusive t (fun () ->
+  mutate t (fun () ->
       if not (Osd.exists t.osd oid) then raise (Osd.No_such_object oid);
       Index_store.add t.index oid tag value)
 
 let unname t oid tag value =
-  exclusive t (fun () -> Index_store.remove t.index oid tag value)
+  mutate t (fun () -> Index_store.remove t.index oid tag value)
+
 let names_of t oid = Index_store.values_of t.index oid
 let lookup t pairs = Index_store.query t.index pairs
 
@@ -111,33 +255,47 @@ let read t oid ~off ~len = Osd.read t.osd oid ~off ~len
 let read_all t oid = Osd.read_all t.osd oid
 
 let write t oid ~off data =
-  exclusive t (fun () ->
+  mutate t (fun () ->
       Osd.write t.osd oid ~off data;
       reindex t oid)
 
 let append t oid data =
-  exclusive t (fun () ->
+  mutate t (fun () ->
       Osd.append t.osd oid data;
       reindex t oid)
 
 let insert t oid ~off data =
-  exclusive t (fun () ->
+  mutate t (fun () ->
       Osd.insert t.osd oid ~off data;
       reindex t oid)
 
 let remove_bytes t oid ~off ~len =
-  exclusive t (fun () ->
+  mutate t (fun () ->
       Osd.remove_bytes t.osd oid ~off ~len;
       reindex t oid)
 
 let truncate t oid size =
-  exclusive t (fun () ->
+  mutate t (fun () ->
       Osd.truncate t.osd oid size;
       reindex t oid)
 
 let size t oid = Osd.size t.osd oid
 let metadata t oid = Osd.metadata t.osd oid
-let update_metadata t oid f = Osd.update_metadata t.osd oid f
+let update_metadata t oid f = mutate t (fun () -> Osd.update_metadata t.osd oid f)
+
+(* --- _exn conveniences ---------------------------------------------------- *)
+
+let get = function Ok v -> v | Error e -> Osd.raise_error e
+let create_exn ?meta ?names ?content t = get (create ?meta ?names ?content t)
+let delete_exn t oid = get (delete t oid)
+let name_exn t oid tag value = get (name t oid tag value)
+let unname_exn t oid tag value = get (unname t oid tag value)
+let write_exn t oid ~off data = get (write t oid ~off data)
+let append_exn t oid data = get (append t oid data)
+let insert_exn t oid ~off data = get (insert t oid ~off data)
+let remove_bytes_exn t oid ~off ~len = get (remove_bytes t oid ~off ~len)
+let truncate_exn t oid size = get (truncate t oid size)
+let update_metadata_exn t oid f = get (update_metadata t oid f)
 
 let verify t =
   shared t (fun () ->

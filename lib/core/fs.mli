@@ -17,8 +17,27 @@
     {- {b Access}: POSIX-shaped {!read}/{!write} plus the hFAD
        extensions {!insert} and {!remove_bytes} (§3.1.2).}
     {- {b Content indexing}: mutations queue the object for lazy
-       re-indexing (§3.4); {!drain_index} forces the queue, or start the
-       background thread via the store's indexer.}}
+       re-indexing (§3.4); {!drain_index} forces the queue, or let the
+       write pipeline's daemon drain it at each group commit.}}
+
+    {b Durability model.} Mutations update the in-memory stack and
+    return; they become durable at a {e durability point} — an explicit
+    {!flush}/{!barrier}, or automatically once the asynchronous write
+    pipeline is running ({!start_pipeline}): a background daemon
+    coalesces acknowledged mutations and issues one journaled group
+    commit per batch, amortizing the journal's fixed cost over many
+    logical operations. {!barrier} is the pipeline's fsync: it returns
+    only once every previously acknowledged mutation is journaled.
+    [Config.sync_writes = true] instead checkpoints after {e every}
+    mutation — per-op durability, the baseline bench W1 measures the
+    pipeline against.
+
+    {b Errors.} Fallible entry points return [('a, error) result] where
+    {!error} is {!Hfad_osd.Osd.error} (re-exported with equality, so the
+    constructors interoperate). Each has an [_exn] convenience that
+    re-raises the underlying exception; reads raise as before
+    ([Osd.No_such_object] etc.), since an absent object on the read path
+    is usually a program logic bug, not an environmental failure.
 
     The POSIX compatibility veneer (module {!Hfad_posix.Posix_fs}) is a
     thin client of this API, exactly as the paper prescribes: "a POSIX
@@ -29,7 +48,9 @@
     shared by this module, the index stores and the OSD: {!lookup},
     {!query}, {!search}, {!read}, {!list_names} and the other read entry
     points hold the shared side; every mutation holds the exclusive
-    side. §2.3's contrast is exactly here — resolution through this flat
+    side. The pipeline daemon is one more writer on the same lock — its
+    group commit takes the exclusive side, so readers race it safely.
+    §2.3's contrast is exactly here — resolution through this flat
     namespace contends only when someone is {e writing}, never because
     two readers share an ancestor directory; experiment C2 measures the
     difference with the lock's contention counters. *)
@@ -41,28 +62,76 @@ type index_mode =
   | Lazy   (** content indexed when the indexer drains (default; §3.4) *)
   | Off    (** content never indexed (naming by attributes/ID only) *)
 
-val format :
-  ?cache_pages:int ->
-  ?index_mode:index_mode ->
-  ?journal_pages:int ->
-  ?policy:Hfad_pager.Pager.policy ->
-  Hfad_blockdev.Device.t ->
-  t
-(** Make a fresh file system on a device. [journal_pages > 0] turns
-    {!flush} into a crash-consistent checkpoint backed by a write-ahead
-    journal of that many blocks (see {!Hfad_osd.Osd.format}). [policy]
-    selects the page-cache replacement policy (default [`Twoq], scan
-    resistant — see {!Hfad_pager.Pager}). *)
+(** {1 Errors} *)
+
+type error = Hfad_osd.Osd.error =
+  | No_such_object of Hfad_osd.Oid.t
+  | Cache_full of Hfad_pager.Pager.full_reason
+  | Journal_full of { needed_blocks : int; have_blocks : int }
+  | Recovery of Hfad_journal.Journal.reason
+  | Out_of_space of { requested_blocks : int }
+  | Io of string
+  | Corrupt of string
+  | Stopped  (** see {!Hfad_osd.Osd.error} for per-case meaning *)
+
+val pp_error : Format.formatter -> error -> unit
+val error_message : error -> string
+
+(** {1 Configuration} *)
+
+module Config : sig
+  type t = {
+    cache_pages : int;  (** pager frames (default 1024) *)
+    max_extent_pages : int;  (** single-extent size bound (default 64) *)
+    journal_pages : int;
+        (** write-ahead journal blocks; 0 = unjournaled (default 0) *)
+    policy : Hfad_pager.Pager.policy;  (** page replacement (default [`Twoq]) *)
+    index_mode : index_mode;  (** content indexing (default [Lazy]) *)
+    batch_max_pages : int;
+        (** pipeline size trigger: group-commit once this many pages are
+            dirty (default 256) *)
+    batch_max_age : float;
+        (** pipeline age trigger, seconds: an acknowledged mutation
+            waits at most this long for its commit (default 0.010) *)
+    sync_writes : bool;
+        (** checkpoint after every mutation — per-op durability instead
+            of group commit (default [false]) *)
+  }
+
+  val default : t
+
+  val v :
+    ?cache_pages:int ->
+    ?max_extent_pages:int ->
+    ?journal_pages:int ->
+    ?policy:Hfad_pager.Pager.policy ->
+    ?index_mode:index_mode ->
+    ?batch_max_pages:int ->
+    ?batch_max_age:float ->
+    ?sync_writes:bool ->
+    unit ->
+    t
+  (** {!default} with the given fields replaced. *)
+
+  val osd : t -> Hfad_osd.Osd.Config.t
+  (** The OSD-layer projection of this configuration. *)
+end
+
+val format : ?config:Config.t -> Hfad_blockdev.Device.t -> t
+(** Make a fresh file system on a device. [config.journal_pages > 0]
+    makes every durability point a crash-consistent checkpoint backed by
+    a write-ahead journal of that many blocks (see
+    {!Hfad_osd.Osd.format}).
+    @raise Invalid_argument if the device is too small. *)
 
 val open_existing :
-  ?cache_pages:int ->
-  ?index_mode:index_mode ->
-  ?policy:Hfad_pager.Pager.policy ->
-  Hfad_blockdev.Device.t ->
-  t
-(** Re-attach to a formatted device. *)
+  ?config:Config.t -> Hfad_blockdev.Device.t -> (t, error) result
+(** Re-attach to a formatted device, running journal recovery first.
+    [config.journal_pages] is ignored — the superblock knows. *)
 
-val flush : t -> unit
+val open_existing_exn : ?config:Config.t -> Hfad_blockdev.Device.t -> t
+
+val config : t -> Config.t
 val journaled : t -> bool
 val device : t -> Hfad_blockdev.Device.t
 val osd : t -> Hfad_osd.Osd.t
@@ -73,6 +142,45 @@ val rwlock : t -> Hfad_util.Rwlock.t
 (** The stack-wide shared/exclusive lock (the OSD's); read its
     {!Hfad_util.Rwlock.stats} to see this instance's lock footprint. *)
 
+(** {1 Durability: flush, barrier, and the write pipeline} *)
+
+val flush : t -> (unit, error) result
+(** Synchronous checkpoint, unconditionally: drain the content-indexing
+    queue, then journal-commit the dirty set and write it home
+    ({!Hfad_osd.Osd.flush}). Runs in the caller's thread even while the
+    pipeline is up (commits serialize on the stack lock). *)
+
+val flush_exn : t -> unit
+
+val barrier : t -> (unit, error) result
+(** The durability point — fsync semantics: returns [Ok ()] only once
+    every mutation acknowledged before this call is durable. With the
+    pipeline running this hands the batch to the daemon and blocks for
+    its commit; otherwise it degenerates to {!flush}. [Error] carries
+    the commit's failure (sticky while the pipeline is up — a failed
+    daemon fails every subsequent barrier until {!start_pipeline}). *)
+
+val barrier_exn : t -> unit
+
+val start_pipeline : t -> unit
+(** Start the asynchronous group-commit daemon. From here until
+    {!stop_pipeline}, mutations are acknowledged into an in-memory batch
+    and made durable in the background — when the dirty set reaches
+    [batch_max_pages], when the oldest acknowledged mutation is
+    [batch_max_age] old, or at a {!barrier}, whichever is first. Each
+    group commit also drains the lazy indexer, so no separate indexer
+    thread is needed. No-op if already running or if
+    [config.sync_writes] is set (the two modes are exclusive). *)
+
+val stop_pipeline : t -> unit
+(** Drain the pipeline (final group commit of everything acknowledged)
+    and join the daemon. No-op if not running. *)
+
+val pipeline_running : t -> bool
+
+val pipeline_stats : t -> Flusher.stats option
+(** [None] when no pipeline was ever started. *)
+
 (** {1 Object lifecycle} *)
 
 val create :
@@ -80,23 +188,33 @@ val create :
   ?names:(Hfad_index.Tag.t * string) list ->
   ?content:string ->
   t ->
-  Hfad_osd.Oid.t
+  (Hfad_osd.Oid.t, error) result
 (** Create an object, optionally with initial names and content. *)
 
-val delete : t -> Hfad_osd.Oid.t -> unit
+val create_exn :
+  ?meta:Hfad_osd.Meta.t ->
+  ?names:(Hfad_index.Tag.t * string) list ->
+  ?content:string ->
+  t ->
+  Hfad_osd.Oid.t
+
+val delete : t -> Hfad_osd.Oid.t -> (unit, error) result
 (** Remove the object and every index entry that names it. *)
 
+val delete_exn : t -> Hfad_osd.Oid.t -> unit
 val exists : t -> Hfad_osd.Oid.t -> bool
 val object_count : t -> int
 
 (** {1 Naming interfaces (§3.1.1)} *)
 
-val name : t -> Hfad_osd.Oid.t -> Hfad_index.Tag.t -> string -> unit
+val name : t -> Hfad_osd.Oid.t -> Hfad_index.Tag.t -> string -> (unit, error) result
 (** Attach one more name. @raise Hfad_index.Index_store.Unsupported_tag
     for [Id]/[Fulltext] (identity is intrinsic; content names come from
-    the indexer). *)
+    the indexer) — misuse, not an {!error}. *)
 
-val unname : t -> Hfad_osd.Oid.t -> Hfad_index.Tag.t -> string -> bool
+val name_exn : t -> Hfad_osd.Oid.t -> Hfad_index.Tag.t -> string -> unit
+val unname : t -> Hfad_osd.Oid.t -> Hfad_index.Tag.t -> string -> (bool, error) result
+val unname_exn : t -> Hfad_osd.Oid.t -> Hfad_index.Tag.t -> string -> bool
 
 val names_of : t -> Hfad_osd.Oid.t -> (Hfad_index.Tag.t * string) list
 (** Every attribute name the object carries. *)
@@ -127,18 +245,36 @@ val list_names : t -> Hfad_index.Tag.t -> prefix:string -> (string * Hfad_osd.Oi
 (** All (value, oid) names under a tag with a value prefix — the
     primitive behind POSIX directory listing. *)
 
-(** {1 Access interfaces (§3.1.2)} *)
+(** {1 Access interfaces (§3.1.2)}
+
+    Reads raise ({!Hfad_osd.Osd.No_such_object}); mutations return
+    [result] with [_exn] conveniences, and each acknowledged mutation
+    joins the current pipeline batch (or checkpoints inline under
+    [sync_writes]). *)
 
 val read : t -> Hfad_osd.Oid.t -> off:int -> len:int -> string
 val read_all : t -> Hfad_osd.Oid.t -> string
-val write : t -> Hfad_osd.Oid.t -> off:int -> string -> unit
-val append : t -> Hfad_osd.Oid.t -> string -> unit
-val insert : t -> Hfad_osd.Oid.t -> off:int -> string -> unit
-val remove_bytes : t -> Hfad_osd.Oid.t -> off:int -> len:int -> unit
-val truncate : t -> Hfad_osd.Oid.t -> int -> unit
+val write : t -> Hfad_osd.Oid.t -> off:int -> string -> (unit, error) result
+val write_exn : t -> Hfad_osd.Oid.t -> off:int -> string -> unit
+val append : t -> Hfad_osd.Oid.t -> string -> (unit, error) result
+val append_exn : t -> Hfad_osd.Oid.t -> string -> unit
+val insert : t -> Hfad_osd.Oid.t -> off:int -> string -> (unit, error) result
+val insert_exn : t -> Hfad_osd.Oid.t -> off:int -> string -> unit
+
+val remove_bytes :
+  t -> Hfad_osd.Oid.t -> off:int -> len:int -> (unit, error) result
+
+val remove_bytes_exn : t -> Hfad_osd.Oid.t -> off:int -> len:int -> unit
+val truncate : t -> Hfad_osd.Oid.t -> int -> (unit, error) result
+val truncate_exn : t -> Hfad_osd.Oid.t -> int -> unit
 val size : t -> Hfad_osd.Oid.t -> int
 val metadata : t -> Hfad_osd.Oid.t -> Hfad_osd.Meta.t
-val update_metadata : t -> Hfad_osd.Oid.t -> (Hfad_osd.Meta.t -> Hfad_osd.Meta.t) -> unit
+
+val update_metadata :
+  t -> Hfad_osd.Oid.t -> (Hfad_osd.Meta.t -> Hfad_osd.Meta.t) -> (unit, error) result
+
+val update_metadata_exn :
+  t -> Hfad_osd.Oid.t -> (Hfad_osd.Meta.t -> Hfad_osd.Meta.t) -> unit
 
 (** {1 Content indexing} *)
 

@@ -73,9 +73,19 @@ let make_dir_inode t ~ino =
   put_inode t inode;
   inode
 
-let format ?(cache_pages = 1024) ?policy dev =
+module Config = struct
+  type t = { cache_pages : int; policy : Pager.policy }
+
+  let default = { cache_pages = 1024; policy = `Twoq }
+
+  let v ?(cache_pages = default.cache_pages) ?(policy = default.policy) () =
+    { cache_pages; policy }
+end
+
+let format ?(config = Config.default) dev =
+  let { Config.cache_pages; policy } = config in
   if Device.blocks dev < 8 then invalid_arg "Hierfs: device too small";
-  let pgr = Pager.create ~cache_pages ?policy dev in
+  let pgr = Pager.create ~cache_pages ~policy dev in
   let buddy =
     Buddy.create ~first_block:data_first_block
       ~blocks:(Device.blocks dev - data_first_block)

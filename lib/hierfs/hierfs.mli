@@ -28,11 +28,23 @@ type errno = ENOENT | EEXIST | ENOTDIR | EISDIR | ENOTEMPTY | EINVAL
 
 exception Error of errno * string
 
-val format :
-  ?cache_pages:int -> ?policy:Hfad_pager.Pager.policy -> Hfad_blockdev.Device.t -> t
-(** Fresh file system with an empty root directory. [policy] selects the
-    page-cache replacement policy (default [`Twoq]) so baseline-vs-hFAD
-    comparisons run over identical caching. *)
+(** Sizing and policy knobs, mirroring {!Hfad.Fs.Config} so A/B
+    experiments configure both systems the same way. *)
+module Config : sig
+  type t = {
+    cache_pages : int;  (** pager frames (default 1024) *)
+    policy : Hfad_pager.Pager.policy;
+        (** page replacement (default [`Twoq]) *)
+  }
+
+  val default : t
+  val v : ?cache_pages:int -> ?policy:Hfad_pager.Pager.policy -> unit -> t
+end
+
+val format : ?config:Config.t -> Hfad_blockdev.Device.t -> t
+(** Fresh file system with an empty root directory. [config.policy]
+    selects the page-cache replacement policy (default [`Twoq]) so
+    baseline-vs-hFAD comparisons run over identical caching. *)
 
 val device : t -> Hfad_blockdev.Device.t
 val pager : t -> Hfad_pager.Pager.t

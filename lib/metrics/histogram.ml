@@ -1,0 +1,89 @@
+(* Cumulative-bucket histogram over ordinary registry counters: each
+   observation is two atomic increments (bucket + count) and an atomic
+   add (sum), so the pipeline's commit path pays a handful of atomics,
+   never a lock. *)
+
+type t = {
+  name : string;
+  bounds : int array;            (* strictly increasing upper bounds *)
+  buckets : Counter.t array;     (* buckets.(i) counts values <= bounds.(i) *)
+  overflow : Counter.t;          (* values above the last bound *)
+  count : Counter.t;
+  sum : Counter.t;
+}
+
+(* 1-2-5 ladder over six decades: fine enough near the bottom for
+   microsecond latencies, wide enough at the top for page counts. *)
+let default_bounds =
+  [|
+    1; 2; 5; 10; 20; 50; 100; 200; 500; 1_000; 2_000; 5_000; 10_000; 20_000;
+    50_000; 100_000; 200_000; 500_000; 1_000_000; 2_000_000; 5_000_000;
+    10_000_000;
+  |]
+
+let make ?(registry = Registry.global) ?(bounds = default_bounds) name =
+  if Array.length bounds = 0 then invalid_arg "Histogram.make: no bounds";
+  Array.iteri
+    (fun i b ->
+      if i > 0 && b <= bounds.(i - 1) then
+        invalid_arg "Histogram.make: bounds must be strictly increasing")
+    bounds;
+  let counter suffix = Registry.counter registry (name ^ "." ^ suffix) in
+  {
+    name;
+    bounds;
+    buckets = Array.map (fun b -> counter (Printf.sprintf "le_%d" b)) bounds;
+    overflow = counter "le_inf";
+    count = counter "count";
+    sum = counter "sum";
+  }
+
+let name t = t.name
+
+(* Smallest index whose bound admits [v], or None for overflow. *)
+let bucket_index t v =
+  let n = Array.length t.bounds in
+  if v > t.bounds.(n - 1) then None
+  else begin
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if v <= t.bounds.(mid) then hi := mid else lo := mid + 1
+    done;
+    Some !lo
+  end
+
+let observe t v =
+  (match bucket_index t v with
+  | Some i -> Counter.incr t.buckets.(i)
+  | None -> Counter.incr t.overflow);
+  Counter.incr t.count;
+  Counter.add t.sum v
+
+let count t = Counter.get t.count
+let sum t = Counter.get t.sum
+
+let mean t =
+  let n = count t in
+  if n = 0 then 0.0 else float_of_int (sum t) /. float_of_int n
+
+let quantile t q =
+  let n = count t in
+  if n = 0 then 0
+  else begin
+    let target = int_of_float (ceil (q *. float_of_int n)) in
+    let target = max 1 (min n target) in
+    let acc = ref 0 and result = ref None in
+    Array.iteri
+      (fun i b ->
+        if !result = None then begin
+          acc := !acc + Counter.get t.buckets.(i);
+          if !acc >= target then result := Some b
+        end)
+      t.bounds;
+    match !result with Some b -> b | None -> max_int
+  end
+
+let pp fmt t =
+  Format.fprintf fmt "%s: count=%d mean=%.1f p50<=%d p95<=%d" t.name (count t)
+    (mean t) (quantile t 0.5) (quantile t 0.95)

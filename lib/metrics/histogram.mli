@@ -1,0 +1,48 @@
+(** A named, thread-safe, fixed-bucket histogram.
+
+    The write pipeline publishes its commit latencies and batch sizes
+    here so experiments read {e distributions}, not just totals — a
+    group commit is only a win if the tail latency of the batch stays
+    bounded while the mean cost per operation collapses, and that claim
+    needs percentiles.
+
+    Buckets are cumulative ("observations ≤ bound"), with a catch-all
+    overflow bucket, in the style of Prometheus histograms. Every bucket
+    is an ordinary {!Counter} registered in a {!Registry} under
+    [<name>.le_<bound>], alongside [<name>.count] and [<name>.sum], so
+    snapshot/diff and the experiment tables see histogram movement with
+    no new machinery. Observations are atomic counter bumps — safe from
+    any thread or domain, cheap enough for a per-commit hot path. *)
+
+type t
+
+val make : ?registry:Registry.t -> ?bounds:int array -> string -> t
+(** [make name] creates (or re-attaches to) the histogram registered
+    under [name] in [registry] (default {!Registry.global}). [bounds]
+    are the inclusive upper bucket bounds, strictly increasing (default:
+    a 1–2–5 geometric ladder from 1 to 10,000,000 — six decades, apt for
+    microsecond latencies and batch sizes alike).
+    @raise Invalid_argument if [bounds] is empty or not increasing. *)
+
+val name : t -> string
+
+val observe : t -> int -> unit
+(** Record one observation (values below the first bound land in the
+    first bucket; values above the last bound land in overflow). *)
+
+val count : t -> int
+(** Observations recorded. *)
+
+val sum : t -> int
+(** Sum of all observed values. *)
+
+val mean : t -> float
+(** [sum / count]; 0 when empty. *)
+
+val quantile : t -> float -> int
+(** [quantile t q] is an upper bound on the [q]-quantile (0 < q <= 1):
+    the smallest bucket bound at which the cumulative count reaches
+    [q * count]. Overflow reports [max_int]. 0 when empty. *)
+
+val pp : Format.formatter -> t -> unit
+(** One line: count, mean, p50 and p95 estimates. *)

@@ -11,6 +11,95 @@ module Rwlock = Hfad_util.Rwlock
 exception No_such_object of Oid.t
 exception Recovery_failed of Journal.reason
 
+(* --- typed errors ------------------------------------------------------ *)
+
+type error =
+  | No_such_object of Oid.t
+  | Cache_full of Pager.full_reason
+  | Journal_full of { needed_blocks : int; have_blocks : int }
+  | Recovery of Journal.reason
+  | Out_of_space of { requested_blocks : int }
+  | Io of string
+  | Corrupt of string
+  | Stopped
+
+let pp_error fmt (e : error) =
+  match e with
+  | No_such_object oid -> Format.fprintf fmt "no such object %a" Oid.pp oid
+  | Cache_full Pager.All_pinned ->
+      Format.pp_print_string fmt "cache full: every frame pinned"
+  | Cache_full Pager.Dirty_no_steal ->
+      Format.pp_print_string fmt
+        "cache full: dirty set outgrew the cache (checkpoint needed)"
+  | Journal_full { needed_blocks; have_blocks } ->
+      Format.fprintf fmt "journal full: batch needs %d blocks, region has %d"
+        needed_blocks have_blocks
+  | Recovery reason ->
+      Format.fprintf fmt "journal recovery failed: %a" Journal.pp_reason reason
+  | Out_of_space { requested_blocks } ->
+      Format.fprintf fmt "out of space: no free run of %d blocks"
+        requested_blocks
+  | Io msg -> Format.fprintf fmt "device error: %s" msg
+  | Corrupt msg -> Format.fprintf fmt "corrupt: %s" msg
+  | Stopped -> Format.pp_print_string fmt "write pipeline stopped"
+
+let error_message e = Format.asprintf "%a" pp_error e
+
+(* [guard]/[raise_error] are exact inverses over the stack's exception
+   surface, so [_exn] wrappers lose nothing: the same exception comes
+   back out. Programming errors (Invalid_argument, Assert_failure) pass
+   through untouched — a result type is for environmental failure, not
+   for API misuse. *)
+let guard (f : unit -> 'a) : ('a, error) result =
+  match f () with
+  | v -> Ok v
+  | exception No_such_object oid -> Error (No_such_object oid)
+  | exception Pager.Cache_full reason -> Error (Cache_full reason)
+  | exception Journal.Journal_full { needed_blocks; have_blocks } ->
+      Error (Journal_full { needed_blocks; have_blocks })
+  | exception Recovery_failed reason -> Error (Recovery reason)
+  | exception Buddy.Out_of_space { requested_blocks } ->
+      Error (Out_of_space { requested_blocks })
+  | exception Device.Io_error msg -> Error (Io msg)
+  | exception Failure msg -> Error (Corrupt msg)
+
+let raise_error (e : error) : 'a =
+  match e with
+  | No_such_object oid -> raise (No_such_object oid)
+  | Cache_full reason -> raise (Pager.Cache_full reason)
+  | Journal_full { needed_blocks; have_blocks } ->
+      raise (Journal.Journal_full { needed_blocks; have_blocks })
+  | Recovery reason -> raise (Recovery_failed reason)
+  | Out_of_space { requested_blocks } ->
+      raise (Buddy.Out_of_space { requested_blocks })
+  | Io msg -> raise (Device.Io_error msg)
+  | Corrupt msg -> failwith msg
+  | Stopped -> failwith "write pipeline stopped"
+
+(* --- configuration ----------------------------------------------------- *)
+
+module Config = struct
+  type t = {
+    cache_pages : int;
+    max_extent_pages : int;
+    journal_pages : int;
+    policy : Pager.policy;
+  }
+
+  let default =
+    {
+      cache_pages = 1024;
+      max_extent_pages = 64;
+      journal_pages = 0;
+      policy = `Twoq;
+    }
+
+  let v ?(cache_pages = default.cache_pages)
+      ?(max_extent_pages = default.max_extent_pages)
+      ?(journal_pages = default.journal_pages) ?(policy = default.policy) () =
+    { cache_pages; max_extent_pages; journal_pages; policy }
+end
+
 let magic = "hFADOSD1"
 let superblock_page = 0
 let master_root_page = 1
@@ -109,15 +198,17 @@ let is_extent_key k = String.length k = 9 && k.[0] = 'E'
 
 (* --- construction ------------------------------------------------------ *)
 
-let mk_t ?(cache_pages = 1024) ?(max_extent_pages = 64) ?(journal_pages = 0)
-    ?policy dev ~fresh =
+let mk_t (config : Config.t) dev ~fresh =
+  let { Config.cache_pages; max_extent_pages; journal_pages; policy } =
+    config
+  in
   if Device.blocks dev < 8 + journal_pages then
     invalid_arg "Osd: device too small";
   if Device.block_size dev < 256 then
     invalid_arg "Osd: block size must be at least 256 bytes";
   if max_extent_pages <= 0 then invalid_arg "Osd: max_extent_pages";
   if journal_pages < 0 then invalid_arg "Osd: journal_pages";
-  let pgr = Pager.create ~cache_pages ~no_steal:(journal_pages > 0) ?policy dev in
+  let pgr = Pager.create ~cache_pages ~no_steal:(journal_pages > 0) ~policy dev in
   let lock = Rwlock.create ~name:"osd" () in
   let journal =
     if journal_pages = 0 then None
@@ -164,10 +255,8 @@ let mk_t ?(cache_pages = 1024) ?(max_extent_pages = 64) ?(journal_pages = 0)
     named_handles = Hashtbl.create 8;
   }
 
-let format ?cache_pages ?max_extent_pages ?journal_pages ?policy dev =
-  let t =
-    mk_t ?cache_pages ?max_extent_pages ?journal_pages ?policy dev ~fresh:true
-  in
+let format ?(config = Config.default) dev =
+  let t = mk_t config dev ~fresh:true in
   write_superblock t;
   (match t.journal with Some _ -> () | None -> ());
   Pager.flush t.pgr;
@@ -193,7 +282,7 @@ let rec chunks n = function
    phase is individually atomic, so no dirty state is ever stranded
    behind a [Journal_full], at the cost of whole-flush atomicity in that
    overload case only. *)
-let flush t =
+let flush_exn t =
   exclusive t (fun () ->
       write_superblock t;
       match t.journal with
@@ -219,6 +308,7 @@ let flush t =
               (chunks cap dirty)
           end)
 
+let flush t = guard (fun () -> flush_exn t)
 let journaled t = Option.is_some t.journal
 
 let journal_sequence t =
@@ -708,7 +798,7 @@ let run_recovery dev ~blocks =
           Journal.mark_clean journal
       | Journal.Corrupt reason -> raise (Recovery_failed reason))
 
-let open_existing ?cache_pages ?max_extent_pages ?policy dev =
+let open_existing_exn ?(config = Config.default) dev =
   (* Peek at the superblock with raw device reads: recovery must complete
      before any page is cached. The superblock's own home write may have
      torn in the crash, so an undecodable superblock triggers a recovery
@@ -733,9 +823,7 @@ let open_existing ?cache_pages ?max_extent_pages ?policy dev =
         | Ok (_, journal_pages, _) -> journal_pages
         | Error _ -> failwith msg)
   in
-  let t =
-    mk_t ?cache_pages ?max_extent_pages ~journal_pages ?policy dev ~fresh:false
-  in
+  let t = mk_t { config with Config.journal_pages } dev ~fresh:false in
   let next_oid, _journal_pages, named =
     Pager.with_page t.pgr superblock_page decode_superblock
   in
@@ -765,3 +853,5 @@ let open_existing ?cache_pages ?max_extent_pages ?policy dev =
       | None -> assert false)
     named;
   t
+
+let open_existing ?config dev = guard (fun () -> open_existing_exn ?config dev)

@@ -40,54 +40,117 @@ type t
 exception No_such_object of Oid.t
 
 exception Recovery_failed of Hfad_journal.Journal.reason
-(** {!open_existing} found a journal it cannot trust: the region is
+(** {!open_existing_exn} found a journal it cannot trust: the region is
     missing/overwritten where the superblock says one exists, or a
     sealed record fails its CRC (media corruption after the seal — a
     double fault a single crash cannot produce). Single-crash states —
     clean journals, unsealed bodies, torn seal writes, sealed batches
     with torn home writes — never raise; they recover. *)
 
-val format :
-  ?cache_pages:int ->
-  ?max_extent_pages:int ->
-  ?journal_pages:int ->
-  ?policy:Hfad_pager.Pager.policy ->
-  Hfad_blockdev.Device.t ->
-  t
+(** {1 Typed errors}
+
+    The storage stack's fallible entry points return
+    [('a, error) result] instead of leaking layer-private exceptions
+    ([Failure], [Cache_full], [Recovery_failed], ...) through the public
+    surface. Every case carries the layer's own diagnosis; [_exn]
+    conveniences re-raise the original exceptions for callers migrating
+    incrementally. *)
+
+type error =
+  | No_such_object of Oid.t  (** the OID is not (or no longer) live *)
+  | Cache_full of Hfad_pager.Pager.full_reason
+      (** no frame could be evicted; [Dirty_no_steal] calls for a
+          checkpoint or a larger cache *)
+  | Journal_full of { needed_blocks : int; have_blocks : int }
+      (** a commit batch exceeds the journal region *)
+  | Recovery of Hfad_journal.Journal.reason
+      (** the on-device journal cannot be trusted *)
+  | Out_of_space of { requested_blocks : int }
+      (** the allocator has no free run large enough *)
+  | Io of string  (** the device failed the access (fault, crash, rot) *)
+  | Corrupt of string
+      (** a structural invariant or on-device codec check failed *)
+  | Stopped
+      (** the write pipeline stopped before reaching the requested
+          durability point *)
+
+val pp_error : Format.formatter -> error -> unit
+
+val error_message : error -> string
+(** One-line rendering of {!pp_error}. *)
+
+val guard : (unit -> 'a) -> ('a, error) result
+(** Run a storage operation, converting the stack's exception surface
+    ({!No_such_object}, {!Hfad_pager.Pager.Cache_full},
+    {!Hfad_journal.Journal.Journal_full}, {!Recovery_failed},
+    {!Hfad_alloc.Buddy.Out_of_space}, {!Hfad_blockdev.Device.Io_error},
+    [Failure]) into the corresponding {!error}. Programming errors
+    ([Invalid_argument], [Assert_failure]) still raise. *)
+
+val raise_error : error -> 'a
+(** Re-raise an {!error} as the original exception it was captured from
+    — the inverse of {!guard}, used by the [_exn] conveniences. *)
+
+(** {1 Construction}
+
+    All sizing and policy knobs live in one {!Config.t} record instead
+    of growing optional-argument sprawl across four signatures; the
+    file-system layer above re-exports the same record extended with its
+    own knobs. *)
+
+module Config : sig
+  type t = {
+    cache_pages : int;  (** pager frames (default 1024) *)
+    max_extent_pages : int;
+        (** bound on a single extent's size (default 64 pages); larger
+            writes become chains of extents *)
+    journal_pages : int;
+        (** [> 0] reserves that many blocks as a write-ahead journal and
+            makes {!flush} a crash-consistent checkpoint (NO-STEAL /
+            FORCE; default 0) *)
+    policy : Hfad_pager.Pager.policy;
+        (** pager replacement policy (default [`Twoq], scan-resistant;
+            [`Lru] kept for A/B measurement — bench P1) *)
+  }
+
+  val default : t
+
+  val v :
+    ?cache_pages:int ->
+    ?max_extent_pages:int ->
+    ?journal_pages:int ->
+    ?policy:Hfad_pager.Pager.policy ->
+    unit ->
+    t
+  (** {!default} with the given fields replaced — the one place optional
+      arguments remain. *)
+end
+
+val format : ?config:Config.t -> Hfad_blockdev.Device.t -> t
 (** [format dev] initializes a fresh OSD on [dev], destroying previous
-    content. [max_extent_pages] bounds a single extent's size (default
-    64 pages); larger writes become chains of extents.
-
-    [journal_pages > 0] reserves that many blocks as a write-ahead
-    journal and makes {!flush} a crash-consistent checkpoint (NO-STEAL /
-    FORCE: dirty pages stay cached between flushes, so size the cache
-    accordingly). §3.3: "in hFAD, the OSD may be transactional, but this
-    is an implementation decision" — this is that decision. Under
-    NO-STEAL an undersized cache surfaces as
-    [Hfad_pager.Pager.Cache_full Dirty_no_steal] from a mutation: the
-    fix is a {!flush} (checkpoint) or a larger [cache_pages], not a pin
-    hunt.
-
-    [policy] selects the pager replacement policy (default [`Twoq],
-    scan-resistant; [`Lru] kept for A/B measurement — bench P1).
+    content. §3.3: "in hFAD, the OSD may be transactional, but this is
+    an implementation decision" — [config.journal_pages > 0] is that
+    decision. Under NO-STEAL an undersized cache surfaces as
+    [Cache_full Dirty_no_steal] from a mutation: the fix is a
+    checkpoint or a larger [cache_pages], not a pin hunt.
     @raise Invalid_argument if the device is too small. *)
 
 val open_existing :
-  ?cache_pages:int ->
-  ?max_extent_pages:int ->
-  ?policy:Hfad_pager.Pager.policy ->
-  Hfad_blockdev.Device.t ->
-  t
+  ?config:Config.t -> Hfad_blockdev.Device.t -> (t, error) result
 (** Re-attach to a formatted device: runs journal recovery (replaying a
     sealed checkpoint, healing a torn seal), then reads the superblock
     and rebuilds the allocator state by walking the master tree, every
     object tree and every extent. A superblock whose own home write tore
     in the crash is tolerated — recovery replays it before decoding.
-    @raise Failure if the superblock is missing or corrupt beyond what
-    replay can fix; @raise Recovery_failed on an untrustworthy
-    journal. *)
+    [Error (Corrupt _)] if the superblock is missing or damaged beyond
+    what replay can fix; [Error (Recovery _)] on an untrustworthy
+    journal. [config.journal_pages] is ignored — the superblock knows. *)
 
-val flush : t -> unit
+val open_existing_exn : ?config:Config.t -> Hfad_blockdev.Device.t -> t
+(** {!open_existing}, re-raising: @raise Failure / @raise
+    Recovery_failed. *)
+
+val flush : t -> (unit, error) result
 (** Persist the superblock and all dirty pages. On a journaled OSD this
     is an atomic checkpoint: a crash anywhere inside recovers to either
     the previous or the new flush state. The dirty set is sized against
@@ -95,6 +158,9 @@ val flush : t -> unit
     ({!Hfad_journal.Journal.would_fit}); a set that outgrows the region
     degrades into several individually-atomic phases instead of raising
     with dirty pages stranded in the cache. *)
+
+val flush_exn : t -> unit
+(** {!flush}, re-raising the original device/journal exceptions. *)
 
 val journaled : t -> bool
 val journal_sequence : t -> int64

@@ -59,6 +59,7 @@ type t = {
   mutable a1in_len : int;
   mutable am_len : int;
   mutable ghost_len : int;
+  mutable dirty_len : int;  (* resident dirty frames, maintained O(1) *)
   mutex : Mutex.t;
   (* Atomic so concurrent domains never lose an update and [stats] /
      [reset_stats] need not take the frame-table mutex. *)
@@ -165,6 +166,7 @@ let create ?(cache_pages = 1024) ?(no_steal = false) ?(policy = `Twoq) ?kin
     a1in_len = 0;
     am_len = 0;
     ghost_len = 0;
+    dirty_len = 0;
     mutex = Mutex.create ();
     reads = Atomic.make 0;
     hits = Atomic.make 0;
@@ -228,6 +230,7 @@ let write_back t frame =
   if frame.dirty then begin
     Device.write_block t.dev frame.page_no frame.buf;
     frame.dirty <- false;
+    t.dirty_len <- t.dirty_len - 1;
     Atomic.incr t.write_backs
   end
 
@@ -386,6 +389,7 @@ let acquire t page_no ~load =
                 end
                 else Q_a1in
           in
+          if frame.dirty then t.dirty_len <- t.dirty_len + 1;
           enqueue t frame target;
           Hashtbl.replace t.frames page_no frame;
           publish_gauges t;
@@ -394,7 +398,10 @@ let acquire t page_no ~load =
 let release t frame ~dirty =
   with_lock t (fun () ->
       frame.pins <- frame.pins - 1;
-      if dirty then frame.dirty <- true)
+      if dirty && not frame.dirty then begin
+        frame.dirty <- true;
+        t.dirty_len <- t.dirty_len + 1
+      end)
 
 let with_page t page_no f =
   let frame = acquire t page_no ~load:true in
@@ -422,6 +429,8 @@ let zero_page t page_no =
   let frame = acquire t page_no ~load:false in
   Bytes.fill frame.buf 0 (Bytes.length frame.buf) '\000';
   release t frame ~dirty:true
+
+let dirty_count t = with_lock t (fun () -> t.dirty_len)
 
 let dirty_pages t =
   with_lock t (fun () ->

@@ -121,6 +121,11 @@ val dirty_pages : t -> (int * Bytes.t) list
 (** Snapshot (copies) of every dirty page, ascending page order — what a
     checkpoint must make durable. *)
 
+val dirty_count : t -> int
+(** Number of resident dirty frames, maintained incrementally (no table
+    scan) — the write pipeline's batch-size trigger polls this on every
+    mutation, so it must stay O(1). *)
+
 val invalidate : t -> unit
 (** Drop every unpinned frame (dirty frames are written back first) and
     forget the ghost history. Mainly for tests that want cold-cache

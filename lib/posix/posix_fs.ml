@@ -48,7 +48,7 @@ let max_symlink_hops = 8
 let oid_at t path = Fs.lookup_one t.fs [ (Tag.Posix, path) ]
 
 let add_name t oid path =
-  try Fs.name t.fs oid Tag.Posix path
+  try Fs.name_exn t.fs oid Tag.Posix path
   with Kv_index.Value_not_indexable _ -> err EINVAL path
 
 let mount fs =
@@ -59,7 +59,7 @@ let mount fs =
   | Some _ -> ()
   | None ->
       let meta = Meta.make ~kind:Meta.Directory ~mode:0o755 () in
-      let oid = Fs.create ~meta t.fs in
+      let oid = Fs.create_exn ~meta t.fs in
       add_name t oid "/");
   t
 
@@ -122,7 +122,7 @@ let mkdir t path =
   require_absent t path;
   require_parent_dir t path;
   let meta = Meta.make ~kind:Meta.Directory ~mode:0o755 () in
-  let oid = Fs.create ~meta t.fs in
+  let oid = Fs.create_exn ~meta t.fs in
   add_name t oid path
 
 let rec mkdir_p t path =
@@ -174,7 +174,7 @@ let create_file ?content t path =
   require_absent t path;
   require_parent_dir t path;
   let meta = Meta.make ~kind:Meta.Regular () in
-  let oid = Fs.create ~meta ?content t.fs in
+  let oid = Fs.create_exn ~meta ?content t.fs in
   add_name t oid path;
   oid
 
@@ -191,8 +191,8 @@ let symlink t ~target path =
   require_absent t path;
   require_parent_dir t path;
   let meta = Meta.make ~kind:Meta.Symlink () in
-  let oid = Fs.create ~meta t.fs in
-  (* Bypass Fs.write so link targets never reach the full-text index. *)
+  let oid = Fs.create_exn ~meta t.fs in
+  (* Bypass Fs.write_exn so link targets never reach the full-text index. *)
   Osd.write (Fs.osd t.fs) oid ~off:0 target;
   add_name t oid path
 
@@ -211,8 +211,8 @@ let unlink t path =
   let path = Path.normalize path in
   let oid = resolve ~follow:false t path in
   if (Fs.metadata t.fs oid).Meta.kind = Meta.Directory then err EISDIR path;
-  ignore (Fs.unname t.fs oid Tag.Posix path);
-  if nlink_oid t oid = 0 then Fs.delete t.fs oid
+  ignore (Fs.unname_exn t.fs oid Tag.Posix path);
+  if nlink_oid t oid = 0 then Fs.delete_exn t.fs oid
 
 let rmdir t path =
   let path = Path.normalize path in
@@ -220,8 +220,8 @@ let rmdir t path =
   let oid = resolve ~follow:false t path in
   if (Fs.metadata t.fs oid).Meta.kind <> Meta.Directory then err ENOTDIR path;
   if children t path <> [] then err ENOTEMPTY path;
-  ignore (Fs.unname t.fs oid Tag.Posix path);
-  Fs.delete t.fs oid
+  ignore (Fs.unname_exn t.fs oid Tag.Posix path);
+  Fs.delete_exn t.fs oid
 
 let rename t old_path new_path =
   let old_path = Path.normalize old_path
@@ -234,14 +234,14 @@ let rename t old_path new_path =
     require_parent_dir t new_path;
     if Path.is_ancestor ~ancestor:old_path new_path then err EINVAL new_path;
     let is_dir = (Fs.metadata t.fs oid).Meta.kind = Meta.Directory in
-    ignore (Fs.unname t.fs oid Tag.Posix old_path);
+    ignore (Fs.unname_exn t.fs oid Tag.Posix old_path);
     add_name t oid new_path;
     if is_dir then
       (* Re-key every name under the directory: the inherent cost of a
          path-keyed namespace (measured in bench C4). *)
       List.iter
         (fun (value, child) ->
-          ignore (Fs.unname t.fs child Tag.Posix value);
+          ignore (Fs.unname_exn t.fs child Tag.Posix value);
           add_name t child
             (Path.replace_prefix ~old_prefix:old_path ~new_prefix:new_path value))
         (Fs.list_names t.fs Tag.Posix ~prefix:(dir_prefix old_path))
@@ -297,7 +297,7 @@ let read_fd t fd n =
 
 let write_fd t fd data =
   let state, pos = with_fds t (fun () -> let s = fd_state t fd in (s, s.pos)) in
-  Fs.write t.fs state.oid ~off:pos data;
+  Fs.write_exn t.fs state.oid ~off:pos data;
   with_fds t (fun () -> state.pos <- pos + String.length data)
 
 let seek t fd pos =
@@ -316,11 +316,11 @@ let write_file t path data =
     match resolve t path with
     | oid ->
         if (Fs.metadata t.fs oid).Meta.kind = Meta.Directory then err EISDIR path;
-        Fs.truncate t.fs oid 0;
+        Fs.truncate_exn t.fs oid 0;
         oid
     | exception Error (ENOENT, _) -> create_file t path
   in
-  Fs.write t.fs oid ~off:0 data
+  Fs.write_exn t.fs oid ~off:0 data
 
 (* --- verification ---------------------------------------------------------------------- *)
 

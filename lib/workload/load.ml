@@ -12,13 +12,13 @@ let photo_into_hfad p (photo : Corpus.photo) =
   ensure_parent p photo.Corpus.photo_path;
   let oid = P.create_file ~content:photo.Corpus.caption p photo.Corpus.photo_path in
   let fs = P.fs p in
-  List.iter (fun person -> Fs.name fs oid Tag.Udef person) photo.Corpus.people;
-  Fs.name fs oid Tag.Udef photo.Corpus.place;
-  Fs.name fs oid Tag.Udef (string_of_int photo.Corpus.year);
-  Fs.name fs oid (Tag.Custom "camera") photo.Corpus.camera;
-  Fs.name fs oid Tag.App "photo-import";
+  List.iter (fun person -> Fs.name_exn fs oid Tag.Udef person) photo.Corpus.people;
+  Fs.name_exn fs oid Tag.Udef photo.Corpus.place;
+  Fs.name_exn fs oid Tag.Udef (string_of_int photo.Corpus.year);
+  Fs.name_exn fs oid (Tag.Custom "camera") photo.Corpus.camera;
+  Fs.name_exn fs oid Tag.App "photo-import";
   (match photo.Corpus.people with
-  | owner :: _ -> Fs.name fs oid Tag.User owner
+  | owner :: _ -> Fs.name_exn fs oid Tag.User owner
   | [] -> ());
   Image_index.add (Index_store.image (Fs.index fs)) oid photo.Corpus.pixels;
   oid
@@ -32,10 +32,10 @@ let emails_into_hfad p emails =
       let content = e.Corpus.subject ^ "\n" ^ e.Corpus.body in
       let oid = P.create_file ~content p e.Corpus.email_path in
       let fs = P.fs p in
-      Fs.name fs oid Tag.User e.Corpus.recipient;
-      Fs.name fs oid (Tag.Custom "from") e.Corpus.sender;
-      Fs.name fs oid Tag.Udef (string_of_int e.Corpus.email_year);
-      Fs.name fs oid Tag.App "mail-client";
+      Fs.name_exn fs oid Tag.User e.Corpus.recipient;
+      Fs.name_exn fs oid (Tag.Custom "from") e.Corpus.sender;
+      Fs.name_exn fs oid Tag.Udef (string_of_int e.Corpus.email_year);
+      Fs.name_exn fs oid Tag.App "mail-client";
       oid)
     emails
 
@@ -44,7 +44,7 @@ let source_into_hfad p files =
     (fun (f : Corpus.source_file) ->
       ensure_parent p f.Corpus.source_path;
       let oid = P.create_file ~content:f.Corpus.code p f.Corpus.source_path in
-      Fs.name (P.fs p) oid Tag.App "editor";
+      Fs.name_exn (P.fs p) oid Tag.App "editor";
       oid)
     files
 

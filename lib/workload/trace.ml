@@ -63,7 +63,7 @@ let replay_hfad posix trace =
           let data = Fs.read fs (P.resolve posix path) ~off:0 ~len:4096 in
           { acc with bytes_read = acc.bytes_read + String.length data }
       | Edit path ->
-          Fs.write fs (P.resolve posix path) ~off:0 "EDITED";
+          Fs.write_exn fs (P.resolve posix path) ~off:0 "EDITED";
           { acc with edits = acc.edits + 1 })
     empty trace
 

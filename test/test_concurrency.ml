@@ -17,7 +17,7 @@ let check = Alcotest.check
 
 let mk () =
   let dev = Device.create ~block_size:1024 ~blocks:16384 () in
-  Fs.format ~cache_pages:1024 ~index_mode:Fs.Eager dev
+  Fs.format ~config:(Fs.Config.v ~cache_pages:1024 ~index_mode:Fs.Eager ()) dev
 
 let stable_objects = 32
 
@@ -25,7 +25,7 @@ let stable_objects = 32
    them, so every observation has one correct answer. *)
 let build_stable fs =
   Array.init stable_objects (fun i ->
-      Fs.create fs
+      Fs.create_exn fs
         ~names:[ (Tag.Udef, Printf.sprintf "stable-%02d" i) ]
         ~content:(Printf.sprintf "stable payload number %d with aardvark" i))
 
@@ -67,19 +67,19 @@ let test_readers_vs_writer () =
         let live = ref [] in
         for k = 1 to writer_ops do
           let oid =
-            Fs.create fs
+            Fs.create_exn fs
               ~names:[ (Tag.Udef, Printf.sprintf "churn-%04d" k) ]
               ~content:(Printf.sprintf "churn body %d zebra" k)
           in
-          Fs.append fs oid " appended";
-          if k mod 3 = 0 then Fs.write fs oid ~off:0 "CHURN";
+          Fs.append_exn fs oid " appended";
+          if k mod 3 = 0 then Fs.write_exn fs oid ~off:0 "CHURN";
           live := oid :: !live;
           (* Delete roughly half of what we created, keeping churn on
              both the create and delete paths. *)
           if Rng.int rng 2 = 0 then begin
             match !live with
             | oid :: rest ->
-                Fs.delete fs oid;
+                Fs.delete_exn fs oid;
                 live := rest
             | [] -> ()
           end
@@ -138,11 +138,11 @@ let test_concurrent_writers_serialize () =
         Domain.spawn (fun () ->
             List.init per_writer (fun k ->
                 let oid =
-                  Fs.create fs
+                  Fs.create_exn fs
                     ~names:[ (Tag.Udef, Printf.sprintf "w%d-%03d" d k) ]
                     ~content:(Printf.sprintf "writer %d object %d" d k)
                 in
-                Fs.append fs oid "!";
+                Fs.append_exn fs oid "!";
                 oid)))
   in
   let oids = List.concat_map Domain.join spawned in

@@ -13,12 +13,12 @@ let oid_t = Alcotest.testable Oid.pp Oid.equal
 
 let mk ?(index_mode = Fs.Eager) () =
   let dev = Device.create ~block_size:1024 ~blocks:16384 () in
-  (dev, Fs.format ~cache_pages:256 ~index_mode dev)
+  (dev, Fs.format ~config:(Fs.Config.v ~cache_pages:256 ~index_mode ()) dev)
 
 let test_create_with_names_and_content () =
   let _, fs = mk () in
   let oid =
-    Fs.create fs
+    Fs.create_exn fs
       ~names:[ (Tag.User, "margo"); (Tag.Udef, "paper") ]
       ~content:"hierarchical file systems are dead"
   in
@@ -34,11 +34,11 @@ let test_create_with_names_and_content () =
 let test_multiple_names_same_object () =
   (* §2.2: "a single piece of data may belong to multiple collections". *)
   let _, fs = mk () in
-  let oid = Fs.create fs ~content:"photo bytes" in
-  Fs.name fs oid Tag.Udef "vacation";
-  Fs.name fs oid Tag.Udef "family";
-  Fs.name fs oid Tag.Udef "hawaii-2008";
-  Fs.name fs oid Tag.Posix "/photos/hawaii/img1.jpg";
+  let oid = Fs.create_exn fs ~content:"photo bytes" in
+  Fs.name_exn fs oid Tag.Udef "vacation";
+  Fs.name_exn fs oid Tag.Udef "family";
+  Fs.name_exn fs oid Tag.Udef "hawaii-2008";
+  Fs.name_exn fs oid Tag.Posix "/photos/hawaii/img1.jpg";
   List.iter
     (fun collection ->
       check (Alcotest.list oid_t)
@@ -50,9 +50,9 @@ let test_multiple_names_same_object () =
 
 let test_lookup_conjunction_and_order () =
   let _, fs = mk () in
-  let a = Fs.create fs ~names:[ (Tag.User, "nick"); (Tag.App, "gcc") ] in
-  let b = Fs.create fs ~names:[ (Tag.User, "nick"); (Tag.App, "vim") ] in
-  let _c = Fs.create fs ~names:[ (Tag.User, "margo"); (Tag.App, "gcc") ] in
+  let a = Fs.create_exn fs ~names:[ (Tag.User, "nick"); (Tag.App, "gcc") ] in
+  let b = Fs.create_exn fs ~names:[ (Tag.User, "nick"); (Tag.App, "vim") ] in
+  let _c = Fs.create_exn fs ~names:[ (Tag.User, "margo"); (Tag.App, "gcc") ] in
   check (Alcotest.list oid_t) "conjunction" [ a ]
     (Fs.lookup fs [ (Tag.User, "nick"); (Tag.App, "gcc") ]);
   check (Alcotest.list oid_t) "ascending oid order" [ a; b ]
@@ -64,9 +64,9 @@ let test_lookup_conjunction_and_order () =
 
 let test_unname () =
   let _, fs = mk () in
-  let oid = Fs.create fs ~names:[ (Tag.Udef, "draft") ] in
-  check Alcotest.bool "removed" true (Fs.unname fs oid Tag.Udef "draft");
-  check Alcotest.bool "gone" false (Fs.unname fs oid Tag.Udef "draft");
+  let oid = Fs.create_exn fs ~names:[ (Tag.Udef, "draft") ] in
+  check Alcotest.bool "removed" true (Fs.unname_exn fs oid Tag.Udef "draft");
+  check Alcotest.bool "gone" false (Fs.unname_exn fs oid Tag.Udef "draft");
   check (Alcotest.list oid_t) "no longer found" []
     (Fs.lookup fs [ (Tag.Udef, "draft") ])
 
@@ -74,14 +74,14 @@ let test_name_requires_live_object () =
   let _, fs = mk () in
   Alcotest.check_raises "dead oid"
     (Hfad_osd.Osd.No_such_object (Oid.of_int64 404L)) (fun () ->
-      Fs.name fs (Oid.of_int64 404L) Tag.User "ghost")
+      Fs.name_exn fs (Oid.of_int64 404L) Tag.User "ghost")
 
 let test_delete_cleans_indexes () =
   let _, fs = mk () in
   let oid =
-    Fs.create fs ~names:[ (Tag.User, "margo") ] ~content:"deleted text corpus"
+    Fs.create_exn fs ~names:[ (Tag.User, "margo") ] ~content:"deleted text corpus"
   in
-  Fs.delete fs oid;
+  Fs.delete_exn fs oid;
   check Alcotest.bool "object gone" false (Fs.exists fs oid);
   check (Alcotest.list oid_t) "attribute gone" []
     (Fs.lookup fs [ (Tag.User, "margo") ]);
@@ -91,16 +91,16 @@ let test_delete_cleans_indexes () =
 
 let test_mutation_reindexes_eagerly () =
   let _, fs = mk () in
-  let oid = Fs.create fs ~content:"versionone text" in
+  let oid = Fs.create_exn fs ~content:"versionone text" in
   check Alcotest.int "found v1" 1 (List.length (Fs.search fs "versionone"));
-  Fs.write fs oid ~off:0 "versiontwo text";
+  Fs.write_exn fs oid ~off:0 "versiontwo text";
   check (Alcotest.list oid_t) "v1 gone" [] (List.map fst (Fs.search fs "versionone"));
   check (Alcotest.list oid_t) "v2 found" [ oid ]
     (List.map fst (Fs.search fs "versiontwo"))
 
 let test_lazy_mode_staleness () =
   let _, fs = mk ~index_mode:Fs.Lazy () in
-  let oid = Fs.create fs ~content:"lazy content words" in
+  let oid = Fs.create_exn fs ~content:"lazy content words" in
   check Alcotest.bool "backlog" true (Fs.index_backlog fs > 0);
   check (Alcotest.list oid_t) "stale" [] (List.map fst (Fs.search fs "lazy"));
   Fs.drain_index fs;
@@ -110,21 +110,21 @@ let test_lazy_mode_staleness () =
 
 let test_off_mode_never_indexes () =
   let _, fs = mk ~index_mode:Fs.Off () in
-  let _ = Fs.create fs ~content:"invisible content" in
+  let _ = Fs.create_exn fs ~content:"invisible content" in
   Fs.drain_index fs;
   check (Alcotest.list oid_t) "not indexed" []
     (List.map fst (Fs.search fs "invisible"))
 
 let test_access_interface_via_core () =
   let _, fs = mk () in
-  let oid = Fs.create fs ~content:"hello world" in
-  Fs.insert fs oid ~off:5 " cruel";
+  let oid = Fs.create_exn fs ~content:"hello world" in
+  Fs.insert_exn fs oid ~off:5 " cruel";
   check Alcotest.string "insert" "hello cruel world" (Fs.read_all fs oid);
-  Fs.remove_bytes fs oid ~off:5 ~len:6;
+  Fs.remove_bytes_exn fs oid ~off:5 ~len:6;
   check Alcotest.string "remove" "hello world" (Fs.read_all fs oid);
-  Fs.truncate fs oid 5;
+  Fs.truncate_exn fs oid 5;
   check Alcotest.string "truncate" "hello" (Fs.read_all fs oid);
-  Fs.append fs oid "!";
+  Fs.append_exn fs oid "!";
   check Alcotest.string "append" "hello!" (Fs.read_all fs oid);
   check Alcotest.int "size" 6 (Fs.size fs oid);
   (* mutations keep the content index current (eager mode) *)
@@ -134,10 +134,10 @@ let test_access_interface_via_core () =
 let test_survives_reopen () =
   let dev, fs = mk () in
   let oid =
-    Fs.create fs ~names:[ (Tag.User, "nick") ] ~content:"durable native state"
+    Fs.create_exn fs ~names:[ (Tag.User, "nick") ] ~content:"durable native state"
   in
-  Fs.flush fs;
-  let fs2 = Fs.open_existing ~cache_pages:256 ~index_mode:Fs.Eager dev in
+  Fs.flush_exn fs;
+  let fs2 = Fs.open_existing_exn ~config:(Fs.Config.v ~cache_pages:256 ~index_mode:Fs.Eager ()) dev in
   check (Alcotest.list oid_t) "names survive" [ oid ]
     (Fs.lookup fs2 [ (Tag.User, "nick") ]);
   check (Alcotest.list oid_t) "content survives" [ oid ]
@@ -152,7 +152,7 @@ let mk_photo_fs () =
   let _, fs = mk () in
   (* A small photo library: (who, where) combinations. *)
   let photo who where year =
-    Fs.create fs
+    Fs.create_exn fs
       ~names:
         [
           (Tag.User, who);
@@ -221,12 +221,12 @@ let test_refine_empty_result () =
 let test_refine_with_fulltext_and_posix () =
   let _, fs = mk () in
   let a =
-    Fs.create fs
+    Fs.create_exn fs
       ~names:[ (Tag.User, "margo"); (Tag.Posix, "/p/a") ]
       ~content:"report about whales"
   in
   let _b =
-    Fs.create fs
+    Fs.create_exn fs
       ~names:[ (Tag.User, "margo"); (Tag.Posix, "/p/b") ]
       ~content:"report about goats"
   in
@@ -244,8 +244,8 @@ let test_refine_with_fulltext_and_posix () =
 
 let test_query_string_through_fs () =
   let _, fs = mk () in
-  let a = Fs.create fs ~names:[ (Tag.User, "margo"); (Tag.App, "gcc") ] in
-  let b = Fs.create fs ~names:[ (Tag.User, "margo"); (Tag.App, "vim") ] in
+  let a = Fs.create_exn fs ~names:[ (Tag.User, "margo"); (Tag.App, "gcc") ] in
+  let b = Fs.create_exn fs ~names:[ (Tag.User, "margo"); (Tag.App, "vim") ] in
   check (Alcotest.list oid_t) "parsed query" [ a ]
     (Fs.query_string fs "USER/margo & APP/gcc");
   check (Alcotest.list oid_t) "negation" [ b ]

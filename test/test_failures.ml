@@ -51,10 +51,10 @@ let test_checksummed_fs_end_to_end () =
   (* A whole hFAD instance over a checksummed device: normal operation is
      unaffected; flipping one stored bit surfaces as Io_error on access. *)
   let dev = Device.create ~checksums:true ~block_size:1024 ~blocks:8192 () in
-  let fs = Fs.format ~index_mode:Fs.Eager dev in
-  let oid = Fs.create fs ~content:(String.make 50_000 'z') in
+  let fs = Fs.format ~config:(Fs.Config.v ~index_mode:Fs.Eager ()) dev in
+  let oid = Fs.create_exn fs ~content:(String.make 50_000 'z') in
   check Alcotest.int "size" 50_000 (Fs.size fs oid);
-  Fs.flush fs;
+  Fs.flush_exn fs;
   (* Find a materialized data block (beyond the metadata region) and rot it. *)
   let target = ref (-1) in
   (try
@@ -87,17 +87,17 @@ let test_image_roundtrip () =
     ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
     (fun () ->
       let dev = Device.create ~block_size:512 ~blocks:1024 () in
-      let fs = Fs.format ~index_mode:Fs.Eager dev in
+      let fs = Fs.format ~config:(Fs.Config.v ~index_mode:Fs.Eager ()) dev in
       let posix = P.mount fs in
       P.mkdir_p posix "/docs";
       ignore (P.create_file ~content:"persisted across processes" posix "/docs/a");
       let oid = P.resolve posix "/docs/a" in
-      Fs.name fs oid Tag.Udef "important";
-      Fs.flush fs;
+      Fs.name_exn fs oid Tag.Udef "important";
+      Fs.flush_exn fs;
       Device.save dev path;
       (* Fresh process simulation: load image, reopen, verify all state. *)
       let dev2 = Device.load path in
-      let fs2 = Fs.open_existing dev2 in
+      let fs2 = Fs.open_existing_exn dev2 in
       let posix2 = P.mount fs2 in
       check Alcotest.string "content" "persisted across processes"
         (P.read_file posix2 "/docs/a");
@@ -142,7 +142,7 @@ let test_image_missing_file () =
 
 let test_write_fault_propagates_through_osd () =
   let dev = Device.create ~block_size:1024 ~blocks:4096 () in
-  let osd = Osd.format ~cache_pages:8 dev in
+  let osd = Osd.format ~config:(Osd.Config.v ~cache_pages:8 ()) dev in
   let oid = Osd.create_object osd in
   Osd.write osd oid ~off:0 "healthy write";
   (* Fail every device write: the next pager write-back must surface. *)
@@ -150,16 +150,16 @@ let test_write_fault_propagates_through_osd () =
   (try
      (* A small cache forces evictions, so a large write hits the device. *)
      Osd.write osd oid ~off:0 (String.make 100_000 'x');
-     Osd.flush osd;
+     Osd.flush_exn osd;
      Alcotest.fail "fault swallowed"
    with Device.Io_error _ -> ());
   Device.clear_fault dev
 
 let test_read_fault_propagates_through_fs () =
   let dev = Device.create ~block_size:1024 ~blocks:4096 () in
-  let fs = Fs.format ~cache_pages:16 ~index_mode:Fs.Off dev in
-  let oid = Fs.create fs ~content:(String.make 60_000 'q') in
-  Fs.flush fs;
+  let fs = Fs.format ~config:(Fs.Config.v ~cache_pages:16 ~index_mode:Fs.Off ()) dev in
+  let oid = Fs.create_exn fs ~content:(String.make 60_000 'q') in
+  Fs.flush_exn fs;
   Pager.invalidate (Osd.pager (Fs.osd fs));
   Device.set_fault dev (fun op _ -> op = Device.Read);
   (try
@@ -174,7 +174,7 @@ let test_read_fault_propagates_through_fs () =
 
 let test_osd_out_of_space () =
   let dev = Device.create ~block_size:1024 ~blocks:64 () in
-  let osd = Osd.format ~cache_pages:32 dev in
+  let osd = Osd.format ~config:(Osd.Config.v ~cache_pages:32 ()) dev in
   let oid = Osd.create_object osd in
   (try
      Osd.write osd oid ~off:0 (String.make 1_000_000 'x');
@@ -203,18 +203,18 @@ let snapshot dev =
 
 let build_scenario () =
   let dev = Device.create ~block_size:512 ~blocks:8192 () in
-  let fs = Fs.format ~index_mode:Fs.Eager ~journal_pages:128 dev in
+  let fs = Fs.format ~config:(Fs.Config.v ~index_mode:Fs.Eager ~journal_pages:128 ()) dev in
   let posix = P.mount fs in
   P.mkdir_p posix "/data";
   ignore (P.create_file ~content:"checkpoint one content" posix "/data/one");
-  Fs.flush fs;
+  Fs.flush_exn fs;
   (* Second-checkpoint mutations: a new file, a rewrite, and no flush
-     yet - NO-STEAL keeps all of it off the device until Fs.flush. *)
+     yet - NO-STEAL keeps all of it off the device until Fs.flush_exn. *)
   ignore (P.create_file ~content:"checkpoint two content" posix "/data/two");
   P.write_file posix "/data/one" "rewritten in second checkpoint";
   (dev, fs)
 
-let reopen dev = Fs.open_existing ~index_mode:Fs.Eager dev
+let reopen dev = Fs.open_existing_exn ~config:(Fs.Config.v ~index_mode:Fs.Eager ()) dev
 
 (* Recovery must land in exactly one of the two checkpoint states. *)
 let classify_and_verify fs posix =
@@ -248,7 +248,7 @@ let count_writes dev f =
 let sweep_checkpoint ?torn_bytes () =
   let total =
     let dev, fs = build_scenario () in
-    count_writes dev (fun () -> Fs.flush fs)
+    count_writes dev (fun () -> Fs.flush_exn fs)
   in
   check Alcotest.bool "checkpoint performs writes" true (total > 0);
   let pre = ref 0 and post = ref 0 in
@@ -256,7 +256,7 @@ let sweep_checkpoint ?torn_bytes () =
     let dev, fs = build_scenario () in
     Device.arm_crash dev ~after_writes:i ?torn_bytes ();
     (try
-       Fs.flush fs;
+       Fs.flush_exn fs;
        Alcotest.failf "crash point %d/%d never hit" i total
      with Device.Io_error _ -> ());
     (* Pull the disk from the dead machine and re-attach. *)
@@ -295,13 +295,13 @@ let test_crash_sweep_during_recovery () =
      journal must eventually carry the system to the post state. *)
   let total =
     let dev, fs = build_scenario () in
-    count_writes dev (fun () -> Fs.flush fs)
+    count_writes dev (fun () -> Fs.flush_exn fs)
   in
   let dev, fs = build_scenario () in
   (* total - 2 is deep into the home writes: the journal seal is long
      since durable, so recovery has real replay work to do. *)
   Device.arm_crash dev ~after_writes:(total - 2) ();
-  (try Fs.flush fs with Device.Io_error _ -> ());
+  (try Fs.flush_exn fs with Device.Io_error _ -> ());
   let base = snapshot dev in
   check Alcotest.bool "scenario crashed post-seal" true
     (let fs2 = reopen (snapshot base) in
@@ -330,6 +330,134 @@ let test_crash_sweep_during_recovery () =
   Printf.printf "re-recovery sweep: %d crash points, all land post\n%!"
     recovery_writes
 
+(* --- group-commit crash sweep ---------------------------------------------- *)
+
+(* The write pipeline's durability contract under the same exhaustive
+   sweep: crash at EVERY device write of a daemon-issued group commit.
+   Two obligations. (1) A barrier that returns an error leaves the system
+   in a valid pre- or post-batch state — never torn. (2) A mutation
+   acknowledged by a successful barrier is NEVER lost, no matter where a
+   later commit crashes. Thresholds are set unreachable so the barrier
+   alone decides when the daemon commits — making every run of the sweep
+   hit the same deterministic write sequence. *)
+
+let build_pipelined_scenario () =
+  let dev = Device.create ~block_size:512 ~blocks:8192 () in
+  let fs =
+    Fs.format
+      ~config:
+        (Fs.Config.v ~index_mode:Fs.Eager ~journal_pages:128
+           ~batch_max_pages:1_000_000 ~batch_max_age:3600.0 ())
+      dev
+  in
+  Fs.start_pipeline fs;
+  let posix = P.mount fs in
+  P.mkdir_p posix "/data";
+  ignore (P.create_file ~content:"checkpoint one content" posix "/data/one");
+  (match Fs.barrier fs with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "setup barrier failed: %s" (Fs.error_message e));
+  (* Batch two, acknowledged but not yet durable. *)
+  ignore (P.create_file ~content:"checkpoint two content" posix "/data/two");
+  P.write_file posix "/data/one" "rewritten in second checkpoint";
+  (dev, fs)
+
+let sweep_group_commit ?torn_bytes () =
+  let total =
+    let dev, fs = build_pipelined_scenario () in
+    let n = count_writes dev (fun () -> Fs.barrier_exn fs) in
+    Fs.stop_pipeline fs;
+    n
+  in
+  check Alcotest.bool "group commit performs writes" true (total > 0);
+  let pre = ref 0 and post = ref 0 in
+  for i = 0 to total - 1 do
+    let dev, fs = build_pipelined_scenario () in
+    Device.arm_crash dev ~after_writes:i ?torn_bytes ();
+    (* The daemon hits the crash; the barrier must report it as a typed
+       error, never an exception, and never claim durability. *)
+    (match Fs.barrier fs with
+    | Ok () -> Alcotest.failf "crash point %d/%d: barrier claimed durability" i total
+    | Error (Fs.Io _) -> ()
+    | Error e ->
+        Alcotest.failf "crash point %d/%d: unexpected error %s" i total
+          (Fs.error_message e));
+    Fs.stop_pipeline fs;
+    (* Pull the disk and re-attach: valid pre- or post-batch state only. *)
+    let fs2 = reopen (snapshot dev) in
+    let state = classify_and_verify fs2 (P.mount fs2) in
+    (match state with `Pre -> incr pre | `Post -> incr post);
+    (* Recovery idempotence, as for the synchronous sweep. *)
+    let fs3 = reopen (snapshot (Fs.device fs2)) in
+    if classify_and_verify fs3 (P.mount fs3) <> state then
+      Alcotest.failf "crash point %d/%d: re-recovery changed the state" i total
+  done;
+  check Alcotest.bool "some crashes land pre-batch" true (!pre > 0);
+  check Alcotest.bool "some crashes land post-batch" true (!post > 0);
+  Printf.printf "group-commit sweep (%s): %d crash points, %d pre / %d post\n%!"
+    (match torn_bytes with
+    | None -> "writes dropped"
+    | Some k -> Printf.sprintf "torn after %d bytes" k)
+    total !pre !post
+
+let test_group_commit_sweep_dropped () = sweep_group_commit ()
+let test_group_commit_sweep_torn () = sweep_group_commit ~torn_bytes:22 ()
+
+let test_barrier_acked_never_lost () =
+  (* Make batch two durable through a successful barrier, then mutate a
+     THIRD batch and crash at every write of its commit (alternating
+     dropped/torn). Whatever happens to batch three, batch two must
+     survive: barrier acknowledgment is a durability promise. *)
+  let build () =
+    let dev, fs = build_pipelined_scenario () in
+    Fs.barrier_exn fs;  (* batch two durable *)
+    let posix = P.mount fs in
+    P.write_file posix "/data/one" "third batch content";
+    ignore (P.create_file ~content:"ephemeral" posix "/data/three");
+    (dev, fs)
+  in
+  let total =
+    let dev, fs = build () in
+    let n = count_writes dev (fun () -> Fs.barrier_exn fs) in
+    Fs.stop_pipeline fs;
+    n
+  in
+  check Alcotest.bool "third commit performs writes" true (total > 0);
+  for i = 0 to total - 1 do
+    let dev, fs = build () in
+    let torn_bytes = if i land 1 = 1 then Some 22 else None in
+    Device.arm_crash dev ~after_writes:i ?torn_bytes ();
+    (match Fs.barrier fs with
+    | Ok () -> Alcotest.failf "crash point %d/%d: barrier claimed durability" i total
+    | Error _ -> ());
+    Fs.stop_pipeline fs;
+    let fs2 = reopen (snapshot dev) in
+    let posix2 = P.mount fs2 in
+    (* Batch two — acknowledged by a successful barrier — must be intact. *)
+    check Alcotest.string "barrier-acked new file survives"
+      "checkpoint two content"
+      (P.read_file posix2 "/data/two");
+    let one = P.read_file posix2 "/data/one" in
+    if
+      one <> "rewritten in second checkpoint" && one <> "third batch content"
+    then
+      Alcotest.failf "crash point %d/%d: barrier-acked rewrite lost (%S)" i
+        total one;
+    (* Batch three is all-or-nothing with the rewrite it shares a
+       commit with. *)
+    (match P.exists posix2 "/data/three" with
+    | true ->
+        check Alcotest.string "third batch atomic" "third batch content" one;
+        check Alcotest.string "third file complete" "ephemeral"
+          (P.read_file posix2 "/data/three")
+    | false ->
+        check Alcotest.string "third batch absent atomically"
+          "rewritten in second checkpoint" one);
+    Fs.verify fs2
+  done;
+  Printf.printf
+    "barrier-acked sweep: %d crash points, batch two survived all\n%!" total
+
 let suite =
   [
     Alcotest.test_case "checksum detects bit rot" `Quick test_checksum_detects_bit_rot;
@@ -355,4 +483,10 @@ let suite =
       test_crash_sweep_torn_22;
     Alcotest.test_case "crash sweep: crashes during recovery" `Quick
       test_crash_sweep_during_recovery;
+    Alcotest.test_case "group-commit sweep: dropped writes" `Quick
+      test_group_commit_sweep_dropped;
+    Alcotest.test_case "group-commit sweep: torn writes" `Quick
+      test_group_commit_sweep_torn;
+    Alcotest.test_case "barrier-acked mutations never lost" `Quick
+      test_barrier_acked_never_lost;
   ]

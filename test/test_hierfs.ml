@@ -15,7 +15,7 @@ let qtest = QCheck_alcotest.to_alcotest
 
 let mk ?(block_size = 512) ?(blocks = 16384) () =
   let dev = Device.create ~block_size ~blocks () in
-  (dev, H.format ~cache_pages:256 dev)
+  (dev, H.format ~config:(H.Config.v ~cache_pages:256 ()) dev)
 
 let expect_err errno f =
   match f () with

@@ -33,7 +33,7 @@ let mk_tree () =
 
 let mk_store () =
   let dev = Device.create ~block_size:1024 ~blocks:16384 () in
-  let osd = Osd.format ~cache_pages:256 dev in
+  let osd = Osd.format ~config:(Osd.Config.v ~cache_pages:256 ()) dev in
   (dev, osd, Index_store.create osd)
 
 (* --- Tag ------------------------------------------------------------------- *)
@@ -326,8 +326,8 @@ let test_store_survives_reopen () =
   let o1 = Osd.create_object osd in
   Index_store.add store o1 Tag.User "margo";
   Index_store.index_text ~lazily:false store o1 "durable content";
-  Osd.flush osd;
-  let osd2 = Osd.open_existing ~cache_pages:256 dev in
+  Osd.flush_exn osd;
+  let osd2 = Osd.open_existing_exn ~config:(Osd.Config.v ~cache_pages:256 ()) dev in
   let store2 = Index_store.create osd2 in
   check (Alcotest.list oid_t) "attributes survive" [ o1 ]
     (Index_store.lookup store2 (Tag.User, "margo"));

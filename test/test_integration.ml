@@ -20,7 +20,7 @@ let oid_t = Alcotest.testable Oid.pp Oid.equal
 
 let test_full_lifecycle () =
   let dev = Device.create ~block_size:1024 ~blocks:32768 () in
-  let fs = Fs.format ~cache_pages:2048 ~index_mode:Fs.Lazy ~journal_pages:256 dev in
+  let fs = Fs.format ~config:(Fs.Config.v ~cache_pages:2048 ~index_mode:Fs.Lazy ~journal_pages:256 ()) dev in
   let p = P.mount fs in
 
   (* 1. Build a small world through the POSIX veneer. *)
@@ -36,14 +36,14 @@ let test_full_lifecycle () =
       "/home/nick/code/btree.ml"
   in
   (* 2. Layer native names on top of the same objects. *)
-  Fs.name fs paper Tag.User "margo";
-  Fs.name fs paper Tag.App "latex";
-  Fs.name fs paper Tag.Udef "hotos";
-  Fs.name fs code Tag.User "nick";
-  Fs.name fs code Tag.App "editor";
+  Fs.name_exn fs paper Tag.User "margo";
+  Fs.name_exn fs paper Tag.App "latex";
+  Fs.name_exn fs paper Tag.Udef "hotos";
+  Fs.name_exn fs code Tag.User "nick";
+  Fs.name_exn fs code Tag.App "editor";
   (* 3. An object with no path at all: pure tag-space. *)
   let pathless =
-    Fs.create fs
+    Fs.create_exn fs
       ~names:[ (Tag.User, "margo"); (Tag.Udef, "scratch") ]
       ~content:"unnamed scratch buffer about the albatross"
   in
@@ -69,7 +69,7 @@ let test_full_lifecycle () =
   check Alcotest.int "margo's universe" 2 (Refine.count session);
 
   (* 7. Byte-granular edit keeps everything consistent. *)
-  Fs.insert fs paper ~off:0 "ABSTRACT. ";
+  Fs.insert_exn fs paper ~off:0 "ABSTRACT. ";
   Fs.drain_index fs;
   check (Alcotest.list oid_t) "reindexed after insert" [ paper ]
     (List.map fst (Fs.search fs "abstract albatross"));
@@ -82,13 +82,13 @@ let test_full_lifecycle () =
   check Alcotest.string "compaction invisible" before (Fs.read_all fs paper);
 
   (* 9. Checkpoint, snapshot the device, reopen, re-verify everything. *)
-  Fs.flush fs;
+  Fs.flush_exn fs;
   let img = Filename.temp_file "hfad_integration" ".img" in
   Fun.protect
     ~finally:(fun () -> try Sys.remove img with Sys_error _ -> ())
     (fun () ->
       Device.save dev img;
-      let fs2 = Fs.open_existing ~index_mode:Fs.Lazy (Device.load img) in
+      let fs2 = Fs.open_existing_exn ~config:(Fs.Config.v ~index_mode:Fs.Lazy ()) (Device.load img) in
       let p2 = P.mount fs2 in
       check Alcotest.string "content survives" before
         (P.read_file p2 "/home/margo/papers/hfad.txt");
@@ -111,7 +111,7 @@ let test_full_lifecycle () =
       P.verify p2);
 
   (* 10. Deleting the pathless object scrubs every index. *)
-  Fs.delete fs pathless;
+  Fs.delete_exn fs pathless;
   Fs.drain_index fs;
   check (Alcotest.list oid_t) "only the paper remains" [ paper ]
     (List.map fst (Fs.search fs "albatross"));
@@ -123,7 +123,7 @@ let test_full_lifecycle () =
 let test_two_mounts_share_state () =
   (* Two veneer mounts over one Fs are views of the same namespace. *)
   let dev = Device.create ~block_size:1024 ~blocks:8192 () in
-  let fs = Fs.format ~index_mode:Fs.Off dev in
+  let fs = Fs.format ~config:(Fs.Config.v ~index_mode:Fs.Off ()) dev in
   let a = P.mount fs in
   let b = P.mount fs in
   P.mkdir_p a "/shared";

@@ -262,13 +262,13 @@ let prop_codec_roundtrip =
 let populate fs posix =
   P.mkdir_p posix "/data";
   ignore (P.create_file ~content:"checkpoint one content" posix "/data/one");
-  Fs.flush fs
+  Fs.flush_exn fs
 
 let mutate fs posix =
   ignore (P.create_file ~content:"checkpoint two content" posix "/data/two");
   P.write_file posix "/data/one" "rewritten in second checkpoint";
   let oid = P.resolve posix "/data/two" in
-  Fs.name fs oid Tag.Udef "fresh"
+  Fs.name_exn fs oid Tag.Udef "fresh"
 
 let verify_first_checkpoint fs2 posix2 =
   check Alcotest.string "old content intact" "checkpoint one content"
@@ -287,19 +287,19 @@ let verify_second_checkpoint fs2 posix2 =
 
 let test_crash_before_flush_keeps_old_state () =
   let dev = mk_dev ~block_size:1024 ~blocks:16384 () in
-  let fs = Fs.format ~index_mode:Fs.Eager ~journal_pages:512 dev in
+  let fs = Fs.format ~config:(Fs.Config.v ~index_mode:Fs.Eager ~journal_pages:512 ()) dev in
   check Alcotest.bool "journaled" true (Fs.journaled fs);
   let posix = P.mount fs in
   populate fs posix;
   mutate fs posix;
   (* crash with NO flush: no-steal kept every dirty page off the device *)
   let crashed = snapshot dev in
-  let fs2 = Fs.open_existing ~index_mode:Fs.Eager crashed in
+  let fs2 = Fs.open_existing_exn ~config:(Fs.Config.v ~index_mode:Fs.Eager ()) crashed in
   verify_first_checkpoint fs2 (P.mount fs2)
 
 let test_crash_during_home_writes_replays_journal () =
   let dev = mk_dev ~block_size:1024 ~blocks:16384 () in
-  let fs = Fs.format ~index_mode:Fs.Eager ~journal_pages:512 dev in
+  let fs = Fs.format ~config:(Fs.Config.v ~index_mode:Fs.Eager ~journal_pages:512 ()) dev in
   let posix = P.mount fs in
   populate fs posix;
   mutate fs posix;
@@ -312,24 +312,24 @@ let test_crash_during_home_writes_replays_journal () =
       && (incr home_writes;
           !home_writes > 3));
   (try
-     Fs.flush fs;
+     Fs.flush_exn fs;
      Alcotest.fail "flush should have crashed"
    with Device.Io_error _ -> ());
   Device.clear_fault dev;
   let crashed = snapshot dev in
   (* Reopen: recovery must replay the sealed journal and reach the
      complete second checkpoint despite the torn home writes. *)
-  let fs2 = Fs.open_existing ~index_mode:Fs.Eager crashed in
+  let fs2 = Fs.open_existing_exn ~config:(Fs.Config.v ~index_mode:Fs.Eager ()) crashed in
   verify_second_checkpoint fs2 (P.mount fs2)
 
 let test_clean_flush_then_reopen () =
   let dev = mk_dev ~block_size:1024 ~blocks:16384 () in
-  let fs = Fs.format ~index_mode:Fs.Eager ~journal_pages:512 dev in
+  let fs = Fs.format ~config:(Fs.Config.v ~index_mode:Fs.Eager ~journal_pages:512 ()) dev in
   let posix = P.mount fs in
   populate fs posix;
   mutate fs posix;
-  Fs.flush fs;
-  let fs2 = Fs.open_existing ~index_mode:Fs.Eager (snapshot dev) in
+  Fs.flush_exn fs;
+  let fs2 = Fs.open_existing_exn ~config:(Fs.Config.v ~index_mode:Fs.Eager ()) (snapshot dev) in
   verify_second_checkpoint fs2 (P.mount fs2);
   check Alcotest.bool "reopened journaled" true (Fs.journaled fs2)
 
@@ -337,7 +337,7 @@ let test_recovery_is_idempotent () =
   (* Crash during home writes, recover, then crash AGAIN immediately
      after recovery's own writes and recover once more. *)
   let dev = mk_dev ~block_size:1024 ~blocks:16384 () in
-  let fs = Fs.format ~index_mode:Fs.Eager ~journal_pages:512 dev in
+  let fs = Fs.format ~config:(Fs.Config.v ~index_mode:Fs.Eager ~journal_pages:512 ()) dev in
   let posix = P.mount fs in
   populate fs posix;
   mutate fs posix;
@@ -346,15 +346,15 @@ let test_recovery_is_idempotent () =
       op = Device.Write && idx > 513
       && (incr home_writes;
           !home_writes > 3));
-  (try Fs.flush fs with Device.Io_error _ -> ());
+  (try Fs.flush_exn fs with Device.Io_error _ -> ());
   Device.clear_fault dev;
   let crashed = snapshot dev in
   (* First recovery, but we "crash" again before it can be observed -
      i.e. we just reopen the same snapshot twice. *)
-  let fs_a = Fs.open_existing ~index_mode:Fs.Eager crashed in
+  let fs_a = Fs.open_existing_exn ~config:(Fs.Config.v ~index_mode:Fs.Eager ()) crashed in
   verify_second_checkpoint fs_a (P.mount fs_a);
   let crashed2 = snapshot dev in
-  let fs_b = Fs.open_existing ~index_mode:Fs.Eager crashed2 in
+  let fs_b = Fs.open_existing_exn ~config:(Fs.Config.v ~index_mode:Fs.Eager ()) crashed2 in
   verify_second_checkpoint fs_b (P.mount fs_b)
 
 let test_oversized_checkpoint_splits_into_phases () =
@@ -362,15 +362,15 @@ let test_oversized_checkpoint_splits_into_phases () =
      with the NO-STEAL pager's dirty pages stranded: flush degrades into
      several individually-journaled phases and completes. *)
   let dev = mk_dev ~block_size:512 ~blocks:8192 () in
-  let osd = Osd.format ~cache_pages:4096 ~journal_pages:8 dev in
+  let osd = Osd.format ~config:(Osd.Config.v ~cache_pages:4096 ~journal_pages:8 ()) dev in
   let cap = Osd.journal_capacity_pages osd in
   check Alcotest.bool "tiny journal" true (cap > 0 && cap < 8);
   let oid = Osd.create_object osd in
   let content = String.init 100_000 (fun i -> Char.chr (33 + (i mod 90))) in
   Osd.write osd oid ~off:0 content;
-  Osd.flush osd;
+  Osd.flush_exn osd;
   (* No exception, journal clean, and the state is durable. *)
-  let osd2 = Osd.open_existing (snapshot dev) in
+  let osd2 = Osd.open_existing_exn (snapshot dev) in
   check Alcotest.string "content survived" content (Osd.read_all osd2 oid);
   Osd.verify osd2
 
@@ -383,10 +383,10 @@ let test_journaled_no_steal_holds_dirty () =
   (* Between flushes, a journaled OSD must not let dirty pages reach the
      device (NO-STEAL) - that is what makes the crash test above pass. *)
   let dev = mk_dev ~block_size:1024 ~blocks:16384 () in
-  let fs = Fs.format ~index_mode:Fs.Off ~journal_pages:64 dev in
-  Fs.flush fs;
+  let fs = Fs.format ~config:(Fs.Config.v ~index_mode:Fs.Off ~journal_pages:64 ()) dev in
+  Fs.flush_exn fs;
   Device.reset_stats dev;
-  let oid = Fs.create fs ~content:(String.make 50_000 'd') in
+  let oid = Fs.create_exn fs ~content:(String.make 50_000 'd') in
   ignore oid;
   check Alcotest.int "no device writes before flush" 0
     (Device.stats dev).Device.writes

@@ -19,5 +19,6 @@ let () =
       ("failures", Test_failures.suite);
       ("journal", Test_journal.suite);
       ("concurrency", Test_concurrency.suite);
+      ("pipeline", Test_pipeline.suite);
       ("integration", Test_integration.suite);
     ]

@@ -13,7 +13,7 @@ let qtest = QCheck_alcotest.to_alcotest
 
 let mk ?(block_size = 256) ?(blocks = 8192) ?max_extent_pages () =
   let dev = Device.create ~block_size ~blocks () in
-  (dev, Osd.format ?max_extent_pages ~cache_pages:128 dev)
+  (dev, Osd.format ~config:(Osd.Config.v ?max_extent_pages ~cache_pages:128 ()) dev)
 
 let oid_t = Alcotest.testable Oid.pp Oid.equal
 
@@ -171,10 +171,10 @@ let test_insert_into_large_object_no_rewrite () =
   let oid = Osd.create_object osd in
   let big = String.make 1_000_000 'x' in
   Osd.write osd oid ~off:0 big;
-  Osd.flush osd;
+  Osd.flush_exn osd;
   Device.reset_stats dev;
   Osd.insert osd oid ~off:500_000 "NEEDLE";
-  Osd.flush osd;
+  Osd.flush_exn osd;
   let written = (Device.stats dev).Device.bytes_written in
   check Alcotest.bool "writes bounded (no full rewrite)" true
     (written < 200_000);
@@ -285,16 +285,16 @@ let test_many_objects_islolated () =
 
 let test_reopen_preserves_everything () =
   let dev = Device.create ~block_size:256 ~blocks:8192 () in
-  let osd = Osd.format ~cache_pages:64 dev in
+  let osd = Osd.format ~config:(Osd.Config.v ~cache_pages:64 ()) dev in
   let a = Osd.create_object osd in
   let b = Osd.create_object osd in
   Osd.write osd a ~off:0 "persistent A";
   Osd.write osd b ~off:0 (String.make 10_000 'B');
   Osd.update_metadata osd a (fun m -> { m with Meta.owner = "margo" });
   let free_before = (Buddy.stats (Osd.allocator osd)).Buddy.free_blocks in
-  Osd.flush osd;
+  Osd.flush_exn osd;
   (* Reopen from the raw device with cold caches. *)
-  let osd2 = Osd.open_existing ~cache_pages:64 dev in
+  let osd2 = Osd.open_existing_exn ~config:(Osd.Config.v ~cache_pages:64 ()) dev in
   check Alcotest.string "object A" "persistent A" (Osd.read_all osd2 a);
   check Alcotest.string "object B" (String.make 10_000 'B') (Osd.read_all osd2 b);
   check Alcotest.string "metadata" "margo" (Osd.metadata osd2 a).Meta.owner;
@@ -308,13 +308,13 @@ let test_reopen_preserves_everything () =
 let test_reopen_bad_magic () =
   let dev = Device.create ~block_size:256 ~blocks:64 () in
   (try
-     ignore (Osd.open_existing dev);
+     ignore (Osd.open_existing_exn dev);
      Alcotest.fail "expected failure"
    with Failure _ -> ())
 
 let test_named_trees () =
   let dev = Device.create ~block_size:256 ~blocks:4096 () in
-  let osd = Osd.format ~cache_pages:64 dev in
+  let osd = Osd.format ~config:(Osd.Config.v ~cache_pages:64 ()) dev in
   let module Btree = Hfad_btree.Btree in
   let tags = Osd.create_named_tree osd "tags" in
   Btree.put tags ~key:"color" ~value:"blue";
@@ -329,8 +329,8 @@ let test_named_trees () =
   (* Survives flush + reopen, including allocator reservation. *)
   let oid = Osd.create_object osd in
   Osd.write osd oid ~off:0 "payload";
-  Osd.flush osd;
-  let osd2 = Osd.open_existing ~cache_pages:64 dev in
+  Osd.flush_exn osd;
+  let osd2 = Osd.open_existing_exn ~config:(Osd.Config.v ~cache_pages:64 ()) dev in
   (match Osd.open_named_tree osd2 "tags" with
   | Some tree ->
       check (Alcotest.option Alcotest.string) "tree content survived"

@@ -14,7 +14,7 @@ let qtest = QCheck_alcotest.to_alcotest
 
 let mk () =
   let dev = Device.create ~block_size:1024 ~blocks:16384 () in
-  let fs = Fs.format ~cache_pages:256 ~index_mode:Fs.Eager dev in
+  let fs = Fs.format ~config:(Fs.Config.v ~cache_pages:256 ~index_mode:Fs.Eager ()) dev in
   (dev, fs, P.mount fs)
 
 let expect_err errno f =
@@ -289,8 +289,8 @@ let test_posix_and_native_naming_coexist () =
     P.create_file ~content:"sunset over diamond head crater" p
       "/home/margo/photos/img_0042.jpg"
   in
-  Fs.name fs oid Tag.User "margo";
-  Fs.name fs oid Tag.Udef "hawaii";
+  Fs.name_exn fs oid Tag.User "margo";
+  Fs.name_exn fs oid Tag.Udef "hawaii";
   let by_path = P.resolve p "/home/margo/photos/img_0042.jpg" in
   let by_tags = Fs.lookup fs [ (Tag.User, "margo"); (Tag.Udef, "hawaii") ] in
   let by_content = List.map fst (Fs.search fs "diamond crater") in

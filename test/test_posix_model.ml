@@ -143,8 +143,8 @@ let real_apply posix op =
          first so the model's replace semantics match *)
       if P.is_directory posix p then raise (P.Error (P.EISDIR, p));
       let oid = P.resolve posix p in
-      Fs.truncate (P.fs posix) oid 0;
-      Fs.write (P.fs posix) oid ~off:0 c
+      Fs.truncate_exn (P.fs posix) oid 0;
+      Fs.write_exn (P.fs posix) oid ~off:0 c
   | Unlink p -> P.unlink posix p
   | Link (p, q) -> P.link posix p q
   | Rename (p, q) ->
@@ -179,7 +179,7 @@ let prop =
        QCheck.Gen.(list_size (int_range 0 60) op_gen))
     (fun ops ->
       let dev = Device.create ~block_size:1024 ~blocks:16384 () in
-      let fs = Fs.format ~cache_pages:256 ~index_mode:Fs.Off dev in
+      let fs = Fs.format ~config:(Fs.Config.v ~cache_pages:256 ~index_mode:Fs.Off ()) dev in
       let posix = P.mount fs in
       let m = model_create () in
       List.iter

@@ -16,9 +16,9 @@ let oid_t = Alcotest.testable Oid.pp Oid.equal
    computable by hand. *)
 let mk () =
   let dev = Device.create ~block_size:1024 ~blocks:16384 () in
-  let fs = Fs.format ~cache_pages:256 ~index_mode:Fs.Off dev in
+  let fs = Fs.format ~config:(Fs.Config.v ~cache_pages:256 ~index_mode:Fs.Off ()) dev in
   let make people place year =
-    Fs.create fs
+    Fs.create_exn fs
       ~names:
         ((Tag.User, people) :: (Tag.Udef, place) :: [ (Tag.Udef, year) ])
   in
@@ -233,14 +233,14 @@ let prop_set_semantics =
        (QCheck.small_list (QCheck.int_bound 7)))
     (fun (absq, memberships) ->
       let dev = Device.create ~block_size:1024 ~blocks:8192 () in
-      let fs = Fs.format ~cache_pages:128 ~index_mode:Fs.Off dev in
+      let fs = Fs.format ~config:(Fs.Config.v ~cache_pages:128 ~index_mode:Fs.Off ()) dev in
       let objects =
         List.map
           (fun mask ->
-            let oid = Fs.create fs ~names:[ (Tag.Udef, "all") ] in
+            let oid = Fs.create_exn fs ~names:[ (Tag.Udef, "all") ] in
             Array.iteri
               (fun bit attr ->
-                if mask land (1 lsl bit) <> 0 then Fs.name fs oid Tag.Udef attr)
+                if mask land (1 lsl bit) <> 0 then Fs.name_exn fs oid Tag.Udef attr)
               attrs;
             (oid, mask))
           memberships

@@ -71,7 +71,7 @@ let test_emails_and_source_well_formed () =
 
 let mk_hfad () =
   let dev = Device.create ~block_size:1024 ~blocks:65536 () in
-  let fs = Fs.format ~cache_pages:512 ~index_mode:Fs.Eager dev in
+  let fs = Fs.format ~config:(Fs.Config.v ~cache_pages:512 ~index_mode:Fs.Eager ()) dev in
   P.mount fs
 
 let test_load_photos_into_hfad () =
@@ -97,7 +97,7 @@ let test_load_photos_into_hfad () =
 
 let test_load_photos_into_hierfs_parity () =
   let dev = Device.create ~block_size:1024 ~blocks:65536 () in
-  let h = H.format ~cache_pages:512 dev in
+  let h = H.format ~config:(H.Config.v ~cache_pages:512 ()) dev in
   let photos = Corpus.photos (Rng.create 7L) ~count:30 in
   Load.photos_into_hierfs h photos;
   List.iter
@@ -170,7 +170,7 @@ let test_trace_replays_equivalently () =
   let f = Trace.replay_hfad p trace in
   (* baseline *)
   let dev = Device.create ~block_size:1024 ~blocks:65536 () in
-  let h = H.format ~cache_pages:512 dev in
+  let h = H.format ~config:(H.Config.v ~cache_pages:512 ()) dev in
   Load.photos_into_hierfs h photos;
   let ds = Search.create h in
   ignore (Search.index_tree ds "/");
