@@ -18,6 +18,8 @@ module Tag = Hfad_index.Tag
 module Oid = Hfad_osd.Oid
 module Meta = Hfad_osd.Meta
 module P = Hfad_posix.Posix_fs
+module Prometheus = Hfad_metrics.Prometheus
+module Trace = Hfad_trace.Trace
 open Cmdliner
 
 let say fmt = Format.printf (fmt ^^ "@.")
@@ -317,6 +319,63 @@ let info_cmd =
   Cmd.v (Cmd.info "info" ~doc:"Show image statistics.")
     Term.(const show_info $ image_arg)
 
+let metrics image =
+  handle_errors (fun () ->
+      with_image image (fun _fs _posix -> print_string (Prometheus.expose ())))
+
+let metrics_cmd =
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:
+         "Open the image and dump the metrics registry in Prometheus text \
+          exposition format (counters, gauges, latency histograms).")
+    Term.(const metrics $ image_arg)
+
+(* Run one operation with span tracing on and print the resulting tree:
+   every layer the operation crossed (fs, index, btree, pager, device,
+   ...) with per-span latency — §2.3's index traversals, made visible. *)
+let trace image op args =
+  handle_errors (fun () ->
+      let usage () =
+        invalid_arg "usage: trace IMAGE (put PATH DATA | search TERM.. | cat PATH)"
+      in
+      let write = String.equal op "put" in
+      with_image ~write image (fun fs posix ->
+          Trace.set_enabled true;
+          Fun.protect
+            ~finally:(fun () -> Trace.set_enabled false)
+            (fun () ->
+              Trace.clear ();
+              (* One root span so the whole operation lands in one tree. *)
+              Trace.with_span ~layer:"ctl" ~op (fun () ->
+                  match (op, args) with
+                  | "put", [ path; data ] ->
+                      P.mkdir_p posix (Hfad_posix.Path.parent path);
+                      P.write_file posix path data
+                  | "cat", [ path ] -> ignore (P.read_file posix path)
+                  | "search", (_ :: _ as terms) ->
+                      ignore (Fs.search fs (String.concat " " terms))
+                  | _ -> usage ());
+              match Trace.last_trace () with
+              | Some tr -> Format.printf "%a" Trace.pp_trace tr
+              | None -> say "no spans recorded")))
+
+let trace_cmd =
+  let op =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"OP"
+           ~doc:"Operation to trace: put, search or cat.")
+  in
+  let args =
+    Arg.(value & pos_right 1 string [] & info [] ~docv:"ARG"
+           ~doc:"Operation arguments.")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run one put/search/cat with span tracing enabled and print the \
+          span tree: each layer crossed, with per-span latency.")
+    Term.(const trace $ image_arg $ op $ args)
+
 let () =
   let doc = "tagged, search-based file system (hFAD) image tool" in
   let default = Term.(ret (const (`Help (`Pager, None)))) in
@@ -327,5 +386,6 @@ let () =
           [
             mkfs_cmd; put_cmd; cat_cmd; ls_cmd; mkdir_cmd; rm_cmd; tag_cmd;
             untag_cmd; tags_cmd; search_cmd; find_cmd; query_cmd; stat_cmd;
-            info_cmd; mv_cmd; ln_cmd; insert_cmd; compact_cmd;
+            info_cmd; mv_cmd; ln_cmd; insert_cmd; compact_cmd; metrics_cmd;
+            trace_cmd;
           ]))

@@ -19,8 +19,17 @@ dune exec test/test_main.exe -- test failures -e
 # pipelined==sync image-equivalence property) run loudly on their own.
 dune exec test/test_main.exe -- test pipeline -e
 
+# Trace-overhead gate: spans are compiled into every layer, so the
+# disabled path must stay one atomic load + branch. The trace suite's
+# "disabled overhead bound" case fails if a disabled probe costs ~1us,
+# which is what would make the un-traced W1 smoke regress; the rest of
+# the suite guards recording semantics (nesting, ring bounds, exporters).
+dune exec test/test_main.exe -- test trace -e
+
 # Bench bit-rot gate: every experiment at tiny N, asserting each runs to
-# completion. Numbers printed under --smoke are not measurements.
+# completion. Numbers printed under --smoke are not measurements. O1
+# additionally asserts, on every run, that the hierarchical lookup
+# crosses >= 4 index structures and the native path strictly fewer.
 dune exec bench/main.exe -- --smoke
 
 echo "check.sh: OK"

@@ -1,3 +1,5 @@
+module Trace = Hfad_trace.Trace
+
 exception Out_of_range of { block : int; blocks : int }
 exception Io_error of string
 
@@ -134,9 +136,7 @@ let charge t op idx =
       t.writes <- t.writes + 1;
       t.bytes_written <- t.bytes_written + t.block_size
 
-let read_block_into t idx buf =
-  if Bytes.length buf <> t.block_size then
-    invalid_arg "Device.read_block_into: buffer size mismatch";
+let read_block_into_locked t idx buf =
   with_lock t (fun () ->
       check_range t idx;
       check_fault t Read idx;
@@ -156,14 +156,21 @@ let read_block_into t idx buf =
           Bytes.blit data 0 buf 0 t.block_size
       | None -> Bytes.fill buf 0 t.block_size '\000')
 
+let read_block_into t idx buf =
+  if Bytes.length buf <> t.block_size then
+    invalid_arg "Device.read_block_into: buffer size mismatch";
+  if Trace.enabled () then
+    Trace.with_span ~layer:"device" ~op:"read"
+      ~attrs:[ ("block", string_of_int idx) ]
+      (fun () -> read_block_into_locked t idx buf)
+  else read_block_into_locked t idx buf
+
 let read_block t idx =
   let buf = Bytes.create t.block_size in
   read_block_into t idx buf;
   buf
 
-let write_block t idx data =
-  if Bytes.length data <> t.block_size then
-    invalid_arg "Device.write_block: data size mismatch";
+let write_block_locked t idx data =
   with_lock t (fun () ->
       check_range t idx;
       check_crash_write t idx data;
@@ -174,13 +181,27 @@ let write_block t idx data =
           (Hfad_util.Crc32.bytes data ~pos:0 ~len:t.block_size);
       t.store.(idx) <- Some (Bytes.copy data))
 
-let flush t =
+let write_block t idx data =
+  if Bytes.length data <> t.block_size then
+    invalid_arg "Device.write_block: data size mismatch";
+  if Trace.enabled () then
+    Trace.with_span ~layer:"device" ~op:"write"
+      ~attrs:[ ("block", string_of_int idx) ]
+      (fun () -> write_block_locked t idx data)
+  else write_block_locked t idx data
+
+let flush_locked t =
   with_lock t (fun () ->
       (match t.crash with
       | Some c when c.dead ->
           raise (Io_error "device crashed: barrier refused")
       | Some _ | None -> ());
       t.flushes <- t.flushes + 1)
+
+let flush t =
+  if Trace.enabled () then
+    Trace.with_span ~layer:"device" ~op:"flush" (fun () -> flush_locked t)
+  else flush_locked t
 
 let image_magic = "hFADIMG1"
 

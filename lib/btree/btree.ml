@@ -3,6 +3,7 @@ module Counter = Hfad_metrics.Counter
 module Registry = Hfad_metrics.Registry
 module Strx = Hfad_util.Strx
 module Rwlock = Hfad_util.Rwlock
+module Trace = Hfad_trace.Trace
 
 exception Key_too_large of int
 exception Value_too_large of int
@@ -101,19 +102,37 @@ let check_value t v =
   if String.length v > max_value_size t then
     raise (Value_too_large (String.length v))
 
-let rec find_rec t page_no key =
+(* Wrap one public tree operation in a span: the [root] attr identifies
+   the index structure (O1 counts distinct roots to reproduce §2.3's
+   traversal count) and [nodes] records the pages this operation
+   visited. *)
+let traced t ~op f =
+  if not (Trace.enabled ()) then f ()
+  else
+    Trace.with_span ~layer:"btree" ~op
+      ~attrs:[ ("root", string_of_int t.root) ]
+      (fun () ->
+        let before = Atomic.get t.nodes_visited in
+        let v = f () in
+        Trace.add_attr_int "nodes" (Atomic.get t.nodes_visited - before);
+        v)
+
+let rec find_rec t depth page_no key =
+  if Trace.enabled () then
+    Trace.add_attr_int (Printf.sprintf "l%d" depth) page_no;
   match load t page_no with
   | Node.Leaf { entries; _ } -> (
       match Node.find_entry entries key with
       | Some i -> Some (snd entries.(i))
       | None -> None)
   | Node.Internal { keys; children } ->
-      find_rec t children.(Node.find_child keys key) key
+      find_rec t (depth + 1) children.(Node.find_child keys key) key
 
 let find t key =
-  shared t (fun () ->
-      begin_descent t;
-      find_rec t t.root key)
+  traced t ~op:"find" (fun () ->
+      shared t (fun () ->
+          begin_descent t;
+          find_rec t 0 t.root key))
 
 let mem t key = Option.is_some (find t key)
 
@@ -206,6 +225,7 @@ let rec insert_rec t page_no key value =
 let put t ~key ~value =
   check_key t key;
   check_value t value;
+  traced t ~op:"put" @@ fun () ->
   exclusive t (fun () ->
       begin_descent t;
       match insert_rec t t.root key value with
@@ -352,6 +372,7 @@ let rec delete_rec t page_no key =
       end
 
 let remove t key =
+  traced t ~op:"remove" @@ fun () ->
   exclusive t (fun () ->
       begin_descent t;
       let deleted, _ = delete_rec t t.root key in
@@ -380,6 +401,7 @@ let rec leaf_for t page_no key =
 exception Stop
 
 let fold_range t ?lo ?hi ~init f =
+  traced t ~op:"range" @@ fun () ->
   shared t @@ fun () ->
   begin_descent t;
   let _, leaf =
@@ -432,6 +454,7 @@ let rec rightmost_binding t page_no =
       rightmost_binding t children.(Array.length children - 1)
 
 let floor_binding t key =
+  traced t ~op:"floor" @@ fun () ->
   shared t @@ fun () ->
   begin_descent t;
   (* Descend toward [key], remembering the nearest subtree entirely to the

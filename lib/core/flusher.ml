@@ -2,6 +2,7 @@ module Osd = Hfad_osd.Osd
 module Histogram = Hfad_metrics.Histogram
 module Counter = Hfad_metrics.Counter
 module Registry = Hfad_metrics.Registry
+module Trace = Hfad_trace.Trace
 
 (* One set of pipeline metrics per process (same convention as the OSD's
    op counters): several Fs instances share the histograms, and bench
@@ -10,6 +11,13 @@ let h_latency = lazy (Histogram.make "fs.pipeline.commit_latency_us")
 let h_batch_ops = lazy (Histogram.make "fs.pipeline.batch_ops")
 let h_batch_pages = lazy (Histogram.make "fs.pipeline.batch_pages")
 let c_commits = lazy (Registry.counter Registry.global "fs.pipeline.commits")
+
+(* Saturation gauge: age of the oldest acknowledged-but-not-durable
+   mutation, sampled at each commit (0 once the queue drains). Cheap
+   enough to publish unconditionally — one [Counter.set] per commit, not
+   per mutation. *)
+let g_queue_age =
+  lazy (Registry.counter Registry.global "flusher.queue_age_us")
 
 type t = {
   mutex : Mutex.t;
@@ -80,10 +88,26 @@ let should_commit t =
 let run_commit t =
   let target = t.acked in
   t.urgent <- false;
+  let queue_age_us =
+    if t.first_pending > 0.0 then
+      int_of_float ((Unix.gettimeofday () -. t.first_pending) *. 1e6)
+    else 0
+  in
+  Counter.set (Lazy.force g_queue_age) queue_age_us;
   Mutex.unlock t.mutex;
   let pages = t.dirty_count () in
   let t0 = Unix.gettimeofday () in
-  let result = t.commit () in
+  let result =
+    if Trace.enabled () then
+      Trace.with_span ~layer:"flusher" ~op:"commit"
+        ~attrs:
+          [
+            ("pages", string_of_int pages);
+            ("queue_age_us", string_of_int queue_age_us);
+          ]
+        t.commit
+    else t.commit ()
+  in
   let dt_us = int_of_float ((Unix.gettimeofday () -. t0) *. 1e6) in
   Mutex.lock t.mutex;
   (match result with
@@ -95,7 +119,8 @@ let run_commit t =
       t.commits <- t.commits + 1;
       t.durable <- max t.durable target;
       t.first_pending <-
-        (if t.acked > t.durable then Unix.gettimeofday () else 0.0)
+        (if t.acked > t.durable then Unix.gettimeofday () else 0.0);
+      if t.first_pending = 0.0 then Counter.set (Lazy.force g_queue_age) 0
   | Error e -> if t.failed = None then t.failed <- Some e);
   Condition.broadcast t.done_;
   result

@@ -7,6 +7,7 @@ module Index_store = Hfad_index.Index_store
 module Fulltext = Hfad_fulltext.Fulltext
 module Lazy_indexer = Hfad_fulltext.Lazy_indexer
 module Rwlock = Hfad_util.Rwlock
+module Trace = Hfad_trace.Trace
 
 type index_mode = Eager | Lazy | Off
 
@@ -204,7 +205,11 @@ let pipeline_stats t = Option.map Flusher.stats t.pipeline
 
 (* --- lifecycle ----------------------------------------------------------- *)
 
+let traced op f =
+  if Trace.enabled () then Trace.with_span ~layer:"fs" ~op f else f ()
+
 let create ?meta ?(names = []) ?content t =
+  traced "create" @@ fun () ->
   mutate t (fun () ->
       let oid = Osd.create_object ?meta t.osd in
       List.iter (fun (tag, value) -> Index_store.add t.index oid tag value) names;
@@ -216,6 +221,7 @@ let create ?meta ?(names = []) ?content t =
       oid)
 
 let delete t oid =
+  traced "delete" @@ fun () ->
   mutate t (fun () ->
       (* Flush any queued indexing first so a pending Index for this OID
          does not resurrect postings after the drop. *)
@@ -229,37 +235,49 @@ let object_count t = Osd.object_count t.osd
 (* --- naming ----------------------------------------------------------------- *)
 
 let name t oid tag value =
+  traced "name" @@ fun () ->
   mutate t (fun () ->
       if not (Osd.exists t.osd oid) then raise (Osd.No_such_object oid);
       Index_store.add t.index oid tag value)
 
 let unname t oid tag value =
+  traced "unname" @@ fun () ->
   mutate t (fun () -> Index_store.remove t.index oid tag value)
 
 let names_of t oid = Index_store.values_of t.index oid
-let lookup t pairs = Index_store.query t.index pairs
+
+let lookup t pairs =
+  traced "lookup" @@ fun () -> Index_store.query t.index pairs
 
 let lookup_one t pairs =
   match lookup t pairs with [] -> None | oid :: _ -> Some oid
 
-let query t q = shared t (fun () -> Hfad_index.Query.eval t.index q)
+let query t q =
+  traced "query" @@ fun () ->
+  shared t (fun () -> Hfad_index.Query.eval t.index q)
+
 let query_string t s = query t (Hfad_index.Query.of_string s)
 
 let search t query =
+  traced "search" @@ fun () ->
   shared t (fun () -> Fulltext.search_text (Index_store.fulltext t.index) query)
 let list_names t tag ~prefix = Index_store.lookup_prefix t.index tag prefix
 
 (* --- access -------------------------------------------------------------------- *)
 
-let read t oid ~off ~len = Osd.read t.osd oid ~off ~len
-let read_all t oid = Osd.read_all t.osd oid
+let read t oid ~off ~len =
+  traced "read" @@ fun () -> Osd.read t.osd oid ~off ~len
+
+let read_all t oid = traced "read" @@ fun () -> Osd.read_all t.osd oid
 
 let write t oid ~off data =
+  traced "write" @@ fun () ->
   mutate t (fun () ->
       Osd.write t.osd oid ~off data;
       reindex t oid)
 
 let append t oid data =
+  traced "append" @@ fun () ->
   mutate t (fun () ->
       Osd.append t.osd oid data;
       reindex t oid)

@@ -1,5 +1,6 @@
 module Btree = Hfad_btree.Btree
 module Tokenizer = Hfad_fulltext.Tokenizer
+module Trace = Hfad_trace.Trace
 
 type t = { hfs : Hierfs.t; index : Btree.t; mutable files : int }
 
@@ -12,19 +13,26 @@ let postings_key term path = "T" ^ term ^ "\000" ^ path
 let postings_prefix term = "T" ^ term ^ "\000"
 
 let index_file t path =
-  let content = Hierfs.read_file t.hfs path in
-  List.iter
-    (fun (term, _tf) ->
-      Btree.put t.index ~key:(postings_key term path) ~value:"")
-    (Tokenizer.term_frequencies content);
-  t.files <- t.files + 1
+  let go () =
+    let content = Hierfs.read_file t.hfs path in
+    List.iter
+      (fun (term, _tf) ->
+        Btree.put t.index ~key:(postings_key term path) ~value:"")
+      (Tokenizer.term_frequencies content);
+    t.files <- t.files + 1
+  in
+  if Trace.enabled () then
+    Trace.with_span ~layer:"dsearch" ~op:"index_file"
+      ~attrs:[ ("path", path) ]
+      go
+  else go ()
 
 let index_tree t dir =
   let files = Hierfs.walk_files t.hfs dir in
   List.iter (index_file t) files;
   List.length files
 
-let search t term =
+let search_plain t term =
   match Tokenizer.tokens term with
   | [] -> []
   | term :: _ ->
@@ -35,11 +43,25 @@ let search t term =
           :: acc)
       |> List.rev
 
+let search t term =
+  if Trace.enabled () then
+    Trace.with_span ~layer:"dsearch" ~op:"search"
+      ~attrs:[ ("term", term) ]
+      (fun () -> search_plain t term)
+  else search_plain t term
+
 let search_and_read t term ~bytes_per_hit =
   (* Stage 1: search index. Stage 2+3: namespace walk and inode fetch.
      Stage 4: physical block-map traversal for the data bytes. *)
-  search t term
-  |> List.map (fun path ->
-         (path, Hierfs.read_at t.hfs path ~off:0 ~len:bytes_per_hit))
+  let go () =
+    search t term
+    |> List.map (fun path ->
+           (path, Hierfs.read_at t.hfs path ~off:0 ~len:bytes_per_hit))
+  in
+  if Trace.enabled () then
+    Trace.with_span ~layer:"dsearch" ~op:"search_and_read"
+      ~attrs:[ ("term", term) ]
+      go
+  else go ()
 
 let indexed_files t = t.files

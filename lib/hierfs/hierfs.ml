@@ -6,6 +6,7 @@ module Codec = Hfad_util.Codec
 module Upath = Hfad_util.Upath
 module Counter = Hfad_metrics.Counter
 module Registry = Hfad_metrics.Registry
+module Trace = Hfad_trace.Trace
 
 type errno = ENOENT | EEXIST | ENOTDIR | EISDIR | ENOTEMPTY | EINVAL
 
@@ -44,9 +45,16 @@ let put_inode t inode =
 
 let get_inode t ino =
   Counter.incr c_inode_fetches;
-  match Btree.find t.itable (ino_key ino) with
-  | Some v -> Inode.decode v
-  | None -> err ENOENT (Printf.sprintf "inode %d" ino)
+  let fetch () =
+    match Btree.find t.itable (ino_key ino) with
+    | Some v -> Inode.decode v
+    | None -> err ENOENT (Printf.sprintf "inode %d" ino)
+  in
+  if Trace.enabled () then
+    Trace.with_span ~layer:"hierfs" ~op:"inode_fetch"
+      ~attrs:[ ("ino", string_of_int ino) ]
+      fetch
+  else fetch ()
 
 let tick t =
   t.clock <- Int64.add t.clock 1L;
@@ -133,9 +141,16 @@ let decode_ino v = fst (Codec.get_varint (Bytes.unsafe_of_string v) 0)
 (* Look up one name inside directory [dir], holding its lock — the
    serialization point §2.3 identifies. *)
 let dir_lookup t dir name =
-  Lock_table.with_lock t.locks dir.Inode.ino (fun () ->
-      Counter.incr c_components;
-      Option.map decode_ino (Btree.find (dir_tree t dir) name))
+  let go () =
+    Lock_table.with_lock t.locks dir.Inode.ino (fun () ->
+        Counter.incr c_components;
+        Option.map decode_ino (Btree.find (dir_tree t dir) name))
+  in
+  if Trace.enabled () then
+    Trace.with_span ~layer:"hierfs" ~op:"dir_lookup"
+      ~attrs:[ ("dir_ino", string_of_int dir.Inode.ino); ("name", name) ]
+      go
+  else go ()
 
 let dir_insert t dir name ino =
   Lock_table.with_lock t.locks dir.Inode.ino (fun () ->
@@ -154,16 +169,23 @@ let dir_entries t dir =
 (* --- resolution -------------------------------------------------------------- *)
 
 let resolve_inode t path =
-  let rec walk inode = function
-    | [] -> inode
-    | comp :: rest ->
-        if inode.Inode.kind <> Inode.Dir then err ENOTDIR path
-        else (
-          match dir_lookup t inode comp with
-          | None -> err ENOENT path
-          | Some ino -> walk (get_inode t ino) rest)
+  let go () =
+    let rec walk inode = function
+      | [] -> inode
+      | comp :: rest ->
+          if inode.Inode.kind <> Inode.Dir then err ENOTDIR path
+          else (
+            match dir_lookup t inode comp with
+            | None -> err ENOENT path
+            | Some ino -> walk (get_inode t ino) rest)
+    in
+    walk (get_inode t root_ino) (Upath.components path)
   in
-  walk (get_inode t root_ino) (Upath.components path)
+  if Trace.enabled () then
+    Trace.with_span ~layer:"hierfs" ~op:"resolve"
+      ~attrs:[ ("path", path) ]
+      go
+  else go ()
 
 let resolve t path = (resolve_inode t path).Inode.ino
 
@@ -244,7 +266,7 @@ let alloc_zeroed_block t =
   block
 
 (* Device block holding file block [fblock], or -1 for a hole. *)
-let lookup_block t inode fblock =
+let lookup_block_plain t inode fblock =
   let ppb = ptrs_per_block t in
   if fblock < Inode.n_direct then inode.Inode.direct.(fblock)
   else
@@ -259,6 +281,20 @@ let lookup_block t inode fblock =
       else
         let l1 = read_ptr t inode.Inode.double_indirect (fblock / ppb) in
         if l1 < 0 then -1 else read_ptr t l1 (fblock mod ppb)
+
+(* The block map is the fourth index of §2.3's chain: even a direct-block
+   hit is one more structure consulted between name and data, so the span
+   is emitted (keyed by [ino]) whether or not an indirect page is read. *)
+let lookup_block t inode fblock =
+  if Trace.enabled () then
+    Trace.with_span ~layer:"hierfs" ~op:"blockmap"
+      ~attrs:
+        [
+          ("ino", string_of_int inode.Inode.ino);
+          ("fblock", string_of_int fblock);
+        ]
+      (fun () -> lookup_block_plain t inode fblock)
+  else lookup_block_plain t inode fblock
 
 (* Like [lookup_block] but materializes holes (and pointer blocks). *)
 let ensure_block t inode fblock =
@@ -357,9 +393,17 @@ let write_inode_at t inode ~off data =
   inode.Inode.mtime <- tick t;
   put_inode t inode
 
-let read_at t path ~off ~len = read_inode_at t (resolve_inode t path) ~off ~len
+let traced_path op path f =
+  if Trace.enabled () then
+    Trace.with_span ~layer:"hierfs" ~op ~attrs:[ ("path", path) ] f
+  else f ()
+
+let read_at t path ~off ~len =
+  traced_path "read_at" path @@ fun () ->
+  read_inode_at t (resolve_inode t path) ~off ~len
 
 let read_file t path =
+  traced_path "read_file" path @@ fun () ->
   let inode = resolve_inode t path in
   if inode.Inode.kind <> Inode.File then err EISDIR path;
   read_inode_at t inode ~off:0 ~len:inode.Inode.size

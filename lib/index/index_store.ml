@@ -6,6 +6,7 @@ module Lazy_indexer = Hfad_fulltext.Lazy_indexer
 module Registry = Hfad_metrics.Registry
 module Counter = Hfad_metrics.Counter
 module Rwlock = Hfad_util.Rwlock
+module Trace = Hfad_trace.Trace
 
 exception Unsupported_tag of Tag.t
 
@@ -65,10 +66,19 @@ let kv_index t tag =
 
 (* --- attribute tagging ---------------------------------------------------- *)
 
+let traced_tag op tag f =
+  if Trace.enabled () then
+    Trace.with_span ~layer:"index" ~op
+      ~attrs:[ ("tag", Tag.to_string tag) ]
+      f
+  else f ()
+
 let add t oid tag value =
+  traced_tag "add" tag @@ fun () ->
   exclusive t (fun () -> Kv_index.add (kv_index t tag) oid value)
 
 let remove t oid tag value =
+  traced_tag "remove" tag @@ fun () ->
   exclusive t (fun () -> Kv_index.remove (kv_index t tag) oid value)
 
 let values_of t oid =
@@ -118,6 +128,7 @@ let image t = t.image
 
 let lookup t (tag, value) =
   Counter.incr c_lookups;
+  traced_tag "lookup" tag @@ fun () ->
   shared t @@ fun () ->
   match tag with
   | Tag.Id -> (
@@ -178,6 +189,12 @@ let narrow t acc (sel, pair) =
 
 let query t pairs =
   Counter.incr c_queries;
+  (if Trace.enabled () then fun f ->
+     Trace.with_span ~layer:"index" ~op:"query"
+       ~attrs:[ ("pairs", string_of_int (List.length pairs)) ]
+       f
+   else fun f -> f ())
+  @@ fun () ->
   shared t @@ fun () ->
   match pairs with
   | [] -> []
@@ -194,6 +211,7 @@ let query t pairs =
       | [] -> [])
 
 let lookup_prefix t tag prefix =
+  traced_tag "lookup_prefix" tag @@ fun () ->
   shared t @@ fun () ->
   match tag with
   | Tag.Fulltext | Tag.Id -> raise (Unsupported_tag tag)

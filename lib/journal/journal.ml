@@ -1,6 +1,7 @@
 module Device = Hfad_blockdev.Device
 module Codec = Hfad_util.Codec
 module Crc32 = Hfad_util.Crc32
+module Trace = Hfad_trace.Trace
 
 exception Journal_full of { needed_blocks : int; have_blocks : int }
 
@@ -213,7 +214,7 @@ let decode_batch t ~records blocks =
 
 (* --- commit / recover -------------------------------------------------------- *)
 
-let commit t pages =
+let commit_plain t pages =
   match pages with
   | [] -> ()
   | _ ->
@@ -232,7 +233,18 @@ let commit t pages =
       t.seq <- Int64.add t.seq 1L;
       write_header t ~state:state_committed ~record_count:(records_for t ~pages:n)
 
-let mark_clean t = write_header t ~state:state_clean ~record_count:0
+let commit t pages =
+  if Trace.enabled () then
+    Trace.with_span ~layer:"journal" ~op:"commit"
+      ~attrs:[ ("pages", string_of_int (List.length pages)) ]
+      (fun () -> commit_plain t pages)
+  else commit_plain t pages
+
+let mark_clean t =
+  if Trace.enabled () then
+    Trace.with_span ~layer:"journal" ~op:"mark_clean" (fun () ->
+        write_header t ~state:state_clean ~record_count:0)
+  else write_header t ~state:state_clean ~record_count:0
 
 let recover t =
   match read_header t with

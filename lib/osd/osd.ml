@@ -7,6 +7,7 @@ module Counter = Hfad_metrics.Counter
 module Registry = Hfad_metrics.Registry
 module Journal = Hfad_journal.Journal
 module Rwlock = Hfad_util.Rwlock
+module Trace = Hfad_trace.Trace
 
 exception No_such_object of Oid.t
 exception Recovery_failed of Journal.reason
@@ -282,13 +283,14 @@ let rec chunks n = function
    phase is individually atomic, so no dirty state is ever stranded
    behind a [Journal_full], at the cost of whole-flush atomicity in that
    overload case only. *)
-let flush_exn t =
+let flush_body t () =
   exclusive t (fun () ->
       write_superblock t;
       match t.journal with
       | None -> Pager.flush t.pgr
       | Some journal ->
           let dirty = Pager.dirty_pages t.pgr in
+          Trace.add_attr_int "pages" (List.length dirty);
           if Journal.would_fit journal ~pages:(List.length dirty) then begin
             Journal.commit journal dirty;
             Pager.flush t.pgr;
@@ -307,6 +309,11 @@ let flush_exn t =
                 Journal.mark_clean journal)
               (chunks cap dirty)
           end)
+
+let flush_exn t =
+  if Trace.enabled () then
+    Trace.with_span ~layer:"osd" ~op:"checkpoint" (flush_body t)
+  else flush_body t ()
 
 let flush t = guard (fun () -> flush_exn t)
 let journaled t = Option.is_some t.journal
@@ -539,6 +546,13 @@ let shift_extents t obj ~from ~delta =
 
 (* --- lifecycle ------------------------------------------------------------ *)
 
+let traced_oid op oid f =
+  if Trace.enabled () then
+    Trace.with_span ~layer:"osd" ~op
+      ~attrs:[ ("oid", Int64.to_string (Oid.to_int64 oid)) ]
+      f
+  else f ()
+
 let create_object ?meta t =
   exclusive t (fun () ->
       let oid = t.next_oid in
@@ -561,6 +575,7 @@ let create_object ?meta t =
 let exists t oid = Btree.mem t.master (Oid.to_key oid)
 
 let delete_object t oid =
+  traced_oid "delete" oid @@ fun () ->
   exclusive t (fun () ->
       let obj = handle t oid in
       let _ = get_meta obj oid in
@@ -600,6 +615,7 @@ let read t oid ~off ~len =
   check_off off;
   check_len len;
   Counter.incr c_reads;
+  traced_oid "read" oid @@ fun () ->
   shared t @@ fun () ->
   let obj = handle t oid in
   let meta = get_meta obj oid in
@@ -626,6 +642,7 @@ let write t oid ~off data =
   check_off off;
   Counter.incr c_writes;
   Counter.add c_bytes_written (String.length data);
+  traced_oid "write" oid @@ fun () ->
   exclusive t @@ fun () ->
   let obj = handle t oid in
   let meta = get_meta obj oid in

@@ -1,6 +1,7 @@
 module Device = Hfad_blockdev.Device
 module Counter = Hfad_metrics.Counter
 module Registry = Hfad_metrics.Registry
+module Trace = Hfad_trace.Trace
 
 type full_reason = All_pinned | Dirty_no_steal
 
@@ -331,6 +332,10 @@ let evict_one t =
   | Some frame ->
       let from_a1in = frame.queue = Q_a1in in
       drop_frame t frame;
+      if Trace.enabled () then
+        Trace.event ~layer:"pager" ~op:"evict"
+          ~attrs:[ ("page", string_of_int frame.page_no) ]
+          ();
       Atomic.incr t.evictions;
       Counter.incr g_evictions;
       Counter.incr t.m_evictions;
@@ -346,6 +351,10 @@ let acquire t page_no ~load =
       match Hashtbl.find_opt t.frames page_no with
       | Some frame ->
           Atomic.incr t.hits;
+          if Trace.enabled () then
+            Trace.event ~layer:"pager" ~op:"hit"
+              ~attrs:[ ("page", string_of_int page_no) ]
+              ();
           (match (t.policy, frame.queue) with
           | `Lru, _ | `Twoq, Q_am ->
               (* Move to the MRU end of the protected queue. *)
@@ -362,10 +371,20 @@ let acquire t page_no ~load =
           frame
       | None ->
           Atomic.incr t.misses;
-          if Hashtbl.length t.frames >= t.capacity then evict_one t;
-          let buf = Bytes.create (Device.block_size t.dev) in
-          if load then Device.read_block_into t.dev page_no buf
-          else Bytes.fill buf 0 (Bytes.length buf) '\000';
+          let fill () =
+            if Hashtbl.length t.frames >= t.capacity then evict_one t;
+            let buf = Bytes.create (Device.block_size t.dev) in
+            if load then Device.read_block_into t.dev page_no buf
+            else Bytes.fill buf 0 (Bytes.length buf) '\000';
+            buf
+          in
+          let buf =
+            if Trace.enabled () then
+              Trace.with_span ~layer:"pager" ~op:"miss"
+                ~attrs:[ ("page", string_of_int page_no) ]
+                fill
+            else fill ()
+          in
           let rec frame =
             {
               buf;
@@ -440,12 +459,17 @@ let dirty_pages t =
         t.frames [])
   |> List.sort compare
 
-let flush t =
+let flush_plain t =
   with_lock t (fun () ->
       Hashtbl.iter (fun _ frame -> write_back t frame) t.frames);
   Device.flush t.dev
 
-let flush_pages t page_nos =
+let flush t =
+  if Trace.enabled () then
+    Trace.with_span ~layer:"pager" ~op:"flush" (fun () -> flush_plain t)
+  else flush_plain t
+
+let flush_pages_plain t page_nos =
   with_lock t (fun () ->
       List.iter
         (fun no ->
@@ -454,6 +478,13 @@ let flush_pages t page_nos =
           | None -> ())
         page_nos);
   Device.flush t.dev
+
+let flush_pages t page_nos =
+  if Trace.enabled () then
+    Trace.with_span ~layer:"pager" ~op:"flush"
+      ~attrs:[ ("pages", string_of_int (List.length page_nos)) ]
+      (fun () -> flush_pages_plain t page_nos)
+  else flush_pages_plain t page_nos
 
 let invalidate t =
   with_lock t (fun () ->

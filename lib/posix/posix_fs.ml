@@ -4,6 +4,7 @@ module Oid = Hfad_osd.Oid
 module Meta = Hfad_osd.Meta
 module Tag = Hfad_index.Tag
 module Kv_index = Hfad_index.Kv_index
+module Trace = Hfad_trace.Trace
 
 type errno =
   | ENOENT
@@ -83,7 +84,13 @@ let rec resolve_norm t path ~follow ~hops =
       end
       else oid
 
+let traced op path f =
+  if Trace.enabled () then
+    Trace.with_span ~layer:"posix" ~op ~attrs:[ ("path", path) ] f
+  else f ()
+
 let resolve ?(follow = true) t path =
+  traced "resolve" path @@ fun () ->
   resolve_norm t (Path.normalize path) ~follow ~hops:0
 
 let exists t path =
@@ -117,6 +124,7 @@ let require_absent t path = if exists t path then err EEXIST path
 (* --- directory operations ----------------------------------------------------- *)
 
 let mkdir t path =
+  traced "mkdir" path @@ fun () ->
   let path = Path.normalize path in
   if path = "/" then err EEXIST path;
   require_absent t path;
@@ -149,6 +157,7 @@ let children t path =
          else None)
 
 let readdir t path =
+  traced "readdir" path @@ fun () ->
   let path = Path.normalize path in
   let oid = resolve t path in
   if (Fs.metadata t.fs oid).Meta.kind <> Meta.Directory then err ENOTDIR path;
@@ -169,6 +178,7 @@ let walk t path =
 (* --- files ------------------------------------------------------------------------ *)
 
 let create_file ?content t path =
+  traced "create_file" path @@ fun () ->
   let path = Path.normalize path in
   if path = "/" then err EISDIR path;
   require_absent t path;
@@ -208,6 +218,7 @@ let nlink_oid t oid =
        (Fs.names_of t.fs oid))
 
 let unlink t path =
+  traced "unlink" path @@ fun () ->
   let path = Path.normalize path in
   let oid = resolve ~follow:false t path in
   if (Fs.metadata t.fs oid).Meta.kind = Meta.Directory then err EISDIR path;
@@ -224,6 +235,7 @@ let rmdir t path =
   Fs.delete_exn t.fs oid
 
 let rename t old_path new_path =
+  traced "rename" old_path @@ fun () ->
   let old_path = Path.normalize old_path
   and new_path = Path.normalize new_path in
   if old_path = "/" then err EINVAL old_path;
@@ -308,7 +320,8 @@ let tell t fd = with_fds t (fun () -> (fd_state t fd).pos)
 
 (* --- conveniences ------------------------------------------------------------------- *)
 
-let read_file t path = Fs.read_all t.fs (resolve t path)
+let read_file t path =
+  traced "read_file" path @@ fun () -> Fs.read_all t.fs (resolve t path)
 
 let write_file t path data =
   let path = Path.normalize path in

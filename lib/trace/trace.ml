@@ -1,0 +1,411 @@
+(* Always-compiled-in span tracer in the DTrace spirit: the probes live
+   permanently in every layer, and the *disabled* path is one atomic
+   load plus a branch — cheap enough that no build flag is needed. When
+   enabled, spans carry parent/child structure (Dapper-style) so one
+   [open]/[search] renders as a tree crossing every layer of Figure 1.
+
+   Concurrency model:
+   - the enabled flag is a single [Atomic.t] read on every probe;
+   - completed spans land in a global bounded ring via
+     [Atomic.fetch_and_add] — lock-free, overwriting the oldest entry
+     and counting what fell out ([trace.dropped_spans]);
+   - the open-span stack is per *thread* (systhreads share a domain's
+     DLS, so DLS alone would interleave the flusher daemon's spans with
+     the mutator's); the stack table is a mutex-protected hashtable
+     touched only while tracing is enabled, and each thread's stack
+     record is then mutated without any lock.
+
+   Ring slots are plain (non-atomic) stores of boxed values: a racing
+   reader may observe a slot mid-rotation, which is acceptable for a
+   diagnostic ring and keeps the append path free of locks. *)
+
+module Counter = Hfad_metrics.Counter
+module Registry = Hfad_metrics.Registry
+
+type span = {
+  id : int;
+  parent : int;  (* 0 = root *)
+  root : int;    (* id of the enclosing root span (= id when root) *)
+  depth : int;
+  thread : int;  (* systhread id, used as Chrome tid *)
+  layer : string;
+  op : string;
+  start_ns : int;
+  dur_ns : int;
+  attrs : (string * string) list;
+}
+
+(* --- health metrics ----------------------------------------------------- *)
+
+let c_recorded = Registry.counter Registry.global "trace.spans"
+let c_dropped = Registry.counter Registry.global "trace.dropped_spans"
+let g_occupancy = Registry.counter Registry.global "trace.ring_occupancy"
+
+(* --- clock -------------------------------------------------------------- *)
+
+(* Nanoseconds since the epoch, forced monotone non-decreasing across
+   domains: [gettimeofday] is the only portable clock available here, so
+   a global high-water mark absorbs any backward step. *)
+let clock_floor = Atomic.make 0
+
+let now_ns () =
+  let t = int_of_float (Unix.gettimeofday () *. 1e9) in
+  let prev = Atomic.get clock_floor in
+  if t > prev then begin
+    ignore (Atomic.compare_and_set clock_floor prev t);
+    t
+  end
+  else prev
+
+(* --- global state ------------------------------------------------------- *)
+
+let enabled_flag = Atomic.make false
+let enabled () = Atomic.get enabled_flag
+let set_enabled b = Atomic.set enabled_flag b
+
+let default_ring_capacity = 65_536
+let max_trace_spans = 32_768  (* per-root retention bound for slow/last capture *)
+
+let ring : span option array ref = ref (Array.make default_ring_capacity None)
+let seq = Atomic.make 0
+let next_id = Atomic.make 1
+
+(* Slow-op capture: completed root spans whose duration crossed the
+   threshold are retained with their whole subtree. *)
+let slow_threshold_ns = Atomic.make max_int
+let max_slow = ref 16
+let slow_mu = Mutex.create ()
+let slow : span list list ref = ref []
+let last_root : span list Atomic.t = Atomic.make []
+
+(* --- per-thread open-span stacks ---------------------------------------- *)
+
+type open_span = {
+  o_id : int;
+  o_parent : int;
+  o_root : int;
+  o_depth : int;
+  o_thread : int;
+  o_layer : string;
+  o_op : string;
+  o_start : int;
+  mutable o_attrs : (string * string) list;  (* reversed *)
+}
+
+type tstack = {
+  mutable stack : open_span list;
+  mutable buf : span list;  (* completed spans under the open root, reversed *)
+  mutable buf_len : int;
+}
+
+let stacks : (int, tstack) Hashtbl.t = Hashtbl.create 64
+let stacks_mu = Mutex.create ()
+
+let my_stack () =
+  let tid = Thread.id (Thread.self ()) in
+  Mutex.lock stacks_mu;
+  let ts =
+    match Hashtbl.find_opt stacks tid with
+    | Some ts -> ts
+    | None ->
+        let ts = { stack = []; buf = []; buf_len = 0 } in
+        Hashtbl.replace stacks tid ts;
+        ts
+  in
+  Mutex.unlock stacks_mu;
+  (tid, ts)
+
+(* --- recording ---------------------------------------------------------- *)
+
+let record sp =
+  let r = !ring in
+  let n = Array.length r in
+  let i = Atomic.fetch_and_add seq 1 in
+  r.(i mod n) <- Some sp;
+  Counter.incr c_recorded;
+  if i >= n then Counter.incr c_dropped;
+  Counter.set g_occupancy (min (i + 1) n)
+
+let retain_slow trace root_dur =
+  if root_dur >= Atomic.get slow_threshold_ns then begin
+    Mutex.lock slow_mu;
+    slow := trace :: !slow;
+    let rec cap n = function
+      | [] -> []
+      | _ when n = 0 -> []
+      | x :: tl -> x :: cap (n - 1) tl
+    in
+    slow := cap !max_slow !slow;
+    Mutex.unlock slow_mu
+  end
+
+let finish_span ts o =
+  let dur = now_ns () - o.o_start in
+  (* Pop to (and including) [o]: tolerates probes unbalanced by a
+     mid-operation enable/disable toggle. *)
+  let rec pop = function
+    | [] -> []
+    | s :: rest -> if s == o then rest else pop rest
+  in
+  ts.stack <- pop ts.stack;
+  let sp =
+    {
+      id = o.o_id;
+      parent = o.o_parent;
+      root = o.o_root;
+      depth = o.o_depth;
+      thread = o.o_thread;
+      layer = o.o_layer;
+      op = o.o_op;
+      start_ns = o.o_start;
+      dur_ns = dur;
+      attrs = List.rev o.o_attrs;
+    }
+  in
+  record sp;
+  if ts.buf_len < max_trace_spans then begin
+    ts.buf <- sp :: ts.buf;
+    ts.buf_len <- ts.buf_len + 1
+  end
+  else Counter.incr c_dropped;
+  if o.o_depth = 0 then begin
+    let trace = List.rev ts.buf in
+    ts.buf <- [];
+    ts.buf_len <- 0;
+    Atomic.set last_root trace;
+    retain_slow trace dur
+  end
+
+let open_span ts tid ~layer ~op ~attrs =
+  let id = Atomic.fetch_and_add next_id 1 in
+  let parent, root, depth =
+    match ts.stack with
+    | [] -> (0, id, 0)
+    | p :: _ -> (p.o_id, p.o_root, p.o_depth + 1)
+  in
+  let o =
+    {
+      o_id = id;
+      o_parent = parent;
+      o_root = root;
+      o_depth = depth;
+      o_thread = tid;
+      o_layer = layer;
+      o_op = op;
+      o_start = now_ns ();
+      o_attrs = List.rev attrs;
+    }
+  in
+  ts.stack <- o :: ts.stack;
+  o
+
+let with_span ~layer ~op ?(attrs = []) f =
+  if not (Atomic.get enabled_flag) then f ()
+  else begin
+    let tid, ts = my_stack () in
+    let o = open_span ts tid ~layer ~op ~attrs in
+    match f () with
+    | v ->
+        finish_span ts o;
+        v
+    | exception e ->
+        finish_span ts o;
+        raise e
+  end
+
+let event ~layer ~op ?(attrs = []) () =
+  if Atomic.get enabled_flag then begin
+    let tid, ts = my_stack () in
+    let o = open_span ts tid ~layer ~op ~attrs in
+    finish_span ts o
+  end
+
+let add_attr k v =
+  if Atomic.get enabled_flag then begin
+    let _, ts = my_stack () in
+    match ts.stack with
+    | [] -> ()
+    | o :: _ -> o.o_attrs <- (k, v) :: o.o_attrs
+  end
+
+let add_attr_int k v = add_attr k (string_of_int v)
+
+(* --- configuration / inspection ----------------------------------------- *)
+
+let configure ?ring_capacity ?slow_threshold_us ?max_slow:ms () =
+  (match ring_capacity with
+  | Some n ->
+      if n <= 0 then invalid_arg "Trace.configure: ring_capacity";
+      ring := Array.make n None;
+      Atomic.set seq 0
+  | None -> ());
+  (match slow_threshold_us with
+  | Some us ->
+      if us < 0 then invalid_arg "Trace.configure: slow_threshold_us";
+      Atomic.set slow_threshold_ns (if us = 0 then max_int else us * 1_000)
+  | None -> ());
+  match ms with
+  | Some n ->
+      if n < 0 then invalid_arg "Trace.configure: max_slow";
+      max_slow := n
+  | None -> ()
+
+let ring_capacity () = Array.length !ring
+let ring_occupancy () = min (Atomic.get seq) (Array.length !ring)
+let dropped () = Counter.get c_dropped
+
+let clear () =
+  Array.fill !ring 0 (Array.length !ring) None;
+  Atomic.set seq 0;
+  Counter.set g_occupancy 0;
+  Mutex.lock slow_mu;
+  slow := [];
+  Mutex.unlock slow_mu;
+  Atomic.set last_root [];
+  Mutex.lock stacks_mu;
+  Hashtbl.iter
+    (fun _ ts ->
+      ts.buf <- [];
+      ts.buf_len <- 0)
+    stacks;
+  Mutex.unlock stacks_mu
+
+let spans () =
+  let r = !ring in
+  let n = Array.length r in
+  let upto = Atomic.get seq in
+  let from = max 0 (upto - n) in
+  let acc = ref [] in
+  for i = upto - 1 downto from do
+    match r.(i mod n) with Some sp -> acc := sp :: !acc | None -> ()
+  done;
+  !acc
+
+let slow_ops () =
+  Mutex.lock slow_mu;
+  let s = List.rev !slow in
+  Mutex.unlock slow_mu;
+  s
+
+let last_trace () =
+  match Atomic.get last_root with [] -> None | trace -> Some trace
+
+(* --- analysis ----------------------------------------------------------- *)
+
+type tree = { span : span; children : tree list }
+
+let trees spans =
+  let ids = Hashtbl.create (List.length spans * 2) in
+  List.iter (fun sp -> Hashtbl.replace ids sp.id ()) spans;
+  let kids = Hashtbl.create 64 in
+  List.iter
+    (fun sp ->
+      if sp.parent <> 0 && Hashtbl.mem ids sp.parent then
+        Hashtbl.replace kids sp.parent
+          (sp :: (try Hashtbl.find kids sp.parent with Not_found -> [])))
+    spans;
+  let rec build sp =
+    let children =
+      (try Hashtbl.find kids sp.id with Not_found -> [])
+      |> List.sort (fun a b -> compare (a.start_ns, a.id) (b.start_ns, b.id))
+      |> List.map build
+    in
+    { span = sp; children }
+  in
+  spans
+  |> List.filter (fun sp -> sp.parent = 0 || not (Hashtbl.mem ids sp.parent))
+  |> List.sort (fun a b -> compare (a.start_ns, a.id) (b.start_ns, b.id))
+  |> List.map build
+
+(* Self time = duration minus the duration of direct children, summed per
+   layer: the per-layer latency attribution O1 reports. *)
+let self_time_by_layer spans =
+  let child_sum = Hashtbl.create 64 in
+  List.iter
+    (fun sp ->
+      if sp.parent <> 0 then
+        Hashtbl.replace child_sum sp.parent
+          (sp.dur_ns
+          + (try Hashtbl.find child_sum sp.parent with Not_found -> 0)))
+    spans;
+  let layers = Hashtbl.create 16 in
+  List.iter
+    (fun sp ->
+      let kids = try Hashtbl.find child_sum sp.id with Not_found -> 0 in
+      let self = max 0 (sp.dur_ns - kids) in
+      Hashtbl.replace layers sp.layer
+        (self + (try Hashtbl.find layers sp.layer with Not_found -> 0)))
+    spans;
+  Hashtbl.fold (fun layer ns acc -> (layer, ns) :: acc) layers []
+  |> List.sort compare
+
+let attr sp key = List.assoc_opt key sp.attrs
+
+(* --- exporters ----------------------------------------------------------- *)
+
+let us_of_ns ns = float_of_int ns /. 1_000.
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* Chrome trace_event format: an array of "X" (complete) events, one per
+   span, nested by chrome://tracing / Perfetto from timestamps alone. *)
+let to_chrome_json spans =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "[";
+  List.iteri
+    (fun i sp ->
+      if i > 0 then Buffer.add_string b ",";
+      Buffer.add_string b
+        (Printf.sprintf
+           "\n{\"name\":\"%s.%s\",\"cat\":\"%s\",\"ph\":\"X\",\"pid\":1,\"tid\":%d,\"ts\":%.3f,\"dur\":%.3f"
+           (json_escape sp.layer) (json_escape sp.op) (json_escape sp.layer)
+           sp.thread
+           (us_of_ns sp.start_ns) (us_of_ns sp.dur_ns));
+      Buffer.add_string b
+        (Printf.sprintf ",\"args\":{\"id\":%d,\"parent\":%d" sp.id sp.parent);
+      List.iter
+        (fun (k, v) ->
+          Buffer.add_string b
+            (Printf.sprintf ",\"%s\":\"%s\"" (json_escape k) (json_escape v)))
+        sp.attrs;
+      Buffer.add_string b "}}")
+    spans;
+  Buffer.add_string b "\n]\n";
+  Buffer.contents b
+
+let write_chrome path spans =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_chrome_json spans))
+
+let pp_span fmt sp =
+  Format.fprintf fmt "%s.%s %.1fus" sp.layer sp.op (us_of_ns sp.dur_ns);
+  match sp.attrs with
+  | [] -> ()
+  | attrs ->
+      Format.fprintf fmt "  {%s}"
+        (String.concat ", " (List.map (fun (k, v) -> k ^ "=" ^ v) attrs))
+
+let pp_tree fmt tree =
+  let rec go indent { span; children } =
+    Format.fprintf fmt "%s%a@." (String.make indent ' ') pp_span span;
+    List.iter (go (indent + 2)) children
+  in
+  go 0 tree
+
+let pp_trace fmt spans = List.iter (pp_tree fmt) (trees spans)

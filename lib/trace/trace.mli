@@ -1,0 +1,110 @@
+(** Low-overhead span tracer: Dapper-style parent/child spans, DTrace-style
+    always-compiled probes whose disabled cost is one atomic load + branch.
+
+    Every layer of the stack (device, pager, btree, journal, osd, index,
+    fs, posix, hierfs, dsearch, flusher) opens a span around its
+    operations via {!with_span}.  When tracing is enabled, completed
+    spans land in a global bounded lock-free ring; the spans of each
+    completed {e root} operation are additionally retained as a unit for
+    slow-op capture and [last_trace].
+
+    Parent/child nesting is tracked per {e systhread} (not per domain:
+    the flusher daemon is a systhread sharing the main thread's domain),
+    so spans opened on different threads never interleave on one stack. *)
+
+type span = {
+  id : int;  (** unique, process-wide, > 0 *)
+  parent : int;  (** 0 for a root span *)
+  root : int;  (** id of the enclosing root span (= [id] for a root) *)
+  depth : int;  (** 0 for a root span *)
+  thread : int;  (** systhread id that recorded the span *)
+  layer : string;  (** e.g. ["pager"], ["btree"], ["hierfs"] *)
+  op : string;  (** e.g. ["find"], ["miss"], ["resolve"] *)
+  start_ns : int;  (** wall-clock ns, forced monotone non-decreasing *)
+  dur_ns : int;
+  attrs : (string * string) list;  (** in the order they were added *)
+}
+
+(** {1 Recording} *)
+
+val enabled : unit -> bool
+val set_enabled : bool -> unit
+
+val with_span :
+  layer:string -> op:string -> ?attrs:(string * string) list ->
+  (unit -> 'a) -> 'a
+(** [with_span ~layer ~op f] runs [f ()]; when tracing is enabled the
+    call is recorded as a span, a child of the thread's innermost open
+    span.  The span is recorded (with its real duration) even when [f]
+    raises.  Disabled cost: one atomic load and a branch — but note the
+    [?attrs] list is built by the {e caller}; hot paths should guard
+    attr construction behind {!enabled}. *)
+
+val event :
+  layer:string -> op:string -> ?attrs:(string * string) list -> unit -> unit
+(** Zero-duration span (e.g. a pager eviction inside a miss). *)
+
+val add_attr : string -> string -> unit
+(** Attach an attribute to the innermost open span of this thread, if
+    any.  No-op when disabled or when no span is open. *)
+
+val add_attr_int : string -> int -> unit
+
+(** {1 Configuration} *)
+
+val configure :
+  ?ring_capacity:int -> ?slow_threshold_us:int -> ?max_slow:int ->
+  unit -> unit
+(** [ring_capacity] reallocates the span ring (default 65536 spans) and
+    resets it; [slow_threshold_us] retains any completed root operation
+    at least that slow (0 disables slow capture, the default);
+    [max_slow] bounds the retained slow traces (default 16, oldest
+    evicted first). *)
+
+val clear : unit -> unit
+(** Drop all recorded spans, slow captures and the last-trace slot.
+    Open spans (and the enabled flag) are untouched. *)
+
+(** {1 Inspection} *)
+
+val spans : unit -> span list
+(** Contents of the ring, oldest first.  Spans overwritten by ring
+    wrap-around are gone; see {!dropped}. *)
+
+val dropped : unit -> int
+val ring_capacity : unit -> int
+val ring_occupancy : unit -> int
+
+val last_trace : unit -> span list option
+(** All spans of the most recently completed root operation (any
+    thread), in completion order — leaves before their parents. *)
+
+val slow_ops : unit -> span list list
+(** Retained slow root operations, oldest first. *)
+
+(** {1 Analysis} *)
+
+type tree = { span : span; children : tree list }
+
+val trees : span list -> tree list
+(** Parent/child forest; spans whose parent is absent from the input
+    become roots.  Siblings are ordered by start time. *)
+
+val self_time_by_layer : span list -> (string * int) list
+(** Per-layer self time in ns (duration minus direct children), sorted
+    by layer name — the attribution O1 reports. *)
+
+val attr : span -> string -> string option
+
+(** {1 Exporters} *)
+
+val to_chrome_json : span list -> string
+(** Chrome [trace_event] JSON array ("X" complete events, µs
+    timestamps) loadable in chrome://tracing or Perfetto. *)
+
+val write_chrome : string -> span list -> unit
+
+val pp_span : Format.formatter -> span -> unit
+val pp_tree : Format.formatter -> tree -> unit
+val pp_trace : Format.formatter -> span list -> unit
+(** Indented text tree with per-span durations and attrs. *)

@@ -3,6 +3,7 @@ let () =
     [
       ("util", Test_util.suite);
       ("metrics", Test_metrics.suite);
+      ("trace", Test_trace.suite);
       ("blockdev", Test_blockdev.suite);
       ("pager", Test_pager.suite);
       ("buddy", Test_buddy.suite);

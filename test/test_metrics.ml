@@ -1,8 +1,10 @@
-(* Tests for Hfad_metrics: Counter and Registry. *)
+(* Tests for Hfad_metrics: Counter, Registry, Histogram quantile edges,
+   and the Prometheus text exposition round-trip. *)
 
 open Hfad_metrics
 
 let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
 
 let test_counter_basics () =
   let c = Counter.make "x" in
@@ -72,6 +74,112 @@ let test_registry_reset_all () =
     (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.int))
     "all zero" [ ("a", 0); ("b", 0) ] (Registry.counters r)
 
+(* --- histogram quantile edges -------------------------------------------- *)
+
+let test_quantile_empty () =
+  let h = Histogram.make ~registry:(Registry.create ()) "empty" in
+  check Alcotest.int "empty p50" 0 (Histogram.quantile h 0.5);
+  check Alcotest.int "empty p99" 0 (Histogram.quantile h 0.99);
+  check (Alcotest.float 1e-9) "empty mean" 0.0 (Histogram.mean h)
+
+let test_quantile_all_overflow () =
+  let h =
+    Histogram.make ~registry:(Registry.create ()) ~bounds:[| 10; 100 |] "ovf"
+  in
+  Histogram.observe h 1_000;
+  Histogram.observe h 2_000;
+  check Alcotest.int "overflow reports max_int" max_int (Histogram.quantile h 0.5);
+  check Alcotest.int "count" 2 (Histogram.count h);
+  check Alcotest.int "sum" 3_000 (Histogram.sum h)
+
+let test_quantile_exact_boundary () =
+  let h =
+    Histogram.make ~registry:(Registry.create ()) ~bounds:[| 10; 100; 1000 |] "b"
+  in
+  (* Bounds are inclusive: an observation AT the bound lands in it. *)
+  Histogram.observe h 10;
+  check Alcotest.int "at-bound obs lands in bucket" 10 (Histogram.quantile h 1.0);
+  (* Four observations, one per region: cumulative counts hit q*count
+     exactly at each bucket edge. *)
+  Histogram.observe h 100;
+  Histogram.observe h 1000;
+  Histogram.observe h 1001;
+  check Alcotest.int "p25 = first bound" 10 (Histogram.quantile h 0.25);
+  check Alcotest.int "p50 = second bound" 100 (Histogram.quantile h 0.5);
+  check Alcotest.int "p75 = third bound" 1000 (Histogram.quantile h 0.75);
+  check Alcotest.int "p100 overflows" max_int (Histogram.quantile h 1.0)
+
+let test_histogram_concurrent_observe () =
+  let r = Registry.create () in
+  let h = Histogram.make ~registry:r ~bounds:[| 10; 100; 1000 |] "par" in
+  let per_domain = 10_000 in
+  let domains =
+    List.init 4 (fun d ->
+        Domain.spawn (fun () ->
+            for i = 1 to per_domain do
+              Histogram.observe h ((d * per_domain) + i)
+            done))
+  in
+  List.iter Domain.join domains;
+  check Alcotest.int "no lost observations" (4 * per_domain) (Histogram.count h);
+  let expect_sum = List.init (4 * per_domain) (fun i -> i + 1) |> List.fold_left ( + ) 0 in
+  check Alcotest.int "no lost sum" expect_sum (Histogram.sum h);
+  check Alcotest.int "quantile sees all domains" max_int (Histogram.quantile h 0.99)
+
+(* --- Prometheus exposition ------------------------------------------------ *)
+
+let test_prometheus_histogram_family () =
+  let r = Registry.create () in
+  let h = Histogram.make ~registry:r ~bounds:[| 10; 100 |] "commit.lat_us" in
+  Histogram.observe h 5;
+  Histogram.observe h 50;
+  Histogram.observe h 5_000;
+  let text = Prometheus.expose ~registry:r () in
+  let samples = Prometheus.parse_text text in
+  let get series =
+    match List.assoc_opt series samples with
+    | Some v -> v
+    | None ->
+        Alcotest.failf "series %S missing from:\n%s" series text
+  in
+  (* Buckets are cumulative in the exposition, per the Prometheus spec. *)
+  check Alcotest.int "le 10" 1 (get "commit_lat_us_bucket{le=\"10\"}");
+  check Alcotest.int "le 100" 2 (get "commit_lat_us_bucket{le=\"100\"}");
+  check Alcotest.int "le +Inf" 3 (get "commit_lat_us_bucket{le=\"+Inf\"}");
+  check Alcotest.int "count" 3 (get "commit_lat_us_count");
+  check Alcotest.int "sum" 5_055 (get "commit_lat_us_sum")
+
+let prop_prometheus_roundtrip =
+  QCheck.Test.make ~name:"Prometheus exposition round-trips counter values"
+    ~count:100
+    QCheck.(
+      small_list
+        (pair
+           (string_of_size Gen.(1 -- 12))
+           (int_bound 1_000_000)))
+    (fun pairs ->
+      let r = Registry.create () in
+      (* Distinct registry names may sanitize to one Prometheus name, so
+         compare totals per sanitized name on both sides. *)
+      let tally tbl name v =
+        Hashtbl.replace tbl name
+          (v + try Hashtbl.find tbl name with Not_found -> 0)
+      in
+      let expected = Hashtbl.create 16 in
+      List.iter
+        (fun (name, v) ->
+          let name = if name = "" then "x" else name in
+          Counter.add (Registry.counter r name) v;
+          tally expected (Prometheus.sanitize name) v)
+        pairs;
+      let got = Hashtbl.create 16 in
+      List.iter
+        (fun (series, v) -> tally got series v)
+        (Prometheus.parse_text (Prometheus.expose ~registry:r ()));
+      Hashtbl.fold
+        (fun name v ok -> ok && Hashtbl.find_opt got name = Some v)
+        expected true)
+
 let suite =
   [
     Alcotest.test_case "counter basics" `Quick test_counter_basics;
@@ -81,4 +189,12 @@ let suite =
     Alcotest.test_case "registry sorted listing" `Quick test_registry_counters_sorted;
     Alcotest.test_case "registry snapshot diff" `Quick test_registry_snapshot_diff;
     Alcotest.test_case "registry reset_all" `Quick test_registry_reset_all;
+    Alcotest.test_case "quantile: empty" `Quick test_quantile_empty;
+    Alcotest.test_case "quantile: all overflow" `Quick test_quantile_all_overflow;
+    Alcotest.test_case "quantile: exact boundary" `Quick test_quantile_exact_boundary;
+    Alcotest.test_case "histogram concurrent observe" `Slow
+      test_histogram_concurrent_observe;
+    Alcotest.test_case "prometheus histogram family" `Quick
+      test_prometheus_histogram_family;
+    qtest prop_prometheus_roundtrip;
   ]

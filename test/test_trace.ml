@@ -1,0 +1,280 @@
+(* Tests for Hfad_trace: span recording, nesting, ring bounds, slow-op
+   capture, exporters, and the disabled-path overhead bound that check.sh
+   relies on (tracing must be free when off — see ISSUE acceptance:
+   "tracing-disabled smoke regresses < 3%"). *)
+
+module Trace = Hfad_trace.Trace
+module Device = Hfad_blockdev.Device
+module Fs = Hfad.Fs
+module Tag = Hfad_index.Tag
+
+let check = Alcotest.check
+
+(* Every test leaves the tracer disabled and empty, whatever happens. *)
+let with_tracing f () =
+  Trace.set_enabled true;
+  Trace.clear ();
+  Fun.protect
+    ~finally:(fun () ->
+      Trace.set_enabled false;
+      Trace.configure ~ring_capacity:65536 ~slow_threshold_us:0 ();
+      Trace.clear ())
+    f
+
+let span_named op spans =
+  match List.find_opt (fun sp -> sp.Trace.op = op) spans with
+  | Some sp -> sp
+  | None -> Alcotest.failf "no span with op %S recorded" op
+
+let test_disabled_records_nothing () =
+  Trace.set_enabled false;
+  Trace.clear ();
+  let r = Trace.with_span ~layer:"t" ~op:"noop" (fun () -> 41 + 1) in
+  check Alcotest.int "result passes through" 42 r;
+  Trace.event ~layer:"t" ~op:"ev" ();
+  Trace.add_attr "k" "v";
+  check Alcotest.int "ring stays empty" 0 (Trace.ring_occupancy ());
+  check Alcotest.bool "no last trace" true (Trace.last_trace () = None)
+
+(* The whole point of the single atomic-load guard: a disabled probe must
+   cost well under a microsecond, or instrumenting every layer would tax
+   the un-traced hot paths.  2,00,000 calls in < 0.2 s is a ~10x slack
+   bound on the < 1 us/call budget. *)
+let test_disabled_overhead_bound () =
+  Trace.set_enabled false;
+  let n = 200_000 in
+  let t0 = Unix.gettimeofday () in
+  for i = 1 to n do
+    ignore (Sys.opaque_identity (Trace.with_span ~layer:"t" ~op:"o" (fun () -> i)))
+  done;
+  let dt = Unix.gettimeofday () -. t0 in
+  if dt > 0.2 then
+    Alcotest.failf "disabled with_span too slow: %.0f ns/call" (dt /. float_of_int n *. 1e9)
+
+let test_nesting =
+  with_tracing (fun () ->
+      Trace.with_span ~layer:"a" ~op:"root" (fun () ->
+          Trace.with_span ~layer:"b" ~op:"child1" (fun () ->
+              Trace.with_span ~layer:"c" ~op:"grand" ignore);
+          Trace.with_span ~layer:"b" ~op:"child2" ignore);
+      let spans = Option.get (Trace.last_trace ()) in
+      check Alcotest.int "four spans" 4 (List.length spans);
+      let root = span_named "root" spans in
+      let c1 = span_named "child1" spans in
+      let c2 = span_named "child2" spans in
+      let g = span_named "grand" spans in
+      check Alcotest.int "root has no parent" 0 root.parent;
+      check Alcotest.int "root depth" 0 root.depth;
+      check Alcotest.int "child1 parent" root.id c1.parent;
+      check Alcotest.int "child2 parent" root.id c2.parent;
+      check Alcotest.int "grand parent" c1.id g.parent;
+      check Alcotest.int "grand depth" 2 g.depth;
+      List.iter
+        (fun sp -> check Alcotest.int "shared root id" root.id sp.Trace.root)
+        spans;
+      (* Parents cover their children in time. *)
+      check Alcotest.bool "child within root" true
+        (c1.start_ns >= root.start_ns
+        && c1.start_ns + c1.dur_ns <= root.start_ns + root.dur_ns);
+      match Trace.trees spans with
+      | [ { Trace.span; children = [ t1; t2 ] } ] ->
+          check Alcotest.string "tree root" "root" span.op;
+          check Alcotest.string "first child" "child1" t1.Trace.span.op;
+          check Alcotest.string "second child" "child2" t2.Trace.span.op;
+          check Alcotest.int "grandchild count" 1 (List.length t1.Trace.children)
+      | _ -> Alcotest.fail "expected a single 2-child tree")
+
+let test_attrs =
+  with_tracing (fun () ->
+      Trace.with_span ~layer:"t" ~op:"op"
+        ~attrs:[ ("static", "yes") ]
+        (fun () ->
+          Trace.add_attr "late" "v";
+          Trace.add_attr_int "n" 7);
+      let sp = span_named "op" (Option.get (Trace.last_trace ())) in
+      check
+        (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.string))
+        "attrs in order"
+        [ ("static", "yes"); ("late", "v"); ("n", "7") ]
+        sp.attrs;
+      check (Alcotest.option Alcotest.string) "attr lookup" (Some "7")
+        (Trace.attr sp "n");
+      check (Alcotest.option Alcotest.string) "missing attr" None
+        (Trace.attr sp "absent"))
+
+let test_exception_safety =
+  with_tracing (fun () ->
+      (try
+         Trace.with_span ~layer:"t" ~op:"outer" (fun () ->
+             Trace.with_span ~layer:"t" ~op:"boom" (fun () -> failwith "x"))
+       with Failure _ -> ());
+      let spans = Option.get (Trace.last_trace ()) in
+      check Alcotest.int "both spans recorded" 2 (List.length spans);
+      let boom = span_named "boom" spans in
+      check Alcotest.int "parent intact" (span_named "outer" spans).id boom.parent;
+      (* The stack was popped: the next root really is a root. *)
+      Trace.with_span ~layer:"t" ~op:"after" ignore;
+      let after = span_named "after" (Option.get (Trace.last_trace ())) in
+      check Alcotest.int "clean stack after raise" 0 after.parent)
+
+let test_ring_bounds =
+  with_tracing (fun () ->
+      Trace.configure ~ring_capacity:8 ();
+      for i = 1 to 20 do
+        Trace.with_span ~layer:"t" ~op:(Printf.sprintf "s%02d" i) ignore
+      done;
+      check Alcotest.int "capacity" 8 (Trace.ring_capacity ());
+      check Alcotest.int "occupancy bounded" 8 (Trace.ring_occupancy ());
+      check Alcotest.int "dropped counted" 12 (Trace.dropped ());
+      let ops = List.map (fun sp -> sp.Trace.op) (Trace.spans ()) in
+      check
+        (Alcotest.list Alcotest.string)
+        "ring keeps newest, oldest first"
+        [ "s13"; "s14"; "s15"; "s16"; "s17"; "s18"; "s19"; "s20" ]
+        ops)
+
+let test_threads_do_not_interleave =
+  with_tracing (fun () ->
+      let threads =
+        List.init 4 (fun t ->
+            Thread.create
+              (fun () ->
+                for i = 1 to 50 do
+                  Trace.with_span ~layer:"t" ~op:(Printf.sprintf "r%d_%d" t i)
+                    (fun () ->
+                      Trace.with_span ~layer:"t" ~op:"inner" (fun () ->
+                          Thread.yield ()))
+                done)
+              ())
+      in
+      List.iter Thread.join threads;
+      let spans = Trace.spans () in
+      check Alcotest.int "all spans recorded" 400 (List.length spans);
+      let by_id = Hashtbl.create 512 in
+      List.iter (fun sp -> Hashtbl.replace by_id sp.Trace.id sp) spans;
+      List.iter
+        (fun sp ->
+          if sp.Trace.parent <> 0 then
+            let parent = Hashtbl.find by_id sp.Trace.parent in
+            check Alcotest.int "child parented within its own thread"
+              parent.Trace.thread sp.Trace.thread)
+        spans)
+
+let test_slow_capture =
+  with_tracing (fun () ->
+      Trace.configure ~slow_threshold_us:1000 ~max_slow:2 ();
+      Trace.with_span ~layer:"t" ~op:"fast" ignore;
+      check Alcotest.int "fast op not retained" 0 (List.length (Trace.slow_ops ()));
+      for i = 1 to 3 do
+        Trace.with_span ~layer:"t" ~op:(Printf.sprintf "slow%d" i) (fun () ->
+            Unix.sleepf 0.002)
+      done;
+      let slow = Trace.slow_ops () in
+      check Alcotest.int "bounded by max_slow" 2 (List.length slow);
+      let roots =
+        List.map (fun spans -> (List.nth spans (List.length spans - 1)).Trace.op) slow
+      in
+      check
+        (Alcotest.list Alcotest.string)
+        "oldest evicted first" [ "slow2"; "slow3" ] roots)
+
+let test_self_time_attribution =
+  with_tracing (fun () ->
+      Trace.with_span ~layer:"outer" ~op:"o" (fun () ->
+          Trace.with_span ~layer:"inner" ~op:"i" (fun () -> Unix.sleepf 0.001));
+      let spans = Option.get (Trace.last_trace ()) in
+      let by_layer = Trace.self_time_by_layer spans in
+      check
+        (Alcotest.list Alcotest.string)
+        "layers sorted" [ "inner"; "outer" ] (List.map fst by_layer);
+      (* Self times telescope: they sum exactly to the root's duration. *)
+      let total = List.fold_left (fun a (_, ns) -> a + ns) 0 by_layer in
+      let root = span_named "o" spans in
+      check Alcotest.int "self times sum to root duration" root.dur_ns total;
+      check Alcotest.bool "inner >= 1ms" true (List.assoc "inner" by_layer >= 1_000_000))
+
+let test_chrome_export =
+  with_tracing (fun () ->
+      Trace.with_span ~layer:"a" ~op:"root" (fun () ->
+          Trace.with_span ~layer:"b" ~op:"kid" ~attrs:[ ("k", "v\"q") ] ignore);
+      let spans = Option.get (Trace.last_trace ()) in
+      let json = String.trim (Trace.to_chrome_json spans) in
+      check Alcotest.bool "array" true
+        (String.length json > 2 && json.[0] = '[' && json.[String.length json - 1] = ']');
+      let count_sub sub =
+        let n = ref 0 in
+        let len = String.length sub in
+        for i = 0 to String.length json - len do
+          if String.sub json i len = sub then incr n
+        done;
+        !n
+      in
+      check Alcotest.int "one event per span" (List.length spans)
+        (count_sub "\"ph\":\"X\"");
+      check Alcotest.int "names are layer.op" 1 (count_sub "\"name\":\"b.kid\"");
+      check Alcotest.int "attr quote escaped" 1 (count_sub "\"k\":\"v\\\"q\""))
+
+let test_pp_trace =
+  with_tracing (fun () ->
+      Trace.with_span ~layer:"a" ~op:"root" (fun () ->
+          Trace.with_span ~layer:"b" ~op:"kid" ~attrs:[ ("k", "v") ] ignore);
+      let spans = Option.get (Trace.last_trace ()) in
+      let text = Format.asprintf "%a" Trace.pp_trace spans in
+      let has sub =
+        let len = String.length sub in
+        let rec go i =
+          i + len <= String.length text
+          && (String.sub text i len = sub || go (i + 1))
+        in
+        go 0
+      in
+      check Alcotest.bool "root line" true (has "a.root");
+      check Alcotest.bool "indented child" true (has "  b.kid");
+      check Alcotest.bool "attrs shown" true (has "{k=v}"))
+
+(* End to end: a real tag lookup through the full stack names every layer
+   of Figure 1 in its trace — the O1 measurement in miniature. *)
+let test_fs_integration =
+  with_tracing (fun () ->
+      Trace.set_enabled false;
+      let dev = Device.create ~block_size:1024 ~blocks:4096 () in
+      let fs = Fs.format ~config:(Fs.Config.v ~index_mode:Fs.Eager ()) dev in
+      let oid = Fs.create_exn fs ~content:"payload bytes" in
+      Fs.name_exn fs oid Tag.Udef "needle";
+      Trace.set_enabled true;
+      Trace.clear ();
+      Trace.with_span ~layer:"test" ~op:"lookup" (fun () ->
+          match Fs.lookup fs [ (Tag.Udef, "needle") ] with
+          | found :: _ -> ignore (Fs.read fs found ~off:0 ~len:7)
+          | [] -> Alcotest.fail "lookup found nothing");
+      let spans = Option.get (Trace.last_trace ()) in
+      let layers =
+        List.sort_uniq compare (List.map (fun sp -> sp.Trace.layer) spans)
+      in
+      List.iter
+        (fun l ->
+          check Alcotest.bool (l ^ " layer present") true (List.mem l layers))
+        [ "fs"; "index"; "btree"; "osd"; "pager" ];
+      (* Every btree span names the structure it descended. *)
+      List.iter
+        (fun sp ->
+          if sp.Trace.layer = "btree" then
+            check Alcotest.bool "btree span has root attr" true
+              (Trace.attr sp "root" <> None))
+        spans)
+
+let suite =
+  [
+    Alcotest.test_case "disabled records nothing" `Quick test_disabled_records_nothing;
+    Alcotest.test_case "disabled overhead bound" `Quick test_disabled_overhead_bound;
+    Alcotest.test_case "nesting and parents" `Quick test_nesting;
+    Alcotest.test_case "attrs static and late" `Quick test_attrs;
+    Alcotest.test_case "exception safety" `Quick test_exception_safety;
+    Alcotest.test_case "ring bounds and dropped count" `Quick test_ring_bounds;
+    Alcotest.test_case "threads do not interleave" `Slow test_threads_do_not_interleave;
+    Alcotest.test_case "slow-op capture" `Slow test_slow_capture;
+    Alcotest.test_case "self-time attribution" `Quick test_self_time_attribution;
+    Alcotest.test_case "chrome exporter" `Quick test_chrome_export;
+    Alcotest.test_case "text tree exporter" `Quick test_pp_trace;
+    Alcotest.test_case "full-stack trace" `Quick test_fs_integration;
+  ]
