@@ -74,6 +74,57 @@ let counters_of f =
 
 let counter deltas name = Option.value ~default:0 (List.assoc_opt name deltas)
 
+(* --- workload generators -------------------------------------------
+
+   Shared by the write benches (W1 drives one stack, W2 a sharded one)
+   so both storms are made of the same material: deterministic scattered
+   overwrites, fixed tenant names, and a Zipf popularity skew. *)
+
+module Workload = struct
+  (* Deterministic scatter: op [i] re-dirties roughly one page of one
+     object, cycling through the object set. *)
+  let scatter_target ~objects ~object_bytes ~write_bytes i =
+    (i mod objects, i * 5237 mod (object_bytes - write_bytes))
+
+  (* Tenant identities for multi-tenant storms; the value doubles as
+     the placement-tag value, so a tenant's objects share a shard. *)
+  let tenant_name k = Printf.sprintf "tenant%02d" k
+
+  (* CDF of Zipf(skew) over ranks 1..n (a few hot objects, a long
+     cold tail — the shape real per-tenant traffic has). *)
+  let zipf_cdf ~n ~skew =
+    let w =
+      Array.init n (fun k -> 1.0 /. Float.pow (float_of_int (k + 1)) skew)
+    in
+    let total = Array.fold_left ( +. ) 0.0 w in
+    let acc = ref 0.0 in
+    Array.map
+      (fun x ->
+        acc := !acc +. (x /. total);
+        !acc)
+      w
+
+  (* Rank (0-based) for a uniform draw [u] in [0, 1). *)
+  let zipf_pick cdf u =
+    let rec go lo hi =
+      if lo >= hi then lo
+      else
+        let mid = (lo + hi) / 2 in
+        if cdf.(mid) < u then go (mid + 1) hi else go lo mid
+    in
+    go 0 (Array.length cdf - 1)
+
+  (* Nearest-rank percentile, [p] in (0, 1]. *)
+  let percentile p samples =
+    let a = Array.copy samples in
+    Array.sort compare a;
+    let n = Array.length a in
+    if n = 0 then 0.0
+    else
+      let rank = int_of_float (ceil (p *. float_of_int n)) - 1 in
+      a.(max 0 (min (n - 1) rank))
+end
+
 let fmt_int = string_of_int
 let fmt_f1 v = Printf.sprintf "%.1f" v
 let fmt_f2 v = Printf.sprintf "%.2f" v

@@ -33,12 +33,8 @@ let object_bytes = 64 * 1024
 let write_bytes = 256
 let payload = String.make write_bytes 'w'
 
-(* Deterministic scatter: op [i] re-dirties roughly one page of one
-   object, cycling through the object set. *)
-let target i =
-  let obj = i mod object_count in
-  let off = i * 5237 mod (object_bytes - write_bytes) in
-  (obj, off)
+let target =
+  Workload.scatter_target ~objects:object_count ~object_bytes ~write_bytes
 
 let config ?(sync_writes = false) ?(batch_max_pages = 256) () =
   Fs.Config.v ~cache_pages:16384 ~index_mode:Fs.Off ~journal_pages

@@ -70,14 +70,15 @@ let pair_conv =
 
 (* --- commands ---------------------------------------------------------------- *)
 
-let mkfs image blocks block_size =
+let mkfs image blocks block_size shards =
   handle_errors (fun () ->
       let dev = Device.create ~block_size ~blocks () in
-      let fs = Fs.format dev in
+      let fs = Fs.format ~config:{ Fs.Config.default with Fs.Config.shards } dev in
       let _ = P.mount fs in
       Fs.flush_exn fs;
       Device.save dev image;
-      say "formatted %s: %d blocks x %d bytes" image blocks block_size)
+      say "formatted %s: %d blocks x %d bytes%s" image blocks block_size
+        (if shards > 1 then Printf.sprintf ", %d shards" shards else ""))
 
 let mkfs_cmd =
   let blocks =
@@ -86,8 +87,15 @@ let mkfs_cmd =
   let block_size =
     Arg.(value & opt int 4096 & info [ "block-size" ] ~doc:"Block size in bytes.")
   in
+  let shards =
+    Arg.(value & opt int 1
+         & info [ "shards" ]
+             ~doc:
+               "Partition the image into N independent OSD shards behind \
+                the OID router (1 = the classic unsharded layout).")
+  in
   Cmd.v (Cmd.info "mkfs" ~doc:"Create and format a new image.")
-    Term.(const mkfs $ image_arg $ blocks $ block_size)
+    Term.(const mkfs $ image_arg $ blocks $ block_size $ shards)
 
 let put image path data =
   handle_errors (fun () ->
@@ -258,11 +266,12 @@ let insert_cmd =
 let compact image path =
   handle_errors (fun () ->
       with_image ~write:true image (fun fs posix ->
+          (* Routed through Fs so the object's owner shard does the
+             work, whatever the image's layout. *)
           let oid = P.resolve posix path in
-          let before = Hfad_osd.Osd.extent_count (Fs.osd fs) oid in
-          Hfad_osd.Osd.compact (Fs.osd fs) oid;
-          say "compacted: %d -> %d extents" before
-            (Hfad_osd.Osd.extent_count (Fs.osd fs) oid)))
+          let before = Fs.extent_count fs oid in
+          Fs.compact_exn fs oid;
+          say "compacted: %d -> %d extents" before (Fs.extent_count fs oid)))
 
 let compact_cmd =
   Cmd.v (Cmd.info "compact" ~doc:"Defragment a file's extents.")
@@ -308,12 +317,24 @@ let show_info image =
           say "device : %d blocks x %d bytes (%d KiB)" (Device.blocks dev)
             (Device.block_size dev)
             (Device.size_bytes dev / 1024);
+          let n = Fs.shard_count fs in
+          if n > 1 then say "shards : %d (oid-hash router)" n;
           say "objects: %d" (Fs.object_count fs);
-          let buddy = Hfad_osd.Osd.allocator (Fs.osd fs) in
-          let stats = Hfad_alloc.Buddy.stats buddy in
-          say "space  : %d / %d blocks free (fragmentation %.2f)"
-            stats.Hfad_alloc.Buddy.free_blocks stats.Hfad_alloc.Buddy.total_blocks
-            (Hfad_alloc.Buddy.fragmentation buddy)))
+          (* Allocation is per shard: each OSD owns its device region. *)
+          for s = 0 to n - 1 do
+            let osd = Fs.osd_of_shard fs s in
+            let buddy = Hfad_osd.Osd.allocator osd in
+            let stats = Hfad_alloc.Buddy.stats buddy in
+            let label =
+              if n > 1 then Printf.sprintf "shard%d " s else "space  "
+            in
+            say "%s: %d objects, %d / %d blocks free (fragmentation %.2f)"
+              label
+              (Hfad_osd.Osd.object_count osd)
+              stats.Hfad_alloc.Buddy.free_blocks
+              stats.Hfad_alloc.Buddy.total_blocks
+              (Hfad_alloc.Buddy.fragmentation buddy)
+          done))
 
 let info_cmd =
   Cmd.v (Cmd.info "info" ~doc:"Show image statistics.")

@@ -26,10 +26,21 @@ dune exec test/test_main.exe -- test pipeline -e
 # the suite guards recording semantics (nesting, ring bounds, exporters).
 dune exec test/test_main.exe -- test trace -e
 
+# Shard gate: the router/sharded-Fs suite (oid arithmetic, the
+# shards=1 byte-identity property, cross-shard barriers under
+# concurrent writers, the metrics prefix-pool audit) runs loudly on
+# its own — the scale-out refactor must never regress silently.
+dune exec test/test_main.exe -- test shard -e
+
 # Bench bit-rot gate: every experiment at tiny N, asserting each runs to
 # completion. Numbers printed under --smoke are not measurements. O1
 # additionally asserts, on every run, that the hierarchical lookup
 # crosses >= 4 index structures and the native path strictly fewer.
 dune exec bench/main.exe -- --smoke
+
+# Scale-out smoke gate: W2 drives the multi-tenant write storm across
+# shard counts on its own, so a router or scatter-gather regression
+# fails this line and not just the (noisier) full smoke above.
+dune exec bench/main.exe -- --smoke W2
 
 echo "check.sh: OK"

@@ -23,7 +23,11 @@ type stats = {
   simulated_ns : int;
 }
 
-type t = {
+(* The physical device. Every view ({!t}) of the same storage shares
+   this record, so faults, crash points, statistics and the latency
+   model's head position are device-wide — a power cut does not respect
+   region boundaries. *)
+type base = {
   block_size : int;
   nblocks : int;
   model : Latency.t;
@@ -42,48 +46,66 @@ type t = {
   mutable simulated_ns : int;
 }
 
+(* A window of [vblocks] blocks starting at physical block [off]. The
+   whole device is the [off = 0] window over all of it; {!sub} carves
+   disjoint windows so independent stacks (one per shard) can share one
+   image, one crash domain and one statistics ledger. *)
+type t = { b : base; off : int; vblocks : int }
+
 let create ?(model = Latency.zero) ?(checksums = false) ~block_size ~blocks () =
   if block_size <= 0 then invalid_arg "Device.create: block_size";
   if blocks <= 0 then invalid_arg "Device.create: blocks";
-  {
-    block_size;
-    nblocks = blocks;
-    model;
-    checksums;
-    crcs = Hashtbl.create (if checksums then 256 else 0);
-    store = Array.make blocks None;
-    mutex = Mutex.create ();
-    fault = None;
-    crash = None;
-    last_block = None;
-    reads = 0;
-    writes = 0;
-    flushes = 0;
-    bytes_read = 0;
-    bytes_written = 0;
-    simulated_ns = 0;
-  }
+  let b =
+    {
+      block_size;
+      nblocks = blocks;
+      model;
+      checksums;
+      crcs = Hashtbl.create (if checksums then 256 else 0);
+      store = Array.make blocks None;
+      mutex = Mutex.create ();
+      fault = None;
+      crash = None;
+      last_block = None;
+      reads = 0;
+      writes = 0;
+      flushes = 0;
+      bytes_read = 0;
+      bytes_written = 0;
+      simulated_ns = 0;
+    }
+  in
+  { b; off = 0; vblocks = blocks }
 
-let block_size t = t.block_size
-let blocks t = t.nblocks
-let size_bytes t = t.block_size * t.nblocks
+let sub t ~first_block ~blocks =
+  if first_block < 0 || blocks <= 0 || first_block + blocks > t.vblocks then
+    invalid_arg
+      (Printf.sprintf "Device.sub: [%d, %d+%d) outside [0, %d)" first_block
+         first_block blocks t.vblocks);
+  { b = t.b; off = t.off + first_block; vblocks = blocks }
 
-let with_lock t f =
-  Mutex.lock t.mutex;
+let is_sub t = t.off > 0 || t.vblocks < t.b.nblocks
+let first_block t = t.off
+let block_size t = t.b.block_size
+let blocks t = t.vblocks
+let size_bytes t = t.b.block_size * t.vblocks
+
+let with_lock b f =
+  Mutex.lock b.mutex;
   match f () with
   | result ->
-      Mutex.unlock t.mutex;
+      Mutex.unlock b.mutex;
       result
   | exception e ->
-      Mutex.unlock t.mutex;
+      Mutex.unlock b.mutex;
       raise e
 
 let check_range t idx =
-  if idx < 0 || idx >= t.nblocks then
-    raise (Out_of_range { block = idx; blocks = t.nblocks })
+  if idx < 0 || idx >= t.vblocks then
+    raise (Out_of_range { block = idx; blocks = t.vblocks })
 
-let check_fault t op idx =
-  match t.fault with
+let check_fault b op idx =
+  match b.fault with
   | Some f when f op idx ->
       let kind = match op with Read -> "read" | Write -> "write" in
       raise (Io_error (Printf.sprintf "injected %s fault at block %d" kind idx))
@@ -92,8 +114,8 @@ let check_fault t op idx =
 (* Consulted (under the lock) before a write reaches the store. Raises
    once the crash point is passed; the dying write itself persists a
    torn prefix when configured, then raises. *)
-let check_crash_write t idx data =
-  match t.crash with
+let check_crash_write b idx data =
+  match b.crash with
   | None -> ()
   | Some c when c.dead ->
       raise (Io_error (Printf.sprintf "device crashed: write to block %d refused" idx))
@@ -108,12 +130,12 @@ let check_crash_write t idx data =
              table is deliberately not updated, so a checksummed device
              detects the tear on the next read. *)
           let merged =
-            match t.store.(idx) with
+            match b.store.(idx) with
             | Some old -> Bytes.copy old
-            | None -> Bytes.make t.block_size '\000'
+            | None -> Bytes.make b.block_size '\000'
           in
           Bytes.blit data 0 merged 0 k;
-          t.store.(idx) <- Some merged);
+          b.store.(idx) <- Some merged);
       raise
         (Io_error
            (Printf.sprintf "injected crash at block %d (%s)" idx
@@ -121,82 +143,87 @@ let check_crash_write t idx data =
               | None -> "write dropped"
               | Some k -> Printf.sprintf "torn after %d bytes" k)))
 
-let charge t op idx =
+let charge b op idx =
   let cost =
-    Latency.cost_ns t.model ~last_block:t.last_block ~block:idx
-      ~bytes:t.block_size
+    Latency.cost_ns b.model ~last_block:b.last_block ~block:idx
+      ~bytes:b.block_size
   in
-  t.simulated_ns <- t.simulated_ns + cost;
-  t.last_block <- Some idx;
+  b.simulated_ns <- b.simulated_ns + cost;
+  b.last_block <- Some idx;
   match op with
   | Read ->
-      t.reads <- t.reads + 1;
-      t.bytes_read <- t.bytes_read + t.block_size
+      b.reads <- b.reads + 1;
+      b.bytes_read <- b.bytes_read + b.block_size
   | Write ->
-      t.writes <- t.writes + 1;
-      t.bytes_written <- t.bytes_written + t.block_size
+      b.writes <- b.writes + 1;
+      b.bytes_written <- b.bytes_written + b.block_size
 
 let read_block_into_locked t idx buf =
-  with_lock t (fun () ->
+  let b = t.b in
+  let abs = t.off + idx in
+  with_lock b (fun () ->
       check_range t idx;
-      check_fault t Read idx;
-      charge t Read idx;
-      match t.store.(idx) with
+      check_fault b Read abs;
+      charge b Read abs;
+      match b.store.(abs) with
       | Some data ->
-          if t.checksums then begin
-            match Hashtbl.find_opt t.crcs idx with
+          if b.checksums then begin
+            match Hashtbl.find_opt b.crcs abs with
             | Some expected
-              when Hfad_util.Crc32.bytes data ~pos:0 ~len:t.block_size
+              when Hfad_util.Crc32.bytes data ~pos:0 ~len:b.block_size
                    <> expected ->
                 raise
                   (Io_error
-                     (Printf.sprintf "checksum mismatch at block %d" idx))
+                     (Printf.sprintf "checksum mismatch at block %d" abs))
             | Some _ | None -> ()
           end;
-          Bytes.blit data 0 buf 0 t.block_size
-      | None -> Bytes.fill buf 0 t.block_size '\000')
+          Bytes.blit data 0 buf 0 b.block_size
+      | None -> Bytes.fill buf 0 b.block_size '\000')
 
 let read_block_into t idx buf =
-  if Bytes.length buf <> t.block_size then
+  if Bytes.length buf <> t.b.block_size then
     invalid_arg "Device.read_block_into: buffer size mismatch";
   if Trace.enabled () then
     Trace.with_span ~layer:"device" ~op:"read"
-      ~attrs:[ ("block", string_of_int idx) ]
+      ~attrs:[ ("block", string_of_int (t.off + idx)) ]
       (fun () -> read_block_into_locked t idx buf)
   else read_block_into_locked t idx buf
 
 let read_block t idx =
-  let buf = Bytes.create t.block_size in
+  let buf = Bytes.create t.b.block_size in
   read_block_into t idx buf;
   buf
 
 let write_block_locked t idx data =
-  with_lock t (fun () ->
+  let b = t.b in
+  let abs = t.off + idx in
+  with_lock b (fun () ->
       check_range t idx;
-      check_crash_write t idx data;
-      check_fault t Write idx;
-      charge t Write idx;
-      if t.checksums then
-        Hashtbl.replace t.crcs idx
-          (Hfad_util.Crc32.bytes data ~pos:0 ~len:t.block_size);
-      t.store.(idx) <- Some (Bytes.copy data))
+      check_crash_write b abs data;
+      check_fault b Write abs;
+      charge b Write abs;
+      if b.checksums then
+        Hashtbl.replace b.crcs abs
+          (Hfad_util.Crc32.bytes data ~pos:0 ~len:b.block_size);
+      b.store.(abs) <- Some (Bytes.copy data))
 
 let write_block t idx data =
-  if Bytes.length data <> t.block_size then
+  if Bytes.length data <> t.b.block_size then
     invalid_arg "Device.write_block: data size mismatch";
   if Trace.enabled () then
     Trace.with_span ~layer:"device" ~op:"write"
-      ~attrs:[ ("block", string_of_int idx) ]
+      ~attrs:[ ("block", string_of_int (t.off + idx)) ]
       (fun () -> write_block_locked t idx data)
   else write_block_locked t idx data
 
 let flush_locked t =
-  with_lock t (fun () ->
-      (match t.crash with
+  let b = t.b in
+  with_lock b (fun () ->
+      (match b.crash with
       | Some c when c.dead ->
           raise (Io_error "device crashed: barrier refused")
       | Some _ | None -> ());
-      t.flushes <- t.flushes + 1)
+      b.flushes <- b.flushes + 1)
 
 let flush t =
   if Trace.enabled () then
@@ -205,19 +232,22 @@ let flush t =
 
 let image_magic = "hFADIMG1"
 
+(* Always the whole physical device: an image is the crash/persistence
+   unit, whatever window it was saved through. *)
 let save t path =
-  with_lock t (fun () ->
+  let b = t.b in
+  with_lock b (fun () ->
       let tmp = path ^ ".tmp" in
       let oc = open_out_bin tmp in
       (try
          output_string oc image_magic;
          let header = Bytes.create 12 in
-         Bytes.set_int32_be header 0 (Int32.of_int t.block_size);
-         Bytes.set_int32_be header 4 (Int32.of_int t.nblocks);
+         Bytes.set_int32_be header 0 (Int32.of_int b.block_size);
+         Bytes.set_int32_be header 4 (Int32.of_int b.nblocks);
          let materialized = ref 0 in
          Array.iter
            (fun block -> if block <> None then incr materialized)
-           t.store;
+           b.store;
          Bytes.set_int32_be header 8 (Int32.of_int !materialized);
          output_bytes oc header;
          Array.iteri
@@ -229,7 +259,7 @@ let save t path =
                  Bytes.set_int32_be ib 0 (Int32.of_int idx);
                  output_bytes oc ib;
                  output_bytes oc data)
-           t.store;
+           b.store;
          close_out oc
        with e ->
          close_out_noerr oc;
@@ -263,60 +293,64 @@ let load ?(model = Latency.zero) path =
            if idx < 0 || idx >= nblocks then fail "block index out of range";
            let data = Bytes.create block_size in
            really_input ic data 0 block_size;
-           t.store.(idx) <- Some data
+           t.b.store.(idx) <- Some data
          done
        with End_of_file -> fail "truncated image");
       t)
 
 let corrupt_block t idx ~byte =
-  with_lock t (fun () ->
+  let b = t.b in
+  let abs = t.off + idx in
+  with_lock b (fun () ->
       check_range t idx;
-      if byte < 0 || byte >= t.block_size then
+      if byte < 0 || byte >= b.block_size then
         invalid_arg "Device.corrupt_block: byte out of range";
-      match t.store.(idx) with
+      match b.store.(abs) with
       | None -> invalid_arg "Device.corrupt_block: block never written"
       | Some data ->
           Bytes.set data byte
             (Char.chr (Char.code (Bytes.get data byte) lxor 0x40)))
 
-let set_fault t f = with_lock t (fun () -> t.fault <- Some f)
-let clear_fault t = with_lock t (fun () -> t.fault <- None)
+let set_fault t f = with_lock t.b (fun () -> t.b.fault <- Some f)
+let clear_fault t = with_lock t.b (fun () -> t.b.fault <- None)
 
 let arm_crash t ~after_writes ?torn_bytes () =
   if after_writes < 0 then invalid_arg "Device.arm_crash: after_writes";
   (match torn_bytes with
-  | Some k when k < 0 || k > t.block_size ->
+  | Some k when k < 0 || k > t.b.block_size ->
       invalid_arg "Device.arm_crash: torn_bytes out of range"
   | Some _ | None -> ());
-  with_lock t (fun () ->
-      t.crash <- Some { writes_left = after_writes; torn_bytes; dead = false })
+  with_lock t.b (fun () ->
+      t.b.crash <- Some { writes_left = after_writes; torn_bytes; dead = false })
 
-let disarm_crash t = with_lock t (fun () -> t.crash <- None)
+let disarm_crash t = with_lock t.b (fun () -> t.b.crash <- None)
 
 let crashed t =
-  with_lock t (fun () ->
-      match t.crash with Some c -> c.dead | None -> false)
+  with_lock t.b (fun () ->
+      match t.b.crash with Some c -> c.dead | None -> false)
 
 let stats t =
-  with_lock t (fun () ->
+  let b = t.b in
+  with_lock b (fun () ->
       {
-        reads = t.reads;
-        writes = t.writes;
-        flushes = t.flushes;
-        bytes_read = t.bytes_read;
-        bytes_written = t.bytes_written;
-        simulated_ns = t.simulated_ns;
+        reads = b.reads;
+        writes = b.writes;
+        flushes = b.flushes;
+        bytes_read = b.bytes_read;
+        bytes_written = b.bytes_written;
+        simulated_ns = b.simulated_ns;
       })
 
 let reset_stats t =
-  with_lock t (fun () ->
-      t.reads <- 0;
-      t.writes <- 0;
-      t.flushes <- 0;
-      t.bytes_read <- 0;
-      t.bytes_written <- 0;
-      t.simulated_ns <- 0;
-      t.last_block <- None)
+  let b = t.b in
+  with_lock b (fun () ->
+      b.reads <- 0;
+      b.writes <- 0;
+      b.flushes <- 0;
+      b.bytes_read <- 0;
+      b.bytes_written <- 0;
+      b.simulated_ns <- 0;
+      b.last_block <- None)
 
 let pp_stats fmt (s : stats) =
   Format.fprintf fmt

@@ -30,6 +30,28 @@ val block_size : t -> int
 val blocks : t -> int
 val size_bytes : t -> int
 
+(** {1 Sub-device windows}
+
+    A value of type {!t} is a {e window} onto physical storage —
+    {!create} returns the whole-device window, {!sub} a smaller one.
+    Disjoint windows let N independent storage stacks (one per shard)
+    share one physical device: one image file, one crash domain, one
+    statistics ledger. Block indices are window-relative; faults, crash
+    points, {!stats} and {!save} are device-wide (a power cut does not
+    respect region boundaries), and fault hooks observe {e physical}
+    block numbers. *)
+
+val sub : t -> first_block:int -> blocks:int -> t
+(** [sub t ~first_block ~blocks] is the window of [blocks] blocks whose
+    block 0 is [t]'s block [first_block]. Windows compose.
+    @raise Invalid_argument if the range leaves [t]. *)
+
+val is_sub : t -> bool
+(** Whether this window is strictly smaller than the physical device. *)
+
+val first_block : t -> int
+(** Physical block behind this window's block 0 (0 for a whole device). *)
+
 val read_block : t -> int -> Bytes.t
 (** [read_block dev idx] returns a fresh copy of block [idx].
     @raise Out_of_range on a bad index. @raise Io_error on injected
@@ -54,7 +76,8 @@ val flush : t -> unit
 
 val save : t -> string -> unit
 (** [save dev path] writes the device image to [path] (atomic via a
-    temporary file + rename). *)
+    temporary file + rename). Always the whole physical device, whatever
+    window it is called through. *)
 
 val load : ?model:Latency.t -> string -> t
 (** [load path] recreates a device from an image file.

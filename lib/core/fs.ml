@@ -4,10 +4,17 @@ module Meta = Hfad_osd.Meta
 module Pager = Hfad_pager.Pager
 module Tag = Hfad_index.Tag
 module Index_store = Hfad_index.Index_store
+module Query = Hfad_index.Query
 module Fulltext = Hfad_fulltext.Fulltext
 module Lazy_indexer = Hfad_fulltext.Lazy_indexer
 module Rwlock = Hfad_util.Rwlock
 module Trace = Hfad_trace.Trace
+module Router = Hfad_shard.Router
+module Device = Hfad_blockdev.Device
+module Codec = Hfad_util.Codec
+module Counter = Hfad_metrics.Counter
+module Registry = Hfad_metrics.Registry
+module Prefix_pool = Hfad_metrics.Prefix_pool
 
 type index_mode = Eager | Lazy | Off
 
@@ -34,6 +41,8 @@ module Config = struct
     batch_max_pages : int;
     batch_max_age : float;
     sync_writes : bool;
+    shards : int;
+    placement_tag : Tag.t option;
   }
 
   let default =
@@ -46,6 +55,8 @@ module Config = struct
       batch_max_pages = 256;
       batch_max_age = 0.010;
       sync_writes = false;
+      shards = 1;
+      placement_tag = Some Tag.User;
     }
 
   let v ?(cache_pages = default.cache_pages)
@@ -54,7 +65,8 @@ module Config = struct
       ?(index_mode = default.index_mode)
       ?(batch_max_pages = default.batch_max_pages)
       ?(batch_max_age = default.batch_max_age)
-      ?(sync_writes = default.sync_writes) () =
+      ?(sync_writes = default.sync_writes) ?(shards = default.shards)
+      ?(placement_tag = default.placement_tag) () =
     {
       cache_pages;
       max_extent_pages;
@@ -64,6 +76,8 @@ module Config = struct
       batch_max_pages;
       batch_max_age;
       sync_writes;
+      shards;
+      placement_tag;
     }
 
   let osd t =
@@ -75,231 +89,635 @@ module Config = struct
     }
 end
 
-type t = {
-  osd : Osd.t;
-  index : Index_store.t;
-  config : Config.t;
-  lock : Rwlock.t;  (* the OSD's lock, shared by every layer of this stack *)
-  mutable pipeline : Flusher.t option;
+(* --- shard stacks -------------------------------------------------------- *)
+
+(* Each shard is a fully independent storage stack: its own device
+   window, pager, journal, lock and (optional) flusher daemon. The shard
+   speaks LOCAL OIDs throughout — its OSD, index stores and journal are
+   bit-for-bit the unsharded on-disk format — and this module translates
+   at the API boundary via the {!Router}'s arithmetic encoding. *)
+
+type shard_metrics = {
+  m_ops : Counter.t;  (** operations routed to this shard *)
+  m_acked : Counter.t;  (** gauge: pipeline mutations acknowledged *)
+  m_durable : Counter.t;  (** gauge: pipeline mutations durable *)
+  m_commits : Counter.t;  (** gauge: group commits issued *)
 }
 
-(* Locking discipline (§2.3 made concrete): naming and access reads —
-   [lookup], [query], [search], [read], [list_names], ... — hold the
-   shared side; every mutation holds the exclusive side. The layers
-   below take the same reentrant lock again, so one Fs call costs a
-   handful of counter bumps, not nested blocking. The pipeline daemon is
-   one more writer on this lock: its group commit runs under the
-   exclusive side, never under the flusher's own mutex (see
-   {!Flusher}). *)
-let shared t f = Rwlock.with_shared t.lock f
-let exclusive t f = Rwlock.with_exclusive t.lock f
+type shard = {
+  sid : int;
+  s_osd : Osd.t;
+  s_index : Index_store.t;
+  s_lock : Rwlock.t;  (* the shard OSD's lock, shared by its whole stack *)
+  mutable s_flusher : Flusher.t option;
+  sm : shard_metrics option;  (* only when the file system is sharded *)
+}
 
-let mk config osd =
+type router_metrics = {
+  m_targeted : Counter.t;  (** naming ops routed to a single shard *)
+  m_scatter : Counter.t;  (** naming ops fanned out to every shard *)
+}
+
+type t = {
+  router : Router.t;
+  shards : shard array;
+  dev : Device.t;  (* the parent (whole) device *)
+  config : Config.t;
+  prefix : string option;  (* pooled "fs<k>" metrics prefix when sharded *)
+  rm : router_metrics option;
+  rr : int Atomic.t;  (* round-robin placement cursor *)
+}
+
+(* Locking discipline (§2.3 made concrete): per shard, naming and access
+   reads hold the shared side of that shard's lock; every mutation holds
+   its exclusive side. Shards never take each other's locks, so writers
+   on different shards run truly in parallel — the single-writer ceiling
+   of the unsharded stack becomes per-shard. The only multi-shard
+   operations (flush, barrier, scatter queries) visit shards one at a
+   time and never hold two locks at once, so there is no lock-order
+   cycle. *)
+
+let nshards t = Array.length t.shards
+let shard0 t = t.shards.(0)
+let sharded t = nshards t > 1
+let shard_shared sh f = Rwlock.with_shared sh.s_lock f
+let shard_exclusive sh f = Rwlock.with_exclusive sh.s_lock f
+
+(* --- shard map block ----------------------------------------------------- *)
+
+(* A sharded image reserves physical block 0 for the shard map — magic,
+   layout version, shard count, region size — and gives each shard an
+   equal Device.sub window after it. An unsharded image has no map
+   block: block 0 is the OSD superblock, exactly the seed format, which
+   is what keeps shards = 1 byte-identical and lets open_existing
+   auto-detect which kind of image it was handed. *)
+
+let shard_magic = "hFADSHRD"
+let shard_map_version = 1
+
+let write_shard_map dev ~shards ~region_blocks =
+  let b = Bytes.make (Device.block_size dev) '\000' in
+  Bytes.blit_string shard_magic 0 b 0 (String.length shard_magic);
+  Codec.put_u32 b 8 shard_map_version;
+  Codec.put_u32 b 12 shards;
+  Codec.put_u32 b 16 region_blocks;
+  Device.write_block dev 0 b
+
+let read_shard_map dev =
+  let b = Device.read_block dev 0 in
+  if
+    Bytes.length b < 20
+    || Bytes.sub_string b 0 (String.length shard_magic) <> shard_magic
+  then None
+  else begin
+    let version = Codec.get_u32 b 8 in
+    let shards = Codec.get_u32 b 12 in
+    let region_blocks = Codec.get_u32 b 16 in
+    if version <> shard_map_version then
+      failwith (Printf.sprintf "shard map: unknown version %d" version);
+    if shards < 2 || shards > Router.max_shards then
+      failwith (Printf.sprintf "shard map: implausible shard count %d" shards);
+    if region_blocks < 1 || 1 + (shards * region_blocks) > Device.blocks dev
+    then failwith "shard map: regions exceed the device";
+    Some (shards, region_blocks)
+  end
+
+(* --- construction -------------------------------------------------------- *)
+
+let counter name = Registry.counter Registry.global name
+
+let mk_shard ~prefix sid osd =
+  let sm =
+    Option.map
+      (fun p ->
+        let c s = counter (Printf.sprintf "%s.shard%d.%s" p sid s) in
+        {
+          m_ops = c "ops";
+          m_acked = c "acked";
+          m_durable = c "durable";
+          m_commits = c "commits";
+        })
+      prefix
+  in
   {
-    osd;
-    index = Index_store.create osd;
-    config;
-    lock = Osd.rwlock osd;
-    pipeline = None;
+    sid;
+    s_osd = osd;
+    s_index = Index_store.create osd;
+    s_lock = Osd.rwlock osd;
+    s_flusher = None;
+    sm;
   }
 
+let mk config dev osds =
+  let n = Array.length osds in
+  let prefix = if n > 1 then Some (Prefix_pool.acquire "fs") else None in
+  let rm =
+    Option.map
+      (fun p ->
+        {
+          m_targeted = counter (p ^ ".router.targeted");
+          m_scatter = counter (p ^ ".router.scatter");
+        })
+      prefix
+  in
+  {
+    router = Router.create ~shards:n;
+    shards = Array.mapi (fun i osd -> mk_shard ~prefix i osd) osds;
+    dev;
+    config = { config with Config.shards = n };
+    prefix;
+    rm;
+    rr = Atomic.make 0;
+  }
+
+let region_window dev ~region_blocks s =
+  Device.sub dev ~first_block:(1 + (s * region_blocks)) ~blocks:region_blocks
+
 let format ?(config = Config.default) dev =
-  mk config (Osd.format ~config:(Config.osd config) dev)
+  let n = config.Config.shards in
+  if n < 1 || n > Router.max_shards then
+    invalid_arg
+      (Printf.sprintf "Fs.format: shards %d outside [1, %d]" n
+         Router.max_shards);
+  if n = 1 then mk config dev [| Osd.format ~config:(Config.osd config) dev |]
+  else begin
+    let region_blocks = (Device.blocks dev - 1) / n in
+    if region_blocks < 1 then
+      invalid_arg
+        (Printf.sprintf "Fs.format: device of %d blocks too small for %d shards"
+           (Device.blocks dev) n);
+    write_shard_map dev ~shards:n ~region_blocks;
+    mk config dev
+      (Array.init n (fun s ->
+           Osd.format ~config:(Config.osd config)
+             (region_window dev ~region_blocks s)))
+  end
 
 let open_existing_exn ?(config = Config.default) dev =
-  mk config (Osd.open_existing_exn ~config:(Config.osd config) dev)
+  match read_shard_map dev with
+  | None ->
+      mk config dev [| Osd.open_existing_exn ~config:(Config.osd config) dev |]
+  | Some (n, region_blocks) ->
+      mk config dev
+        (Array.init n (fun s ->
+             Osd.open_existing_exn ~config:(Config.osd config)
+               (region_window dev ~region_blocks s)))
 
-let open_existing ?config dev =
-  Osd.guard (fun () -> open_existing_exn ?config dev)
+let open_existing ?config dev = Osd.guard (fun () -> open_existing_exn ?config dev)
 
 let config t = t.config
-let journaled t = Osd.journaled t.osd
-let device t = Osd.device t.osd
-let osd t = t.osd
-let index t = t.index
+let journaled t = Osd.journaled (shard0 t).s_osd
+let device t = t.dev
+let osd t = (shard0 t).s_osd
+let index t = (shard0 t).s_index
 let index_mode t = t.config.Config.index_mode
-let rwlock t = t.lock
+let rwlock t = (shard0 t).s_lock
+let shard_count t = nshards t
+let metrics_prefix t = t.prefix
+let shard_of_oid t oid = Router.shard_of_oid t.router oid
+let osd_of_shard t s = t.shards.(s).s_osd
+let index_of_shard t s = t.shards.(s).s_index
 
-(* --- content indexing -------------------------------------------------- *)
+(* --- routing ------------------------------------------------------------- *)
 
-let reindex t oid =
-  match t.config.Config.index_mode with
+let note_targeted t =
+  match t.rm with Some m -> Counter.incr m.m_targeted | None -> ()
+
+let note_scatter t =
+  match t.rm with Some m -> Counter.incr m.m_scatter | None -> ()
+
+let bump_ops sh = match sh.sm with Some m -> Counter.incr m.m_ops | None -> ()
+
+(* OIDs in errors crossing the API are global; the shard stacks below
+   only ever saw the local OID, so translate on the way out. *)
+let with_global_oid t s f =
+  try f ()
+  with Osd.No_such_object l ->
+    raise (Osd.No_such_object (Router.to_global t.router ~shard:s l))
+
+(* The router span exists only on sharded stacks, so the unsharded span
+   profile (experiment O1) is unchanged. *)
+let span_route t sh f =
+  if sharded t && Trace.enabled () then
+    Trace.with_span ~layer:"shard" ~op:"route"
+      ~attrs:[ ("shard", string_of_int sh.sid) ]
+      f
+  else f ()
+
+(* Route a single-object operation to the shard that owns the OID. *)
+let routed t oid f =
+  let s = Router.shard_of_oid t.router oid in
+  let sh = t.shards.(s) in
+  bump_ops sh;
+  note_targeted t;
+  span_route t sh (fun () ->
+      with_global_oid t s (fun () -> f sh (Router.to_local t.router oid)))
+
+(* --- content indexing ---------------------------------------------------- *)
+
+let reindex_sh config sh l =
+  match config.Config.index_mode with
   | Off -> ()
-  | Lazy -> Index_store.index_text ~lazily:true t.index oid (Osd.read_all t.osd oid)
+  | Lazy ->
+      Index_store.index_text ~lazily:true sh.s_index l (Osd.read_all sh.s_osd l)
   | Eager ->
-      Index_store.index_text ~lazily:false t.index oid (Osd.read_all t.osd oid)
+      Index_store.index_text ~lazily:false sh.s_index l
+        (Osd.read_all sh.s_osd l)
+
+let reindex t oid = routed t oid (fun sh l -> reindex_sh t.config sh l)
+let drain_shard_index sh = Lazy_indexer.drain_all (Index_store.indexer sh.s_index)
 
 let drain_index t =
-  exclusive t (fun () -> Lazy_indexer.drain_all (Index_store.indexer t.index))
-let index_backlog t = Lazy_indexer.pending (Index_store.indexer t.index)
+  Array.iter
+    (fun sh -> shard_exclusive sh (fun () -> drain_shard_index sh))
+    t.shards
 
-(* --- durability --------------------------------------------------------- *)
+let index_backlog t =
+  Array.fold_left
+    (fun acc sh -> acc + Lazy_indexer.pending (Index_store.indexer sh.s_index))
+    0 t.shards
 
-(* One group commit: everything the stack has mutated so far — queued
-   content indexing included, so search is consistent with whatever
-   state a crash recovers — becomes durable in a single journaled
-   checkpoint. This is both the daemon's commit closure and the
-   synchronous path, so pipelined and sync modes persist byte-identical
-   state. *)
-let group_commit_exn t =
-  exclusive t (fun () ->
-      Lazy_indexer.drain_all (Index_store.indexer t.index);
-      Osd.flush_exn t.osd)
+(* --- durability ---------------------------------------------------------- *)
 
+(* One group commit on ONE shard: everything that shard's stack has
+   mutated so far — queued content indexing included — becomes durable
+   in a single journaled checkpoint. Shards are independent durability
+   domains: each has its own journal and its own daemon, and a global
+   flush/barrier is simply every shard reaching its own durability
+   point. *)
+let group_commit_shard sh =
+  shard_exclusive sh (fun () ->
+      drain_shard_index sh;
+      Osd.flush_exn sh.s_osd)
+
+let publish_shard_gauges sh =
+  match (sh.sm, sh.s_flusher) with
+  | Some m, Some fl ->
+      let st = Flusher.stats fl in
+      Counter.set m.m_acked st.Flusher.acked;
+      Counter.set m.m_durable st.Flusher.durable;
+      Counter.set m.m_commits st.Flusher.commits
+  | _ -> ()
+
+let group_commit_exn t = Array.iter group_commit_shard t.shards
 let flush_exn t = group_commit_exn t
 let flush t = Osd.guard (fun () -> group_commit_exn t)
 
-(* Called at the tail of every mutation, still inside the exclusive
-   section. Pipelined: acknowledge into the daemon's batch (reentrancy
-   note: the daemon never takes the stack lock while holding its mutex,
-   so this lock order — rwlock, then flusher mutex — cannot deadlock).
-   [sync_writes]: checkpoint before the mutation even returns. Neither:
-   durability waits for an explicit {!flush}/{!barrier}. *)
-let note_write t =
-  match t.pipeline with
+(* Called at the tail of every mutation, still inside the owning shard's
+   exclusive section. Pipelined: acknowledge into that shard's daemon
+   batch. [sync_writes]: checkpoint the shard before the mutation even
+   returns. Neither: durability waits for an explicit flush/barrier. *)
+let note_write t sh =
+  match sh.s_flusher with
   | Some fl when Flusher.running fl -> Flusher.note_mutation fl
-  | _ -> if t.config.Config.sync_writes then group_commit_exn t
+  | _ -> if t.config.Config.sync_writes then group_commit_shard sh
 
-let mutate t f =
+let mutate t oid f =
   Osd.guard (fun () ->
-      exclusive t (fun () ->
-          let v = f () in
-          note_write t;
-          v))
+      let s = Router.shard_of_oid t.router oid in
+      let sh = t.shards.(s) in
+      bump_ops sh;
+      note_targeted t;
+      span_route t sh (fun () ->
+          with_global_oid t s (fun () ->
+              shard_exclusive sh (fun () ->
+                  let v = f sh (Router.to_local t.router oid) in
+                  note_write t sh;
+                  v))))
 
-let barrier t =
-  match t.pipeline with
+let barrier_shard sh =
+  match sh.s_flusher with
   | Some fl when Flusher.running fl -> Flusher.barrier fl
-  | _ -> flush t
+  | _ -> Osd.guard (fun () -> group_commit_shard sh)
+
+(* The global durability point: every shard durable. Visits shards in
+   order, reports the first failure but still barriers the rest — one
+   sick shard must not leave the others' acknowledged writes hanging. *)
+let barrier t =
+  let r =
+    Array.fold_left
+      (fun acc sh ->
+        match barrier_shard sh with
+        | Ok () -> acc
+        | Error _ as e -> ( match acc with Ok () -> e | _ -> acc))
+      (Ok ()) t.shards
+  in
+  Array.iter publish_shard_gauges t.shards;
+  r
 
 let barrier_exn t =
   match barrier t with Ok () -> () | Error e -> Osd.raise_error e
 
 let start_pipeline t =
-  if not t.config.Config.sync_writes then begin
-    let fl =
-      match t.pipeline with
-      | Some fl -> fl
-      | None ->
-          let fl =
-            Flusher.create
-              ~batch_max_pages:t.config.Config.batch_max_pages
-              ~batch_max_age:t.config.Config.batch_max_age
-              ~dirty_count:(fun () -> Pager.dirty_count (Osd.pager t.osd))
-              ~commit:(fun () -> Osd.guard (fun () -> group_commit_exn t))
-              ()
-          in
-          t.pipeline <- Some fl;
-          fl
-    in
-    Flusher.start fl
-  end
+  if not t.config.Config.sync_writes then
+    Array.iter
+      (fun sh ->
+        let fl =
+          match sh.s_flusher with
+          | Some fl -> fl
+          | None ->
+              let fl =
+                Flusher.create
+                  ~batch_max_pages:t.config.Config.batch_max_pages
+                  ~batch_max_age:t.config.Config.batch_max_age
+                  ~dirty_count:(fun () -> Pager.dirty_count (Osd.pager sh.s_osd))
+                  ~commit:(fun () -> Osd.guard (fun () -> group_commit_shard sh))
+                  ()
+              in
+              sh.s_flusher <- Some fl;
+              fl
+        in
+        Flusher.start fl)
+      t.shards
 
 let stop_pipeline t =
-  match t.pipeline with None -> () | Some fl -> Flusher.stop fl
+  Array.iter
+    (fun sh -> match sh.s_flusher with None -> () | Some fl -> Flusher.stop fl)
+    t.shards;
+  Array.iter publish_shard_gauges t.shards
 
 let pipeline_running t =
-  match t.pipeline with Some fl -> Flusher.running fl | None -> false
+  Array.exists
+    (fun sh ->
+      match sh.s_flusher with Some fl -> Flusher.running fl | None -> false)
+    t.shards
 
-let pipeline_stats t = Option.map Flusher.stats t.pipeline
+let pipeline_stats t =
+  Array.fold_left
+    (fun acc sh ->
+      match Option.map Flusher.stats sh.s_flusher with
+      | None -> acc
+      | Some s -> (
+          match acc with
+          | None -> Some s
+          | Some a ->
+              Some
+                {
+                  Flusher.acked = a.Flusher.acked + s.Flusher.acked;
+                  durable = a.Flusher.durable + s.Flusher.durable;
+                  commits = a.Flusher.commits + s.Flusher.commits;
+                }))
+    None t.shards
+
+let shard_pipeline_stats t s = Option.map Flusher.stats t.shards.(s).s_flusher
+
+let close t =
+  stop_pipeline t;
+  Array.iter (fun sh -> Osd.close sh.s_osd) t.shards;
+  match t.prefix with Some p -> Prefix_pool.release p | None -> ()
 
 (* --- lifecycle ----------------------------------------------------------- *)
 
 let traced op f =
   if Trace.enabled () then Trace.with_span ~layer:"fs" ~op f else f ()
 
+(* Placement of a NEW object: hash the placement-tag value when the
+   caller supplied one (tenant affinity — all of margo's objects land
+   together), round-robin otherwise. Affinity is a hint, never a
+   promise: queries scatter unless an Id pins them, so a name attached
+   later (or a re-placed tenant) is still found. *)
+let place t names =
+  if not (sharded t) then 0
+  else
+    let by_tag =
+      match t.config.Config.placement_tag with
+      | None -> None
+      | Some ptag ->
+          List.find_map
+            (fun (tag, v) ->
+              if Tag.equal tag ptag then Some (Router.shard_of_key t.router v)
+              else None)
+            names
+    in
+    match by_tag with
+    | Some s -> s
+    | None ->
+        let n = nshards t in
+        (((Atomic.fetch_and_add t.rr 1) mod n) + n) mod n
+
 let create ?meta ?(names = []) ?content t =
   traced "create" @@ fun () ->
-  mutate t (fun () ->
-      let oid = Osd.create_object ?meta t.osd in
-      List.iter (fun (tag, value) -> Index_store.add t.index oid tag value) names;
-      (match content with
-      | Some data when data <> "" ->
-          Osd.write t.osd oid ~off:0 data;
-          reindex t oid
-      | Some _ | None -> ());
-      oid)
+  Osd.guard (fun () ->
+      let s = place t names in
+      let sh = t.shards.(s) in
+      bump_ops sh;
+      span_route t sh (fun () ->
+          shard_exclusive sh (fun () ->
+              let l = Osd.create_object ?meta sh.s_osd in
+              List.iter
+                (fun (tag, value) -> Index_store.add sh.s_index l tag value)
+                names;
+              (match content with
+              | Some data when data <> "" ->
+                  Osd.write sh.s_osd l ~off:0 data;
+                  reindex_sh t.config sh l
+              | Some _ | None -> ());
+              note_write t sh;
+              Router.to_global t.router ~shard:s l)))
 
 let delete t oid =
   traced "delete" @@ fun () ->
-  mutate t (fun () ->
-      (* Flush any queued indexing first so a pending Index for this OID
-         does not resurrect postings after the drop. *)
-      drain_index t;
-      Index_store.drop_object t.index oid;
-      Osd.delete_object t.osd oid)
+  mutate t oid (fun sh l ->
+      (* Flush this shard's queued indexing first so a pending Index for
+         the OID does not resurrect postings after the drop. *)
+      drain_shard_index sh;
+      Index_store.drop_object sh.s_index l;
+      Osd.delete_object sh.s_osd l)
 
-let exists t oid = Osd.exists t.osd oid
-let object_count t = Osd.object_count t.osd
+let exists t oid = routed t oid (fun sh l -> Osd.exists sh.s_osd l)
+
+let object_count t =
+  Array.fold_left (fun acc sh -> acc + Osd.object_count sh.s_osd) 0 t.shards
 
 (* --- naming ----------------------------------------------------------------- *)
 
 let name t oid tag value =
   traced "name" @@ fun () ->
-  mutate t (fun () ->
-      if not (Osd.exists t.osd oid) then raise (Osd.No_such_object oid);
-      Index_store.add t.index oid tag value)
+  mutate t oid (fun sh l ->
+      if not (Osd.exists sh.s_osd l) then raise (Osd.No_such_object l);
+      Index_store.add sh.s_index l tag value)
 
 let unname t oid tag value =
   traced "unname" @@ fun () ->
-  mutate t (fun () -> Index_store.remove t.index oid tag value)
+  mutate t oid (fun sh l -> Index_store.remove sh.s_index l tag value)
 
-let names_of t oid = Index_store.values_of t.index oid
+let names_of t oid = routed t oid (fun sh l -> Index_store.values_of sh.s_index l)
+
+(* An Id pair names its shard exactly. Translating it for shard [s]:
+   the owner's local OID on the owner, an OID no object can have ("0" —
+   locals start at 1) anywhere else. The never-match form keeps
+   rewritten queries correct in ANY position, including under [Not]:
+   objects on non-owner shards do not carry that identity, so
+   [Not (Id g)] must match all of them — and Not(never) does. *)
+let local_id_value t s v =
+  match Oid.of_string v with
+  | Some g when Router.shard_of_oid t.router g = s ->
+      Oid.to_string (Router.to_local t.router g)
+  | Some _ | None -> "0"
 
 let lookup t pairs =
-  traced "lookup" @@ fun () -> Index_store.query t.index pairs
+  traced "lookup" @@ fun () ->
+  if not (sharded t) then Index_store.query (shard0 t).s_index pairs
+  else begin
+    let run_on s =
+      let sh = t.shards.(s) in
+      bump_ops sh;
+      let pairs =
+        List.map
+          (fun (tag, v) ->
+            if Tag.equal tag Tag.Id then (tag, local_id_value t s v)
+            else (tag, v))
+          pairs
+      in
+      List.map
+        (Router.to_global t.router ~shard:s)
+        (Index_store.query sh.s_index pairs)
+    in
+    (* A conjunction containing an Id pair can only match that one
+       object, so it routes to a single shard. *)
+    match
+      List.find_map
+        (fun (tag, v) ->
+          if Tag.equal tag Tag.Id then Some (Oid.of_string v) else None)
+        pairs
+    with
+    | Some None -> [] (* malformed Id value: matches nothing anywhere *)
+    | Some (Some g) ->
+        note_targeted t;
+        run_on (Router.shard_of_oid t.router g)
+    | None ->
+        note_scatter t;
+        Router.merge_sorted ~cmp:Oid.compare
+          (List.init (nshards t) run_on)
+  end
 
 let lookup_one t pairs =
   match lookup t pairs with [] -> None | oid :: _ -> Some oid
 
+(* Rewrite a boolean query for one shard: Id values translated as in
+   {!local_id_value}; every other pair is shard-agnostic. *)
+let rec rewrite_query t s q =
+  match q with
+  | Query.Pair (tag, v) when Tag.equal tag Tag.Id ->
+      Query.Pair (tag, local_id_value t s v)
+  | Query.Pair _ -> q
+  | Query.And l -> Query.And (List.map (rewrite_query t s) l)
+  | Query.Or l -> Query.Or (List.map (rewrite_query t s) l)
+  | Query.Not q -> Query.Not (rewrite_query t s q)
+
+(* A positive Id conjunct bounds the whole query to one object, hence
+   one shard. Only And spines count: an Id under Or or Not bounds
+   nothing. *)
+let rec id_target t q =
+  match q with
+  | Query.Pair (tag, v) when Tag.equal tag Tag.Id ->
+      Option.map (Router.shard_of_oid t.router) (Oid.of_string v)
+  | Query.And l -> List.find_map (id_target t) l
+  | Query.Pair _ | Query.Or _ | Query.Not _ -> None
+
 let query t q =
   traced "query" @@ fun () ->
-  shared t (fun () -> Hfad_index.Query.eval t.index q)
+  if not (sharded t) then
+    let sh = shard0 t in
+    shard_shared sh (fun () -> Query.eval sh.s_index q)
+  else begin
+    let eval_on s =
+      let sh = t.shards.(s) in
+      bump_ops sh;
+      shard_shared sh (fun () ->
+          List.map
+            (Router.to_global t.router ~shard:s)
+            (Query.eval sh.s_index (rewrite_query t s q)))
+    in
+    match id_target t q with
+    | Some s ->
+        note_targeted t;
+        eval_on s
+    | None ->
+        note_scatter t;
+        Router.merge_sorted ~cmp:Oid.compare (List.init (nshards t) eval_on)
+  end
 
-let query_string t s = query t (Hfad_index.Query.of_string s)
+let query_string t s = query t (Query.of_string s)
 
 let search t query =
   traced "search" @@ fun () ->
-  shared t (fun () -> Fulltext.search_text (Index_store.fulltext t.index) query)
-let list_names t tag ~prefix = Index_store.lookup_prefix t.index tag prefix
+  if not (sharded t) then
+    let sh = shard0 t in
+    shard_shared sh (fun () ->
+        Fulltext.search_text (Index_store.fulltext sh.s_index) query)
+  else begin
+    note_scatter t;
+    Router.merge_ranked
+      (List.init (nshards t) (fun s ->
+           let sh = t.shards.(s) in
+           bump_ops sh;
+           shard_shared sh (fun () ->
+               List.map
+                 (fun (l, score) ->
+                   (Router.to_global t.router ~shard:s l, score))
+                 (Fulltext.search_text (Index_store.fulltext sh.s_index) query))))
+  end
+
+let list_names t tag ~prefix =
+  if not (sharded t) then Index_store.lookup_prefix (shard0 t).s_index tag prefix
+  else begin
+    note_scatter t;
+    let cmp (v1, o1) (v2, o2) =
+      match String.compare v1 v2 with 0 -> Oid.compare o1 o2 | c -> c
+    in
+    Router.merge_sorted ~cmp
+      (List.init (nshards t) (fun s ->
+           let sh = t.shards.(s) in
+           bump_ops sh;
+           List.map
+             (fun (v, l) -> (v, Router.to_global t.router ~shard:s l))
+             (Index_store.lookup_prefix sh.s_index tag prefix)))
+  end
 
 (* --- access -------------------------------------------------------------------- *)
 
 let read t oid ~off ~len =
-  traced "read" @@ fun () -> Osd.read t.osd oid ~off ~len
+  traced "read" @@ fun () -> routed t oid (fun sh l -> Osd.read sh.s_osd l ~off ~len)
 
-let read_all t oid = traced "read" @@ fun () -> Osd.read_all t.osd oid
+let read_all t oid =
+  traced "read" @@ fun () -> routed t oid (fun sh l -> Osd.read_all sh.s_osd l)
 
 let write t oid ~off data =
   traced "write" @@ fun () ->
-  mutate t (fun () ->
-      Osd.write t.osd oid ~off data;
-      reindex t oid)
+  mutate t oid (fun sh l ->
+      Osd.write sh.s_osd l ~off data;
+      reindex_sh t.config sh l)
 
 let append t oid data =
   traced "append" @@ fun () ->
-  mutate t (fun () ->
-      Osd.append t.osd oid data;
-      reindex t oid)
+  mutate t oid (fun sh l ->
+      Osd.append sh.s_osd l data;
+      reindex_sh t.config sh l)
 
 let insert t oid ~off data =
-  mutate t (fun () ->
-      Osd.insert t.osd oid ~off data;
-      reindex t oid)
+  mutate t oid (fun sh l ->
+      Osd.insert sh.s_osd l ~off data;
+      reindex_sh t.config sh l)
 
 let remove_bytes t oid ~off ~len =
-  mutate t (fun () ->
-      Osd.remove_bytes t.osd oid ~off ~len;
-      reindex t oid)
+  mutate t oid (fun sh l ->
+      Osd.remove_bytes sh.s_osd l ~off ~len;
+      reindex_sh t.config sh l)
 
 let truncate t oid size =
-  mutate t (fun () ->
-      Osd.truncate t.osd oid size;
-      reindex t oid)
+  mutate t oid (fun sh l ->
+      Osd.truncate sh.s_osd l size;
+      reindex_sh t.config sh l)
 
-let size t oid = Osd.size t.osd oid
-let metadata t oid = Osd.metadata t.osd oid
-let update_metadata t oid f = mutate t (fun () -> Osd.update_metadata t.osd oid f)
+let size t oid = routed t oid (fun sh l -> Osd.size sh.s_osd l)
+let metadata t oid = routed t oid (fun sh l -> Osd.metadata sh.s_osd l)
+
+let update_metadata t oid f =
+  mutate t oid (fun sh l -> Osd.update_metadata sh.s_osd l f)
+
+let compact t oid = mutate t oid (fun sh l -> Osd.compact sh.s_osd l)
+let extent_count t oid = routed t oid (fun sh l -> Osd.extent_count sh.s_osd l)
 
 (* --- _exn conveniences ---------------------------------------------------- *)
 
@@ -314,8 +732,12 @@ let insert_exn t oid ~off data = get (insert t oid ~off data)
 let remove_bytes_exn t oid ~off ~len = get (remove_bytes t oid ~off ~len)
 let truncate_exn t oid size = get (truncate t oid size)
 let update_metadata_exn t oid f = get (update_metadata t oid f)
+let compact_exn t oid = get (compact t oid)
 
 let verify t =
-  shared t (fun () ->
-      Osd.verify t.osd;
-      Index_store.verify t.index)
+  Array.iter
+    (fun sh ->
+      shard_shared sh (fun () ->
+          Osd.verify sh.s_osd;
+          Index_store.verify sh.s_index))
+    t.shards

@@ -43,17 +43,38 @@
     thin client of this API, exactly as the paper prescribes: "a POSIX
     path is simply one name among many possible names."
 
-    Concurrency: the whole stack is single-writer / multi-reader across
-    OCaml domains. One reentrant {!Hfad_util.Rwlock} (see {!rwlock}) is
-    shared by this module, the index stores and the OSD: {!lookup},
-    {!query}, {!search}, {!read}, {!list_names} and the other read entry
-    points hold the shared side; every mutation holds the exclusive
-    side. The pipeline daemon is one more writer on the same lock — its
+    Concurrency: each shard's stack is single-writer / multi-reader
+    across OCaml domains. One reentrant {!Hfad_util.Rwlock} per shard is
+    shared by that shard's index stores and OSD: {!lookup}, {!query},
+    {!search}, {!read}, {!list_names} and the other read entry points
+    hold the shared side; every mutation holds the exclusive side. Each
+    shard's pipeline daemon is one more writer on that shard's lock — its
     group commit takes the exclusive side, so readers race it safely.
     §2.3's contrast is exactly here — resolution through this flat
     namespace contends only when someone is {e writing}, never because
     two readers share an ancestor directory; experiment C2 measures the
-    difference with the lock's contention counters. *)
+    difference with the lock's contention counters.
+
+    {b Sharding (scale-out).} [Config.shards = N > 1] partitions the
+    flat OID space over N fully independent shard stacks — each its own
+    device window, pager, journal, locks and flusher daemon — behind a
+    tag-aware router ({!Hfad_shard.Router}). A global OID encodes its
+    shard arithmetically ([global = local * N + shard]), so placement is
+    stateless and crash-stable. Single-object operations route to the
+    owning shard; naming queries route to one shard when an [Id] pair
+    pins them and scatter-gather otherwise (results are pure merges —
+    objects live on exactly one shard). New objects place by hashing the
+    {!Config.placement_tag} value when present (tenant affinity; a hint,
+    never a correctness assumption), else round-robin. {!barrier} is
+    global: it returns only when {e every} shard is durable. With
+    [shards = 1] (the default) the router vanishes and the on-disk image
+    is byte-identical to the unsharded format; {!open_existing}
+    auto-detects which kind of image it was handed, ignoring
+    [config.shards]. Per-shard health is published under a pooled
+    [fs<k>.shard<i>.*] metrics prefix (see {!metrics_prefix}); routing
+    spans ([shard.route]) and router counters ([fs<k>.router.targeted] /
+    [.scatter]) exist only on sharded stacks, so the unsharded trace and
+    metrics profile is unchanged. *)
 
 type t
 
@@ -96,6 +117,14 @@ module Config : sig
     sync_writes : bool;
         (** checkpoint after every mutation — per-op durability instead
             of group commit (default [false]) *)
+    shards : int;
+        (** independent OSD shards behind the router (default 1;
+            {!format} only — {!open_existing} reads the image's shard
+            map) *)
+    placement_tag : Hfad_index.Tag.t option;
+        (** hash this tag's value (when a {!create} supplies one) to
+            place new objects — tenant affinity (default
+            [Some Tag.User]); [None] = always round-robin *)
   }
 
   val default : t
@@ -109,6 +138,8 @@ module Config : sig
     ?batch_max_pages:int ->
     ?batch_max_age:float ->
     ?sync_writes:bool ->
+    ?shards:int ->
+    ?placement_tag:Hfad_index.Tag.t option ->
     unit ->
     t
   (** {!default} with the given fields replaced. *)
@@ -121,26 +152,76 @@ val format : ?config:Config.t -> Hfad_blockdev.Device.t -> t
 (** Make a fresh file system on a device. [config.journal_pages > 0]
     makes every durability point a crash-consistent checkpoint backed by
     a write-ahead journal of that many blocks (see
-    {!Hfad_osd.Osd.format}).
+    {!Hfad_osd.Osd.format}). [config.shards > 1] writes a shard-map
+    block at physical block 0 and formats that many equal device
+    windows, each a complete independent stack (each shard gets its own
+    [journal_pages]-block journal); [shards = 1] produces the unsharded
+    seed format, byte for byte.
     @raise Invalid_argument if the device is too small. *)
 
 val open_existing :
   ?config:Config.t -> Hfad_blockdev.Device.t -> (t, error) result
-(** Re-attach to a formatted device, running journal recovery first.
-    [config.journal_pages] is ignored — the superblock knows. *)
+(** Re-attach to a formatted device, running journal recovery first
+    (per shard, when the image is sharded). [config.journal_pages] and
+    [config.shards] are ignored — the superblock and shard map know. *)
 
 val open_existing_exn : ?config:Config.t -> Hfad_blockdev.Device.t -> t
 
+val close : t -> unit
+(** Stop the pipeline (final group commit of everything acknowledged),
+    release each shard's pooled metrics prefix, and — on a sharded stack
+    — the [fs<k>] prefix, purging the per-instance counter families from
+    the global registry. Open/close cycles therefore do not leak
+    registry entries. Idempotent. *)
+
 val config : t -> Config.t
+(** The effective configuration; [shards] reflects the opened image. *)
+
 val journaled : t -> bool
+
 val device : t -> Hfad_blockdev.Device.t
+(** The parent (whole) device, whatever the shard count. *)
+
 val osd : t -> Hfad_osd.Osd.t
+(** Shard 0's OSD — the whole stack when unsharded. Use
+    {!osd_of_shard} on sharded stacks. *)
+
 val index : t -> Hfad_index.Index_store.t
+(** Shard 0's index store (local OIDs; see {!index_of_shard}). *)
+
 val index_mode : t -> index_mode
 
 val rwlock : t -> Hfad_util.Rwlock.t
-(** The stack-wide shared/exclusive lock (the OSD's); read its
+(** Shard 0's stack-wide shared/exclusive lock (the OSD's); read its
     {!Hfad_util.Rwlock.stats} to see this instance's lock footprint. *)
+
+(** {1 Shards}
+
+    Observability into the sharded topology. On an unsharded stack
+    [shard_count = 1] and every accessor below degenerates to the
+    whole-stack object. *)
+
+val shard_count : t -> int
+
+val shard_of_oid : t -> Hfad_osd.Oid.t -> int
+(** Owning shard of a global OID (arithmetic, stable across restarts). *)
+
+val osd_of_shard : t -> int -> Hfad_osd.Osd.t
+(** Shard [i]'s OSD. Its object space is {e local} OIDs. *)
+
+val index_of_shard : t -> int -> Hfad_index.Index_store.t
+(** Shard [i]'s index store (local OIDs). *)
+
+val shard_pipeline_stats : t -> int -> Flusher.stats option
+(** Shard [i]'s own pipeline counters ([None] before any
+    {!start_pipeline}). *)
+
+val metrics_prefix : t -> string option
+(** The pooled [fs<k>] prefix under which per-shard counter families
+    ([fs<k>.shard<i>.ops] / [.acked] / [.durable] / [.commits]) and
+    router counters ([fs<k>.router.targeted] / [.scatter]) are
+    registered — [None] on an unsharded stack, which publishes no
+    per-shard families at all. *)
 
 (** {1 Durability: flush, barrier, and the write pipeline} *)
 
@@ -154,11 +235,13 @@ val flush_exn : t -> unit
 
 val barrier : t -> (unit, error) result
 (** The durability point — fsync semantics: returns [Ok ()] only once
-    every mutation acknowledged before this call is durable. With the
-    pipeline running this hands the batch to the daemon and blocks for
-    its commit; otherwise it degenerates to {!flush}. [Error] carries
-    the commit's failure (sticky while the pipeline is up — a failed
-    daemon fails every subsequent barrier until {!start_pipeline}). *)
+    every mutation acknowledged before this call is durable {e on every
+    shard}. With the pipeline running this hands each shard's batch to
+    its daemon and blocks for the commits; otherwise it degenerates to
+    {!flush}. [Error] carries the first failing shard's commit error
+    (sticky while that pipeline is up — a failed daemon fails every
+    subsequent barrier until {!start_pipeline}); the remaining shards
+    are still barriered. *)
 
 val barrier_exn : t -> unit
 
@@ -177,9 +260,12 @@ val stop_pipeline : t -> unit
     and join the daemon. No-op if not running. *)
 
 val pipeline_running : t -> bool
+(** Whether any shard's daemon is running. *)
 
 val pipeline_stats : t -> Flusher.stats option
-(** [None] when no pipeline was ever started. *)
+(** Counters summed over every shard's pipeline; [None] when no
+    pipeline was ever started (see {!shard_pipeline_stats} for one
+    shard's). *)
 
 (** {1 Object lifecycle} *)
 
@@ -275,6 +361,15 @@ val update_metadata :
 
 val update_metadata_exn :
   t -> Hfad_osd.Oid.t -> (Hfad_osd.Meta.t -> Hfad_osd.Meta.t) -> unit
+
+val compact : t -> Hfad_osd.Oid.t -> (unit, error) result
+(** Rewrite the object into the fewest extents its size allows
+    (routed to the owning shard; see {!Hfad_osd.Osd.compact}). *)
+
+val compact_exn : t -> Hfad_osd.Oid.t -> unit
+
+val extent_count : t -> Hfad_osd.Oid.t -> int
+(** Extents backing the object, on whichever shard owns it. *)
 
 (** {1 Content indexing} *)
 

@@ -7,6 +7,7 @@ module Upath = Hfad_util.Upath
 module Counter = Hfad_metrics.Counter
 module Registry = Hfad_metrics.Registry
 module Trace = Hfad_trace.Trace
+module Router = Hfad_shard.Router
 
 type errno = ENOENT | EEXIST | ENOTDIR | EISDIR | ENOTEMPTY | EINVAL
 
@@ -14,6 +15,22 @@ exception Error of errno * string
 
 let err errno context = raise (Error (errno, context))
 
+module Config = struct
+  type t = { cache_pages : int; policy : Pager.policy; shards : int }
+
+  let default = { cache_pages = 1024; policy = `Twoq; shards = 1 }
+
+  let v ?(cache_pages = default.cache_pages) ?(policy = default.policy)
+      ?(shards = default.shards) () =
+    { cache_pages; policy; shards }
+end
+
+type stat = { ino : int; kind : Inode.kind; size : int; mtime : int64 }
+
+(* One hierarchical stack on one device window — the seed implementation,
+   verbatim. The sharded wrapper below routes whole paths here by their
+   first component, so a [Single] never knows it is one of N. *)
+module Single = struct
 let itable_root_page = 1
 let data_first_block = 2
 let root_ino = 1
@@ -35,7 +52,6 @@ let c_components = Registry.counter Registry.global "hierfs.components_walked"
 let c_inode_fetches = Registry.counter Registry.global "hierfs.inode_fetches"
 let c_blockmap = Registry.counter Registry.global "hierfs.blockmap_reads"
 
-let device t = t.dev
 let pager t = t.pgr
 
 let ino_key ino = Codec.encode_i64_key (Int64.of_int ino)
@@ -81,17 +97,8 @@ let make_dir_inode t ~ino =
   put_inode t inode;
   inode
 
-module Config = struct
-  type t = { cache_pages : int; policy : Pager.policy }
-
-  let default = { cache_pages = 1024; policy = `Twoq }
-
-  let v ?(cache_pages = default.cache_pages) ?(policy = default.policy) () =
-    { cache_pages; policy }
-end
-
 let format ?(config = Config.default) dev =
-  let { Config.cache_pages; policy } = config in
+  let { Config.cache_pages; policy; _ } = config in
   if Device.blocks dev < 8 then invalid_arg "Hierfs: device too small";
   let pgr = Pager.create ~cache_pages ~policy dev in
   let buddy =
@@ -196,8 +203,6 @@ let is_directory t path =
   match resolve_inode t path with
   | inode -> inode.Inode.kind = Inode.Dir
   | exception Error _ -> false
-
-type stat = { ino : int; kind : Inode.kind; size : int; mtime : int64 }
 
 let stat t path =
   let inode = resolve_inode t path in
@@ -609,3 +614,137 @@ let verify t =
   if table_count <> Hashtbl.length seen then
     fail "inode table has %d entries but %d are reachable" table_count
       (Hashtbl.length seen)
+
+(* Releasing the pager's pooled metrics prefix is all "closing" means. *)
+let close t = Pager.close t.pgr
+end
+
+(* --- the sharded wrapper -------------------------------------------------- *)
+
+(* The baseline shards the only way a hierarchy can: by subtree. The
+   first path component names the shard (same FNV placement the flat
+   system uses for tenant tags), every deeper component stays inside it.
+   This is precisely the paper's point made executable — a tree
+   partitions at its seams, so root-level operations (readdir /,
+   find /) must visit every shard, and rename across top-level
+   subtrees cannot be done at all (EINVAL, as for a cross-device move),
+   whereas the flat OID space shards every object independently. *)
+
+type t = {
+  router : Router.t;
+  subs : Single.t array;
+  dev : Device.t;
+  config : Config.t;
+}
+
+let format ?(config = Config.default) dev =
+  let n = config.Config.shards in
+  if n < 1 || n > Router.max_shards then
+    invalid_arg
+      (Printf.sprintf "Hierfs: shards %d outside [1, %d]" n Router.max_shards);
+  let subs =
+    if n = 1 then [| Single.format ~config dev |]
+    else begin
+      let per = Device.blocks dev / n in
+      Array.init n (fun s ->
+          Single.format ~config
+            (Device.sub dev ~first_block:(s * per) ~blocks:per))
+    end
+  in
+  { router = Router.create ~shards:n; subs; dev; config }
+
+let sub0 t = t.subs.(0)
+let device t = t.dev
+let pager t = Single.pager (sub0 t)
+let allocator t = Single.allocator (sub0 t)
+let new_tree t = Single.new_tree (sub0 t)
+let close t = Array.iter Single.close t.subs
+
+(* Route a path to the shard owning its first component; the root
+   itself ([components = []]) belongs to every shard and is handled by
+   each caller below. *)
+let sub_for t path =
+  match Upath.components (Upath.normalize path) with
+  | [] -> None
+  | c :: _ -> Some t.subs.(Router.shard_of_key t.router c)
+
+let on t path f = match sub_for t path with None -> f (sub0 t) | Some s -> f s
+
+let resolve t path = on t path (fun s -> Single.resolve s path)
+let mkdir t path = on t path (fun s -> Single.mkdir s path)
+let mkdir_p t path = on t path (fun s -> Single.mkdir_p s path)
+
+let create_file ?content t path =
+  on t path (fun s -> Single.create_file ?content s path)
+
+let readdir t path =
+  match sub_for t path with
+  | Some s -> Single.readdir s path
+  | None ->
+      (* The root is the one directory every shard holds a slice of. *)
+      List.sort compare
+        (List.concat_map
+           (fun s -> Single.readdir s path)
+           (Array.to_list t.subs))
+
+let rename t old_path new_path =
+  if Upath.normalize old_path = Upath.normalize new_path then ()
+  else
+    match (sub_for t old_path, sub_for t new_path) with
+  | Some a, Some b when a == b -> Single.rename a old_path new_path
+  | None, _ | _, None -> err EINVAL old_path
+  | Some _, Some _ ->
+      (* A subtree cannot leave its shard: the hierarchy's own seams. *)
+      err EINVAL
+        (Printf.sprintf "%s -> %s crosses shards" old_path new_path)
+
+let unlink t path = on t path (fun s -> Single.unlink s path)
+let rmdir t path = on t path (fun s -> Single.rmdir s path)
+
+let exists t path =
+  match sub_for t path with Some s -> Single.exists s path | None -> true
+
+let is_directory t path =
+  match sub_for t path with
+  | Some s -> Single.is_directory s path
+  | None -> true
+
+let stat t path = on t path (fun s -> Single.stat s path)
+
+let walk_files t path =
+  match sub_for t path with
+  | Some s -> Single.walk_files s path
+  | None ->
+      List.sort compare
+        (List.concat_map
+           (fun s -> Single.walk_files s path)
+           (Array.to_list t.subs))
+
+let read_file t path = on t path (fun s -> Single.read_file s path)
+
+let read_at t path ~off ~len =
+  on t path (fun s -> Single.read_at s path ~off ~len)
+
+let write_file t path data = on t path (fun s -> Single.write_file s path data)
+
+let write_at t path ~off data =
+  on t path (fun s -> Single.write_at s path ~off data)
+
+let append t path data = on t path (fun s -> Single.append s path data)
+let truncate t path size = on t path (fun s -> Single.truncate s path size)
+
+let insert_middle t path ~off data =
+  on t path (fun s -> Single.insert_middle s path ~off data)
+
+let remove_middle t path ~off ~len =
+  on t path (fun s -> Single.remove_middle s path ~off ~len)
+
+let lock_stats t =
+  Array.fold_left
+    (fun (a, w) s ->
+      let a', w' = Single.lock_stats s in
+      (a + a', w + w'))
+    (0, 0) t.subs
+
+let reset_lock_stats t = Array.iter Single.reset_lock_stats t.subs
+let verify t = Array.iter Single.verify t.subs

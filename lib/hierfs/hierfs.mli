@@ -20,7 +20,17 @@
 
     Paths use the same normalization as the POSIX veneer. Errors reuse
     {!exception:Failure} with descriptive messages prefixed by an errno
-    name, via {!exception:Error}. *)
+    name, via {!exception:Error}.
+
+    {b Sharding.} [Config.shards = N > 1] partitions the namespace the
+    only way a hierarchy can: by {e subtree}. The first path component
+    hashes to a shard (the same router the flat system uses,
+    {!Hfad_shard.Router}); each shard is a complete independent baseline
+    stack on its own device window. The seams show, by design: root
+    operations ({!readdir} and {!walk_files} of ["/"]) must visit every
+    shard, and {!rename} across top-level subtrees raises [EINVAL] like
+    a cross-device move — whereas the flat stack shards each object
+    independently. The comparison is the point. *)
 
 type t
 
@@ -32,13 +42,20 @@ exception Error of errno * string
     experiments configure both systems the same way. *)
 module Config : sig
   type t = {
-    cache_pages : int;  (** pager frames (default 1024) *)
+    cache_pages : int;  (** pager frames, per shard (default 1024) *)
     policy : Hfad_pager.Pager.policy;
         (** page replacement (default [`Twoq]) *)
+    shards : int;  (** independent subtree shards (default 1) *)
   }
 
   val default : t
-  val v : ?cache_pages:int -> ?policy:Hfad_pager.Pager.policy -> unit -> t
+
+  val v :
+    ?cache_pages:int ->
+    ?policy:Hfad_pager.Pager.policy ->
+    ?shards:int ->
+    unit ->
+    t
 end
 
 val format : ?config:Config.t -> Hfad_blockdev.Device.t -> t
@@ -47,15 +64,22 @@ val format : ?config:Config.t -> Hfad_blockdev.Device.t -> t
     baseline-vs-hFAD comparisons run over identical caching. *)
 
 val device : t -> Hfad_blockdev.Device.t
+(** The parent (whole) device, whatever the shard count. *)
+
 val pager : t -> Hfad_pager.Pager.t
+(** Shard 0's pager (the whole stack when unsharded). *)
 
 val allocator : t -> Hfad_alloc.Buddy.t
-(** The space allocator (storage-accounting in experiments). *)
+(** Shard 0's space allocator (storage-accounting in experiments). *)
 
 val new_tree : t -> Hfad_btree.Btree.t
-(** Allocate a fresh B-tree on this file system's device (the desktop
-    search index uses one, mirroring an index "built on top of files in
-    the file system" sharing its storage and cache). *)
+(** Allocate a fresh B-tree on shard 0 (the desktop search index uses
+    one, mirroring an index "built on top of files in the file system"
+    sharing its storage and cache). *)
+
+val close : t -> unit
+(** Release each shard pager's pooled metrics prefix (registry
+    hygiene for open/close cycles). Idempotent. *)
 
 (** {1 Namespace} *)
 
@@ -70,7 +94,9 @@ val readdir : t -> string -> string list
 val rename : t -> string -> string -> unit
 (** Note: renaming a directory here is O(1) — move one entry — whereas
     the hFAD POSIX veneer re-keys the subtree. The trade-off is called
-    out in EXPERIMENTS.md. *)
+    out in EXPERIMENTS.md. On a sharded baseline a rename whose source
+    and destination hash to different shards raises [Error EINVAL]
+    (subtrees cannot leave their shard). *)
 
 val unlink : t -> string -> unit
 val rmdir : t -> string -> unit
@@ -106,7 +132,8 @@ val remove_middle : t -> string -> off:int -> len:int -> unit
 (** {1 Measurement} *)
 
 val lock_stats : t -> int * int
-(** (acquisitions, waits) of the directory lock table. *)
+(** (acquisitions, waits) of the directory lock table, summed over
+    shards. *)
 
 val reset_lock_stats : t -> unit
 

@@ -1,0 +1,96 @@
+(* Per-family id allocation: smallest released id first, else mint the
+   next fresh one. The live set makes [release] idempotent. *)
+
+type family = {
+  mutable next : int;
+  mutable free : int list;  (* sorted ascending *)
+  live : (int, unit) Hashtbl.t;
+}
+
+let mutex = Mutex.create ()
+let families : (string, family) Hashtbl.t = Hashtbl.create 8
+
+let locked f =
+  Mutex.lock mutex;
+  match f () with
+  | v ->
+      Mutex.unlock mutex;
+      v
+  | exception e ->
+      Mutex.unlock mutex;
+      raise e
+
+let family name =
+  match Hashtbl.find_opt families name with
+  | Some fam -> fam
+  | None ->
+      let fam = { next = 0; free = []; live = Hashtbl.create 8 } in
+      Hashtbl.replace families name fam;
+      fam
+
+let check_family name =
+  if name = "" then invalid_arg "Prefix_pool.acquire: empty family";
+  String.iter
+    (fun c ->
+      match c with
+      | '0' .. '9' | '.' ->
+          invalid_arg
+            (Printf.sprintf "Prefix_pool.acquire: bad family %S" name)
+      | _ -> ())
+    name
+
+let acquire name =
+  check_family name;
+  locked (fun () ->
+      let fam = family name in
+      let id =
+        match fam.free with
+        | id :: rest ->
+            fam.free <- rest;
+            id
+        | [] ->
+            let id = fam.next in
+            fam.next <- id + 1;
+            id
+      in
+      Hashtbl.replace fam.live id ();
+      Printf.sprintf "%s%d" name id)
+
+(* "pager42" -> ("pager", 42); None if the tail is not a number. *)
+let parse prefix =
+  let n = String.length prefix in
+  let rec first_digit i =
+    if i >= n then None
+    else
+      match prefix.[i] with
+      | '0' .. '9' -> Some i
+      | _ -> first_digit (i + 1)
+  in
+  match first_digit 0 with
+  | None | Some 0 -> None
+  | Some i -> (
+      match int_of_string_opt (String.sub prefix i (n - i)) with
+      | Some id when id >= 0 -> Some (String.sub prefix 0 i, id)
+      | Some _ | None -> None)
+
+let release prefix =
+  match parse prefix with
+  | None -> ()
+  | Some (name, id) ->
+      let released =
+        locked (fun () ->
+            match Hashtbl.find_opt families name with
+            | Some fam when Hashtbl.mem fam.live id ->
+                Hashtbl.remove fam.live id;
+                fam.free <- List.sort compare (id :: fam.free);
+                true
+            | Some _ | None -> false)
+      in
+      if released then
+        ignore (Registry.remove_prefix Registry.global (prefix ^ "."))
+
+let live name =
+  locked (fun () ->
+      match Hashtbl.find_opt families name with
+      | Some fam -> Hashtbl.length fam.live
+      | None -> 0)

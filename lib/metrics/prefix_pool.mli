@@ -1,0 +1,29 @@
+(** Per-instance metrics-prefix allocation with recycling.
+
+    Layers that publish per-instance counter families into the global
+    {!Registry} ([pager<N>.evictions], [fs<N>.shard<i>.ops], ...) need an
+    instance id that is unique {e among live instances} — two live pagers
+    must never write the same gauge — but ids must also be recycled, or a
+    workload that opens and closes stacks in a loop (every test, every
+    bench trial, every [hfadctl] invocation on a long-lived process)
+    grows the registry without bound and the exposition endpoint with it.
+
+    This pool hands out ["<family><id>"] prefixes from a per-family free
+    list: {!acquire} reuses the smallest released id before minting a new
+    one, and {!release} both recycles the id and purges every counter
+    registered under the prefix from {!Registry.global}. Thread-safe. *)
+
+val acquire : string -> string
+(** [acquire family] returns a prefix ["<family><id>"] (e.g. [acquire
+    "pager"] → ["pager0"]) unique among currently-live prefixes of that
+    family. @raise Invalid_argument if [family] is empty or contains a
+    digit or ['.'] (ids could not be parsed back). *)
+
+val release : string -> unit
+(** [release prefix] returns the id to its family's free list and drops
+    every [Registry.global] counter named ["<prefix>.…"]. Releasing a
+    prefix that is not currently live (double release, or a prefix never
+    acquired) is a no-op. *)
+
+val live : string -> int
+(** Number of currently-acquired prefixes of a family (registry audits). *)

@@ -43,5 +43,22 @@ let reset_all t =
   List.iter Counter.reset t.table;
   Mutex.unlock t.mutex
 
+let remove_prefix t prefix =
+  Mutex.lock t.mutex;
+  let keep, dropped =
+    List.partition
+      (fun c -> not (String.starts_with ~prefix (Counter.name c)))
+      t.table
+  in
+  t.table <- keep;
+  Mutex.unlock t.mutex;
+  List.length dropped
+
+let size t =
+  Mutex.lock t.mutex;
+  let n = List.length t.table in
+  Mutex.unlock t.mutex;
+  n
+
 let pp_diff fmt entries =
   List.iter (fun (name, v) -> Format.fprintf fmt "%s = %d@." name v) entries

@@ -34,5 +34,16 @@ val diff : t -> snapshot -> (string * int) list
 val reset_all : t -> unit
 (** Reset every registered counter to zero. *)
 
+val remove_prefix : t -> string -> int
+(** [remove_prefix t prefix] unregisters every counter whose name starts
+    with [prefix] and returns how many were dropped. Existing handles to
+    the removed counters stay usable but are no longer listed — this is
+    how per-instance counter families ([pager3.*], [fs0.shard2.*]) are
+    retired when their owner closes, so repeated open/close cycles do not
+    leak registry entries (see {!Prefix_pool}). *)
+
+val size : t -> int
+(** Number of registered counters (registry audits in tests). *)
+
 val pp_diff : Format.formatter -> (string * int) list -> unit
 (** One ["name = value"] line per entry. *)

@@ -146,6 +146,10 @@ let pager t = t.pgr
 let allocator t = t.buddy
 let rwlock t = t.lock
 
+(* Releasing the pager's pooled metrics prefix is all "closing" means —
+   the simulated device needs no teardown. Idempotent. *)
+let close t = Pager.close t.pgr
+
 (* --- superblock ------------------------------------------------------- *)
 
 let journal_blocks_of t =

@@ -179,6 +179,12 @@ val rwlock : t -> Hfad_util.Rwlock.t
     and file-system layer stacked on this OSD join the same discipline,
     and so experiments can read and reset its contention counters. *)
 
+val close : t -> unit
+(** Retire this instance's per-pager registry entries and recycle its
+    metrics prefix ({!Hfad_pager.Pager.close}). Call when done with the
+    OSD so open/close cycles do not leak registry entries. Idempotent;
+    does not flush — checkpoint first if durability is wanted. *)
+
 (** {1 Named index trees}
 
     The index stores above the OSD (Figure 1) keep their B-trees on the

@@ -135,9 +135,9 @@ let ghost_push_front sent g =
 
 (* --- construction ------------------------------------------------------- *)
 
-let next_pager_id = Atomic.make 0
-
-let metrics_prefix_of id = Printf.sprintf "pager%d" id
+(* Instance prefixes come from the recycling pool so that open/close
+   cycles and multi-shard stacks can neither collide on a live prefix
+   nor leak registry entries (see {!Hfad_metrics.Prefix_pool}). *)
 
 let create ?(cache_pages = 1024) ?(no_steal = false) ?(policy = `Twoq) ?kin
     ?kout dev =
@@ -149,8 +149,7 @@ let create ?(cache_pages = 1024) ?(no_steal = false) ?(policy = `Twoq) ?kin
   let kout =
     match kout with Some k -> max 0 k | None -> max 1 (cache_pages / 2)
   in
-  let id = Atomic.fetch_and_add next_pager_id 1 in
-  let prefix = metrics_prefix_of id in
+  let prefix = Hfad_metrics.Prefix_pool.acquire "pager" in
   let gauge name = Registry.counter Registry.global (prefix ^ "." ^ name) in
   {
     dev;
@@ -196,6 +195,8 @@ let policy t = t.policy
 let metrics_prefix t =
   let n = Counter.name t.m_evictions in
   String.sub n 0 (String.index n '.')
+
+let close t = Hfad_metrics.Prefix_pool.release (metrics_prefix t)
 
 (* Republish queue occupancies and the scan-resistance gauge. Called
    inside the frame-table lock after structural changes; four atomic

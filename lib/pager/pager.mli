@@ -166,6 +166,15 @@ val metrics_prefix : t -> string
     {!Hfad_metrics.Registry.global} under a unique prefix (e.g.
     ["pager3"]): [<prefix>.evictions], [<prefix>.ghost_hits],
     [<prefix>.a1in], [<prefix>.a1out], [<prefix>.am],
-    [<prefix>.scan_resistance_pct]. *)
+    [<prefix>.scan_resistance_pct]. Prefixes are pool-allocated
+    ({!Hfad_metrics.Prefix_pool}): unique among live pagers, recycled by
+    {!close}. *)
+
+val close : t -> unit
+(** Retire this pager's registry entries and return its metrics prefix
+    to the pool. Call when the owning stack is done with the pager —
+    open/close cycles then neither leak registry entries nor collide on
+    prefixes. Idempotent; the pager's frames remain usable, only its
+    metrics identity is released. *)
 
 val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,80 @@
+module Oid = Hfad_osd.Oid
+
+type t = { shards : int }
+
+let max_shards = 4096
+
+let create ~shards =
+  if shards < 1 || shards > max_shards then
+    invalid_arg
+      (Printf.sprintf "Router.create: shards %d outside [1, %d]" shards
+         max_shards);
+  { shards }
+
+let shards t = t.shards
+
+(* global = local * shards + shard. Locals are >= 1 (Oid.first), so
+   globals are >= shards and the encoding never collides with itself
+   across shards; with shards = 1 both directions are the identity. *)
+let shard_of_oid t oid =
+  Int64.to_int (Int64.rem (Oid.to_int64 oid) (Int64.of_int t.shards))
+
+let to_local t oid =
+  if t.shards = 1 then oid
+  else Oid.of_int64 (Int64.div (Oid.to_int64 oid) (Int64.of_int t.shards))
+
+let to_global t ~shard oid =
+  if t.shards = 1 then oid
+  else
+    Oid.of_int64
+      (Int64.add
+         (Int64.mul (Oid.to_int64 oid) (Int64.of_int t.shards))
+         (Int64.of_int shard))
+
+(* FNV-1a over the key bytes: fast, dependency-free, and stable — the
+   same tenant value places on the same shard in every process. *)
+let shard_of_key t key =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001b3L)
+    key;
+  let v = Int64.rem !h (Int64.of_int t.shards) in
+  Int64.to_int (if Int64.compare v 0L < 0 then Int64.add v (Int64.of_int t.shards) else v)
+
+(* K-way merge via repeated head selection: the shard count is small
+   (<= 4096, typically <= 8), so a heap buys nothing. *)
+let merge_sorted ~cmp lists =
+  let rec go acc lists =
+    let best =
+      List.fold_left
+        (fun best l ->
+          match (l, best) with
+          | [], _ -> best
+          | x :: _, None -> Some x
+          | x :: _, Some b -> if cmp x b < 0 then Some x else best)
+        None lists
+    in
+    match best with
+    | None -> List.rev acc
+    | Some x ->
+        let dropped = ref false in
+        let lists =
+          List.map
+            (fun l ->
+              match l with
+              | y :: rest when (not !dropped) && cmp y x = 0 ->
+                  dropped := true;
+                  rest
+              | l -> l)
+            lists
+        in
+        go (x :: acc) lists
+  in
+  match lists with [] -> [] | [ l ] -> l | lists -> go [] lists
+
+let ranked_cmp (a, sa) (b, sb) =
+  match compare sb sa with 0 -> compare a b | c -> c
+
+let merge_ranked lists = merge_sorted ~cmp:ranked_cmp lists

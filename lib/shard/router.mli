@@ -1,0 +1,70 @@
+(** The shard router: OID → shard placement and scatter-gather merges.
+
+    Once hierarchy is gone, the whole system keys on flat object IDs —
+    and a flat key space hash-partitions trivially (Yodaiken's "a tree
+    folded into a map" observation, taken one step further: a map
+    partitions where a tree tangles). The router is the {e only} piece
+    of the sharded stack that knows how many shards exist; each shard
+    underneath is a fully independent OSD stack (own device window, own
+    pager, own journal, own flusher daemon, own locks) that still
+    believes it owns a dense local OID space.
+
+    {b Placement is arithmetic, not state.} A global OID encodes its
+    shard: [global = local * shards + shard]. Routing an existing OID is
+    [global mod shards]; translating for the owning shard is
+    [global / shards]. Both are pure functions of the OID and the shard
+    count, so placement is deterministic, stable across restarts, and
+    needs no placement table to recover after a crash. With [shards = 1]
+    every translation is the identity and the whole layer vanishes —
+    which is what makes a 1-shard image byte-identical to the unsharded
+    format.
+
+    {b Tag affinity.} New objects land on a shard chosen from a
+    distinguished placement tag value when one is present (all of tenant
+    [margo]'s objects hash to one shard — cache and journal locality),
+    falling back to round-robin. This is an affinity {e hint} only:
+    queries never assume it, so arbitrary tags stay correct under
+    scatter-gather. The one routing fast path queries may take is the
+    [Id] tag, whose value {e is} the OID and therefore names its shard
+    exactly. *)
+
+type t
+
+val max_shards : int
+(** Upper bound on the shard count (4096). *)
+
+val create : shards:int -> t
+(** @raise Invalid_argument unless [1 <= shards <= max_shards]. *)
+
+val shards : t -> int
+
+(** {1 OID translation} *)
+
+val shard_of_oid : t -> Hfad_osd.Oid.t -> int
+(** Owning shard of a global OID — pure, stable across restarts. *)
+
+val to_local : t -> Hfad_osd.Oid.t -> Hfad_osd.Oid.t
+(** Global OID → the owning shard's local OID. *)
+
+val to_global : t -> shard:int -> Hfad_osd.Oid.t -> Hfad_osd.Oid.t
+(** A shard's local OID → global OID. [to_global ~shard:(shard_of_oid t
+    g) (to_local t g) = g] for every [g]; with one shard both are the
+    identity. *)
+
+(** {1 Key placement} *)
+
+val shard_of_key : t -> string -> int
+(** Deterministic shard for a placement-tag value (FNV-1a hash).
+    Same key → same shard, across processes and restarts. *)
+
+(** {1 Scatter-gather merges}
+
+    Per-shard result lists are disjoint (every object lives on exactly
+    one shard), so cross-shard query results are pure merges. *)
+
+val merge_sorted : cmp:('a -> 'a -> int) -> 'a list list -> 'a list
+(** K-way merge of per-shard lists, each already sorted by [cmp]. *)
+
+val merge_ranked : ('a * float) list list -> ('a * float) list
+(** Merge ranked results (score descending, then [compare] on the
+    payload ascending — the full-text search order). *)

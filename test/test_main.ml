@@ -17,6 +17,7 @@ let () =
       ("posix-model", Test_posix_model.suite);
       ("hierfs", Test_hierfs.suite);
       ("workload", Test_workload.suite);
+      ("shard", Test_shard.suite);
       ("failures", Test_failures.suite);
       ("journal", Test_journal.suite);
       ("concurrency", Test_concurrency.suite);
