@@ -23,7 +23,9 @@ let filler i =
 
 let hier_cost ~depth =
   let dev = Device.create ~block_size:1024 ~blocks:65536 () in
-  let h = H.format ~config:(H.Config.v ~cache_pages:2048 ()) dev in
+  (* pathcache off: this experiment reproduces the paper's claim about
+     the uncached component walk; R1 measures the memo. *)
+  let h = H.format ~config:(H.Config.v ~cache_pages:2048 ~pathcache_entries:0 ()) dev in
   let dir =
     String.concat "" (List.init depth (fun i -> Printf.sprintf "/level%d" i))
   in

@@ -37,7 +37,9 @@ let path u f = Printf.sprintf "/home/user%d/file%02d.txt" u f
 
 let build_hier () =
   let dev = Device.create ~block_size:1024 ~blocks:65536 () in
-  let h = H.format ~config:(H.Config.v ~cache_pages:4096 ()) dev in
+  (* pathcache off: this experiment reproduces the paper's claim about
+     the uncached component walk; R1 measures the memo. *)
+  let h = H.format ~config:(H.Config.v ~cache_pages:4096 ~pathcache_entries:0 ()) dev in
   for u = 0 to users - 1 do
     H.mkdir_p h (Printf.sprintf "/home/user%d" u);
     for f = 0 to files_per_user - 1 do
@@ -53,7 +55,9 @@ let build_hier () =
 let build_hfad () =
   let dev = Device.create ~block_size:1024 ~blocks:65536 () in
   let fs = Fs.format ~config:(Fs.Config.v ~cache_pages:4096 ~index_mode:Fs.Off ()) dev in
-  let posix = P.mount fs in
+  (* pathcache off on this side too: C2 counts the seed's per-resolve
+     lock/descent footprint; R1 measures the memo. *)
+  let posix = P.mount ~pathcache_entries:0 fs in
   for u = 0 to users - 1 do
     P.mkdir_p posix (Printf.sprintf "/home/user%d" u);
     for f = 0 to files_per_user - 1 do

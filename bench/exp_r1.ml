@@ -1,0 +1,185 @@
+(* R1 — what the full-path resolution cache buys (PR 7).
+
+   §3.1.1 argues a POSIX path is "simply one name among many": the flat
+   stack resolves /a/b/.../leaf with ONE index descent regardless of
+   depth, while the hierarchical baseline walks component-at-a-time —
+   the C1/C2 story. The pathcache (DESIGN.md §11) attacks the same gap
+   from the other side: memoize the walk, so a WARM hierarchical
+   resolve is one hashed hit plus one inode-table fetch.
+
+   Per depth d we build a d-deep chain with a leaf file on both stacks
+   and measure the per-resolve cost in B-tree root-to-leaf descents
+   (the depth-independent unit C1 established) plus wall clock:
+
+     hier/cold    baseline, pathcache disabled  (the seed's walk)
+     hier/warm    baseline, pathcache hit
+     native       Fs.lookup_one on the POSIX tag (no veneer cache)
+     veneer/warm  POSIX veneer pathcache hit    (zero descents)
+
+   Asserted EVERY run (counters, so smoke and CI enforce it too):
+   at depth >= 8 the warm hierarchical resolve costs at most 2x the
+   native descent count, the cold walk costs at least 5x native, and
+   the native tag path still beats the cold walk outright — the cache
+   narrows the gap; it does not beat the design. *)
+
+module Device = Hfad_blockdev.Device
+module Fs = Hfad.Fs
+module Tag = Hfad_index.Tag
+module H = Hfad_hierfs.Hierfs
+module P = Hfad_posix.Posix_fs
+open Bench_util
+
+let chain depth =
+  String.concat "" (List.init depth (fun i -> Printf.sprintf "/d%02d" i))
+
+let leaf depth = chain depth ^ "/leaf.txt"
+
+(* Per-resolve B-tree descents and median wall clock over [reps]. *)
+let measure ~reps f =
+  ignore (f ());
+  (* warm page cache / pathcache identically for every variant *)
+  let (), deltas =
+    counters_of (fun () ->
+        for _ = 1 to reps do
+          ignore (Sys.opaque_identity (f ()))
+        done)
+  in
+  let per name = float_of_int (counter deltas name) /. float_of_int reps in
+  (per "btree.descents", per "hierfs.components_walked", median_us ~n:11 f)
+
+let hier_costs ~depth ~reps ~pathcache_entries =
+  let dev = Device.create ~block_size:1024 ~blocks:65536 () in
+  let h =
+    H.format ~config:(H.Config.v ~cache_pages:2048 ~pathcache_entries ()) dev
+  in
+  H.mkdir_p h (chain depth);
+  ignore (H.create_file ~content:"payload" h (leaf depth));
+  let costs = measure ~reps (fun () -> H.resolve h (leaf depth)) in
+  H.close h;
+  costs
+
+let flat_costs ~depth ~reps =
+  let dev = Device.create ~block_size:1024 ~blocks:65536 () in
+  let fs =
+    Fs.format ~config:(Fs.Config.v ~cache_pages:2048 ~index_mode:Fs.Off ()) dev
+  in
+  let p = P.mount fs in
+  P.mkdir_p p (chain depth);
+  ignore (P.create_file ~content:"payload" p (leaf depth));
+  (* native: the raw one-descent tag lookup, no memo in front *)
+  let native =
+    measure ~reps (fun () ->
+        match Fs.lookup_one fs [ (Tag.Posix, leaf depth) ] with
+        | Some oid -> oid
+        | None -> assert false)
+  in
+  let veneer_warm = measure ~reps (fun () -> P.resolve p (leaf depth)) in
+  P.unmount p;
+  (native, veneer_warm)
+
+let run () =
+  heading "R1: deep-path resolution, cold walk vs pathcache vs native lookup";
+  say "per-resolve B-tree descents (depth-independent unit from C1) and";
+  say "median wall clock; hier/warm and veneer/warm hit the full-path memo.";
+  say "";
+  let reps = scaled 64 ~smoke:8 in
+  let depths = if !smoke then [ 2; 8 ] else [ 2; 4; 8; 12; 16 ] in
+  let results =
+    List.map
+      (fun depth ->
+        let cd, cc, cus = hier_costs ~depth ~reps ~pathcache_entries:0 in
+        let wd, wc, wus = hier_costs ~depth ~reps ~pathcache_entries:512 in
+        let (nd, _, nus), (vd, _, vus) = flat_costs ~depth ~reps in
+        (depth, (cd, cc, cus), (wd, wc, wus), (nd, nus), (vd, vus)))
+      depths
+  in
+  table
+    ([
+       [
+         "depth"; "variant"; "descents/op"; "components/op"; "median";
+       ];
+     ]
+    @ List.concat_map
+        (fun (depth, (cd, cc, cus), (wd, wc, wus), (nd, nus), (vd, vus)) ->
+          [
+            [ fmt_int depth; "hier/cold"; fmt_f2 cd; fmt_f2 cc; fmt_us cus ];
+            [ ""; "hier/warm"; fmt_f2 wd; fmt_f2 wc; fmt_us wus ];
+            [ ""; "native"; fmt_f2 nd; "0.00"; fmt_us nus ];
+            [ ""; "veneer/warm"; fmt_f2 vd; "0.00"; fmt_us vus ];
+          ])
+        results);
+  say "";
+  (* The contract this bench exists to enforce, on every run. *)
+  List.iter
+    (fun (depth, (cd, _, _), (wd, _, _), (nd, _), _) ->
+      if depth >= 8 then begin
+        if wd > 2.0 *. nd then
+          failwith
+            (Printf.sprintf
+               "R1: depth %d warm hier resolve costs %.2f descents/op, > 2x \
+                native (%.2f)"
+               depth wd nd);
+        if cd < 5.0 *. nd then
+          failwith
+            (Printf.sprintf
+               "R1: depth %d cold hier walk costs only %.2f descents/op, < 5x \
+                native (%.2f) — the baseline stopped being a baseline"
+               depth cd nd);
+        if cd <= nd then
+          failwith
+            (Printf.sprintf
+               "R1: depth %d native lookup (%.2f) no longer beats the cold \
+                walk (%.2f)"
+               depth nd cd)
+      end)
+    results;
+  say "asserted: at depth >= 8, warm hier <= 2x native descents, cold hier";
+  say ">= 5x native, and the native tag path still wins cold.";
+  emit_json ~id:"R1"
+    [
+      ("experiment", Jstring "R1");
+      ("unit", Jstring "btree descents per resolve; wall clock us");
+      ("reps", Jint reps);
+      ( "depths",
+        Jlist
+          (List.map
+             (fun (depth, (cd, cc, cus), (wd, wc, wus), (nd, nus), (vd, vus)) ->
+               Jobj
+                 [
+                   ("depth", Jint depth);
+                   ( "hier_cold",
+                     Jobj
+                       [
+                         ("descents_per_op", Jfloat cd);
+                         ("components_per_op", Jfloat cc);
+                         ("median_us", Jfloat cus);
+                       ] );
+                   ( "hier_warm",
+                     Jobj
+                       [
+                         ("descents_per_op", Jfloat wd);
+                         ("components_per_op", Jfloat wc);
+                         ("median_us", Jfloat wus);
+                       ] );
+                   ( "native",
+                     Jobj
+                       [
+                         ("descents_per_op", Jfloat nd);
+                         ("median_us", Jfloat nus);
+                       ] );
+                   ( "veneer_warm",
+                     Jobj
+                       [
+                         ("descents_per_op", Jfloat vd);
+                         ("median_us", Jfloat vus);
+                       ] );
+                 ])
+             results) );
+      ( "asserted",
+        Jobj
+          [
+            ("warm_hier_within_2x_native_at_depth_ge8", Jbool true);
+            ("cold_hier_at_least_5x_native_at_depth_ge8", Jbool true);
+            ("native_beats_cold_walk", Jbool true);
+          ] );
+    ]

@@ -7,11 +7,11 @@
 
    Pass experiment ids to run a subset:
      dune exec bench/main.exe -- C1 C3
-   Ids: F1 P1 T1 C1 C2 C3 C4 C5 C6 M1 A1 J1 W1 W2 O1 micro
+   Ids: F1 P1 T1 C1 C2 C3 C4 C5 C6 M1 A1 J1 W1 W2 O1 R1 micro
 
    [--json] additionally writes BENCH_<id>.json files (machine-readable
    results) for the experiments that support it — currently C2, P1, W1,
-   W2 and O1 (which also exports O1.trace.json, a Chrome trace_event
+   W2, R1 and O1 (which also exports O1.trace.json, a Chrome trace_event
    file).
 
    [--smoke] runs every experiment at a tiny problem size as a bit-rot
@@ -36,6 +36,7 @@ let experiments =
     ("W1", Exp_w1.run);
     ("W2", Exp_w2.run);
     ("O1", Exp_o1.run);
+    ("R1", Exp_r1.run);
     ("micro", Micro.run);
   ]
 

@@ -36,7 +36,9 @@ let make_tests () =
   (* hFAD fixture *)
   let fdev = Device.create ~block_size:4096 ~blocks:131072 () in
   let fs = Fs.format ~config:(Fs.Config.v ~cache_pages:8192 ~index_mode:Fs.Eager ()) fdev in
-  let posix = P.mount fs in
+  (* resolution memos off: these rows measure the resolution MECHANISMS
+     (one tag descent vs the component walk); R1 measures the memo. *)
+  let posix = P.mount ~pathcache_entries:0 fs in
   P.mkdir_p posix "/a/b/c/d/e/f";
   ignore (P.create_file ~content:"deep" posix deep_path);
   let oid =
@@ -52,7 +54,7 @@ let make_tests () =
   let big = Fs.create_exn fs_off ~content:(String.make 1_048_576 'x') in
   (* hierarchical fixture *)
   let hdev = Device.create ~block_size:4096 ~blocks:131072 () in
-  let h = H.format ~config:(H.Config.v ~cache_pages:8192 ()) hdev in
+  let h = H.format ~config:(H.Config.v ~cache_pages:8192 ~pathcache_entries:0 ()) hdev in
   H.mkdir_p h "/a/b/c/d/e/f";
   ignore (H.create_file ~content:"deep" h deep_path);
   ignore (H.create_file ~content:(String.make 1_048_576 'x') h "/big");

@@ -35,6 +35,7 @@ let with_image ?(write = false) image f =
     Fs.flush_exn fs;
     Device.save dev image
   end;
+  P.unmount posix;
   result
 
 let handle_errors f =
@@ -312,7 +313,7 @@ let stat_cmd =
 
 let show_info image =
   handle_errors (fun () ->
-      with_image image (fun fs _posix ->
+      with_image image (fun fs posix ->
           let dev = Fs.device fs in
           say "device : %d blocks x %d bytes (%d KiB)" (Device.blocks dev)
             (Device.block_size dev)
@@ -334,7 +335,28 @@ let show_info image =
               stats.Hfad_alloc.Buddy.free_blocks
               stats.Hfad_alloc.Buddy.total_blocks
               (Hfad_alloc.Buddy.fragmentation buddy)
-          done))
+          done;
+          (* Resolution cache: resolve the whole namespace twice so the
+             occupancy and hit-rate lines mean something in a fresh
+             process (first pass fills, second pass hits). *)
+          match P.pathcache_stats posix with
+          | None -> ()
+          | Some _ ->
+              let paths = List.map fst (P.walk posix "/") in
+              for _ = 1 to 2 do
+                List.iter (fun p -> ignore (P.exists posix p)) paths
+              done;
+              (match P.pathcache_stats posix with
+              | Some s ->
+                  let module PC = Hfad_pathcache.Pathcache in
+                  let looked = s.PC.hits + s.PC.misses in
+                  say
+                    "pathcache: %d entries, %d hits / %d lookups (hit rate \
+                     %.0f%%)"
+                    s.PC.entries s.PC.hits looked
+                    (if looked = 0 then 100.0
+                     else 100.0 *. float_of_int s.PC.hits /. float_of_int looked)
+              | None -> ())))
 
 let info_cmd =
   Cmd.v (Cmd.info "info" ~doc:"Show image statistics.")

@@ -26,6 +26,12 @@ dune exec test/test_main.exe -- test pipeline -e
 # the suite guards recording semantics (nesting, ring bounds, exporters).
 dune exec test/test_main.exe -- test trace -e
 
+# Pathcache gate: the resolution-cache suite (2Q bounds, normalization
+# properties, rename/unlink invalidation on both stacks, the sharded
+# EINVAL case, and the rename(x,x) ENOENT regression) runs loudly on
+# its own — a stale-cache bug is a correctness bug, not a perf bug.
+dune exec test/test_main.exe -- test pathcache -e
+
 # Shard gate: the router/sharded-Fs suite (oid arithmetic, the
 # shards=1 byte-identity property, cross-shard barriers under
 # concurrent writers, the metrics prefix-pool audit) runs loudly on
@@ -42,5 +48,10 @@ dune exec bench/main.exe -- --smoke
 # shard counts on its own, so a router or scatter-gather regression
 # fails this line and not just the (noisier) full smoke above.
 dune exec bench/main.exe -- --smoke W2
+
+# Resolution-cache smoke gate: R1 asserts on every run that at depth >=8
+# the warm hierarchical resolve costs <= 2x the native descent count,
+# the cold walk costs >= 5x, and the native tag path still wins cold.
+dune exec bench/main.exe -- --smoke R1
 
 echo "check.sh: OK"

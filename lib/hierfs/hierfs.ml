@@ -8,6 +8,7 @@ module Counter = Hfad_metrics.Counter
 module Registry = Hfad_metrics.Registry
 module Trace = Hfad_trace.Trace
 module Router = Hfad_shard.Router
+module Pathcache = Hfad_pathcache.Pathcache
 
 type errno = ENOENT | EEXIST | ENOTDIR | EISDIR | ENOTEMPTY | EINVAL
 
@@ -16,13 +17,20 @@ exception Error of errno * string
 let err errno context = raise (Error (errno, context))
 
 module Config = struct
-  type t = { cache_pages : int; policy : Pager.policy; shards : int }
+  type t = {
+    cache_pages : int;
+    policy : Pager.policy;
+    shards : int;
+    pathcache_entries : int;
+  }
 
-  let default = { cache_pages = 1024; policy = `Twoq; shards = 1 }
+  let default =
+    { cache_pages = 1024; policy = `Twoq; shards = 1; pathcache_entries = 512 }
 
   let v ?(cache_pages = default.cache_pages) ?(policy = default.policy)
-      ?(shards = default.shards) () =
-    { cache_pages; policy; shards }
+      ?(shards = default.shards)
+      ?(pathcache_entries = default.pathcache_entries) () =
+    { cache_pages; policy; shards; pathcache_entries }
 end
 
 type stat = { ino : int; kind : Inode.kind; size : int; mtime : int64 }
@@ -46,6 +54,10 @@ type t = {
   mutable clock : int64;
   block_size : int;
   dir_handles : (int, Btree.t) Hashtbl.t;
+  (* Full-path -> ino memo (None when disabled). Inode numbers are never
+     reused, so even a missed invalidation fails safe (ENOENT), but the
+     mutation paths below invalidate precisely anyway. *)
+  pcache : int Pathcache.t option;
 }
 
 let c_components = Registry.counter Registry.global "hierfs.components_walked"
@@ -98,7 +110,7 @@ let make_dir_inode t ~ino =
   inode
 
 let format ?(config = Config.default) dev =
-  let { Config.cache_pages; policy; _ } = config in
+  let { Config.cache_pages; policy; pathcache_entries; _ } = config in
   if Device.blocks dev < 8 then invalid_arg "Hierfs: device too small";
   let pgr = Pager.create ~cache_pages ~policy dev in
   let buddy =
@@ -125,6 +137,10 @@ let format ?(config = Config.default) dev =
       clock = 0L;
       block_size = Device.block_size dev;
       dir_handles = Hashtbl.create 64;
+      pcache =
+        (if pathcache_entries > 0 then
+           Some (Pathcache.create ~capacity:pathcache_entries ())
+         else None);
     }
   in
   let root = alloc_ino t in
@@ -177,22 +193,46 @@ let dir_entries t dir =
 
 let resolve_inode t path =
   let go () =
-    let rec walk inode = function
-      | [] -> inode
-      | comp :: rest ->
-          if inode.Inode.kind <> Inode.Dir then err ENOTDIR path
-          else (
-            match dir_lookup t inode comp with
-            | None -> err ENOENT path
-            | Some ino -> walk (get_inode t ino) rest)
+    let walk_resolve () =
+      let rec walk inode = function
+        | [] -> inode
+        | comp :: rest ->
+            if inode.Inode.kind <> Inode.Dir then err ENOTDIR path
+            else (
+              match dir_lookup t inode comp with
+              | None -> err ENOENT path
+              | Some ino -> walk (get_inode t ino) rest)
+      in
+      walk (get_inode t root_ino) (Upath.components path)
     in
-    walk (get_inode t root_ino) (Upath.components path)
+    match t.pcache with
+    | None -> walk_resolve ()
+    | Some pc -> (
+        (* A memoized hit replaces the per-component descent with one
+           inode-table fetch; only successful full-path resolutions are
+           cached (never negatives, never intermediate components). *)
+        match Pathcache.find pc path with
+        | Some ino -> get_inode t ino
+        | None ->
+            let inode = walk_resolve () in
+            Pathcache.add pc path inode.Inode.ino;
+            inode)
   in
   if Trace.enabled () then
     Trace.with_span ~layer:"hierfs" ~op:"resolve"
       ~attrs:[ ("path", path) ]
       go
   else go ()
+
+let inval t path =
+  match t.pcache with Some pc -> Pathcache.invalidate pc path | None -> ()
+
+let inval_prefix t path =
+  match t.pcache with
+  | Some pc -> Pathcache.invalidate_prefix pc path
+  | None -> ()
+
+let pathcache_stats t = Option.map Pathcache.stats t.pcache
 
 let resolve t path = (resolve_inode t path).Inode.ino
 
@@ -228,7 +268,9 @@ let mkdir t path =
   | Some _ -> err EEXIST path
   | None -> ());
   let inode = make_dir_inode t ~ino:(alloc_ino t) in
-  dir_insert t parent name inode.Inode.ino
+  dir_insert t parent name inode.Inode.ino;
+  (* Negatives are never cached, so this is defensive only. *)
+  inval t path
 
 let rec mkdir_p t path =
   let path = Upath.normalize path in
@@ -246,6 +288,7 @@ let create_inode_file t path =
   inode.Inode.mtime <- tick t;
   put_inode t inode;
   dir_insert t parent name inode.Inode.ino;
+  inval t path;
   inode
 
 let readdir t path =
@@ -535,7 +578,8 @@ let unlink t path =
       let inode = get_inode t ino in
       if inode.Inode.kind = Inode.Dir then err EISDIR path;
       ignore (dir_remove t parent name);
-      free_inode t inode
+      free_inode t inode;
+      inval t path
 
 let rmdir t path =
   let parent, name = parent_and_name t path in
@@ -546,12 +590,17 @@ let rmdir t path =
       if inode.Inode.kind <> Inode.Dir then err ENOTDIR path;
       if dir_entries t inode <> [] then err ENOTEMPTY path;
       ignore (dir_remove t parent name);
-      free_inode t inode
+      free_inode t inode;
+      (* The directory is empty, so exact invalidation would suffice;
+         the prefix form keeps removal of a subtree root uniform. *)
+      inval_prefix t path
 
 let rename t old_path new_path =
   let old_path = Upath.normalize old_path
   and new_path = Upath.normalize new_path in
-  if old_path = new_path then ()
+  if old_path = new_path then
+    (* POSIX: rename(x, x) is a no-op only when x exists. *)
+    (if old_path <> "/" then ignore (resolve_inode t old_path))
   else begin
     if Upath.is_ancestor ~ancestor:old_path new_path then err EINVAL new_path;
     let old_parent, old_name = parent_and_name t old_path in
@@ -562,9 +611,14 @@ let rename t old_path new_path =
         (match dir_lookup t new_parent new_name with
         | Some _ -> err EEXIST new_path
         | None -> ());
+        let is_dir = (get_inode t ino).Inode.kind = Inode.Dir in
         (* O(1): hierarchical namespaces pay nothing to move a subtree. *)
         ignore (dir_remove t old_parent old_name);
-        dir_insert t new_parent new_name ino)
+        dir_insert t new_parent new_name ino;
+        (* A moved directory leaves every cached descendant stale; a
+           moved file only its own entry. The new path was absent and
+           negatives are never cached, so it needs nothing. *)
+        if is_dir then inval_prefix t old_path else inval t old_path)
   end
 
 (* --- traversal + verification ----------------------------------------------------------------- *)
@@ -615,8 +669,11 @@ let verify t =
     fail "inode table has %d entries but %d are reachable" table_count
       (Hashtbl.length seen)
 
-(* Releasing the pager's pooled metrics prefix is all "closing" means. *)
-let close t = Pager.close t.pgr
+(* Releasing the pager's and pathcache's pooled metrics prefixes is all
+   "closing" means. *)
+let close t =
+  (match t.pcache with Some pc -> Pathcache.close pc | None -> ());
+  Pager.close t.pgr
 end
 
 (* --- the sharded wrapper -------------------------------------------------- *)
@@ -688,13 +745,20 @@ let readdir t path =
            (Array.to_list t.subs))
 
 let rename t old_path new_path =
-  if Upath.normalize old_path = Upath.normalize new_path then ()
+  if Upath.normalize old_path = Upath.normalize new_path then
+    (* Route the no-op to the owning shard so a missing source still
+       raises ENOENT (POSIX: rename(x, x) succeeds only when x exists). *)
+    (match sub_for t old_path with
+    | Some s -> Single.rename s old_path new_path
+    | None -> ())
   else
     match (sub_for t old_path, sub_for t new_path) with
   | Some a, Some b when a == b -> Single.rename a old_path new_path
   | None, _ | _, None -> err EINVAL old_path
   | Some _, Some _ ->
-      (* A subtree cannot leave its shard: the hierarchy's own seams. *)
+      (* A subtree cannot leave its shard: the hierarchy's own seams.
+         The failed rename mutates nothing, so no shard's pathcache
+         needs invalidation — old paths keep resolving. *)
       err EINVAL
         (Printf.sprintf "%s -> %s crosses shards" old_path new_path)
 
@@ -748,3 +812,22 @@ let lock_stats t =
 
 let reset_lock_stats t = Array.iter Single.reset_lock_stats t.subs
 let verify t = Array.iter Single.verify t.subs
+
+(* Per-shard pathcache stats, summed (each shard caches the subtree the
+   router gave it, so the union covers the whole namespace). *)
+let pathcache_stats t =
+  Array.fold_left
+    (fun acc s ->
+      match (acc, Single.pathcache_stats s) with
+      | None, x | x, None -> x
+      | Some (a : Pathcache.stats), Some b ->
+          Some
+            {
+              Pathcache.hits = a.Pathcache.hits + b.Pathcache.hits;
+              misses = a.Pathcache.misses + b.Pathcache.misses;
+              insertions = a.Pathcache.insertions + b.Pathcache.insertions;
+              invalidations =
+                a.Pathcache.invalidations + b.Pathcache.invalidations;
+              entries = a.Pathcache.entries + b.Pathcache.entries;
+            })
+    None t.subs

@@ -46,6 +46,9 @@ module Config : sig
     policy : Hfad_pager.Pager.policy;
         (** page replacement (default [`Twoq]) *)
     shards : int;  (** independent subtree shards (default 1) *)
+    pathcache_entries : int;
+        (** full-path → inode memo capacity, per shard (default 512;
+            0 disables — the seed's pure component-at-a-time walk) *)
   }
 
   val default : t
@@ -54,6 +57,7 @@ module Config : sig
     ?cache_pages:int ->
     ?policy:Hfad_pager.Pager.policy ->
     ?shards:int ->
+    ?pathcache_entries:int ->
     unit ->
     t
 end
@@ -84,8 +88,11 @@ val close : t -> unit
 (** {1 Namespace} *)
 
 val resolve : t -> string -> int
-(** Inode number behind a path: the component-at-a-time walk.
-    @raise Error ENOENT / ENOTDIR. *)
+(** Inode number behind a path: the component-at-a-time walk, memoized
+    by a per-shard {!Hfad_pathcache.Pathcache} when
+    [Config.pathcache_entries > 0] (a warm resolve is then one
+    inode-table fetch regardless of depth; mutations invalidate
+    precisely — see DESIGN.md §11). @raise Error ENOENT / ENOTDIR. *)
 
 val mkdir : t -> string -> unit
 val mkdir_p : t -> string -> unit
@@ -134,6 +141,10 @@ val remove_middle : t -> string -> off:int -> len:int -> unit
 val lock_stats : t -> int * int
 (** (acquisitions, waits) of the directory lock table, summed over
     shards. *)
+
+val pathcache_stats : t -> Hfad_pathcache.Pathcache.stats option
+(** Resolution-cache counters summed over shards; [None] when the
+    cache is disabled ([Config.pathcache_entries = 0]). *)
 
 val reset_lock_stats : t -> unit
 

@@ -1,0 +1,341 @@
+module Counter = Hfad_metrics.Counter
+module Registry = Hfad_metrics.Registry
+module Rwlock = Hfad_util.Rwlock
+module Upath = Hfad_util.Upath
+module Trace = Hfad_trace.Trace
+
+type queue_id = Q_none | Q_a1in | Q_am
+
+(* Queue nodes are intrusive and key-only (the value lives in the hash
+   table alongside the node), so the sentinels need no ['a] witness and
+   eviction/promotion stay pointer splices. *)
+type node = {
+  key : string;
+  mutable queue : queue_id;
+  (* CLOCK reference bit: set by lookups (under the shared lock — a
+     benign racy store), consumed by eviction (under the exclusive
+     lock). Only meaningful on Am. *)
+  mutable touched : bool;
+  mutable prev : node;
+  mutable next : node;
+}
+
+(* Ghost entries (2Q's A1out): keys of recently evicted probationary
+   entries, no value attached. A ghost hit on re-insertion is the signal
+   that a path deserves the protected queue. *)
+type ghost = { g_key : string; mutable g_prev : ghost; mutable g_next : ghost }
+
+type stats = {
+  hits : int;
+  misses : int;
+  insertions : int;
+  invalidations : int;
+  entries : int;
+}
+
+type 'a t = {
+  cap : int;
+  kin : int;   (* A1in target length: probation FIFO for first-touch paths *)
+  kout : int;  (* A1out (ghost) capacity: eviction history window *)
+  lock : Rwlock.t;
+  table : (string, 'a * node) Hashtbl.t;
+  a1in : node;   (* sentinel; head = most recent arrival *)
+  am : node;     (* sentinel; head = most recently (re-)inserted *)
+  gsent : ghost; (* sentinel for the ghost FIFO *)
+  ghosts : (string, ghost) Hashtbl.t;
+  mutable a1in_len : int;
+  mutable am_len : int;
+  mutable ghost_len : int;
+  (* Atomic so shared-side lookups never lose an update. *)
+  hits : int Atomic.t;
+  misses : int Atomic.t;
+  insertions : int Atomic.t;
+  invalidations : int Atomic.t;
+  (* Per-instance registry gauges under the pooled prefix. *)
+  m_hits : Counter.t;
+  m_misses : Counter.t;
+  m_invalidations : Counter.t;
+  m_entries : Counter.t;
+}
+
+(* Process-wide aggregates, comparable across instances in experiment
+   tables (the pooled [pathcache<N>.*] prefixes carry the per-instance
+   split). *)
+let g_hits = Registry.counter Registry.global "pathcache.hits"
+let g_misses = Registry.counter Registry.global "pathcache.misses"
+let g_invalidations = Registry.counter Registry.global "pathcache.invalidations"
+
+(* --- intrusive lists ---------------------------------------------------- *)
+
+let sentinel () =
+  let rec s = { key = ""; queue = Q_none; touched = false; prev = s; next = s } in
+  s
+
+let unlink n =
+  n.prev.next <- n.next;
+  n.next.prev <- n.prev;
+  n.prev <- n;
+  n.next <- n
+
+let push_front sent n =
+  n.next <- sent.next;
+  n.prev <- sent;
+  sent.next.prev <- n;
+  sent.next <- n
+
+let ghost_sentinel () =
+  let rec s = { g_key = ""; g_prev = s; g_next = s } in
+  s
+
+let ghost_unlink g =
+  g.g_prev.g_next <- g.g_next;
+  g.g_next.g_prev <- g.g_prev;
+  g.g_prev <- g;
+  g.g_next <- g
+
+let ghost_push_front sent g =
+  g.g_next <- sent.g_next;
+  g.g_prev <- sent;
+  sent.g_next.g_prev <- g;
+  sent.g_next <- g
+
+(* --- construction ------------------------------------------------------- *)
+
+let create ?kin ?kout ~capacity () =
+  if capacity <= 0 then invalid_arg "Pathcache.create: capacity";
+  let kin = match kin with Some k -> max 1 k | None -> max 1 (capacity / 4) in
+  let kout =
+    match kout with Some k -> max 0 k | None -> max 1 (capacity / 2)
+  in
+  let prefix = Hfad_metrics.Prefix_pool.acquire "pathcache" in
+  let gauge name = Registry.counter Registry.global (prefix ^ "." ^ name) in
+  {
+    cap = capacity;
+    kin;
+    kout;
+    lock = Rwlock.create ~name:prefix ();
+    table = Hashtbl.create (2 * capacity);
+    a1in = sentinel ();
+    am = sentinel ();
+    gsent = ghost_sentinel ();
+    ghosts = Hashtbl.create (2 * kout);
+    a1in_len = 0;
+    am_len = 0;
+    ghost_len = 0;
+    hits = Atomic.make 0;
+    misses = Atomic.make 0;
+    insertions = Atomic.make 0;
+    invalidations = Atomic.make 0;
+    m_hits = gauge "hits";
+    m_misses = gauge "misses";
+    m_invalidations = gauge "invalidations";
+    m_entries = gauge "entries";
+  }
+
+let capacity t = t.cap
+
+let metrics_prefix t =
+  let n = Counter.name t.m_entries in
+  String.sub n 0 (String.index n '.')
+
+let close t = Hfad_metrics.Prefix_pool.release (metrics_prefix t)
+
+(* --- queue bookkeeping (exclusive side only) ----------------------------- *)
+
+let remove_from_queue t n =
+  (match n.queue with
+  | Q_a1in -> t.a1in_len <- t.a1in_len - 1
+  | Q_am -> t.am_len <- t.am_len - 1
+  | Q_none -> ());
+  n.queue <- Q_none;
+  unlink n
+
+let enqueue t n q =
+  n.queue <- q;
+  match q with
+  | Q_a1in ->
+      push_front t.a1in n;
+      t.a1in_len <- t.a1in_len + 1
+  | Q_am ->
+      push_front t.am n;
+      t.am_len <- t.am_len + 1
+  | Q_none -> assert false
+
+let ghost_insert t key =
+  if t.kout > 0 then begin
+    let rec g = { g_key = key; g_prev = g; g_next = g } in
+    ghost_push_front t.gsent g;
+    Hashtbl.replace t.ghosts key g;
+    t.ghost_len <- t.ghost_len + 1;
+    if t.ghost_len > t.kout then begin
+      let oldest = t.gsent.g_prev in
+      ghost_unlink oldest;
+      Hashtbl.remove t.ghosts oldest.g_key;
+      t.ghost_len <- t.ghost_len - 1
+    end
+  end
+
+let ghost_take t key =
+  match Hashtbl.find_opt t.ghosts key with
+  | None -> false
+  | Some g ->
+      ghost_unlink g;
+      Hashtbl.remove t.ghosts key;
+      t.ghost_len <- t.ghost_len - 1;
+      true
+
+let drop_node t n =
+  remove_from_queue t n;
+  Hashtbl.remove t.table n.key
+
+(* Evict one entry: the oldest probationary entry while A1in runs over
+   its target (remembered as a ghost), otherwise the Am tail — giving a
+   recently-touched tail entry a second chance (CLOCK) because lookups
+   could not reorder it under the shared lock. *)
+let evict_one t =
+  let am_victim () =
+    (* Each rotation clears one reference bit, so at most [am_len]
+       rotations before the original tail comes back untouched. *)
+    let rec pick () =
+      let v = t.am.prev in
+      if v == t.am then None
+      else if v.touched then begin
+        v.touched <- false;
+        unlink v;
+        push_front t.am v;
+        pick ()
+      end
+      else Some v
+    in
+    pick ()
+  in
+  let victim =
+    if t.a1in_len > t.kin then
+      if t.a1in.prev != t.a1in then Some t.a1in.prev else am_victim ()
+    else
+      match am_victim () with
+      | Some _ as v -> v
+      | None -> if t.a1in.prev != t.a1in then Some t.a1in.prev else None
+  in
+  match victim with
+  | None -> () (* empty cache: nothing to evict *)
+  | Some n ->
+      let from_a1in = n.queue = Q_a1in in
+      drop_node t n;
+      if from_a1in then ghost_insert t n.key
+
+(* --- operations ---------------------------------------------------------- *)
+
+let find_locked t key =
+  match Hashtbl.find_opt t.table key with
+  | Some (v, n) ->
+      if n.queue = Q_am then n.touched <- true;
+      (* A1in is a FIFO: a hit during probation does not reorder; only
+         surviving eviction and returning (ghost hit) earns Am. *)
+      Atomic.incr t.hits;
+      Counter.incr g_hits;
+      Counter.incr t.m_hits;
+      Some v
+  | None ->
+      Atomic.incr t.misses;
+      Counter.incr g_misses;
+      Counter.incr t.m_misses;
+      None
+
+let find t path =
+  let key = Upath.normalize path in
+  let go () = Rwlock.with_shared t.lock (fun () -> find_locked t key) in
+  if Trace.enabled () then
+    Trace.with_span ~layer:"pathcache" ~op:"lookup"
+      ~attrs:[ ("path", key) ]
+      (fun () ->
+        let r = go () in
+        Trace.add_attr "hit" (match r with Some _ -> "1" | None -> "0");
+        r)
+  else go ()
+
+let add t path v =
+  let key = Upath.normalize path in
+  Rwlock.with_exclusive t.lock (fun () ->
+      (match Hashtbl.find_opt t.table key with
+      | Some (_, n) ->
+          (* Value update in place; queue position unchanged. *)
+          Hashtbl.replace t.table key (v, n)
+      | None ->
+          if Hashtbl.length t.table >= t.cap then evict_one t;
+          let rec n =
+            { key; queue = Q_none; touched = false; prev = n; next = n }
+          in
+          let target = if ghost_take t key then Q_am else Q_a1in in
+          enqueue t n target;
+          Hashtbl.replace t.table key (v, n);
+          Atomic.incr t.insertions);
+      Counter.set t.m_entries (Hashtbl.length t.table))
+
+let invalidate_locked t key =
+  match Hashtbl.find_opt t.table key with
+  | None -> ()
+  | Some (_, n) ->
+      drop_node t n;
+      Atomic.incr t.invalidations;
+      Counter.incr g_invalidations;
+      Counter.incr t.m_invalidations;
+      Counter.set t.m_entries (Hashtbl.length t.table)
+
+let invalidate t path =
+  let key = Upath.normalize path in
+  Rwlock.with_exclusive t.lock (fun () -> invalidate_locked t key)
+
+let invalidate_prefix t path =
+  let dir = Upath.normalize path in
+  let covers =
+    if dir = "/" then fun _ -> true
+    else
+      let pre = dir ^ "/" in
+      fun key -> key = dir || Hfad_util.Strx.starts_with ~prefix:pre key
+  in
+  Rwlock.with_exclusive t.lock (fun () ->
+      let victims =
+        Hashtbl.fold
+          (fun key (_, n) acc -> if covers key then n :: acc else acc)
+          t.table []
+      in
+      List.iter
+        (fun n ->
+          drop_node t n;
+          Atomic.incr t.invalidations;
+          Counter.incr g_invalidations;
+          Counter.incr t.m_invalidations)
+        victims;
+      Counter.set t.m_entries (Hashtbl.length t.table))
+
+let clear t =
+  Rwlock.with_exclusive t.lock (fun () ->
+      let victims = Hashtbl.fold (fun _ (_, n) acc -> n :: acc) t.table [] in
+      List.iter (fun n -> drop_node t n) victims;
+      Hashtbl.reset t.ghosts;
+      let rec drain () =
+        let g = t.gsent.g_next in
+        if g != t.gsent then begin
+          ghost_unlink g;
+          drain ()
+        end
+      in
+      drain ();
+      t.ghost_len <- 0;
+      Counter.set t.m_entries 0)
+
+let length t = Rwlock.with_shared t.lock (fun () -> Hashtbl.length t.table)
+
+let stats t =
+  {
+    hits = Atomic.get t.hits;
+    misses = Atomic.get t.misses;
+    insertions = Atomic.get t.insertions;
+    invalidations = Atomic.get t.invalidations;
+    entries = length t;
+  }
+
+let hit_rate t =
+  let h = Atomic.get t.hits and m = Atomic.get t.misses in
+  if h + m = 0 then 1.0 else float_of_int h /. float_of_int (h + m)

@@ -1,0 +1,98 @@
+(** Bounded, thread-safe full-path → resolution cache.
+
+    Yodaiken's "Folding a Tree into a Map" observes that UNIX path
+    resolution is just repeated application of a map [(dir, name) → obj]
+    — so a resolved path can be memoized whole: one hashed lookup on the
+    {e normalized} full path replaces the per-component descent. This
+    module is that memo, shared by both stacks: the hierarchical
+    baseline caches [path → inode number] per shard and the POSIX veneer
+    caches [path → OID] (see DESIGN.md §11).
+
+    A cache in front of a namespace is only as good as its
+    invalidation, so the contract is explicit:
+
+    - {b Keys are normalized.} Every operation first applies
+      {!Hfad_util.Upath.normalize}, so ["/a//b/./c"] and ["/a/b/c"]
+      are one entry — a path and its messy twin can never resolve to
+      different cached values.
+    - {b Exact invalidation} ({!invalidate}) drops one path.
+    - {b Prefix invalidation} ({!invalidate_prefix}) drops a directory
+      {e and every cached descendant} — the rename/rmdir case. It is a
+      scan of resident entries only, O(capacity) worst case, under the
+      exclusive side.
+    - Negative results are {e never} cached: a miss always falls
+      through to the authoritative index, so creations need no
+      invalidation for correctness (call sites still invalidate
+      defensively).
+
+    Replacement is the same 2Q structure as {!Hfad_pager.Pager}
+    (Johnson & Shasha '94): first-touch paths enter a probationary
+    A1in FIFO, evicted A1in keys are remembered in a ghost A1out list,
+    and a re-reference within the ghost window earns the protected Am
+    queue — one [find /] scan cannot flush the hot resolution set. One
+    deliberate deviation: lookups run under the {e shared} side of an
+    {!Hfad_util.Rwlock} and therefore cannot splice queue nodes, so Am
+    recency is a per-node reference bit and eviction gives Am entries a
+    second chance (CLOCK over the Am tail) instead of strict LRU.
+
+    Metrics: each instance acquires a ["pathcache<N>"] prefix from
+    {!Hfad_metrics.Prefix_pool} and publishes
+    [pathcache<N>.{hits,misses,invalidations,entries}] gauges; the
+    process-wide aggregates [pathcache.{hits,misses,invalidations}]
+    accumulate across instances. {!close} releases the prefix and
+    purges the instance gauges (registry hygiene for open/close churn).
+    When tracing is enabled every lookup records a
+    ["pathcache.lookup"] span with a [hit] attribute, so O1-style span
+    accounting attributes the resolution win per layer. *)
+
+type 'a t
+
+type stats = {
+  hits : int;
+  misses : int;
+  insertions : int;
+  invalidations : int;  (** entries actually dropped, not calls *)
+  entries : int;  (** resident entries right now *)
+}
+
+val create : ?kin:int -> ?kout:int -> capacity:int -> unit -> 'a t
+(** A fresh cache holding at most [capacity] entries. [kin] is the
+    A1in probation target (default [capacity/4]), [kout] the ghost
+    history window (default [capacity/2]), as for the pager.
+    @raise Invalid_argument if [capacity <= 0]. *)
+
+val find : 'a t -> string -> 'a option
+(** Cached resolution of a path (normalized first), under the shared
+    lock side. [None] means "not cached", never "does not exist". *)
+
+val add : 'a t -> string -> 'a -> unit
+(** Memoize a successful resolution (key normalized first), under the
+    exclusive side; evicts per 2Q when full. Re-adding an existing key
+    replaces its value in place. *)
+
+val invalidate : 'a t -> string -> unit
+(** Drop the entry for exactly this (normalized) path, if resident. *)
+
+val invalidate_prefix : 'a t -> string -> unit
+(** Drop the (normalized) path itself and every cached descendant —
+    what a directory rename/removal requires. [invalidate_prefix t "/"]
+    empties the cache. *)
+
+val clear : 'a t -> unit
+(** Drop every entry and all ghost history. *)
+
+val length : 'a t -> int
+(** Resident entries. *)
+
+val capacity : 'a t -> int
+val stats : 'a t -> stats
+
+val hit_rate : 'a t -> float
+(** [hits / (hits + misses)], or [1.0] before any lookup. *)
+
+val metrics_prefix : 'a t -> string
+(** The pooled registry prefix (["pathcache0"], ...). *)
+
+val close : 'a t -> unit
+(** Release the pooled metrics prefix and purge this instance's gauges
+    from the global registry. The cache must not be used afterwards. *)

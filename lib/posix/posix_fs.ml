@@ -5,6 +5,7 @@ module Meta = Hfad_osd.Meta
 module Tag = Hfad_index.Tag
 module Kv_index = Hfad_index.Kv_index
 module Trace = Hfad_trace.Trace
+module Pathcache = Hfad_pathcache.Pathcache
 
 type errno =
   | ENOENT
@@ -38,6 +39,10 @@ type t = {
   fds : (int, fd_state) Hashtbl.t;
   fds_mutex : Mutex.t;  (* guards [fds], [next_fd] and every cursor *)
   mutable next_fd : int;
+  (* Full-path -> OID memo over the POSIX index lookup (None when
+     disabled). Caches the pre-symlink binding, so symlink semantics are
+     untouched; every unname site below invalidates precisely. *)
+  pcache : Oid.t Pathcache.t option;
 }
 
 type fd = int
@@ -46,15 +51,62 @@ let max_symlink_hops = 8
 
 (* --- primitive name operations ------------------------------------------ *)
 
-let oid_at t path = Fs.lookup_one t.fs [ (Tag.Posix, path) ]
+let lookup_name t path = Fs.lookup_one t.fs [ (Tag.Posix, path) ]
 
+(* The single resolution primitive: one hashed hit on the normalized
+   full path, falling through to (and memoizing) the authoritative
+   index descent. Negatives are never cached. A hit whose OID is no
+   longer live — possible when a second veneer mounted over the same
+   [Fs] unlinked the object (each mount's memo is private) — fails
+   safe: drop the entry and re-run the authoritative lookup, so the
+   caller sees ENOENT, never [Osd.No_such_object]. *)
+let oid_at t path =
+  match t.pcache with
+  | None -> lookup_name t path
+  | Some pc -> (
+      let miss () =
+        match lookup_name t path with
+        | Some oid as r ->
+            Pathcache.add pc path oid;
+            r
+        | None -> None
+      in
+      match Pathcache.find pc path with
+      | Some oid as hit ->
+          if Osd.exists (Fs.osd t.fs) oid then hit
+          else begin
+            Pathcache.invalidate pc path;
+            miss ()
+          end
+      | None -> miss ())
+
+let invalidate t path =
+  match t.pcache with Some pc -> Pathcache.invalidate pc path | None -> ()
+
+let invalidate_prefix t path =
+  match t.pcache with
+  | Some pc -> Pathcache.invalidate_prefix pc path
+  | None -> ()
+
+(* Naming is write-through: [Fs.name_exn] either binds [path -> oid] or
+   raises, so on success the cache may memoize immediately. *)
 let add_name t oid path =
-  try Fs.name_exn t.fs oid Tag.Posix path
-  with Kv_index.Value_not_indexable _ -> err EINVAL path
+  (try Fs.name_exn t.fs oid Tag.Posix path
+   with Kv_index.Value_not_indexable _ -> err EINVAL path);
+  match t.pcache with Some pc -> Pathcache.add pc path oid | None -> ()
 
-let mount fs =
+let mount ?(pathcache_entries = 512) fs =
   let t =
-    { fs; fds = Hashtbl.create 16; fds_mutex = Mutex.create (); next_fd = 3 }
+    {
+      fs;
+      fds = Hashtbl.create 16;
+      fds_mutex = Mutex.create ();
+      next_fd = 3;
+      pcache =
+        (if pathcache_entries > 0 then
+           Some (Pathcache.create ~capacity:pathcache_entries ())
+         else None);
+    }
   in
   (match oid_at t "/" with
   | Some _ -> ()
@@ -63,6 +115,11 @@ let mount fs =
       let oid = Fs.create_exn ~meta t.fs in
       add_name t oid "/");
   t
+
+let unmount t =
+  match t.pcache with Some pc -> Pathcache.close pc | None -> ()
+
+let pathcache_stats t = Option.map Pathcache.stats t.pcache
 
 let fs t = t.fs
 
@@ -223,6 +280,7 @@ let unlink t path =
   let oid = resolve ~follow:false t path in
   if (Fs.metadata t.fs oid).Meta.kind = Meta.Directory then err EISDIR path;
   ignore (Fs.unname_exn t.fs oid Tag.Posix path);
+  invalidate t path;
   if nlink_oid t oid = 0 then Fs.delete_exn t.fs oid
 
 let rmdir t path =
@@ -232,6 +290,7 @@ let rmdir t path =
   if (Fs.metadata t.fs oid).Meta.kind <> Meta.Directory then err ENOTDIR path;
   if children t path <> [] then err ENOTEMPTY path;
   ignore (Fs.unname_exn t.fs oid Tag.Posix path);
+  invalidate_prefix t path;
   Fs.delete_exn t.fs oid
 
 let rename t old_path new_path =
@@ -247,6 +306,9 @@ let rename t old_path new_path =
     if Path.is_ancestor ~ancestor:old_path new_path then err EINVAL new_path;
     let is_dir = (Fs.metadata t.fs oid).Meta.kind = Meta.Directory in
     ignore (Fs.unname_exn t.fs oid Tag.Posix old_path);
+    (* A directory leaves every cached descendant stale, all at once,
+       before the re-key loop repopulates the new names write-through. *)
+    if is_dir then invalidate_prefix t old_path else invalidate t old_path;
     add_name t oid new_path;
     if is_dir then
       (* Re-key every name under the directory: the inherent cost of a

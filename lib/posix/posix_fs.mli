@@ -9,7 +9,9 @@
 
     - Path resolution is {e one} index descent regardless of depth — no
       component-at-a-time walk, no locks through shared ancestors
-      (contrast {!Hfad_hierfs}, experiments C1/C2).
+      (contrast {!Hfad_hierfs}, experiments C1/C2) — and a bounded
+      full-path → OID memo ({!Hfad_pathcache.Pathcache}, bench R1)
+      makes the warm case one hashed lookup with {e zero} descents.
     - A directory listing is a prefix scan of the POSIX index.
     - Hard links are just additional POSIX names on the same OID.
     - Renaming a directory re-keys every path under it (the classic cost
@@ -50,9 +52,27 @@ exception Error of errno * string
 
 val pp_errno : Format.formatter -> errno -> unit
 
-val mount : Hfad.Fs.t -> t
+val mount : ?pathcache_entries:int -> Hfad.Fs.t -> t
 (** Attach the veneer to a file system, creating the root directory
-    object on first mount. *)
+    object on first mount. [pathcache_entries] sizes the full-path →
+    OID resolution memo ({!Hfad_pathcache.Pathcache}; default 512,
+    0 disables): a warm {!resolve} is then one hashed lookup with no
+    index descent, and every mutation invalidates precisely
+    (DESIGN.md §11). The cache memoizes the {e pre-symlink} binding of
+    each path, so symlink hops stay authoritative. The memo is
+    {e per mount}: with several veneers over one [Fs], a hit whose
+    object died through a sibling mount fails safe (dropped and
+    re-looked-up, surfacing ENOENT), but a sibling's {e rename} of a
+    still-live object may be served stale until this mount mutates the
+    path — the usual client-cache coherence trade. *)
+
+val unmount : t -> unit
+(** Release the resolution cache's pooled metrics prefix (registry
+    hygiene for mount/unmount churn). The veneer — not the underlying
+    {!Hfad.Fs} — must not be used afterwards. Idempotent. *)
+
+val pathcache_stats : t -> Hfad_pathcache.Pathcache.stats option
+(** Resolution-cache counters; [None] when disabled. *)
 
 val fs : t -> Hfad.Fs.t
 (** Escape hatch to the native API: "if an application knows exactly

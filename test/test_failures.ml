@@ -543,6 +543,78 @@ let sweep_sharded ?torn_bytes () =
 let test_sharded_sweep_dropped () = sweep_sharded ()
 let test_sharded_sweep_torn () = sweep_sharded ~torn_bytes:22 ()
 
+(* --- pathcache vs crash ----------------------------------------------------- *)
+
+(* PR 7: the resolution memo is volatile per-mount state in front of a
+   journaled namespace. Warm the cache, rename a directory (which
+   invalidates and re-warms it), then crash at EVERY device write of
+   the journaled commit. A fresh mount over the recovered image must
+   resolve wholly pre- or post-rename — old and new spellings can never
+   both resolve, i.e. no stale path → OID mapping survives recovery no
+   matter where between the journal seal and the home writes the power
+   went. *)
+
+let test_crash_sweep_pathcache_rename () =
+  let build () =
+    let dev = Device.create ~block_size:512 ~blocks:8192 () in
+    let fs =
+      Fs.format
+        ~config:(Fs.Config.v ~index_mode:Fs.Eager ~journal_pages:128 ()) dev
+    in
+    let posix = P.mount fs in
+    P.mkdir_p posix "/dir/sub";
+    ignore (P.create_file ~content:"v1" posix "/dir/sub/f");
+    Fs.flush_exn fs;
+    (* Warm the memo on every pre-rename path... *)
+    List.iter
+      (fun q -> ignore (P.resolve posix q))
+      [ "/dir"; "/dir/sub"; "/dir/sub/f" ];
+    (* ...then rename (invalidates the subtree, re-keys, re-warms) and
+       touch the new spellings so both generations passed through the
+       cache before the crash. *)
+    P.rename posix "/dir" "/moved";
+    ignore (P.resolve posix "/moved/sub/f");
+    (dev, fs)
+  in
+  let total =
+    let dev, fs = build () in
+    count_writes dev (fun () -> Fs.flush_exn fs)
+  in
+  check Alcotest.bool "rename commit performs writes" true (total > 0);
+  let pre = ref 0 and post = ref 0 in
+  for i = 0 to total - 1 do
+    let dev, fs = build () in
+    Device.arm_crash dev ~after_writes:i ?torn_bytes:None ();
+    (try
+       Fs.flush_exn fs;
+       Alcotest.failf "crash point %d/%d never hit" i total
+     with Device.Io_error _ -> ());
+    let fs2 = reopen (snapshot dev) in
+    let posix2 = P.mount fs2 in
+    let old_ok = P.exists posix2 "/dir/sub/f" in
+    let new_ok = P.exists posix2 "/moved/sub/f" in
+    (match (old_ok, new_ok) with
+    | true, false ->
+        incr pre;
+        check Alcotest.string "pre: old path reads" "v1"
+          (P.read_file posix2 "/dir/sub/f")
+    | false, true ->
+        incr post;
+        check Alcotest.string "post: new path reads" "v1"
+          (P.read_file posix2 "/moved/sub/f")
+    | true, true ->
+        Alcotest.failf "crash point %d/%d: both spellings resolve" i total
+    | false, false ->
+        Alcotest.failf "crash point %d/%d: file lost entirely" i total);
+    Fs.verify fs2;
+    P.verify posix2;
+    P.unmount posix2
+  done;
+  check Alcotest.bool "some crashes land pre-rename" true (!pre > 0);
+  check Alcotest.bool "some crashes land post-rename" true (!post > 0);
+  Printf.printf "pathcache rename sweep: %d crash points, %d pre / %d post\n%!"
+    total !pre !post
+
 let suite =
   [
     Alcotest.test_case "checksum detects bit rot" `Quick test_checksum_detects_bit_rot;
@@ -578,4 +650,6 @@ let suite =
       test_sharded_sweep_dropped;
     Alcotest.test_case "sharded sweep: torn journal isolated to its shard"
       `Quick test_sharded_sweep_torn;
+    Alcotest.test_case "crash sweep: warm pathcache across a rename" `Quick
+      test_crash_sweep_pathcache_rename;
   ]

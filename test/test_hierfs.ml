@@ -13,9 +13,12 @@ module Search = Hfad_hierfs.Desktop_search
 let check = Alcotest.check
 let qtest = QCheck_alcotest.to_alcotest
 
-let mk ?(block_size = 512) ?(blocks = 16384) () =
+let mk ?(block_size = 512) ?(blocks = 16384) ?pathcache_entries () =
   let dev = Device.create ~block_size ~blocks () in
-  (dev, H.format ~config:(H.Config.v ~cache_pages:256 ()) dev)
+  ( dev,
+    H.format
+      ~config:(H.Config.v ~cache_pages:256 ?pathcache_entries ())
+      dev )
 
 let expect_err errno f =
   match f () with
@@ -289,28 +292,37 @@ let prop_hierfs_file_model =
 (* --- traversal accounting ------------------------------------------------------------ *)
 
 let test_resolution_walks_components () =
-  let _, h = mk () in
+  (* Cache off: this test pins down the raw component-at-a-time walk. *)
+  let _, h = mk ~pathcache_entries:0 () in
   H.mkdir_p h "/a/b/c/d";
   ignore (H.create_file h "/a/b/c/d/leaf");
   let reg = Registry.global in
-  let walked path =
+  let walked fs path =
     let snap = Registry.snapshot reg in
-    ignore (H.resolve h path);
+    ignore (H.resolve fs path);
     Option.value ~default:0
       (List.assoc_opt "hierfs.components_walked" (Registry.diff reg snap))
   in
-  check Alcotest.int "five components" 5 (walked "/a/b/c/d/leaf");
-  check Alcotest.int "one component" 1 (walked "/a");
+  check Alcotest.int "five components" 5 (walked h "/a/b/c/d/leaf");
+  check Alcotest.int "one component" 1 (walked h "/a");
   (* locks track the walk, one per directory visited *)
   H.reset_lock_stats h;
   ignore (H.resolve h "/a/b/c/d/leaf");
   let acq, _ = H.lock_stats h in
-  check Alcotest.int "one lock per component" 5 acq
+  check Alcotest.int "one lock per component" 5 acq;
+  (* With the resolution memo on (the default), the first resolve pays
+     the walk and a warm repeat walks zero components. *)
+  let _, hc = mk () in
+  H.mkdir_p hc "/a/b/c/d";
+  ignore (H.create_file hc "/a/b/c/d/leaf");
+  check Alcotest.int "cold resolve walks" 5 (walked hc "/a/b/c/d/leaf");
+  check Alcotest.int "warm resolve is free" 0 (walked hc "/a/b/c/d/leaf")
 
 (* --- Desktop_search -------------------------------------------------------------------- *)
 
 let mk_corpus () =
-  let _, h = mk ~blocks:32768 () in
+  (* Cache off so the search tests observe the raw namespace walk. *)
+  let _, h = mk ~blocks:32768 ~pathcache_entries:0 () in
   H.mkdir_p h "/home/margo/mail";
   H.mkdir_p h "/home/nick";
   ignore

@@ -18,6 +18,7 @@ let () =
       ("hierfs", Test_hierfs.suite);
       ("workload", Test_workload.suite);
       ("shard", Test_shard.suite);
+      ("pathcache", Test_pathcache.suite);
       ("failures", Test_failures.suite);
       ("journal", Test_journal.suite);
       ("concurrency", Test_concurrency.suite);

@@ -1,0 +1,379 @@
+(* Tests for the full-path resolution cache: Pathcache unit behavior
+   (bounds, 2Q ghost promotion, exact/prefix invalidation, metrics
+   hygiene), normalization properties locking down the cache-key
+   contract, and the invalidation regressions on both stacks —
+   directory rename, sharded EINVAL, and the rename(x,x) ENOENT fix. *)
+
+module Pathcache = Hfad_pathcache.Pathcache
+module Upath = Hfad_util.Upath
+module Registry = Hfad_metrics.Registry
+module Prefix_pool = Hfad_metrics.Prefix_pool
+module Device = Hfad_blockdev.Device
+module Fs = Hfad.Fs
+module P = Hfad_posix.Posix_fs
+module H = Hfad_hierfs.Hierfs
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+(* --- Pathcache unit ------------------------------------------------------- *)
+
+let test_basic_and_normalized_keys () =
+  let c = Pathcache.create ~capacity:8 () in
+  Pathcache.add c "/a//b/./c" 1;
+  check (Alcotest.option Alcotest.int) "canonical spelling hits" (Some 1)
+    (Pathcache.find c "/a/b/c");
+  check (Alcotest.option Alcotest.int) "messy twin hits" (Some 1)
+    (Pathcache.find c "/a/b/x/../c");
+  check Alcotest.int "one entry, not two" 1 (Pathcache.length c);
+  Pathcache.add c "/a/b/c" 2;
+  check (Alcotest.option Alcotest.int) "re-add replaces in place" (Some 2)
+    (Pathcache.find c "/a/b/c");
+  check Alcotest.int "still one entry" 1 (Pathcache.length c);
+  check (Alcotest.option Alcotest.int) "miss is None" None
+    (Pathcache.find c "/nope");
+  Pathcache.close c
+
+let test_bounded () =
+  let c = Pathcache.create ~capacity:16 () in
+  for i = 0 to 99 do
+    Pathcache.add c (Printf.sprintf "/f%d" i) i
+  done;
+  check Alcotest.bool "never exceeds capacity" true (Pathcache.length c <= 16);
+  check Alcotest.int "capacity reported" 16 (Pathcache.capacity c);
+  Pathcache.close c
+
+let test_ghost_promotion () =
+  (* 2Q: a key evicted from probation and re-added within the ghost
+     window earns the protected queue and survives a one-touch scan. *)
+  let c = Pathcache.create ~capacity:8 () in
+  for i = 0 to 7 do
+    Pathcache.add c (Printf.sprintf "/a%d" i) i
+  done;
+  (* Next add evicts the probation tail /a0 into ghost history... *)
+  Pathcache.add c "/spill" 100;
+  check (Alcotest.option Alcotest.int) "/a0 evicted" None
+    (Pathcache.find c "/a0");
+  (* ...so re-adding it is a ghost hit: protected, not probation. *)
+  Pathcache.add c "/a0" 0;
+  for i = 0 to 19 do
+    Pathcache.add c (Printf.sprintf "/scan%d" i) i
+  done;
+  check (Alcotest.option Alcotest.int) "protected entry survives the scan"
+    (Some 0)
+    (Pathcache.find c "/a0");
+  Pathcache.close c
+
+let test_invalidate_exact_and_prefix () =
+  let c = Pathcache.create ~capacity:32 () in
+  List.iter
+    (fun p -> Pathcache.add c p 0)
+    [ "/a"; "/a/b"; "/a/b/c"; "/ab"; "/ab/x"; "/z" ];
+  Pathcache.invalidate c "/a/b";
+  check (Alcotest.option Alcotest.int) "exact drops one" None
+    (Pathcache.find c "/a/b");
+  check Alcotest.bool "children untouched by exact" true
+    (Pathcache.find c "/a/b/c" <> None);
+  Pathcache.invalidate_prefix c "/a";
+  check (Alcotest.option Alcotest.int) "prefix drops the dir" None
+    (Pathcache.find c "/a");
+  check (Alcotest.option Alcotest.int) "prefix drops descendants" None
+    (Pathcache.find c "/a/b/c");
+  (* the classic string-prefix bug: "/a" must not cover "/ab" *)
+  check Alcotest.bool "/ab is not under /a" true
+    (Pathcache.find c "/ab" <> None && Pathcache.find c "/ab/x" <> None);
+  Pathcache.invalidate_prefix c "/";
+  check Alcotest.int "root prefix empties" 0 (Pathcache.length c);
+  let s = Pathcache.stats c in
+  check Alcotest.int "invalidations counted per entry dropped" 6
+    s.Pathcache.invalidations;
+  Pathcache.close c
+
+let test_stats_and_hit_rate () =
+  let c = Pathcache.create ~capacity:8 () in
+  check (Alcotest.float 0.0) "hit rate starts at 1.0" 1.0 (Pathcache.hit_rate c);
+  Pathcache.add c "/x" 1;
+  ignore (Pathcache.find c "/x");
+  ignore (Pathcache.find c "/x");
+  ignore (Pathcache.find c "/miss");
+  let s = Pathcache.stats c in
+  check Alcotest.int "hits" 2 s.Pathcache.hits;
+  check Alcotest.int "misses" 1 s.Pathcache.misses;
+  check Alcotest.int "insertions" 1 s.Pathcache.insertions;
+  check Alcotest.int "entries" 1 s.Pathcache.entries;
+  check (Alcotest.float 0.01) "hit rate" (2.0 /. 3.0) (Pathcache.hit_rate c);
+  Pathcache.close c
+
+let test_metrics_hygiene () =
+  (* Instances pool distinct prefixes; close releases them and purges
+     the gauges, restoring the registry to its prior size. *)
+  let live0 = Prefix_pool.live "pathcache" in
+  let size0 = Registry.size Registry.global in
+  let a = Pathcache.create ~capacity:4 () in
+  let b = Pathcache.create ~capacity:4 () in
+  check Alcotest.bool "distinct prefixes" true
+    (Pathcache.metrics_prefix a <> Pathcache.metrics_prefix b);
+  check Alcotest.int "two live instances" (live0 + 2)
+    (Prefix_pool.live "pathcache");
+  Pathcache.add a "/x" 1;
+  ignore (Pathcache.find a "/x");
+  Pathcache.close a;
+  Pathcache.close b;
+  check Alcotest.int "prefixes released" live0 (Prefix_pool.live "pathcache");
+  check Alcotest.int "instance gauges purged" size0
+    (Registry.size Registry.global)
+
+(* --- normalization properties ---------------------------------------------- *)
+
+(* Messy-but-plausible POSIX paths: slash runs, ".", "..", trailing
+   slashes, relative spellings. *)
+let messy_path_gen =
+  QCheck.Gen.(
+    let seg = oneofl [ "a"; "b"; "c"; "dir"; "f.txt"; "."; ".."; "" ] in
+    let sep = oneofl [ "/"; "//"; "///" ] in
+    let* lead = oneofl [ ""; "/"; "//"; "./" ] in
+    let* n = int_range 0 8 in
+    let* segs = list_repeat n (pair seg sep) in
+    let* trail = oneofl [ ""; "/" ] in
+    return
+      (lead ^ String.concat "" (List.map (fun (s, p) -> s ^ p) segs) ^ trail))
+
+let messy_path = QCheck.make ~print:(fun s -> s) messy_path_gen
+
+let prop_normalize_idempotent =
+  QCheck.Test.make ~name:"normalize is idempotent" ~count:2000 messy_path
+    (fun p -> Upath.normalize (Upath.normalize p) = Upath.normalize p)
+
+let prop_normalize_canonical =
+  QCheck.Test.make ~name:"normalize output is canonical" ~count:2000 messy_path
+    (fun p ->
+      let n = Upath.normalize p in
+      String.length n > 0
+      && n.[0] = '/'
+      && (n = "/" || n.[String.length n - 1] <> '/')
+      && List.for_all
+           (fun c -> c <> "" && c <> "." && c <> "..")
+           (Upath.components n))
+
+let prop_cache_key_collapse =
+  (* A path and its messy twin must land on the same cache entry. *)
+  QCheck.Test.make ~name:"messy twin shares the cache entry" ~count:500
+    messy_path (fun p ->
+      let c = Pathcache.create ~capacity:64 () in
+      Pathcache.add c p 42;
+      let hit = Pathcache.find c (Upath.normalize p) = Some 42 in
+      Pathcache.invalidate c p;
+      let gone = Pathcache.find c (Upath.normalize p) = None in
+      Pathcache.close c;
+      hit && gone)
+
+(* Both stacks: resolving a messy spelling of an existing path equals
+   resolving its normalized twin (same object, same cache key). *)
+let messy_twin_of norm =
+  (* derive a few deterministic messy spellings *)
+  [
+    norm;
+    norm ^ "/";
+    "/" ^ norm;
+    "/" ^ String.concat "//" (Upath.components norm);
+    (match Upath.components norm with
+    | [] -> norm
+    | c :: rest -> "//" ^ c ^ "/./" ^ String.concat "/" rest);
+  ]
+
+let test_resolve_equals_normalized_resolve () =
+  (* hierarchical stack *)
+  let dev = Device.create ~block_size:512 ~blocks:16384 () in
+  let h = H.format ~config:(H.Config.v ~cache_pages:256 ()) dev in
+  H.mkdir_p h "/home/margo/papers";
+  ignore (H.create_file ~content:"x" h "/home/margo/papers/hfad.txt");
+  List.iter
+    (fun norm ->
+      let want = H.resolve h norm in
+      List.iter
+        (fun twin ->
+          check Alcotest.int
+            (Printf.sprintf "hierfs %s == %s" twin norm)
+            want (H.resolve h twin))
+        (messy_twin_of norm))
+    [ "/home"; "/home/margo"; "/home/margo/papers/hfad.txt" ];
+  H.close h;
+  (* flat stack + veneer *)
+  let dev = Device.create ~block_size:1024 ~blocks:8192 () in
+  let fs = Fs.format ~config:(Fs.Config.v ~index_mode:Fs.Off ()) dev in
+  let p = P.mount fs in
+  P.mkdir_p p "/home/margo/papers";
+  ignore (P.create_file ~content:"x" p "/home/margo/papers/hfad.txt");
+  let oid_t = Alcotest.testable Hfad_osd.Oid.pp Hfad_osd.Oid.equal in
+  List.iter
+    (fun norm ->
+      let want = P.resolve p norm in
+      List.iter
+        (fun twin ->
+          check oid_t
+            (Printf.sprintf "posix %s == %s" twin norm)
+            want (P.resolve p twin))
+        (messy_twin_of norm))
+    [ "/home"; "/home/margo"; "/home/margo/papers/hfad.txt" ];
+  P.unmount p
+
+(* --- invalidation regressions ---------------------------------------------- *)
+
+let expect_enoent_h f =
+  match f () with
+  | _ -> Alcotest.fail "expected hierfs ENOENT"
+  | exception H.Error (H.ENOENT, _) -> ()
+
+let expect_enoent_p f =
+  match f () with
+  | _ -> Alcotest.fail "expected posix ENOENT"
+  | exception P.Error (P.ENOENT, _) -> ()
+
+(* Renaming a 3-deep directory: every old path must stop resolving (no
+   stale cache serve) and every new path must resolve — on a warm
+   cache. *)
+let test_hierfs_dir_rename_invalidates () =
+  let dev = Device.create ~block_size:512 ~blocks:16384 () in
+  let h = H.format ~config:(H.Config.v ~cache_pages:256 ()) dev in
+  H.mkdir_p h "/a/b/c";
+  ignore (H.create_file ~content:"leaf" h "/a/b/c/f");
+  (* warm the cache on every old path *)
+  List.iter
+    (fun p -> ignore (H.resolve h p))
+    [ "/a"; "/a/b"; "/a/b/c"; "/a/b/c/f" ];
+  H.mkdir_p h "/x";
+  H.rename h "/a/b" "/x/b";
+  expect_enoent_h (fun () -> H.resolve h "/a/b");
+  expect_enoent_h (fun () -> H.resolve h "/a/b/c");
+  expect_enoent_h (fun () -> H.resolve h "/a/b/c/f");
+  check Alcotest.bool "untouched sibling still resolves" true
+    (H.resolve h "/a" > 0);
+  check Alcotest.string "new path reads through" "leaf"
+    (H.read_file h "/x/b/c/f");
+  (match H.pathcache_stats h with
+  | None -> Alcotest.fail "pathcache enabled by default"
+  | Some s ->
+      check Alcotest.bool "invalidations happened" true
+        (s.Pathcache.invalidations > 0));
+  H.verify h;
+  H.close h
+
+let test_hierfs_sharded_rename_invalidates () =
+  let dev = Device.create ~block_size:512 ~blocks:65536 () in
+  let h = H.format ~config:(H.Config.v ~cache_pages:128 ~shards:4 ()) dev in
+  H.mkdir_p h "/top/a/b";
+  ignore (H.create_file ~content:"v" h "/top/a/b/f");
+  List.iter
+    (fun p -> ignore (H.resolve h p))
+    [ "/top"; "/top/a"; "/top/a/b"; "/top/a/b/f" ];
+  (* same-subtree rename: stays on one shard, must invalidate there *)
+  H.rename h "/top/a" "/top/z";
+  expect_enoent_h (fun () -> H.resolve h "/top/a");
+  expect_enoent_h (fun () -> H.resolve h "/top/a/b/f");
+  check Alcotest.string "new sharded path reads" "v"
+    (H.read_file h "/top/z/b/f");
+  (* cross-top-level rename: EINVAL, and nothing may be invalidated —
+     the warm old paths must keep resolving. *)
+  H.mkdir_p h "/other";
+  ignore (H.resolve h "/top/z/b/f");
+  (match H.rename h "/top/z" "/other/z" with
+  | () -> Alcotest.fail "expected EINVAL for cross-shard rename"
+  | exception H.Error (H.EINVAL, _) -> ());
+  check Alcotest.string "EINVAL rename left source intact" "v"
+    (H.read_file h "/top/z/b/f");
+  H.verify h;
+  H.close h
+
+let test_posix_dir_rename_invalidates () =
+  let dev = Device.create ~block_size:1024 ~blocks:8192 () in
+  let fs = Fs.format ~config:(Fs.Config.v ~index_mode:Fs.Off ()) dev in
+  let p = P.mount fs in
+  P.mkdir_p p "/a/b/c";
+  ignore (P.create_file ~content:"leaf" p "/a/b/c/f");
+  List.iter
+    (fun q -> ignore (P.resolve p q))
+    [ "/a"; "/a/b"; "/a/b/c"; "/a/b/c/f" ];
+  P.mkdir p "/x";
+  P.rename p "/a/b" "/x/b";
+  expect_enoent_p (fun () -> P.resolve p "/a/b");
+  expect_enoent_p (fun () -> P.resolve p "/a/b/c");
+  expect_enoent_p (fun () -> P.resolve p "/a/b/c/f");
+  check Alcotest.bool "sibling still resolves" true (P.exists p "/a");
+  check Alcotest.string "new path reads through" "leaf"
+    (P.read_file p "/x/b/c/f");
+  P.verify p;
+  P.unmount p
+
+(* rename(x, x) with x missing must raise ENOENT, not silently no-op —
+   the bug the cache work flushed out of the hierarchical baseline. *)
+let test_rename_self_missing_is_enoent () =
+  let dev = Device.create ~block_size:512 ~blocks:16384 () in
+  let h = H.format ~config:(H.Config.v ~cache_pages:256 ()) dev in
+  expect_enoent_h (fun () -> H.rename h "/ghost" "/ghost");
+  (* sharded wrapper takes a different route to the same answer *)
+  let dev2 = Device.create ~block_size:512 ~blocks:65536 () in
+  let hs = H.format ~config:(H.Config.v ~cache_pages:128 ~shards:4 ()) dev2 in
+  expect_enoent_h (fun () -> H.rename hs "/ghost" "/ghost");
+  (* existing source: the no-op succeeds and changes nothing *)
+  ignore (H.create_file ~content:"x" h "/real");
+  H.rename h "/real" "/real";
+  check Alcotest.string "no-op rename kept content" "x"
+    (H.read_file h "/real");
+  (* the veneer already had this right; pin it *)
+  let dev3 = Device.create ~block_size:1024 ~blocks:8192 () in
+  let fs = Fs.format ~config:(Fs.Config.v ~index_mode:Fs.Off ()) dev3 in
+  let p = P.mount fs in
+  expect_enoent_p (fun () -> P.rename p "/ghost" "/ghost");
+  H.close h;
+  H.close hs;
+  P.unmount p
+
+let test_unlink_rmdir_invalidate () =
+  let dev = Device.create ~block_size:1024 ~blocks:8192 () in
+  let fs = Fs.format ~config:(Fs.Config.v ~index_mode:Fs.Off ()) dev in
+  let p = P.mount fs in
+  P.mkdir_p p "/d";
+  ignore (P.create_file ~content:"x" p "/d/f");
+  check Alcotest.bool "warm" true (P.exists p "/d/f");
+  P.unlink p "/d/f";
+  check Alcotest.bool "unlink invalidates" false (P.exists p "/d/f");
+  P.rmdir p "/d";
+  check Alcotest.bool "rmdir invalidates" false (P.exists p "/d");
+  P.unmount p;
+  let dev2 = Device.create ~block_size:512 ~blocks:16384 () in
+  let h = H.format ~config:(H.Config.v ~cache_pages:256 ()) dev2 in
+  H.mkdir_p h "/d";
+  ignore (H.create_file ~content:"x" h "/d/f");
+  check Alcotest.bool "warm" true (H.exists h "/d/f");
+  H.unlink h "/d/f";
+  check Alcotest.bool "unlink invalidates" false (H.exists h "/d/f");
+  H.rmdir h "/d";
+  check Alcotest.bool "rmdir invalidates" false (H.exists h "/d");
+  H.close h
+
+let suite =
+  [
+    Alcotest.test_case "basic + normalized keys" `Quick
+      test_basic_and_normalized_keys;
+    Alcotest.test_case "bounded" `Quick test_bounded;
+    Alcotest.test_case "ghost promotion" `Quick test_ghost_promotion;
+    Alcotest.test_case "invalidate exact and prefix" `Quick
+      test_invalidate_exact_and_prefix;
+    Alcotest.test_case "stats and hit rate" `Quick test_stats_and_hit_rate;
+    Alcotest.test_case "metrics hygiene" `Quick test_metrics_hygiene;
+    qtest prop_normalize_idempotent;
+    qtest prop_normalize_canonical;
+    qtest prop_cache_key_collapse;
+    Alcotest.test_case "resolve == resolve-of-normalized" `Quick
+      test_resolve_equals_normalized_resolve;
+    Alcotest.test_case "hierfs dir rename invalidates" `Quick
+      test_hierfs_dir_rename_invalidates;
+    Alcotest.test_case "sharded rename invalidates" `Quick
+      test_hierfs_sharded_rename_invalidates;
+    Alcotest.test_case "posix dir rename invalidates" `Quick
+      test_posix_dir_rename_invalidates;
+    Alcotest.test_case "rename(x,x) missing is ENOENT" `Quick
+      test_rename_self_missing_is_enoent;
+    Alcotest.test_case "unlink/rmdir invalidate" `Quick
+      test_unlink_rmdir_invalidate;
+  ]

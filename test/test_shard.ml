@@ -517,7 +517,47 @@ let test_metrics_prefix_audit () =
     (Registry.size Registry.global);
   check Alcotest.int "no leaked fs ids" live_fs (Prefix_pool.live "fs");
   check Alcotest.int "no leaked pager ids" live_pager
-    (Prefix_pool.live "pager")
+    (Prefix_pool.live "pager");
+  (* PR 7: the resolution caches pool their own "pathcache" prefixes —
+     one per hierfs shard, one per veneer mount. The same churn audit
+     must hold with their gauges live. *)
+  let module H = Hfad_hierfs.Hierfs in
+  let module P = Hfad_posix.Posix_fs in
+  let live_pc = Prefix_pool.live "pathcache" in
+  let baseline_pc = Registry.size Registry.global in
+  let hdev = Device.create ~block_size:512 ~blocks:65536 () in
+  let h = H.format ~config:(H.Config.v ~cache_pages:128 ~shards:4 ()) hdev in
+  check Alcotest.int "one pathcache prefix per hierfs shard" (live_pc + 4)
+    (Prefix_pool.live "pathcache");
+  let pdev = Device.create ~block_size:512 ~blocks:8192 () in
+  let pfs = Fs.format ~config:(Fs.Config.v ~index_mode:Fs.Off ()) pdev in
+  let p = P.mount pfs in
+  check Alcotest.int "one more for the veneer mount" (live_pc + 5)
+    (Prefix_pool.live "pathcache");
+  (* exercise the gauges so the audit covers non-zero counters *)
+  H.mkdir_p h "/w/x";
+  ignore (H.resolve h "/w/x");
+  ignore (H.resolve h "/w/x");
+  P.mkdir_p p "/w";
+  check Alcotest.bool "veneer cache warm" true (P.exists p "/w");
+  H.close h;
+  P.unmount p;
+  Fs.close pfs;
+  check Alcotest.int "pathcache prefixes released" live_pc
+    (Prefix_pool.live "pathcache");
+  check Alcotest.int "pathcache gauges purged" baseline_pc
+    (Registry.size Registry.global);
+  (* close is idempotent; a second release must not free a prefix a new
+     instance has since acquired *)
+  H.close h;
+  P.unmount p;
+  for _ = 1 to 3 do
+    let d = Device.create ~block_size:512 ~blocks:65536 () in
+    let h = H.format ~config:(H.Config.v ~cache_pages:128 ~shards:4 ()) d in
+    H.close h
+  done;
+  check Alcotest.int "hierfs churn leaks no pathcache ids" live_pc
+    (Prefix_pool.live "pathcache")
 
 let suite =
   [
