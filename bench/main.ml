@@ -7,37 +7,43 @@
 
    Pass experiment ids to run a subset:
      dune exec bench/main.exe -- C1 C3
-   Ids: F1 P1 T1 C1 C2 C3 C4 C5 C6 M1 A1 J1 W1 W2 O1 R1 micro
+   Ids: F1 P1 T1 C1 C2 C3 C4 C5 C6 M1 A1 J1 W1 W2 O1 R1 S1 micro
 
    [--json] additionally writes BENCH_<id>.json files (machine-readable
-   results) for the experiments that support it — currently C2, P1, W1,
-   W2, R1 and O1 (which also exports O1.trace.json, a Chrome trace_event
-   file).
+   results) for the experiments that support it — C2, P1, W1, W2, O1
+   (which also exports O1.trace.json, a Chrome trace_event file), R1
+   and S1.
+
+   [--list] prints the experiment ids, one per line, and exits; with
+   [--json] it prints only the JSON-capable ids. CI derives the bench
+   set from this instead of hand-listing ids that then go stale.
 
    [--smoke] runs every experiment at a tiny problem size as a bit-rot
    gate: each must complete without raising. check.sh and CI run this so
    a bench can no longer silently break while only the test suite is
    watched. Smoke output is NOT a measurement. *)
 
+(* (id, emits BENCH_<id>.json under --json, entry point) *)
 let experiments =
   [
-    ("F1", Exp_f1.run);
-    ("P1", Exp_p1.run);
-    ("T1", Exp_t1.run);
-    ("C1", Exp_c1.run);
-    ("C2", Exp_c2.run);
-    ("C3", Exp_c3.run);
-    ("C4", Exp_c4.run);
-    ("C5", Exp_c5.run);
-    ("C6", Exp_c6.run);
-    ("M1", Exp_m1.run);
-    ("A1", Exp_a1.run);
-    ("J1", Exp_j1.run);
-    ("W1", Exp_w1.run);
-    ("W2", Exp_w2.run);
-    ("O1", Exp_o1.run);
-    ("R1", Exp_r1.run);
-    ("micro", Micro.run);
+    ("F1", false, Exp_f1.run);
+    ("P1", true, Exp_p1.run);
+    ("T1", false, Exp_t1.run);
+    ("C1", false, Exp_c1.run);
+    ("C2", true, Exp_c2.run);
+    ("C3", false, Exp_c3.run);
+    ("C4", false, Exp_c4.run);
+    ("C5", false, Exp_c5.run);
+    ("C6", false, Exp_c6.run);
+    ("M1", false, Exp_m1.run);
+    ("A1", false, Exp_a1.run);
+    ("J1", false, Exp_j1.run);
+    ("W1", true, Exp_w1.run);
+    ("W2", true, Exp_w2.run);
+    ("O1", true, Exp_o1.run);
+    ("R1", true, Exp_r1.run);
+    ("S1", true, Exp_s1.run);
+    ("micro", false, Micro.run);
   ]
 
 let () =
@@ -45,23 +51,35 @@ let () =
     match Array.to_list Sys.argv with _ :: rest -> rest | [] -> []
   in
   let json, args = List.partition (String.equal "--json") args in
+  let listing, args = List.partition (String.equal "--list") args in
   let smoke, ids = List.partition (String.equal "--smoke") args in
+  if listing <> [] then begin
+    List.iter
+      (fun (id, has_json, _) ->
+        if json = [] || has_json then print_endline id)
+      experiments;
+    exit 0
+  end;
   if json <> [] then Bench_util.json_enabled := true;
   if smoke <> [] then Bench_util.smoke := true;
   let requested =
-    match ids with [] -> List.map fst experiments | ids -> ids
+    match ids with
+    | [] -> List.map (fun (id, _, _) -> id) experiments
+    | ids -> ids
   in
   Format.printf "hFAD benchmark harness (see DESIGN.md / EXPERIMENTS.md)%s@."
     (if !Bench_util.smoke then " [SMOKE — not a measurement]" else "");
   List.iter
     (fun id ->
-      match List.assoc_opt id experiments with
-      | Some run ->
+      match
+        List.find_opt (fun (id', _, _) -> String.equal id id') experiments
+      with
+      | Some (_, _, run) ->
           run ();
           if !Bench_util.smoke then Format.printf "[smoke] %s: ok@." id
       | None ->
           Format.eprintf "unknown experiment %S; known: %s@." id
-            (String.concat " " (List.map fst experiments));
+            (String.concat " " (List.map (fun (id, _, _) -> id) experiments));
           exit 2)
     requested;
   if !Bench_util.smoke then

@@ -20,6 +20,8 @@ module Meta = Hfad_osd.Meta
 module P = Hfad_posix.Posix_fs
 module Prometheus = Hfad_metrics.Prometheus
 module Trace = Hfad_trace.Trace
+module Server = Hfad_server.Server
+module Client = Hfad_server.Client
 open Cmdliner
 
 let say fmt = Format.printf (fmt ^^ "@.")
@@ -419,6 +421,89 @@ let trace_cmd =
           span tree: each layer crossed, with per-span latency.")
     Term.(const trace $ image_arg $ op $ args)
 
+(* Serve an image over the wire protocol until SIGINT/SIGTERM, then
+   flush and write the image back — the network front door as a
+   process. *)
+let serve image port workers sync =
+  handle_errors (fun () ->
+      let dev = Device.load image in
+      let fs = Fs.open_existing_exn dev in
+      let config = Server.Config.v ~workers ~sync_ack:sync () in
+      let server = Server.start ~config ~port fs in
+      say "serving %s on 127.0.0.1:%d (%d worker domains, %s acks)" image
+        (Server.port server) workers
+        (if sync then "per-request" else "batched group-commit");
+      say "stop with SIGINT; the image is flushed and saved on shutdown";
+      let stop = Atomic.make false in
+      let on_signal = Sys.Signal_handle (fun _ -> Atomic.set stop true) in
+      Sys.set_signal Sys.sigint on_signal;
+      Sys.set_signal Sys.sigterm on_signal;
+      while not (Atomic.get stop) do
+        try Unix.sleepf 0.2
+        with Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      done;
+      let stats = Server.stats server in
+      Server.stop server;
+      Fs.flush_exn fs;
+      Device.save dev image;
+      Fs.close fs;
+      say
+        "served %d request(s) over %d connection(s) (%d batches, %d busy); \
+         image saved"
+        stats.Server.requests stats.Server.accepted stats.Server.batches
+        stats.Server.busy)
+
+let serve_cmd =
+  let port =
+    Arg.(value & opt int 7070
+         & info [ "port" ] ~doc:"TCP port to bind on 127.0.0.1 (0 = ephemeral).")
+  in
+  let workers =
+    Arg.(value & opt int 2 & info [ "workers" ] ~doc:"Worker domains.")
+  in
+  let sync =
+    Arg.(value & flag
+         & info [ "sync" ]
+             ~doc:
+               "Barrier after every mutation instead of batching acks into \
+                one group commit per worker iteration (the slow baseline \
+                bench S1 measures against).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve an image over the length-prefixed wire protocol \
+          (PUT/GET/DELETE/TAG/SEARCH/STAT/FLUSH).")
+    Term.(const serve $ image_arg $ port $ workers $ sync)
+
+let ping host port count =
+  handle_errors (fun () ->
+      let c = Client.connect ~host ~port () in
+      Fun.protect
+        ~finally:(fun () -> Client.close c)
+        (fun () ->
+          let rtts = List.init count (fun _ -> 1000. *. Client.ping c) in
+          let sorted = List.sort compare rtts in
+          say "%d ping(s) to %s:%d — min %.3f ms, median %.3f ms, max %.3f ms"
+            count host port (List.nth sorted 0)
+            (List.nth sorted (count / 2))
+            (List.nth sorted (count - 1))))
+
+let ping_cmd =
+  let host =
+    Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~doc:"Server host.")
+  in
+  let port =
+    Arg.(required & opt (some int) None & info [ "port" ] ~doc:"Server port.")
+  in
+  let count =
+    Arg.(value & opt int 5 & info [ "n"; "count" ] ~doc:"Pings to send.")
+  in
+  Cmd.v
+    (Cmd.info "ping"
+       ~doc:"Round-trip the wire protocol against a running serve instance.")
+    Term.(const ping $ host $ port $ count)
+
 let () =
   let doc = "tagged, search-based file system (hFAD) image tool" in
   let default = Term.(ret (const (`Help (`Pager, None)))) in
@@ -430,5 +515,5 @@ let () =
             mkfs_cmd; put_cmd; cat_cmd; ls_cmd; mkdir_cmd; rm_cmd; tag_cmd;
             untag_cmd; tags_cmd; search_cmd; find_cmd; query_cmd; stat_cmd;
             info_cmd; mv_cmd; ln_cmd; insert_cmd; compact_cmd; metrics_cmd;
-            trace_cmd;
+            trace_cmd; serve_cmd; ping_cmd;
           ]))

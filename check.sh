@@ -38,6 +38,13 @@ dune exec test/test_main.exe -- test pathcache -e
 # its own — the scale-out refactor must never regress silently.
 dune exec test/test_main.exe -- test shard -e
 
+# Server gate: the front-door suite (wire roundtrip properties,
+# malformed/truncated-frame rejection without wedging the worker,
+# BUSY backpressure, the 4-domain many-client stress test asserting no
+# lost acks, the metrics prefix-pool audit) runs loudly on its own —
+# a network-facing regression must never hide in full-suite noise.
+dune exec test/test_main.exe -- test server -e
+
 # Bench bit-rot gate: every experiment at tiny N, asserting each runs to
 # completion. Numbers printed under --smoke are not measurements. O1
 # additionally asserts, on every run, that the hierarchical lookup
@@ -53,5 +60,19 @@ dune exec bench/main.exe -- --smoke W2
 # the warm hierarchical resolve costs <= 2x the native descent count,
 # the cold walk costs >= 5x, and the native tag path still wins cold.
 dune exec bench/main.exe -- --smoke R1
+
+# Front-door smoke gate: S1 asserts on every run that effective
+# throughput is monotone non-decreasing from 1 to 8 connections and
+# that the batched group-commit server beats sync-per-request acks.
+dune exec bench/main.exe -- --smoke S1
+
+# Documentation gate: every .mli doc comment must keep compiling to
+# HTML. Skipped (with a warning) where odoc isn't installed; CI
+# installs it, so the gate is always enforced before merge.
+if command -v odoc >/dev/null 2>&1; then
+  dune build @doc
+else
+  echo "check.sh: WARNING odoc not installed, skipping dune build @doc" >&2
+fi
 
 echo "check.sh: OK"

@@ -1,0 +1,129 @@
+(* Blocking wire-protocol client. See client.mli. *)
+
+exception Protocol_error of string
+
+type t = {
+  fd : Unix.file_descr;
+  stream : Wire.response Wire.Stream.t;
+  buf : Bytes.t;
+  mutable next_id : int;
+  mutable parked : (int * Wire.response) list;  (* out-of-order replies *)
+  mutable closed : bool;
+}
+
+let connect ?(host = "127.0.0.1") ~port () =
+  (* Same rationale as Server.start: a server that hangs up between two
+     of our sequential writes must surface as EPIPE (raised to the
+     caller as a Unix_error), not as a process-killing SIGPIPE. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ | Sys_error _ -> ());
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+     Unix.setsockopt fd Unix.TCP_NODELAY true
+   with exn ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise exn);
+  {
+    fd;
+    stream = Wire.Stream.responses ();
+    buf = Bytes.create 65536;
+    next_id = 1;
+    parked = [];
+    closed = false;
+  }
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end
+
+let send t req =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  let frame = Wire.encode_request ~id req in
+  let len = String.length frame in
+  let off = ref 0 in
+  while !off < len do
+    let n = Unix.write_substring t.fd frame !off (len - !off) in
+    if n = 0 then raise (Protocol_error "short write");
+    off := !off + n
+  done;
+  id
+
+let rec recv t =
+  match Wire.Stream.next t.stream with
+  | Wire.Stream.Frame (id, resp) -> (id, resp)
+  | Wire.Stream.Bad { reason; _ } ->
+      raise (Protocol_error ("undecodable response: " ^ reason))
+  | Wire.Stream.Awaiting -> (
+      match Unix.read t.fd t.buf 0 (Bytes.length t.buf) with
+      | 0 -> raise (Protocol_error "connection closed by server")
+      | n ->
+          Wire.Stream.feed t.stream t.buf n;
+          recv t
+      | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+          raise (Protocol_error "connection reset by server"))
+
+let call t req =
+  let id = send t req in
+  match List.assoc_opt id t.parked with
+  | Some resp ->
+      t.parked <- List.remove_assoc id t.parked;
+      resp
+  | None ->
+      let rec wait () =
+        let got_id, resp = recv t in
+        if got_id = id then resp
+        else begin
+          t.parked <- (got_id, resp) :: t.parked;
+          wait ()
+        end
+      in
+      wait ()
+
+(* --- conveniences -------------------------------------------------- *)
+
+let ping t =
+  let t0 = Unix.gettimeofday () in
+  match call t Wire.Ping with
+  | Wire.Ok_unit -> Unix.gettimeofday () -. t0
+  | other ->
+      raise
+        (Protocol_error (Format.asprintf "ping: %a" Wire.pp_response other))
+
+let put t ~key data =
+  match call t (Wire.Put { key; data }) with
+  | Wire.Ok_oid oid -> Ok oid
+  | other -> Error other
+
+let get t ~key =
+  match call t (Wire.Get { key }) with
+  | Wire.Ok_data d -> Ok d
+  | other -> Error other
+
+let delete t ~key =
+  match call t (Wire.Delete { key }) with
+  | Wire.Ok_unit -> Ok ()
+  | other -> Error other
+
+let tag t ~key ~tag:tg ~value =
+  match call t (Wire.Tag { key; tag = tg; value }) with
+  | Wire.Ok_unit -> Ok ()
+  | other -> Error other
+
+let search t query =
+  match call t (Wire.Search { query }) with
+  | Wire.Ok_hits hits -> Ok hits
+  | other -> Error other
+
+let stat t ~key =
+  match call t (Wire.Stat { key }) with
+  | Wire.Ok_stat { oid; size } -> Ok (oid, size)
+  | other -> Error other
+
+let flush t =
+  match call t Wire.Flush with
+  | Wire.Ok_unit -> Ok ()
+  | other -> Error other

@@ -1,0 +1,44 @@
+(** Blocking client for the {!Wire} protocol.
+
+    One TCP connection, synchronous call/response by default, with the
+    raw [send]/[recv] pair exposed for pipelined use (bursts, the BUSY
+    saturation tests). Request ids are assigned by the client and
+    matched on receipt; {!call} tolerates out-of-order replies by
+    parking frames for other ids. Not thread-safe — one [t] per
+    thread. *)
+
+type t
+
+exception Protocol_error of string
+(** The server closed the connection or sent an undecodable frame. *)
+
+val connect : ?host:string -> port:int -> unit -> t
+(** Default host [127.0.0.1]. @raise Unix.Unix_error on refusal. *)
+
+val close : t -> unit
+
+val send : t -> Wire.request -> int
+(** Fire one frame without waiting; returns its request id. *)
+
+val recv : t -> int * Wire.response
+(** Next response frame (parked frames first), blocking.
+    @raise Protocol_error on EOF or garbage. *)
+
+val call : t -> Wire.request -> Wire.response
+(** [send] + wait for that id's response. *)
+
+(** {1 Conveniences} — thin wrappers over {!call}. *)
+
+val ping : t -> float
+(** Round-trip time in seconds. @raise Protocol_error on a non-OK
+    reply. *)
+
+val put : t -> key:string -> string -> (int64, Wire.response) result
+val get : t -> key:string -> (string, Wire.response) result
+val delete : t -> key:string -> (unit, Wire.response) result
+val tag : t -> key:string -> tag:string -> value:string -> (unit, Wire.response) result
+val search : t -> string -> ((int64 * float) list, Wire.response) result
+val stat : t -> key:string -> (int64 * int64, Wire.response) result
+(** [(oid, size)] *)
+
+val flush : t -> (unit, Wire.response) result

@@ -1,0 +1,567 @@
+(* The network front door. See server.mli for the contract.
+
+   Shape: one accept domain, a fixed pool of worker domains, all
+   nonblocking fds multiplexed with select. The load-bearing decision
+   is in the worker loop: mutations are ACKNOWLEDGED into the write
+   pipeline as they arrive but their replies are parked, and one
+   [Fs.barrier] at the end of the iteration releases every parked reply
+   at once — the group commit's fixed cost is paid per batch, not per
+   request. Everything else (bounded inflight -> BUSY, poisoned frame
+   -> ERR + close) exists so a slow or hostile client costs the server
+   a constant amount of memory. *)
+
+module Fs = Hfad.Fs
+module Tag = Hfad_index.Tag
+module Oid = Hfad_osd.Oid
+module Trace = Hfad_trace.Trace
+module Registry = Hfad_metrics.Registry
+module Counter = Hfad_metrics.Counter
+module Prefix_pool = Hfad_metrics.Prefix_pool
+
+module Config = struct
+  type t = {
+    workers : int;
+    max_inflight : int;
+    sync_ack : bool;
+    read_bytes : int;
+  }
+
+  let default =
+    { workers = 2; max_inflight = 64; sync_ack = false; read_bytes = 64 * 1024 }
+
+  let v ?(workers = default.workers) ?(max_inflight = default.max_inflight)
+      ?(sync_ack = default.sync_ack) ?(read_bytes = default.read_bytes) () =
+    if workers < 1 then invalid_arg "Server.Config: workers < 1";
+    if max_inflight < 1 then invalid_arg "Server.Config: max_inflight < 1";
+    if read_bytes < 1 then invalid_arg "Server.Config: read_bytes < 1";
+    { workers; max_inflight; sync_ack; read_bytes }
+end
+
+type counters = {
+  accepted : Counter.t;
+  connections : Counter.t;  (* gauge *)
+  requests : Counter.t;
+  inflight : Counter.t;  (* gauge *)
+  busy : Counter.t;
+  batches : Counter.t;
+  batch_ops : Counter.t;
+  errors : Counter.t;
+  bytes_in : Counter.t;
+  bytes_out : Counter.t;
+}
+
+type conn = {
+  fd : Unix.file_descr;
+  cid : int;
+  stream : Wire.request Wire.Stream.t;
+  out : Buffer.t;  (* out[out_off ..] is pending output *)
+  mutable out_off : int;
+  mutable inflight : int;
+  mutable alive : bool;
+  mutable draining : bool;
+      (* poisoned stream: flush the ERR reply, then close; read no more *)
+}
+
+type worker = {
+  widx : int;
+  wake_r : Unix.file_descr;
+  wake_w : Unix.file_descr;
+  mu : Mutex.t;
+  incoming : Unix.file_descr Queue.t;  (* under [mu] *)
+  mutable conns : conn list;
+  mutable domain : unit Domain.t option;
+}
+
+type t = {
+  fs : Fs.t;
+  config : Config.t;
+  listen_fd : Unix.file_descr;
+  port_ : int;
+  workers : worker array;
+  shutdown : bool Atomic.t;
+  mutable accept_domain : unit Domain.t option;
+  prefix : string;
+  c : counters;
+  stop_mu : Mutex.t;
+  mutable stopped : bool;
+}
+
+type stats = {
+  accepted : int;
+  connections : int;
+  requests : int;
+  busy : int;
+  batches : int;
+  batch_ops : int;
+  errors : int;
+  bytes_in : int;
+  bytes_out : int;
+}
+
+(* --- small plumbing ----------------------------------------------- *)
+
+let wake w =
+  (* A full pipe already guarantees a wakeup is pending. *)
+  try ignore (Unix.write w.wake_w (Bytes.make 1 '!') 0 1) with
+  | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+  | Unix.Unix_error (Unix.EPIPE, _, _) -> ()
+
+let drain_wake w =
+  let buf = Bytes.create 64 in
+  let rec go () =
+    match Unix.read w.wake_r buf 0 64 with
+    | 64 -> go ()
+    | _ -> ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+  in
+  go ()
+
+let close_conn t c =
+  if c.alive then begin
+    c.alive <- false;
+    Counter.add t.c.connections (-1);
+    Counter.add t.c.inflight (-c.inflight);
+    c.inflight <- 0;
+    try Unix.close c.fd with Unix.Unix_error _ -> ()
+  end
+
+(* Push buffered output; EAGAIN leaves the rest for the next select
+   round, a dead peer closes the connection. *)
+let flush_out t c =
+  if c.alive then begin
+    let continue = ref true in
+    while !continue && c.out_off < Buffer.length c.out do
+      let pending = Buffer.length c.out - c.out_off in
+      match
+        Unix.write_substring c.fd (Buffer.contents c.out) c.out_off pending
+      with
+      | 0 -> continue := false
+      | n ->
+          c.out_off <- c.out_off + n;
+          Counter.add t.c.bytes_out n
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          continue := false
+      | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+          close_conn t c;
+          continue := false
+    done;
+    if c.alive && c.out_off = Buffer.length c.out then begin
+      Buffer.clear c.out;
+      c.out_off <- 0;
+      if c.draining then close_conn t c
+    end
+  end
+
+let respond t c ~id resp =
+  if c.alive then begin
+    Buffer.add_string c.out (Wire.encode_response ~id resp);
+    flush_out t c
+  end
+
+let finish_request t c =
+  c.inflight <- c.inflight - 1;
+  Counter.add t.c.inflight (-1)
+
+(* --- request execution -------------------------------------------- *)
+
+let key_name key = (Tag.Udef, key)
+let err_of t e = Counter.incr t.c.errors; Wire.Err (Fs.error_message e)
+
+let err_msg t msg = Counter.incr t.c.errors; Wire.Err msg
+
+(* Reads reply now; mutations reply [`Defer resp] — the response to
+   send once a barrier covers the acknowledged mutation. *)
+let execute t (req : Wire.request) :
+    [ `Reply of Wire.response | `Defer of Wire.response ] =
+  let lookup key = Fs.lookup_one t.fs [ key_name key ] in
+  try
+    match req with
+    | Wire.Ping -> `Reply Wire.Ok_unit
+    | Wire.Get { key } -> (
+        match lookup key with
+        | None -> `Reply Wire.Not_found
+        | Some oid -> `Reply (Wire.Ok_data (Fs.read_all t.fs oid)))
+    | Wire.Search { query } ->
+        let hits =
+          List.map
+            (fun (oid, score) -> (Oid.to_int64 oid, score))
+            (Fs.search t.fs query)
+        in
+        `Reply (Wire.Ok_hits hits)
+    | Wire.Stat { key } -> (
+        match lookup key with
+        | None -> `Reply Wire.Not_found
+        | Some oid ->
+            `Reply
+              (Wire.Ok_stat
+                 {
+                   oid = Oid.to_int64 oid;
+                   size = Int64.of_int (Fs.size t.fs oid);
+                 }))
+    | Wire.Put { key; data } -> (
+        match lookup key with
+        | Some oid -> (
+            match
+              Result.bind (Fs.truncate t.fs oid 0) (fun () ->
+                  if data = "" then Ok () else Fs.write t.fs oid ~off:0 data)
+            with
+            | Ok () ->
+                Fs.reindex t.fs oid;
+                `Defer (Wire.Ok_oid (Oid.to_int64 oid))
+            | Error e -> `Reply (err_of t e))
+        | None -> (
+            match Fs.create t.fs ~names:[ key_name key ] ~content:data with
+            | Ok oid -> `Defer (Wire.Ok_oid (Oid.to_int64 oid))
+            | Error e -> `Reply (err_of t e)))
+    | Wire.Delete { key } -> (
+        match lookup key with
+        | None -> `Reply Wire.Not_found
+        | Some oid -> (
+            match Fs.delete t.fs oid with
+            | Ok () -> `Defer Wire.Ok_unit
+            | Error e -> `Reply (err_of t e)))
+    | Wire.Tag { key; tag; value } -> (
+        match lookup key with
+        | None -> `Reply Wire.Not_found
+        | Some oid -> (
+            match Tag.of_string tag with
+            | exception Invalid_argument msg -> `Reply (err_msg t msg)
+            | tag -> (
+                match Fs.name t.fs oid tag value with
+                | Ok () -> `Defer Wire.Ok_unit
+                | Error e -> `Reply (err_of t e)
+                | exception Hfad_index.Index_store.Unsupported_tag tag ->
+                    `Reply
+                      (err_msg t
+                         (Format.asprintf "tag %a is not assignable" Tag.pp tag)))))
+    | Wire.Flush ->
+        (* No mutation of its own: the reply just rides the next
+           barrier, which is exactly the fsync the client asked for. *)
+        `Defer Wire.Ok_unit
+  with
+  | Hfad_osd.Osd.No_such_object _ -> `Reply Wire.Not_found
+  | exn -> `Reply (err_msg t (Printexc.to_string exn))
+
+(* Release one batch: a single barrier acks every parked reply. *)
+let release_batch t pending =
+  match pending with
+  | [] -> ()
+  | acks ->
+      Trace.with_span ~layer:"server" ~op:"batch" (fun () ->
+          if Trace.enabled () then
+            Trace.add_attr_int "ops" (List.length acks);
+          let result = Fs.barrier t.fs in
+          Counter.incr t.c.batches;
+          Counter.add t.c.batch_ops (List.length acks);
+          List.iter
+            (fun (c, id, resp) ->
+              let final =
+                match result with Ok () -> resp | Error e -> err_of t e
+              in
+              respond t c ~id final;
+              (* A connection that died mid-batch already returned its
+                 whole inflight budget in [close_conn]. *)
+              if c.inflight > 0 then finish_request t c)
+            (List.rev acks))
+
+(* --- the worker loop ----------------------------------------------- *)
+
+let handle_frames t ~pending c =
+  let rec go () =
+    if c.alive && not c.draining then
+      match Wire.Stream.next c.stream with
+      | Wire.Stream.Awaiting -> ()
+      | Wire.Stream.Bad { id; reason } ->
+          (* Framing is gone: answer what we can and drain out. *)
+          respond t c ~id:(Option.value ~default:0 id)
+            (err_msg t ("malformed frame: " ^ reason));
+          c.draining <- true;
+          if Buffer.length c.out = c.out_off then close_conn t c
+      | Wire.Stream.Frame (id, req) ->
+          (if c.inflight >= t.config.max_inflight then begin
+             Counter.incr t.c.busy;
+             respond t c ~id Wire.Busy
+           end
+           else begin
+             c.inflight <- c.inflight + 1;
+             Counter.add t.c.inflight 1;
+             Counter.incr t.c.requests;
+             let outcome =
+               Trace.with_span ~layer:"server" ~op:"request" (fun () ->
+                   if Trace.enabled () then begin
+                     Trace.add_attr "op"
+                       (Format.asprintf "%a" Wire.pp_request req);
+                     Trace.add_attr_int "conn" c.cid
+                   end;
+                   execute t req)
+             in
+             match outcome with
+             | `Reply resp ->
+                 respond t c ~id resp;
+                 finish_request t c
+             | `Defer resp ->
+                 if t.config.sync_ack then begin
+                   (* Per-request durability: the baseline configuration
+                      S1 measures group commit against. *)
+                   let final =
+                     match Fs.barrier t.fs with
+                     | Ok () -> resp
+                     | Error e -> err_of t e
+                   in
+                   Counter.incr t.c.batches;
+                   Counter.add t.c.batch_ops 1;
+                   respond t c ~id final;
+                   finish_request t c
+                 end
+                 else pending := (c, id, resp) :: !pending
+           end);
+          go ()
+  in
+  go ()
+
+let handle_readable t ~pending buf c =
+  if c.alive && not c.draining then
+    match Unix.read c.fd buf 0 (Bytes.length buf) with
+    | 0 -> close_conn t c
+    | n ->
+        Counter.add t.c.bytes_in n;
+        Wire.Stream.feed c.stream buf n;
+        handle_frames t ~pending c
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+        close_conn t c
+
+let adopt w =
+  let adopted =
+    Mutex.lock w.mu;
+    let fds = List.of_seq (Queue.to_seq w.incoming) in
+    Queue.clear w.incoming;
+    Mutex.unlock w.mu;
+    fds
+  in
+  List.iter
+    (fun fd ->
+      Unix.set_nonblock fd;
+      (try Unix.setsockopt fd Unix.TCP_NODELAY true
+       with Unix.Unix_error _ -> ());
+      let c =
+        {
+          fd;
+          cid = (w.widx lsl 20) lor (List.length w.conns);
+          stream = Wire.Stream.requests ();
+          out = Buffer.create 512;
+          out_off = 0;
+          inflight = 0;
+          alive = true;
+          draining = false;
+        }
+      in
+      w.conns <- c :: w.conns)
+    adopted
+
+let worker_loop t w =
+  let buf = Bytes.create t.config.read_bytes in
+  let pending = ref [] in
+  while not (Atomic.get t.shutdown) do
+    let live = List.filter (fun c -> c.alive) w.conns in
+    w.conns <- live;
+    let read_fds =
+      w.wake_r
+      :: List.filter_map
+           (fun c -> if c.draining then None else Some c.fd)
+           live
+    in
+    let write_fds =
+      List.filter_map
+        (fun c -> if Buffer.length c.out > c.out_off then Some c.fd else None)
+        live
+    in
+    match Unix.select read_fds write_fds [] 0.1 with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error (Unix.EBADF, _, _) ->
+        (* A peer died between the filter and the select: reap on the
+           next pass (read/write on it will raise and close cleanly). *)
+        List.iter
+          (fun c ->
+            match Unix.fstat c.fd with
+            | _ -> ()
+            | exception Unix.Unix_error _ -> close_conn t c)
+          live
+    | readable, writable, _ ->
+        if List.memq w.wake_r readable then begin
+          drain_wake w;
+          adopt w
+        end;
+        if not (Atomic.get t.shutdown) then begin
+          List.iter
+            (fun c -> if List.memq c.fd readable then handle_readable t ~pending buf c)
+            w.conns;
+          release_batch t !pending;
+          pending := [];
+          List.iter
+            (fun c ->
+              if
+                List.memq c.fd writable
+                || Buffer.length c.out > c.out_off
+              then flush_out t c)
+            w.conns
+        end
+  done;
+  (* Shutdown: nothing is parked (batches release inside the loop);
+     push out whatever is buffered and close. *)
+  release_batch t !pending;
+  List.iter
+    (fun c ->
+      flush_out t c;
+      close_conn t c)
+    w.conns;
+  w.conns <- []
+
+(* --- accept domain -------------------------------------------------- *)
+
+let accept_loop t =
+  let rr = ref 0 in
+  let continue = ref true in
+  while !continue && not (Atomic.get t.shutdown) do
+    match Unix.select [ t.listen_fd ] [] [] 0.1 with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error (Unix.EBADF, _, _) -> continue := false
+    | [], _, _ -> ()
+    | _ :: _, _, _ -> (
+        match Unix.accept t.listen_fd with
+        | fd, _addr ->
+            Trace.event ~layer:"server" ~op:"accept" ();
+            Counter.incr t.c.accepted;
+            Counter.add t.c.connections 1;
+            let w = t.workers.(!rr mod Array.length t.workers) in
+            incr rr;
+            Mutex.lock w.mu;
+            Queue.add fd w.incoming;
+            Mutex.unlock w.mu;
+            wake w
+        | exception
+            Unix.Unix_error
+              ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.ECONNABORTED | Unix.EINTR), _, _)
+          ->
+            ()
+        | exception Unix.Unix_error (Unix.EBADF, _, _) -> continue := false
+        | exception Unix.Unix_error (Unix.EINVAL, _, _) -> continue := false)
+  done
+
+(* --- lifecycle ------------------------------------------------------ *)
+
+let make_counters prefix : counters =
+  let c name = Registry.counter Registry.global (prefix ^ "." ^ name) in
+  {
+    accepted = c "accepted";
+    connections = c "connections";
+    requests = c "requests";
+    inflight = c "inflight";
+    busy = c "busy";
+    batches = c "batches";
+    batch_ops = c "batch_ops";
+    errors = c "errors";
+    bytes_in = c "bytes_in";
+    bytes_out = c "bytes_out";
+  }
+
+let start ?(config = Config.default) ?(port = 0) fs =
+  (* A peer that resets its connection between two of our sequential
+     writes would otherwise deliver SIGPIPE, whose default action kills
+     the whole process silently. Ignore it once, process-wide: every
+     write site here already handles the EPIPE that surfaces instead.
+     (No-op where the signal does not exist.) *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ | Sys_error _ -> ());
+  let listen_fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  let t =
+    try
+      Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
+      Unix.bind listen_fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      Unix.listen listen_fd 128;
+      Unix.set_nonblock listen_fd;
+      let port_ =
+        match Unix.getsockname listen_fd with
+        | Unix.ADDR_INET (_, p) -> p
+        | _ -> assert false
+      in
+      let prefix = Prefix_pool.acquire "server" in
+      let workers =
+        Array.init config.Config.workers (fun widx ->
+            let wake_r, wake_w = Unix.pipe () in
+            Unix.set_nonblock wake_r;
+            Unix.set_nonblock wake_w;
+            {
+              widx;
+              wake_r;
+              wake_w;
+              mu = Mutex.create ();
+              incoming = Queue.create ();
+              conns = [];
+              domain = None;
+            })
+      in
+      {
+        fs;
+        config;
+        listen_fd;
+        port_;
+        workers;
+        shutdown = Atomic.make false;
+        accept_domain = None;
+        prefix;
+        c = make_counters prefix;
+        stop_mu = Mutex.create ();
+        stopped = false;
+      }
+    with exn ->
+      (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+      raise exn
+  in
+  (* Group commit is what batching amortizes into; a no-op when already
+     running or when the Fs is configured for per-op durability. *)
+  Fs.start_pipeline fs;
+  Array.iter
+    (fun w -> w.domain <- Some (Domain.spawn (fun () -> worker_loop t w)))
+    t.workers;
+  t.accept_domain <- Some (Domain.spawn (fun () -> accept_loop t));
+  t
+
+let port t = t.port_
+let running t = not t.stopped
+let metrics_prefix t = t.prefix
+
+let stop t =
+  Mutex.lock t.stop_mu;
+  let first = not t.stopped in
+  t.stopped <- true;
+  Mutex.unlock t.stop_mu;
+  if first then begin
+    Atomic.set t.shutdown true;
+    (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+    Array.iter wake t.workers;
+    Option.iter Domain.join t.accept_domain;
+    t.accept_domain <- None;
+    Array.iter
+      (fun w ->
+        Option.iter Domain.join w.domain;
+        w.domain <- None;
+        (try Unix.close w.wake_r with Unix.Unix_error _ -> ());
+        try Unix.close w.wake_w with Unix.Unix_error _ -> ())
+      t.workers;
+    Prefix_pool.release t.prefix
+  end
+
+let stats t : stats =
+  let g c = Counter.get c in
+  {
+    accepted = g t.c.accepted;
+    connections = g t.c.connections;
+    requests = g t.c.requests;
+    busy = g t.c.busy;
+    batches = g t.c.batches;
+    batch_ops = g t.c.batch_ops;
+    errors = g t.c.errors;
+    bytes_in = g t.c.bytes_in;
+    bytes_out = g t.c.bytes_out;
+  }

@@ -1,0 +1,85 @@
+(** The network front door: a multi-domain TCP server speaking
+    {!Wire} over the native {!Hfad.Fs} API.
+
+    {b Topology.} One {e accept} domain owns the listening socket and
+    deals new connections round-robin onto a fixed pool of {e worker}
+    domains. Each worker multiplexes its connections with [select] and
+    runs a read → execute → commit → reply loop:
+
+    + drain every readable connection, decoding complete frames;
+    + answer reads ([Ping]/[Get]/[Search]/[Stat]) immediately;
+    + apply mutations ([Put]/[Delete]/[Tag]) to the [Fs] — each is
+      {e acknowledged} into the write pipeline but its reply is held
+      back;
+    + issue {b one} {!Hfad.Fs.barrier} for the whole iteration and only
+      then release every held reply — one group commit acks the batch,
+      so the journal's fixed cost is paid once per batch, not once per
+      request. ([Config.sync_ack] instead barriers after every mutation
+      — the per-request-durability baseline bench S1 measures against.)
+
+    {b Backpressure.} A connection may have at most
+    [Config.max_inflight] requests accepted-but-unanswered. Frames
+    beyond that budget are answered [Busy] {e without being executed} —
+    the server never buffers unboundedly on behalf of a client that will
+    not read its replies. Malformed or oversized frames get an [Err]
+    reply and the connection is closed (framing cannot resynchronize);
+    the worker keeps serving its other connections.
+
+    {b Observability.} Spans [server.accept], [server.request] (attrs
+    [op], [conn]) and [server.batch] (attr [ops]); pooled counters
+    [server<N>.{accepted,connections,requests,inflight,busy,batches,
+    batch_ops,errors,bytes_in,bytes_out}] — [connections] and
+    [inflight] are gauges, the rest monotone. *)
+
+module Config : sig
+  type t = {
+    workers : int;  (** worker domains (default 2) *)
+    max_inflight : int;
+        (** per-connection accepted-but-unanswered bound (default 64) *)
+    sync_ack : bool;
+        (** barrier per mutation instead of per batch (default false) *)
+    read_bytes : int;  (** bytes read per connection per wakeup (default 64 KiB) *)
+  }
+
+  val default : t
+
+  val v :
+    ?workers:int -> ?max_inflight:int -> ?sync_ack:bool -> ?read_bytes:int ->
+    unit -> t
+end
+
+type t
+
+val start : ?config:Config.t -> ?port:int -> Hfad.Fs.t -> t
+(** Bind [127.0.0.1:port] ([port = 0], the default, picks an ephemeral
+    port — read it back with {!port}), start the accept domain and the
+    worker pool, and start the [Fs] write pipeline (a no-op if already
+    running or the [Fs] is [sync_writes]). The caller keeps ownership of
+    the [Fs]: {!stop} does not close it.
+    @raise Unix.Unix_error if the socket cannot be bound. *)
+
+val port : t -> int
+val running : t -> bool
+
+val stop : t -> unit
+(** Close the listening socket, wake every worker, close every
+    connection (pending batched acks are barriered and flushed out
+    first), join all domains and release the metrics prefix. Idempotent. *)
+
+(** {1 Statistics} *)
+
+type stats = {
+  accepted : int;  (** connections ever accepted *)
+  connections : int;  (** currently open *)
+  requests : int;  (** well-formed frames executed (BUSY excluded) *)
+  busy : int;  (** frames refused with [Busy] *)
+  batches : int;  (** group-commit barriers issued for batched acks *)
+  batch_ops : int;  (** mutation acks released by those barriers *)
+  errors : int;  (** [Err] replies (storage errors + malformed frames) *)
+  bytes_in : int;
+  bytes_out : int;
+}
+
+val stats : t -> stats
+val metrics_prefix : t -> string
+(** The pooled [server<N>] prefix this instance publishes under. *)

@@ -1,0 +1,292 @@
+(* Wire codec for the network front door. See wire.mli for the frame
+   layout. Strictness is the point: every decoder checks that inner
+   lengths tile the payload exactly, so a corrupted or adversarial
+   stream turns into [Bad] instead of a misparse, and the qcheck
+   roundtrip property in test_server pins encode/decode as inverses. *)
+
+let max_frame_bytes = 16 * 1024 * 1024
+
+type request =
+  | Ping
+  | Put of { key : string; data : string }
+  | Get of { key : string }
+  | Delete of { key : string }
+  | Tag of { key : string; tag : string; value : string }
+  | Search of { query : string }
+  | Stat of { key : string }
+  | Flush
+
+type response =
+  | Ok_unit
+  | Ok_oid of int64
+  | Ok_data of string
+  | Ok_hits of (int64 * float) list
+  | Ok_stat of { oid : int64; size : int64 }
+  | Not_found
+  | Busy
+  | Err of string
+
+let mutates = function
+  | Put _ | Delete _ | Tag _ | Flush -> true
+  | Ping | Get _ | Search _ | Stat _ -> false
+
+let equal_request (a : request) (b : request) = a = b
+let equal_response (a : response) (b : response) = a = b
+
+let pp_request fmt = function
+  | Ping -> Format.fprintf fmt "PING"
+  | Put { key; data } -> Format.fprintf fmt "PUT %s (%d bytes)" key (String.length data)
+  | Get { key } -> Format.fprintf fmt "GET %s" key
+  | Delete { key } -> Format.fprintf fmt "DELETE %s" key
+  | Tag { key; tag; value } -> Format.fprintf fmt "TAG %s %s/%s" key tag value
+  | Search { query } -> Format.fprintf fmt "SEARCH %s" query
+  | Stat { key } -> Format.fprintf fmt "STAT %s" key
+  | Flush -> Format.fprintf fmt "FLUSH"
+
+let pp_response fmt = function
+  | Ok_unit -> Format.fprintf fmt "OK"
+  | Ok_oid oid -> Format.fprintf fmt "OK oid=%Ld" oid
+  | Ok_data d -> Format.fprintf fmt "OK (%d bytes)" (String.length d)
+  | Ok_hits hits -> Format.fprintf fmt "OK %d hit(s)" (List.length hits)
+  | Ok_stat { oid; size } -> Format.fprintf fmt "OK oid=%Ld size=%Ld" oid size
+  | Not_found -> Format.fprintf fmt "NOT_FOUND"
+  | Busy -> Format.fprintf fmt "BUSY"
+  | Err msg -> Format.fprintf fmt "ERR %s" msg
+
+(* --- encoding ----------------------------------------------------- *)
+
+(* Inner strings carried with a u16 length prefix (keys, tags, values —
+   short by construction); bulk data (content, query, error text) is
+   the frame's trailing bytes, so it pays no second length. *)
+let add_str16 b s =
+  if String.length s > 0xFFFF then
+    invalid_arg "Wire: string field exceeds 65535 bytes";
+  Buffer.add_uint16_be b (String.length s);
+  Buffer.add_string b s
+
+let request_kind = function
+  | Ping -> 0
+  | Put _ -> 1
+  | Get _ -> 2
+  | Delete _ -> 3
+  | Tag _ -> 4
+  | Search _ -> 5
+  | Stat _ -> 6
+  | Flush -> 7
+
+let response_kind = function
+  | Ok_unit -> 0
+  | Ok_oid _ -> 1
+  | Ok_data _ -> 2
+  | Ok_hits _ -> 3
+  | Ok_stat _ -> 4
+  | Not_found -> 16
+  | Busy -> 17
+  | Err _ -> 18
+
+let add_request_payload b = function
+  | Ping | Flush -> ()
+  | Put { key; data } ->
+      add_str16 b key;
+      Buffer.add_string b data
+  | Get { key } | Delete { key } | Stat { key } -> add_str16 b key
+  | Tag { key; tag; value } ->
+      add_str16 b key;
+      add_str16 b tag;
+      add_str16 b value
+  | Search { query } -> Buffer.add_string b query
+
+let add_response_payload b = function
+  | Ok_unit | Not_found | Busy -> ()
+  | Ok_oid oid -> Buffer.add_int64_be b oid
+  | Ok_data d -> Buffer.add_string b d
+  | Ok_hits hits ->
+      Buffer.add_int32_be b (Int32.of_int (List.length hits));
+      List.iter
+        (fun (oid, score) ->
+          Buffer.add_int64_be b oid;
+          Buffer.add_int64_be b (Int64.bits_of_float score))
+        hits
+  | Ok_stat { oid; size } ->
+      Buffer.add_int64_be b oid;
+      Buffer.add_int64_be b size
+  | Err msg -> Buffer.add_string b msg
+
+let encode ~id ~kind add_payload msg =
+  let payload = Buffer.create 64 in
+  add_payload payload msg;
+  let len = 5 + Buffer.length payload in
+  if len > max_frame_bytes then invalid_arg "Wire: frame exceeds max_frame_bytes";
+  let b = Buffer.create (4 + len) in
+  Buffer.add_int32_be b (Int32.of_int len);
+  Buffer.add_int32_be b (Int32.of_int id);
+  Buffer.add_uint8 b kind;
+  Buffer.add_buffer b payload;
+  Buffer.contents b
+
+let encode_request ~id req =
+  encode ~id ~kind:(request_kind req) add_request_payload req
+
+let encode_response ~id resp =
+  encode ~id ~kind:(response_kind resp) add_response_payload resp
+
+(* --- decoding ----------------------------------------------------- *)
+
+(* A tiny cursor over one payload; every reader checks bounds and the
+   top-level decoder checks the cursor finished exactly at the end. *)
+exception Short
+
+let u16 s pos =
+  if !pos + 2 > String.length s then raise Short;
+  let v = String.get_uint16_be s !pos in
+  pos := !pos + 2;
+  v
+
+let u32 s pos =
+  if !pos + 4 > String.length s then raise Short;
+  let v = Int32.to_int (String.get_int32_be s !pos) land 0xFFFFFFFF in
+  pos := !pos + 4;
+  v
+
+let u64 s pos =
+  if !pos + 8 > String.length s then raise Short;
+  let v = String.get_int64_be s !pos in
+  pos := !pos + 8;
+  v
+
+let str16 s pos =
+  let n = u16 s pos in
+  if !pos + n > String.length s then raise Short;
+  let v = String.sub s !pos n in
+  pos := !pos + n;
+  v
+
+let rest s pos =
+  let v = String.sub s !pos (String.length s - !pos) in
+  pos := String.length s;
+  v
+
+let exactly_consumed s pos decoded =
+  if !pos = String.length s then Ok decoded
+  else Error "trailing bytes after payload"
+
+let decode_request kind payload =
+  let pos = ref 0 in
+  let fin v = exactly_consumed payload pos v in
+  try
+    match kind with
+    | 0 -> fin Ping
+    | 1 ->
+        let key = str16 payload pos in
+        fin (Put { key; data = rest payload pos })
+    | 2 -> fin (Get { key = str16 payload pos })
+    | 3 -> fin (Delete { key = str16 payload pos })
+    | 4 ->
+        let key = str16 payload pos in
+        let tag = str16 payload pos in
+        fin (Tag { key; tag; value = str16 payload pos })
+    | 5 -> fin (Search { query = rest payload pos })
+    | 6 -> fin (Stat { key = str16 payload pos })
+    | 7 -> fin Flush
+    | k -> Error (Printf.sprintf "unknown request opcode %d" k)
+  with Short -> Error "truncated request payload"
+
+let decode_response kind payload =
+  let pos = ref 0 in
+  let fin v = exactly_consumed payload pos v in
+  try
+    match kind with
+    | 0 -> fin Ok_unit
+    | 1 -> fin (Ok_oid (u64 payload pos))
+    | 2 -> fin (Ok_data (rest payload pos))
+    | 3 ->
+        let n = u32 payload pos in
+        if String.length payload - !pos <> n * 16 then
+          Error "hit count disagrees with payload length"
+        else
+          fin
+            (Ok_hits
+               (List.init n (fun _ ->
+                    let oid = u64 payload pos in
+                    (oid, Int64.float_of_bits (u64 payload pos)))))
+    | 4 ->
+        let oid = u64 payload pos in
+        fin (Ok_stat { oid; size = u64 payload pos })
+    | 16 -> fin Not_found
+    | 17 -> fin Busy
+    | 18 -> fin (Err (rest payload pos))
+    | k -> Error (Printf.sprintf "unknown response status %d" k)
+  with Short -> Error "truncated response payload"
+
+(* --- stream decoder ------------------------------------------------ *)
+
+module Stream = struct
+  type 'msg item =
+    | Frame of int * 'msg
+    | Awaiting
+    | Bad of { id : int option; reason : string }
+
+  type 'msg t = {
+    decode : int -> string -> ('msg, string) result;
+    mutable data : string;  (* data[pos ..] is the unconsumed input *)
+    mutable pos : int;
+    mutable poison : 'msg item option;  (* sticky Bad *)
+  }
+
+  let make decode = { decode; data = ""; pos = 0; poison = None }
+  let requests () = make decode_request
+  let responses () = make decode_response
+  let buffered t = String.length t.data - t.pos
+
+  let feed t buf n =
+    if n > 0 then begin
+      let b = Buffer.create (buffered t + n) in
+      Buffer.add_substring b t.data t.pos (buffered t);
+      Buffer.add_subbytes b buf 0 n;
+      t.data <- Buffer.contents b;
+      t.pos <- 0
+    end
+
+  let feed_string t s = feed t (Bytes.unsafe_of_string s) (String.length s)
+
+  let poison t id reason =
+    let item = Bad { id; reason } in
+    t.poison <- Some item;
+    (* Nothing fed after a poisoned frame can be trusted: drop it. *)
+    t.data <- "";
+    t.pos <- 0;
+    item
+
+  let next t =
+    match t.poison with
+    | Some item -> item
+    | None ->
+        let avail = buffered t in
+        if avail < 4 then Awaiting
+        else
+          let len =
+            Int32.to_int (String.get_int32_be t.data t.pos) land 0xFFFFFFFF
+          in
+          if len < 5 then poison t None (Printf.sprintf "frame length %d < 5" len)
+          else if len > max_frame_bytes then
+            poison t None
+              (Printf.sprintf "frame length %d exceeds the %d-byte bound" len
+                 max_frame_bytes)
+          else if avail < 4 + len then Awaiting
+          else begin
+            let id =
+              Int32.to_int (String.get_int32_be t.data (t.pos + 4))
+              land 0xFFFFFFFF
+            in
+            let kind = Char.code t.data.[t.pos + 8] in
+            let payload = String.sub t.data (t.pos + 9) (len - 5) in
+            t.pos <- t.pos + 4 + len;
+            if t.pos = String.length t.data then begin
+              t.data <- "";
+              t.pos <- 0
+            end;
+            match t.decode kind payload with
+            | Ok msg -> Frame (id, msg)
+            | Error reason -> poison t (Some id) reason
+          end
+end

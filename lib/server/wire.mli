@@ -1,0 +1,112 @@
+(** Wire protocol of the network front door.
+
+    A tiny length-prefixed binary protocol over TCP — the paper's native
+    API (put/get/delete + the naming operations tag/search/stat) made
+    remotely callable, plus the two control verbs a durability pipeline
+    needs ([Flush] = client-visible fsync barrier, [Ping] = liveness and
+    RTT floor).
+
+    {b Frame layout} (all integers big-endian):
+
+    {v
+      u32  length     bytes after this field (= 5 + payload)
+      u32  id         request id, echoed verbatim in the response
+      u8   kind       opcode (requests) / status (responses)
+      ...  payload    kind-specific, see below
+    v}
+
+    Inner strings are length-prefixed ([u16] for keys/tags/values,
+    trailing-bytes for content and error messages, so bulk data is never
+    re-framed). A frame whose [length] exceeds {!max_frame_bytes}, whose
+    opcode is unknown, or whose payload disagrees with its inner length
+    fields is {e malformed}: the server answers [Err] and closes that
+    connection — framing is not recoverable once the stream is
+    desynchronized.
+
+    Responses carry their own kind byte (not the request's), so decoding
+    is context-free: every [kind × payload] combination decodes without
+    knowing which request it answers. Responses to one connection may
+    arrive out of request order (reads are answered immediately,
+    mutation acks ride the next group commit); match on [id].
+
+    Objects are keyed by a [UDEF/<key>] name — one name among many, per
+    the paper; [Tag] attaches more. *)
+
+val max_frame_bytes : int
+(** Hard bound on [length] (16 MiB): larger frames are malformed, never
+    buffered. *)
+
+type request =
+  | Ping
+  | Put of { key : string; data : string }
+      (** create-or-replace the object named [UDEF/key] *)
+  | Get of { key : string }
+  | Delete of { key : string }
+  | Tag of { key : string; tag : string; value : string }
+      (** attach one more [TAG/value] name (tag parsed per
+          {!Hfad_index.Tag.of_string}) *)
+  | Search of { query : string }  (** ranked full-text search *)
+  | Stat of { key : string }
+  | Flush  (** barrier: ack only once everything this connection was
+               acked for is durable *)
+
+type response =
+  | Ok_unit  (** Ping/Delete/Tag/Flush success *)
+  | Ok_oid of int64  (** Put success: the object's OID *)
+  | Ok_data of string  (** Get success *)
+  | Ok_hits of (int64 * float) list  (** Search success: (oid, score) *)
+  | Ok_stat of { oid : int64; size : int64 }  (** Stat success *)
+  | Not_found  (** no object named [UDEF/key] *)
+  | Busy
+      (** backpressure: the connection exceeded its inflight budget; the
+          request was {e not} executed — retry after draining replies *)
+  | Err of string  (** failed (storage error, malformed frame, bad tag) *)
+
+val mutates : request -> bool
+(** Whether the request's ack must wait for a durability point ([Put],
+    [Delete], [Tag], [Flush]). *)
+
+val pp_request : Format.formatter -> request -> unit
+val pp_response : Format.formatter -> response -> unit
+val equal_request : request -> request -> bool
+val equal_response : response -> response -> bool
+
+(** {1 Encoding} *)
+
+val encode_request : id:int -> request -> string
+(** One complete frame. [id] is truncated to 32 bits. *)
+
+val encode_response : id:int -> response -> string
+
+(** {1 Decoding}
+
+    A {!Stream.t} consumes raw TCP bytes and yields complete frames;
+    partial frames wait for more input, malformed input is terminal. *)
+
+module Stream : sig
+  type 'msg t
+
+  type 'msg item =
+    | Frame of int * 'msg  (** id, decoded message *)
+    | Awaiting  (** no complete frame buffered; feed more bytes *)
+    | Bad of { id : int option; reason : string }
+        (** malformed frame ([id] when the header was readable); the
+            stream is desynchronized — every later {!next} returns
+            [Bad], the connection must close *)
+
+  val requests : unit -> request t
+  val responses : unit -> response t
+
+  val feed : 'msg t -> bytes -> int -> unit
+  (** [feed t buf n] appends the first [n] bytes of [buf]. *)
+
+  val feed_string : 'msg t -> string -> unit
+
+  val next : 'msg t -> 'msg item
+  (** Decode the next complete frame, consuming it. *)
+
+  val buffered : 'msg t -> int
+  (** Bytes fed but not yet consumed (bounded by one frame +
+      readahead; the fixed header is enough to reject oversized
+      frames, so a hostile length prefix never allocates). *)
+end

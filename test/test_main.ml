@@ -23,5 +23,6 @@ let () =
       ("journal", Test_journal.suite);
       ("concurrency", Test_concurrency.suite);
       ("pipeline", Test_pipeline.suite);
+      ("server", Test_server.suite);
       ("integration", Test_integration.suite);
     ]

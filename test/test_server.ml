@@ -1,0 +1,428 @@
+(* The network front door: wire-codec properties (encode/decode are
+   inverses under arbitrary chunking), malformed/truncated/oversized
+   frame rejection that never wedges a worker, op semantics over a real
+   TCP roundtrip, BUSY backpressure under a one-write burst, a 4-domain
+   many-client stress test asserting no lost acks, and the metrics
+   prefix-pool audit every per-instance layer gets. *)
+
+module Device = Hfad_blockdev.Device
+module Fs = Hfad.Fs
+module Tag = Hfad_index.Tag
+module Oid = Hfad_osd.Oid
+module Server = Hfad_server.Server
+module Client = Hfad_server.Client
+module Wire = Hfad_server.Wire
+module Registry = Hfad_metrics.Registry
+module Prefix_pool = Hfad_metrics.Prefix_pool
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+(* Journaled stack so a barrier is a real group commit; 4 KiB blocks,
+   32 MiB device. *)
+let fs_config =
+  Fs.Config.v ~cache_pages:1024 ~journal_pages:256 ()
+
+let with_server ?(config = Server.Config.v ()) f =
+  let dev = Device.create ~block_size:4096 ~blocks:8192 () in
+  let fs = Fs.format ~config:fs_config dev in
+  let server = Server.start ~config fs in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.stop server;
+      Fs.close fs)
+    (fun () -> f fs server)
+
+let with_client server f =
+  let c = Client.connect ~port:(Server.port server) () in
+  Fun.protect ~finally:(fun () -> Client.close c) (fun () -> f c)
+
+let ok = function
+  | Ok v -> v
+  | Error resp ->
+      Alcotest.failf "unexpected response: %a" Wire.pp_response resp
+
+(* --- raw-socket helpers (tests that must control framing) ----------- *)
+
+let raw_connect server =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd
+    (Unix.ADDR_INET (Unix.inet_addr_loopback, Server.port server));
+  Unix.setsockopt fd Unix.TCP_NODELAY true;
+  fd
+
+let raw_send_all fd s =
+  let off = ref 0 in
+  while !off < String.length s do
+    off := !off + Unix.write_substring fd s !off (String.length s - !off)
+  done
+
+(* Read until [n] response frames arrived (or EOF, returning fewer). *)
+let raw_recv_responses fd n =
+  let stream = Wire.Stream.responses () in
+  let buf = Bytes.create 65536 in
+  let out = ref [] in
+  let eof = ref false in
+  while List.length !out < n && not !eof do
+    match Wire.Stream.next stream with
+    | Wire.Stream.Frame (id, resp) -> out := (id, resp) :: !out
+    | Wire.Stream.Bad { reason; _ } -> Alcotest.failf "bad response: %s" reason
+    | Wire.Stream.Awaiting -> (
+        match Unix.read fd buf 0 (Bytes.length buf) with
+        | 0 -> eof := true
+        | got -> Wire.Stream.feed stream buf got
+        | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> eof := true)
+  done;
+  List.rev !out
+
+(* --- codec properties ---------------------------------------------- *)
+
+let gen_key =
+  QCheck.Gen.(map Bytes.unsafe_to_string (bytes_size (int_range 0 40)))
+
+let gen_request =
+  let open QCheck.Gen in
+  let blob = map Bytes.unsafe_to_string (bytes_size (int_range 0 2000)) in
+  oneof
+    [
+      return Wire.Ping;
+      return Wire.Flush;
+      map2 (fun key data -> Wire.Put { key; data }) gen_key blob;
+      map (fun key -> Wire.Get { key }) gen_key;
+      map (fun key -> Wire.Delete { key }) gen_key;
+      map3
+        (fun key tag value -> Wire.Tag { key; tag; value })
+        gen_key gen_key gen_key;
+      map (fun query -> Wire.Search { query }) blob;
+      map (fun key -> Wire.Stat { key }) gen_key;
+    ]
+
+let gen_response =
+  let open QCheck.Gen in
+  let blob = map Bytes.unsafe_to_string (bytes_size (int_range 0 2000)) in
+  (* Scores built from integers: finite, and bit-exact through the
+     Int64.bits_of_float roundtrip, so structural equality is fair. *)
+  let score = map (fun n -> float_of_int n /. 64.) (int_range (-1000) 1000) in
+  let oid = map Int64.of_int (int_range 0 1_000_000) in
+  oneof
+    [
+      return Wire.Ok_unit;
+      return Wire.Not_found;
+      return Wire.Busy;
+      map (fun o -> Wire.Ok_oid o) oid;
+      map (fun d -> Wire.Ok_data d) blob;
+      map (fun hits -> Wire.Ok_hits hits) (list_size (int_range 0 30) (pair oid score));
+      map2 (fun o s -> Wire.Ok_stat { oid = o; size = s }) oid
+        (map Int64.of_int (int_range 0 1_000_000));
+      map (fun msg -> Wire.Err msg) blob;
+    ]
+
+(* Feed an encoded frame in arbitrary chunk sizes; the stream must
+   produce exactly the original message and then go quiet. *)
+let roundtrip_through_chunks ~mk_stream ~equal ~pp (id, msg, chunk) =
+  let encoded =
+    match msg with
+    | `Req r -> Wire.encode_request ~id r
+    | `Resp r -> Wire.encode_response ~id r
+  in
+  let stream = mk_stream () in
+  let n = String.length encoded in
+  let pos = ref 0 in
+  let decoded = ref None in
+  while !pos < n do
+    let step = min chunk (n - !pos) in
+    Wire.Stream.feed_string stream (String.sub encoded !pos step);
+    pos := !pos + step;
+    (match Wire.Stream.next stream with
+    | Wire.Stream.Frame (got_id, got) ->
+        if !decoded <> None then Alcotest.fail "frame decoded twice";
+        if got_id <> id then Alcotest.failf "id %d decoded as %d" id got_id;
+        decoded := Some got
+    | Wire.Stream.Awaiting -> ()
+    | Wire.Stream.Bad { reason; _ } -> Alcotest.failf "Bad: %s" reason);
+    (* A partial or fully-consumed buffer must never yield a frame. *)
+    match Wire.Stream.next stream with
+    | Wire.Stream.Awaiting -> ()
+    | _ -> Alcotest.fail "stream produced a second item"
+  done;
+  match !decoded with
+  | None -> false
+  | Some got ->
+      if not (equal got msg) then
+        Alcotest.failf "decoded %a" pp got;
+      true
+
+let prop_request_roundtrip =
+  QCheck.Test.make ~count:300 ~name:"wire request chunked roundtrip"
+    (QCheck.make
+       QCheck.Gen.(
+         triple (int_range 0 0xFFFFFF) gen_request (int_range 1 64)))
+    (fun (id, req, chunk) ->
+      roundtrip_through_chunks
+        ~mk_stream:Wire.Stream.requests
+        ~equal:(fun got msg ->
+          match msg with `Req r -> Wire.equal_request got r | _ -> false)
+        ~pp:Wire.pp_request
+        (id, `Req req, chunk))
+
+let prop_response_roundtrip =
+  QCheck.Test.make ~count:300 ~name:"wire response chunked roundtrip"
+    (QCheck.make
+       QCheck.Gen.(
+         triple (int_range 0 0xFFFFFF) gen_response (int_range 1 64)))
+    (fun (id, resp, chunk) ->
+      roundtrip_through_chunks
+        ~mk_stream:Wire.Stream.responses
+        ~equal:(fun got msg ->
+          match msg with `Resp r -> Wire.equal_response got r | _ -> false)
+        ~pp:Wire.pp_response
+        (id, `Resp resp, chunk))
+
+(* --- stream rejection ----------------------------------------------- *)
+
+let test_stream_rejects () =
+  (* Undersized length prefix. *)
+  let s = Wire.Stream.requests () in
+  Wire.Stream.feed_string s "\x00\x00\x00\x01";
+  (match Wire.Stream.next s with
+  | Wire.Stream.Bad { id = None; _ } -> ()
+  | _ -> Alcotest.fail "length 1 not rejected");
+  (* Sticky: anything after the poison stays Bad. *)
+  Wire.Stream.feed_string s (Wire.encode_request ~id:7 Wire.Ping);
+  (match Wire.Stream.next s with
+  | Wire.Stream.Bad _ -> ()
+  | _ -> Alcotest.fail "poisoned stream recovered");
+  (* Oversized length: rejected from the 4-byte header alone. *)
+  let s = Wire.Stream.requests () in
+  Wire.Stream.feed_string s "\x7f\xff\xff\xff";
+  (match Wire.Stream.next s with
+  | Wire.Stream.Bad { id = None; _ } -> ()
+  | _ -> Alcotest.fail "oversized frame not rejected");
+  check Alcotest.int "oversized header buffered, not allocated" 0
+    (Wire.Stream.buffered s);
+  (* Unknown opcode: id recovered from the readable header. *)
+  let s = Wire.Stream.requests () in
+  Wire.Stream.feed_string s "\x00\x00\x00\x05\x00\x00\x00\x2a\x63";
+  (match Wire.Stream.next s with
+  | Wire.Stream.Bad { id = Some 42; _ } -> ()
+  | _ -> Alcotest.fail "unknown opcode not rejected with its id");
+  (* Inner length disagreeing with the payload. *)
+  let s = Wire.Stream.requests () in
+  (* GET frame whose key length claims 10 bytes but carries 2. *)
+  Wire.Stream.feed_string s "\x00\x00\x00\x09\x00\x00\x00\x01\x02\x00\x0aab";
+  match Wire.Stream.next s with
+  | Wire.Stream.Bad { id = Some 1; _ } -> ()
+  | _ -> Alcotest.fail "inner-length lie not rejected"
+
+let test_truncated_is_awaiting () =
+  let frame = Wire.encode_request ~id:3 (Wire.Put { key = "k"; data = "xyz" }) in
+  let s = Wire.Stream.requests () in
+  (* Byte at a time, stopping one short of the full frame. *)
+  for i = 0 to String.length frame - 2 do
+    Wire.Stream.feed_string s (String.sub frame i 1)
+  done;
+  (* One byte short of the full frame so far. *)
+  (match Wire.Stream.next s with
+  | Wire.Stream.Awaiting -> ()
+  | _ -> Alcotest.fail "truncated frame should await");
+  Wire.Stream.feed_string s (String.sub frame (String.length frame - 1) 1);
+  match Wire.Stream.next s with
+  | Wire.Stream.Frame (3, Wire.Put { key = "k"; data = "xyz" }) -> ()
+  | _ -> Alcotest.fail "completed frame should decode"
+
+(* --- live-server semantics ------------------------------------------ *)
+
+let test_op_roundtrip () =
+  with_server (fun fs server ->
+      with_client server (fun c ->
+          let rtt = Client.ping c in
+          check Alcotest.bool "rtt sane" true (rtt >= 0.0 && rtt < 10.0);
+          let oid = ok (Client.put c ~key:"a" "hello world") in
+          check Alcotest.string "get returns content" "hello world"
+            (ok (Client.get c ~key:"a"));
+          let soid, size = ok (Client.stat c ~key:"a") in
+          check Alcotest.int64 "stat oid" oid soid;
+          check Alcotest.int64 "stat size" 11L size;
+          (* Replace in place: same key, same object. *)
+          let oid2 = ok (Client.put c ~key:"a" "goodbye") in
+          check Alcotest.int64 "replace keeps the oid" oid oid2;
+          check Alcotest.string "replaced content" "goodbye"
+            (ok (Client.get c ~key:"a"));
+          (match Client.get c ~key:"missing" with
+          | Error Wire.Not_found -> ()
+          | _ -> Alcotest.fail "missing key should be NOT_FOUND");
+          (* TAG lands in the index: visible through the native API. *)
+          ok (Client.tag c ~key:"a" ~tag:"USER" ~value:"margo");
+          let hits = Fs.lookup fs [ (Tag.User, "margo") ] in
+          check Alcotest.bool "tagged object found natively" true
+            (List.exists (fun o -> Oid.to_int64 o = oid) hits);
+          (match Client.tag c ~key:"a" ~tag:"ID" ~value:"9" with
+          | Error (Wire.Err _) -> ()
+          | _ -> Alcotest.fail "ID tag must be refused");
+          (* FLUSH drains the lazy indexer via the group commit, making
+             content searchable. *)
+          let boid = ok (Client.put c ~key:"b" "the quick brown fox") in
+          ok (Client.flush c);
+          let hits = ok (Client.search c "quick fox") in
+          check Alcotest.bool "search finds fresh content" true
+            (List.exists (fun (o, _) -> o = boid) hits);
+          ok (Client.delete c ~key:"a");
+          (match Client.get c ~key:"a" with
+          | Error Wire.Not_found -> ()
+          | _ -> Alcotest.fail "deleted key should be NOT_FOUND");
+          match Client.delete c ~key:"a" with
+          | Error Wire.Not_found -> ()
+          | _ -> Alcotest.fail "double delete should be NOT_FOUND"))
+
+let test_malformed_does_not_wedge_worker () =
+  (* One worker, so both connections share it: the poisoned one must
+     die without taking the healthy one along. *)
+  with_server ~config:(Server.Config.v ~workers:1 ()) (fun _fs server ->
+      with_client server (fun healthy ->
+          ignore (ok (Client.put healthy ~key:"sane" "before"));
+          let evil = raw_connect server in
+          (* 32 bytes of garbage whose length prefix is enormous. *)
+          raw_send_all evil (String.make 32 '\xff');
+          (match raw_recv_responses evil 1 with
+          | [ (_, Wire.Err _) ] -> ()
+          | other ->
+              Alcotest.failf "expected ERR, got %d frame(s)" (List.length other));
+          (* ...and then EOF: the server closed the poisoned stream. *)
+          check Alcotest.int "poisoned connection closed" 0
+            (List.length (raw_recv_responses evil 1));
+          Unix.close evil;
+          (* Truncated frame then hangup: no reply owed, no wedge. *)
+          let half = raw_connect server in
+          let frame = Wire.encode_request ~id:1 (Wire.Put { key = "h"; data = "zz" }) in
+          raw_send_all half (String.sub frame 0 (String.length frame - 1));
+          Unix.close half;
+          (* The shared worker still serves the healthy connection. *)
+          check Alcotest.string "worker survives poisoned peers" "before"
+            (ok (Client.get healthy ~key:"sane"));
+          ignore (ok (Client.put healthy ~key:"sane" "after"));
+          check Alcotest.string "worker still mutates" "after"
+            (ok (Client.get healthy ~key:"sane"))))
+
+let test_busy_backpressure () =
+  let max_inflight = 4 in
+  with_server
+    ~config:(Server.Config.v ~workers:1 ~max_inflight ())
+    (fun _fs server ->
+      let fd = raw_connect server in
+      let burst = 64 in
+      (* One write carrying the whole burst: the worker's next read
+         parses far more frames than the inflight budget allows. *)
+      let b = Buffer.create 4096 in
+      for id = 1 to burst do
+        Buffer.add_string b
+          (Wire.encode_request ~id (Wire.Put { key = "burst"; data = "x" }))
+      done;
+      raw_send_all fd (Buffer.contents b);
+      let replies = raw_recv_responses fd burst in
+      check Alcotest.int "every frame answered" burst (List.length replies);
+      let busy, rest =
+        List.partition (fun (_, r) -> r = Wire.Busy) replies
+      in
+      check Alcotest.bool "BUSY under saturation" true (List.length busy > 0);
+      check Alcotest.bool "accepted requests still acked" true
+        (List.length rest > 0);
+      List.iter
+        (fun (_, r) ->
+          match r with
+          | Wire.Ok_oid _ | Wire.Busy -> ()
+          | other -> Alcotest.failf "unexpected reply %a" Wire.pp_response other)
+        replies;
+      (* Ids are answered exactly once. *)
+      let ids = List.sort compare (List.map fst replies) in
+      check (Alcotest.list Alcotest.int) "ids answered exactly once"
+        (List.init burst (fun i -> i + 1))
+        ids;
+      let stats = Server.stats server in
+      check Alcotest.bool "busy counted" true (stats.Server.busy >= List.length busy);
+      Unix.close fd;
+      (* Saturation refused work; it must not have broken the server. *)
+      with_client server (fun c ->
+          check Alcotest.string "server alive after saturation" "x"
+            (ok (Client.get c ~key:"burst"))))
+
+let test_stress_no_lost_acks () =
+  (* 4 worker domains, 8 sync client threads: every request must get
+     exactly one reply (Client.call raises on anything else), every
+     written value must read back, and nothing may be refused BUSY
+     (sync clients never exceed an inflight budget of 1). *)
+  let clients = 8 and keys_per_client = 6 and rounds = 40 in
+  with_server ~config:(Server.Config.v ~workers:4 ()) (fun _fs server ->
+      let errors = Array.make clients None in
+      let threads =
+        List.init clients (fun ci ->
+            Thread.create
+              (fun () ->
+                try
+                  with_client server (fun c ->
+                      let key k = Printf.sprintf "t%d-k%d" ci k in
+                      let last = Array.make keys_per_client "" in
+                      for k = 0 to keys_per_client - 1 do
+                        last.(k) <- Printf.sprintf "init-%d-%d" ci k;
+                        ignore (ok (Client.put c ~key:(key k) last.(k)))
+                      done;
+                      for r = 0 to rounds - 1 do
+                        let k = r mod keys_per_client in
+                        if r mod 7 = 3 then ok (Client.flush c)
+                        else if r mod 3 = 0 then
+                          check Alcotest.string "read-your-writes" last.(k)
+                            (ok (Client.get c ~key:(key k)))
+                        else begin
+                          last.(k) <- Printf.sprintf "v-%d-%d" ci r;
+                          ignore (ok (Client.put c ~key:(key k) last.(k)))
+                        end
+                      done;
+                      for k = 0 to keys_per_client - 1 do
+                        check Alcotest.string "final readback" last.(k)
+                          (ok (Client.get c ~key:(key k)))
+                      done)
+                with exn -> errors.(ci) <- Some exn)
+              ())
+      in
+      List.iter Thread.join threads;
+      Array.iteri
+        (fun ci e ->
+          match e with
+          | None -> ()
+          | Some exn ->
+              Alcotest.failf "client %d failed: %s" ci (Printexc.to_string exn))
+        errors;
+      let stats = Server.stats server in
+      check Alcotest.int "no BUSY for sync clients" 0 stats.Server.busy;
+      check Alcotest.int "no errors" 0 stats.Server.errors;
+      check Alcotest.bool "mutation acks rode group commits" true
+        (stats.Server.batches > 0 && stats.Server.batch_ops > 0);
+      check Alcotest.int "all connections accepted" clients
+        stats.Server.accepted)
+
+let test_prefix_pool_audit () =
+  let live = Prefix_pool.live "server" in
+  let size = Registry.size Registry.global in
+  for _ = 1 to 3 do
+    with_server (fun _fs server -> ignore (Server.port server))
+  done;
+  check Alcotest.int "server prefixes released" live (Prefix_pool.live "server");
+  check Alcotest.int "server counters purged" size (Registry.size Registry.global)
+
+let suite =
+  [
+    qtest prop_request_roundtrip;
+    qtest prop_response_roundtrip;
+    Alcotest.test_case "stream rejects malformed frames" `Quick
+      test_stream_rejects;
+    Alcotest.test_case "truncated frame awaits, then decodes" `Quick
+      test_truncated_is_awaiting;
+    Alcotest.test_case "op roundtrip over TCP" `Quick test_op_roundtrip;
+    Alcotest.test_case "malformed frame never wedges the worker" `Quick
+      test_malformed_does_not_wedge_worker;
+    Alcotest.test_case "BUSY backpressure under burst" `Quick
+      test_busy_backpressure;
+    Alcotest.test_case "4-domain stress: no lost acks" `Quick
+      test_stress_no_lost_acks;
+    Alcotest.test_case "metrics prefix pool audit" `Quick
+      test_prefix_pool_audit;
+  ]
