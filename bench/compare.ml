@@ -239,6 +239,10 @@ let rules =
        with scheduling but the model itself is deterministic. *)
     ("BENCH_S1.json", "rows.*.device_model_ms", 0.30);
     ("BENCH_S1.json", "sync_baseline.device_model_ms", 0.30);
+    (* Single-threaded deterministic op stream: modeled device time and
+       write counts move only if the txn commit path itself changes. *)
+    ("BENCH_T2.json", "rows.*.device_model_ms", 0.10);
+    ("BENCH_T2.json", "rows.*.device_writes", 0.10);
   ]
 
 (* Booleans derived from wall-clock shapes are not meaningful at smoke

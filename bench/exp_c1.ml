@@ -58,13 +58,13 @@ let hfad_cost ~depth =
   let dir =
     String.concat "" (List.init depth (fun i -> Printf.sprintf "/level%d" i))
   in
-  Hfad_posix.Posix_fs.mkdir_p posix dir;
+  Hfad_posix.Posix_fs.mkdir_p_exn posix dir;
   let needle_oid = ref None in
   let needle_i = scaled 100 ~smoke:4 in
   for i = 0 to scaled 255 ~smoke:31 do
     let content = if i = needle_i then filler i ^ " xyzneedle" else filler i in
     let oid =
-      Hfad_posix.Posix_fs.create_file ~content posix
+      Hfad_posix.Posix_fs.create_file_exn ~content posix
         (Printf.sprintf "%s/doc%03d.txt" dir i)
     in
     if i = needle_i then needle_oid := Some oid

@@ -59,9 +59,9 @@ let build_hfad () =
      lock/descent footprint; R1 measures the memo. *)
   let posix = P.mount ~pathcache_entries:0 fs in
   for u = 0 to users - 1 do
-    P.mkdir_p posix (Printf.sprintf "/home/user%d" u);
+    P.mkdir_p_exn posix (Printf.sprintf "/home/user%d" u);
     for f = 0 to files_per_user - 1 do
-      ignore (P.create_file ~content:"x" posix (path u f))
+      ignore (P.create_file_exn ~content:"x" posix (path u f))
     done
   done;
   ignore (P.resolve posix (path 0 0));

@@ -131,11 +131,11 @@ let rename_asymmetry () =
   let dev2 = Device.create ~block_size:4096 ~blocks:65536 () in
   let fs = Fs.format ~config:(Fs.Config.v ~cache_pages:4096 ~index_mode:Fs.Off ()) dev2 in
   let p = P.mount fs in
-  P.mkdir_p p "/old";
+  P.mkdir_p_exn p "/old";
   for i = 0 to n - 1 do
-    ignore (P.create_file ~content:"x" p (Printf.sprintf "/old/f%04d" i))
+    ignore (P.create_file_exn ~content:"x" p (Printf.sprintf "/old/f%04d" i))
   done;
-  let _, hfad_ms = time_ms (fun () -> P.rename p "/old" "/new") in
+  let _, hfad_ms = time_ms (fun () -> P.rename_exn p "/old" "/new") in
   table
     [
       [ "system"; Printf.sprintf "rename dir of %d files" n ];

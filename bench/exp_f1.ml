@@ -25,8 +25,8 @@ let layer_costs () =
     Btree.put tree ~key:(Printf.sprintf "key%06d" i) ~value:"v"
   done;
   let oid = Fs.create_exn fs ~content:(String.make 100_000 'x') in
-  P.mkdir_p posix "/bench/dir";
-  ignore (P.create_file ~content:"hello" posix "/bench/dir/file.txt");
+  P.mkdir_p_exn posix "/bench/dir";
+  ignore (P.create_file_exn ~content:"hello" posix "/bench/dir/file.txt");
   let payload = Bytes.make 4096 'p' in
   let rows =
     [

@@ -64,8 +64,8 @@ let flat_costs ~depth ~reps =
     Fs.format ~config:(Fs.Config.v ~cache_pages:2048 ~index_mode:Fs.Off ()) dev
   in
   let p = P.mount fs in
-  P.mkdir_p p (chain depth);
-  ignore (P.create_file ~content:"payload" p (leaf depth));
+  P.mkdir_p_exn p (chain depth);
+  ignore (P.create_file_exn ~content:"payload" p (leaf depth));
   (* native: the raw one-descent tag lookup, no memo in front *)
   let native =
     measure ~reps (fun () ->

@@ -119,10 +119,9 @@ let client_loop ~port ~seed ~ops samples =
         samples.(i) <- 1_000_000. *. (Unix.gettimeofday () -. t0);
         match r with
         | Ok () -> ()
-        | Error resp ->
+        | Error err ->
             failwith
-              (Format.asprintf "S1 client: unexpected %a" Wire.pp_response
-                 resp)
+              (Format.asprintf "S1 client: unexpected %a" Client.pp_error err)
       done)
 
 let measure_once ~conns ~ops_per_conn ~sync_ack =

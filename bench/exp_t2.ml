@@ -1,0 +1,205 @@
+(* T2 — multi-object transactions vs op-at-a-time under synchronous
+   durability.
+
+   The claim behind Fs.with_txn: under NO-STEAL/FORCE journaling a
+   transaction's atomicity is nearly free, because the whole plan is
+   applied in memory under one exclusive section and acknowledged with
+   ONE entry into the durability pipeline — so under [sync_writes]
+   (checkpoint per acknowledged mutation, the strictest policy) a k-op
+   transaction pays one journal seal where k separate calls pay k.
+
+   The workload: small scattered overwrites into a fixed set of
+   objects, identical op stream in both modes; only the grouping
+   differs (1 op per ack vs k ops per Fs.with_txn). The device is a
+   slow-access SSD model (400us access), so commit COUNT — not bytes —
+   dominates the modeled device time, exactly the regime where fsync
+   batching matters.
+
+   Throughput is EFFECTIVE ops/s: wall clock plus the device's
+   simulated service time (repo-wide convention, DESIGN.md section 3).
+   Acceptance (asserted, not just reported): transactional throughput
+   must beat op-at-a-time on every run. *)
+
+module Device = Hfad_blockdev.Device
+module Latency = Hfad_blockdev.Latency
+module Fs = Hfad.Fs
+module Tag = Hfad_index.Tag
+open Bench_util
+
+let block_size = 4096
+let blocks = 16384
+let objects = 16
+let object_bytes = 32 * 1024
+let write_bytes = 256
+let payload = String.make write_bytes 't'
+let txn_ops = 8
+
+(* Slow-access SSD: each checkpoint's journal seal costs ~0.4ms of
+   modeled time, so the two modes differ by their commit count. *)
+let model = Latency.Ssd { access_ns = 400_000; per_byte_ns = 1 }
+
+let config =
+  Fs.Config.v ~cache_pages:1024 ~index_mode:Fs.Off ~journal_pages:256
+    ~sync_writes:true ()
+
+let build () =
+  let dev = Device.create ~model ~block_size ~blocks () in
+  let fs = Fs.format ~config dev in
+  let oids =
+    Array.init objects (fun i ->
+        Fs.create_exn
+          ~names:[ (Tag.Udef, Printf.sprintf "t2-%d" i) ]
+          ~content:(String.make object_bytes 'x')
+          fs)
+  in
+  Fs.sync_exn ~mode:`Checkpoint fs;
+  Device.reset_stats dev;
+  (dev, fs, oids)
+
+(* Op [i] of the shared stream: overwrite [write_bytes] at a scattered
+   offset of object [i mod objects]. *)
+let op_target i =
+  let obj = i mod objects in
+  let off = i * 769 mod (object_bytes - write_bytes) in
+  (obj, off)
+
+type measured = {
+  mode : string;
+  ops : int;
+  wall_ms : float;
+  dev_ms : float;
+  dev_writes : int;
+  txns : int;
+}
+
+let measure_single ~ops =
+  let dev, fs, oids = build () in
+  let _, wall_ms =
+    time_ms (fun () ->
+        for i = 0 to ops - 1 do
+          let obj, off = op_target i in
+          Fs.write_exn fs oids.(obj) ~off payload
+        done)
+  in
+  let stats = Device.stats dev in
+  Fs.close fs;
+  {
+    mode = "op-at-a-time";
+    ops;
+    wall_ms;
+    dev_ms = float_of_int stats.Device.simulated_ns /. 1e6;
+    dev_writes = stats.Device.writes;
+    txns = 0;
+  }
+
+let measure_txn ~ops =
+  let dev, fs, oids = build () in
+  let txns = ops / txn_ops in
+  let _, wall_ms =
+    time_ms (fun () ->
+        for t = 0 to txns - 1 do
+          Fs.with_txn_exn fs (fun tx ->
+              for k = 0 to txn_ops - 1 do
+                let obj, off = op_target ((t * txn_ops) + k) in
+                Fs.Txn.write tx oids.(obj) ~off payload
+              done)
+        done)
+  in
+  let stats = Device.stats dev in
+  Fs.close fs;
+  {
+    mode = Printf.sprintf "txn(k=%d)" txn_ops;
+    ops = txns * txn_ops;
+    wall_ms;
+    dev_ms = float_of_int stats.Device.simulated_ns /. 1e6;
+    dev_writes = stats.Device.writes;
+    txns;
+  }
+
+let effective_ms m = m.wall_ms +. m.dev_ms
+
+let ops_per_s m =
+  let ms = effective_ms m in
+  if ms <= 0.0 then 0.0 else float_of_int m.ops /. (ms /. 1000.0)
+
+let row m =
+  [
+    m.mode;
+    fmt_int m.ops;
+    fmt_int m.txns;
+    Printf.sprintf "%.0f" (ops_per_s m);
+    Printf.sprintf "%.0f" m.wall_ms;
+    Printf.sprintf "%.0f" m.dev_ms;
+    fmt_int m.dev_writes;
+  ]
+
+let json_row m =
+  Jobj
+    [
+      ("mode", Jstring m.mode);
+      ("ops", Jint m.ops);
+      ("txns", Jint m.txns);
+      ("ops_per_s", Jfloat (ops_per_s m));
+      ("wall_ms", Jfloat m.wall_ms);
+      ("device_model_ms", Jfloat m.dev_ms);
+      ("effective_ms", Jfloat (effective_ms m));
+      ("device_writes", Jint m.dev_writes);
+    ]
+
+let run () =
+  heading "T2: transactional batching vs op-at-a-time (sync_writes)";
+  let ops = scaled 4_096 ~smoke:256 in
+  say
+    "%d x %dB overwrites over %d x %dKiB objects; sync_writes checkpoints \
+     every ack"
+    ops write_bytes objects (object_bytes / 1024);
+  say "(one journal seal per ack: %d seals op-at-a-time, %d in %d-op txns)"
+    ops (ops / txn_ops) txn_ops;
+  let single = measure_single ~ops in
+  let txn = measure_txn ~ops in
+  let rows = [ single; txn ] in
+  table
+    ([ [ "mode"; "ops"; "txns"; "ops/s"; "wall ms"; "dev ms"; "dev writes" ] ]
+    @ List.map row rows);
+  say "";
+  let speedup = ops_per_s txn /. ops_per_s single in
+  let ok = ops_per_s txn >= ops_per_s single in
+  say "acceptance: txn throughput >= op-at-a-time -- %s (%.1fx)"
+    (if ok then "OK" else "VIOLATED")
+    speedup;
+  say "expected shape: the plan commits under one exclusive section with one";
+  say "pipeline entry, so k ops share a single journal seal; with commit";
+  say "count dominating modeled device time, batching approaches k-fold.";
+  emit_json ~id:"T2"
+    [
+      ("experiment", Jstring "T2");
+      ( "claim",
+        Jstring
+          "a k-op transaction pays one durability point where k single ops \
+           pay k" );
+      ( "config",
+        Jobj
+          [
+            ("block_size", Jint block_size);
+            ("blocks", Jint blocks);
+            ("objects", Jint objects);
+            ("object_bytes", Jint object_bytes);
+            ("write_bytes", Jint write_bytes);
+            ("txn_ops", Jint txn_ops);
+            ("ops", Jint ops);
+            ("latency_model", Jstring "ssd access=400us per_byte=1ns");
+            ("sync_writes", Jbool true);
+          ] );
+      ("rows", Jlist (List.map json_row rows));
+      ( "acceptance",
+        Jobj
+          [
+            ("txn_ops_per_s_ge_single", Jbool ok);
+            ("speedup", Jfloat speedup);
+          ] );
+    ];
+  if not ok then
+    failwith
+      (Printf.sprintf
+         "T2 acceptance violated: txn %.0f ops/s < single %.0f ops/s"
+         (ops_per_s txn) (ops_per_s single))

@@ -7,12 +7,12 @@
 
    Pass experiment ids to run a subset:
      dune exec bench/main.exe -- C1 C3
-   Ids: F1 P1 T1 C1 C2 C3 C4 C5 C6 M1 A1 J1 W1 W2 O1 R1 S1 micro
+   Ids: F1 P1 T1 T2 C1 C2 C3 C4 C5 C6 M1 A1 J1 W1 W2 O1 R1 S1 micro
 
    [--json] additionally writes BENCH_<id>.json files (machine-readable
-   results) for the experiments that support it — C2, P1, W1, W2, O1
-   (which also exports O1.trace.json, a Chrome trace_event file), R1
-   and S1.
+   results) for the experiments that support it — C2, P1, T2, W1, W2,
+   O1 (which also exports O1.trace.json, a Chrome trace_event file),
+   R1 and S1.
 
    [--list] prints the experiment ids, one per line, and exits; with
    [--json] it prints only the JSON-capable ids. CI derives the bench
@@ -29,6 +29,7 @@ let experiments =
     ("F1", false, Exp_f1.run);
     ("P1", true, Exp_p1.run);
     ("T1", false, Exp_t1.run);
+    ("T2", true, Exp_t2.run);
     ("C1", false, Exp_c1.run);
     ("C2", true, Exp_c2.run);
     ("C3", false, Exp_c3.run);

@@ -39,8 +39,8 @@ let make_tests () =
   (* resolution memos off: these rows measure the resolution MECHANISMS
      (one tag descent vs the component walk); R1 measures the memo. *)
   let posix = P.mount ~pathcache_entries:0 fs in
-  P.mkdir_p posix "/a/b/c/d/e/f";
-  ignore (P.create_file ~content:"deep" posix deep_path);
+  P.mkdir_p_exn posix "/a/b/c/d/e/f";
+  ignore (P.create_file_exn ~content:"deep" posix deep_path);
   let oid =
     Fs.create_exn fs
       ~names:[ (Tag.User, "margo"); (Tag.Udef, "bench") ]

@@ -34,7 +34,7 @@ let with_image ?(write = false) image f =
   let posix = P.mount fs in
   let result = f fs posix in
   if write then begin
-    Fs.flush_exn fs;
+    Fs.sync_exn ~mode:`Checkpoint fs;
     Device.save dev image
   end;
   P.unmount posix;
@@ -78,7 +78,7 @@ let mkfs image blocks block_size shards =
       let dev = Device.create ~block_size ~blocks () in
       let fs = Fs.format ~config:{ Fs.Config.default with Fs.Config.shards } dev in
       let _ = P.mount fs in
-      Fs.flush_exn fs;
+      Fs.sync_exn ~mode:`Checkpoint fs;
       Device.save dev image;
       say "formatted %s: %d blocks x %d bytes%s" image blocks block_size
         (if shards > 1 then Printf.sprintf ", %d shards" shards else ""))
@@ -103,8 +103,8 @@ let mkfs_cmd =
 let put image path data =
   handle_errors (fun () ->
       with_image ~write:true image (fun _fs posix ->
-          P.mkdir_p posix (Hfad_posix.Path.parent path);
-          P.write_file posix path data;
+          P.mkdir_p_exn posix (Hfad_posix.Path.parent path);
+          P.write_file_exn posix path data;
           say "wrote %d bytes to %s" (String.length data) path))
 
 let put_cmd =
@@ -133,7 +133,7 @@ let ls_cmd =
 
 let mkdir image path =
   handle_errors (fun () ->
-      with_image ~write:true image (fun _fs posix -> P.mkdir_p posix path))
+      with_image ~write:true image (fun _fs posix -> P.mkdir_p_exn posix path))
 
 let mkdir_cmd =
   Cmd.v (Cmd.info "mkdir" ~doc:"Create a directory (with parents).")
@@ -142,8 +142,8 @@ let mkdir_cmd =
 let rm image path =
   handle_errors (fun () ->
       with_image ~write:true image (fun _fs posix ->
-          if P.is_directory posix path then P.rmdir posix path
-          else P.unlink posix path))
+          if P.is_directory posix path then P.rmdir_exn posix path
+          else P.unlink_exn posix path))
 
 let rm_cmd =
   Cmd.v (Cmd.info "rm" ~doc:"Remove a file or empty directory.")
@@ -232,7 +232,7 @@ let find_cmd =
 let mv image old_path new_path =
   handle_errors (fun () ->
       with_image ~write:true image (fun _fs posix ->
-          P.rename posix old_path new_path))
+          P.rename_exn posix old_path new_path))
 
 let mv_cmd =
   Cmd.v (Cmd.info "mv" ~doc:"Rename a file or directory subtree.")
@@ -240,7 +240,7 @@ let mv_cmd =
 
 let ln image existing fresh =
   handle_errors (fun () ->
-      with_image ~write:true image (fun _fs posix -> P.link posix existing fresh))
+      with_image ~write:true image (fun _fs posix -> P.link_exn posix existing fresh))
 
 let ln_cmd =
   Cmd.v (Cmd.info "ln" ~doc:"Hard link: one more POSIX name for a file.")
@@ -395,8 +395,8 @@ let trace image op args =
               Trace.with_span ~layer:"ctl" ~op (fun () ->
                   match (op, args) with
                   | "put", [ path; data ] ->
-                      P.mkdir_p posix (Hfad_posix.Path.parent path);
-                      P.write_file posix path data
+                      P.mkdir_p_exn posix (Hfad_posix.Path.parent path);
+                      P.write_file_exn posix path data
                   | "cat", [ path ] -> ignore (P.read_file posix path)
                   | "search", (_ :: _ as terms) ->
                       ignore (Fs.search fs (String.concat " " terms))
@@ -444,7 +444,7 @@ let serve image port workers sync =
       done;
       let stats = Server.stats server in
       Server.stop server;
-      Fs.flush_exn fs;
+      Fs.sync_exn ~mode:`Checkpoint fs;
       Device.save dev image;
       Fs.close fs;
       say

@@ -38,6 +38,14 @@ dune exec test/test_main.exe -- test pathcache -e
 # its own — the scale-out refactor must never regress silently.
 dune exec test/test_main.exe -- test shard -e
 
+# Transaction gate: the multi-object txn/snapshot suite (commit
+# visibility, validation and apply-time rollback, cross-shard
+# rejection, snapshot read stability under later mutation, and the
+# 3-domain serializability property replaying the commit log serially)
+# runs loudly on its own — an atomicity bug must never hide in
+# full-suite noise.
+dune exec test/test_main.exe -- test txn -e
+
 # Server gate: the front-door suite (wire roundtrip properties,
 # malformed/truncated-frame rejection without wedging the worker,
 # BUSY backpressure, the 4-domain many-client stress test asserting no
@@ -65,6 +73,11 @@ dune exec bench/main.exe -- --smoke R1
 # throughput is monotone non-decreasing from 1 to 8 connections and
 # that the batched group-commit server beats sync-per-request acks.
 dune exec bench/main.exe -- --smoke S1
+
+# Transaction smoke gate: T2 asserts on every run that grouping k ops
+# into one Fs.with_txn beats op-at-a-time under sync_writes — the
+# single-durability-point claim behind the txn API, checked every run.
+dune exec bench/main.exe -- --smoke T2
 
 # Documentation gate: every .mli doc comment must keep compiling to
 # HTML. Skipped (with a warning) where odoc isn't installed; CI

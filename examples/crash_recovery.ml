@@ -32,15 +32,15 @@ let () =
   say "formatted a journaled file system (journaled = %b)" (Fs.journaled fs);
 
   (* Checkpoint 1. *)
-  P.mkdir_p posix "/ledger";
-  ignore (P.create_file ~content:"balance: 100" posix "/ledger/account");
+  P.mkdir_p_exn posix "/ledger";
+  ignore (P.create_file_exn ~content:"balance: 100" posix "/ledger/account");
   Fs.flush_exn fs;
   say "checkpoint 1: /ledger/account = %S" (P.read_file posix "/ledger/account");
 
   (* Mutate toward checkpoint 2: several related changes that must land
      together or not at all. *)
-  P.write_file posix "/ledger/account" "balance: 250";
-  ignore (P.create_file ~content:"credit +150 from payroll" posix "/ledger/journal-entry");
+  P.write_file_exn posix "/ledger/account" "balance: 250";
+  ignore (P.create_file_exn ~content:"credit +150 from payroll" posix "/ledger/journal-entry");
   let oid = P.resolve posix "/ledger/journal-entry" in
   Fs.name_exn fs oid Tag.Udef "payroll";
   say "mutated: balance rewritten, journal entry created and tagged";
@@ -85,7 +85,7 @@ let () =
      the next checkpoint - and the write tears, persisting only half the
      block. Nothing was sealed, so recovery must discard the torn body
      and keep the previous checkpoint byte-for-byte. *)
-  P.write_file posix2 "/ledger/account" "balance: 9999 (uncommitted)";
+  P.write_file_exn posix2 "/ledger/account" "balance: 9999 (uncommitted)";
   let dev2 = Fs.device fs2 in
   Device.arm_crash dev2 ~after_writes:0
     ~torn_bytes:(Device.block_size dev2 / 2) ();

@@ -90,7 +90,7 @@ let () =
 
   (* 7. POSIX veneer: a path is just one more name. *)
   let p = P.mount fs in
-  P.mkdir_p p "/home/margo/papers";
+  P.mkdir_p_exn p "/home/margo/papers";
   Fs.name_exn fs oid Tag.Posix "/home/margo/papers/hfad.txt";
   say "resolve via POSIX path -> object %s"
     (Hfad_osd.Oid.to_string (P.resolve p "/home/margo/papers/hfad.txt"));

@@ -27,6 +27,7 @@ type error = Osd.error =
   | Io of string
   | Corrupt of string
   | Stopped
+  | Txn_invalid of string
 
 let pp_error = Osd.pp_error
 let error_message = Osd.error_message
@@ -89,6 +90,64 @@ module Config = struct
     }
 end
 
+(* --- the typed mutation vocabulary ---------------------------------------- *)
+
+(* One value describes one mutation, whichever door it came through: the
+   single-op entry points below build a one-element plan, {!with_txn}
+   stages many, and the wire server's MULTI frame decodes straight into
+   this type. All OIDs here are GLOBAL — the executor translates to the
+   owning shard's local space when it applies the plan. *)
+module Op = struct
+  type t =
+    | Create of {
+        reserved : Oid.t;  (* from a shard's reserve_oid, via the router *)
+        meta : Meta.t option;
+        names : (Tag.t * string) list;
+        content : string;
+      }
+    | Write of { oid : Oid.t; off : int; data : string }
+    | Append of { oid : Oid.t; data : string }
+    | Truncate of { oid : Oid.t; size : int }
+    | Delete of { oid : Oid.t }
+    | Name of { oid : Oid.t; tag : Tag.t; value : string }
+    | Unname of { oid : Oid.t; tag : Tag.t; value : string }
+    | Rename of { oid : Oid.t; tag : Tag.t; from_ : string; to_ : string }
+
+  (* The object the op routes by — for Create, the reserved identity. *)
+  let target = function
+    | Create { reserved; _ } -> reserved
+    | Write { oid; _ }
+    | Append { oid; _ }
+    | Truncate { oid; _ }
+    | Delete { oid }
+    | Name { oid; _ }
+    | Unname { oid; _ }
+    | Rename { oid; _ } ->
+        oid
+
+  let pp fmt = function
+    | Create { reserved; names; content; _ } ->
+        Format.fprintf fmt "create %a (%d names, %d bytes)" Oid.pp reserved
+          (List.length names) (String.length content)
+    | Write { oid; off; data } ->
+        Format.fprintf fmt "write %a @%d (%d bytes)" Oid.pp oid off
+          (String.length data)
+    | Append { oid; data } ->
+        Format.fprintf fmt "append %a (%d bytes)" Oid.pp oid
+          (String.length data)
+    | Truncate { oid; size } ->
+        Format.fprintf fmt "truncate %a to %d" Oid.pp oid size
+    | Delete { oid } -> Format.fprintf fmt "delete %a" Oid.pp oid
+    | Name { oid; tag; value } ->
+        Format.fprintf fmt "name %a %s/%s" Oid.pp oid (Tag.to_string tag) value
+    | Unname { oid; tag; value } ->
+        Format.fprintf fmt "unname %a %s/%s" Oid.pp oid (Tag.to_string tag)
+          value
+    | Rename { oid; tag; from_; to_ } ->
+        Format.fprintf fmt "rename %a %s/%s -> %s" Oid.pp oid
+          (Tag.to_string tag) from_ to_
+end
+
 (* --- shard stacks -------------------------------------------------------- *)
 
 (* Each shard is a fully independent storage stack: its own device
@@ -118,6 +177,36 @@ type router_metrics = {
   m_scatter : Counter.t;  (** naming ops fanned out to every shard *)
 }
 
+(* --- snapshot state (copy-on-write read isolation) ------------------------ *)
+
+(* Every mutation draws a global sequence number; {!snapshot} pins the
+   number current at its creation. Before mutation [q] changes object
+   [X], the state X had after mutation [q-1] is saved as a preimage
+   stamped [q] — but only if some live snapshot still needs it (pins a
+   sequence at or after X's newest saved preimage). A snapshot pinned at
+   [s] then reads X as the saved preimage with the {e smallest} stamp
+   [m > s] (exactly the state X had at time [s]), falling back to the
+   live object when nothing has touched X since the pin. With no
+   snapshot active the whole mechanism is one atomic increment. *)
+
+type preimage_state =
+  | Pre_absent  (* the object did not exist at the pinned time *)
+  | Pre_present of {
+      p_content : string;
+      p_meta : Meta.t;
+      p_names : (Tag.t * string) list;
+    }
+
+type preimage = { pm : int; pstate : preimage_state }
+
+type snap_state = {
+  mut_seq : int Atomic.t;  (* global mutation sequence *)
+  snap_active : int Atomic.t;  (* live snapshots; 0 = fast path *)
+  snap_mu : Mutex.t;  (* guards [pinned] and [pre] *)
+  mutable pinned : int list;  (* pinned sequence numbers, one per snapshot *)
+  pre : (Oid.t, preimage list) Hashtbl.t;  (* global OID -> newest-first *)
+}
+
 type t = {
   router : Router.t;
   shards : shard array;
@@ -126,6 +215,7 @@ type t = {
   prefix : string option;  (* pooled "fs<k>" metrics prefix when sharded *)
   rm : router_metrics option;
   rr : int Atomic.t;  (* round-robin placement cursor *)
+  snap : snap_state;
 }
 
 (* Locking discipline (§2.3 made concrete): per shard, naming and access
@@ -186,6 +276,13 @@ let read_shard_map dev =
 
 let counter name = Registry.counter Registry.global name
 
+(* Transaction and snapshot health, process-wide like the fs.* spans. *)
+let c_txn_commits = counter "fs.txn.commits"
+let c_txn_ops = counter "fs.txn.ops"
+let c_txn_rejected = counter "fs.txn.rejected"
+let c_txn_rollbacks = counter "fs.txn.rollbacks"
+let c_snap_captures = counter "fs.snapshot.captures"
+
 let mk_shard ~prefix sid osd =
   let sm =
     Option.map
@@ -228,6 +325,14 @@ let mk config dev osds =
     prefix;
     rm;
     rr = Atomic.make 0;
+    snap =
+      {
+        mut_seq = Atomic.make 0;
+        snap_active = Atomic.make 0;
+        snap_mu = Mutex.create ();
+        pinned = [];
+        pre = Hashtbl.create 64;
+      };
   }
 
 let region_window dev ~region_blocks s =
@@ -313,6 +418,54 @@ let routed t oid f =
   span_route t sh (fun () ->
       with_global_oid t s (fun () -> f sh (Router.to_local t.router oid)))
 
+(* --- snapshot capture ------------------------------------------------------ *)
+
+(* Lock order: a mutator holds its shard's exclusive lock, then takes
+   [snap_mu] briefly; snapshot readers take [snap_mu] alone (never a
+   shard lock under it), so there is no cycle. *)
+
+let snap_record t ~global state =
+  let sn = t.snap in
+  Mutex.protect sn.snap_mu (fun () ->
+      let q = Atomic.fetch_and_add sn.mut_seq 1 + 1 in
+      let chain =
+        Option.value ~default:[] (Hashtbl.find_opt sn.pre global)
+      in
+      let newest = match chain with { pm; _ } :: _ -> pm | [] -> -1 in
+      if List.exists (fun s -> s >= newest) sn.pinned then begin
+        Counter.incr c_snap_captures;
+        Hashtbl.replace sn.pre global ({ pm = q; pstate = state () } :: chain)
+      end)
+
+(* Called at the head of every mutation, inside the owning shard's
+   exclusive section, before anything changes. *)
+let snap_note t sh ~global l =
+  if Atomic.get t.snap.snap_active = 0 then
+    ignore (Atomic.fetch_and_add t.snap.mut_seq 1)
+  else
+    snap_record t ~global (fun () ->
+        if Osd.exists sh.s_osd l then
+          Pre_present
+            {
+              p_content = Osd.read_all sh.s_osd l;
+              p_meta = Osd.metadata sh.s_osd l;
+              p_names = Index_store.values_of sh.s_index l;
+            }
+        else Pre_absent)
+
+(* A brand-new object's preimage is known without reading anything. *)
+let snap_note_absent t ~global =
+  if Atomic.get t.snap.snap_active = 0 then
+    ignore (Atomic.fetch_and_add t.snap.mut_seq 1)
+  else snap_record t ~global (fun () -> Pre_absent)
+
+(* Smallest stamp > s in a newest-first chain: the fold keeps the last
+   (oldest) qualifying entry. *)
+let find_pre s chain =
+  List.fold_left
+    (fun acc p -> if p.pm > s then Some p.pstate else acc)
+    None chain
+
 (* --- content indexing ---------------------------------------------------- *)
 
 let reindex_sh config sh l =
@@ -381,9 +534,199 @@ let mutate t oid f =
       span_route t sh (fun () ->
           with_global_oid t s (fun () ->
               shard_exclusive sh (fun () ->
-                  let v = f sh (Router.to_local t.router oid) in
+                  let l = Router.to_local t.router oid in
+                  snap_note t sh ~global:oid l;
+                  let v = f sh l in
                   note_write t sh;
                   v))))
+
+(* --- the shared mutation executor ----------------------------------------- *)
+
+(* One implementation applies an {!Op.t}, whether it arrived as a single
+   operation or as one step of a transaction plan. Caller holds the
+   owning shard's exclusive lock. [~undo:true] captures just enough
+   state {e before} applying to reverse the op logically — the
+   transaction rollback path; single ops skip the capture.
+
+   [removed] reports whether an [Unname]/[Rename] actually removed the
+   old name (the [unname] API's boolean); other ops report [false]. *)
+
+type applied = { undo : unit -> unit; removed : bool }
+
+let no_undo = { undo = (fun () -> ()); removed = false }
+
+let apply_op ?(undo = true) t sh op =
+  let local g = Router.to_local t.router g in
+  match op with
+  | Op.Create { reserved; meta; names; content } ->
+      let l = local reserved in
+      snap_note_absent t ~global:reserved;
+      ignore (Osd.create_object ?meta ~oid:l sh.s_osd);
+      List.iter (fun (tag, value) -> Index_store.add sh.s_index l tag value) names;
+      if content <> "" then begin
+        Osd.write sh.s_osd l ~off:0 content;
+        reindex_sh t.config sh l
+      end;
+      if not undo then no_undo
+      else
+        {
+          no_undo with
+          undo =
+            (fun () ->
+              drain_shard_index sh;
+              Index_store.drop_object sh.s_index l;
+              Osd.delete_object sh.s_osd l);
+        }
+  | Op.Write { oid; off; data } ->
+      let l = local oid in
+      snap_note t sh ~global:oid l;
+      if not undo then begin
+        Osd.write sh.s_osd l ~off data;
+        reindex_sh t.config sh l;
+        no_undo
+      end
+      else begin
+        let old_size = Osd.size sh.s_osd l in
+        let overlap =
+          if off < old_size then
+            Osd.read sh.s_osd l ~off
+              ~len:(min (String.length data) (old_size - off))
+          else ""
+        in
+        Osd.write sh.s_osd l ~off data;
+        reindex_sh t.config sh l;
+        {
+          no_undo with
+          undo =
+            (fun () ->
+              Osd.truncate sh.s_osd l old_size;
+              if overlap <> "" then Osd.write sh.s_osd l ~off overlap;
+              reindex_sh t.config sh l);
+        }
+      end
+  | Op.Append { oid; data } ->
+      let l = local oid in
+      snap_note t sh ~global:oid l;
+      let old_size = if undo then Osd.size sh.s_osd l else 0 in
+      Osd.append sh.s_osd l data;
+      reindex_sh t.config sh l;
+      if not undo then no_undo
+      else
+        {
+          no_undo with
+          undo =
+            (fun () ->
+              Osd.truncate sh.s_osd l old_size;
+              reindex_sh t.config sh l);
+        }
+  | Op.Truncate { oid; size } ->
+      let l = local oid in
+      snap_note t sh ~global:oid l;
+      if not undo then begin
+        Osd.truncate sh.s_osd l size;
+        reindex_sh t.config sh l;
+        no_undo
+      end
+      else begin
+        let old_size = Osd.size sh.s_osd l in
+        let tail =
+          if size < old_size then
+            Osd.read sh.s_osd l ~off:size ~len:(old_size - size)
+          else ""
+        in
+        Osd.truncate sh.s_osd l size;
+        reindex_sh t.config sh l;
+        {
+          no_undo with
+          undo =
+            (fun () ->
+              Osd.truncate sh.s_osd l old_size;
+              if tail <> "" then Osd.write sh.s_osd l ~off:size tail;
+              reindex_sh t.config sh l);
+        }
+      end
+  | Op.Delete { oid } ->
+      let l = local oid in
+      snap_note t sh ~global:oid l;
+      let saved =
+        if undo then
+          Some
+            ( Osd.read_all sh.s_osd l,
+              Osd.metadata sh.s_osd l,
+              Index_store.values_of sh.s_index l )
+        else None
+      in
+      (* Flush this shard's queued indexing first so a pending Index for
+         the OID does not resurrect postings after the drop. *)
+      drain_shard_index sh;
+      Index_store.drop_object sh.s_index l;
+      Osd.delete_object sh.s_osd l;
+      (match saved with
+      | None -> no_undo
+      | Some (content, meta, names) ->
+          {
+            no_undo with
+            undo =
+              (fun () ->
+                ignore (Osd.create_object ~meta ~oid:l sh.s_osd);
+                List.iter
+                  (fun (tag, value) -> Index_store.add sh.s_index l tag value)
+                  names;
+                if content <> "" then Osd.write sh.s_osd l ~off:0 content;
+                reindex_sh t.config sh l);
+          })
+  | Op.Name { oid; tag; value } ->
+      let l = local oid in
+      if not (Osd.exists sh.s_osd l) then raise (Osd.No_such_object l);
+      snap_note t sh ~global:oid l;
+      Index_store.add sh.s_index l tag value;
+      if not undo then no_undo
+      else
+        {
+          no_undo with
+          undo = (fun () -> ignore (Index_store.remove sh.s_index l tag value));
+        }
+  | Op.Unname { oid; tag; value } ->
+      let l = local oid in
+      snap_note t sh ~global:oid l;
+      let was = Index_store.remove sh.s_index l tag value in
+      {
+        undo =
+          (fun () -> if undo && was then Index_store.add sh.s_index l tag value);
+        removed = was;
+      }
+  | Op.Rename { oid; tag; from_; to_ } ->
+      let l = local oid in
+      if not (Osd.exists sh.s_osd l) then raise (Osd.No_such_object l);
+      snap_note t sh ~global:oid l;
+      let was = Index_store.remove sh.s_index l tag from_ in
+      Index_store.add sh.s_index l tag to_;
+      {
+        undo =
+          (fun () ->
+            if undo then begin
+              ignore (Index_store.remove sh.s_index l tag to_);
+              if was then Index_store.add sh.s_index l tag from_
+            end);
+        removed = was;
+      }
+
+(* A single operation is a one-element plan through the same executor:
+   route, apply, count it into the next seal, acknowledge once. *)
+let exec_one t op =
+  Osd.guard (fun () ->
+      let g = Op.target op in
+      let s = Router.shard_of_oid t.router g in
+      let sh = t.shards.(s) in
+      bump_ops sh;
+      note_targeted t;
+      span_route t sh (fun () ->
+          with_global_oid t s (fun () ->
+              shard_exclusive sh (fun () ->
+                  let a = apply_op ~undo:false t sh op in
+                  Osd.note_op sh.s_osd;
+                  note_write t sh;
+                  a.removed))))
 
 let barrier_shard sh =
   match sh.s_flusher with
@@ -407,6 +750,14 @@ let barrier t =
 
 let barrier_exn t =
   match barrier t with Ok () -> () | Error e -> Osd.raise_error e
+
+(* The one durability entry point; {!flush} and {!barrier} remain as
+   (deprecated) aliases for its two modes. *)
+let sync ?(mode = `Barrier) t =
+  match mode with `Barrier -> barrier t | `Checkpoint -> flush t
+
+let sync_exn ?(mode = `Barrier) t =
+  match sync ~mode t with Ok () -> () | Error e -> Osd.raise_error e
 
 let start_pipeline t =
   if not t.config.Config.sync_writes then
@@ -501,28 +852,223 @@ let create ?meta ?(names = []) ?content t =
       let s = place t names in
       let sh = t.shards.(s) in
       bump_ops sh;
+      note_targeted t;
       span_route t sh (fun () ->
           shard_exclusive sh (fun () ->
-              let l = Osd.create_object ?meta sh.s_osd in
-              List.iter
-                (fun (tag, value) -> Index_store.add sh.s_index l tag value)
-                names;
-              (match content with
-              | Some data when data <> "" ->
-                  Osd.write sh.s_osd l ~off:0 data;
-                  reindex_sh t.config sh l
-              | Some _ | None -> ());
+              let l = Osd.reserve_oid sh.s_osd in
+              let g = Router.to_global t.router ~shard:s l in
+              let op =
+                Op.Create
+                  {
+                    reserved = g;
+                    meta;
+                    names;
+                    content = Option.value ~default:"" content;
+                  }
+              in
+              ignore (apply_op ~undo:false t sh op);
+              Osd.note_op sh.s_osd;
               note_write t sh;
-              Router.to_global t.router ~shard:s l)))
+              g)))
 
 let delete t oid =
   traced "delete" @@ fun () ->
-  mutate t oid (fun sh l ->
-      (* Flush this shard's queued indexing first so a pending Index for
-         the OID does not resurrect postings after the drop. *)
+  Result.map (fun (_ : bool) -> ()) (exec_one t (Op.Delete { oid }))
+
+(* --- transactions ---------------------------------------------------------- *)
+
+(* A transaction stages a typed plan, then commits it inside ONE
+   exclusive section on the owning shard. Under NO-STEAL/FORCE that is
+   all the machinery atomicity needs: nothing the plan does reaches the
+   device until the next checkpoint, and a checkpoint seals the whole
+   dirty set as one CRC-chained journal commit — so a crash lands the
+   plan wholly in or wholly out. The executor still guards the two ways
+   that argument can leak:
+
+   - plans spanning shards would need two journals to agree (2PC); they
+     are rejected at staging time instead;
+   - a plan whose estimated dirty set cannot fit the journal in one
+     commit is rejected, and a shard already carrying enough dirty pages
+     to overflow alongside the plan is checkpointed first, so the plan's
+     own checkpoint is never phase-split. *)
+
+type txn = {
+  tx_fs : t;
+  mutable tx_ops : Op.t list;  (* reversed staging order *)
+  mutable tx_shard : int option;  (* pinned by the first staged op *)
+  mutable tx_open : bool;
+}
+
+let reject fmt =
+  Printf.ksprintf
+    (fun msg ->
+      Counter.incr c_txn_rejected;
+      raise (Osd.Txn_rejected msg))
+    fmt
+
+(* Pre-validate the whole plan against a simulated object space — every
+   violation is raised BEFORE anything is applied, so a rejected plan
+   leaves no trace. *)
+let validate_ops t sh ops =
+  let created = Hashtbl.create 8 and deleted = Hashtbl.create 8 in
+  let exists_sim g =
+    if Hashtbl.mem deleted g then false
+    else
+      Hashtbl.mem created g || Osd.exists sh.s_osd (Router.to_local t.router g)
+  in
+  let require g what =
+    if not (exists_sim g) then
+      reject "%s: no such object %s" what (Oid.to_string g)
+  in
+  List.iter
+    (fun op ->
+      match op with
+      | Op.Create { reserved; _ } ->
+          if exists_sim reserved then
+            reject "create: oid %s already live" (Oid.to_string reserved);
+          Hashtbl.replace created reserved ();
+          Hashtbl.remove deleted reserved
+      | Op.Write { oid; off; _ } ->
+          if off < 0 then reject "write: negative offset %d" off;
+          require oid "write"
+      | Op.Append { oid; _ } -> require oid "append"
+      | Op.Truncate { oid; size } ->
+          if size < 0 then reject "truncate: negative size %d" size;
+          require oid "truncate"
+      | Op.Delete { oid } ->
+          require oid "delete";
+          Hashtbl.replace deleted oid ()
+      | Op.Name { oid; _ } -> require oid "name"
+      | Op.Unname { oid; _ } -> require oid "unname"
+      | Op.Rename { oid; _ } -> require oid "rename")
+    ops
+
+(* Rough upper bound on the pages a plan dirties — data pages plus a
+   fixed allowance per op for B-tree, master and index churn. Heuristic:
+   it sizes the pre-flush decision and refuses plans that could never
+   seal in one chain; it is not a guarantee (a pathological index drain
+   can still outgrow the journal, in which case the checkpoint
+   phase-splits exactly as an oversized single-op batch would). *)
+let estimate_pages t ops =
+  let bs = Device.block_size t.dev in
+  let data_pages n = ((n + bs - 1) / bs) + 1 in
+  List.fold_left
+    (fun acc op ->
+      acc
+      +
+      match op with
+      | Op.Create { content; _ } -> 6 + data_pages (String.length content)
+      | Op.Write { data; _ } | Op.Append { data; _ } ->
+          4 + data_pages (String.length data)
+      | Op.Truncate _ -> 4
+      | Op.Delete _ -> 8
+      | Op.Name _ | Op.Unname _ -> 4
+      | Op.Rename _ -> 6)
+    4 ops
+
+(* Commit a validated plan on its shard. Caller holds the exclusive
+   lock, so neither the flusher daemon nor sync_writes can checkpoint
+   mid-plan: the in-memory application below is invisible to durability
+   until the single note_write at the end. A mid-plan environmental
+   failure (cache full, allocator exhausted) unwinds the applied prefix
+   with per-op logical undos — again invisible to the device, since no
+   checkpoint can intervene. *)
+let commit_ops t sh ops =
+  validate_ops t sh ops;
+  let cap = Osd.journal_capacity_pages sh.s_osd in
+  if cap > 0 then begin
+    let est = estimate_pages t ops in
+    if est > cap then
+      reject "plan of %d ops (~%d pages) exceeds journal capacity (%d pages)"
+        (List.length ops) est cap;
+    if Pager.dirty_count (Osd.pager sh.s_osd) + est > cap then begin
+      (* Checkpoint what's already pending so the plan's own commit gets
+         a sealed chain to itself. *)
       drain_shard_index sh;
-      Index_store.drop_object sh.s_index l;
-      Osd.delete_object sh.s_osd l)
+      Osd.flush_exn sh.s_osd
+    end
+  end;
+  let undos = ref [] in
+  (try
+     List.iter
+       (fun op ->
+         let a = apply_op ~undo:true t sh op in
+         undos := a.undo :: !undos;
+         Osd.note_op sh.s_osd)
+       ops
+   with e ->
+     Counter.incr c_txn_rollbacks;
+     List.iter (fun u -> u ()) !undos;
+     raise e);
+  Counter.incr c_txn_commits;
+  Counter.add c_txn_ops (List.length ops);
+  note_write t sh
+
+module Txn = struct
+  let check tx =
+    if not tx.tx_open then
+      invalid_arg "Fs.Txn: transaction already committed or aborted"
+
+  let ops tx = List.rev tx.tx_ops
+
+  let stage tx op =
+    check tx;
+    let t = tx.tx_fs in
+    let s = Router.shard_of_oid t.router (Op.target op) in
+    (match tx.tx_shard with
+    | None -> tx.tx_shard <- Some s
+    | Some s0 when s0 = s -> ()
+    | Some s0 ->
+        reject "cross-shard transaction: op targets shard %d, plan pinned to %d"
+          s s0);
+    tx.tx_ops <- op :: tx.tx_ops
+
+  let create ?meta ?(names = []) ?(content = "") tx =
+    check tx;
+    let t = tx.tx_fs in
+    let s = match tx.tx_shard with Some s -> s | None -> place t names in
+    let l = Osd.reserve_oid t.shards.(s).s_osd in
+    let g = Router.to_global t.router ~shard:s l in
+    stage tx (Op.Create { reserved = g; meta; names; content });
+    g
+
+  let write tx oid ~off data = stage tx (Op.Write { oid; off; data })
+  let append tx oid data = stage tx (Op.Append { oid; data })
+  let truncate tx oid size = stage tx (Op.Truncate { oid; size })
+  let delete tx oid = stage tx (Op.Delete { oid })
+  let name tx oid tag value = stage tx (Op.Name { oid; tag; value })
+  let unname tx oid tag value = stage tx (Op.Unname { oid; tag; value })
+
+  let rename tx oid tag ~from_ ~to_ =
+    stage tx (Op.Rename { oid; tag; from_; to_ })
+end
+
+let with_txn t f =
+  traced "txn" @@ fun () ->
+  Osd.guard (fun () ->
+      let tx = { tx_fs = t; tx_ops = []; tx_shard = None; tx_open = true } in
+      let v =
+        match f tx with
+        | v ->
+            tx.tx_open <- false;
+            v
+        | exception e ->
+            tx.tx_open <- false;
+            raise e
+      in
+      (match (Txn.ops tx, tx.tx_shard) with
+      | [], _ | _, None -> ()
+      | ops, Some s ->
+          let sh = t.shards.(s) in
+          bump_ops sh;
+          note_targeted t;
+          span_route t sh (fun () ->
+              with_global_oid t s (fun () ->
+                  shard_exclusive sh (fun () -> commit_ops t sh ops))));
+      v)
+
+let with_txn_exn t f =
+  match with_txn t f with Ok v -> v | Error e -> Osd.raise_error e
 
 let exists t oid = routed t oid (fun sh l -> Osd.exists sh.s_osd l)
 
@@ -533,13 +1079,15 @@ let object_count t =
 
 let name t oid tag value =
   traced "name" @@ fun () ->
-  mutate t oid (fun sh l ->
-      if not (Osd.exists sh.s_osd l) then raise (Osd.No_such_object l);
-      Index_store.add sh.s_index l tag value)
+  Result.map
+    (fun (_ : bool) -> ())
+    (exec_one t (Op.Name { oid; tag; value }))
 
 let unname t oid tag value =
-  traced "unname" @@ fun () ->
-  mutate t oid (fun sh l -> Index_store.remove sh.s_index l tag value)
+  traced "unname" @@ fun () -> exec_one t (Op.Unname { oid; tag; value })
+
+let rename t oid tag ~from_ ~to_ =
+  traced "rename" @@ fun () -> exec_one t (Op.Rename { oid; tag; from_; to_ })
 
 let names_of t oid = routed t oid (fun sh l -> Index_store.values_of sh.s_index l)
 
@@ -685,15 +1233,11 @@ let read_all t oid =
 
 let write t oid ~off data =
   traced "write" @@ fun () ->
-  mutate t oid (fun sh l ->
-      Osd.write sh.s_osd l ~off data;
-      reindex_sh t.config sh l)
+  Result.map (fun (_ : bool) -> ()) (exec_one t (Op.Write { oid; off; data }))
 
 let append t oid data =
   traced "append" @@ fun () ->
-  mutate t oid (fun sh l ->
-      Osd.append sh.s_osd l data;
-      reindex_sh t.config sh l)
+  Result.map (fun (_ : bool) -> ()) (exec_one t (Op.Append { oid; data }))
 
 let insert t oid ~off data =
   mutate t oid (fun sh l ->
@@ -706,9 +1250,7 @@ let remove_bytes t oid ~off ~len =
       reindex_sh t.config sh l)
 
 let truncate t oid size =
-  mutate t oid (fun sh l ->
-      Osd.truncate sh.s_osd l size;
-      reindex_sh t.config sh l)
+  Result.map (fun (_ : bool) -> ()) (exec_one t (Op.Truncate { oid; size }))
 
 let size t oid = routed t oid (fun sh l -> Osd.size sh.s_osd l)
 let metadata t oid = routed t oid (fun sh l -> Osd.metadata sh.s_osd l)
@@ -719,6 +1261,115 @@ let update_metadata t oid f =
 let compact t oid = mutate t oid (fun sh l -> Osd.compact sh.s_osd l)
 let extent_count t oid = routed t oid (fun sh l -> Osd.extent_count sh.s_osd l)
 
+(* --- snapshots -------------------------------------------------------------- *)
+
+module Snapshot = struct
+  type snap = { sfs : t; spin : int; mutable live : bool }
+
+  let seq s = s.spin
+
+  let saved s oid =
+    let sn = s.sfs.snap in
+    Mutex.protect sn.snap_mu (fun () ->
+        match Hashtbl.find_opt sn.pre oid with
+        | None -> None
+        | Some chain -> find_pre s.spin chain)
+
+  let check s =
+    if not s.live then invalid_arg "Fs.Snapshot: snapshot already released"
+
+  (* Optimistic read: consult the saved preimages, read the live object
+     without any lock ordering hazard, then re-check — a mutation that
+     raced the live read must have captured a preimage first (it pins at
+     or after everything we could have seen), and that preimage is then
+     authoritative, so a torn live read is always discarded. *)
+  let state s oid =
+    check s;
+    match saved s oid with
+    | Some st -> st
+    | None -> (
+        let live =
+          routed s.sfs oid (fun sh l ->
+              if Osd.exists sh.s_osd l then
+                Some
+                  ( Osd.read_all sh.s_osd l,
+                    Osd.metadata sh.s_osd l,
+                    Index_store.values_of sh.s_index l )
+              else None)
+        in
+        match saved s oid with
+        | Some st -> st
+        | None -> (
+            match live with
+            | Some (p_content, p_meta, p_names) ->
+                Pre_present { p_content; p_meta; p_names }
+            | None -> Pre_absent))
+
+  let exists s oid = match state s oid with Pre_absent -> false | _ -> true
+
+  let read_all s oid =
+    match state s oid with
+    | Pre_absent -> raise (Osd.No_such_object oid)
+    | Pre_present { p_content; _ } -> p_content
+
+  let read s oid ~off ~len =
+    if off < 0 || len < 0 then invalid_arg "Fs.Snapshot.read";
+    let c = read_all s oid in
+    let n = String.length c in
+    if off >= n then "" else String.sub c off (min len (n - off))
+
+  let size s oid = String.length (read_all s oid)
+
+  let metadata s oid =
+    match state s oid with
+    | Pre_absent -> raise (Osd.No_such_object oid)
+    | Pre_present { p_meta; _ } -> p_meta
+
+  let names_of s oid =
+    match state s oid with
+    | Pre_absent -> raise (Osd.No_such_object oid)
+    | Pre_present { p_names; _ } -> p_names
+
+  let rec remove_one x = function
+    | [] -> []
+    | y :: tl -> if y = x then tl else y :: remove_one x tl
+
+  let release s =
+    if s.live then begin
+      s.live <- false;
+      let sn = s.sfs.snap in
+      Mutex.protect sn.snap_mu (fun () ->
+          sn.pinned <- remove_one s.spin sn.pinned;
+          ignore (Atomic.fetch_and_add sn.snap_active (-1));
+          (* Drop every preimage no remaining snapshot can ask for: an
+             entry stamped at or before the oldest pin serves nobody. *)
+          match sn.pinned with
+          | [] -> Hashtbl.reset sn.pre
+          | pins ->
+              let min_pin = List.fold_left min max_int pins in
+              Hashtbl.filter_map_inplace
+                (fun _ chain ->
+                  match List.filter (fun p -> p.pm > min_pin) chain with
+                  | [] -> None
+                  | c -> Some c)
+                sn.pre)
+    end
+end
+
+let snapshot t =
+  let sn = t.snap in
+  (* Raise the active count before pinning: every mutation that draws
+     its sequence number after this sees the snapshot and captures. *)
+  ignore (Atomic.fetch_and_add sn.snap_active 1);
+  Mutex.protect sn.snap_mu (fun () ->
+      let s = { Snapshot.sfs = t; spin = Atomic.get sn.mut_seq; live = true } in
+      sn.pinned <- s.Snapshot.spin :: sn.pinned;
+      s)
+
+let with_snapshot t f =
+  let s = snapshot t in
+  Fun.protect ~finally:(fun () -> Snapshot.release s) (fun () -> f s)
+
 (* --- _exn conveniences ---------------------------------------------------- *)
 
 let get = function Ok v -> v | Error e -> Osd.raise_error e
@@ -726,6 +1377,7 @@ let create_exn ?meta ?names ?content t = get (create ?meta ?names ?content t)
 let delete_exn t oid = get (delete t oid)
 let name_exn t oid tag value = get (name t oid tag value)
 let unname_exn t oid tag value = get (unname t oid tag value)
+let rename_exn t oid tag ~from_ ~to_ = get (rename t oid tag ~from_ ~to_)
 let write_exn t oid ~off data = get (write t oid ~off data)
 let append_exn t oid data = get (append t oid data)
 let insert_exn t oid ~off data = get (insert t oid ~off data)

@@ -93,10 +93,50 @@ type error = Hfad_osd.Osd.error =
   | Out_of_space of { requested_blocks : int }
   | Io of string
   | Corrupt of string
-  | Stopped  (** see {!Hfad_osd.Osd.error} for per-case meaning *)
+  | Stopped
+  | Txn_invalid of string
+      (** a transaction plan was rejected before any of it was applied;
+          see {!Hfad_osd.Osd.error} for the other cases' meaning *)
 
 val pp_error : Format.formatter -> error -> unit
 val error_message : error -> string
+
+(** {1 The typed mutation vocabulary}
+
+    One value describes one mutation, whichever door it came through:
+    the single-op entry points below build a one-element plan,
+    {!with_txn} stages many, and the wire server's MULTI frame decodes
+    straight into this type. All OIDs are global; the executor
+    translates to the owning shard. *)
+
+module Op : sig
+  type t =
+    | Create of {
+        reserved : Hfad_osd.Oid.t;
+            (** a pre-reserved identity (see {!Txn.create}) so later ops
+                in the same plan can reference the new object *)
+        meta : Hfad_osd.Meta.t option;
+        names : (Hfad_index.Tag.t * string) list;
+        content : string;
+      }
+    | Write of { oid : Hfad_osd.Oid.t; off : int; data : string }
+    | Append of { oid : Hfad_osd.Oid.t; data : string }
+    | Truncate of { oid : Hfad_osd.Oid.t; size : int }
+    | Delete of { oid : Hfad_osd.Oid.t }
+    | Name of { oid : Hfad_osd.Oid.t; tag : Hfad_index.Tag.t; value : string }
+    | Unname of { oid : Hfad_osd.Oid.t; tag : Hfad_index.Tag.t; value : string }
+    | Rename of {
+        oid : Hfad_osd.Oid.t;
+        tag : Hfad_index.Tag.t;
+        from_ : string;
+        to_ : string;
+      }  (** atomically retag: remove [tag/from_], add [tag/to_] *)
+
+  val target : t -> Hfad_osd.Oid.t
+  (** The object the op routes by (for [Create], the reserved OID). *)
+
+  val pp : Format.formatter -> t -> unit
+end
 
 (** {1 Configuration} *)
 
@@ -223,27 +263,38 @@ val metrics_prefix : t -> string option
     registered — [None] on an unsharded stack, which publishes no
     per-shard families at all. *)
 
-(** {1 Durability: flush, barrier, and the write pipeline} *)
+(** {1 Durability: sync and the write pipeline} *)
+
+val sync : ?mode:[ `Barrier | `Checkpoint ] -> t -> (unit, error) result
+(** The one durability entry point.
+
+    [`Barrier] (the default) is fsync semantics: returns [Ok ()] only
+    once every mutation acknowledged before this call is durable {e on
+    every shard}. With the pipeline running this hands each shard's
+    batch to its daemon and blocks for the commits; otherwise it
+    degenerates to [`Checkpoint]. [Error] carries the first failing
+    shard's commit error (sticky while that pipeline is up — a failed
+    daemon fails every subsequent barrier until {!start_pipeline}); the
+    remaining shards are still barriered.
+
+    [`Checkpoint] checkpoints synchronously and unconditionally: drain
+    the content-indexing queue, then journal-commit the dirty set and
+    write it home ({!Hfad_osd.Osd.flush}) — in the caller's thread even
+    while the pipeline is up (commits serialize on the stack lock). *)
+
+val sync_exn : ?mode:[ `Barrier | `Checkpoint ] -> t -> unit
 
 val flush : t -> (unit, error) result
-(** Synchronous checkpoint, unconditionally: drain the content-indexing
-    queue, then journal-commit the dirty set and write it home
-    ({!Hfad_osd.Osd.flush}). Runs in the caller's thread even while the
-    pipeline is up (commits serialize on the stack lock). *)
+(** @deprecated Alias for [sync ~mode:`Checkpoint]. *)
 
 val flush_exn : t -> unit
+(** @deprecated Alias for [sync_exn ~mode:`Checkpoint]. *)
 
 val barrier : t -> (unit, error) result
-(** The durability point — fsync semantics: returns [Ok ()] only once
-    every mutation acknowledged before this call is durable {e on every
-    shard}. With the pipeline running this hands each shard's batch to
-    its daemon and blocks for the commits; otherwise it degenerates to
-    {!flush}. [Error] carries the first failing shard's commit error
-    (sticky while that pipeline is up — a failed daemon fails every
-    subsequent barrier until {!start_pipeline}); the remaining shards
-    are still barriered. *)
+(** @deprecated Alias for [sync ~mode:`Barrier]. *)
 
 val barrier_exn : t -> unit
+(** @deprecated Alias for [sync_exn ~mode:`Barrier]. *)
 
 val start_pipeline : t -> unit
 (** Start the asynchronous group-commit daemon. From here until
@@ -302,6 +353,21 @@ val name_exn : t -> Hfad_osd.Oid.t -> Hfad_index.Tag.t -> string -> unit
 val unname : t -> Hfad_osd.Oid.t -> Hfad_index.Tag.t -> string -> (bool, error) result
 val unname_exn : t -> Hfad_osd.Oid.t -> Hfad_index.Tag.t -> string -> bool
 
+val rename :
+  t ->
+  Hfad_osd.Oid.t ->
+  Hfad_index.Tag.t ->
+  from_:string ->
+  to_:string ->
+  (bool, error) result
+(** Atomically replace one name with another under the same tag — one
+    mutation, one sequence number, so no reader or snapshot ever sees
+    the object with neither (or both) names. Returns whether [from_]
+    was actually attached. *)
+
+val rename_exn :
+  t -> Hfad_osd.Oid.t -> Hfad_index.Tag.t -> from_:string -> to_:string -> bool
+
 val names_of : t -> Hfad_osd.Oid.t -> (Hfad_index.Tag.t * string) list
 (** Every attribute name the object carries. *)
 
@@ -330,6 +396,114 @@ val search : t -> string -> (Hfad_osd.Oid.t * float) list
 val list_names : t -> Hfad_index.Tag.t -> prefix:string -> (string * Hfad_osd.Oid.t) list
 (** All (value, oid) names under a tag with a value prefix — the
     primitive behind POSIX directory listing. *)
+
+(** {1 Transactions}
+
+    A transaction stages a typed {!Op.t} plan, then commits it as one
+    atomic unit on the owning shard: under the stack's NO-STEAL/FORCE
+    journaling nothing reaches the device until a checkpoint, and a
+    checkpoint seals the whole dirty set as a single CRC-chained journal
+    commit — so a crash recovers the plan wholly applied or wholly
+    absent. The plan is validated before anything is applied; a mid-plan
+    environmental failure unwinds the applied prefix with logical undos
+    (no checkpoint can intervene — the commit holds the shard's
+    exclusive lock).
+
+    Restrictions: a plan must stay on one shard (the first staged op
+    pins it; a cross-shard op raises, surfacing as
+    [Error (Txn_invalid _)]), and its estimated dirty set must fit one
+    journal commit. Durability follows the configured policy — the plan
+    joins the pipeline batch as a unit, or checkpoints once under
+    [sync_writes]. *)
+
+type txn
+(** A transaction in its staging phase. Staging performs {e no} I/O
+    (except OID reservation in {!Txn.create}); reads inside the callback
+    see the pre-transaction state. *)
+
+module Txn : sig
+  val stage : txn -> Op.t -> unit
+  (** Append one op to the plan. Raises (→ [Error (Txn_invalid _)])
+      if the op's shard differs from the plan's. *)
+
+  val ops : txn -> Op.t list
+  (** The plan staged so far, in staging order. *)
+
+  val create :
+    ?meta:Hfad_osd.Meta.t ->
+    ?names:(Hfad_index.Tag.t * string) list ->
+    ?content:string ->
+    txn ->
+    Hfad_osd.Oid.t
+  (** Reserve a fresh OID now, stage its materialization: the returned
+      OID is valid {e within the plan} (later staged ops may target it)
+      and becomes live at commit. If the transaction aborts, the
+      reserved OID is simply never used. *)
+
+  val write : txn -> Hfad_osd.Oid.t -> off:int -> string -> unit
+  val append : txn -> Hfad_osd.Oid.t -> string -> unit
+  val truncate : txn -> Hfad_osd.Oid.t -> int -> unit
+  val delete : txn -> Hfad_osd.Oid.t -> unit
+  val name : txn -> Hfad_osd.Oid.t -> Hfad_index.Tag.t -> string -> unit
+  val unname : txn -> Hfad_osd.Oid.t -> Hfad_index.Tag.t -> string -> unit
+
+  val rename :
+    txn -> Hfad_osd.Oid.t -> Hfad_index.Tag.t -> from_:string -> to_:string -> unit
+end
+
+val with_txn : t -> (txn -> 'a) -> ('a, error) result
+(** Run [f] with a fresh transaction, then commit its staged plan
+    atomically. An empty plan commits as a no-op. Any exception [f]
+    raises aborts the transaction with nothing applied (storage
+    exceptions return as [Error]; others propagate). A rejected plan is
+    [Error (Txn_invalid _)]. *)
+
+val with_txn_exn : t -> (txn -> 'a) -> 'a
+
+(** {1 Snapshots}
+
+    Cheap copy-on-write read isolation: {!snapshot} pins the current
+    mutation sequence number, and every later mutation saves the
+    affected object's preimage (content, metadata, names) before
+    changing it — only while a snapshot that needs it is live. Long
+    scans and searches therefore read a frozen point in time without
+    blocking the write pipeline for even a moment. Snapshots cost
+    nothing until a mutation actually touches an object ({e then} one
+    object-copy per first touch), and all saved state is dropped when
+    the last snapshot needing it is released. A snapshot pins at some
+    instant within the {!snapshot} call; mutations concurrent with the
+    call itself may land on either side of the pin. *)
+
+module Snapshot : sig
+  type snap
+
+  val seq : snap -> int
+  (** The pinned mutation sequence number. *)
+
+  val exists : snap -> Hfad_osd.Oid.t -> bool
+
+  val read : snap -> Hfad_osd.Oid.t -> off:int -> len:int -> string
+  (** POSIX-read semantics at the pinned time.
+      @raise Hfad_osd.Osd.No_such_object if the object did not exist
+      then. *)
+
+  val read_all : snap -> Hfad_osd.Oid.t -> string
+  val size : snap -> Hfad_osd.Oid.t -> int
+  val metadata : snap -> Hfad_osd.Oid.t -> Hfad_osd.Meta.t
+  val names_of : snap -> Hfad_osd.Oid.t -> (Hfad_index.Tag.t * string) list
+
+  val release : snap -> unit
+  (** Drop the pin and garbage-collect every preimage no remaining
+      snapshot can ask for. Reading a released snapshot raises
+      [Invalid_argument]. Idempotent. *)
+end
+
+val snapshot : t -> Snapshot.snap
+(** Pin a snapshot; pair with {!Snapshot.release} (or use
+    {!with_snapshot}). *)
+
+val with_snapshot : t -> (Snapshot.snap -> 'a) -> 'a
+(** {!snapshot} / {!Snapshot.release} around [f], release guaranteed. *)
 
 (** {1 Access interfaces (§3.1.2)}
 

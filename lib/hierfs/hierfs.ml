@@ -10,7 +10,15 @@ module Trace = Hfad_trace.Trace
 module Router = Hfad_shard.Router
 module Pathcache = Hfad_pathcache.Pathcache
 
-type errno = ENOENT | EEXIST | ENOTDIR | EISDIR | ENOTEMPTY | EINVAL
+type errno = Hfad_util.Errno.t =
+  | ENOENT
+  | EEXIST
+  | ENOTDIR
+  | EISDIR
+  | ENOTEMPTY
+  | EBADF
+  | EINVAL
+  | ELOOP
 
 exception Error of errno * string
 

@@ -34,7 +34,19 @@
 
 type t
 
-type errno = ENOENT | EEXIST | ENOTDIR | EISDIR | ENOTEMPTY | EINVAL
+type errno = Hfad_util.Errno.t =
+  | ENOENT
+  | EEXIST
+  | ENOTDIR
+  | EISDIR
+  | ENOTEMPTY
+  | EBADF
+  | EINVAL
+  | ELOOP
+(** The shared {!Hfad_util.Errno} vocabulary (re-exported), so baseline
+    and veneer errors pattern-match against the same constructors. The
+    baseline itself raises neither [EBADF] nor [ELOOP] — it has no
+    descriptor table and no symlinks. *)
 
 exception Error of errno * string
 

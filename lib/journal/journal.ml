@@ -27,7 +27,7 @@ type recovery =
   | Corrupt of reason
 
 let magic = "hFADJRN2"
-let version = 2
+let version = 3
 let state_clean = 0
 let state_committed = 1
 
@@ -37,29 +37,36 @@ type t = {
   blocks : int;
   block_size : int;
   mutable seq : int64;
+  mutable last_ops : int;  (* op annotation of the last seal seen/written *)
 }
 
 (* --- header ----------------------------------------------------------- *)
 (* magic(8) | version u8 | seq i64 | state u8 | record_count u32 |
-   header_crc u32 — the CRC covers every preceding byte, so a torn
-   header write is detected by the header itself, not just the payload. *)
+   ops u32 | header_crc u32 — the CRC covers every preceding byte, so a
+   torn header write is detected by the header itself, not just the
+   payload. [ops] annotates the seal with the number of logical
+   operations the record chain carries — a multi-op transaction commits
+   as ONE sealed chain, and recovery can report exactly how many ops it
+   landed or rolled back. *)
 
-let header_crc_off = 22
+let header_crc_off = 26
 
-let write_header t ~state ~record_count =
+let write_header t ~state ~record_count ~ops =
   let page = Bytes.make t.block_size '\000' in
   Bytes.blit_string magic 0 page 0 8;
   Codec.put_u8 page 8 version;
   Codec.put_i64 page 9 t.seq;
   Codec.put_u8 page 17 state;
   Codec.put_u32 page 18 record_count;
+  Codec.put_u32 page 22 ops;
   let crc = Crc32.bytes page ~pos:0 ~len:header_crc_off in
   Bytes.set_int32_be page header_crc_off crc;
   Device.write_block t.dev t.first_block page;
-  Device.flush t.dev
+  Device.flush t.dev;
+  t.last_ops <- ops
 
 type header =
-  | Valid of { seq : int64; state : int; record_count : int }
+  | Valid of { seq : int64; state : int; record_count : int; ops : int }
   | Torn  (* magic intact, self-CRC mismatch: a seal write tore *)
   | Invalid of reason
 
@@ -79,6 +86,7 @@ let read_header t =
           seq = Codec.get_i64 page 9;
           state = Codec.get_u8 page 17;
           record_count = Codec.get_u32 page 18;
+          ops = Codec.get_u32 page 22;
         }
 
 (* --- construction -------------------------------------------------------- *)
@@ -87,18 +95,19 @@ let mk dev ~first_block ~blocks =
   if blocks < 2 then invalid_arg "Journal: region too small";
   let block_size = Device.block_size dev in
   if block_size < 32 then invalid_arg "Journal: block size too small";
-  { dev; first_block; blocks; block_size; seq = 0L }
+  { dev; first_block; blocks; block_size; seq = 0L; last_ops = 0 }
 
 let format dev ~first_block ~blocks =
   let t = mk dev ~first_block ~blocks in
-  write_header t ~state:state_clean ~record_count:0;
+  write_header t ~state:state_clean ~record_count:0 ~ops:0;
   t
 
 let attach dev ~first_block ~blocks =
   let t = mk dev ~first_block ~blocks in
   match read_header t with
-  | Valid { seq; _ } ->
+  | Valid { seq; ops; _ } ->
       t.seq <- seq;
+      t.last_ops <- ops;
       Ok t
   | Torn ->
       (* The seal tore mid-write; the sequence field is untrustworthy.
@@ -214,7 +223,7 @@ let decode_batch t ~records blocks =
 
 (* --- commit / recover -------------------------------------------------------- *)
 
-let commit_plain t pages =
+let commit_plain t ~ops pages =
   match pages with
   | [] -> ()
   | _ ->
@@ -231,27 +240,30 @@ let commit_plain t pages =
         (encode_batch t pages);
       Device.flush t.dev;
       t.seq <- Int64.add t.seq 1L;
-      write_header t ~state:state_committed ~record_count:(records_for t ~pages:n)
+      write_header t ~state:state_committed
+        ~record_count:(records_for t ~pages:n)
+        ~ops
 
-let commit t pages =
+let commit ?(ops = 0) t pages =
   if Trace.enabled () then
     Trace.with_span ~layer:"journal" ~op:"commit"
       ~attrs:[ ("pages", string_of_int (List.length pages)) ]
-      (fun () -> commit_plain t pages)
-  else commit_plain t pages
+      (fun () -> commit_plain t ~ops pages)
+  else commit_plain t ~ops pages
 
 let mark_clean t =
   if Trace.enabled () then
     Trace.with_span ~layer:"journal" ~op:"mark_clean" (fun () ->
-        write_header t ~state:state_clean ~record_count:0)
-  else write_header t ~state:state_clean ~record_count:0
+        write_header t ~state:state_clean ~record_count:0 ~ops:0)
+  else write_header t ~state:state_clean ~record_count:0 ~ops:0
 
 let recover t =
   match read_header t with
   | Invalid reason -> Corrupt reason
   | Torn -> Torn_seal
-  | Valid { seq; state; record_count } ->
+  | Valid { seq; state; record_count; ops } ->
       t.seq <- seq;
+      t.last_ops <- ops;
       if state = state_clean then Clean
       else if state <> state_committed then Corrupt (Bad_state state)
       else begin
@@ -299,3 +311,4 @@ let recover t =
       end
 
 let sequence t = t.seq
+let committed_ops t = t.last_ops

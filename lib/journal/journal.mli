@@ -33,11 +33,18 @@
     On-device layout (a dedicated block range):
     {v
     block 0:   header — magic, version, sequence, state (clean/committed),
-               record count, CRC-32 over all preceding header bytes
+               record count, op count, CRC-32 over all preceding header
+               bytes
     block 1..: records, back-to-back; each record is one descriptor block
                (u32 page count, payload CRC-32, u32 home page numbers,
                descriptor CRC-32) followed by the raw page images
-    v} *)
+    v}
+
+    Multi-op record chains: a {!commit} may carry the dirty set of many
+    logical operations — a whole transaction — as one sealed chain. The
+    seal's [ops] field annotates how many, so {!recover} can report
+    exactly how many logical operations a replayed (or discarded)
+    checkpoint carried ({!committed_ops}). *)
 
 type t
 
@@ -89,10 +96,13 @@ val would_fit : t -> pages:int -> bool
     region — check it at checkpoint-assembly time, before any state is
     dirtied, rather than waiting for {!commit} to raise. *)
 
-val commit : t -> (int * Bytes.t) list -> unit
+val commit : ?ops:int -> t -> (int * Bytes.t) list -> unit
 (** [commit t pages] durably records [(home_page, contents)] pairs,
     split into CRC-sealed records, and seals the group. After [commit]
     returns, the batch will survive a crash. An empty batch is a no-op.
+    [ops] annotates the seal with the number of logical operations the
+    chain carries (default 0 = unannotated); a transaction's whole
+    mutation plan commits as one chain with its op count in the seal.
     @raise Journal_full if the batch exceeds the region (callers should
     have asked {!would_fit} first). *)
 
@@ -107,6 +117,12 @@ val recover : t -> recovery
 
 val sequence : t -> int64
 (** Monotonic commit sequence number (diagnostics). *)
+
+val committed_ops : t -> int
+(** The [ops] annotation of the most recent seal written or read (by
+    {!attach}/{!recover}); 0 after {!mark_clean} or when the last commit
+    was unannotated. Diagnostics: after a crash this is how many logical
+    operations the sealed chain carried. *)
 
 (** {1 Record codec (exposed for property tests)} *)
 

@@ -11,6 +11,7 @@ module Trace = Hfad_trace.Trace
 
 exception No_such_object of Oid.t
 exception Recovery_failed of Journal.reason
+exception Txn_rejected of string
 
 (* --- typed errors ------------------------------------------------------ *)
 
@@ -23,6 +24,7 @@ type error =
   | Io of string
   | Corrupt of string
   | Stopped
+  | Txn_invalid of string
 
 let pp_error fmt (e : error) =
   match e with
@@ -43,6 +45,7 @@ let pp_error fmt (e : error) =
   | Io msg -> Format.fprintf fmt "device error: %s" msg
   | Corrupt msg -> Format.fprintf fmt "corrupt: %s" msg
   | Stopped -> Format.pp_print_string fmt "write pipeline stopped"
+  | Txn_invalid msg -> Format.fprintf fmt "transaction rejected: %s" msg
 
 let error_message e = Format.asprintf "%a" pp_error e
 
@@ -62,6 +65,7 @@ let guard (f : unit -> 'a) : ('a, error) result =
   | exception Buddy.Out_of_space { requested_blocks } ->
       Error (Out_of_space { requested_blocks })
   | exception Device.Io_error msg -> Error (Io msg)
+  | exception Txn_rejected msg -> Error (Txn_invalid msg)
   | exception Failure msg -> Error (Corrupt msg)
 
 let raise_error (e : error) : 'a =
@@ -76,6 +80,7 @@ let raise_error (e : error) : 'a =
   | Io msg -> raise (Device.Io_error msg)
   | Corrupt msg -> failwith msg
   | Stopped -> failwith "write pipeline stopped"
+  | Txn_invalid msg -> raise (Txn_rejected msg)
 
 (* --- configuration ----------------------------------------------------- *)
 
@@ -122,6 +127,9 @@ type t = {
   mutable named : (string * int) list;  (* name -> root page, superblock-backed *)
   journal : Journal.t option;
   journal_blocks : int;
+  mutable pending_ops : int;
+      (* logical ops acknowledged since the last checkpoint; stamped
+         into the next journal seal's [ops] annotation *)
   max_extent_bytes : int;
   block_size : int;
   handles : (int64, Btree.t) Hashtbl.t;
@@ -254,6 +262,7 @@ let mk_t (config : Config.t) dev ~fresh =
     named = [];
     journal;
     journal_blocks = journal_pages;
+    pending_ops = 0;
     max_extent_bytes = max_extent_pages * Device.block_size dev;
     block_size = Device.block_size dev;
     handles = Hashtbl.create 64;
@@ -290,13 +299,15 @@ let rec chunks n = function
 let flush_body t () =
   exclusive t (fun () ->
       write_superblock t;
+      let ops = t.pending_ops in
+      t.pending_ops <- 0;
       match t.journal with
       | None -> Pager.flush t.pgr
       | Some journal ->
           let dirty = Pager.dirty_pages t.pgr in
           Trace.add_attr_int "pages" (List.length dirty);
           if Journal.would_fit journal ~pages:(List.length dirty) then begin
-            Journal.commit journal dirty;
+            Journal.commit ~ops journal dirty;
             Pager.flush t.pgr;
             Journal.mark_clean journal
           end
@@ -306,9 +317,11 @@ let flush_body t () =
               raise
                 (Journal.Journal_full
                    { needed_blocks = 3; have_blocks = t.journal_blocks });
-            List.iter
-              (fun chunk ->
-                Journal.commit journal chunk;
+            (* Overload: several individually-atomic phases. The op
+               annotation rides the first seal; the rest carry 0. *)
+            List.iteri
+              (fun i chunk ->
+                Journal.commit ~ops:(if i = 0 then ops else 0) journal chunk;
                 Pager.flush_pages t.pgr (List.map fst chunk);
                 Journal.mark_clean journal)
               (chunks cap dirty)
@@ -321,6 +334,7 @@ let flush_exn t =
 
 let flush t = guard (fun () -> flush_exn t)
 let journaled t = Option.is_some t.journal
+let note_op t = t.pending_ops <- t.pending_ops + 1
 
 let journal_sequence t =
   match t.journal with Some j -> Journal.sequence j | None -> 0L
@@ -557,10 +571,29 @@ let traced_oid op oid f =
       f
   else f ()
 
-let create_object ?meta t =
+let reserve_oid t =
   exclusive t (fun () ->
       let oid = t.next_oid in
       t.next_oid <- Oid.next oid;
+      oid)
+
+let create_object ?meta ?oid t =
+  exclusive t (fun () ->
+      let oid =
+        match oid with
+        | None ->
+            let oid = t.next_oid in
+            t.next_oid <- Oid.next oid;
+            oid
+        | Some reserved ->
+            (* A previously reserved identity: it must be below the
+               cursor (i.e. actually reserved) and not yet materialized. *)
+            if Oid.compare reserved t.next_oid >= 0 then
+              invalid_arg "Osd.create_object: oid was never reserved";
+            if Btree.mem t.master (Oid.to_key reserved) then
+              invalid_arg "Osd.create_object: oid already live";
+            reserved
+      in
       let root = t.btree_alloc.Btree.alloc_page () in
       let obj = Btree.create ~lock:t.lock t.pgr t.btree_alloc ~root in
       let meta =

@@ -39,6 +39,12 @@ type t
 
 exception No_such_object of Oid.t
 
+exception Txn_rejected of string
+(** A transaction plan failed validation before any of it was applied
+    (cross-shard plan, doomed op, plan larger than the journal can seal
+    atomically). Raised by the file-system layer's transaction executor;
+    {!guard} converts it to [Error (Txn_invalid _)]. *)
+
 exception Recovery_failed of Hfad_journal.Journal.reason
 (** {!open_existing_exn} found a journal it cannot trust: the region is
     missing/overwritten where the superblock says one exists, or a
@@ -73,6 +79,9 @@ type error =
   | Stopped
       (** the write pipeline stopped before reaching the requested
           durability point *)
+  | Txn_invalid of string
+      (** a transaction plan was rejected at validation, before any of
+          its operations were applied *)
 
 val pp_error : Format.formatter -> error -> unit
 
@@ -163,6 +172,14 @@ val flush_exn : t -> unit
 (** {!flush}, re-raising the original device/journal exceptions. *)
 
 val journaled : t -> bool
+
+val note_op : t -> unit
+(** Count one logical operation into the next checkpoint's seal
+    annotation ({!Hfad_journal.Journal.commit}'s [ops]). The file-system
+    layer calls this once per applied mutation, so a transaction's whole
+    plan rides the seal with its op count — pure diagnostics, no
+    behavioural effect. *)
+
 val journal_sequence : t -> int64
 (** Number of checkpoints committed (0 when not journaled). *)
 
@@ -208,8 +225,18 @@ val named_roots : t -> (string * int) list
 
 (** {1 Object lifecycle} *)
 
-val create_object : ?meta:Meta.t -> t -> Oid.t
-(** Allocate a fresh, empty object. *)
+val reserve_oid : t -> Oid.t
+(** Claim the next OID without materializing an object — a transaction
+    stages its creates up front so later staged operations can reference
+    the new identity, then {!create_object} with [?oid] materializes it
+    at commit. A reserved OID that is never materialized is simply a
+    hole in the OID space (OIDs are never reused anyway). *)
+
+val create_object : ?meta:Meta.t -> ?oid:Oid.t -> t -> Oid.t
+(** Allocate a fresh, empty object. [?oid] materializes a previously
+    {!reserve_oid}-ed identity instead of claiming a new one.
+    @raise Invalid_argument if [oid] was never reserved or is already
+    live. *)
 
 val delete_object : t -> Oid.t -> unit
 (** Free the object's extents and index pages and forget its OID.

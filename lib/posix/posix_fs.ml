@@ -7,7 +7,7 @@ module Kv_index = Hfad_index.Kv_index
 module Trace = Hfad_trace.Trace
 module Pathcache = Hfad_pathcache.Pathcache
 
-type errno =
+type errno = Hfad_util.Errno.t =
   | ENOENT
   | EEXIST
   | ENOTDIR
@@ -19,18 +19,22 @@ type errno =
 
 exception Error of errno * string
 
-let errno_to_string = function
-  | ENOENT -> "ENOENT"
-  | EEXIST -> "EEXIST"
-  | ENOTDIR -> "ENOTDIR"
-  | EISDIR -> "EISDIR"
-  | ENOTEMPTY -> "ENOTEMPTY"
-  | EBADF -> "EBADF"
-  | EINVAL -> "EINVAL"
-  | ELOOP -> "ELOOP"
-
-let pp_errno fmt e = Format.pp_print_string fmt (errno_to_string e)
+let pp_errno = Hfad_util.Errno.pp
 let err errno context = raise (Error (errno, context))
+
+type error = Errno of errno * string | Storage of Fs.error
+
+let pp_error fmt = function
+  | Errno (e, ctx) -> Format.fprintf fmt "%a: %s" pp_errno e ctx
+  | Storage e -> Format.pp_print_string fmt (Fs.error_message e)
+
+(* Typed entry point over a raising body: veneer errnos and storage
+   errors each land in their own arm, anything else propagates. *)
+let result f =
+  match Osd.guard f with
+  | Ok v -> Ok v
+  | Error e -> Error (Storage e)
+  | exception Error (e, ctx) -> Error (Errno (e, ctx))
 
 type fd_state = { oid : Oid.t; mutable pos : int }
 
@@ -180,7 +184,7 @@ let require_absent t path = if exists t path then err EEXIST path
 
 (* --- directory operations ----------------------------------------------------- *)
 
-let mkdir t path =
+let mkdir_exn t path =
   traced "mkdir" path @@ fun () ->
   let path = Path.normalize path in
   if path = "/" then err EEXIST path;
@@ -190,11 +194,11 @@ let mkdir t path =
   let oid = Fs.create_exn ~meta t.fs in
   add_name t oid path
 
-let rec mkdir_p t path =
+let rec mkdir_p_exn t path =
   let path = Path.normalize path in
   if path <> "/" && not (exists t path) then begin
-    mkdir_p t (Path.parent path);
-    mkdir t path
+    mkdir_p_exn t (Path.parent path);
+    mkdir_exn t path
   end
   else if path <> "/" && not (is_directory t path) then err ENOTDIR path
 
@@ -234,7 +238,7 @@ let walk t path =
 
 (* --- files ------------------------------------------------------------------------ *)
 
-let create_file ?content t path =
+let create_file_exn ?content t path =
   traced "create_file" path @@ fun () ->
   let path = Path.normalize path in
   if path = "/" then err EISDIR path;
@@ -245,7 +249,7 @@ let create_file ?content t path =
   add_name t oid path;
   oid
 
-let link t existing fresh =
+let link_exn t existing fresh =
   let fresh = Path.normalize fresh in
   let oid = resolve ~follow:false t existing in
   if (Fs.metadata t.fs oid).Meta.kind = Meta.Directory then err EISDIR existing;
@@ -253,7 +257,7 @@ let link t existing fresh =
   require_parent_dir t fresh;
   add_name t oid fresh
 
-let symlink t ~target path =
+let symlink_exn t ~target path =
   let path = Path.normalize path in
   require_absent t path;
   require_parent_dir t path;
@@ -274,7 +278,7 @@ let nlink_oid t oid =
        (fun (tag, _) -> Tag.equal tag Tag.Posix)
        (Fs.names_of t.fs oid))
 
-let unlink t path =
+let unlink_exn t path =
   traced "unlink" path @@ fun () ->
   let path = Path.normalize path in
   let oid = resolve ~follow:false t path in
@@ -283,7 +287,7 @@ let unlink t path =
   invalidate t path;
   if nlink_oid t oid = 0 then Fs.delete_exn t.fs oid
 
-let rmdir t path =
+let rmdir_exn t path =
   let path = Path.normalize path in
   if path = "/" then err EINVAL path;
   let oid = resolve ~follow:false t path in
@@ -293,7 +297,29 @@ let rmdir t path =
   invalidate_prefix t path;
   Fs.delete_exn t.fs oid
 
-let rename t old_path new_path =
+(* Re-key [old_path] (and, for a directory, everything under it) as one
+   {!Fs.with_txn} plan: a crash mid-rename recovers with the whole
+   subtree under either the old or the new prefix, never a mix. Returns
+   [false] when the plan cannot commit atomically — the OIDs span shards
+   on a sharded stack, or the subtree's estimated dirty set exceeds the
+   journal — and the caller falls back to the sequential re-key. *)
+let rename_txn t oid ~old_path ~new_path ~children =
+  match
+    Fs.with_txn t.fs (fun tx ->
+        Fs.Txn.rename tx oid Tag.Posix ~from_:old_path ~to_:new_path;
+        List.iter
+          (fun (value, child) ->
+            Fs.Txn.rename tx child Tag.Posix ~from_:value
+              ~to_:
+                (Path.replace_prefix ~old_prefix:old_path
+                   ~new_prefix:new_path value))
+          children)
+  with
+  | Ok () -> true
+  | Error (Fs.Txn_invalid _) -> false
+  | Error e -> Osd.raise_error e
+
+let rename_exn t old_path new_path =
   traced "rename" old_path @@ fun () ->
   let old_path = Path.normalize old_path
   and new_path = Path.normalize new_path in
@@ -305,20 +331,33 @@ let rename t old_path new_path =
     require_parent_dir t new_path;
     if Path.is_ancestor ~ancestor:old_path new_path then err EINVAL new_path;
     let is_dir = (Fs.metadata t.fs oid).Meta.kind = Meta.Directory in
-    ignore (Fs.unname_exn t.fs oid Tag.Posix old_path);
-    (* A directory leaves every cached descendant stale, all at once,
-       before the re-key loop repopulates the new names write-through. *)
-    if is_dir then invalidate_prefix t old_path else invalidate t old_path;
-    add_name t oid new_path;
-    if is_dir then
+    let children =
+      if is_dir then Fs.list_names t.fs Tag.Posix ~prefix:(dir_prefix old_path)
+      else []
+    in
+    if rename_txn t oid ~old_path ~new_path ~children then begin
+      (* The names moved atomically; only the memo needs repair. *)
+      if is_dir then invalidate_prefix t old_path else invalidate t old_path;
+      match t.pcache with
+      | Some pc -> Pathcache.add pc new_path oid
+      | None -> ()
+    end
+    else begin
+      ignore (Fs.unname_exn t.fs oid Tag.Posix old_path);
+      (* A directory leaves every cached descendant stale, all at once,
+         before the re-key loop repopulates the new names write-through. *)
+      if is_dir then invalidate_prefix t old_path else invalidate t old_path;
+      add_name t oid new_path;
       (* Re-key every name under the directory: the inherent cost of a
          path-keyed namespace (measured in bench C4). *)
       List.iter
         (fun (value, child) ->
           ignore (Fs.unname_exn t.fs child Tag.Posix value);
           add_name t child
-            (Path.replace_prefix ~old_prefix:old_path ~new_prefix:new_path value))
-        (Fs.list_names t.fs Tag.Posix ~prefix:(dir_prefix old_path))
+            (Path.replace_prefix ~old_prefix:old_path ~new_prefix:new_path
+               value))
+        children
+    end
   end
 
 (* --- descriptors -------------------------------------------------------------------- *)
@@ -330,7 +369,7 @@ let openf ?(create = false) t path =
     | oid ->
         if (Fs.metadata t.fs oid).Meta.kind = Meta.Directory then err EISDIR path;
         oid
-    | exception Error (ENOENT, _) when create -> create_file t path
+    | exception Error (ENOENT, _) when create -> create_file_exn t path
   in
   Mutex.lock t.fds_mutex;
   let fd = t.next_fd in
@@ -369,7 +408,7 @@ let read_fd t fd n =
   with_fds t (fun () -> state.pos <- pos + String.length data);
   data
 
-let write_fd t fd data =
+let write_fd_exn t fd data =
   let state, pos = with_fds t (fun () -> let s = fd_state t fd in (s, s.pos)) in
   Fs.write_exn t.fs state.oid ~off:pos data;
   with_fds t (fun () -> state.pos <- pos + String.length data)
@@ -385,7 +424,7 @@ let tell t fd = with_fds t (fun () -> (fd_state t fd).pos)
 let read_file t path =
   traced "read_file" path @@ fun () -> Fs.read_all t.fs (resolve t path)
 
-let write_file t path data =
+let write_file_exn t path data =
   let path = Path.normalize path in
   let oid =
     match resolve t path with
@@ -393,9 +432,22 @@ let write_file t path data =
         if (Fs.metadata t.fs oid).Meta.kind = Meta.Directory then err EISDIR path;
         Fs.truncate_exn t.fs oid 0;
         oid
-    | exception Error (ENOENT, _) -> create_file t path
+    | exception Error (ENOENT, _) -> create_file_exn t path
   in
   Fs.write_exn t.fs oid ~off:0 data
+
+(* --- typed mutation API ------------------------------------------------------------- *)
+
+let mkdir t path = result (fun () -> mkdir_exn t path)
+let mkdir_p t path = result (fun () -> mkdir_p_exn t path)
+let create_file ?content t path = result (fun () -> create_file_exn ?content t path)
+let link t existing fresh = result (fun () -> link_exn t existing fresh)
+let symlink t ~target path = result (fun () -> symlink_exn t ~target path)
+let unlink t path = result (fun () -> unlink_exn t path)
+let rmdir t path = result (fun () -> rmdir_exn t path)
+let rename t old_path new_path = result (fun () -> rename_exn t old_path new_path)
+let write_fd t fd data = result (fun () -> write_fd_exn t fd data)
+let write_file t path data = result (fun () -> write_file_exn t path data)
 
 (* --- verification ---------------------------------------------------------------------- *)
 

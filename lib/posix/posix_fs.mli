@@ -20,8 +20,13 @@
       semantics and empty directories survive; the data path never
       touches them.
 
-    Errors are reported with {!exception:Error} carrying a POSIX-style
-    errno.
+    Mutations return a typed [result] over {!type:error} — the shared
+    {!Hfad_util.Errno} vocabulary plus the storage stack's own
+    {!Hfad.Fs.error} — with [_exn] companions that raise
+    {!exception:Error} for callers that prefer exceptions (scripts,
+    benches). Read-side and descriptor calls keep raising: a bad
+    descriptor or unresolvable path is a programming error at those
+    call sites, not an outcome to branch on.
 
     Concurrency: the veneer inherits the stack's single-writer /
     multi-reader discipline — every {!Hfad.Fs} call underneath takes the
@@ -29,15 +34,17 @@
     {!resolve}, {!readdir}, {!stat} and descriptor reads run in parallel
     across domains with {e zero} exclusive-side contention (contrast the
     hierarchical baseline's shared-ancestor locks, experiment C2). The
-    descriptor table and cursors are guarded by a private mutex. A
-    multi-step operation ({!rename}, {!mkdir_p}, [create]-on-open) is a
-    sequence of individually-atomic Fs calls, not one transaction —
-    racing writers to the {e same} paths can interleave, as they can in
-    POSIX itself. *)
+    descriptor table and cursors are guarded by a private mutex.
+    {!rename} commits as {e one} transaction ({!Hfad.Fs.with_txn}) when
+    the stack allows it — a crash recovers the whole re-key or none of
+    it — falling back to a sequence of individually-atomic Fs calls when
+    the subtree spans shards or overflows the journal's capacity
+    estimate. Other multi-step operations ({!mkdir_p}, [create]-on-open)
+    remain sequences of atomic Fs calls, as in POSIX itself. *)
 
 type t
 
-type errno =
+type errno = Hfad_util.Errno.t =
   | ENOENT   (** no such file or directory *)
   | EEXIST
   | ENOTDIR
@@ -46,11 +53,20 @@ type errno =
   | EBADF
   | EINVAL
   | ELOOP    (** too many levels of symbolic links *)
+(** Re-export of the shared {!Hfad_util.Errno} vocabulary, so veneer
+    errors pattern-match against the same constructors as
+    {!Hfad_hierfs.Hierfs}'s. *)
 
 exception Error of errno * string
-(** [(errno, path-or-context)] *)
+(** [(errno, path-or-context)] — raised by the [_exn] mutation variants
+    and the read/descriptor calls. *)
+
+type error = Errno of errno * string | Storage of Hfad.Fs.error
+(** What a typed mutation can return: a POSIX-semantics refusal
+    ([Errno]) or a storage-stack failure bubbling up ([Storage]). *)
 
 val pp_errno : Format.formatter -> errno -> unit
+val pp_error : Format.formatter -> error -> unit
 
 val mount : ?pathcache_entries:int -> Hfad.Fs.t -> t
 (** Attach the veneer to a file system, creating the root directory
@@ -85,40 +101,55 @@ val resolve : ?follow:bool -> t -> string -> Hfad_osd.Oid.t
 (** OID behind a path ([follow] symlinks, default true). @raise Error
     ENOENT / ELOOP. *)
 
-val mkdir : t -> string -> unit
-(** @raise Error EEXIST / ENOENT (parent) / ENOTDIR (parent). *)
+val mkdir : t -> string -> (unit, error) result
+(** [Errno]: EEXIST / ENOENT (parent) / ENOTDIR (parent). *)
 
-val mkdir_p : t -> string -> unit
+val mkdir_p : t -> string -> (unit, error) result
 (** Create missing ancestors; no error if the directory exists. *)
 
-val create_file : ?content:string -> t -> string -> Hfad_osd.Oid.t
-(** Create a regular file. @raise Error EEXIST / ENOENT / ENOTDIR. *)
+val create_file : ?content:string -> t -> string -> (Hfad_osd.Oid.t, error) result
+(** Create a regular file. [Errno]: EEXIST / ENOENT / ENOTDIR. *)
 
 val readdir : t -> string -> string list
 (** Names (one component each) inside a directory, sorted.
     @raise Error ENOENT / ENOTDIR. *)
 
-val rename : t -> string -> string -> unit
-(** Move a file or a whole directory subtree. @raise Error ENOENT,
-    EEXIST (destination), EINVAL (directory into itself). *)
+val rename : t -> string -> string -> (unit, error) result
+(** Move a file or a whole directory subtree — atomically (one
+    transaction) whenever the stack permits, see the module preamble.
+    [Errno]: ENOENT, EEXIST (destination), EINVAL (directory into
+    itself). *)
 
-val link : t -> string -> string -> unit
-(** Hard link: one more POSIX name on the same object. @raise Error
+val link : t -> string -> string -> (unit, error) result
+(** Hard link: one more POSIX name on the same object. [Errno]:
     ENOENT / EEXIST / EISDIR (directories cannot be hard-linked). *)
 
-val symlink : t -> target:string -> string -> unit
+val symlink : t -> target:string -> string -> (unit, error) result
 (** Create a symbolic link object whose content is [target]. *)
 
 val readlink : t -> string -> string
 (** @raise Error EINVAL if not a symlink. *)
 
-val unlink : t -> string -> unit
+val unlink : t -> string -> (unit, error) result
 (** Remove one POSIX name; the object itself is deleted when its last
-    POSIX name goes (link-count semantics). @raise Error ENOENT /
-    EISDIR. *)
+    POSIX name goes (link-count semantics). [Errno]: ENOENT / EISDIR. *)
 
-val rmdir : t -> string -> unit
-(** @raise Error ENOTEMPTY / ENOTDIR / ENOENT / EINVAL (root). *)
+val rmdir : t -> string -> (unit, error) result
+(** [Errno]: ENOTEMPTY / ENOTDIR / ENOENT / EINVAL (root). *)
+
+(** {2 Raising variants}
+
+    Same semantics; failure raises {!exception:Error} (or the storage
+    stack's own exception for [Storage]-class faults). *)
+
+val mkdir_exn : t -> string -> unit
+val mkdir_p_exn : t -> string -> unit
+val create_file_exn : ?content:string -> t -> string -> Hfad_osd.Oid.t
+val rename_exn : t -> string -> string -> unit
+val link_exn : t -> string -> string -> unit
+val symlink_exn : t -> target:string -> string -> unit
+val unlink_exn : t -> string -> unit
+val rmdir_exn : t -> string -> unit
 
 val exists : t -> string -> bool
 val is_directory : t -> string -> bool
@@ -141,8 +172,10 @@ val close : t -> fd -> unit
 val read_fd : t -> fd -> int -> string
 (** Read up to [n] bytes at the cursor, advancing it. *)
 
-val write_fd : t -> fd -> string -> unit
+val write_fd : t -> fd -> string -> (unit, error) result
 (** Write at the cursor, advancing it. *)
+
+val write_fd_exn : t -> fd -> string -> unit
 
 val seek : t -> fd -> int -> unit
 (** Absolute reposition. @raise Error EINVAL on negative offset. *)
@@ -152,8 +185,11 @@ val tell : t -> fd -> int
 (** {1 Whole-file conveniences} *)
 
 val read_file : t -> string -> string
-val write_file : t -> string -> string -> unit
+
+val write_file : t -> string -> string -> (unit, error) result
 (** Create-or-truncate then write. *)
+
+val write_file_exn : t -> string -> string -> unit
 
 (** {1 Maintenance} *)
 

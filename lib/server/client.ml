@@ -85,6 +85,25 @@ let call t req =
 
 (* --- conveniences -------------------------------------------------- *)
 
+type error = Busy | Not_found | Remote of string
+
+let pp_error ppf = function
+  | Busy -> Format.pp_print_string ppf "BUSY"
+  | Not_found -> Format.pp_print_string ppf "NOT_FOUND"
+  | Remote msg -> Format.fprintf ppf "remote error: %s" msg
+
+(* Every non-OK status maps to a typed error; an OK status of the wrong
+   shape for the request is a server bug and maps to [Remote]. *)
+let unexpected resp =
+  Error (Remote (Format.asprintf "unexpected reply: %a" Wire.pp_response resp))
+
+let typed resp ok =
+  match resp with
+  | Wire.Busy -> Error Busy
+  | Wire.Not_found -> Error Not_found
+  | Wire.Err msg -> Error (Remote msg)
+  | other -> ( match ok other with Some v -> Ok v | None -> unexpected other)
+
 let ping t =
   let t0 = Unix.gettimeofday () in
   match call t Wire.Ping with
@@ -94,36 +113,40 @@ let ping t =
         (Protocol_error (Format.asprintf "ping: %a" Wire.pp_response other))
 
 let put t ~key data =
-  match call t (Wire.Put { key; data }) with
-  | Wire.Ok_oid oid -> Ok oid
-  | other -> Error other
+  typed
+    (call t (Wire.Put { key; data }))
+    (function Wire.Ok_oid oid -> Some oid | _ -> None)
 
 let get t ~key =
-  match call t (Wire.Get { key }) with
-  | Wire.Ok_data d -> Ok d
-  | other -> Error other
+  typed
+    (call t (Wire.Get { key }))
+    (function Wire.Ok_data d -> Some d | _ -> None)
 
 let delete t ~key =
-  match call t (Wire.Delete { key }) with
-  | Wire.Ok_unit -> Ok ()
-  | other -> Error other
+  typed
+    (call t (Wire.Delete { key }))
+    (function Wire.Ok_unit -> Some () | _ -> None)
 
 let tag t ~key ~tag:tg ~value =
-  match call t (Wire.Tag { key; tag = tg; value }) with
-  | Wire.Ok_unit -> Ok ()
-  | other -> Error other
+  typed
+    (call t (Wire.Tag { key; tag = tg; value }))
+    (function Wire.Ok_unit -> Some () | _ -> None)
 
 let search t query =
-  match call t (Wire.Search { query }) with
-  | Wire.Ok_hits hits -> Ok hits
-  | other -> Error other
+  typed
+    (call t (Wire.Search { query }))
+    (function Wire.Ok_hits hits -> Some hits | _ -> None)
 
 let stat t ~key =
-  match call t (Wire.Stat { key }) with
-  | Wire.Ok_stat { oid; size } -> Ok (oid, size)
-  | other -> Error other
+  typed
+    (call t (Wire.Stat { key }))
+    (function Wire.Ok_stat { oid; size } -> Some (oid, size) | _ -> None)
 
 let flush t =
-  match call t Wire.Flush with
-  | Wire.Ok_unit -> Ok ()
-  | other -> Error other
+  typed (call t Wire.Flush)
+    (function Wire.Ok_unit -> Some () | _ -> None)
+
+let multi t ops =
+  typed
+    (call t (Wire.Multi { ops }))
+    (function Wire.Ok_oids oids -> Some oids | _ -> None)

@@ -27,18 +27,31 @@ val recv : t -> int * Wire.response
 val call : t -> Wire.request -> Wire.response
 (** [send] + wait for that id's response. *)
 
-(** {1 Conveniences} — thin wrappers over {!call}. *)
+(** {1 Conveniences} — thin wrappers over {!call}.
+
+    Failures are typed: [Busy] is the server's backpressure answer (the
+    request was {e not} executed — drain replies, then retry),
+    [Not_found] means no object carries the [UDEF/<key>] name, and
+    [Remote] carries any other server-side error message verbatim. *)
+
+type error = Busy | Not_found | Remote of string
+
+val pp_error : Format.formatter -> error -> unit
 
 val ping : t -> float
 (** Round-trip time in seconds. @raise Protocol_error on a non-OK
     reply. *)
 
-val put : t -> key:string -> string -> (int64, Wire.response) result
-val get : t -> key:string -> (string, Wire.response) result
-val delete : t -> key:string -> (unit, Wire.response) result
-val tag : t -> key:string -> tag:string -> value:string -> (unit, Wire.response) result
-val search : t -> string -> ((int64 * float) list, Wire.response) result
-val stat : t -> key:string -> (int64 * int64, Wire.response) result
+val put : t -> key:string -> string -> (int64, error) result
+val get : t -> key:string -> (string, error) result
+val delete : t -> key:string -> (unit, error) result
+val tag : t -> key:string -> tag:string -> value:string -> (unit, error) result
+val search : t -> string -> ((int64 * float) list, error) result
+val stat : t -> key:string -> (int64 * int64, error) result
 (** [(oid, size)] *)
 
-val flush : t -> (unit, Wire.response) result
+val flush : t -> (unit, error) result
+
+val multi : t -> Wire.txn_op list -> (int64 list, error) result
+(** Execute the plan as one atomic transaction; the [int64 list] is the
+    OID each [Tput] touched, in plan order. *)

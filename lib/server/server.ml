@@ -169,6 +169,55 @@ let err_of t e = Counter.incr t.c.errors; Wire.Err (Fs.error_message e)
 
 let err_msg t msg = Counter.incr t.c.errors; Wire.Err msg
 
+(* A MULTI step named a key with no object behind it: the whole plan
+   answers NOT_FOUND, nothing applied (raising aborts the txn). *)
+exception Multi_not_found
+
+(* Stage one decoded MULTI step into the transaction. Returns the OID a
+   Tput touched (the reply lists them in plan order).
+
+   Staging reads live state, but earlier steps of the same plan are not
+   live yet, so [staged] overlays the plan's own key bindings: [Some oid]
+   for a key the plan created or renamed-to, [None] for one it deleted or
+   renamed away. Later steps therefore see earlier steps' effects. *)
+let stage_txn_op t tx staged op =
+  let lookup key =
+    match Hashtbl.find_opt staged key with
+    | Some binding -> binding
+    | None -> Fs.lookup_one t.fs [ key_name key ]
+  in
+  let found key = match lookup key with
+    | Some oid -> oid
+    | None -> raise Multi_not_found
+  in
+  match op with
+  | Wire.Tput { key; data } -> (
+      match lookup key with
+      | Some oid ->
+          Fs.Txn.truncate tx oid 0;
+          if data <> "" then Fs.Txn.write tx oid ~off:0 data;
+          Some oid
+      | None ->
+          let oid = Fs.Txn.create tx ~names:[ key_name key ] ~content:data in
+          Hashtbl.replace staged key (Some oid);
+          Some oid)
+  | Wire.Tdelete { key } ->
+      Fs.Txn.delete tx (found key);
+      Hashtbl.replace staged key None;
+      None
+  | Wire.Ttag { key; tag; value } ->
+      Fs.Txn.name tx (found key) (Tag.of_string tag) value;
+      None
+  | Wire.Tuntag { key; tag; value } ->
+      Fs.Txn.unname tx (found key) (Tag.of_string tag) value;
+      None
+  | Wire.Trename { from_; to_ } ->
+      let oid = found from_ in
+      Fs.Txn.rename tx oid Tag.Udef ~from_ ~to_;
+      Hashtbl.replace staged from_ None;
+      Hashtbl.replace staged to_ (Some oid);
+      None
+
 (* Reads reply now; mutations reply [`Defer resp] — the response to
    send once a barrier covers the acknowledged mutation. *)
 let execute t (req : Wire.request) :
@@ -238,8 +287,21 @@ let execute t (req : Wire.request) :
         (* No mutation of its own: the reply just rides the next
            barrier, which is exactly the fsync the client asked for. *)
         `Defer Wire.Ok_unit
+    | Wire.Multi { ops } -> (
+        (* The whole plan commits as one Fs transaction: all-or-nothing
+           on disk AND against concurrent requests; the ack rides the
+           next group commit like any other mutation. *)
+        match
+          Fs.with_txn t.fs (fun tx ->
+              let staged = Hashtbl.create 8 in
+              List.map (stage_txn_op t tx staged) ops)
+        with
+        | Ok touched ->
+            `Defer
+              (Wire.Ok_oids (List.filter_map (Option.map Oid.to_int64) touched))
+        | Error e -> `Reply (err_of t e))
   with
-  | Hfad_osd.Osd.No_such_object _ -> `Reply Wire.Not_found
+  | Hfad_osd.Osd.No_such_object _ | Multi_not_found -> `Reply Wire.Not_found
   | exn -> `Reply (err_msg t (Printexc.to_string exn))
 
 (* Release one batch: a single barrier acks every parked reply. *)
@@ -250,7 +312,7 @@ let release_batch t pending =
       Trace.with_span ~layer:"server" ~op:"batch" (fun () ->
           if Trace.enabled () then
             Trace.add_attr_int "ops" (List.length acks);
-          let result = Fs.barrier t.fs in
+          let result = Fs.sync t.fs in
           Counter.incr t.c.batches;
           Counter.add t.c.batch_ops (List.length acks);
           List.iter
@@ -304,7 +366,7 @@ let handle_frames t ~pending c =
                    (* Per-request durability: the baseline configuration
                       S1 measures group commit against. *)
                    let final =
-                     match Fs.barrier t.fs with
+                     match Fs.sync t.fs with
                      | Ok () -> resp
                      | Error e -> err_of t e
                    in

@@ -6,6 +6,13 @@
 
 let max_frame_bytes = 16 * 1024 * 1024
 
+type txn_op =
+  | Tput of { key : string; data : string }
+  | Tdelete of { key : string }
+  | Ttag of { key : string; tag : string; value : string }
+  | Tuntag of { key : string; tag : string; value : string }
+  | Trename of { from_ : string; to_ : string }
+
 type request =
   | Ping
   | Put of { key : string; data : string }
@@ -15,6 +22,7 @@ type request =
   | Search of { query : string }
   | Stat of { key : string }
   | Flush
+  | Multi of { ops : txn_op list }
 
 type response =
   | Ok_unit
@@ -22,16 +30,26 @@ type response =
   | Ok_data of string
   | Ok_hits of (int64 * float) list
   | Ok_stat of { oid : int64; size : int64 }
+  | Ok_oids of int64 list
   | Not_found
   | Busy
   | Err of string
 
 let mutates = function
-  | Put _ | Delete _ | Tag _ | Flush -> true
+  | Put _ | Delete _ | Tag _ | Flush | Multi _ -> true
   | Ping | Get _ | Search _ | Stat _ -> false
 
 let equal_request (a : request) (b : request) = a = b
 let equal_response (a : response) (b : response) = a = b
+
+let pp_txn_op fmt = function
+  | Tput { key; data } ->
+      Format.fprintf fmt "put %s (%d bytes)" key (String.length data)
+  | Tdelete { key } -> Format.fprintf fmt "delete %s" key
+  | Ttag { key; tag; value } -> Format.fprintf fmt "tag %s %s/%s" key tag value
+  | Tuntag { key; tag; value } ->
+      Format.fprintf fmt "untag %s %s/%s" key tag value
+  | Trename { from_; to_ } -> Format.fprintf fmt "rename %s -> %s" from_ to_
 
 let pp_request fmt = function
   | Ping -> Format.fprintf fmt "PING"
@@ -42,6 +60,7 @@ let pp_request fmt = function
   | Search { query } -> Format.fprintf fmt "SEARCH %s" query
   | Stat { key } -> Format.fprintf fmt "STAT %s" key
   | Flush -> Format.fprintf fmt "FLUSH"
+  | Multi { ops } -> Format.fprintf fmt "MULTI (%d ops)" (List.length ops)
 
 let pp_response fmt = function
   | Ok_unit -> Format.fprintf fmt "OK"
@@ -49,6 +68,7 @@ let pp_response fmt = function
   | Ok_data d -> Format.fprintf fmt "OK (%d bytes)" (String.length d)
   | Ok_hits hits -> Format.fprintf fmt "OK %d hit(s)" (List.length hits)
   | Ok_stat { oid; size } -> Format.fprintf fmt "OK oid=%Ld size=%Ld" oid size
+  | Ok_oids oids -> Format.fprintf fmt "OK %d oid(s)" (List.length oids)
   | Not_found -> Format.fprintf fmt "NOT_FOUND"
   | Busy -> Format.fprintf fmt "BUSY"
   | Err msg -> Format.fprintf fmt "ERR %s" msg
@@ -64,6 +84,13 @@ let add_str16 b s =
   Buffer.add_uint16_be b (String.length s);
   Buffer.add_string b s
 
+(* MULTI carries several bulk payloads in one frame, so (unlike every
+   other opcode) each op's data needs its own length — u32, since one
+   object's content can exceed 64 KiB. The frame bound still applies. *)
+let add_str32 b s =
+  Buffer.add_int32_be b (Int32.of_int (String.length s));
+  Buffer.add_string b s
+
 let request_kind = function
   | Ping -> 0
   | Put _ -> 1
@@ -73,6 +100,7 @@ let request_kind = function
   | Search _ -> 5
   | Stat _ -> 6
   | Flush -> 7
+  | Multi _ -> 8
 
 let response_kind = function
   | Ok_unit -> 0
@@ -80,9 +108,32 @@ let response_kind = function
   | Ok_data _ -> 2
   | Ok_hits _ -> 3
   | Ok_stat _ -> 4
+  | Ok_oids _ -> 5
   | Not_found -> 16
   | Busy -> 17
   | Err _ -> 18
+
+let txn_op_kind = function
+  | Tput _ -> 0
+  | Tdelete _ -> 1
+  | Ttag _ -> 2
+  | Tuntag _ -> 3
+  | Trename _ -> 4
+
+let add_txn_op b op =
+  Buffer.add_uint8 b (txn_op_kind op);
+  match op with
+  | Tput { key; data } ->
+      add_str16 b key;
+      add_str32 b data
+  | Tdelete { key } -> add_str16 b key
+  | Ttag { key; tag; value } | Tuntag { key; tag; value } ->
+      add_str16 b key;
+      add_str16 b tag;
+      add_str16 b value
+  | Trename { from_; to_ } ->
+      add_str16 b from_;
+      add_str16 b to_
 
 let add_request_payload b = function
   | Ping | Flush -> ()
@@ -95,6 +146,11 @@ let add_request_payload b = function
       add_str16 b tag;
       add_str16 b value
   | Search { query } -> Buffer.add_string b query
+  | Multi { ops } ->
+      if List.length ops > 0xFFFF then
+        invalid_arg "Wire: MULTI exceeds 65535 ops";
+      Buffer.add_uint16_be b (List.length ops);
+      List.iter (add_txn_op b) ops
 
 let add_response_payload b = function
   | Ok_unit | Not_found | Busy -> ()
@@ -110,6 +166,9 @@ let add_response_payload b = function
   | Ok_stat { oid; size } ->
       Buffer.add_int64_be b oid;
       Buffer.add_int64_be b size
+  | Ok_oids oids ->
+      Buffer.add_int32_be b (Int32.of_int (List.length oids));
+      List.iter (Buffer.add_int64_be b) oids
   | Err msg -> Buffer.add_string b msg
 
 let encode ~id ~kind add_payload msg =
@@ -161,6 +220,13 @@ let str16 s pos =
   pos := !pos + n;
   v
 
+let str32 s pos =
+  let n = u32 s pos in
+  if !pos + n > String.length s then raise Short;
+  let v = String.sub s !pos n in
+  pos := !pos + n;
+  v
+
 let rest s pos =
   let v = String.sub s !pos (String.length s - !pos) in
   pos := String.length s;
@@ -188,6 +254,38 @@ let decode_request kind payload =
     | 5 -> fin (Search { query = rest payload pos })
     | 6 -> fin (Stat { key = str16 payload pos })
     | 7 -> fin Flush
+    | 8 ->
+        let n = u16 payload pos in
+        let exception Bad_op of string in
+        let op () =
+          let kb =
+            if !pos + 1 > String.length payload then raise Short
+            else begin
+              let k = Char.code payload.[!pos] in
+              incr pos;
+              k
+            end
+          in
+          match kb with
+          | 0 ->
+              let key = str16 payload pos in
+              Tput { key; data = str32 payload pos }
+          | 1 -> Tdelete { key = str16 payload pos }
+          | 2 ->
+              let key = str16 payload pos in
+              let tag = str16 payload pos in
+              Ttag { key; tag; value = str16 payload pos }
+          | 3 ->
+              let key = str16 payload pos in
+              let tag = str16 payload pos in
+              Tuntag { key; tag; value = str16 payload pos }
+          | 4 ->
+              let from_ = str16 payload pos in
+              Trename { from_; to_ = str16 payload pos }
+          | k -> raise (Bad_op (Printf.sprintf "unknown MULTI op %d" k))
+        in
+        (try fin (Multi { ops = List.init n (fun _ -> op ()) })
+         with Bad_op msg -> Error msg)
     | k -> Error (Printf.sprintf "unknown request opcode %d" k)
   with Short -> Error "truncated request payload"
 
@@ -212,6 +310,11 @@ let decode_response kind payload =
     | 4 ->
         let oid = u64 payload pos in
         fin (Ok_stat { oid; size = u64 payload pos })
+    | 5 ->
+        let n = u32 payload pos in
+        if String.length payload - !pos <> n * 8 then
+          Error "oid count disagrees with payload length"
+        else fin (Ok_oids (List.init n (fun _ -> u64 payload pos)))
     | 16 -> fin Not_found
     | 17 -> fin Busy
     | 18 -> fin (Err (rest payload pos))

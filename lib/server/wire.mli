@@ -36,6 +36,20 @@ val max_frame_bytes : int
 (** Hard bound on [length] (16 MiB): larger frames are malformed, never
     buffered. *)
 
+(** One step of a MULTI transaction frame. Encoded as a [u8] opcode
+    followed by [u16]-prefixed fields; [Tput] data carries its own [u32]
+    length (several bulk payloads share one frame, so trailing-bytes
+    framing is unavailable). *)
+type txn_op =
+  | Tput of { key : string; data : string }
+      (** create-or-replace the object named [UDEF/key] *)
+  | Tdelete of { key : string }
+  | Ttag of { key : string; tag : string; value : string }
+  | Tuntag of { key : string; tag : string; value : string }
+  | Trename of { from_ : string; to_ : string }
+      (** atomically re-key: the object named [UDEF/from_] becomes
+          [UDEF/to_] *)
+
 type request =
   | Ping
   | Put of { key : string; data : string }
@@ -49,6 +63,14 @@ type request =
   | Stat of { key : string }
   | Flush  (** barrier: ack only once everything this connection was
                acked for is durable *)
+  | Multi of { ops : txn_op list }
+      (** execute the whole plan as ONE atomic transaction
+          ({!Hfad.Fs.with_txn}): a crash recovers it wholly applied or
+          wholly absent, and no other request observes a prefix. Later
+          steps see earlier steps' effects (a [Tput]-created key may be
+          tagged, renamed or deleted by the same plan). A plan the
+          executor cannot commit atomically (e.g. spanning shards on a
+          sharded stack) answers [Err] with nothing applied. *)
 
 type response =
   | Ok_unit  (** Ping/Delete/Tag/Flush success *)
@@ -56,6 +78,8 @@ type response =
   | Ok_data of string  (** Get success *)
   | Ok_hits of (int64 * float) list  (** Search success: (oid, score) *)
   | Ok_stat of { oid : int64; size : int64 }  (** Stat success *)
+  | Ok_oids of int64 list
+      (** Multi success: the OID each [Tput] touched, in plan order *)
   | Not_found  (** no object named [UDEF/key] *)
   | Busy
       (** backpressure: the connection exceeded its inflight budget; the
@@ -64,8 +88,9 @@ type response =
 
 val mutates : request -> bool
 (** Whether the request's ack must wait for a durability point ([Put],
-    [Delete], [Tag], [Flush]). *)
+    [Delete], [Tag], [Flush], [Multi]). *)
 
+val pp_txn_op : Format.formatter -> txn_op -> unit
 val pp_request : Format.formatter -> request -> unit
 val pp_response : Format.formatter -> response -> unit
 val equal_request : request -> request -> bool

@@ -1,0 +1,23 @@
+(* Shared POSIX-style error vocabulary. See errno.mli. *)
+
+type t =
+  | ENOENT
+  | EEXIST
+  | ENOTDIR
+  | EISDIR
+  | ENOTEMPTY
+  | EBADF
+  | EINVAL
+  | ELOOP
+
+let to_string = function
+  | ENOENT -> "ENOENT"
+  | EEXIST -> "EEXIST"
+  | ENOTDIR -> "ENOTDIR"
+  | EISDIR -> "EISDIR"
+  | ENOTEMPTY -> "ENOTEMPTY"
+  | EBADF -> "EBADF"
+  | EINVAL -> "EINVAL"
+  | ELOOP -> "ELOOP"
+
+let pp fmt e = Format.pp_print_string fmt (to_string e)

@@ -1,0 +1,20 @@
+(** POSIX-style error codes, shared by every naming veneer.
+
+    Both path-keyed interfaces — the {!Hfad_posix.Posix_fs} veneer over
+    the native API and the {!Hfad_hierfs.Hierfs} baseline — speak the
+    same errno vocabulary, so tests and workload drivers compare their
+    behavior without translating error spaces. The constructors carry
+    POSIX [errno(3)] meanings. *)
+
+type t =
+  | ENOENT  (** no such file or directory *)
+  | EEXIST  (** path already bound *)
+  | ENOTDIR  (** a non-directory where a directory is required *)
+  | EISDIR  (** a directory where a file is required *)
+  | ENOTEMPTY  (** directory not empty *)
+  | EBADF  (** bad file descriptor *)
+  | EINVAL  (** invalid argument (bad offset, rename into self, …) *)
+  | ELOOP  (** too many levels of symbolic links *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

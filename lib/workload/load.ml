@@ -6,11 +6,11 @@ module Image_index = Hfad_index.Image_index
 module Index_store = Hfad_index.Index_store
 module H = Hfad_hierfs.Hierfs
 
-let ensure_parent p path = P.mkdir_p p (Path.parent path)
+let ensure_parent p path = P.mkdir_p_exn p (Path.parent path)
 
 let photo_into_hfad p (photo : Corpus.photo) =
   ensure_parent p photo.Corpus.photo_path;
-  let oid = P.create_file ~content:photo.Corpus.caption p photo.Corpus.photo_path in
+  let oid = P.create_file_exn ~content:photo.Corpus.caption p photo.Corpus.photo_path in
   let fs = P.fs p in
   List.iter (fun person -> Fs.name_exn fs oid Tag.Udef person) photo.Corpus.people;
   Fs.name_exn fs oid Tag.Udef photo.Corpus.place;
@@ -30,7 +30,7 @@ let emails_into_hfad p emails =
     (fun (e : Corpus.email) ->
       ensure_parent p e.Corpus.email_path;
       let content = e.Corpus.subject ^ "\n" ^ e.Corpus.body in
-      let oid = P.create_file ~content p e.Corpus.email_path in
+      let oid = P.create_file_exn ~content p e.Corpus.email_path in
       let fs = P.fs p in
       Fs.name_exn fs oid Tag.User e.Corpus.recipient;
       Fs.name_exn fs oid (Tag.Custom "from") e.Corpus.sender;
@@ -43,7 +43,7 @@ let source_into_hfad p files =
   List.map
     (fun (f : Corpus.source_file) ->
       ensure_parent p f.Corpus.source_path;
-      let oid = P.create_file ~content:f.Corpus.code p f.Corpus.source_path in
+      let oid = P.create_file_exn ~content:f.Corpus.code p f.Corpus.source_path in
       Fs.name_exn (P.fs p) oid Tag.App "editor";
       oid)
     files

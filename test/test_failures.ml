@@ -89,8 +89,8 @@ let test_image_roundtrip () =
       let dev = Device.create ~block_size:512 ~blocks:1024 () in
       let fs = Fs.format ~config:(Fs.Config.v ~index_mode:Fs.Eager ()) dev in
       let posix = P.mount fs in
-      P.mkdir_p posix "/docs";
-      ignore (P.create_file ~content:"persisted across processes" posix "/docs/a");
+      P.mkdir_p_exn posix "/docs";
+      ignore (P.create_file_exn ~content:"persisted across processes" posix "/docs/a");
       let oid = P.resolve posix "/docs/a" in
       Fs.name_exn fs oid Tag.Udef "important";
       Fs.flush_exn fs;
@@ -205,13 +205,13 @@ let build_scenario () =
   let dev = Device.create ~block_size:512 ~blocks:8192 () in
   let fs = Fs.format ~config:(Fs.Config.v ~index_mode:Fs.Eager ~journal_pages:128 ()) dev in
   let posix = P.mount fs in
-  P.mkdir_p posix "/data";
-  ignore (P.create_file ~content:"checkpoint one content" posix "/data/one");
+  P.mkdir_p_exn posix "/data";
+  ignore (P.create_file_exn ~content:"checkpoint one content" posix "/data/one");
   Fs.flush_exn fs;
   (* Second-checkpoint mutations: a new file, a rewrite, and no flush
      yet - NO-STEAL keeps all of it off the device until Fs.flush_exn. *)
-  ignore (P.create_file ~content:"checkpoint two content" posix "/data/two");
-  P.write_file posix "/data/one" "rewritten in second checkpoint";
+  ignore (P.create_file_exn ~content:"checkpoint two content" posix "/data/two");
+  P.write_file_exn posix "/data/one" "rewritten in second checkpoint";
   (dev, fs)
 
 let reopen dev = Fs.open_existing_exn ~config:(Fs.Config.v ~index_mode:Fs.Eager ()) dev
@@ -352,14 +352,14 @@ let build_pipelined_scenario () =
   in
   Fs.start_pipeline fs;
   let posix = P.mount fs in
-  P.mkdir_p posix "/data";
-  ignore (P.create_file ~content:"checkpoint one content" posix "/data/one");
+  P.mkdir_p_exn posix "/data";
+  ignore (P.create_file_exn ~content:"checkpoint one content" posix "/data/one");
   (match Fs.barrier fs with
   | Ok () -> ()
   | Error e -> Alcotest.failf "setup barrier failed: %s" (Fs.error_message e));
   (* Batch two, acknowledged but not yet durable. *)
-  ignore (P.create_file ~content:"checkpoint two content" posix "/data/two");
-  P.write_file posix "/data/one" "rewritten in second checkpoint";
+  ignore (P.create_file_exn ~content:"checkpoint two content" posix "/data/two");
+  P.write_file_exn posix "/data/one" "rewritten in second checkpoint";
   (dev, fs)
 
 let sweep_group_commit ?torn_bytes () =
@@ -412,8 +412,8 @@ let test_barrier_acked_never_lost () =
     let dev, fs = build_pipelined_scenario () in
     Fs.barrier_exn fs;  (* batch two durable *)
     let posix = P.mount fs in
-    P.write_file posix "/data/one" "third batch content";
-    ignore (P.create_file ~content:"ephemeral" posix "/data/three");
+    P.write_file_exn posix "/data/one" "third batch content";
+    ignore (P.create_file_exn ~content:"ephemeral" posix "/data/three");
     (dev, fs)
   in
   let total =
@@ -562,8 +562,8 @@ let test_crash_sweep_pathcache_rename () =
         ~config:(Fs.Config.v ~index_mode:Fs.Eager ~journal_pages:128 ()) dev
     in
     let posix = P.mount fs in
-    P.mkdir_p posix "/dir/sub";
-    ignore (P.create_file ~content:"v1" posix "/dir/sub/f");
+    P.mkdir_p_exn posix "/dir/sub";
+    ignore (P.create_file_exn ~content:"v1" posix "/dir/sub/f");
     Fs.flush_exn fs;
     (* Warm the memo on every pre-rename path... *)
     List.iter
@@ -572,7 +572,7 @@ let test_crash_sweep_pathcache_rename () =
     (* ...then rename (invalidates the subtree, re-keys, re-warms) and
        touch the new spellings so both generations passed through the
        cache before the crash. *)
-    P.rename posix "/dir" "/moved";
+    P.rename_exn posix "/dir" "/moved";
     ignore (P.resolve posix "/moved/sub/f");
     (dev, fs)
   in
@@ -615,6 +615,88 @@ let test_crash_sweep_pathcache_rename () =
   Printf.printf "pathcache rename sweep: %d crash points, %d pre / %d post\n%!"
     total !pre !post
 
+(* --- multi-op transaction atomicity across crashes ------------------------ *)
+
+module Tag_ = Hfad_index.Tag
+
+(* Three ops over three objects staged as one Fs.with_txn plan, then the
+   sealing checkpoint is crash-swept at every device write. Recovery
+   must land with the plan wholly applied or wholly absent — a prefix
+   (object c without the rename, the rewrite without c, ...) is a
+   violated transaction. *)
+let build_txn_scenario () =
+  let dev = Device.create ~block_size:512 ~blocks:8192 () in
+  let fs =
+    Fs.format
+      ~config:(Fs.Config.v ~index_mode:Fs.Eager ~journal_pages:128 ())
+      dev
+  in
+  let a = Fs.create_exn ~names:[ (Tag_.Udef, "a") ] ~content:"base-a" fs in
+  let b = Fs.create_exn ~names:[ (Tag_.Udef, "b") ] ~content:"base-b" fs in
+  Fs.flush_exn fs;
+  Fs.with_txn_exn fs (fun tx ->
+      Fs.Txn.write tx a ~off:0 "txn-write-a";
+      ignore (Fs.Txn.create tx ~names:[ (Tag_.Udef, "c") ] ~content:"txn-c");
+      Fs.Txn.rename tx b Tag_.Udef ~from_:"b" ~to_:"b2");
+  (dev, fs)
+
+let classify_txn i total fs =
+  let f k = Fs.lookup_one fs [ (Tag_.Udef, k) ] in
+  let a = Option.get (f "a") in
+  let a_content = Fs.read_all fs a in
+  let state =
+    match (f "c", f "b2", f "b", a_content) with
+    | Some c, Some b2, None, "txn-write-a" ->
+        check Alcotest.string "post: created object complete" "txn-c"
+          (Fs.read_all fs c);
+        check Alcotest.string "post: renamed object intact" "base-b"
+          (Fs.read_all fs b2);
+        `Post
+    | None, None, Some b, "base-a" ->
+        check Alcotest.string "pre: untouched object intact" "base-b"
+          (Fs.read_all fs b);
+        `Pre
+    | c, b2, b, content ->
+        Alcotest.failf
+          "crash point %d/%d: torn transaction (c=%b b2=%b b=%b a=%S)" i
+          total (c <> None) (b2 <> None) (b <> None) content
+  in
+  Fs.verify fs;
+  state
+
+let sweep_txn ?torn_bytes () =
+  let total =
+    let dev, fs = build_txn_scenario () in
+    count_writes dev (fun () -> Fs.flush_exn fs)
+  in
+  check Alcotest.bool "txn checkpoint performs writes" true (total > 0);
+  let pre = ref 0 and post = ref 0 in
+  for i = 0 to total - 1 do
+    let dev, fs = build_txn_scenario () in
+    Device.arm_crash dev ~after_writes:i ?torn_bytes ();
+    (try
+       Fs.flush_exn fs;
+       Alcotest.failf "crash point %d/%d never hit" i total
+     with Device.Io_error _ -> ());
+    let fs2 = reopen (snapshot dev) in
+    let state = classify_txn i total fs2 in
+    (match state with `Pre -> incr pre | `Post -> incr post);
+    (* Re-recovery idempotence on the already-recovered image. *)
+    let fs3 = reopen (snapshot (Fs.device fs2)) in
+    if state <> classify_txn i total fs3 then
+      Alcotest.failf "crash point %d/%d: re-recovery changed the state" i total
+  done;
+  check Alcotest.bool "some crashes land pre-txn" true (!pre > 0);
+  check Alcotest.bool "some crashes land post-txn" true (!post > 0);
+  Printf.printf "txn crash sweep (%s): %d crash points, %d pre / %d post\n%!"
+    (match torn_bytes with
+    | None -> "writes dropped"
+    | Some k -> Printf.sprintf "torn after %d bytes" k)
+    total !pre !post
+
+let test_txn_sweep_dropped () = sweep_txn ()
+let test_txn_sweep_torn () = sweep_txn ~torn_bytes:22 ()
+
 let suite =
   [
     Alcotest.test_case "checksum detects bit rot" `Quick test_checksum_detects_bit_rot;
@@ -652,4 +734,8 @@ let suite =
       `Quick test_sharded_sweep_torn;
     Alcotest.test_case "crash sweep: warm pathcache across a rename" `Quick
       test_crash_sweep_pathcache_rename;
+    Alcotest.test_case "txn crash sweep: dropped writes" `Quick
+      test_txn_sweep_dropped;
+    Alcotest.test_case "txn crash sweep: torn writes" `Quick
+      test_txn_sweep_torn;
   ]

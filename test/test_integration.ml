@@ -24,15 +24,15 @@ let test_full_lifecycle () =
   let p = P.mount fs in
 
   (* 1. Build a small world through the POSIX veneer. *)
-  P.mkdir_p p "/home/margo/papers";
-  P.mkdir_p p "/home/nick/code";
+  P.mkdir_p_exn p "/home/margo/papers";
+  P.mkdir_p_exn p "/home/nick/code";
   let paper =
-    P.create_file
+    P.create_file_exn
       ~content:"the hierarchical namespace is an albatross around our necks"
       p "/home/margo/papers/hfad.txt"
   in
   let code =
-    P.create_file ~content:"let rec descend btree = descend btree" p
+    P.create_file_exn ~content:"let rec descend btree = descend btree" p
       "/home/nick/code/btree.ml"
   in
   (* 2. Layer native names on top of the same objects. *)
@@ -126,10 +126,10 @@ let test_two_mounts_share_state () =
   let fs = Fs.format ~config:(Fs.Config.v ~index_mode:Fs.Off ()) dev in
   let a = P.mount fs in
   let b = P.mount fs in
-  P.mkdir_p a "/shared";
-  ignore (P.create_file ~content:"x" a "/shared/f");
+  P.mkdir_p_exn a "/shared";
+  ignore (P.create_file_exn ~content:"x" a "/shared/f");
   check Alcotest.string "visible through b" "x" (P.read_file b "/shared/f");
-  P.unlink b "/shared/f";
+  P.unlink_exn b "/shared/f";
   check Alcotest.bool "gone through a" false (P.exists a "/shared/f")
 
 let suite =

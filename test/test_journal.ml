@@ -260,13 +260,13 @@ let prop_codec_roundtrip =
 (* --- crash consistency of journaled checkpoints ------------------------------ *)
 
 let populate fs posix =
-  P.mkdir_p posix "/data";
-  ignore (P.create_file ~content:"checkpoint one content" posix "/data/one");
+  P.mkdir_p_exn posix "/data";
+  ignore (P.create_file_exn ~content:"checkpoint one content" posix "/data/one");
   Fs.flush_exn fs
 
 let mutate fs posix =
-  ignore (P.create_file ~content:"checkpoint two content" posix "/data/two");
-  P.write_file posix "/data/one" "rewritten in second checkpoint";
+  ignore (P.create_file_exn ~content:"checkpoint two content" posix "/data/two");
+  P.write_file_exn posix "/data/one" "rewritten in second checkpoint";
   let oid = P.resolve posix "/data/two" in
   Fs.name_exn fs oid Tag.Udef "fresh"
 

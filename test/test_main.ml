@@ -23,6 +23,7 @@ let () =
       ("journal", Test_journal.suite);
       ("concurrency", Test_concurrency.suite);
       ("pipeline", Test_pipeline.suite);
+      ("txn", Test_txn.suite);
       ("server", Test_server.suite);
       ("integration", Test_integration.suite);
     ]

@@ -202,8 +202,8 @@ let test_resolve_equals_normalized_resolve () =
   let dev = Device.create ~block_size:1024 ~blocks:8192 () in
   let fs = Fs.format ~config:(Fs.Config.v ~index_mode:Fs.Off ()) dev in
   let p = P.mount fs in
-  P.mkdir_p p "/home/margo/papers";
-  ignore (P.create_file ~content:"x" p "/home/margo/papers/hfad.txt");
+  P.mkdir_p_exn p "/home/margo/papers";
+  ignore (P.create_file_exn ~content:"x" p "/home/margo/papers/hfad.txt");
   let oid_t = Alcotest.testable Hfad_osd.Oid.pp Hfad_osd.Oid.equal in
   List.iter
     (fun norm ->
@@ -288,13 +288,13 @@ let test_posix_dir_rename_invalidates () =
   let dev = Device.create ~block_size:1024 ~blocks:8192 () in
   let fs = Fs.format ~config:(Fs.Config.v ~index_mode:Fs.Off ()) dev in
   let p = P.mount fs in
-  P.mkdir_p p "/a/b/c";
-  ignore (P.create_file ~content:"leaf" p "/a/b/c/f");
+  P.mkdir_p_exn p "/a/b/c";
+  ignore (P.create_file_exn ~content:"leaf" p "/a/b/c/f");
   List.iter
     (fun q -> ignore (P.resolve p q))
     [ "/a"; "/a/b"; "/a/b/c"; "/a/b/c/f" ];
-  P.mkdir p "/x";
-  P.rename p "/a/b" "/x/b";
+  P.mkdir_exn p "/x";
+  P.rename_exn p "/a/b" "/x/b";
   expect_enoent_p (fun () -> P.resolve p "/a/b");
   expect_enoent_p (fun () -> P.resolve p "/a/b/c");
   expect_enoent_p (fun () -> P.resolve p "/a/b/c/f");
@@ -323,7 +323,7 @@ let test_rename_self_missing_is_enoent () =
   let dev3 = Device.create ~block_size:1024 ~blocks:8192 () in
   let fs = Fs.format ~config:(Fs.Config.v ~index_mode:Fs.Off ()) dev3 in
   let p = P.mount fs in
-  expect_enoent_p (fun () -> P.rename p "/ghost" "/ghost");
+  expect_enoent_p (fun () -> P.rename_exn p "/ghost" "/ghost");
   H.close h;
   H.close hs;
   P.unmount p
@@ -332,12 +332,12 @@ let test_unlink_rmdir_invalidate () =
   let dev = Device.create ~block_size:1024 ~blocks:8192 () in
   let fs = Fs.format ~config:(Fs.Config.v ~index_mode:Fs.Off ()) dev in
   let p = P.mount fs in
-  P.mkdir_p p "/d";
-  ignore (P.create_file ~content:"x" p "/d/f");
+  P.mkdir_p_exn p "/d";
+  ignore (P.create_file_exn ~content:"x" p "/d/f");
   check Alcotest.bool "warm" true (P.exists p "/d/f");
-  P.unlink p "/d/f";
+  P.unlink_exn p "/d/f";
   check Alcotest.bool "unlink invalidates" false (P.exists p "/d/f");
-  P.rmdir p "/d";
+  P.rmdir_exn p "/d";
   check Alcotest.bool "rmdir invalidates" false (P.exists p "/d");
   P.unmount p;
   let dev2 = Device.create ~block_size:512 ~blocks:16384 () in

@@ -103,9 +103,9 @@ let test_mount_idempotent () =
 
 let test_mkdir_and_files () =
   let _, _, p = mk () in
-  P.mkdir p "/home";
-  P.mkdir p "/home/margo";
-  let oid = P.create_file ~content:"my thesis" p "/home/margo/thesis.txt" in
+  P.mkdir_exn p "/home";
+  P.mkdir_exn p "/home/margo";
+  let oid = P.create_file_exn ~content:"my thesis" p "/home/margo/thesis.txt" in
   check Alcotest.string "read back" "my thesis" (P.read_file p "/home/margo/thesis.txt");
   check Alcotest.bool "resolve" true (Oid.equal oid (P.resolve p "/home/margo/thesis.txt"));
   check (Alcotest.list Alcotest.string) "listing" [ "margo" ] (P.readdir p "/home");
@@ -115,25 +115,25 @@ let test_mkdir_and_files () =
 
 let test_mkdir_errors () =
   let _, _, p = mk () in
-  P.mkdir p "/a";
-  expect_err P.EEXIST (fun () -> P.mkdir p "/a");
-  expect_err P.ENOENT (fun () -> P.mkdir p "/missing/child");
-  P.create_file p "/file" |> ignore;
-  expect_err P.ENOTDIR (fun () -> P.mkdir p "/file/sub");
-  expect_err P.EEXIST (fun () -> P.mkdir p "/")
+  P.mkdir_exn p "/a";
+  expect_err P.EEXIST (fun () -> P.mkdir_exn p "/a");
+  expect_err P.ENOENT (fun () -> P.mkdir_exn p "/missing/child");
+  P.create_file_exn p "/file" |> ignore;
+  expect_err P.ENOTDIR (fun () -> P.mkdir_exn p "/file/sub");
+  expect_err P.EEXIST (fun () -> P.mkdir_exn p "/")
 
 let test_mkdir_p () =
   let _, _, p = mk () in
-  P.mkdir_p p "/deep/nested/tree/of/dirs";
+  P.mkdir_p_exn p "/deep/nested/tree/of/dirs";
   check Alcotest.bool "deep exists" true (P.is_directory p "/deep/nested/tree/of/dirs");
-  P.mkdir_p p "/deep/nested";  (* no error *)
+  P.mkdir_p_exn p "/deep/nested";  (* no error *)
   P.verify p
 
 let test_readdir_one_level_only () =
   let _, _, p = mk () in
-  P.mkdir_p p "/a/b";
-  P.create_file p "/a/x" |> ignore;
-  P.create_file p "/a/b/y" |> ignore;
+  P.mkdir_p_exn p "/a/b";
+  P.create_file_exn p "/a/x" |> ignore;
+  P.create_file_exn p "/a/b/y" |> ignore;
   check (Alcotest.list Alcotest.string) "only direct children" [ "b"; "x" ]
     (P.readdir p "/a");
   expect_err P.ENOTDIR (fun () -> P.readdir p "/a/x");
@@ -141,54 +141,54 @@ let test_readdir_one_level_only () =
 
 let test_path_normalization_at_api () =
   let _, _, p = mk () in
-  P.mkdir p "//docs/";
-  P.create_file ~content:"x" p "/docs/../docs/./report.txt" |> ignore;
+  P.mkdir_exn p "//docs/";
+  P.create_file_exn ~content:"x" p "/docs/../docs/./report.txt" |> ignore;
   check Alcotest.string "normalized access" "x" (P.read_file p "/docs/report.txt");
   check Alcotest.bool "relative-style too" true (P.exists p "docs/report.txt")
 
 let test_unlink_and_link_count () =
   let _, fs, p = mk () in
-  let oid = P.create_file ~content:"shared" p "/original" in
-  P.link p "/original" "/alias";
+  let oid = P.create_file_exn ~content:"shared" p "/original" in
+  P.link_exn p "/original" "/alias";
   check Alcotest.int "nlink 2" 2 (P.nlink p "/original");
   check Alcotest.bool "same object" true (Oid.equal oid (P.resolve p "/alias"));
-  P.unlink p "/original";
+  P.unlink_exn p "/original";
   check Alcotest.bool "object alive via alias" true (Fs.exists fs oid);
   check Alcotest.string "readable via alias" "shared" (P.read_file p "/alias");
-  P.unlink p "/alias";
+  P.unlink_exn p "/alias";
   check Alcotest.bool "object deleted with last name" false (Fs.exists fs oid);
   expect_err P.ENOENT (fun () -> P.resolve p "/alias")
 
 let test_link_errors () =
   let _, _, p = mk () in
-  P.mkdir p "/dir";
-  P.create_file p "/f" |> ignore;
-  expect_err P.EISDIR (fun () -> P.link p "/dir" "/dirlink");
-  expect_err P.EEXIST (fun () -> P.link p "/f" "/dir");
-  expect_err P.ENOENT (fun () -> P.link p "/missing" "/x")
+  P.mkdir_exn p "/dir";
+  P.create_file_exn p "/f" |> ignore;
+  expect_err P.EISDIR (fun () -> P.link_exn p "/dir" "/dirlink");
+  expect_err P.EEXIST (fun () -> P.link_exn p "/f" "/dir");
+  expect_err P.ENOENT (fun () -> P.link_exn p "/missing" "/x")
 
 let test_unlink_errors () =
   let _, _, p = mk () in
-  P.mkdir p "/d";
-  expect_err P.EISDIR (fun () -> P.unlink p "/d");
-  expect_err P.ENOENT (fun () -> P.unlink p "/none")
+  P.mkdir_exn p "/d";
+  expect_err P.EISDIR (fun () -> P.unlink_exn p "/d");
+  expect_err P.ENOENT (fun () -> P.unlink_exn p "/none")
 
 let test_rmdir () =
   let _, _, p = mk () in
-  P.mkdir_p p "/d/sub";
-  expect_err P.ENOTEMPTY (fun () -> P.rmdir p "/d");
-  P.rmdir p "/d/sub";
-  P.rmdir p "/d";
+  P.mkdir_p_exn p "/d/sub";
+  expect_err P.ENOTEMPTY (fun () -> P.rmdir_exn p "/d");
+  P.rmdir_exn p "/d/sub";
+  P.rmdir_exn p "/d";
   check Alcotest.bool "gone" false (P.exists p "/d");
-  expect_err P.EINVAL (fun () -> P.rmdir p "/");
+  expect_err P.EINVAL (fun () -> P.rmdir_exn p "/");
   P.verify p
 
 let test_rename_file () =
   let _, _, p = mk () in
-  P.mkdir p "/a";
-  P.mkdir p "/b";
-  let oid = P.create_file ~content:"contents" p "/a/f" in
-  P.rename p "/a/f" "/b/g";
+  P.mkdir_exn p "/a";
+  P.mkdir_exn p "/b";
+  let oid = P.create_file_exn ~content:"contents" p "/a/f" in
+  P.rename_exn p "/a/f" "/b/g";
   check Alcotest.bool "old gone" false (P.exists p "/a/f");
   check Alcotest.bool "same oid" true (Oid.equal oid (P.resolve p "/b/g"));
   check Alcotest.string "content kept" "contents" (P.read_file p "/b/g");
@@ -196,10 +196,10 @@ let test_rename_file () =
 
 let test_rename_directory_subtree () =
   let _, _, p = mk () in
-  P.mkdir_p p "/proj/src/lib";
-  P.create_file ~content:"main" p "/proj/src/main.ml" |> ignore;
-  P.create_file ~content:"util" p "/proj/src/lib/util.ml" |> ignore;
-  P.rename p "/proj/src" "/proj/source";
+  P.mkdir_p_exn p "/proj/src/lib";
+  P.create_file_exn ~content:"main" p "/proj/src/main.ml" |> ignore;
+  P.create_file_exn ~content:"util" p "/proj/src/lib/util.ml" |> ignore;
+  P.rename_exn p "/proj/src" "/proj/source";
   check Alcotest.bool "old tree gone" false (P.exists p "/proj/src");
   check Alcotest.string "file moved" "main" (P.read_file p "/proj/source/main.ml");
   check Alcotest.string "nested file moved" "util"
@@ -210,21 +210,21 @@ let test_rename_directory_subtree () =
 
 let test_rename_errors () =
   let _, _, p = mk () in
-  P.mkdir p "/d";
-  P.create_file p "/f" |> ignore;
-  expect_err P.EEXIST (fun () -> P.rename p "/f" "/d");
-  expect_err P.EINVAL (fun () -> P.rename p "/d" "/d/inside");
-  expect_err P.ENOENT (fun () -> P.rename p "/missing" "/x");
-  expect_err P.EINVAL (fun () -> P.rename p "/" "/elsewhere");
+  P.mkdir_exn p "/d";
+  P.create_file_exn p "/f" |> ignore;
+  expect_err P.EEXIST (fun () -> P.rename_exn p "/f" "/d");
+  expect_err P.EINVAL (fun () -> P.rename_exn p "/d" "/d/inside");
+  expect_err P.ENOENT (fun () -> P.rename_exn p "/missing" "/x");
+  expect_err P.EINVAL (fun () -> P.rename_exn p "/" "/elsewhere");
   (* renaming to itself is a no-op *)
-  P.rename p "/f" "/f"
+  P.rename_exn p "/f" "/f"
 
 let test_symlinks () =
   let _, _, p = mk () in
-  P.mkdir p "/real";
-  P.create_file ~content:"target data" p "/real/data" |> ignore;
-  P.symlink p ~target:"/real/data" "/abs-link";
-  P.symlink p ~target:"data" "/real/rel-link";
+  P.mkdir_exn p "/real";
+  P.create_file_exn ~content:"target data" p "/real/data" |> ignore;
+  P.symlink_exn p ~target:"/real/data" "/abs-link";
+  P.symlink_exn p ~target:"data" "/real/rel-link";
   check Alcotest.string "absolute link" "target data" (P.read_file p "/abs-link");
   check Alcotest.string "relative link" "target data" (P.read_file p "/real/rel-link");
   check Alcotest.string "readlink" "/real/data" (P.readlink p "/abs-link");
@@ -238,15 +238,15 @@ let test_symlinks () =
 
 let test_symlink_loop_detected () =
   let _, _, p = mk () in
-  P.symlink p ~target:"/b" "/a";
-  P.symlink p ~target:"/a" "/b";
+  P.symlink_exn p ~target:"/b" "/a";
+  P.symlink_exn p ~target:"/a" "/b";
   expect_err P.ELOOP (fun () -> P.read_file p "/a")
 
 let test_fd_io () =
   let _, _, p = mk () in
   let fd = P.openf ~create:true p "/log.txt" in
-  P.write_fd p fd "hello ";
-  P.write_fd p fd "world";
+  P.write_fd_exn p fd "hello ";
+  P.write_fd_exn p fd "world";
   check Alcotest.int "tell" 11 (P.tell p fd);
   P.seek p fd 0;
   check Alcotest.string "read from start" "hello" (P.read_fd p fd 5);
@@ -258,7 +258,7 @@ let test_fd_io () =
 
 let test_openf_errors () =
   let _, _, p = mk () in
-  P.mkdir p "/d";
+  P.mkdir_exn p "/d";
   expect_err P.ENOENT (fun () -> P.openf p "/nope");
   expect_err P.EISDIR (fun () -> P.openf p "/d");
   let fd = P.openf ~create:true p "/fresh" in
@@ -267,15 +267,15 @@ let test_openf_errors () =
 
 let test_write_file_truncates () =
   let _, _, p = mk () in
-  P.write_file p "/f" "a very long first version";
-  P.write_file p "/f" "short";
+  P.write_file_exn p "/f" "a very long first version";
+  P.write_file_exn p "/f" "short";
   check Alcotest.string "replaced" "short" (P.read_file p "/f")
 
 let test_walk () =
   let _, _, p = mk () in
-  P.mkdir_p p "/t/a";
-  P.create_file p "/t/x" |> ignore;
-  P.create_file p "/t/a/y" |> ignore;
+  P.mkdir_p_exn p "/t/a";
+  P.create_file_exn p "/t/x" |> ignore;
+  P.create_file_exn p "/t/a/y" |> ignore;
   let paths = List.map fst (P.walk p "/t") in
   check (Alcotest.list Alcotest.string) "walk"
     [ "/t"; "/t/a"; "/t/a/y"; "/t/x" ] paths
@@ -284,9 +284,9 @@ let test_posix_and_native_naming_coexist () =
   (* The headline architectural claim: a POSIX path is just one name.
      The same object is reachable by path, by tag, and by content. *)
   let _, fs, p = mk () in
-  P.mkdir_p p "/home/margo/photos";
+  P.mkdir_p_exn p "/home/margo/photos";
   let oid =
-    P.create_file ~content:"sunset over diamond head crater" p
+    P.create_file_exn ~content:"sunset over diamond head crater" p
       "/home/margo/photos/img_0042.jpg"
   in
   Fs.name_exn fs oid Tag.User "margo";
@@ -299,7 +299,7 @@ let test_posix_and_native_naming_coexist () =
   check Alcotest.bool "oid agrees" true (Oid.equal oid by_path);
   (* removing the POSIX name leaves the object reachable by tags: naming
      is separated from access (§2 requirements). *)
-  P.unlink p "/home/margo/photos/img_0042.jpg";
+  P.unlink_exn p "/home/margo/photos/img_0042.jpg";
   check Alcotest.bool "tags survive unlink... object still alive?" true
     (Fs.lookup fs [ (Tag.Udef, "hawaii") ] = []);
   (* NOTE: unlink of the last POSIX name deletes the object (POSIX
@@ -310,9 +310,9 @@ let test_resolution_is_single_descent () =
   (* §2.3: hFAD path resolution must not walk components. Deep and
      shallow paths cost the same number of index descents. *)
   let _, _, p = mk () in
-  P.mkdir_p p "/a/b/c/d/e/f/g/h";
-  P.create_file ~content:"deep" p "/a/b/c/d/e/f/g/h/deep.txt" |> ignore;
-  P.create_file ~content:"shallow" p "/shallow.txt" |> ignore;
+  P.mkdir_p_exn p "/a/b/c/d/e/f/g/h";
+  P.create_file_exn ~content:"deep" p "/a/b/c/d/e/f/g/h/deep.txt" |> ignore;
+  P.create_file_exn ~content:"shallow" p "/shallow.txt" |> ignore;
   let descents_for path =
     let reg = Hfad_metrics.Registry.global in
     let snap = Hfad_metrics.Registry.snapshot reg in
@@ -324,6 +324,29 @@ let test_resolution_is_single_descent () =
   let deep = descents_for "/a/b/c/d/e/f/g/h/deep.txt" in
   let shallow = descents_for "/shallow.txt" in
   check Alcotest.int "depth-independent resolution" shallow deep
+
+(* --- typed result API ------------------------------------------------------ *)
+
+let test_typed_results () =
+  let _, _, p = mk () in
+  (match P.mkdir p "/d" with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "mkdir: %a" P.pp_error e);
+  (* The same refusal the _exn variant raises, as a value. *)
+  (match P.mkdir p "/d" with
+  | Error (P.Errno (P.EEXIST, _)) -> ()
+  | Ok () -> Alcotest.fail "duplicate mkdir accepted"
+  | Error e -> Alcotest.failf "wrong error: %a" P.pp_error e);
+  (match P.write_file p "/d/f" "payload" with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "write_file: %a" P.pp_error e);
+  (match P.rmdir p "/d" with
+  | Error (P.Errno (P.ENOTEMPTY, _)) -> ()
+  | _ -> Alcotest.fail "rmdir of non-empty directory accepted");
+  (* One errno vocabulary across the stacks: the veneer's constructors
+     ARE Hfad_util.Errno's (and Hierfs re-exports the same type). *)
+  check Alcotest.string "shared errno" "ENOTEMPTY"
+    (Hfad_util.Errno.to_string P.ENOTEMPTY)
 
 let suite =
   [
@@ -345,6 +368,7 @@ let suite =
     Alcotest.test_case "link errors" `Quick test_link_errors;
     Alcotest.test_case "unlink errors" `Quick test_unlink_errors;
     Alcotest.test_case "rmdir" `Quick test_rmdir;
+    Alcotest.test_case "typed result API" `Quick test_typed_results;
     Alcotest.test_case "rename file" `Quick test_rename_file;
     Alcotest.test_case "rename directory subtree" `Quick
       test_rename_directory_subtree;

@@ -136,8 +136,8 @@ let model_apply m op =
 
 let real_apply posix op =
   match op with
-  | Mkdir p -> P.mkdir posix p
-  | Create (p, c) -> ignore (P.create_file ~content:c posix p)
+  | Mkdir p -> P.mkdir_exn posix p
+  | Create (p, c) -> ignore (P.create_file_exn ~content:c posix p)
   | Write (p, c) ->
       (* write through the fd interface for extra coverage; truncate
          first so the model's replace semantics match *)
@@ -145,13 +145,13 @@ let real_apply posix op =
       let oid = P.resolve posix p in
       Fs.truncate_exn (P.fs posix) oid 0;
       Fs.write_exn (P.fs posix) oid ~off:0 c
-  | Unlink p -> P.unlink posix p
-  | Link (p, q) -> P.link posix p q
+  | Unlink p -> P.unlink_exn posix p
+  | Link (p, q) -> P.link_exn posix p q
   | Rename (p, q) ->
       if P.is_directory posix p then raise (P.Error (P.EISDIR, p))
       else if p = q then raise (P.Error (P.EINVAL, p))
-      else P.rename posix p q
-  | Rmdir p -> P.rmdir posix p
+      else P.rename_exn posix p q
+  | Rmdir p -> P.rmdir_exn posix p
 
 let agree m posix =
   (* identical namespaces *)

@@ -39,8 +39,7 @@ let with_client server f =
 
 let ok = function
   | Ok v -> v
-  | Error resp ->
-      Alcotest.failf "unexpected response: %a" Wire.pp_response resp
+  | Error err -> Alcotest.failf "unexpected response: %a" Client.pp_error err
 
 (* --- raw-socket helpers (tests that must control framing) ----------- *)
 
@@ -83,6 +82,20 @@ let gen_key =
 let gen_request =
   let open QCheck.Gen in
   let blob = map Bytes.unsafe_to_string (bytes_size (int_range 0 2000)) in
+  let gen_txn_op =
+    oneof
+      [
+        map2 (fun key data -> Wire.Tput { key; data }) gen_key blob;
+        map (fun key -> Wire.Tdelete { key }) gen_key;
+        map3
+          (fun key tag value -> Wire.Ttag { key; tag; value })
+          gen_key gen_key gen_key;
+        map3
+          (fun key tag value -> Wire.Tuntag { key; tag; value })
+          gen_key gen_key gen_key;
+        map2 (fun from_ to_ -> Wire.Trename { from_; to_ }) gen_key gen_key;
+      ]
+  in
   oneof
     [
       return Wire.Ping;
@@ -95,6 +108,9 @@ let gen_request =
         gen_key gen_key gen_key;
       map (fun query -> Wire.Search { query }) blob;
       map (fun key -> Wire.Stat { key }) gen_key;
+      map
+        (fun ops -> Wire.Multi { ops })
+        (list_size (int_range 0 8) gen_txn_op);
     ]
 
 let gen_response =
@@ -114,6 +130,7 @@ let gen_response =
       map (fun hits -> Wire.Ok_hits hits) (list_size (int_range 0 30) (pair oid score));
       map2 (fun o s -> Wire.Ok_stat { oid = o; size = s }) oid
         (map Int64.of_int (int_range 0 1_000_000));
+      map (fun oids -> Wire.Ok_oids oids) (list_size (int_range 0 30) oid);
       map (fun msg -> Wire.Err msg) blob;
     ]
 
@@ -249,7 +266,7 @@ let test_op_roundtrip () =
           check Alcotest.string "replaced content" "goodbye"
             (ok (Client.get c ~key:"a"));
           (match Client.get c ~key:"missing" with
-          | Error Wire.Not_found -> ()
+          | Error Client.Not_found -> ()
           | _ -> Alcotest.fail "missing key should be NOT_FOUND");
           (* TAG lands in the index: visible through the native API. *)
           ok (Client.tag c ~key:"a" ~tag:"USER" ~value:"margo");
@@ -257,7 +274,7 @@ let test_op_roundtrip () =
           check Alcotest.bool "tagged object found natively" true
             (List.exists (fun o -> Oid.to_int64 o = oid) hits);
           (match Client.tag c ~key:"a" ~tag:"ID" ~value:"9" with
-          | Error (Wire.Err _) -> ()
+          | Error (Client.Remote _) -> ()
           | _ -> Alcotest.fail "ID tag must be refused");
           (* FLUSH drains the lazy indexer via the group commit, making
              content searchable. *)
@@ -268,11 +285,56 @@ let test_op_roundtrip () =
             (List.exists (fun (o, _) -> o = boid) hits);
           ok (Client.delete c ~key:"a");
           (match Client.get c ~key:"a" with
-          | Error Wire.Not_found -> ()
+          | Error Client.Not_found -> ()
           | _ -> Alcotest.fail "deleted key should be NOT_FOUND");
           match Client.delete c ~key:"a" with
-          | Error Wire.Not_found -> ()
+          | Error Client.Not_found -> ()
           | _ -> Alcotest.fail "double delete should be NOT_FOUND"))
+
+let test_multi_roundtrip () =
+  with_server (fun fs server ->
+      with_client server (fun c ->
+          (* One frame, one transaction: create two objects, tag one,
+             re-key the other. *)
+          let aoid = ok (Client.put c ~key:"a" "seed") in
+          let oids =
+            ok
+              (Client.multi c
+                 [
+                   Wire.Tput { key = "a"; data = "replaced" };
+                   Wire.Tput { key = "b"; data = "fresh" };
+                   Wire.Ttag { key = "b"; tag = "USER"; value = "margo" };
+                   Wire.Trename { from_ = "a"; to_ = "a2" };
+                 ])
+          in
+          (match oids with
+          | [ o1; _o2 ] -> check Alcotest.int64 "Tput reuses the oid" aoid o1
+          | other -> Alcotest.failf "expected 2 oids, got %d" (List.length other));
+          check Alcotest.string "rename re-keyed" "replaced"
+            (ok (Client.get c ~key:"a2"));
+          (match Client.get c ~key:"a" with
+          | Error Client.Not_found -> ()
+          | _ -> Alcotest.fail "old key should be gone");
+          check Alcotest.bool "Ttag landed" true
+            (Fs.lookup fs [ (Tag.User, "margo") ] <> []);
+          (* A failing step aborts the WHOLE plan: the Tput before the
+             bad Tdelete must not be visible. *)
+          (match
+             Client.multi c
+               [
+                 Wire.Tput { key = "c"; data = "doomed" };
+                 Wire.Tdelete { key = "no-such-key" };
+               ]
+           with
+          | Error Client.Not_found -> ()
+          | other ->
+              Alcotest.failf "expected NOT_FOUND, got %s"
+                (match other with
+                | Ok _ -> "Ok"
+                | Error e -> Format.asprintf "%a" Client.pp_error e));
+          match Client.get c ~key:"c" with
+          | Error Client.Not_found -> ()
+          | _ -> Alcotest.fail "aborted Tput must be invisible"))
 
 let test_malformed_does_not_wedge_worker () =
   (* One worker, so both connections share it: the poisoned one must
@@ -417,6 +479,8 @@ let suite =
     Alcotest.test_case "truncated frame awaits, then decodes" `Quick
       test_truncated_is_awaiting;
     Alcotest.test_case "op roundtrip over TCP" `Quick test_op_roundtrip;
+    Alcotest.test_case "MULTI transaction over TCP" `Quick
+      test_multi_roundtrip;
     Alcotest.test_case "malformed frame never wedges the worker" `Quick
       test_malformed_does_not_wedge_worker;
     Alcotest.test_case "BUSY backpressure under burst" `Quick

@@ -538,7 +538,7 @@ let test_metrics_prefix_audit () =
   H.mkdir_p h "/w/x";
   ignore (H.resolve h "/w/x");
   ignore (H.resolve h "/w/x");
-  P.mkdir_p p "/w";
+  P.mkdir_p_exn p "/w";
   check Alcotest.bool "veneer cache warm" true (P.exists p "/w");
   H.close h;
   P.unmount p;
