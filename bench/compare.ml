@@ -243,6 +243,11 @@ let rules =
        write counts move only if the txn commit path itself changes. *)
     ("BENCH_T2.json", "rows.*.device_model_ms", 0.10);
     ("BENCH_T2.json", "rows.*.device_writes", 0.10);
+    (* S1's modeled commit cost, per telemetry arm. The observer's
+       scrapes are read-only and never touch the device, so telemetry_on
+       growing past this means telemetry started costing device work. *)
+    ("BENCH_O2.json", "telemetry_off.device_model_ms", 0.30);
+    ("BENCH_O2.json", "telemetry_on.device_model_ms", 0.30);
   ]
 
 (* Booleans derived from wall-clock shapes are not meaningful at smoke

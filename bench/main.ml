@@ -7,12 +7,13 @@
 
    Pass experiment ids to run a subset:
      dune exec bench/main.exe -- C1 C3
-   Ids: F1 P1 T1 T2 C1 C2 C3 C4 C5 C6 M1 A1 J1 W1 W2 O1 R1 S1 micro
+   Ids: F1 P1 T1 T2 C1 C2 C3 C4 C5 C6 M1 A1 J1 W1 W2 O1 R1 S1 O2 micro
 
    [--json] additionally writes BENCH_<id>.json files (machine-readable
    results) for the experiments that support it — C2, P1, T2, W1, W2,
    O1 (which also exports O1.trace.json, a Chrome trace_event file),
-   R1 and S1.
+   R1, S1 and O2 (which also exports metrics.prom, the scraped
+   Prometheus exposition).
 
    [--list] prints the experiment ids, one per line, and exits; with
    [--json] it prints only the JSON-capable ids. CI derives the bench
@@ -44,6 +45,7 @@ let experiments =
     ("O1", true, Exp_o1.run);
     ("R1", true, Exp_r1.run);
     ("S1", true, Exp_s1.run);
+    ("O2", true, Exp_o2.run);
     ("micro", false, Micro.run);
   ]
 

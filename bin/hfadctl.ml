@@ -19,9 +19,12 @@ module Oid = Hfad_osd.Oid
 module Meta = Hfad_osd.Meta
 module P = Hfad_posix.Posix_fs
 module Prometheus = Hfad_metrics.Prometheus
+module Registry = Hfad_metrics.Registry
+module Counter = Hfad_metrics.Counter
 module Trace = Hfad_trace.Trace
 module Server = Hfad_server.Server
 module Client = Hfad_server.Client
+module Wire = Hfad_server.Wire
 open Cmdliner
 
 let say fmt = Format.printf (fmt ^^ "@.")
@@ -39,6 +42,14 @@ let with_image ?(write = false) image f =
   end;
   P.unmount posix;
   result
+
+let with_client host port f =
+  let c = Client.connect ~host ~port () in
+  Fun.protect ~finally:(fun () -> Client.close c) (fun () -> f c)
+
+let remote_ok = function
+  | Ok v -> v
+  | Error e -> failwith (Format.asprintf "%a" Client.pp_error e)
 
 let handle_errors f =
   try
@@ -338,6 +349,14 @@ let show_info image =
               stats.Hfad_alloc.Buddy.total_blocks
               (Hfad_alloc.Buddy.fragmentation buddy)
           done;
+          (* Span loss and ack lag are silent failures unless surfaced:
+             a non-zero dropped count means any trace dump is missing
+             spans, and a growing queue age means acks are outrunning
+             their commits. *)
+          say "trace  : %d dropped span(s), ring %d/%d" (Trace.dropped ())
+            (Trace.ring_occupancy ()) (Trace.ring_capacity ());
+          say "flusher: queue age %d us"
+            (Counter.get (Registry.counter Registry.global "flusher.queue_age_us"));
           (* Resolution cache: resolve the whole namespace twice so the
              occupancy and hit-rate lines mean something in a fresh
              process (first pass fills, second pass hits). *)
@@ -364,26 +383,59 @@ let info_cmd =
   Cmd.v (Cmd.info "info" ~doc:"Show image statistics.")
     Term.(const show_info $ image_arg)
 
-let metrics image =
+let metrics image host port =
   handle_errors (fun () ->
-      with_image image (fun _fs _posix -> print_string (Prometheus.expose ())))
+      match (port, image) with
+      | Some port, _ ->
+          (* Remote scrape: the METRICS frame returns the *server
+             process's* exposition — shard, pager, journal, flusher,
+             trace and server families, while it serves. *)
+          with_client host port (fun c ->
+              print_string (remote_ok (Client.metrics c)))
+      | None, Some image ->
+          with_image image (fun _fs _posix -> print_string (Prometheus.expose ()))
+      | None, None -> invalid_arg "metrics: need an IMAGE or --port")
+
+let opt_image_arg =
+  Arg.(value & pos 0 (some string) None
+       & info [] ~docv:"IMAGE" ~doc:"Image file (omit with --port).")
+
+let host_opt =
+  Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~doc:"Server host.")
+
+let port_opt =
+  Arg.(value & opt (some int) None
+       & info [ "port" ]
+           ~doc:"Scrape a running serve instance instead of opening an image.")
 
 let metrics_cmd =
   Cmd.v
     (Cmd.info "metrics"
        ~doc:
-         "Open the image and dump the metrics registry in Prometheus text \
-          exposition format (counters, gauges, latency histograms).")
-    Term.(const metrics $ image_arg)
+         "Dump the metrics registry in Prometheus text exposition format \
+          (counters, gauges, latency histograms) — from an image opened \
+          in-process, or scraped from a live server with --port.")
+    Term.(const metrics $ opt_image_arg $ host_opt $ port_opt)
 
 (* Run one operation with span tracing on and print the resulting tree:
    every layer the operation crossed (fs, index, btree, pager, device,
    ...) with per-span latency — §2.3's index traversals, made visible. *)
-let trace image op args =
+let trace image op args host port =
   handle_errors (fun () ->
       let usage () =
-        invalid_arg "usage: trace IMAGE (put PATH DATA | search TERM.. | cat PATH)"
+        invalid_arg
+          "usage: trace IMAGE (put PATH DATA | search TERM.. | cat PATH)  or  \
+           trace --port PORT"
       in
+      match port with
+      | Some port ->
+          (* Remote dump: the server's recent span ring as Chrome trace
+             JSON (enable tracing with serve --trace). *)
+          with_client host port (fun c ->
+              print_string (remote_ok (Client.trace c)))
+      | None ->
+      let image = match image with Some i -> i | None -> usage () in
+      let op = match op with Some o -> o | None -> usage () in
       let write = String.equal op "put" in
       with_image ~write image (fun fs posix ->
           Trace.set_enabled true;
@@ -407,7 +459,7 @@ let trace image op args =
 
 let trace_cmd =
   let op =
-    Arg.(required & pos 1 (some string) None & info [] ~docv:"OP"
+    Arg.(value & pos 1 (some string) None & info [] ~docv:"OP"
            ~doc:"Operation to trace: put, search or cat.")
   in
   let args =
@@ -418,21 +470,30 @@ let trace_cmd =
     (Cmd.info "trace"
        ~doc:
          "Run one put/search/cat with span tracing enabled and print the \
-          span tree: each layer crossed, with per-span latency.")
-    Term.(const trace $ image_arg $ op $ args)
+          span tree: each layer crossed, with per-span latency. With \
+          --port, dump a live server's span ring as Chrome trace JSON \
+          instead.")
+    Term.(const trace $ opt_image_arg $ op $ args $ host_opt $ port_opt)
 
 (* Serve an image over the wire protocol until SIGINT/SIGTERM, then
    flush and write the image back — the network front door as a
    process. *)
-let serve image port workers sync =
+let serve image port workers sync trace_on slow_us =
   handle_errors (fun () ->
       let dev = Device.load image in
       let fs = Fs.open_existing_exn dev in
-      let config = Server.Config.v ~workers ~sync_ack:sync () in
+      if trace_on then Trace.set_enabled true;
+      let config =
+        Server.Config.v ~workers ~sync_ack:sync ~slow_threshold_us:slow_us ()
+      in
       let server = Server.start ~config ~port fs in
       say "serving %s on 127.0.0.1:%d (%d worker domains, %s acks)" image
         (Server.port server) workers
         (if sync then "per-request" else "batched group-commit");
+      if trace_on then say "span tracing on: scrape with 'trace --port %d'"
+          (Server.port server);
+      if slow_us > 0 then
+        say "slow log on: requests >= %d us land in STATS" slow_us;
       say "stop with SIGINT; the image is flushed and saved on shutdown";
       let stop = Atomic.make false in
       let on_signal = Sys.Signal_handle (fun _ -> Atomic.set stop true) in
@@ -469,12 +530,28 @@ let serve_cmd =
                 one group commit per worker iteration (the slow baseline \
                 bench S1 measures against).")
   in
+  let trace_on =
+    Arg.(value & flag
+         & info [ "trace" ]
+             ~doc:
+               "Enable span tracing so a remote 'trace --port' dump (and \
+                the STATS span counters) see this server's requests.")
+  in
+  let slow_us =
+    Arg.(value & opt int 0
+         & info [ "slow-us" ]
+             ~doc:
+               "Record requests at least this slow (microseconds, measured \
+                around execute) in the slow-request log exported via \
+                STATS; 0 disables.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Serve an image over the length-prefixed wire protocol \
-          (PUT/GET/DELETE/TAG/SEARCH/STAT/FLUSH).")
-    Term.(const serve $ image_arg $ port $ workers $ sync)
+          (PUT/GET/DELETE/TAG/SEARCH/STAT/FLUSH, plus the \
+          STATS/METRICS/TRACE observability scrapes).")
+    Term.(const serve $ image_arg $ port $ workers $ sync $ trace_on $ slow_us)
 
 let ping host port count =
   handle_errors (fun () ->
@@ -504,6 +581,170 @@ let ping_cmd =
        ~doc:"Round-trip the wire protocol against a running serve instance.")
     Term.(const ping $ host $ port $ count)
 
+(* --- remote observability: stats / top ----------------------------------- *)
+
+let req_port =
+  Arg.(required & opt (some int) None & info [ "port" ] ~doc:"Server port.")
+
+(* Quantiles are bucket upper bounds; max_int means the mass sat past
+   the last bound (10M us). *)
+let qstr v = if v = max_int then ">10M" else string_of_int v
+
+let print_op_table ?prev ~dt (s : Wire.Stats.t) =
+  say "  %-8s %10s %8s %9s %8s %8s %8s" "op" "count" "ops/s" "mean_us" "p50"
+    "p90" "p99";
+  List.iter
+    (fun (o : Wire.Stats.op_stat) ->
+      let pcount, psum =
+        match prev with
+        | None -> (0, 0)
+        | Some (p : Wire.Stats.t) -> (
+            match List.find_opt (fun (q : Wire.Stats.op_stat) -> q.op = o.op) p.ops with
+            | Some q -> (q.count, q.sum_us)
+            | None -> (0, 0))
+      in
+      let dcount = o.count - pcount in
+      if o.count > 0 then
+        say "  %-8s %10d %8.1f %9.1f %8s %8s %8s" o.op o.count
+          (if dt > 0. then float_of_int dcount /. dt else 0.)
+          (if dcount > 0 then float_of_int (o.sum_us - psum) /. float_of_int dcount
+           else 0.)
+          (qstr o.p50_us) (qstr o.p90_us) (qstr o.p99_us))
+    s.ops
+
+let print_shard_table ?prev ~dt (s : Wire.Stats.t) =
+  say "  %-8s %8s %8s %8s %10s %10s" "shard" "ckpts" "ckpt/s" "journal"
+    "dirty" "resident";
+  List.iter
+    (fun (sh : Wire.Stats.shard_stat) ->
+      let pckpt =
+        match prev with
+        | None -> sh.checkpoints
+        | Some (p : Wire.Stats.t) -> (
+            match
+              List.find_opt
+                (fun (q : Wire.Stats.shard_stat) -> q.shard = sh.shard)
+                p.shards
+            with
+            | Some q -> q.checkpoints
+            | None -> sh.checkpoints)
+      in
+      say "  %-8d %8d %8.1f %8d %10d %d/%d" sh.shard sh.checkpoints
+        (if dt > 0. then float_of_int (sh.checkpoints - pckpt) /. dt else 0.)
+        sh.journal_capacity_pages sh.dirty_pages sh.resident_pages
+        sh.cache_pages)
+    s.shards
+
+let print_stats (s : Wire.Stats.t) =
+  say "server : up %.1f s, %d connection(s), %d inflight"
+    (float_of_int s.uptime_us /. 1e6)
+    s.connections s.inflight;
+  say "requests: %d (busy %d, errors %d)" s.requests s.busy s.errors;
+  say "batches : %d (%d acked ops, avg batch %.2f)" s.batches s.batch_ops
+    (if s.batches > 0 then float_of_int s.batch_ops /. float_of_int s.batches
+     else 0.);
+  say "bytes   : %d in, %d out" s.bytes_in s.bytes_out;
+  say "trace   : %d span(s), %d dropped" s.trace_spans s.trace_dropped;
+  say "flusher : queue age %d us" s.flusher_queue_age_us;
+  say "per-op latency (us, since server start):";
+  print_op_table ~dt:0. s;
+  say "per-shard occupancy:";
+  print_shard_table ~dt:0. s;
+  if s.slow <> [] then begin
+    say "slow requests (%d):" (List.length s.slow);
+    List.iter (fun line -> say "  %s" line) s.slow
+  end
+
+let stats_remote host port =
+  handle_errors (fun () ->
+      with_client host port (fun c -> print_stats (remote_ok (Client.stats c))))
+
+let stats_cmd =
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "One-shot scrape of a running serve instance's STATS snapshot: \
+          per-op latency quantiles, batching, per-shard occupancy, slow \
+          log.")
+    Term.(const stats_remote $ host_opt $ req_port)
+
+(* [top]: rates are deltas between two STATS snapshots — the server
+   never computes a rate, so an idle dashboard costs it nothing. *)
+let print_top ~host ~port ~interval prev (s : Wire.Stats.t) =
+  let dt =
+    match prev with
+    | Some (p : Wire.Stats.t) -> float_of_int (s.uptime_us - p.uptime_us) /. 1e6
+    | None -> 0.
+  in
+  let rate cur prv = if dt > 0. then float_of_int (cur - prv) /. dt else 0. in
+  let d f = match prev with Some p -> f (p : Wire.Stats.t) | None -> 0 in
+  say "hfadctl top — %s:%d   up %.1f s   refresh %.1f s%s" host port
+    (float_of_int s.uptime_us /. 1e6)
+    interval
+    (if prev = None then "   (gathering rates...)" else "");
+  say "conns %d   inflight %d   ops/s %.1f   busy/s %.1f   err/s %.1f"
+    s.connections s.inflight
+    (rate s.requests (d (fun p -> p.requests)))
+    (rate s.busy (d (fun p -> p.busy)))
+    (rate s.errors (d (fun p -> p.errors)));
+  let dbatches = s.batches - d (fun p -> p.batches) in
+  let dbatch_ops = s.batch_ops - d (fun p -> p.batch_ops) in
+  say "batches/s %.1f   avg batch %.2f   bytes/s in %.0f out %.0f"
+    (rate s.batches (d (fun p -> p.batches)))
+    (if dbatches > 0 then float_of_int dbatch_ops /. float_of_int dbatches
+     else 0.)
+    (rate s.bytes_in (d (fun p -> p.bytes_in)))
+    (rate s.bytes_out (d (fun p -> p.bytes_out)));
+  say "trace spans %d (dropped %d)   flusher queue age %d us" s.trace_spans
+    s.trace_dropped s.flusher_queue_age_us;
+  print_op_table ?prev ~dt s;
+  print_shard_table ?prev ~dt s;
+  match List.rev s.slow with
+  | [] -> ()
+  | last :: _ -> say "slow: %s" last
+
+let top host port interval count =
+  handle_errors (fun () ->
+      if interval <= 0. then invalid_arg "top: --interval must be positive";
+      with_client host port (fun c ->
+          let stop = Atomic.make false in
+          (try
+             Sys.set_signal Sys.sigint
+               (Sys.Signal_handle (fun _ -> Atomic.set stop true))
+           with Invalid_argument _ | Sys_error _ -> ());
+          let prev = ref None in
+          let shown = ref 0 in
+          while (not (Atomic.get stop)) && (count = 0 || !shown < count) do
+            let s = remote_ok (Client.stats c) in
+            print_string "\027[2J\027[H";  (* clear screen, cursor home *)
+            print_top ~host ~port ~interval !prev s;
+            Format.print_flush ();
+            flush stdout;
+            prev := Some s;
+            incr shown;
+            if (count = 0 || !shown < count) && not (Atomic.get stop) then (
+              try Unix.sleepf interval
+              with Unix.Unix_error (Unix.EINTR, _, _) -> ())
+          done))
+
+let top_cmd =
+  let interval =
+    Arg.(value & opt float 2.0
+         & info [ "interval" ] ~doc:"Seconds between refreshes.")
+  in
+  let count =
+    Arg.(value & opt int 0
+         & info [ "n"; "count" ]
+             ~doc:"Stop after N refreshes (0 = until SIGINT).")
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live terminal dashboard over a running serve instance: ops/s, \
+          per-op p50/p99, batch size, BUSY rate and per-shard heat, \
+          computed from successive STATS deltas.")
+    Term.(const top $ host_opt $ req_port $ interval $ count)
+
 let () =
   let doc = "tagged, search-based file system (hFAD) image tool" in
   let default = Term.(ret (const (`Help (`Pager, None)))) in
@@ -515,5 +756,5 @@ let () =
             mkfs_cmd; put_cmd; cat_cmd; ls_cmd; mkdir_cmd; rm_cmd; tag_cmd;
             untag_cmd; tags_cmd; search_cmd; find_cmd; query_cmd; stat_cmd;
             info_cmd; mv_cmd; ln_cmd; insert_cmd; compact_cmd; metrics_cmd;
-            trace_cmd; serve_cmd; ping_cmd;
+            trace_cmd; serve_cmd; ping_cmd; stats_cmd; top_cmd;
           ]))

@@ -79,6 +79,14 @@ dune exec bench/main.exe -- --smoke S1
 # single-durability-point claim behind the txn API, checked every run.
 dune exec bench/main.exe -- --smoke T2
 
+# Observability smoke gate: O2 asserts on every run that the avg batch
+# re-derived from remote STATS scrapes matches the harness value within
+# 5%, that the Prometheus exposition agrees with the binary snapshot,
+# that the TRACE scrape captures server spans, and that full telemetry
+# (tracing + slow log + a live polling observer) costs <= 5% of
+# effective throughput.
+dune exec bench/main.exe -- --smoke O2
+
 # Documentation gate: every .mli doc comment must keep compiling to
 # HTML. Skipped (with a warning) where odoc isn't installed; CI
 # installs it, so the gate is always enforced before merge.

@@ -84,6 +84,20 @@ let quantile t q =
     match !result with Some b -> b | None -> max_int
   end
 
+type snapshot = { count : int; sum : int; p50 : int; p90 : int; p99 : int }
+
+(* One coherent-enough read for dashboards: each field is an atomic
+   read, the set is not a consistent cut — fine for monitoring, where
+   the next scrape supersedes it anyway. *)
+let snapshot t =
+  {
+    count = count t;
+    sum = sum t;
+    p50 = quantile t 0.5;
+    p90 = quantile t 0.9;
+    p99 = quantile t 0.99;
+  }
+
 let pp fmt t =
   Format.fprintf fmt "%s: count=%d mean=%.1f p50<=%d p95<=%d" t.name (count t)
     (mean t) (quantile t 0.5) (quantile t 0.95)

@@ -44,5 +44,15 @@ val quantile : t -> float -> int
     the smallest bucket bound at which the cumulative count reaches
     [q * count]. Overflow reports [max_int]. 0 when empty. *)
 
+type snapshot = { count : int; sum : int; p50 : int; p90 : int; p99 : int }
+(** One read of the whole distribution: count, sum, and the p50/p90/p99
+    upper bounds per {!quantile} (so [max_int] marks a quantile that
+    fell past the last bound, and an empty histogram reads all-zero). *)
+
+val snapshot : t -> snapshot
+(** The fields are individual atomic reads, not one consistent cut —
+    apt for dashboards and the server's [STATS] frame, where the next
+    scrape supersedes any skew. *)
+
 val pp : Format.formatter -> t -> unit
 (** One line: count, mean, p50 and p95 estimates. *)

@@ -39,9 +39,12 @@ let close t =
     try Unix.close t.fd with Unix.Unix_error _ -> ()
   end
 
-let send t req =
+let send ?trace t req =
   let id = t.next_id in
   t.next_id <- id + 1;
+  let req =
+    match trace with None -> req | Some tr -> Wire.Traced { trace = tr; req }
+  in
   let frame = Wire.encode_request ~id req in
   let len = String.length frame in
   let off = ref 0 in
@@ -66,8 +69,8 @@ let rec recv t =
       | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
           raise (Protocol_error "connection reset by server"))
 
-let call t req =
-  let id = send t req in
+let call ?trace t req =
+  let id = send ?trace t req in
   match List.assoc_opt id t.parked with
   | Some resp ->
       t.parked <- List.remove_assoc id t.parked;
@@ -150,3 +153,15 @@ let multi t ops =
   typed
     (call t (Wire.Multi { ops }))
     (function Wire.Ok_oids oids -> Some oids | _ -> None)
+
+let stats t =
+  typed (call t Wire.Stats)
+    (function Wire.Ok_stats s -> Some s | _ -> None)
+
+let metrics t =
+  typed (call t Wire.Metrics)
+    (function Wire.Ok_data d -> Some d | _ -> None)
+
+let trace t =
+  typed (call t Wire.Trace_dump)
+    (function Wire.Ok_data d -> Some d | _ -> None)

@@ -17,14 +17,16 @@ val connect : ?host:string -> port:int -> unit -> t
 
 val close : t -> unit
 
-val send : t -> Wire.request -> int
-(** Fire one frame without waiting; returns its request id. *)
+val send : ?trace:int64 -> t -> Wire.request -> int
+(** Fire one frame without waiting; returns its request id. [?trace]
+    wraps the request in {!Wire.request.Traced}, stitching the server's
+    spans for it under the caller's trace id. *)
 
 val recv : t -> int * Wire.response
 (** Next response frame (parked frames first), blocking.
     @raise Protocol_error on EOF or garbage. *)
 
-val call : t -> Wire.request -> Wire.response
+val call : ?trace:int64 -> t -> Wire.request -> Wire.response
 (** [send] + wait for that id's response. *)
 
 (** {1 Conveniences} — thin wrappers over {!call}.
@@ -55,3 +57,16 @@ val flush : t -> (unit, error) result
 val multi : t -> Wire.txn_op list -> (int64 list, error) result
 (** Execute the plan as one atomic transaction; the [int64 list] is the
     OID each [Tput] touched, in plan order. *)
+
+(** {1 Observability} — remote scrapes of a live server. *)
+
+val stats : t -> (Wire.Stats.t, error) result
+(** One compact binary snapshot; rates come from the delta between two
+    of these (see [hfadctl top]). *)
+
+val metrics : t -> (string, error) result
+(** The server process's full Prometheus 0.0.4 text exposition. *)
+
+val trace : t -> (string, error) result
+(** The server's recent span ring as Chrome trace JSON (empty array
+    unless tracing is enabled server-side). *)

@@ -17,6 +17,10 @@ module Trace = Hfad_trace.Trace
 module Registry = Hfad_metrics.Registry
 module Counter = Hfad_metrics.Counter
 module Prefix_pool = Hfad_metrics.Prefix_pool
+module Histogram = Hfad_metrics.Histogram
+module Prometheus = Hfad_metrics.Prometheus
+module Osd = Hfad_osd.Osd
+module Pager = Hfad_pager.Pager
 
 module Config = struct
   type t = {
@@ -24,17 +28,27 @@ module Config = struct
     max_inflight : int;
     sync_ack : bool;
     read_bytes : int;
+    slow_threshold_us : int;
   }
 
   let default =
-    { workers = 2; max_inflight = 64; sync_ack = false; read_bytes = 64 * 1024 }
+    {
+      workers = 2;
+      max_inflight = 64;
+      sync_ack = false;
+      read_bytes = 64 * 1024;
+      slow_threshold_us = 0;
+    }
 
   let v ?(workers = default.workers) ?(max_inflight = default.max_inflight)
-      ?(sync_ack = default.sync_ack) ?(read_bytes = default.read_bytes) () =
+      ?(sync_ack = default.sync_ack) ?(read_bytes = default.read_bytes)
+      ?(slow_threshold_us = default.slow_threshold_us) () =
     if workers < 1 then invalid_arg "Server.Config: workers < 1";
     if max_inflight < 1 then invalid_arg "Server.Config: max_inflight < 1";
     if read_bytes < 1 then invalid_arg "Server.Config: read_bytes < 1";
-    { workers; max_inflight; sync_ack; read_bytes }
+    if slow_threshold_us < 0 then
+      invalid_arg "Server.Config: slow_threshold_us < 0";
+    { workers; max_inflight; sync_ack; read_bytes; slow_threshold_us }
 end
 
 type counters = {
@@ -49,6 +63,39 @@ type counters = {
   bytes_in : Counter.t;
   bytes_out : Counter.t;
 }
+
+(* Per-op server latency histograms, observed around [execute]. Global
+   rather than pooled per instance: every server in the process observes
+   into the same [server.latency_us.<op>] families (which is what a
+   scraper wants), and creating them once at module init keeps the
+   registry's size stable across server start/stop cycles. [Flush] is
+   measured as "sync" — its execute is the client-visible fsync. *)
+let op_histograms =
+  List.map
+    (fun op -> (op, Histogram.make ("server.latency_us." ^ op)))
+    [ "put"; "get"; "delete"; "tag"; "search"; "stat"; "multi"; "sync" ]
+
+let rec op_label = function
+  | Wire.Ping -> "ping"
+  | Wire.Put _ -> "put"
+  | Wire.Get _ -> "get"
+  | Wire.Delete _ -> "delete"
+  | Wire.Tag _ -> "tag"
+  | Wire.Search _ -> "search"
+  | Wire.Stat _ -> "stat"
+  | Wire.Flush -> "sync"
+  | Wire.Multi _ -> "multi"
+  | Wire.Stats -> "stats"
+  | Wire.Metrics -> "metrics"
+  | Wire.Trace_dump -> "trace"
+  | Wire.Traced { req; _ } -> op_label req
+
+(* Bounds on what one observability reply may carry: the span ring at
+   full default capacity (64k spans) serializes near the 16 MiB frame
+   bound, and the slow log must stay a constant-memory ring. *)
+let trace_dump_max_spans = 16384
+let slow_capacity = 64
+let slow_line_max = 512
 
 type conn = {
   fd : Unix.file_descr;
@@ -82,6 +129,9 @@ type t = {
   mutable accept_domain : unit Domain.t option;
   prefix : string;
   c : counters;
+  started_at : float;
+  slow_mu : Mutex.t;
+  slow : string Queue.t;  (* JSONL slow-request ring, under [slow_mu] *)
   stop_mu : Mutex.t;
   mutable stopped : bool;
 }
@@ -218,9 +268,89 @@ let stage_txn_op t tx staged op =
       Hashtbl.replace staged to_ (Some oid);
       None
 
+(* --- observability ------------------------------------------------- *)
+
+let record_slow t ~cid ~op ~dur_us ~trace =
+  let line =
+    Printf.sprintf "{\"ts_us\":%.0f,\"conn\":%d,\"op\":\"%s\",\"dur_us\":%d%s}"
+      (Unix.gettimeofday () *. 1e6)
+      cid op dur_us
+      (match trace with
+      | None -> ""
+      | Some tr -> Printf.sprintf ",\"trace_id\":\"%Lx\"" tr)
+  in
+  let line =
+    if String.length line <= slow_line_max then line
+    else String.sub line 0 slow_line_max
+  in
+  Mutex.lock t.slow_mu;
+  if Queue.length t.slow >= slow_capacity then ignore (Queue.pop t.slow);
+  Queue.add line t.slow;
+  Mutex.unlock t.slow_mu
+
+let build_stats t : Wire.Stats.t =
+  let g c = Counter.get c in
+  (* Registry counters are create-or-get, so reading a gauge another
+     library owns (flusher, trace) needs no new plumbing. *)
+  let gauge name = Counter.get (Registry.counter Registry.global name) in
+  let ops =
+    List.map
+      (fun (op, h) ->
+        let s = Histogram.snapshot h in
+        {
+          Wire.Stats.op;
+          count = s.Histogram.count;
+          sum_us = s.Histogram.sum;
+          p50_us = s.Histogram.p50;
+          p90_us = s.Histogram.p90;
+          p99_us = s.Histogram.p99;
+        })
+      op_histograms
+  in
+  let cache_pages = (Fs.config t.fs).Fs.Config.cache_pages in
+  let shards =
+    List.init (Fs.shard_count t.fs) (fun i ->
+        let osd = Fs.osd_of_shard t.fs i in
+        let pager = Osd.pager osd in
+        let occ = Pager.occupancy pager in
+        {
+          Wire.Stats.shard = i;
+          checkpoints = Int64.to_int (Osd.journal_sequence osd);
+          journal_capacity_pages = Osd.journal_capacity_pages osd;
+          dirty_pages = Pager.dirty_count pager;
+          resident_pages = occ.Pager.a1in + occ.Pager.am;
+          cache_pages;
+        })
+  in
+  let slow =
+    Mutex.lock t.slow_mu;
+    let l = List.of_seq (Queue.to_seq t.slow) in
+    Mutex.unlock t.slow_mu;
+    l
+  in
+  {
+    Wire.Stats.uptime_us =
+      int_of_float ((Unix.gettimeofday () -. t.started_at) *. 1e6);
+    connections = g t.c.connections;
+    inflight = g t.c.inflight;
+    requests = g t.c.requests;
+    busy = g t.c.busy;
+    errors = g t.c.errors;
+    batches = g t.c.batches;
+    batch_ops = g t.c.batch_ops;
+    bytes_in = g t.c.bytes_in;
+    bytes_out = g t.c.bytes_out;
+    trace_spans = gauge "trace.spans";
+    trace_dropped = Trace.dropped ();
+    flusher_queue_age_us = gauge "flusher.queue_age_us";
+    ops;
+    shards;
+    slow;
+  }
+
 (* Reads reply now; mutations reply [`Defer resp] — the response to
    send once a barrier covers the acknowledged mutation. *)
-let execute t (req : Wire.request) :
+let rec execute t (req : Wire.request) :
     [ `Reply of Wire.response | `Defer of Wire.response ] =
   let lookup key = Fs.lookup_one t.fs [ key_name key ] in
   try
@@ -300,6 +430,23 @@ let execute t (req : Wire.request) :
             `Defer
               (Wire.Ok_oids (List.filter_map (Option.map Oid.to_int64) touched))
         | Error e -> `Reply (err_of t e))
+    | Wire.Stats -> `Reply (Wire.Ok_stats (build_stats t))
+    | Wire.Metrics ->
+        (* The whole process, not just this server: shard<i>.*, pager,
+           journal, flusher and trace families all ride along. *)
+        `Reply (Wire.Ok_data (Prometheus.expose ()))
+    | Wire.Trace_dump ->
+        let spans = Trace.spans () in
+        let n = List.length spans in
+        let spans =
+          if n <= trace_dump_max_spans then spans
+          else List.filteri (fun i _ -> i >= n - trace_dump_max_spans) spans
+        in
+        `Reply (Wire.Ok_data (Trace.to_chrome_json spans))
+    | Wire.Traced { req; _ } ->
+        (* Normally unwrapped in [handle_frames] (so the trace id tags
+           the span); executing the inner request keeps [execute] total. *)
+        execute t req
   with
   | Hfad_osd.Osd.No_such_object _ | Multi_not_found -> `Reply Wire.Not_found
   | exn -> `Reply (err_msg t (Printexc.to_string exn))
@@ -348,15 +495,38 @@ let handle_frames t ~pending c =
              c.inflight <- c.inflight + 1;
              Counter.add t.c.inflight 1;
              Counter.incr t.c.requests;
+             (* Unwrap trace context here, not in [execute], so the id
+                lands on the [server.request] span and the slow log. *)
+             let trace_id, req =
+               match req with
+               | Wire.Traced { trace; req } -> (Some trace, req)
+               | req -> (None, req)
+             in
+             let started = Unix.gettimeofday () in
              let outcome =
                Trace.with_span ~layer:"server" ~op:"request" (fun () ->
                    if Trace.enabled () then begin
                      Trace.add_attr "op"
                        (Format.asprintf "%a" Wire.pp_request req);
-                     Trace.add_attr_int "conn" c.cid
+                     Trace.add_attr_int "conn" c.cid;
+                     Option.iter
+                       (fun tr ->
+                         Trace.add_attr "trace_id" (Printf.sprintf "%Lx" tr))
+                       trace_id
                    end;
                    execute t req)
              in
+             let dur_us =
+               int_of_float ((Unix.gettimeofday () -. started) *. 1e6)
+             in
+             let op = op_label req in
+             (match List.assoc_opt op op_histograms with
+             | Some h -> Histogram.observe h dur_us
+             | None -> ());
+             if
+               t.config.slow_threshold_us > 0
+               && dur_us >= t.config.slow_threshold_us
+             then record_slow t ~cid:c.cid ~op ~dur_us ~trace:trace_id;
              match outcome with
              | `Reply resp ->
                  respond t c ~id resp;
@@ -573,6 +743,9 @@ let start ?(config = Config.default) ?(port = 0) fs =
         accept_domain = None;
         prefix;
         c = make_counters prefix;
+        started_at = Unix.gettimeofday ();
+        slow_mu = Mutex.create ();
+        slow = Queue.create ();
         stop_mu = Mutex.create ();
         stopped = false;
       }

@@ -26,10 +26,21 @@
     the worker keeps serving its other connections.
 
     {b Observability.} Spans [server.accept], [server.request] (attrs
-    [op], [conn]) and [server.batch] (attr [ops]); pooled counters
+    [op], [conn], and [trace_id] when the frame carried
+    {!Wire.request.Traced} context) and [server.batch] (attr [ops]);
+    pooled counters
     [server<N>.{accepted,connections,requests,inflight,busy,batches,
     batch_ops,errors,bytes_in,bytes_out}] — [connections] and
-    [inflight] are gauges, the rest monotone. *)
+    [inflight] are gauges, the rest monotone. Per-op latency histograms
+    [server.latency_us.{put,get,delete,tag,search,stat,multi,sync}]
+    ([Flush] is measured as [sync]) are observed around execute; they
+    are process-global, shared by every instance. The whole picture is
+    remotely scrapeable: [Stats] answers a compact binary snapshot
+    ({!Wire.Stats.t}, including the slow-request log), [Metrics] the
+    process's Prometheus exposition, [Trace_dump] the span ring as
+    Chrome trace JSON. A request slower than [Config.slow_threshold_us]
+    (measured around execute, excluding any deferred commit wait) is
+    appended to a bounded in-memory JSONL ring exported via [Stats]. *)
 
 module Config : sig
   type t = {
@@ -39,13 +50,16 @@ module Config : sig
     sync_ack : bool;
         (** barrier per mutation instead of per batch (default false) *)
     read_bytes : int;  (** bytes read per connection per wakeup (default 64 KiB) *)
+    slow_threshold_us : int;
+        (** record requests at least this slow (µs, around execute) in
+            the slow log; 0 disables it (the default) *)
   }
 
   val default : t
 
   val v :
     ?workers:int -> ?max_inflight:int -> ?sync_ack:bool -> ?read_bytes:int ->
-    unit -> t
+    ?slow_threshold_us:int -> unit -> t
 end
 
 type t

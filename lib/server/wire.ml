@@ -6,6 +6,50 @@
 
 let max_frame_bytes = 16 * 1024 * 1024
 
+(* The STATS snapshot: one compact binary frame carrying everything the
+   remote dashboard needs. Quantiles are computed server-side (from the
+   cumulative histogram buckets) so a scraper never has to know the
+   bucket ladder; rates are NOT included — they are deltas between two
+   snapshots, computed by the consumer (hfadctl top, bench O2). *)
+module Stats = struct
+  type op_stat = {
+    op : string;  (* "put", "get", ... "sync" *)
+    count : int;
+    sum_us : int;  (* for delta-mean latency between two snapshots *)
+    p50_us : int;
+    p90_us : int;
+    p99_us : int;  (* max_int when the mass sits in the +Inf bucket *)
+  }
+
+  type shard_stat = {
+    shard : int;
+    checkpoints : int;  (* journal commits sealed since format *)
+    journal_capacity_pages : int;  (* 0 = unjournaled *)
+    dirty_pages : int;
+    resident_pages : int;  (* pager frames holding a page (A1in + Am) *)
+    cache_pages : int;  (* pager capacity *)
+  }
+
+  type t = {
+    uptime_us : int;
+    connections : int;  (* gauge *)
+    inflight : int;  (* gauge, summed over connections *)
+    requests : int;
+    busy : int;
+    errors : int;
+    batches : int;
+    batch_ops : int;
+    bytes_in : int;
+    bytes_out : int;
+    trace_spans : int;
+    trace_dropped : int;  (* span loss: ring wrap + per-root overflow *)
+    flusher_queue_age_us : int;  (* age of the oldest un-committed ack *)
+    ops : op_stat list;
+    shards : shard_stat list;
+    slow : string list;  (* JSONL slow-request log, oldest first *)
+  }
+end
+
 type txn_op =
   | Tput of { key : string; data : string }
   | Tdelete of { key : string }
@@ -23,6 +67,14 @@ type request =
   | Stat of { key : string }
   | Flush
   | Multi of { ops : txn_op list }
+  | Stats  (* compact binary snapshot -> Ok_stats *)
+  | Metrics  (* Prometheus text exposition -> Ok_data *)
+  | Trace_dump  (* recent span ring as Chrome trace JSON -> Ok_data *)
+  | Traced of { trace : int64; req : request }
+      (* trace-context propagation: the caller's trace id rides a flag
+         bit in the kind byte (0x80) plus a u64 payload prefix, so the
+         server's spans stitch under the client's trace. Old peers never
+         set the bit, so plain frames decode unchanged. *)
 
 type response =
   | Ok_unit
@@ -31,13 +83,15 @@ type response =
   | Ok_hits of (int64 * float) list
   | Ok_stat of { oid : int64; size : int64 }
   | Ok_oids of int64 list
+  | Ok_stats of Stats.t
   | Not_found
   | Busy
   | Err of string
 
-let mutates = function
+let rec mutates = function
   | Put _ | Delete _ | Tag _ | Flush | Multi _ -> true
-  | Ping | Get _ | Search _ | Stat _ -> false
+  | Ping | Get _ | Search _ | Stat _ | Stats | Metrics | Trace_dump -> false
+  | Traced { req; _ } -> mutates req
 
 let equal_request (a : request) (b : request) = a = b
 let equal_response (a : response) (b : response) = a = b
@@ -51,7 +105,7 @@ let pp_txn_op fmt = function
       Format.fprintf fmt "untag %s %s/%s" key tag value
   | Trename { from_; to_ } -> Format.fprintf fmt "rename %s -> %s" from_ to_
 
-let pp_request fmt = function
+let rec pp_request fmt = function
   | Ping -> Format.fprintf fmt "PING"
   | Put { key; data } -> Format.fprintf fmt "PUT %s (%d bytes)" key (String.length data)
   | Get { key } -> Format.fprintf fmt "GET %s" key
@@ -61,6 +115,11 @@ let pp_request fmt = function
   | Stat { key } -> Format.fprintf fmt "STAT %s" key
   | Flush -> Format.fprintf fmt "FLUSH"
   | Multi { ops } -> Format.fprintf fmt "MULTI (%d ops)" (List.length ops)
+  | Stats -> Format.fprintf fmt "STATS"
+  | Metrics -> Format.fprintf fmt "METRICS"
+  | Trace_dump -> Format.fprintf fmt "TRACE"
+  | Traced { trace; req } ->
+      Format.fprintf fmt "TRACED %Lx %a" trace pp_request req
 
 let pp_response fmt = function
   | Ok_unit -> Format.fprintf fmt "OK"
@@ -69,6 +128,10 @@ let pp_response fmt = function
   | Ok_hits hits -> Format.fprintf fmt "OK %d hit(s)" (List.length hits)
   | Ok_stat { oid; size } -> Format.fprintf fmt "OK oid=%Ld size=%Ld" oid size
   | Ok_oids oids -> Format.fprintf fmt "OK %d oid(s)" (List.length oids)
+  | Ok_stats s ->
+      Format.fprintf fmt "OK stats (%d req, %d op(s), %d shard(s))"
+        s.Stats.requests (List.length s.Stats.ops)
+        (List.length s.Stats.shards)
   | Not_found -> Format.fprintf fmt "NOT_FOUND"
   | Busy -> Format.fprintf fmt "BUSY"
   | Err msg -> Format.fprintf fmt "ERR %s" msg
@@ -91,7 +154,11 @@ let add_str32 b s =
   Buffer.add_int32_be b (Int32.of_int (String.length s));
   Buffer.add_string b s
 
-let request_kind = function
+(* Kind-byte bit 0x80 flags a traced frame: the payload starts with the
+   u64 trace id, followed by the inner request's payload unchanged. *)
+let traced_flag = 0x80
+
+let rec request_kind = function
   | Ping -> 0
   | Put _ -> 1
   | Get _ -> 2
@@ -101,6 +168,11 @@ let request_kind = function
   | Stat _ -> 6
   | Flush -> 7
   | Multi _ -> 8
+  | Stats -> 9
+  | Metrics -> 10
+  | Trace_dump -> 11
+  | Traced { req = Traced _; _ } -> invalid_arg "Wire: nested Traced"
+  | Traced { req; _ } -> traced_flag lor request_kind req
 
 let response_kind = function
   | Ok_unit -> 0
@@ -109,6 +181,7 @@ let response_kind = function
   | Ok_hits _ -> 3
   | Ok_stat _ -> 4
   | Ok_oids _ -> 5
+  | Ok_stats _ -> 6
   | Not_found -> 16
   | Busy -> 17
   | Err _ -> 18
@@ -135,8 +208,8 @@ let add_txn_op b op =
       add_str16 b from_;
       add_str16 b to_
 
-let add_request_payload b = function
-  | Ping | Flush -> ()
+let rec add_request_payload b = function
+  | Ping | Flush | Stats | Metrics | Trace_dump -> ()
   | Put { key; data } ->
       add_str16 b key;
       Buffer.add_string b data
@@ -151,6 +224,50 @@ let add_request_payload b = function
         invalid_arg "Wire: MULTI exceeds 65535 ops";
       Buffer.add_uint16_be b (List.length ops);
       List.iter (add_txn_op b) ops
+  | Traced { trace; req } ->
+      Buffer.add_int64_be b trace;
+      add_request_payload b req
+
+(* u64 on the wire for anything that counts: OCaml ints are 63-bit, so
+   a u32 would wrap on a long-lived server's request counter. *)
+let add_u64i b v = Buffer.add_int64_be b (Int64.of_int v)
+
+let add_stats b (s : Stats.t) =
+  add_u64i b s.uptime_us;
+  Buffer.add_int32_be b (Int32.of_int s.connections);
+  Buffer.add_int32_be b (Int32.of_int s.inflight);
+  add_u64i b s.requests;
+  add_u64i b s.busy;
+  add_u64i b s.errors;
+  add_u64i b s.batches;
+  add_u64i b s.batch_ops;
+  add_u64i b s.bytes_in;
+  add_u64i b s.bytes_out;
+  add_u64i b s.trace_spans;
+  add_u64i b s.trace_dropped;
+  add_u64i b s.flusher_queue_age_us;
+  Buffer.add_uint16_be b (List.length s.ops);
+  List.iter
+    (fun (o : Stats.op_stat) ->
+      add_str16 b o.op;
+      add_u64i b o.count;
+      add_u64i b o.sum_us;
+      add_u64i b o.p50_us;
+      add_u64i b o.p90_us;
+      add_u64i b o.p99_us)
+    s.ops;
+  Buffer.add_uint16_be b (List.length s.shards);
+  List.iter
+    (fun (sh : Stats.shard_stat) ->
+      Buffer.add_uint16_be b sh.shard;
+      add_u64i b sh.checkpoints;
+      Buffer.add_int32_be b (Int32.of_int sh.journal_capacity_pages);
+      Buffer.add_int32_be b (Int32.of_int sh.dirty_pages);
+      Buffer.add_int32_be b (Int32.of_int sh.resident_pages);
+      Buffer.add_int32_be b (Int32.of_int sh.cache_pages))
+    s.shards;
+  Buffer.add_uint16_be b (List.length s.slow);
+  List.iter (add_str16 b) s.slow
 
 let add_response_payload b = function
   | Ok_unit | Not_found | Busy -> ()
@@ -169,6 +286,7 @@ let add_response_payload b = function
   | Ok_oids oids ->
       Buffer.add_int32_be b (Int32.of_int (List.length oids));
       List.iter (Buffer.add_int64_be b) oids
+  | Ok_stats s -> add_stats b s
   | Err msg -> Buffer.add_string b msg
 
 let encode ~id ~kind add_payload msg =
@@ -236,10 +354,23 @@ let exactly_consumed s pos decoded =
   if !pos = String.length s then Ok decoded
   else Error "trailing bytes after payload"
 
-let decode_request kind payload =
+(* Counters ride u64 on the wire but live as OCaml ints in the snapshot
+   record; a server can't produce a value past 2^62 in any realistic
+   uptime, so truncation is a theoretical concern only. *)
+let u64i s pos = Int64.to_int (u64 s pos)
+
+let rec decode_request kind payload =
   let pos = ref 0 in
   let fin v = exactly_consumed payload pos v in
   try
+    if kind land traced_flag <> 0 then begin
+      let trace = u64 payload pos in
+      let inner = rest payload pos in
+      match decode_request (kind land lnot traced_flag) inner with
+      | Ok req -> Ok (Traced { trace; req })
+      | Error _ as e -> e
+    end
+    else
     match kind with
     | 0 -> fin Ping
     | 1 ->
@@ -286,6 +417,9 @@ let decode_request kind payload =
         in
         (try fin (Multi { ops = List.init n (fun _ -> op ()) })
          with Bad_op msg -> Error msg)
+    | 9 -> fin Stats
+    | 10 -> fin Metrics
+    | 11 -> fin Trace_dump
     | k -> Error (Printf.sprintf "unknown request opcode %d" k)
   with Short -> Error "truncated request payload"
 
@@ -315,6 +449,69 @@ let decode_response kind payload =
         if String.length payload - !pos <> n * 8 then
           Error "oid count disagrees with payload length"
         else fin (Ok_oids (List.init n (fun _ -> u64 payload pos)))
+    | 6 ->
+        let uptime_us = u64i payload pos in
+        let connections = u32 payload pos in
+        let inflight = u32 payload pos in
+        let requests = u64i payload pos in
+        let busy = u64i payload pos in
+        let errors = u64i payload pos in
+        let batches = u64i payload pos in
+        let batch_ops = u64i payload pos in
+        let bytes_in = u64i payload pos in
+        let bytes_out = u64i payload pos in
+        let trace_spans = u64i payload pos in
+        let trace_dropped = u64i payload pos in
+        let flusher_queue_age_us = u64i payload pos in
+        let n_ops = u16 payload pos in
+        let ops =
+          List.init n_ops (fun _ : Stats.op_stat ->
+              let op = str16 payload pos in
+              let count = u64i payload pos in
+              let sum_us = u64i payload pos in
+              let p50_us = u64i payload pos in
+              let p90_us = u64i payload pos in
+              { op; count; sum_us; p50_us; p90_us; p99_us = u64i payload pos })
+        in
+        let n_shards = u16 payload pos in
+        let shards =
+          List.init n_shards (fun _ : Stats.shard_stat ->
+              let shard = u16 payload pos in
+              let checkpoints = u64i payload pos in
+              let journal_capacity_pages = u32 payload pos in
+              let dirty_pages = u32 payload pos in
+              let resident_pages = u32 payload pos in
+              {
+                shard;
+                checkpoints;
+                journal_capacity_pages;
+                dirty_pages;
+                resident_pages;
+                cache_pages = u32 payload pos;
+              })
+        in
+        let n_slow = u16 payload pos in
+        let slow = List.init n_slow (fun _ -> str16 payload pos) in
+        fin
+          (Ok_stats
+             {
+               uptime_us;
+               connections;
+               inflight;
+               requests;
+               busy;
+               errors;
+               batches;
+               batch_ops;
+               bytes_in;
+               bytes_out;
+               trace_spans;
+               trace_dropped;
+               flusher_queue_age_us;
+               ops;
+               shards;
+               slow;
+             })
     | 16 -> fin Not_found
     | 17 -> fin Busy
     | 18 -> fin (Err (rest payload pos))

@@ -4,7 +4,9 @@
     API (put/get/delete + the naming operations tag/search/stat) made
     remotely callable, plus the two control verbs a durability pipeline
     needs ([Flush] = client-visible fsync barrier, [Ping] = liveness and
-    RTT floor).
+    RTT floor) and three observability verbs ([Stats] = compact binary
+    snapshot, [Metrics] = Prometheus 0.0.4 text exposition, [Trace_dump]
+    = recent span ring as Chrome trace JSON).
 
     {b Frame layout} (all integers big-endian):
 
@@ -14,6 +16,13 @@
       u8   kind       opcode (requests) / status (responses)
       ...  payload    kind-specific, see below
     v}
+
+    {b Trace context.} Request kind bit [0x80] flags a traced frame: the
+    payload starts with the caller's [u64] trace id, followed by the
+    inner request's payload unchanged ({!request.Traced}). The server
+    attaches the id to the spans it records for that request, so a
+    client-side Chrome trace and the server's [Trace_dump] stitch into
+    one timeline. Peers that never set the bit interoperate unchanged.
 
     Inner strings are length-prefixed ([u16] for keys/tags/values,
     trailing-bytes for content and error messages, so bulk data is never
@@ -35,6 +44,55 @@
 val max_frame_bytes : int
 (** Hard bound on [length] (16 MiB): larger frames are malformed, never
     buffered. *)
+
+(** The [Stats] snapshot: everything the remote dashboard needs in one
+    frame. Quantiles are computed server-side from the cumulative
+    histogram buckets, so a scraper never needs to know the bucket
+    ladder; rates are deltas between two snapshots, computed by the
+    consumer ([hfadctl top], experiment O2). *)
+module Stats : sig
+  type op_stat = {
+    op : string;  (** "put", "get", ..., "sync" *)
+    count : int;
+    sum_us : int;
+        (** total observed latency — delta-mean between snapshots *)
+    p50_us : int;
+    p90_us : int;
+    p99_us : int;
+        (** [max_int] when the quantile falls in the +Inf bucket *)
+  }
+
+  type shard_stat = {
+    shard : int;
+    checkpoints : int;  (** journal commits sealed since format *)
+    journal_capacity_pages : int;  (** 0 = unjournaled *)
+    dirty_pages : int;
+    resident_pages : int;  (** pager frames holding a page (A1in+Am) *)
+    cache_pages : int;  (** pager capacity *)
+  }
+
+  type t = {
+    uptime_us : int;
+    connections : int;  (** gauge *)
+    inflight : int;  (** gauge, summed over live connections *)
+    requests : int;
+    busy : int;
+    errors : int;
+    batches : int;
+    batch_ops : int;
+    bytes_in : int;
+    bytes_out : int;
+    trace_spans : int;
+    trace_dropped : int;
+        (** span loss (ring wrap): non-zero means [Trace_dump] is
+            incomplete *)
+    flusher_queue_age_us : int;
+        (** age of the oldest acknowledgment still awaiting its commit *)
+    ops : op_stat list;
+    shards : shard_stat list;
+    slow : string list;  (** JSONL slow-request log, oldest first *)
+  }
+end
 
 (** One step of a MULTI transaction frame. Encoded as a [u8] opcode
     followed by [u16]-prefixed fields; [Tput] data carries its own [u32]
@@ -71,6 +129,19 @@ type request =
           tagged, renamed or deleted by the same plan). A plan the
           executor cannot commit atomically (e.g. spanning shards on a
           sharded stack) answers [Err] with nothing applied. *)
+  | Stats
+      (** scrape the compact binary snapshot — answered [Ok_stats],
+          never deferred behind a commit *)
+  | Metrics
+      (** scrape the full Prometheus 0.0.4 text exposition of the
+          server process — answered [Ok_data] *)
+  | Trace_dump
+      (** dump the recent span ring as Chrome trace JSON — answered
+          [Ok_data]; check {!Stats.t.trace_dropped} for ring overflow *)
+  | Traced of { trace : int64; req : request }
+      (** [req] carrying the caller's trace id (kind bit [0x80] + [u64]
+          payload prefix). Encoding a nested [Traced] raises
+          [Invalid_argument]; decoding cannot produce one. *)
 
 type response =
   | Ok_unit  (** Ping/Delete/Tag/Flush success *)
@@ -80,6 +151,7 @@ type response =
   | Ok_stat of { oid : int64; size : int64 }  (** Stat success *)
   | Ok_oids of int64 list
       (** Multi success: the OID each [Tput] touched, in plan order *)
+  | Ok_stats of Stats.t  (** Stats success *)
   | Not_found  (** no object named [UDEF/key] *)
   | Busy
       (** backpressure: the connection exceeded its inflight budget; the
@@ -88,7 +160,9 @@ type response =
 
 val mutates : request -> bool
 (** Whether the request's ack must wait for a durability point ([Put],
-    [Delete], [Tag], [Flush], [Multi]). *)
+    [Delete], [Tag], [Flush], [Multi]); [Traced] defers to its inner
+    request. Observability verbs never wait — a stats scrape must not
+    stall behind the commit it is trying to observe. *)
 
 val pp_txn_op : Format.formatter -> txn_op -> unit
 val pp_request : Format.formatter -> request -> unit

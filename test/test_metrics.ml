@@ -109,6 +109,54 @@ let test_quantile_exact_boundary () =
   check Alcotest.int "p75 = third bound" 1000 (Histogram.quantile h 0.75);
   check Alcotest.int "p100 overflows" max_int (Histogram.quantile h 1.0)
 
+(* --- snapshot accessor (the STATS frame's reader) ------------------------- *)
+
+let test_snapshot_empty () =
+  let h = Histogram.make ~registry:(Registry.create ()) "snap.empty" in
+  let s = Histogram.snapshot h in
+  check Alcotest.int "count" 0 s.Histogram.count;
+  check Alcotest.int "sum" 0 s.Histogram.sum;
+  check Alcotest.int "p50" 0 s.Histogram.p50;
+  check Alcotest.int "p90" 0 s.Histogram.p90;
+  check Alcotest.int "p99" 0 s.Histogram.p99
+
+let test_snapshot_single_bucket () =
+  (* Everything in one bucket: every quantile is that bucket's bound. *)
+  let h =
+    Histogram.make ~registry:(Registry.create ()) ~bounds:[| 10; 100 |]
+      "snap.one"
+  in
+  Histogram.observe h 3;
+  Histogram.observe h 7;
+  Histogram.observe h 10;
+  let s = Histogram.snapshot h in
+  check Alcotest.int "count" 3 s.Histogram.count;
+  check Alcotest.int "sum" 20 s.Histogram.sum;
+  check Alcotest.int "p50" 10 s.Histogram.p50;
+  check Alcotest.int "p90" 10 s.Histogram.p90;
+  check Alcotest.int "p99" 10 s.Histogram.p99
+
+let test_snapshot_inf_bucket () =
+  (* Mass split across a real bucket and overflow: the tail quantiles
+     must report the overflow marker, not a fabricated bound. *)
+  let h =
+    Histogram.make ~registry:(Registry.create ()) ~bounds:[| 10 |] "snap.inf"
+  in
+  Histogram.observe h 1;
+  Histogram.observe h 999;
+  let s = Histogram.snapshot h in
+  check Alcotest.int "count" 2 s.Histogram.count;
+  check Alcotest.int "p50 in the real bucket" 10 s.Histogram.p50;
+  check Alcotest.int "p90 overflows" max_int s.Histogram.p90;
+  check Alcotest.int "p99 overflows" max_int s.Histogram.p99;
+  (* All-overflow: even p50 is past the last bound. *)
+  let h2 =
+    Histogram.make ~registry:(Registry.create ()) ~bounds:[| 10 |] "snap.inf2"
+  in
+  Histogram.observe h2 11;
+  let s2 = Histogram.snapshot h2 in
+  check Alcotest.int "all-overflow p50" max_int s2.Histogram.p50
+
 let test_histogram_concurrent_observe () =
   let r = Registry.create () in
   let h = Histogram.make ~registry:r ~bounds:[| 10; 100; 1000 |] "par" in
@@ -148,6 +196,55 @@ let test_prometheus_histogram_family () =
   check Alcotest.int "le +Inf" 3 (get "commit_lat_us_bucket{le=\"+Inf\"}");
   check Alcotest.int "count" 3 (get "commit_lat_us_count");
   check Alcotest.int "sum" 5_055 (get "commit_lat_us_sum")
+
+(* Exposition under prefix-pool churn: per-instance families (shard<i>,
+   server<N>) must appear while their prefix is held and vanish — not
+   linger as stale zero series — once it is released, across repeated
+   acquire/release cycles. This is the lifecycle every server start/stop
+   and sharded open/close puts the global registry through. *)
+let test_exposition_prefix_churn () =
+  let size0 = Registry.size Registry.global in
+  let live_shard0 = Prefix_pool.live "shard" in
+  let live_server0 = Prefix_pool.live "server" in
+  for cycle = 1 to 3 do
+    let sh = Prefix_pool.acquire "shard" in
+    let sv = Prefix_pool.acquire "server" in
+    Counter.add
+      (Registry.counter Registry.global (sh ^ ".journal.commits"))
+      cycle;
+    let h = Histogram.make ~bounds:[| 10; 100 |] (sv ^ ".lat_us") in
+    Histogram.observe h (cycle * 10);
+    let series = Prometheus.parse_text (Prometheus.expose ()) in
+    (* Both families are live and round-trip with their values... *)
+    check Alcotest.(option int)
+      (Printf.sprintf "cycle %d: %s counter round-trips" cycle sh)
+      (Some cycle)
+      (List.assoc_opt (Prometheus.sanitize (sh ^ ".journal.commits")) series);
+    check Alcotest.(option int)
+      (Printf.sprintf "cycle %d: %s histogram count" cycle sv)
+      (Some 1)
+      (List.assoc_opt (Prometheus.sanitize (sv ^ ".lat_us") ^ "_count") series);
+    Prefix_pool.release sh;
+    Prefix_pool.release sv;
+    (* ...and release leaves no stale series behind. *)
+    let after = Prometheus.parse_text (Prometheus.expose ()) in
+    List.iter
+      (fun released ->
+        let stale = Prometheus.sanitize released ^ "_" in
+        check Alcotest.bool
+          (Printf.sprintf "cycle %d: no stale %s* series" cycle stale)
+          false
+          (List.exists
+             (fun (name, _) -> String.starts_with ~prefix:stale name)
+             after))
+      [ sh; sv ]
+  done;
+  check Alcotest.int "shard prefixes restored" live_shard0
+    (Prefix_pool.live "shard");
+  check Alcotest.int "server prefixes restored" live_server0
+    (Prefix_pool.live "server");
+  check Alcotest.int "registry size restored" size0
+    (Registry.size Registry.global)
 
 let prop_prometheus_roundtrip =
   QCheck.Test.make ~name:"Prometheus exposition round-trips counter values"
@@ -192,9 +289,15 @@ let suite =
     Alcotest.test_case "quantile: empty" `Quick test_quantile_empty;
     Alcotest.test_case "quantile: all overflow" `Quick test_quantile_all_overflow;
     Alcotest.test_case "quantile: exact boundary" `Quick test_quantile_exact_boundary;
+    Alcotest.test_case "snapshot: empty" `Quick test_snapshot_empty;
+    Alcotest.test_case "snapshot: single bucket" `Quick
+      test_snapshot_single_bucket;
+    Alcotest.test_case "snapshot: +Inf bucket" `Quick test_snapshot_inf_bucket;
     Alcotest.test_case "histogram concurrent observe" `Slow
       test_histogram_concurrent_observe;
     Alcotest.test_case "prometheus histogram family" `Quick
       test_prometheus_histogram_family;
+    Alcotest.test_case "exposition under prefix-pool churn" `Quick
+      test_exposition_prefix_churn;
     qtest prop_prometheus_roundtrip;
   ]

@@ -14,6 +14,8 @@ module Client = Hfad_server.Client
 module Wire = Hfad_server.Wire
 module Registry = Hfad_metrics.Registry
 module Prefix_pool = Hfad_metrics.Prefix_pool
+module Prometheus = Hfad_metrics.Prometheus
+module Trace = Hfad_trace.Trace
 
 let check = Alcotest.check
 let qtest = QCheck_alcotest.to_alcotest
@@ -96,22 +98,106 @@ let gen_request =
         map2 (fun from_ to_ -> Wire.Trename { from_; to_ }) gen_key gen_key;
       ]
   in
+  let plain =
+    oneof
+      [
+        return Wire.Ping;
+        return Wire.Flush;
+        return Wire.Stats;
+        return Wire.Metrics;
+        return Wire.Trace_dump;
+        map2 (fun key data -> Wire.Put { key; data }) gen_key blob;
+        map (fun key -> Wire.Get { key }) gen_key;
+        map (fun key -> Wire.Delete { key }) gen_key;
+        map3
+          (fun key tag value -> Wire.Tag { key; tag; value })
+          gen_key gen_key gen_key;
+        map (fun query -> Wire.Search { query }) blob;
+        map (fun key -> Wire.Stat { key }) gen_key;
+        map
+          (fun ops -> Wire.Multi { ops })
+          (list_size (int_range 0 8) gen_txn_op);
+      ]
+  in
+  (* Any request may carry trace context (the 0x80 kind-flag path);
+     nesting is unconstructible on decode, so don't generate it. *)
   oneof
     [
-      return Wire.Ping;
-      return Wire.Flush;
-      map2 (fun key data -> Wire.Put { key; data }) gen_key blob;
-      map (fun key -> Wire.Get { key }) gen_key;
-      map (fun key -> Wire.Delete { key }) gen_key;
-      map3
-        (fun key tag value -> Wire.Tag { key; tag; value })
-        gen_key gen_key gen_key;
-      map (fun query -> Wire.Search { query }) blob;
-      map (fun key -> Wire.Stat { key }) gen_key;
-      map
-        (fun ops -> Wire.Multi { ops })
-        (list_size (int_range 0 8) gen_txn_op);
+      plain;
+      map2
+        (fun trace req -> Wire.Traced { trace; req })
+        (map Int64.of_int (int_range 0 0x3FFFFFFF))
+        plain;
     ]
+
+(* Counters within the u32/u16 wire ranges where the layout demands it;
+   quantiles sometimes [max_int], the overflow-bucket marker, which must
+   survive the u64 leg intact. *)
+let gen_stats =
+  let open QCheck.Gen in
+  let big = int_range 0 1_000_000 in
+  let quant = oneof [ int_range 0 10_000_000; return max_int ] in
+  let gen_op_stat =
+    gen_key >>= fun op ->
+    big >>= fun count ->
+    big >>= fun sum_us ->
+    quant >>= fun p50_us ->
+    quant >>= fun p90_us ->
+    quant >>= fun p99_us ->
+    return { Wire.Stats.op; count; sum_us; p50_us; p90_us; p99_us }
+  in
+  let gen_shard_stat =
+    int_range 0 0xFFFF >>= fun shard ->
+    big >>= fun checkpoints ->
+    int_range 0 100_000 >>= fun journal_capacity_pages ->
+    int_range 0 100_000 >>= fun dirty_pages ->
+    int_range 0 100_000 >>= fun resident_pages ->
+    int_range 0 100_000 >>= fun cache_pages ->
+    return
+      {
+        Wire.Stats.shard;
+        checkpoints;
+        journal_capacity_pages;
+        dirty_pages;
+        resident_pages;
+        cache_pages;
+      }
+  in
+  big >>= fun uptime_us ->
+  int_range 0 10_000 >>= fun connections ->
+  int_range 0 10_000 >>= fun inflight ->
+  big >>= fun requests ->
+  big >>= fun busy ->
+  big >>= fun errors ->
+  big >>= fun batches ->
+  big >>= fun batch_ops ->
+  big >>= fun bytes_in ->
+  big >>= fun bytes_out ->
+  big >>= fun trace_spans ->
+  big >>= fun trace_dropped ->
+  big >>= fun flusher_queue_age_us ->
+  list_size (int_range 0 6) gen_op_stat >>= fun ops ->
+  list_size (int_range 0 6) gen_shard_stat >>= fun shards ->
+  list_size (int_range 0 4) gen_key >>= fun slow ->
+  return
+    {
+      Wire.Stats.uptime_us;
+      connections;
+      inflight;
+      requests;
+      busy;
+      errors;
+      batches;
+      batch_ops;
+      bytes_in;
+      bytes_out;
+      trace_spans;
+      trace_dropped;
+      flusher_queue_age_us;
+      ops;
+      shards;
+      slow;
+    }
 
 let gen_response =
   let open QCheck.Gen in
@@ -132,6 +218,7 @@ let gen_response =
         (map Int64.of_int (int_range 0 1_000_000));
       map (fun oids -> Wire.Ok_oids oids) (list_size (int_range 0 30) oid);
       map (fun msg -> Wire.Err msg) blob;
+      map (fun s -> Wire.Ok_stats s) gen_stats;
     ]
 
 (* Feed an encoded frame in arbitrary chunk sizes; the stream must
@@ -461,6 +548,141 @@ let test_stress_no_lost_acks () =
       check Alcotest.int "all connections accepted" clients
         stats.Server.accepted)
 
+(* --- remote observability ------------------------------------------- *)
+
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let op_count (s : Wire.Stats.t) op =
+  match List.find_opt (fun (o : Wire.Stats.op_stat) -> o.op = op) s.ops with
+  | Some o -> o.count
+  | None -> Alcotest.failf "no %s row in STATS" op
+
+let test_stats_scrape () =
+  with_server (fun fs server ->
+      with_client server (fun c ->
+          (* The histograms are process-global, so measure by delta. *)
+          let s0 = ok (Client.stats c) in
+          ignore (ok (Client.put c ~key:"s1" "alpha"));
+          ignore (ok (Client.put c ~key:"s2" "beta"));
+          check Alcotest.string "get" "alpha" (ok (Client.get c ~key:"s1"));
+          ok (Client.flush c);
+          let s = ok (Client.stats c) in
+          check Alcotest.bool "uptime advances" true
+            (s.uptime_us > 0 && s.uptime_us >= s0.uptime_us);
+          check Alcotest.int "one connection" 1 s.connections;
+          check Alcotest.bool "requests counted" true
+            (s.requests - s0.requests >= 5);
+          check Alcotest.bool "puts observed" true
+            (op_count s "put" - op_count s0 "put" >= 2);
+          check Alcotest.bool "get observed" true
+            (op_count s "get" - op_count s0 "get" >= 1);
+          check Alcotest.bool "flush observed as sync" true
+            (op_count s "sync" - op_count s0 "sync" >= 1);
+          (* An observed op has mass: quantile bounds are positive. *)
+          (match
+             List.find_opt (fun (o : Wire.Stats.op_stat) -> o.op = "put") s.ops
+           with
+          | Some o ->
+              check Alcotest.bool "put quantiles ordered" true
+                (o.p50_us <= o.p90_us && o.p90_us <= o.p99_us && o.p50_us > 0)
+          | None -> Alcotest.fail "no put row");
+          check Alcotest.bool "acks rode batches" true
+            (s.batches > s0.batches && s.batch_ops > s0.batch_ops);
+          check Alcotest.int "one shard on this stack" (Fs.shard_count fs)
+            (List.length s.shards);
+          (match s.shards with
+          | [ sh ] ->
+              check Alcotest.int "shard index" 0 sh.shard;
+              check Alcotest.bool "journaled stack" true
+                (sh.journal_capacity_pages > 0);
+              check Alcotest.bool "commits sealed" true (sh.checkpoints >= 1);
+              check Alcotest.bool "pager occupancy sane" true
+                (sh.resident_pages >= 0 && sh.resident_pages <= sh.cache_pages);
+              check Alcotest.int "pager capacity" 1024 sh.cache_pages
+          | _ -> Alcotest.fail "expected exactly one shard row");
+          check (Alcotest.list Alcotest.string) "slow log off by default" []
+            s.slow))
+
+let test_metrics_scrape () =
+  with_server (fun _fs server ->
+      with_client server (fun c ->
+          ignore (ok (Client.put c ~key:"m" "metrics roundtrip"));
+          let text = ok (Client.metrics c) in
+          let series = Prometheus.parse_text text in
+          check Alcotest.bool "exposition non-empty" true (series <> []);
+          (* This server's pooled counters are in the scrape... *)
+          let name =
+            Prometheus.sanitize (Server.metrics_prefix server ^ ".requests")
+          in
+          (match List.assoc_opt name series with
+          | Some v -> check Alcotest.bool "requests counted" true (v >= 2)
+          | None -> Alcotest.failf "%s missing from exposition" name);
+          (* ...and so are the process-global latency histograms. *)
+          check Alcotest.bool "latency histogram exposed" true
+            (List.mem_assoc "server_latency_us_put_count" series)))
+
+let test_trace_scrape_and_propagation () =
+  with_server (fun _fs server ->
+      with_client server (fun c ->
+          Trace.set_enabled true;
+          Fun.protect
+            ~finally:(fun () ->
+              Trace.set_enabled false;
+              Trace.clear ())
+            (fun () ->
+              Trace.clear ();
+              let trace_id = 0xABCDEF12L in
+              (match Client.call ~trace:trace_id c (Wire.Put { key = "t"; data = "v" }) with
+              | Wire.Ok_oid _ -> ()
+              | other ->
+                  Alcotest.failf "traced put: %a" Wire.pp_response other);
+              (* The server runs in-process: its spans are inspectable
+                 directly. The request span must carry the caller's id. *)
+              let spans = Trace.spans () in
+              let request_spans =
+                List.filter
+                  (fun (sp : Trace.span) ->
+                    sp.layer = "server" && sp.op = "request")
+                  spans
+              in
+              check Alcotest.bool "server.request span recorded" true
+                (request_spans <> []);
+              check Alcotest.bool "trace id stitched onto the span" true
+                (List.exists
+                   (fun sp -> Trace.attr sp "trace_id" = Some "abcdef12")
+                   request_spans);
+              (* And the remote dump carries the same spans as JSON. *)
+              let json = ok (Client.trace c) in
+              check Alcotest.bool "dump has server.request" true
+                (contains ~sub:"server.request" json);
+              check Alcotest.bool "dump has the trace id" true
+                (contains ~sub:"abcdef12" json))))
+
+let test_slow_log_capture () =
+  (* Threshold 1 us: every request qualifies; the log must capture the
+     op, stay bounded, and ride STATS. *)
+  with_server
+    ~config:(Server.Config.v ~slow_threshold_us:1 ())
+    (fun _fs server ->
+      with_client server (fun c ->
+          ignore (ok (Client.put c ~key:"slow" "payload"));
+          check Alcotest.string "get" "payload" (ok (Client.get c ~key:"slow"));
+          let s = ok (Client.stats c) in
+          check Alcotest.bool "slow log non-empty" true (s.slow <> []);
+          check Alcotest.bool "slow log bounded" true (List.length s.slow <= 64);
+          check Alcotest.bool "put captured" true
+            (List.exists (fun l -> contains ~sub:"\"op\":\"put\"" l) s.slow);
+          check Alcotest.bool "lines are json-shaped" true
+            (List.for_all
+               (fun l ->
+                 String.length l >= 2
+                 && l.[0] = '{'
+                 && contains ~sub:"\"dur_us\":" l)
+               s.slow)))
+
 let test_prefix_pool_audit () =
   let live = Prefix_pool.live "server" in
   let size = Registry.size Registry.global in
@@ -487,6 +709,14 @@ let suite =
       test_busy_backpressure;
     Alcotest.test_case "4-domain stress: no lost acks" `Quick
       test_stress_no_lost_acks;
+    Alcotest.test_case "STATS scrape reflects the workload" `Quick
+      test_stats_scrape;
+    Alcotest.test_case "METRICS scrape is the process exposition" `Quick
+      test_metrics_scrape;
+    Alcotest.test_case "TRACE scrape + trace-id propagation" `Quick
+      test_trace_scrape_and_propagation;
+    Alcotest.test_case "slow-request log capture" `Quick
+      test_slow_log_capture;
     Alcotest.test_case "metrics prefix pool audit" `Quick
       test_prefix_pool_audit;
   ]
